@@ -1,0 +1,96 @@
+// Shared setup for the table/figure reproduction binaries.
+#pragma once
+
+#include "baselines/fpg.hpp"
+#include "baselines/ondemand.hpp"
+#include "core/metrics.hpp"
+#include "core/powerlens.hpp"
+#include "dnn/models.hpp"
+#include "hw/sim_engine.hpp"
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+namespace powerlens::bench {
+
+// Offline configuration used across benches: large enough for stable
+// prediction models, small enough that every bench binary finishes in
+// seconds. bench_model_accuracy scales this up toward the paper's 8000.
+inline core::PowerLensConfig bench_config(std::size_t networks = 300) {
+  core::PowerLensConfig cfg;
+  cfg.dataset.num_networks = networks;
+  cfg.dataset.seed = 2024;
+  cfg.train_hyper.epochs = 60;
+  cfg.train_decision.epochs = 60;
+  return cfg;
+}
+
+struct TrainedFramework {
+  hw::Platform platform;
+  std::unique_ptr<core::PowerLens> framework;
+  core::TrainingSummary summary;
+};
+
+inline TrainedFramework train_for(const hw::Platform& platform,
+                                  std::size_t networks = 300) {
+  TrainedFramework t{platform, nullptr, {}};
+  t.framework = std::make_unique<core::PowerLens>(t.platform,
+                                                  bench_config(networks));
+  t.summary = t.framework->train();
+  return t;
+}
+
+// The four methods of the evaluation (section 3.1).
+enum class Method { kBiM, kFpgG, kFpgCG, kPowerLens };
+
+inline const char* method_name(Method m) {
+  switch (m) {
+    case Method::kBiM: return "BiM";
+    case Method::kFpgG: return "FPG-G";
+    case Method::kFpgCG: return "FPG-CG";
+    case Method::kPowerLens: return "PowerLens";
+  }
+  return "?";
+}
+
+// Runs one workload under one method. For PowerLens the per-item plans must
+// be precomputed (one schedule per distinct graph is the paper's offline
+// instrumentation).
+inline hw::ExecutionResult run_method(
+    hw::SimEngine& engine, std::span<const hw::WorkItem> items, Method method,
+    const hw::PresetSchedule* schedule) {
+  hw::RunPolicy policy = engine.default_policy();
+  baselines::OndemandGovernor ondemand;
+  baselines::FpgGovernor fpg_g(baselines::FpgMode::kGpuOnly);
+  baselines::FpgGovernor fpg_cg(baselines::FpgMode::kCpuGpu);
+  baselines::OndemandGovernor cpu_only;  // CPU governor under PowerLens
+
+  switch (method) {
+    case Method::kBiM:
+      policy.governor = &ondemand;
+      break;
+    case Method::kFpgG:
+      policy.governor = &fpg_g;
+      break;
+    case Method::kFpgCG:
+      policy.governor = &fpg_cg;
+      break;
+    case Method::kPowerLens:
+      policy.governor = &cpu_only;
+      policy.schedule = schedule;
+      break;
+  }
+  return engine.run_workload(items, policy);
+}
+
+inline hw::ExecutionResult run_method(hw::SimEngine& engine,
+                                      const dnn::Graph& graph, int passes,
+                                      Method method,
+                                      const hw::PresetSchedule* schedule) {
+  const hw::WorkItem item{&graph, passes};
+  return run_method(engine, std::span<const hw::WorkItem>{&item, 1}, method,
+                    schedule);
+}
+
+}  // namespace powerlens::bench

@@ -1,0 +1,88 @@
+// Extension bench: the paper's future-work directions, quantified.
+//
+//   1. Joint CPU + GPU DVFS vs GPU-only PowerLens (conclusion: "incorporate
+//      more configurable optimization options into PowerLens, such as CPU
+//      DVFS").
+//   2. Batch-size co-optimization (related work [15]), with and without a
+//      per-image latency budget.
+#include "bench_common.hpp"
+
+#include "core/extensions.hpp"
+
+namespace powerlens::bench {
+namespace {
+
+constexpr int kPasses = 40;
+
+void run_platform(const hw::Platform& platform) {
+  std::printf("\n=== Future-work extensions on %s ===\n",
+              platform.name.c_str());
+  hw::SimEngine engine(platform);
+
+  std::printf("-- Joint CPU+GPU DVFS vs GPU-only (oracle plans) --\n");
+  std::printf("%-16s %-12s %-12s %-8s\n", "model", "EE gpu-only",
+              "EE joint", "delta");
+  double avg_delta = 0.0;
+  int count = 0;
+  for (const char* name : {"alexnet", "googlenet", "resnet152",
+                           "vit_base_32"}) {
+    const dnn::Graph g = dnn::make_model(name, 8);
+
+    const core::JointPlan joint = core::optimize_joint_oracle(g, platform);
+    hw::PresetSchedule gpu_only;
+    gpu_only.points = joint.schedule.points;  // same blocks, GPU presets only
+
+    hw::RunPolicy p_gpu = engine.default_policy();
+    p_gpu.schedule = &gpu_only;
+    const double ee_gpu = engine.run(g, kPasses, p_gpu).energy_efficiency();
+
+    hw::RunPolicy p_joint = engine.default_policy();
+    p_joint.schedule = &joint.schedule;
+    const double ee_joint =
+        engine.run(g, kPasses, p_joint).energy_efficiency();
+
+    const double delta = ee_joint / ee_gpu - 1.0;
+    std::printf("%-16s %-12.3f %-12.3f %+7.2f%%\n", name, ee_gpu, ee_joint,
+                100.0 * delta);
+    avg_delta += delta;
+    ++count;
+  }
+  std::printf("%-16s %-12s %-12s %+7.2f%%\n", "Average", "-", "-",
+              100.0 * avg_delta / count);
+
+  std::printf("\n-- Batch-size co-optimization (resnet34) --\n");
+  const std::int64_t candidates[] = {1, 2, 4, 8, 16, 32};
+  const core::BatchChoice free_choice = core::choose_batch_size(
+      [](std::int64_t b) { return dnn::make_resnet34(b); }, candidates,
+      platform);
+  std::printf("  no latency budget: batch %lld -> EE %.3f img/J, "
+              "%.0f ms/batch\n",
+              static_cast<long long>(free_choice.batch),
+              free_choice.ee_images_per_joule,
+              1e3 * free_choice.pass_latency_s);
+  for (double budget_ms : {800.0, 250.0}) {
+    try {
+      const core::BatchChoice c = core::choose_batch_size(
+          [](std::int64_t b) { return dnn::make_resnet34(b); }, candidates,
+          platform, budget_ms / 1e3);
+      std::printf(
+          "  budget %4.0f ms/batch: batch %lld -> EE %.3f img/J, "
+          "%.0f ms/batch\n",
+          budget_ms, static_cast<long long>(c.batch), c.ee_images_per_joule,
+          1e3 * c.pass_latency_s);
+    } catch (const std::invalid_argument&) {
+      std::printf("  budget %4.0f ms/batch: infeasible for all candidates\n",
+                  budget_ms);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace powerlens::bench
+
+int main() {
+  std::printf("Future-work extension benches (paper section 5)\n");
+  powerlens::bench::run_platform(powerlens::hw::make_tx2());
+  powerlens::bench::run_platform(powerlens::hw::make_agx());
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Reproduces Figure 1: the qualitative contrast between history-driven DVFS
+// (lag + frequency ping-pong) and PowerLens's preset instrumentation points.
+//
+// Prints the GPU frequency trace (time, level) of ondemand, FPG-G, and
+// PowerLens over the same inference run, plus summary statistics: switch
+// count, mean |level change|, and time spent more than one level away from
+// the oracle EE-optimal level — the "misalignment between computation needs
+// and frequency adjustments" the paper illustrates.
+#include "bench_common.hpp"
+
+#include "hw/analytic.hpp"
+
+namespace powerlens::bench {
+namespace {
+
+constexpr int kPasses = 12;
+
+void summarize(const char* name, const hw::ExecutionResult& r,
+               std::size_t oracle_level, double total_time) {
+  // Time-weighted distance from the oracle level.
+  double misaligned_time = 0.0;
+  for (std::size_t i = 0; i < r.gpu_trace.size(); ++i) {
+    const double end =
+        i + 1 < r.gpu_trace.size() ? r.gpu_trace[i + 1].time_s : r.time_s;
+    const double span = end - r.gpu_trace[i].time_s;
+    const auto level = static_cast<std::ptrdiff_t>(r.gpu_trace[i].gpu_level);
+    if (std::abs(level - static_cast<std::ptrdiff_t>(oracle_level)) > 1) {
+      misaligned_time += span;
+    }
+  }
+  std::printf(
+      "  %-10s switches=%3zu  EE=%6.3f img/J  time>1 level off-optimal: "
+      "%5.1f%%\n",
+      name, r.dvfs_transitions, r.energy_efficiency(),
+      100.0 * misaligned_time / total_time);
+  std::printf("    trace:");
+  const std::size_t stride =
+      std::max<std::size_t>(1, r.gpu_trace.size() / 16);
+  for (std::size_t i = 0; i < r.gpu_trace.size(); i += stride) {
+    std::printf(" (%.2fs,L%zu)", r.gpu_trace[i].time_s,
+                r.gpu_trace[i].gpu_level);
+  }
+  std::printf("\n");
+}
+
+void run_platform(const hw::Platform& platform) {
+  std::printf("\n=== Frequency traces on %s (resnet152, %d passes) ===\n",
+              platform.name.c_str(), kPasses);
+  TrainedFramework t = train_for(platform);
+  hw::SimEngine engine(t.platform);
+  const dnn::Graph g = dnn::make_resnet152(8);
+
+  const std::size_t oracle_level = hw::optimal_gpu_level(
+      platform, g.layers(), platform.max_cpu_level());
+  std::printf("  oracle EE-optimal level for the whole network: L%zu\n",
+              oracle_level);
+
+  const core::OptimizationPlan plan = t.framework->optimize(g);
+  const hw::ExecutionResult r_pl =
+      run_method(engine, g, kPasses, Method::kPowerLens, &plan.schedule);
+  const hw::ExecutionResult r_bim =
+      run_method(engine, g, kPasses, Method::kBiM, nullptr);
+  const hw::ExecutionResult r_fpg =
+      run_method(engine, g, kPasses, Method::kFpgG, nullptr);
+
+  summarize("BiM", r_bim, oracle_level, r_bim.time_s);
+  summarize("FPG-G", r_fpg, oracle_level, r_fpg.time_s);
+  summarize("PowerLens", r_pl, oracle_level, r_pl.time_s);
+}
+
+}  // namespace
+}  // namespace powerlens::bench
+
+int main() {
+  std::printf(
+      "Figure 1 reproduction: reactive lag/ping-pong vs preset DVFS\n");
+  powerlens::bench::run_platform(powerlens::hw::make_tx2());
+  powerlens::bench::run_platform(powerlens::hw::make_agx());
+  return 0;
+}

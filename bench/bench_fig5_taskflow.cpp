@@ -1,0 +1,115 @@
+// Reproduces Figure 5: task-flow processing under the four methods.
+//
+// Workload per the paper (section 3.2.2): 100 inference tasks assembled by
+// randomly combining the 12 zoo DNNs; each task processes 50 three-channel
+// 224x224 images. Reported per platform and method: total energy (kJ), total
+// time (s), and energy efficiency (images/J), plus PowerLens's relative
+// energy reduction / time increase / EE gain against each baseline — the
+// numbers the paper reads off the figure.
+#include "bench_common.hpp"
+
+#include <random>
+#include <vector>
+
+namespace powerlens::bench {
+namespace {
+
+constexpr int kTasks = 100;
+constexpr int kImagesPerTask = 50;
+constexpr std::int64_t kBatch = 10;  // 5 passes of 10 images per task
+
+void run_platform(const hw::Platform& platform) {
+  std::printf("\n=== Task flow on %s (%d tasks x %d images) ===\n",
+              platform.name.c_str(), kTasks, kImagesPerTask);
+  TrainedFramework t = train_for(platform);
+  hw::SimEngine engine(t.platform);
+
+  // Build graphs + plans once per distinct model (offline instrumentation).
+  std::vector<dnn::Graph> graphs;
+  std::vector<core::OptimizationPlan> plans;
+  graphs.reserve(dnn::model_zoo().size());
+  for (const dnn::ModelSpec& spec : dnn::model_zoo()) {
+    graphs.push_back(spec.build(kBatch));
+  }
+  for (const dnn::Graph& g : graphs) {
+    plans.push_back(t.framework->optimize(g));
+  }
+
+  // Random task assembly, deterministic across methods.
+  std::mt19937_64 rng(7);
+  std::uniform_int_distribution<std::size_t> pick(0, graphs.size() - 1);
+  std::vector<std::size_t> task_models(kTasks);
+  for (std::size_t& m : task_models) m = pick(rng);
+
+  const int passes_per_task = kImagesPerTask / static_cast<int>(kBatch);
+  std::vector<hw::WorkItem> items;
+  items.reserve(kTasks);
+  for (std::size_t m : task_models) {
+    items.push_back({&graphs[m], passes_per_task});
+  }
+
+  // PowerLens stitches the per-model schedules into one workload-level
+  // schedule per task boundary; the engine applies per-item schedules by
+  // running items one at a time under the matching plan.
+  auto run_powerlens = [&] {
+    hw::ExecutionResult total;
+    baselines::OndemandGovernor cpu_governor;
+    for (const hw::WorkItem& item : items) {
+      const std::size_t model_index = static_cast<std::size_t>(
+          &item - items.data());
+      const core::OptimizationPlan& plan = plans[task_models[model_index]];
+      hw::RunPolicy policy = engine.default_policy();
+      policy.schedule = &plan.schedule;
+      policy.governor = &cpu_governor;
+      const hw::ExecutionResult r =
+          engine.run(*item.graph, item.passes, policy);
+      total.time_s += r.time_s;
+      total.energy_j += r.energy_j;
+      total.images += r.images;
+      total.dvfs_transitions += r.dvfs_transitions;
+    }
+    return total;
+  };
+
+  const hw::ExecutionResult r_pl = run_powerlens();
+  const hw::ExecutionResult r_bim =
+      run_method(engine, items, Method::kBiM, nullptr);
+  const hw::ExecutionResult r_fg =
+      run_method(engine, items, Method::kFpgG, nullptr);
+  const hw::ExecutionResult r_fcg =
+      run_method(engine, items, Method::kFpgCG, nullptr);
+
+  std::printf("%-11s %-12s %-10s %-12s %-12s\n", "method", "energy_kJ",
+              "time_s", "EE_img_per_J", "dvfs_switches");
+  for (const auto& [name, r] :
+       {std::pair<const char*, const hw::ExecutionResult*>{"BiM", &r_bim},
+        {"FPG-G", &r_fg},
+        {"FPG-CG", &r_fcg},
+        {"PowerLens", &r_pl}}) {
+    std::printf("%-11s %-12.3f %-10.2f %-12.4f %-12zu\n", name,
+                r->energy_j / 1e3, r->time_s, r->energy_efficiency(),
+                r->dvfs_transitions);
+  }
+
+  std::printf("\nPowerLens vs baselines:\n");
+  for (const auto& [name, r] :
+       {std::pair<const char*, const hw::ExecutionResult*>{"FPG-G", &r_fg},
+        {"FPG-CG", &r_fcg},
+        {"BiM", &r_bim}}) {
+    std::printf(
+        "  vs %-8s energy reduction %6.2f%%   time increase %6.2f%%   EE "
+        "gain %6.2f%%\n",
+        name, 100.0 * core::energy_reduction(r_pl, *r),
+        100.0 * core::time_increase(r_pl, *r), 100.0 * core::ee_gain(r_pl, *r));
+  }
+}
+
+}  // namespace
+}  // namespace powerlens::bench
+
+int main() {
+  std::printf("Figure 5 reproduction: task-flow energy / time / EE\n");
+  powerlens::bench::run_platform(powerlens::hw::make_tx2());
+  powerlens::bench::run_platform(powerlens::hw::make_agx());
+  return 0;
+}

@@ -1,0 +1,105 @@
+// google-benchmark microbenchmarks for the framework's hot paths: the
+// offline-workflow kernels behind Table 3 (feature extraction, power
+// distances, DBSCAN, power-view assembly, model inference) and the
+// simulation engine itself.
+#include "clustering/cluster.hpp"
+#include "core/powerlens.hpp"
+#include "dnn/models.hpp"
+#include "features/depthwise.hpp"
+#include "features/global.hpp"
+#include "hw/analytic.hpp"
+#include "hw/sim_engine.hpp"
+#include "linalg/stats.hpp"
+
+#include <benchmark/benchmark.h>
+
+namespace {
+
+using namespace powerlens;
+
+const dnn::Graph& probe_graph() {
+  static const dnn::Graph g = dnn::make_resnet152(8);
+  return g;
+}
+
+void BM_DepthwiseFeatureExtraction(benchmark::State& state) {
+  const dnn::Graph& g = probe_graph();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(features::DepthwiseFeatureExtractor::extract(g));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(g.size()));
+}
+BENCHMARK(BM_DepthwiseFeatureExtraction);
+
+void BM_GlobalFeatureExtraction(benchmark::State& state) {
+  const dnn::Graph& g = probe_graph();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(features::GlobalFeatureExtractor::extract(g));
+  }
+}
+BENCHMARK(BM_GlobalFeatureExtraction);
+
+void BM_PowerDistanceMatrix(benchmark::State& state) {
+  const linalg::Matrix feats =
+      features::DepthwiseFeatureExtractor::extract(probe_graph());
+  const clustering::DistanceParams params;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(clustering::power_distances_for(feats, params));
+  }
+}
+BENCHMARK(BM_PowerDistanceMatrix);
+
+void BM_DbscanAndPostprocess(benchmark::State& state) {
+  const linalg::Matrix feats =
+      features::DepthwiseFeatureExtractor::extract(probe_graph());
+  const linalg::Matrix dist =
+      clustering::power_distances_for(feats, {});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        clustering::build_power_view_from_distances(dist, {0.10, 3}));
+  }
+}
+BENCHMARK(BM_DbscanAndPostprocess);
+
+void BM_AnalyticLevelSweep(benchmark::State& state) {
+  const hw::Platform platform = hw::make_agx();
+  const dnn::Graph& g = probe_graph();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hw::optimal_gpu_level(
+        platform, g.layers(), platform.max_cpu_level()));
+  }
+}
+BENCHMARK(BM_AnalyticLevelSweep);
+
+void BM_SimEnginePass(benchmark::State& state) {
+  const hw::Platform platform = hw::make_agx();
+  hw::SimEngine engine(platform);
+  const dnn::Graph& g = probe_graph();
+  const hw::RunPolicy policy = engine.default_policy();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.run(g, 1, policy));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(g.size()));
+}
+BENCHMARK(BM_SimEnginePass);
+
+void BM_MlpInference(benchmark::State& state) {
+  nn::TwoStageMlpConfig cfg;
+  cfg.structural_dim = features::kStructuralDim;
+  cfg.statistics_dim = features::kStatisticsDim;
+  cfg.num_classes = 14;
+  cfg.seed = 3;
+  const nn::TwoStageMlp mlp(cfg);
+  const linalg::Matrix xs(1, features::kStructuralDim, 0.3);
+  const linalg::Matrix xt(1, features::kStatisticsDim, -0.2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mlp.predict(xs, xt));
+  }
+}
+BENCHMARK(BM_MlpInference);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,61 @@
+// Example: explore the simulated Jetson platforms.
+//
+// For each zoo model this prints the analytic time/power/energy-efficiency
+// sweep across the GPU frequency ladder, the EE-optimal level, and the
+// model's aggregate arithmetic intensity — the physics PowerLens exploits.
+//
+// Usage: platform_explorer [tx2|agx] [model_name]
+#include "dnn/models.hpp"
+#include "hw/analytic.hpp"
+
+#include <cstdio>
+#include <string>
+
+using namespace powerlens;
+
+namespace {
+
+void sweep_model(const hw::Platform& platform, const dnn::Graph& graph) {
+  const std::int64_t batch = graph.batch_size();
+  std::printf("\n%s on %s  (%zu layers, %.2f GFLOPs/img, %.1f M params)\n",
+              graph.name().c_str(), platform.name.c_str(), graph.size(),
+              static_cast<double>(graph.total_flops()) /
+                  (1e9 * static_cast<double>(batch)),
+              static_cast<double>(graph.total_params()) / 1e6);
+  std::printf("  %-6s %-10s %-10s %-10s %-12s\n", "level", "freq_MHz",
+              "t_pass_ms", "power_W", "EE_img_per_J");
+
+  const std::size_t cpu = platform.max_cpu_level();
+  const std::size_t best = hw::optimal_gpu_level(platform, graph.layers(), cpu);
+  for (std::size_t level = 0; level < platform.gpu_levels(); ++level) {
+    const hw::BlockCost c =
+        hw::analytic_block_cost(platform, graph.layers(), level, cpu);
+    const double ee = static_cast<double>(batch) / c.energy_j;
+    std::printf("  %-6zu %-10.1f %-10.2f %-10.2f %-12.3f%s\n", level,
+                platform.gpu_freq(level) / 1e6, c.time_s * 1e3,
+                c.avg_power_w(), ee, level == best ? "  <-- EE-optimal" : "");
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string which = argc > 1 ? argv[1] : "both";
+  const std::string model = argc > 2 ? argv[2] : "";
+
+  std::vector<hw::Platform> platforms;
+  if (which == "tx2" || which == "both") platforms.push_back(hw::make_tx2());
+  if (which == "agx" || which == "both") platforms.push_back(hw::make_agx());
+  if (platforms.empty()) {
+    std::fprintf(stderr, "usage: %s [tx2|agx|both] [model_name]\n", argv[0]);
+    return 1;
+  }
+
+  for (const hw::Platform& p : platforms) {
+    for (const dnn::ModelSpec& spec : dnn::model_zoo()) {
+      if (!model.empty() && model != spec.name) continue;
+      sweep_model(p, spec.build(/*batch=*/8));
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,156 @@
+// powerlens_cli: the framework as a command-line tool.
+//
+//   powerlens_cli train    <tx2|agx> <models.txt> [num_networks]
+//   powerlens_cli optimize <tx2|agx> <models.txt> <model> [batch]
+//   powerlens_cli profile  <tx2|agx> <model> [level] [batch]
+//   powerlens_cli run      <tx2|agx> <models.txt> <model> [passes] [batch]
+//   powerlens_cli models
+//
+// `train` runs the offline phase and persists the trained bundle;
+// `optimize` loads it and prints the instrumentation plan; `profile` dumps
+// the per-layer roofline profile; `run` simulates deployment against the
+// ondemand baseline.
+#include "baselines/ondemand.hpp"
+#include "core/metrics.hpp"
+#include "core/powerlens.hpp"
+#include "core/report.hpp"
+#include "dnn/models.hpp"
+#include "hw/sim_engine.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+using namespace powerlens;
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  powerlens_cli train    <tx2|agx> <models.txt> [networks]\n"
+               "  powerlens_cli optimize <tx2|agx> <models.txt> <model> "
+               "[batch]\n"
+               "  powerlens_cli profile  <tx2|agx> <model> [level] [batch]\n"
+               "  powerlens_cli run      <tx2|agx> <models.txt> <model> "
+               "[passes] [batch]\n"
+               "  powerlens_cli models\n");
+  return 2;
+}
+
+hw::Platform parse_platform(const std::string& name) {
+  if (name == "tx2") return hw::make_tx2();
+  if (name == "agx") return hw::make_agx();
+  throw std::invalid_argument("unknown platform '" + name +
+                              "' (expected tx2 or agx)");
+}
+
+int cmd_models() {
+  for (const dnn::ModelSpec& spec : dnn::model_zoo()) {
+    const dnn::Graph g = spec.build(1);
+    std::printf("%-16s %5zu layers  %8.2f GFLOPs/img  %7.1f M params\n",
+                spec.name.data(), g.size(),
+                static_cast<double>(g.total_flops()) / 1e9,
+                static_cast<double>(g.total_params()) / 1e6);
+  }
+  return 0;
+}
+
+int cmd_train(const hw::Platform& platform, const std::string& bundle,
+              std::size_t networks) {
+  core::PowerLensConfig cfg;
+  cfg.dataset.num_networks = networks;
+  core::PowerLens framework(platform, cfg);
+  std::printf("training on %zu generated networks ...\n", networks);
+  const core::TrainingSummary s = framework.train();
+  framework.save_models(bundle);
+  std::printf(
+      "saved %s: hyper acc %.1f%%, decision acc %.1f%% (level err %.2f)\n",
+      bundle.c_str(), 100.0 * s.hyper_model.test_accuracy,
+      100.0 * s.decision_model.test_accuracy,
+      s.decision_model.test_mean_level_error);
+  return 0;
+}
+
+int cmd_optimize(const hw::Platform& platform, const std::string& bundle,
+                 const std::string& model, std::int64_t batch) {
+  core::PowerLens framework(platform, {});
+  framework.load_models(bundle);
+  const dnn::Graph g = dnn::make_model(model, batch);
+  const core::OptimizationPlan plan = framework.optimize(g);
+  core::write_plan_summary(std::cout, g, platform, plan);
+  return 0;
+}
+
+int cmd_profile(const hw::Platform& platform, const std::string& model,
+                std::size_t level, std::int64_t batch) {
+  const dnn::Graph g = dnn::make_model(model, batch);
+  core::write_layer_profile(std::cout, g, platform, level);
+  return 0;
+}
+
+int cmd_run(const hw::Platform& platform, const std::string& bundle,
+            const std::string& model, int passes, std::int64_t batch) {
+  core::PowerLens framework(platform, {});
+  framework.load_models(bundle);
+  const dnn::Graph g = dnn::make_model(model, batch);
+  const core::OptimizationPlan plan = framework.optimize(g);
+
+  hw::SimEngine engine(platform);
+  baselines::OndemandGovernor bim;
+  hw::RunPolicy bim_policy = engine.default_policy();
+  bim_policy.governor = &bim;
+  const hw::ExecutionResult r_bim = engine.run(g, passes, bim_policy);
+
+  baselines::OndemandGovernor cpu_governor;
+  hw::RunPolicy pl_policy = engine.default_policy();
+  pl_policy.schedule = &plan.schedule;
+  pl_policy.governor = &cpu_governor;
+  const hw::ExecutionResult r_pl = engine.run(g, passes, pl_policy);
+
+  std::printf("%-10s %10s %10s %14s\n", "method", "time_s", "energy_J",
+              "EE_img_per_J");
+  std::printf("%-10s %10.2f %10.1f %14.3f\n", "ondemand", r_bim.time_s,
+              r_bim.energy_j, r_bim.energy_efficiency());
+  std::printf("%-10s %10.2f %10.1f %14.3f\n", "powerlens", r_pl.time_s,
+              r_pl.energy_j, r_pl.energy_efficiency());
+  std::printf("EE gain: %.1f%%\n", 100.0 * core::ee_gain(r_pl, r_bim));
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  try {
+    if (cmd == "models") return cmd_models();
+    if (cmd == "train" && argc >= 4) {
+      return cmd_train(parse_platform(argv[2]), argv[3],
+                       argc > 4 ? static_cast<std::size_t>(std::atoll(argv[4]))
+                                : 300);
+    }
+    if (cmd == "optimize" && argc >= 5) {
+      return cmd_optimize(parse_platform(argv[2]), argv[3], argv[4],
+                          argc > 5 ? std::atoll(argv[5]) : 8);
+    }
+    if (cmd == "profile" && argc >= 4) {
+      const hw::Platform p = parse_platform(argv[2]);
+      return cmd_profile(
+          p, argv[3],
+          argc > 4 ? static_cast<std::size_t>(std::atoll(argv[4]))
+                   : p.gpu_levels() / 2,
+          argc > 5 ? std::atoll(argv[5]) : 8);
+    }
+    if (cmd == "run" && argc >= 5) {
+      return cmd_run(parse_platform(argv[2]), argv[3], argv[4],
+                     argc > 5 ? std::atoi(argv[5]) : 30,
+                     argc > 6 ? std::atoll(argv[6]) : 8);
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return usage();
+}

@@ -1,0 +1,81 @@
+// Quickstart: train PowerLens for a platform, optimize one network, and
+// compare against the built-in ondemand governor.
+//
+//   $ quickstart [tx2|agx] [model_name] [batch]
+//
+// Walks the whole pipeline of the paper's Figure 2: offline dataset
+// generation + model training, then per-network optimization (feature
+// extraction -> hyperparameter prediction -> power behavior similarity
+// clustering -> per-block frequency decisions), and finally simulated
+// deployment with preset DVFS instrumentation points.
+#include "baselines/ondemand.hpp"
+#include "core/metrics.hpp"
+#include "core/powerlens.hpp"
+#include "dnn/models.hpp"
+#include "hw/sim_engine.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+using namespace powerlens;
+
+int main(int argc, char** argv) {
+  const std::string which = argc > 1 ? argv[1] : "agx";
+  const std::string model = argc > 2 ? argv[2] : "resnet152";
+  const std::int64_t batch = argc > 3 ? std::atoll(argv[3]) : 8;
+
+  const hw::Platform platform =
+      which == "tx2" ? hw::make_tx2() : hw::make_agx();
+  std::printf("Platform: %s (%zu GPU levels, %.0f-%.0f MHz)\n",
+              platform.name.c_str(), platform.gpu_levels(),
+              platform.gpu.freqs_hz.front() / 1e6,
+              platform.gpu.freqs_hz.back() / 1e6);
+
+  // 1. Offline phase: automated dataset generation and model training.
+  core::PowerLensConfig config;
+  config.dataset.num_networks = 300;
+  core::PowerLens framework(platform, config);
+  std::printf("Training prediction models ...\n");
+  const core::TrainingSummary summary = framework.train();
+  std::printf("  hyperparameter model accuracy: %.1f%%\n",
+              100.0 * summary.hyper_model.test_accuracy);
+  std::printf("  decision model accuracy:       %.1f%% (mean level error "
+              "%.2f)\n",
+              100.0 * summary.decision_model.test_accuracy,
+              summary.decision_model.test_mean_level_error);
+
+  // 2. Optimize the target network.
+  const dnn::Graph graph = dnn::make_model(model, batch);
+  const core::OptimizationPlan plan = framework.optimize(graph);
+  std::printf("\n%s: %zu layers -> power view %s\n", graph.name().c_str(),
+              graph.size(), plan.view.to_string().c_str());
+  for (std::size_t b = 0; b < plan.view.block_count(); ++b) {
+    std::printf("  block %zu: layers [%zu, %zu) -> %.0f MHz (level %zu)\n", b,
+                plan.view.blocks()[b].begin, plan.view.blocks()[b].end,
+                platform.gpu_freq(plan.block_levels[b]) / 1e6,
+                plan.block_levels[b]);
+  }
+
+  // 3. Deploy: preset instrumentation vs the ondemand baseline.
+  hw::SimEngine engine(platform);
+  baselines::OndemandGovernor bim;
+  hw::RunPolicy bim_policy = engine.default_policy();
+  bim_policy.governor = &bim;
+  const hw::ExecutionResult r_bim = engine.run(graph, 50, bim_policy);
+
+  baselines::OndemandGovernor cpu_governor;
+  hw::RunPolicy pl_policy = engine.default_policy();
+  pl_policy.schedule = &plan.schedule;
+  pl_policy.governor = &cpu_governor;
+  const hw::ExecutionResult r_pl = engine.run(graph, 50, pl_policy);
+
+  std::printf("\n50 passes x batch %lld:\n", static_cast<long long>(batch));
+  std::printf("  ondemand : %.2f s, %.1f J, EE %.3f img/J\n", r_bim.time_s,
+              r_bim.energy_j, r_bim.energy_efficiency());
+  std::printf("  PowerLens: %.2f s, %.1f J, EE %.3f img/J\n", r_pl.time_s,
+              r_pl.energy_j, r_pl.energy_efficiency());
+  std::printf("  energy efficiency gain: %.1f%%\n",
+              100.0 * core::ee_gain(r_pl, r_bim));
+  return 0;
+}

@@ -1,0 +1,84 @@
+#include "baselines/fpg.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace powerlens::baselines {
+
+FpgGovernor::FpgGovernor(FpgMode mode, FpgConfig config)
+    : mode_(mode),
+      config_(config),
+      cpu_fallback_(OndemandConfig{config.sample_period_s, 0.80, 0.10, true}) {
+  if (config_.sample_period_s <= 0.0) {
+    throw std::invalid_argument("FpgGovernor: bad sample period");
+  }
+}
+
+void FpgGovernor::reset(const hw::Platform& platform) {
+  platform_ = &platform;
+  cpu_fallback_.reset(platform);
+  prev_score_ = -1.0;
+  smoothed_score_ = -1.0;
+  direction_ = -1;
+}
+
+hw::GovernorDecision FpgGovernor::on_sample(const hw::GovernorSample& sample) {
+  if (platform_ == nullptr) {
+    throw std::logic_error("FpgGovernor: on_sample before reset");
+  }
+  hw::GovernorDecision d;
+
+  const std::size_t max_level = platform_->max_gpu_level();
+  const double freq = platform_->gpu_freq(sample.gpu_level);
+  // Useful compute rate over the window (ALU activity x clock); the floor
+  // keeps idle windows from producing infinite scores.
+  const double rate = std::max(sample.gpu_compute_util, 0.05) * freq;
+  // Energy per unit of useful work; minimizing it steers toward the
+  // energy-efficiency optimum (the cited governor optimizes a blend of
+  // power, performance, and EDP — energy/work is that blend's fixed point).
+  const double raw_score = sample.power_w / rate;
+  const double score =
+      smoothed_score_ < 0.0
+          ? raw_score
+          : config_.score_ema * raw_score +
+                (1.0 - config_.score_ema) * smoothed_score_;
+  smoothed_score_ = score;
+
+  std::size_t gpu = sample.gpu_level;
+  if (sample.gpu_compute_util > config_.util_high && gpu < max_level) {
+    ++gpu;               // performance guard: ALUs saturated
+    direction_ = +1;
+  } else if (sample.gpu_compute_util < config_.util_low && gpu > 0) {
+    --gpu;               // power guard: mostly stalled on memory
+    direction_ = -1;
+  } else {
+    // Perturb and observe on the EDP proxy.
+    if (prev_score_ >= 0.0 && score > prev_score_) direction_ = -direction_;
+    const std::ptrdiff_t next =
+        static_cast<std::ptrdiff_t>(gpu) + direction_;
+    gpu = static_cast<std::size_t>(
+        std::clamp<std::ptrdiff_t>(next, 0,
+                                   static_cast<std::ptrdiff_t>(max_level)));
+  }
+  prev_score_ = score;
+  if (gpu != sample.gpu_level) d.gpu_level = gpu;
+
+  if (mode_ == FpgMode::kCpuGpu) {
+    // Trade CPU frequency down until the launcher thread is ~90% busy; the
+    // GPU-bound pipeline tolerates it and the CPU rail power drops.
+    std::size_t cpu = sample.cpu_level;
+    if (sample.cpu_util > config_.cpu_util_high &&
+        cpu < platform_->max_cpu_level()) {
+      ++cpu;
+    } else if (sample.cpu_util < config_.cpu_util_low && cpu > 0) {
+      --cpu;
+    }
+    if (cpu != sample.cpu_level) d.cpu_level = cpu;
+  } else {
+    const hw::GovernorDecision od = cpu_fallback_.on_sample(sample);
+    d.cpu_level = od.cpu_level;
+  }
+  return d;
+}
+
+}  // namespace powerlens::baselines

@@ -1,0 +1,69 @@
+// FPG: the heuristic integrated CPU-GPU DVFS governor of Karzhaubayeva et
+// al. (paper baseline #2/#3, cited as [5]).
+//
+// Reimplemented from the cited description: the governor "dynamically adjusts
+// the CPU and GPU frequencies during runtime based on performance, power,
+// energy delay product, and CPU/GPU utilization". Concretely this is a
+// perturb-and-observe hill climb on an EDP proxy:
+//   - each window computes score = power / (useful compute rate)^2, an
+//     energy-delay-product-per-work estimate that is smooth across windows;
+//   - the governor steps one level in its current direction; if the score
+//     worsened it reverses. Utilization guards bound the search: near-full
+//     utilization forces an up-step (performance), very low utilization
+//     forces a down-step (power).
+// The oscillation around the optimum that this produces is the ping-pong
+// behaviour the paper contrasts with preset instrumentation.
+//
+// FPG-C+G (kCpuGpu) hill-climbs the CPU ladder the same way on CPU
+// utilization bands; FPG-G (kGpuOnly) keeps the CPU under ondemand, exactly
+// as the paper describes the variant.
+#pragma once
+
+#include "baselines/ondemand.hpp"
+#include "hw/governor.hpp"
+
+namespace powerlens::baselines {
+
+enum class FpgMode { kGpuOnly, kCpuGpu };
+
+struct FpgConfig {
+  // Long windows + smoothing: a short window sees a different layer mix
+  // every sample, turning the hill climb into a random walk. The cost of the
+  // long window is response lag — the pathology the paper ascribes to
+  // reactive governors.
+  double sample_period_s = 0.25;
+  double score_ema = 0.5;   // weight of the newest score in the EMA
+  // Guard band: outside it utilization overrides the hill climb. Kept wide —
+  // compute duty naturally rises as the clock falls, and a tight band would
+  // fight the EDP search the way early governor prototypes did.
+  double util_high = 0.98;  // force up-step above this
+  double util_low = 0.20;   // force down-step below this
+  double cpu_util_high = 0.90;  // launcher-thread busy fraction band
+  double cpu_util_low = 0.75;
+};
+
+class FpgGovernor final : public hw::Governor {
+ public:
+  explicit FpgGovernor(FpgMode mode, FpgConfig config = {});
+
+  void reset(const hw::Platform& platform) override;
+  double sample_period_s() const noexcept override {
+    return config_.sample_period_s;
+  }
+  hw::GovernorDecision on_sample(const hw::GovernorSample& sample) override;
+  std::string_view name() const noexcept override {
+    return mode_ == FpgMode::kGpuOnly ? "fpg-g" : "fpg-c+g";
+  }
+
+ private:
+  FpgMode mode_;
+  FpgConfig config_;
+  const hw::Platform* platform_ = nullptr;
+  OndemandGovernor cpu_fallback_;  // drives the CPU in kGpuOnly mode
+
+  double prev_score_ = -1.0;
+  double smoothed_score_ = -1.0;
+  int direction_ = -1;  // start probing downward from MAXN
+};
+
+}  // namespace powerlens::baselines

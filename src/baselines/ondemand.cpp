@@ -1,0 +1,56 @@
+#include "baselines/ondemand.hpp"
+
+#include <stdexcept>
+
+namespace powerlens::baselines {
+
+OndemandGovernor::OndemandGovernor(OndemandConfig config) : config_(config) {
+  if (config_.sample_period_s <= 0.0 || config_.up_threshold <= 0.0 ||
+      config_.up_threshold > 1.0) {
+    throw std::invalid_argument("OndemandGovernor: bad configuration");
+  }
+}
+
+void OndemandGovernor::reset(const hw::Platform& platform) {
+  platform_ = &platform;
+}
+
+std::size_t OndemandGovernor::level_for(const std::vector<double>& ladder,
+                                        double target_hz) {
+  for (std::size_t i = 0; i < ladder.size(); ++i) {
+    if (ladder[i] >= target_hz) return i;
+  }
+  return ladder.size() - 1;
+}
+
+std::size_t OndemandGovernor::decide(const std::vector<double>& ladder,
+                                     std::size_t level, double util) const {
+  if (util > config_.up_threshold) {
+    return ladder.size() - 1;  // the signature ondemand jump-to-max
+  }
+  // Scale down so the load would sit just under the threshold, with the
+  // down_differential guard against flapping.
+  const double target = ladder[level] * util /
+                        (config_.up_threshold - config_.down_differential);
+  const std::size_t down = level_for(ladder, target);
+  return down < level ? down : level;
+}
+
+hw::GovernorDecision OndemandGovernor::on_sample(
+    const hw::GovernorSample& sample) {
+  if (platform_ == nullptr) {
+    throw std::logic_error("OndemandGovernor: on_sample before reset");
+  }
+  hw::GovernorDecision d;
+  const std::size_t gpu =
+      decide(platform_->gpu.freqs_hz, sample.gpu_level, sample.gpu_util);
+  if (gpu != sample.gpu_level) d.gpu_level = gpu;
+  if (config_.manage_cpu) {
+    const std::size_t cpu =
+        decide(platform_->cpu.freqs_hz, sample.cpu_level, sample.cpu_util);
+    if (cpu != sample.cpu_level) d.cpu_level = cpu;
+  }
+  return d;
+}
+
+}  // namespace powerlens::baselines

@@ -1,0 +1,46 @@
+// BiM: the built-in ondemand governor (paper baseline #1).
+//
+// Classic Linux-ondemand semantics, applied to the GPU ladder the way
+// Jetson's nvhost podgov does and to the CPU ladder the way cpufreq does:
+// when the sampled utilization exceeds up_threshold, jump straight to the
+// maximum level; otherwise scale the frequency down proportionally to the
+// observed load. Purely history-driven — the lag and ping-pong of Figure
+// 1(A) fall out of these rules on block transitions.
+#pragma once
+
+#include "hw/governor.hpp"
+
+namespace powerlens::baselines {
+
+struct OndemandConfig {
+  double sample_period_s = 0.06;
+  double up_threshold = 0.80;
+  // Hysteresis: only scale down if utilization is below
+  // up_threshold - down_differential at the *scaled-down* frequency.
+  double down_differential = 0.10;
+  bool manage_cpu = true;
+};
+
+class OndemandGovernor final : public hw::Governor {
+ public:
+  explicit OndemandGovernor(OndemandConfig config = {});
+
+  void reset(const hw::Platform& platform) override;
+  double sample_period_s() const noexcept override {
+    return config_.sample_period_s;
+  }
+  hw::GovernorDecision on_sample(const hw::GovernorSample& sample) override;
+  std::string_view name() const noexcept override { return "ondemand"; }
+
+ private:
+  // Lowest ladder level whose frequency is >= target_hz.
+  static std::size_t level_for(const std::vector<double>& ladder,
+                               double target_hz);
+  std::size_t decide(const std::vector<double>& ladder, std::size_t level,
+                     double util) const;
+
+  OndemandConfig config_;
+  const hw::Platform* platform_ = nullptr;
+};
+
+}  // namespace powerlens::baselines

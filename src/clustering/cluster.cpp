@@ -1,0 +1,35 @@
+#include "clustering/cluster.hpp"
+
+#include "features/depthwise.hpp"
+#include "linalg/stats.hpp"
+
+namespace powerlens::clustering {
+
+PowerView build_power_view(const dnn::Graph& graph,
+                           const ClusteringConfig& config) {
+  return build_power_view(
+      features::DepthwiseFeatureExtractor::extract(graph), config);
+}
+
+PowerView build_power_view(const linalg::Matrix& depthwise_features,
+                           const ClusteringConfig& config) {
+  const linalg::Matrix dist =
+      power_distances_for(depthwise_features, config.distance);
+  return build_power_view_from_distances(dist, config.hyper);
+}
+
+linalg::Matrix power_distances_for(const linalg::Matrix& depthwise_features,
+                                   const DistanceParams& params) {
+  linalg::StandardScaler scaler;
+  const linalg::Matrix scaled = scaler.fit_transform(depthwise_features);
+  return power_distance_matrix(scaled, params);
+}
+
+PowerView build_power_view_from_distances(
+    const linalg::Matrix& distances, const ClusteringHyperparams& hyper) {
+  const std::vector<int> labels = dbscan(distances, {hyper.eps, hyper.min_pts});
+  return process_clusters(labels, distances,
+                          {.min_block_layers = hyper.min_pts});
+}
+
+}  // namespace powerlens::clustering

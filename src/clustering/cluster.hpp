@@ -1,0 +1,51 @@
+// End-to-end power behavior similarity clustering (Algorithm 1).
+//
+// Chains: z-score scaling of the depthwise feature table -> regularized
+// Mahalanobis power-distance matrix -> DBSCAN -> contiguity post-processing
+// -> PowerView.
+#pragma once
+
+#include "clustering/dbscan.hpp"
+#include "clustering/distance.hpp"
+#include "clustering/postprocess.hpp"
+#include "clustering/power_view.hpp"
+#include "dnn/graph.hpp"
+
+namespace powerlens::clustering {
+
+// The hyperparameters the clustering-hyperparameter prediction model chooses
+// per network (paper Figure 3): DBSCAN's neighborhood radius and minimum
+// operator count.
+struct ClusteringHyperparams {
+  double eps = 0.2;
+  std::size_t min_pts = 3;
+
+  bool operator==(const ClusteringHyperparams&) const noexcept = default;
+};
+
+struct ClusteringConfig {
+  ClusteringHyperparams hyper;
+  DistanceParams distance;  // alpha, lambda, metric
+};
+
+// Runs Algorithm 1 on a graph: extracts + scales depthwise features, builds
+// the power-distance matrix, clusters, and post-processes into a PowerView.
+PowerView build_power_view(const dnn::Graph& graph,
+                           const ClusteringConfig& config);
+
+// Variant taking a pre-extracted *unscaled* depthwise feature table (row i ==
+// layer i); used by the dataset generator to avoid re-extraction in sweeps.
+PowerView build_power_view(const linalg::Matrix& depthwise_features,
+                           const ClusteringConfig& config);
+
+// Scaled features -> power-distance matrix (Algorithm 1 lines 2-12). Compute
+// once per network, then sweep hyperparameters cheaply with the overload
+// below — the distance matrix does not depend on eps/minPts.
+linalg::Matrix power_distances_for(const linalg::Matrix& depthwise_features,
+                                   const DistanceParams& params);
+
+// DBSCAN + post-processing on a precomputed power-distance matrix.
+PowerView build_power_view_from_distances(const linalg::Matrix& distances,
+                                          const ClusteringHyperparams& hyper);
+
+}  // namespace powerlens::clustering

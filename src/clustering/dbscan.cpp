@@ -1,0 +1,55 @@
+#include "clustering/dbscan.hpp"
+
+#include <deque>
+#include <stdexcept>
+
+namespace powerlens::clustering {
+
+std::vector<int> dbscan(const linalg::Matrix& distances,
+                        const DbscanParams& params) {
+  if (!distances.square() || distances.rows() == 0) {
+    throw std::invalid_argument("dbscan: distance matrix must be square");
+  }
+  if (params.eps <= 0.0 || params.min_pts == 0) {
+    throw std::invalid_argument("dbscan: eps must be > 0 and min_pts >= 1");
+  }
+  const std::size_t n = distances.rows();
+
+  auto neighbors = [&](std::size_t i) {
+    std::vector<std::size_t> out;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (distances(i, j) <= params.eps) out.push_back(j);  // includes i
+    }
+    return out;
+  };
+
+  constexpr int kUnvisited = -2;
+  std::vector<int> labels(n, kUnvisited);
+  int next_cluster = 0;
+
+  for (std::size_t i = 0; i < n; ++i) {
+    if (labels[i] != kUnvisited) continue;
+    std::vector<std::size_t> nbrs = neighbors(i);
+    if (nbrs.size() < params.min_pts) {
+      labels[i] = kNoise;
+      continue;
+    }
+    const int cluster = next_cluster++;
+    labels[i] = cluster;
+    std::deque<std::size_t> frontier(nbrs.begin(), nbrs.end());
+    while (!frontier.empty()) {
+      const std::size_t q = frontier.front();
+      frontier.pop_front();
+      if (labels[q] == kNoise) labels[q] = cluster;  // border point
+      if (labels[q] != kUnvisited) continue;
+      labels[q] = cluster;
+      const std::vector<std::size_t> q_nbrs = neighbors(q);
+      if (q_nbrs.size() >= params.min_pts) {
+        frontier.insert(frontier.end(), q_nbrs.begin(), q_nbrs.end());
+      }
+    }
+  }
+  return labels;
+}
+
+}  // namespace powerlens::clustering

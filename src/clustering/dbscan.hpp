@@ -1,0 +1,25 @@
+// DBSCAN over a precomputed distance matrix (Algorithm 1, line 13).
+#pragma once
+
+#include "linalg/matrix.hpp"
+
+#include <cstddef>
+#include <vector>
+
+namespace powerlens::clustering {
+
+inline constexpr int kNoise = -1;
+
+struct DbscanParams {
+  double eps = 0.2;          // neighborhood radius in the power-distance space
+  std::size_t min_pts = 3;   // least number of operators per cluster
+};
+
+// Returns one label per row of `distances`: 0..k-1 for cluster membership,
+// kNoise for noise points. The distance matrix must be square and symmetric.
+// Throws std::invalid_argument on a malformed matrix or eps <= 0 /
+// min_pts == 0.
+std::vector<int> dbscan(const linalg::Matrix& distances,
+                        const DbscanParams& params);
+
+}  // namespace powerlens::clustering

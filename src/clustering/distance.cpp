@@ -1,0 +1,110 @@
+#include "clustering/distance.hpp"
+
+#include "linalg/eigen.hpp"
+#include "linalg/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace powerlens::clustering {
+
+linalg::Matrix mahalanobis_distances(const linalg::Matrix& x) {
+  const std::size_t n = x.rows();
+  const std::size_t d = x.cols();
+  if (n == 0 || d == 0) {
+    throw std::invalid_argument("mahalanobis_distances: empty feature table");
+  }
+  const linalg::Matrix cov = linalg::covariance(x);
+  const linalg::Matrix p = linalg::pseudo_inverse_spd(cov);
+
+  linalg::Matrix dist(n, n);
+  std::vector<double> diff(d);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      for (std::size_t k = 0; k < d; ++k) diff[k] = x(i, k) - x(j, k);
+      // d^2 = diff^T P diff
+      double acc = 0.0;
+      for (std::size_t r = 0; r < d; ++r) {
+        if (diff[r] == 0.0) continue;
+        double row = 0.0;
+        for (std::size_t c = 0; c < d; ++c) row += p(r, c) * diff[c];
+        acc += diff[r] * row;
+      }
+      const double dd = std::sqrt(std::max(acc, 0.0));
+      dist(i, j) = dd;
+      dist(j, i) = dd;
+    }
+  }
+  return dist;
+}
+
+linalg::Matrix euclidean_distances(const linalg::Matrix& x) {
+  const std::size_t n = x.rows();
+  if (n == 0 || x.cols() == 0) {
+    throw std::invalid_argument("euclidean_distances: empty feature table");
+  }
+  linalg::Matrix dist(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      double acc = 0.0;
+      for (std::size_t k = 0; k < x.cols(); ++k) {
+        const double d = x(i, k) - x(j, k);
+        acc += d * d;
+      }
+      const double dd = std::sqrt(acc);
+      dist(i, j) = dd;
+      dist(j, i) = dd;
+    }
+  }
+  return dist;
+}
+
+linalg::Matrix spacing_penalty(std::size_t n, double lambda) {
+  if (n == 0 || lambda < 0.0) {
+    throw std::invalid_argument("spacing_penalty: bad arguments");
+  }
+  linalg::Matrix r(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const double v =
+          1.0 - std::exp(-lambda * static_cast<double>(j - i));
+      r(i, j) = v;
+      r(j, i) = v;
+    }
+  }
+  return r;
+}
+
+linalg::Matrix power_distance_matrix(const linalg::Matrix& scaled_features,
+                                     const DistanceParams& params) {
+  if (params.alpha < 0.0 || params.alpha > 1.0) {
+    throw std::invalid_argument("power_distance_matrix: alpha outside [0,1]");
+  }
+  linalg::Matrix feat =
+      params.metric == FeatureMetric::kMahalanobis
+          ? mahalanobis_distances(scaled_features)
+          : euclidean_distances(scaled_features);
+
+  // Normalize the feature distance to [0, 1] so alpha weighs two
+  // commensurate terms regardless of feature dimensionality.
+  double max_d = 0.0;
+  for (std::size_t i = 0; i < feat.rows(); ++i) {
+    for (std::size_t j = 0; j < feat.cols(); ++j) {
+      max_d = std::max(max_d, feat(i, j));
+    }
+  }
+  if (max_d > 0.0) feat *= 1.0 / max_d;
+
+  const linalg::Matrix r = spacing_penalty(feat.rows(), params.lambda);
+  linalg::Matrix out(feat.rows(), feat.cols());
+  for (std::size_t i = 0; i < feat.rows(); ++i) {
+    for (std::size_t j = 0; j < feat.cols(); ++j) {
+      out(i, j) = params.alpha * feat(i, j) + (1.0 - params.alpha) * r(i, j);
+    }
+  }
+  return out;
+}
+
+}  // namespace powerlens::clustering

@@ -1,0 +1,52 @@
+// Power-behavior distance computation (Algorithm 1, lines 2-12).
+//
+// The "power distance" between two operators combines:
+//   - the Mahalanobis distance between their scaled depthwise feature
+//     vectors, using the pseudo-inverse of the feature covariance (scale-free
+//     across heterogeneous feature dimensions), and
+//   - an operator-spacing regularization exp(-lambda * |i - j|) that keeps
+//     physically distant operators from clustering merely because their
+//     features look alike.
+//
+// NOTE on the regularization sign: Algorithm 1 writes
+//   D_final = alpha * D + (1 - alpha) * R,  R = exp(-lambda |i-j|),
+// but R as written *shrinks* the distance between far-apart operators,
+// the opposite of the stated intent ("only physically adjacent operators
+// are considered"). We therefore use the spacing *penalty*
+//   R' = 1 - exp(-lambda |i-j|),
+// which is zero for an operator and itself, grows with |i-j|, and matches
+// the paper's described behaviour. DESIGN.md records this correction.
+#pragma once
+
+#include "linalg/matrix.hpp"
+
+namespace powerlens::clustering {
+
+enum class FeatureMetric {
+  kMahalanobis,  // the paper's choice
+  kEuclidean,    // ablation comparator
+};
+
+struct DistanceParams {
+  double alpha = 0.7;    // weight of the feature distance vs spacing penalty
+  double lambda = 0.15;  // spacing decay rate
+  FeatureMetric metric = FeatureMetric::kMahalanobis;
+};
+
+// Pairwise Mahalanobis distances between rows of the scaled feature table X
+// (layers x features), using pinv(cov(X)). Symmetric, zero diagonal.
+linalg::Matrix mahalanobis_distances(const linalg::Matrix& x);
+
+// Pairwise Euclidean distances between rows (ablation baseline).
+linalg::Matrix euclidean_distances(const linalg::Matrix& x);
+
+// Spacing penalty matrix R'[i,j] = 1 - exp(-lambda * |i - j|).
+linalg::Matrix spacing_penalty(std::size_t n, double lambda);
+
+// Final power distance: alpha * feature_distance (normalized to [0, 1] by
+// its max) + (1 - alpha) * spacing penalty. Throws std::invalid_argument on
+// an empty table or alpha outside [0, 1].
+linalg::Matrix power_distance_matrix(const linalg::Matrix& scaled_features,
+                                     const DistanceParams& params);
+
+}  // namespace powerlens::clustering

@@ -1,0 +1,95 @@
+#include "clustering/postprocess.hpp"
+
+#include "clustering/dbscan.hpp"
+
+#include <stdexcept>
+
+namespace powerlens::clustering {
+
+namespace {
+
+struct Run {
+  std::size_t begin;
+  std::size_t end;
+  int label;
+  std::size_t size() const noexcept { return end - begin; }
+};
+
+// Mean pairwise distance between the layers of two runs.
+double run_distance(const Run& a, const Run& b,
+                    const linalg::Matrix& distances) {
+  double sum = 0.0;
+  std::size_t count = 0;
+  for (std::size_t i = a.begin; i < a.end; ++i) {
+    for (std::size_t j = b.begin; j < b.end; ++j) {
+      sum += distances(i, j);
+      ++count;
+    }
+  }
+  return count > 0 ? sum / static_cast<double>(count) : 0.0;
+}
+
+}  // namespace
+
+PowerView process_clusters(const std::vector<int>& labels,
+                           const linalg::Matrix& distances,
+                           const PostprocessParams& params) {
+  const std::size_t n = labels.size();
+  if (n == 0) throw std::invalid_argument("process_clusters: no labels");
+  if (distances.rows() != n || distances.cols() != n) {
+    throw std::invalid_argument(
+        "process_clusters: distance matrix does not match label count");
+  }
+
+  // 1. Contiguity: split the label sequence into maximal equal-label runs.
+  std::vector<Run> runs;
+  std::size_t start = 0;
+  for (std::size_t i = 1; i <= n; ++i) {
+    if (i == n || labels[i] != labels[start]) {
+      runs.push_back({start, i, labels[start]});
+      start = i;
+    }
+  }
+
+  // 2 + 3. Iteratively merge noise runs and undersized runs into the
+  // neighbouring run with the closer mean power distance. Repeats until
+  // stable because a merge can push a neighbor above/below the threshold.
+  auto needs_merge = [&](const Run& r) {
+    return (r.label == kNoise || r.size() < params.min_block_layers) &&
+           runs.size() > 1;
+  };
+  bool changed = true;
+  while (changed && runs.size() > 1) {
+    changed = false;
+    for (std::size_t i = 0; i < runs.size(); ++i) {
+      if (!needs_merge(runs[i])) continue;
+      std::size_t target;
+      if (i == 0) {
+        target = 1;
+      } else if (i + 1 == runs.size()) {
+        target = i - 1;
+      } else {
+        target = run_distance(runs[i], runs[i - 1], distances) <=
+                         run_distance(runs[i], runs[i + 1], distances)
+                     ? i - 1
+                     : i + 1;
+      }
+      const std::size_t lo = target < i ? target : i;
+      const std::size_t hi = target < i ? i : target;
+      runs[lo].end = runs[hi].end;
+      // Keep the absorbing run's label unless it was itself noise.
+      if (runs[lo].label == kNoise) runs[lo].label = runs[hi].label;
+      runs.erase(runs.begin() + static_cast<std::ptrdiff_t>(hi));
+      changed = true;
+      break;
+    }
+  }
+
+  // A fully-noise network collapses to one block spanning everything.
+  std::vector<PowerBlock> blocks;
+  blocks.reserve(runs.size());
+  for (const Run& r : runs) blocks.push_back({r.begin, r.end});
+  return PowerView(std::move(blocks), n);
+}
+
+}  // namespace powerlens::clustering

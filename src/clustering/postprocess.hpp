@@ -1,0 +1,33 @@
+// Cluster post-processing (Algorithm 1, line 14: processClusters).
+//
+// DBSCAN labels need three repairs before they form a usable power view
+// (paper section 2.1.3, "post-processing of clustering results"):
+//   1. contiguity — a cluster whose members are split by other labels becomes
+//      several blocks (the view is a partition of execution order);
+//   2. noise handling — isolated points are absorbed into an adjacent block;
+//   3. size/shape adjustment — blocks shorter than min_block_layers are
+//      merged into the neighbouring block with the closer power behaviour,
+//      since a DVFS switch cannot amortize over a tiny block.
+#pragma once
+
+#include "clustering/power_view.hpp"
+#include "linalg/matrix.hpp"
+
+#include <cstddef>
+#include <vector>
+
+namespace powerlens::clustering {
+
+struct PostprocessParams {
+  // Minimum layers per final block; blocks below this merge into a neighbor.
+  std::size_t min_block_layers = 3;
+};
+
+// Converts per-layer DBSCAN labels into a contiguous, covering PowerView.
+// `distances` is the power-distance matrix used for the closer-neighbor
+// merge rule (pass the same matrix given to dbscan()).
+PowerView process_clusters(const std::vector<int>& labels,
+                           const linalg::Matrix& distances,
+                           const PostprocessParams& params);
+
+}  // namespace powerlens::clustering

@@ -1,0 +1,50 @@
+// Power view: the logical intermediate representation produced by power
+// behavior similarity clustering (paper section 2.1.3).
+//
+// A power view partitions the network's execution order into contiguous,
+// non-overlapping power blocks covering every layer. Each block is the unit
+// of DVFS instrumentation: one preset point before the block, one target
+// frequency for the whole block.
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace powerlens::clustering {
+
+struct PowerBlock {
+  std::size_t begin = 0;  // first layer index (inclusive)
+  std::size_t end = 0;    // past-the-end layer index
+
+  std::size_t size() const noexcept { return end - begin; }
+  bool contains(std::size_t layer) const noexcept {
+    return layer >= begin && layer < end;
+  }
+  bool operator==(const PowerBlock&) const noexcept = default;
+};
+
+class PowerView {
+ public:
+  PowerView() = default;
+
+  // Throws std::invalid_argument unless blocks are non-empty, sorted,
+  // non-overlapping, and exactly cover [0, num_layers).
+  PowerView(std::vector<PowerBlock> blocks, std::size_t num_layers);
+
+  const std::vector<PowerBlock>& blocks() const noexcept { return blocks_; }
+  std::size_t block_count() const noexcept { return blocks_.size(); }
+  std::size_t num_layers() const noexcept { return num_layers_; }
+
+  // Index of the block containing `layer`. Throws std::out_of_range.
+  std::size_t block_of(std::size_t layer) const;
+
+  std::string to_string() const;
+
+ private:
+  std::vector<PowerBlock> blocks_;
+  std::size_t num_layers_ = 0;
+};
+
+}  // namespace powerlens::clustering

@@ -1,0 +1,39 @@
+#include "core/ablation.hpp"
+
+#include <algorithm>
+#include <random>
+#include <set>
+#include <stdexcept>
+
+namespace powerlens::core {
+
+clustering::PowerView random_power_view(std::size_t num_layers,
+                                        std::size_t num_blocks,
+                                        std::uint64_t seed) {
+  if (num_blocks == 0 || num_blocks > num_layers) {
+    throw std::invalid_argument("random_power_view: bad block count");
+  }
+  std::mt19937_64 rng(seed);
+  // Draw num_blocks - 1 distinct cut points in (0, num_layers).
+  std::set<std::size_t> cuts;
+  std::uniform_int_distribution<std::size_t> dist(1, num_layers - 1);
+  while (cuts.size() < num_blocks - 1) cuts.insert(dist(rng));
+
+  std::vector<clustering::PowerBlock> blocks;
+  std::size_t begin = 0;
+  for (std::size_t cut : cuts) {
+    blocks.push_back({begin, cut});
+    begin = cut;
+  }
+  blocks.push_back({begin, num_layers});
+  return clustering::PowerView(std::move(blocks), num_layers);
+}
+
+clustering::PowerView single_block_view(std::size_t num_layers) {
+  if (num_layers == 0) {
+    throw std::invalid_argument("single_block_view: empty network");
+  }
+  return clustering::PowerView({{0, num_layers}}, num_layers);
+}
+
+}  // namespace powerlens::core

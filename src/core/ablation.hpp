@@ -1,0 +1,29 @@
+// Ablation partitioners for Table 2 (paper section 3.2.3).
+//
+//   P-R: "the clustering algorithm is replaced with random block
+//        partitioning" — same block count as the PowerLens view, boundaries
+//        drawn uniformly at random over the layer axis.
+//   P-N: "does not use any clustering algorithm and directly makes frequency
+//        decisions for the entire DNN" — a single block spanning the network.
+// Frequency decisions then run through exactly the same decision path as
+// PowerLens (PowerLens::plan_for_view), isolating the clustering
+// contribution.
+#pragma once
+
+#include "clustering/power_view.hpp"
+
+#include <cstdint>
+
+namespace powerlens::core {
+
+// Random contiguous partition of [0, num_layers) into `num_blocks` blocks.
+// Deterministic in `seed`. Throws std::invalid_argument if num_blocks is 0
+// or exceeds num_layers.
+clustering::PowerView random_power_view(std::size_t num_layers,
+                                        std::size_t num_blocks,
+                                        std::uint64_t seed);
+
+// The whole network as one block.
+clustering::PowerView single_block_view(std::size_t num_layers);
+
+}  // namespace powerlens::core

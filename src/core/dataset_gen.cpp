@@ -1,0 +1,237 @@
+#include "core/dataset_gen.hpp"
+
+#include "features/depthwise.hpp"
+#include "features/global.hpp"
+#include "hw/analytic.hpp"
+#include "hw/power_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace powerlens::core {
+
+clustering::ClusteringHyperparams HyperparamGrid::at(std::size_t index) const {
+  if (index >= size()) {
+    throw std::out_of_range("HyperparamGrid::at: index out of range");
+  }
+  const std::size_t ei = index / min_pts_values.size();
+  const std::size_t mi = index % min_pts_values.size();
+  return {eps_values[ei], min_pts_values[mi]};
+}
+
+std::size_t HyperparamGrid::index_of(
+    const clustering::ClusteringHyperparams& hp) const {
+  for (std::size_t i = 0; i < size(); ++i) {
+    if (at(i) == hp) return i;
+  }
+  throw std::invalid_argument("HyperparamGrid::index_of: not a grid point");
+}
+
+double feasible_block_duration(const dnn::Graph& graph,
+                               const hw::Platform& platform) {
+  const double switch_floor =
+      1.5 * (platform.dvfs.latency_s + platform.dvfs.stall_s);
+  const double pass_time =
+      analytic_block_cost(platform, graph.layers(),
+                          platform.gpu_levels() / 2,
+                          platform.max_cpu_level())
+          .time_s;
+  return std::max(switch_floor, pass_time / 10.0);
+}
+
+clustering::PowerView enforce_min_block_duration(
+    const dnn::Graph& graph, const clustering::PowerView& view,
+    const hw::Platform& platform, double min_duration_s) {
+  if (view.num_layers() != graph.size()) {
+    throw std::invalid_argument(
+        "enforce_min_block_duration: view does not match graph");
+  }
+  const std::size_t mid_level = platform.gpu_levels() / 2;
+  const std::size_t cpu = platform.max_cpu_level();
+
+  std::vector<clustering::PowerBlock> blocks(view.blocks());
+  auto duration = [&](const clustering::PowerBlock& b) {
+    return analytic_block_cost(platform,
+                               graph.layers().subspan(b.begin, b.size()),
+                               mid_level, cpu)
+        .time_s;
+  };
+  bool changed = true;
+  while (changed && blocks.size() > 1) {
+    changed = false;
+    for (std::size_t i = 0; i < blocks.size(); ++i) {
+      if (duration(blocks[i]) >= min_duration_s) continue;
+      const std::size_t target = i == 0 ? 1 : i - 1;
+      const std::size_t lo = std::min(i, target);
+      blocks[lo].end = blocks[std::max(i, target)].end;
+      blocks.erase(blocks.begin() + static_cast<std::ptrdiff_t>(lo) + 1);
+      changed = true;
+      break;
+    }
+  }
+  return clustering::PowerView(std::move(blocks), graph.size());
+}
+
+ViewEvaluation evaluate_view_oracle(const dnn::Graph& graph,
+                                    const clustering::PowerView& view,
+                                    const hw::Platform& platform,
+                                    std::size_t cpu_level) {
+  if (view.num_layers() != graph.size()) {
+    throw std::invalid_argument(
+        "evaluate_view_oracle: view does not match graph");
+  }
+  ViewEvaluation ev;
+  const hw::PowerModel power(platform);
+  std::size_t prev_level = platform.max_gpu_level();  // MAXN start
+  bool first = true;
+
+  for (const clustering::PowerBlock& b : view.blocks()) {
+    const auto layers = graph.layers().subspan(b.begin, b.size());
+    const std::size_t level =
+        hw::optimal_gpu_level(platform, layers, cpu_level);
+    ev.block_levels.push_back(level);
+
+    const hw::BlockCost cost =
+        hw::analytic_block_cost(platform, layers, level, cpu_level);
+    ev.time_s += cost.time_s;
+    ev.energy_j += cost.energy_j;
+
+    // DVFS switch at the block boundary (steady state repeats every pass):
+    //  - the host stall while the driver call blocks, and
+    //  - the settle latency, during which the block still runs at the
+    //    previous level. Modelled as an energy penalty proportional to the
+    //    power gap for min(latency, block duration) — this is what makes
+    //    fine-grained views lose on short passes, where a requested
+    //    frequency never takes effect before the next preset point.
+    (void)first;
+    if (level != prev_level) {
+      const double stall_power = power.total_w(
+          platform.gpu_freq(prev_level), platform.cpu_freq(cpu_level),
+          hw::ActivityState{0.0, 0.0, 0.2});
+      ev.time_s += platform.dvfs.stall_s;
+      ev.energy_j += stall_power * platform.dvfs.stall_s;
+
+      const double act = 0.7;  // representative block activity
+      const double p_prev = power.total_w(platform.gpu_freq(prev_level),
+                                          platform.cpu_freq(cpu_level),
+                                          hw::ActivityState{act, act, 0.2});
+      const double p_target = power.total_w(platform.gpu_freq(level),
+                                            platform.cpu_freq(cpu_level),
+                                            hw::ActivityState{act, act, 0.2});
+      const double settle =
+          std::min(platform.dvfs.latency_s, cost.time_s);
+      ev.energy_j += std::abs(p_prev - p_target) * settle;
+    }
+    prev_level = level;
+    first = false;
+  }
+  return ev;
+}
+
+std::size_t best_hyperparam_class(const dnn::Graph& graph,
+                                  const hw::Platform& platform,
+                                  const DatasetGenConfig& config) {
+  const linalg::Matrix depthwise =
+      features::DepthwiseFeatureExtractor::extract(graph);
+  const linalg::Matrix distances =
+      clustering::power_distances_for(depthwise, config.distance);
+
+  std::vector<double> energies(config.grid.size());
+  std::vector<std::size_t> block_counts(config.grid.size());
+  double best_energy = -1.0;
+  for (std::size_t k = 0; k < config.grid.size(); ++k) {
+    const clustering::PowerView view = enforce_min_block_duration(
+        graph,
+        clustering::build_power_view_from_distances(distances,
+                                                    config.grid.at(k)),
+        platform, feasible_block_duration(graph, platform));
+    const ViewEvaluation ev = evaluate_view_oracle(
+        graph, view, platform, config.cpu_level_for_labels);
+    energies[k] = ev.energy_j;
+    block_counts[k] = view.block_count();
+    if (best_energy < 0.0 || ev.energy_j < best_energy) {
+      best_energy = ev.energy_j;
+    }
+  }
+  // Among hyperparameter classes within half a percent of the energy
+  // optimum, prefer the finest feasible view: per-block instrumentation
+  // hedges against runtime variation at no modelled energy cost.
+  std::size_t best_class = 0;
+  std::size_t best_blocks = 0;
+  for (std::size_t k = 0; k < config.grid.size(); ++k) {
+    if (energies[k] <= best_energy * 1.005 && block_counts[k] > best_blocks) {
+      best_blocks = block_counts[k];
+      best_class = k;
+    }
+  }
+  return best_class;
+}
+
+GeneratedDatasets generate_datasets(const hw::Platform& platform,
+                                    const DatasetGenConfig& config) {
+  if (config.num_networks == 0) {
+    throw std::invalid_argument("generate_datasets: num_networks == 0");
+  }
+  DatasetGenConfig cfg = config;
+  if (cfg.cpu_level_for_labels == 0) {
+    cfg.cpu_level_for_labels = platform.max_cpu_level();
+  }
+
+  dnn::RandomDnnGenerator generator(cfg.seed, cfg.dnn_config);
+
+  std::vector<std::vector<double>> a_struct, a_stats, b_struct, b_stats;
+  std::vector<int> a_labels, b_labels;
+
+  GeneratedDatasets out;
+  for (std::size_t n = 0; n < cfg.num_networks; ++n) {
+    const dnn::Graph graph = generator.generate();
+    ++out.networks_generated;
+
+    // Dataset A row: whole-network features -> best hyperparameter class.
+    const features::GlobalFeatures net_features =
+        features::GlobalFeatureExtractor::extract(graph);
+    const std::size_t best_class =
+        best_hyperparam_class(graph, platform, cfg);
+    a_struct.push_back(net_features.structural);
+    a_stats.push_back(net_features.statistics);
+    a_labels.push_back(static_cast<int>(best_class));
+
+    // Dataset B rows: blocks of the best view -> optimal frequency level.
+    clustering::ClusteringConfig cc;
+    cc.hyper = cfg.grid.at(best_class);
+    cc.distance = cfg.distance;
+    const clustering::PowerView view = enforce_min_block_duration(
+        graph, clustering::build_power_view(graph, cc), platform,
+        feasible_block_duration(graph, platform));
+    const ViewEvaluation ev =
+        evaluate_view_oracle(graph, view, platform, cfg.cpu_level_for_labels);
+    for (std::size_t b = 0; b < view.block_count(); ++b) {
+      const clustering::PowerBlock& blk = view.blocks()[b];
+      const features::GlobalFeatures block_features =
+          features::GlobalFeatureExtractor::extract(graph, blk.begin,
+                                                    blk.end);
+      b_struct.push_back(block_features.structural);
+      b_stats.push_back(block_features.statistics);
+      b_labels.push_back(static_cast<int>(ev.block_levels[b]));
+      ++out.blocks_generated;
+    }
+  }
+
+  auto to_matrix = [](const std::vector<std::vector<double>>& rows) {
+    linalg::Matrix m(rows.size(), rows.empty() ? 0 : rows.front().size());
+    for (std::size_t r = 0; r < rows.size(); ++r) {
+      for (std::size_t c = 0; c < rows[r].size(); ++c) m(r, c) = rows[r][c];
+    }
+    return m;
+  };
+  out.dataset_a = {to_matrix(a_struct), to_matrix(a_stats),
+                   std::move(a_labels)};
+  out.dataset_b = {to_matrix(b_struct), to_matrix(b_stats),
+                   std::move(b_labels)};
+  out.dataset_a.validate();
+  out.dataset_b.validate();
+  return out;
+}
+
+}  // namespace powerlens::core

@@ -1,0 +1,95 @@
+// Dataset generator for the model training phase (paper section 2.2).
+//
+// Produces the paper's two dataset groups from randomly generated networks:
+//   Dataset A — whole-network global features, labelled with the index of the
+//     clustering-hyperparameter configuration (from a fixed grid) whose power
+//     view yields the best energy efficiency on the target platform.
+//   Dataset B — per-block global features, labelled with the GPU frequency
+//     level that minimizes the block's energy ("each block in the power view
+//     is deployed at all frequencies to select ... optimal energy
+//     efficiency").
+// Ground truth comes from the analytic cost model — the simulated analogue of
+// the paper's exhaustive on-device frequency sweeps — and is therefore fully
+// platform-specific, which is exactly what makes retargeting PowerLens to a
+// new platform an automated dataset regeneration + retrain.
+#pragma once
+
+#include "clustering/cluster.hpp"
+#include "dnn/random_gen.hpp"
+#include "hw/platform.hpp"
+#include "nn/trainer.hpp"
+
+#include <cstdint>
+#include <vector>
+
+namespace powerlens::core {
+
+// The hyperparameter grid the prediction model classifies over.
+struct HyperparamGrid {
+  std::vector<double> eps_values = {0.04, 0.07, 0.10, 0.15, 0.22, 0.32};
+  std::vector<std::size_t> min_pts_values = {2, 3, 5, 8};
+
+  std::size_t size() const noexcept {
+    return eps_values.size() * min_pts_values.size();
+  }
+  clustering::ClusteringHyperparams at(std::size_t index) const;
+  std::size_t index_of(const clustering::ClusteringHyperparams& hp) const;
+};
+
+struct DatasetGenConfig {
+  std::size_t num_networks = 400;  // the paper used 8000; tests use fewer
+  std::uint64_t seed = 42;
+  dnn::RandomDnnConfig dnn_config;
+  clustering::DistanceParams distance;
+  HyperparamGrid grid;
+  std::size_t cpu_level_for_labels = 0;  // set to max at generation time
+};
+
+struct GeneratedDatasets {
+  nn::Dataset dataset_a;  // network features -> hyperparameter class
+  nn::Dataset dataset_b;  // block features -> optimal frequency level
+  std::size_t networks_generated = 0;
+  std::size_t blocks_generated = 0;
+};
+
+// Deployment-feasibility post-processing (paper section 2.1.3: "adjusting
+// size, shape, or membership of clusters"): a power block whose execution
+// takes less than `min_duration_s` cannot amortize a DVFS switch — the new
+// frequency would not even settle before the next preset point. Such blocks
+// are merged into their preceding neighbour (following for the first).
+// Durations are evaluated analytically at the platform's middle frequency.
+clustering::PowerView enforce_min_block_duration(
+    const dnn::Graph& graph, const clustering::PowerView& view,
+    const hw::Platform& platform, double min_duration_s);
+
+// Feasibility horizon for one graph: a block must outlast 1.5x the full
+// switch cost, and instrumentation stays at single-digit granularity — a
+// block shorter than a tenth of the pass adds a switch without adding
+// control authority.
+double feasible_block_duration(const dnn::Graph& graph,
+                               const hw::Platform& platform);
+
+// Steady-state cost of running one pass of `graph` under `view` with each
+// block at its analytic-optimal frequency, including per-switch DVFS cost.
+struct ViewEvaluation {
+  double time_s = 0.0;
+  double energy_j = 0.0;
+  std::vector<std::size_t> block_levels;  // oracle level per block
+};
+ViewEvaluation evaluate_view_oracle(const dnn::Graph& graph,
+                                    const clustering::PowerView& view,
+                                    const hw::Platform& platform,
+                                    std::size_t cpu_level);
+
+// Selects the EE-optimal hyperparameter class for one graph by sweeping the
+// grid: each candidate view's blocks get their analytic-optimal frequencies,
+// and candidates are ranked by total energy including per-switch DVFS cost.
+std::size_t best_hyperparam_class(const dnn::Graph& graph,
+                                  const hw::Platform& platform,
+                                  const DatasetGenConfig& config);
+
+// Full generation pass (Figure 2, "dataset generator").
+GeneratedDatasets generate_datasets(const hw::Platform& platform,
+                                    const DatasetGenConfig& config);
+
+}  // namespace powerlens::core

@@ -1,0 +1,232 @@
+#include "core/powerlens.hpp"
+
+#include "features/depthwise.hpp"
+#include "hw/analytic.hpp"
+#include "nn/serialize.hpp"
+
+#include <fstream>
+#include <stdexcept>
+
+namespace powerlens::core {
+
+namespace {
+
+linalg::Matrix row_matrix(const std::vector<double>& v) {
+  linalg::Matrix m(1, v.size());
+  for (std::size_t c = 0; c < v.size(); ++c) m(0, c) = v[c];
+  return m;
+}
+
+}  // namespace
+
+PredictionModel::FitSummary PredictionModel::fit(
+    const nn::Dataset& data, std::size_t num_classes,
+    const nn::TrainConfig& train_config, std::uint64_t seed,
+    std::size_t hidden) {
+  data.validate();
+  if (data.size() < 10) {
+    throw std::invalid_argument("PredictionModel::fit: dataset too small");
+  }
+
+  scaler_structural_.fit(data.structural);
+  scaler_statistics_.fit(data.statistics);
+  nn::Dataset scaled{scaler_structural_.transform(data.structural),
+                     scaler_statistics_.transform(data.statistics),
+                     data.labels};
+
+  const nn::DatasetSplit split = nn::split_dataset(scaled, seed);
+
+  nn::TwoStageMlpConfig mc;
+  mc.structural_dim = data.structural.cols();
+  mc.statistics_dim = data.statistics.cols();
+  mc.hidden1 = hidden;
+  mc.hidden2 = hidden;
+  mc.hidden3 = hidden;
+  mc.num_classes = num_classes;
+  mc.seed = seed;
+  mlp_.emplace(mc);
+
+  FitSummary s;
+  s.report = nn::train(*mlp_, split.train, split.val, train_config);
+  s.test_accuracy = nn::accuracy(*mlp_, split.test);
+  s.test_mean_level_error = nn::mean_level_error(*mlp_, split.test);
+  return s;
+}
+
+int PredictionModel::predict(const features::GlobalFeatures& features) const {
+  if (!trained()) {
+    throw std::logic_error("PredictionModel: predict before fit");
+  }
+  const linalg::Matrix xs =
+      scaler_structural_.transform(row_matrix(features.structural));
+  const linalg::Matrix xt =
+      scaler_statistics_.transform(row_matrix(features.statistics));
+  return mlp_->predict(xs, xt).front();
+}
+
+void PredictionModel::save(std::ostream& os) const {
+  if (!trained()) {
+    throw std::logic_error("PredictionModel: save before fit");
+  }
+  scaler_structural_.save(os);
+  scaler_statistics_.save(os);
+  mlp_->save(os);
+}
+
+PredictionModel PredictionModel::load(std::istream& is) {
+  PredictionModel m;
+  m.scaler_structural_ = linalg::StandardScaler::load(is);
+  m.scaler_statistics_ = linalg::StandardScaler::load(is);
+  m.mlp_.emplace(nn::TwoStageMlp::load(is));
+  return m;
+}
+
+PowerLens::PowerLens(const hw::Platform& platform, PowerLensConfig config)
+    : platform_(&platform), config_(std::move(config)) {
+  platform.validate();
+  if (config_.dataset.cpu_level_for_labels == 0) {
+    config_.dataset.cpu_level_for_labels = platform.max_cpu_level();
+  }
+}
+
+bool PowerLens::trained() const noexcept {
+  return hyper_model_.trained() && decision_model_.trained();
+}
+
+TrainingSummary PowerLens::train() {
+  const GeneratedDatasets data = generate_datasets(*platform_, config_.dataset);
+
+  TrainingSummary s;
+  s.networks = data.networks_generated;
+  s.blocks = data.blocks_generated;
+  s.hyper_model =
+      hyper_model_.fit(data.dataset_a, config_.dataset.grid.size(),
+                       config_.train_hyper, config_.model_seed,
+                       config_.hidden_units);
+  s.decision_model =
+      decision_model_.fit(data.dataset_b, platform_->gpu_levels(),
+                          config_.train_decision, config_.model_seed + 1,
+                          config_.hidden_units);
+  return s;
+}
+
+std::size_t PowerLens::decide_block_level(const dnn::Graph& graph,
+                                          const clustering::PowerBlock& block,
+                                          bool use_oracle) const {
+  if (use_oracle) {
+    return hw::optimal_gpu_level(
+        *platform_, graph.layers().subspan(block.begin, block.size()),
+        config_.dataset.cpu_level_for_labels);
+  }
+  const features::GlobalFeatures f =
+      features::GlobalFeatureExtractor::extract(graph, block.begin,
+                                                block.end);
+  const int level = decision_model_.predict(f);
+  if (level < 0 || static_cast<std::size_t>(level) >= platform_->gpu_levels()) {
+    throw std::logic_error("PowerLens: decision model emitted a bad level");
+  }
+  return static_cast<std::size_t>(level);
+}
+
+OptimizationPlan PowerLens::plan_for_view(const dnn::Graph& graph,
+                                          clustering::PowerView view,
+                                          bool use_oracle) const {
+  if (!use_oracle && !trained()) {
+    throw std::logic_error("PowerLens: optimize before train");
+  }
+  if (view.num_layers() != graph.size()) {
+    throw std::invalid_argument("PowerLens: view does not match graph");
+  }
+  OptimizationPlan plan;
+  plan.view = std::move(view);
+  for (const clustering::PowerBlock& b : plan.view.blocks()) {
+    const std::size_t level = decide_block_level(graph, b, use_oracle);
+    plan.block_levels.push_back(level);
+    plan.schedule.points.push_back({b.begin, level});
+  }
+  return plan;
+}
+
+OptimizationPlan PowerLens::optimize(const dnn::Graph& graph) const {
+  if (!trained()) {
+    throw std::logic_error("PowerLens: optimize before train");
+  }
+  // Step 1: predict clustering hyperparameters from global features.
+  const features::GlobalFeatures net_features =
+      features::GlobalFeatureExtractor::extract(graph);
+  const int cls = hyper_model_.predict(net_features);
+  const clustering::ClusteringHyperparams hp =
+      config_.dataset.grid.at(static_cast<std::size_t>(cls));
+
+  // Steps 2-3: power behavior similarity clustering into a power view,
+  // post-processed to deployment-feasible block durations.
+  clustering::ClusteringConfig cc;
+  cc.hyper = hp;
+  cc.distance = config_.dataset.distance;
+  clustering::PowerView view = enforce_min_block_duration(
+      graph, clustering::build_power_view(graph, cc), *platform_,
+      feasible_block_duration(graph, *platform_));
+
+  // Steps 4-5: per-block frequency decisions and the preset schedule.
+  OptimizationPlan plan = plan_for_view(graph, std::move(view), false);
+  plan.hyper = hp;
+  return plan;
+}
+
+OptimizationPlan PowerLens::optimize_oracle(const dnn::Graph& graph) const {
+  const std::size_t cls =
+      best_hyperparam_class(graph, *platform_, config_.dataset);
+  const clustering::ClusteringHyperparams hp = config_.dataset.grid.at(cls);
+
+  clustering::ClusteringConfig cc;
+  cc.hyper = hp;
+  cc.distance = config_.dataset.distance;
+  clustering::PowerView view = enforce_min_block_duration(
+      graph, clustering::build_power_view(graph, cc), *platform_,
+      feasible_block_duration(graph, *platform_));
+
+  OptimizationPlan plan = plan_for_view(graph, std::move(view), true);
+  plan.hyper = hp;
+  return plan;
+}
+
+void PowerLens::save_models(const std::string& path) const {
+  if (!trained()) {
+    throw std::logic_error("PowerLens: save_models before train");
+  }
+  std::ofstream os(path);
+  if (!os) {
+    throw std::runtime_error("PowerLens: cannot open '" + path +
+                             "' for writing");
+  }
+  os << "powerlens-models 1 " << platform_->name << "\n";
+  hyper_model_.save(os);
+  decision_model_.save(os);
+  if (!os) {
+    throw std::runtime_error("PowerLens: write to '" + path + "' failed");
+  }
+}
+
+void PowerLens::load_models(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) {
+    throw std::runtime_error("PowerLens: cannot open '" + path + "'");
+  }
+  std::string magic;
+  int version = 0;
+  std::string platform_name;
+  if (!(is >> magic >> version >> platform_name) ||
+      magic != "powerlens-models" || version != 1) {
+    throw std::runtime_error("PowerLens: '" + path +
+                             "' is not a model bundle");
+  }
+  if (platform_name != platform_->name) {
+    throw std::runtime_error(
+        "PowerLens: model bundle was trained for platform '" + platform_name +
+        "', not '" + platform_->name + "'");
+  }
+  hyper_model_ = PredictionModel::load(is);
+  decision_model_ = PredictionModel::load(is);
+}
+
+}  // namespace powerlens::core

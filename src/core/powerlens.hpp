@@ -1,0 +1,129 @@
+// PowerLens: the adaptive DVFS framework (paper section 2).
+//
+// Offline pipeline (Figure 2):
+//   train():    random-network dataset generation -> Dataset A/B -> train the
+//               clustering-hyperparameter prediction model and the target-
+//               frequency decision model (80/10/10 protocol). Fully
+//               automated, which is the paper's platform-portability story:
+//               retargeting = regenerate + retrain, no human intervention.
+//   optimize(): for a concrete DNN, 1) predict clustering hyperparameters
+//               from global features, 2) cluster layers into power blocks
+//               (Algorithm 1), 3) predict each block's target frequency,
+//               4) emit the preset DVFS instrumentation schedule that the
+//               runtime engine applies at block boundaries.
+#pragma once
+
+#include "clustering/cluster.hpp"
+#include "core/dataset_gen.hpp"
+#include "features/global.hpp"
+#include "hw/governor.hpp"
+#include "hw/platform.hpp"
+#include "linalg/stats.hpp"
+#include "nn/mlp.hpp"
+#include "nn/trainer.hpp"
+
+#include <iosfwd>
+#include <memory>
+#include <optional>
+#include <string>
+
+namespace powerlens::core {
+
+// A trained predictor bundling input scalers with the two-stage MLP.
+class PredictionModel {
+ public:
+  struct FitSummary {
+    double test_accuracy = 0.0;
+    double test_mean_level_error = 0.0;  // classes are ordered for Dataset B
+    nn::TrainReport report;
+  };
+
+  // Trains on `data` with an internal 80/10/10 split. `num_classes` is the
+  // label-space size; hidden sizes come from `hidden`.
+  FitSummary fit(const nn::Dataset& data, std::size_t num_classes,
+                 const nn::TrainConfig& train_config, std::uint64_t seed,
+                 std::size_t hidden = 64);
+
+  bool trained() const noexcept { return mlp_.has_value(); }
+
+  // Predicted class for one feature bundle. Throws std::logic_error if not
+  // trained.
+  int predict(const features::GlobalFeatures& features) const;
+
+  // Text serialization of a trained predictor (scalers + MLP). save()
+  // throws std::logic_error before fit().
+  void save(std::ostream& os) const;
+  static PredictionModel load(std::istream& is);
+
+ private:
+  linalg::StandardScaler scaler_structural_;
+  linalg::StandardScaler scaler_statistics_;
+  std::optional<nn::TwoStageMlp> mlp_;
+};
+
+struct PowerLensConfig {
+  DatasetGenConfig dataset;
+  nn::TrainConfig train_hyper;     // clustering-hyperparameter model
+  nn::TrainConfig train_decision;  // target-frequency decision model
+  std::size_t hidden_units = 64;
+  std::uint64_t model_seed = 11;
+};
+
+struct TrainingSummary {
+  std::size_t networks = 0;
+  std::size_t blocks = 0;
+  PredictionModel::FitSummary hyper_model;
+  PredictionModel::FitSummary decision_model;
+};
+
+struct OptimizationPlan {
+  clustering::ClusteringHyperparams hyper;
+  clustering::PowerView view;
+  std::vector<std::size_t> block_levels;  // one GPU level per block
+  hw::PresetSchedule schedule;
+};
+
+class PowerLens {
+ public:
+  explicit PowerLens(const hw::Platform& platform, PowerLensConfig config = {});
+
+  // Full offline model-training phase. Must be called before optimize().
+  TrainingSummary train();
+
+  bool trained() const noexcept;
+
+  // Model-driven optimization of one DNN (workflow steps 1-5 of section
+  // 2.1.1). Throws std::logic_error before train().
+  OptimizationPlan optimize(const dnn::Graph& graph) const;
+
+  // Analytic upper bound: the same pipeline but with exhaustive-sweep ground
+  // truth in place of both models (dataset-generation labelling rules).
+  OptimizationPlan optimize_oracle(const dnn::Graph& graph) const;
+
+  // Persists / restores the trained model pair, so deployments skip the
+  // offline phase. Throws std::logic_error if untrained /
+  // std::runtime_error on malformed files.
+  void save_models(const std::string& path) const;
+  void load_models(const std::string& path);
+
+  // Frequency decisions + schedule for an externally supplied power view;
+  // shared by the P-R / P-N ablations so only the partitioning differs.
+  OptimizationPlan plan_for_view(const dnn::Graph& graph,
+                                 clustering::PowerView view,
+                                 bool use_oracle = false) const;
+
+  const hw::Platform& platform() const noexcept { return *platform_; }
+  const PowerLensConfig& config() const noexcept { return config_; }
+
+ private:
+  std::size_t decide_block_level(const dnn::Graph& graph,
+                                 const clustering::PowerBlock& block,
+                                 bool use_oracle) const;
+
+  const hw::Platform* platform_;  // non-owning
+  PowerLensConfig config_;
+  PredictionModel hyper_model_;
+  PredictionModel decision_model_;
+};
+
+}  // namespace powerlens::core

@@ -1,0 +1,66 @@
+// A single operator instance in the DNN IR.
+//
+// Every attribute the depthwise feature extractor reads (section 2.1.2) lives
+// here: computational load (flops), parameter count, memory-access volume,
+// operator type, channel counts, feature-map dimensions, and the per-type
+// deep attributes (conv kernel/stride/filters; attention heads/dims).
+#pragma once
+
+#include "dnn/op_type.hpp"
+#include "dnn/shape.hpp"
+
+#include <cstdint>
+#include <string>
+
+namespace powerlens::dnn {
+
+// Deep attributes for convolution-family operators (kConv2d, kPatchEmbed,
+// and pooling windows reuse kernel/stride).
+struct ConvAttrs {
+  std::int64_t kernel_h = 0;
+  std::int64_t kernel_w = 0;
+  std::int64_t stride = 1;
+  std::int64_t padding = 0;
+  std::int64_t groups = 1;
+  std::int64_t filters = 0;  // output channels
+
+  constexpr bool depthwise(std::int64_t in_channels) const noexcept {
+    return groups == in_channels && groups == filters;
+  }
+};
+
+// Deep attributes for transformer attention (section 2.1.2: heads, matrix
+// dimensions, and the governing FC / normalization parameters).
+struct AttnAttrs {
+  std::int64_t heads = 0;
+  std::int64_t embed_dim = 0;
+  std::int64_t head_dim = 0;
+  std::int64_t seq_len = 0;
+};
+
+struct Layer {
+  OpType type = OpType::kInput;
+  std::string name;
+
+  TensorShape input;   // primary input shape (first producer for joins)
+  TensorShape output;
+
+  // Cost attributes, computed at graph-construction time.
+  std::int64_t flops = 0;      // floating-point operations (2 * MACs)
+  std::int64_t params = 0;     // learnable parameter count
+  std::int64_t mem_bytes = 0;  // DRAM traffic: activations in+out and weights
+
+  ConvAttrs conv;  // meaningful when type is conv-family
+  AttnAttrs attn;  // meaningful when type == kMultiHeadAttention
+
+  // Arithmetic intensity in FLOPs per byte of DRAM traffic. This single
+  // number drives the roofline latency model and, through it, which
+  // frequency is energy-optimal for the layer.
+  double arithmetic_intensity() const noexcept {
+    return mem_bytes > 0 ? static_cast<double>(flops) /
+                               static_cast<double>(mem_bytes)
+                         : 0.0;
+  }
+};
+
+}  // namespace powerlens::dnn

@@ -1,0 +1,44 @@
+// Model zoo: layer-accurate IR builders for the 12 torchvision networks the
+// paper evaluates (Table 1). Shapes, channel widths, depths, and grouping
+// follow the torchvision reference implementations, so per-layer FLOPs /
+// parameter / memory-traffic attributes match the real workloads the Jetson
+// boards executed.
+#pragma once
+
+#include "dnn/graph.hpp"
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <string_view>
+
+namespace powerlens::dnn {
+
+// All builders take the inference batch size; inputs are (batch, 3, 224, 224)
+// ImageNet-sized images.
+Graph make_alexnet(std::int64_t batch);
+Graph make_googlenet(std::int64_t batch);
+Graph make_vgg19(std::int64_t batch);
+Graph make_mobilenet_v3_large(std::int64_t batch);
+Graph make_densenet201(std::int64_t batch);
+Graph make_resnext101_32x8d(std::int64_t batch);
+Graph make_resnet34(std::int64_t batch);
+Graph make_resnet152(std::int64_t batch);
+Graph make_regnet_x_32gf(std::int64_t batch);
+Graph make_regnet_y_128gf(std::int64_t batch);
+Graph make_vit_base_16(std::int64_t batch);
+Graph make_vit_base_32(std::int64_t batch);
+
+struct ModelSpec {
+  std::string_view name;  // the name used in the paper's tables
+  Graph (*build)(std::int64_t batch);
+};
+
+// The 12 models in Table 1 order.
+std::span<const ModelSpec> model_zoo();
+
+// Builds a zoo model by its Table 1 name. Throws std::invalid_argument for
+// unknown names.
+Graph make_model(std::string_view name, std::int64_t batch);
+
+}  // namespace powerlens::dnn

@@ -1,0 +1,222 @@
+// AlexNet, VGG-19, GoogLeNet, and MobileNetV3-Large builders.
+#include "dnn/builder.hpp"
+#include "dnn/models.hpp"
+
+#include <array>
+#include <string>
+
+namespace powerlens::dnn {
+
+namespace {
+
+constexpr TensorShape imagenet_input(std::int64_t batch) {
+  return {batch, 3, 224, 224};
+}
+
+// torchvision BasicConv2d: conv + batch-norm + relu.
+NodeId conv_bn_relu(GraphBuilder& b, NodeId x, std::int64_t out,
+                    std::int64_t k, std::int64_t s, std::int64_t p,
+                    std::int64_t groups = 1) {
+  x = b.conv2d(x, out, k, s, p, groups);
+  x = b.batch_norm(x);
+  return b.relu(x);
+}
+
+}  // namespace
+
+Graph make_alexnet(std::int64_t batch) {
+  GraphBuilder b("alexnet", imagenet_input(batch));
+  NodeId x = b.input();
+  x = b.conv2d(x, 64, 11, 4, 2);
+  x = b.relu(x);
+  x = b.max_pool2d(x, 3, 2);
+  x = b.conv2d(x, 192, 5, 1, 2);
+  x = b.relu(x);
+  x = b.max_pool2d(x, 3, 2);
+  x = b.conv2d(x, 384, 3, 1, 1);
+  x = b.relu(x);
+  x = b.conv2d(x, 256, 3, 1, 1);
+  x = b.relu(x);
+  x = b.conv2d(x, 256, 3, 1, 1);
+  x = b.relu(x);
+  x = b.max_pool2d(x, 3, 2);
+  x = b.adaptive_avg_pool2d(x, 6);
+  x = b.flatten(x);
+  x = b.dropout(x);
+  x = b.linear(x, 4096);
+  x = b.relu(x);
+  x = b.dropout(x);
+  x = b.linear(x, 4096);
+  x = b.relu(x);
+  x = b.linear(x, 1000);
+  return b.build();
+}
+
+Graph make_vgg19(std::int64_t batch) {
+  GraphBuilder b("vgg19", imagenet_input(batch));
+  NodeId x = b.input();
+  // Configuration "E": conv counts 2-2-4-4-4, widths 64-128-256-512-512.
+  constexpr std::array<std::pair<int, int>, 5> stages{{
+      {2, 64}, {2, 128}, {4, 256}, {4, 512}, {4, 512}}};
+  for (const auto& [convs, width] : stages) {
+    for (int i = 0; i < convs; ++i) {
+      x = b.conv2d(x, width, 3, 1, 1);
+      x = b.relu(x);
+    }
+    x = b.max_pool2d(x, 2, 2);
+  }
+  x = b.adaptive_avg_pool2d(x, 7);
+  x = b.flatten(x);
+  x = b.linear(x, 4096);
+  x = b.relu(x);
+  x = b.dropout(x);
+  x = b.linear(x, 4096);
+  x = b.relu(x);
+  x = b.dropout(x);
+  x = b.linear(x, 1000);
+  return b.build();
+}
+
+namespace {
+
+struct InceptionCfg {
+  std::int64_t c1x1, c3x3_reduce, c3x3, c5x5_reduce, c5x5, pool_proj;
+};
+
+NodeId inception(GraphBuilder& b, NodeId in, const InceptionCfg& cfg) {
+  const NodeId br1 = conv_bn_relu(b, in, cfg.c1x1, 1, 1, 0);
+
+  NodeId br2 = conv_bn_relu(b, in, cfg.c3x3_reduce, 1, 1, 0);
+  br2 = conv_bn_relu(b, br2, cfg.c3x3, 3, 1, 1);
+
+  NodeId br3 = conv_bn_relu(b, in, cfg.c5x5_reduce, 1, 1, 0);
+  // torchvision's GoogLeNet uses a 3x3 kernel in the "5x5" branch.
+  br3 = conv_bn_relu(b, br3, cfg.c5x5, 3, 1, 1);
+
+  NodeId br4 = b.max_pool2d(in, 3, 1, 1);
+  br4 = conv_bn_relu(b, br4, cfg.pool_proj, 1, 1, 0);
+
+  return b.concat({br1, br2, br3, br4});
+}
+
+}  // namespace
+
+Graph make_googlenet(std::int64_t batch) {
+  GraphBuilder b("googlenet", imagenet_input(batch));
+  NodeId x = b.input();
+  x = conv_bn_relu(b, x, 64, 7, 2, 3);
+  x = b.max_pool2d(x, 3, 2, 1);
+  x = conv_bn_relu(b, x, 64, 1, 1, 0);
+  x = conv_bn_relu(b, x, 192, 3, 1, 1);
+  x = b.max_pool2d(x, 3, 2, 1);
+
+  x = inception(b, x, {64, 96, 128, 16, 32, 32});     // 3a -> 256
+  x = inception(b, x, {128, 128, 192, 32, 96, 64});   // 3b -> 480
+  x = b.max_pool2d(x, 3, 2, 1);
+  x = inception(b, x, {192, 96, 208, 16, 48, 64});    // 4a -> 512
+  x = inception(b, x, {160, 112, 224, 24, 64, 64});   // 4b
+  x = inception(b, x, {128, 128, 256, 24, 64, 64});   // 4c
+  x = inception(b, x, {112, 144, 288, 32, 64, 64});   // 4d -> 528
+  x = inception(b, x, {256, 160, 320, 32, 128, 128}); // 4e -> 832
+  x = b.max_pool2d(x, 2, 2);
+  x = inception(b, x, {256, 160, 320, 32, 128, 128}); // 5a
+  x = inception(b, x, {384, 192, 384, 48, 128, 128}); // 5b -> 1024
+
+  x = b.adaptive_avg_pool2d(x, 1);
+  x = b.flatten(x);
+  x = b.dropout(x);
+  x = b.linear(x, 1000);
+  return b.build();
+}
+
+namespace {
+
+enum class Act { kReLU, kHardswish };
+
+NodeId activate(GraphBuilder& b, NodeId x, Act act) {
+  return act == Act::kReLU ? b.relu(x) : b.hardswish(x);
+}
+
+// Squeeze-excitation: global pool -> fc reduce -> relu -> fc expand ->
+// hardsigmoid (approximated by sigmoid here) -> channel-wise scale.
+NodeId squeeze_excite(GraphBuilder& b, NodeId x, std::int64_t channels,
+                      std::int64_t squeeze) {
+  NodeId g = b.adaptive_avg_pool2d(x, 1);
+  g = b.conv2d(g, squeeze, 1, 1, 0);
+  g = b.relu(g);
+  g = b.conv2d(g, channels, 1, 1, 0);
+  g = b.sigmoid(g);
+  return b.mul(x, g);
+}
+
+struct MbV3Block {
+  std::int64_t kernel, expanded, out;
+  bool se;
+  Act act;
+  std::int64_t stride;
+};
+
+}  // namespace
+
+Graph make_mobilenet_v3_large(std::int64_t batch) {
+  GraphBuilder b("mobilenet_v3", imagenet_input(batch));
+  NodeId x = b.input();
+  x = b.conv2d(x, 16, 3, 2, 1);
+  x = b.batch_norm(x);
+  x = b.hardswish(x);
+
+  constexpr std::array<MbV3Block, 15> blocks{{
+      {3, 16, 16, false, Act::kReLU, 1},
+      {3, 64, 24, false, Act::kReLU, 2},
+      {3, 72, 24, false, Act::kReLU, 1},
+      {5, 72, 40, true, Act::kReLU, 2},
+      {5, 120, 40, true, Act::kReLU, 1},
+      {5, 120, 40, true, Act::kReLU, 1},
+      {3, 240, 80, false, Act::kHardswish, 2},
+      {3, 200, 80, false, Act::kHardswish, 1},
+      {3, 184, 80, false, Act::kHardswish, 1},
+      {3, 184, 80, false, Act::kHardswish, 1},
+      {3, 480, 112, true, Act::kHardswish, 1},
+      {3, 672, 112, true, Act::kHardswish, 1},
+      {5, 672, 160, true, Act::kHardswish, 2},
+      {5, 960, 160, true, Act::kHardswish, 1},
+      {5, 960, 160, true, Act::kHardswish, 1},
+  }};
+
+  for (const MbV3Block& blk : blocks) {
+    const NodeId block_in = x;
+    const std::int64_t in_channels = b.shape(x).c;
+    NodeId y = x;
+    if (blk.expanded != in_channels) {
+      y = b.conv2d(y, blk.expanded, 1, 1, 0);
+      y = b.batch_norm(y);
+      y = activate(b, y, blk.act);
+    }
+    y = b.conv2d(y, blk.expanded, blk.kernel, blk.stride, blk.kernel / 2,
+                 /*groups=*/blk.expanded);
+    y = b.batch_norm(y);
+    y = activate(b, y, blk.act);
+    if (blk.se) {
+      y = squeeze_excite(b, y, blk.expanded, blk.expanded / 4);
+    }
+    y = b.conv2d(y, blk.out, 1, 1, 0);
+    y = b.batch_norm(y);
+    if (blk.stride == 1 && blk.out == in_channels) {
+      y = b.add(y, block_in);
+    }
+    x = y;
+  }
+
+  x = b.conv2d(x, 960, 1, 1, 0);
+  x = b.batch_norm(x);
+  x = b.hardswish(x);
+  x = b.adaptive_avg_pool2d(x, 1);
+  x = b.flatten(x);
+  x = b.linear(x, 1280);
+  x = b.hardswish(x);
+  x = b.dropout(x);
+  x = b.linear(x, 1000);
+  return b.build();
+}
+
+}  // namespace powerlens::dnn

@@ -1,0 +1,165 @@
+// RegNetX-32GF, RegNetY-128GF, ViT-B/16, and ViT-B/32 builders, plus the
+// model-zoo registry.
+#include "dnn/builder.hpp"
+#include "dnn/models.hpp"
+
+#include <array>
+#include <stdexcept>
+#include <string>
+
+namespace powerlens::dnn {
+
+namespace {
+
+constexpr TensorShape imagenet_input(std::int64_t batch) {
+  return {batch, 3, 224, 224};
+}
+
+NodeId se_gate(GraphBuilder& b, NodeId x, std::int64_t channels,
+               std::int64_t squeeze) {
+  NodeId g = b.adaptive_avg_pool2d(x, 1);
+  g = b.conv2d(g, squeeze, 1, 1, 0);
+  g = b.relu(g);
+  g = b.conv2d(g, channels, 1, 1, 0);
+  g = b.sigmoid(g);
+  return b.mul(x, g);
+}
+
+// RegNet X/Y bottleneck block (bottleneck ratio 1): 1x1 -> grouped 3x3 ->
+// (optional SE) -> 1x1, with a projected residual on stride/width change.
+NodeId regnet_block(GraphBuilder& b, NodeId x, std::int64_t width,
+                    std::int64_t stride, std::int64_t group_width,
+                    bool use_se, std::int64_t se_in_channels) {
+  NodeId identity = x;
+  NodeId y = b.conv2d(x, width, 1, 1, 0);
+  y = b.batch_norm(y);
+  y = b.relu(y);
+  y = b.conv2d(y, width, 3, stride, 1, /*groups=*/width / group_width);
+  y = b.batch_norm(y);
+  y = b.relu(y);
+  if (use_se) {
+    // RegNetY squeezes relative to the block *input* width (se_ratio 0.25).
+    y = se_gate(b, y, width, se_in_channels / 4);
+  }
+  y = b.conv2d(y, width, 1, 1, 0);
+  y = b.batch_norm(y);
+  if (stride != 1 || b.shape(x).c != width) {
+    identity = b.conv2d(x, width, 1, stride, 0);
+    identity = b.batch_norm(identity);
+  }
+  y = b.add(y, identity);
+  return b.relu(y);
+}
+
+struct RegNetCfg {
+  std::array<int, 4> depths;
+  std::array<std::int64_t, 4> widths;
+  std::int64_t group_width;
+  bool use_se;
+};
+
+Graph make_regnet(std::string name, std::int64_t batch, const RegNetCfg& cfg) {
+  GraphBuilder b(std::move(name), imagenet_input(batch));
+  NodeId x = b.input();
+  x = b.conv2d(x, 32, 3, 2, 1, 1, "stem_conv");
+  x = b.batch_norm(x);
+  x = b.relu(x);
+
+  for (std::size_t stage = 0; stage < 4; ++stage) {
+    for (int blk = 0; blk < cfg.depths[stage]; ++blk) {
+      const std::int64_t stride = blk == 0 ? 2 : 1;
+      const std::int64_t se_in = b.shape(x).c;
+      x = regnet_block(b, x, cfg.widths[stage], stride, cfg.group_width,
+                       cfg.use_se, se_in);
+    }
+  }
+  x = b.adaptive_avg_pool2d(x, 1);
+  x = b.flatten(x);
+  x = b.linear(x, 1000);
+  return b.build();
+}
+
+Graph make_vit(std::string name, std::int64_t batch, std::int64_t patch) {
+  constexpr std::int64_t kDim = 768;
+  constexpr std::int64_t kHeads = 12;
+  constexpr std::int64_t kMlpDim = 3072;
+  constexpr int kLayers = 12;
+
+  GraphBuilder b(std::move(name), imagenet_input(batch));
+  NodeId x = b.input();
+  x = b.patch_embed(x, patch, kDim);
+  x = b.dropout(x);
+
+  for (int l = 0; l < kLayers; ++l) {
+    const std::string tag = "enc" + std::to_string(l);
+    NodeId skip = x;
+    NodeId y = b.layer_norm(x, tag + "_ln1");
+    y = b.attention(y, kHeads, tag + "_mha");
+    y = b.dropout(y);
+    x = b.add(y, skip, tag + "_add1");
+
+    skip = x;
+    y = b.layer_norm(x, tag + "_ln2");
+    y = b.linear(y, kMlpDim, tag + "_mlp_fc1");
+    y = b.gelu(y, tag + "_gelu");
+    y = b.linear(y, kDim, tag + "_mlp_fc2");
+    y = b.dropout(y);
+    x = b.add(y, skip, tag + "_add2");
+  }
+
+  x = b.layer_norm(x, "final_ln");
+  // Classification head reads the class token; modelled as a global pool over
+  // tokens followed by the head projection.
+  x = b.adaptive_avg_pool2d(x, 1, "cls_token");
+  x = b.flatten(x);
+  x = b.linear(x, 1000, "head");
+  return b.build();
+}
+
+}  // namespace
+
+Graph make_regnet_x_32gf(std::int64_t batch) {
+  return make_regnet("regnet_x_32gf", batch,
+                     {{2, 7, 13, 1}, {336, 672, 1344, 2520}, 168, false});
+}
+
+Graph make_regnet_y_128gf(std::int64_t batch) {
+  return make_regnet("regnet_y_128gf", batch,
+                     {{2, 7, 17, 1}, {528, 1056, 2904, 7392}, 264, true});
+}
+
+Graph make_vit_base_16(std::int64_t batch) {
+  return make_vit("vit_base_16", batch, 16);
+}
+
+Graph make_vit_base_32(std::int64_t batch) {
+  return make_vit("vit_base_32", batch, 32);
+}
+
+std::span<const ModelSpec> model_zoo() {
+  static constexpr std::array<ModelSpec, 12> kZoo{{
+      {"alexnet", &make_alexnet},
+      {"googlenet", &make_googlenet},
+      {"vgg19", &make_vgg19},
+      {"mobilenet_v3", &make_mobilenet_v3_large},
+      {"densenet201", &make_densenet201},
+      {"resnext101", &make_resnext101_32x8d},
+      {"resnet34", &make_resnet34},
+      {"resnet152", &make_resnet152},
+      {"regnet_x_32gf", &make_regnet_x_32gf},
+      {"regnet_y_128gf", &make_regnet_y_128gf},
+      {"vit_base_16", &make_vit_base_16},
+      {"vit_base_32", &make_vit_base_32},
+  }};
+  return kZoo;
+}
+
+Graph make_model(std::string_view name, std::int64_t batch) {
+  for (const ModelSpec& spec : model_zoo()) {
+    if (spec.name == name) return spec.build(batch);
+  }
+  throw std::invalid_argument("make_model: unknown model '" +
+                              std::string(name) + "'");
+}
+
+}  // namespace powerlens::dnn

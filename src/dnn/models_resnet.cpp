@@ -1,0 +1,146 @@
+// ResNet-34, ResNet-152, ResNeXt-101 (32x8d), and DenseNet-201 builders.
+#include "dnn/builder.hpp"
+#include "dnn/models.hpp"
+
+#include <array>
+#include <vector>
+
+namespace powerlens::dnn {
+
+namespace {
+
+constexpr TensorShape imagenet_input(std::int64_t batch) {
+  return {batch, 3, 224, 224};
+}
+
+NodeId resnet_stem(GraphBuilder& b) {
+  NodeId x = b.input();
+  x = b.conv2d(x, 64, 7, 2, 3, 1, "stem_conv");
+  x = b.batch_norm(x);
+  x = b.relu(x);
+  return b.max_pool2d(x, 3, 2, 1);
+}
+
+// BasicBlock (ResNet-18/34): two 3x3 convolutions.
+NodeId basic_block(GraphBuilder& b, NodeId x, std::int64_t planes,
+                   std::int64_t stride) {
+  NodeId identity = x;
+  NodeId y = b.conv2d(x, planes, 3, stride, 1);
+  y = b.batch_norm(y);
+  y = b.relu(y);
+  y = b.conv2d(y, planes, 3, 1, 1);
+  y = b.batch_norm(y);
+  if (stride != 1 || b.shape(x).c != planes) {
+    identity = b.conv2d(x, planes, 1, stride, 0);
+    identity = b.batch_norm(identity);
+  }
+  y = b.add(y, identity);
+  return b.relu(y);
+}
+
+// Bottleneck (ResNet-50+/ResNeXt): 1x1 reduce, 3x3 (optionally grouped),
+// 1x1 expand (x4).
+NodeId bottleneck_block(GraphBuilder& b, NodeId x, std::int64_t planes,
+                        std::int64_t stride, std::int64_t groups,
+                        std::int64_t base_width) {
+  constexpr std::int64_t kExpansion = 4;
+  const std::int64_t width = planes * base_width / 64 * groups;
+  const std::int64_t out_channels = planes * kExpansion;
+
+  NodeId identity = x;
+  NodeId y = b.conv2d(x, width, 1, 1, 0);
+  y = b.batch_norm(y);
+  y = b.relu(y);
+  y = b.conv2d(y, width, 3, stride, 1, groups);
+  y = b.batch_norm(y);
+  y = b.relu(y);
+  y = b.conv2d(y, out_channels, 1, 1, 0);
+  y = b.batch_norm(y);
+  if (stride != 1 || b.shape(x).c != out_channels) {
+    identity = b.conv2d(x, out_channels, 1, stride, 0);
+    identity = b.batch_norm(identity);
+  }
+  y = b.add(y, identity);
+  return b.relu(y);
+}
+
+Graph make_resnet(std::string name, std::int64_t batch, bool bottleneck,
+                  std::array<int, 4> depths, std::int64_t groups = 1,
+                  std::int64_t base_width = 64) {
+  GraphBuilder b(std::move(name), imagenet_input(batch));
+  NodeId x = resnet_stem(b);
+  constexpr std::array<std::int64_t, 4> planes{64, 128, 256, 512};
+  for (int stage = 0; stage < 4; ++stage) {
+    for (int blk = 0; blk < depths[static_cast<std::size_t>(stage)]; ++blk) {
+      const std::int64_t stride = (stage > 0 && blk == 0) ? 2 : 1;
+      x = bottleneck
+              ? bottleneck_block(b, x, planes[static_cast<std::size_t>(stage)],
+                                 stride, groups, base_width)
+              : basic_block(b, x, planes[static_cast<std::size_t>(stage)],
+                            stride);
+    }
+  }
+  x = b.adaptive_avg_pool2d(x, 1);
+  x = b.flatten(x);
+  x = b.linear(x, 1000);
+  return b.build();
+}
+
+}  // namespace
+
+Graph make_resnet34(std::int64_t batch) {
+  return make_resnet("resnet34", batch, /*bottleneck=*/false, {3, 4, 6, 3});
+}
+
+Graph make_resnet152(std::int64_t batch) {
+  return make_resnet("resnet152", batch, /*bottleneck=*/true, {3, 8, 36, 3});
+}
+
+Graph make_resnext101_32x8d(std::int64_t batch) {
+  return make_resnet("resnext101", batch, /*bottleneck=*/true, {3, 4, 23, 3},
+                     /*groups=*/32, /*base_width=*/8);
+}
+
+Graph make_densenet201(std::int64_t batch) {
+  constexpr std::int64_t kGrowth = 32;
+  constexpr std::int64_t kBnSize = 4;  // bottleneck width multiplier
+  constexpr std::array<int, 4> kBlockSizes{6, 12, 48, 32};
+
+  GraphBuilder b("densenet201", imagenet_input(batch));
+  NodeId x = b.input();
+  x = b.conv2d(x, 64, 7, 2, 3);
+  x = b.batch_norm(x);
+  x = b.relu(x);
+  x = b.max_pool2d(x, 3, 2, 1);
+
+  std::int64_t channels = 64;
+  for (std::size_t stage = 0; stage < kBlockSizes.size(); ++stage) {
+    // Dense block: every layer sees the concat of all previous outputs.
+    for (int l = 0; l < kBlockSizes[stage]; ++l) {
+      NodeId y = b.batch_norm(x);
+      y = b.relu(y);
+      y = b.conv2d(y, kBnSize * kGrowth, 1, 1, 0);
+      y = b.batch_norm(y);
+      y = b.relu(y);
+      y = b.conv2d(y, kGrowth, 3, 1, 1);
+      x = b.concat({x, y});
+      channels += kGrowth;
+    }
+    if (stage + 1 < kBlockSizes.size()) {
+      // Transition: halve channels, halve resolution.
+      x = b.batch_norm(x);
+      x = b.relu(x);
+      channels /= 2;
+      x = b.conv2d(x, channels, 1, 1, 0);
+      x = b.avg_pool2d(x, 2, 2);
+    }
+  }
+  x = b.batch_norm(x);
+  x = b.relu(x);
+  x = b.adaptive_avg_pool2d(x, 1);
+  x = b.flatten(x);
+  x = b.linear(x, 1000);
+  return b.build();
+}
+
+}  // namespace powerlens::dnn

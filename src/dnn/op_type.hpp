@@ -1,0 +1,117 @@
+// Operator taxonomy for the DNN intermediate representation.
+//
+// The set covers every operator appearing in the 12 torchvision models the
+// paper evaluates (Table 1) plus what the random-network generator of the
+// dataset phase emits. Traits attached here (arithmetic intensity class,
+// one-hot index) feed the depthwise feature extractor (paper section 2.1.2).
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace powerlens::dnn {
+
+enum class OpType : std::uint8_t {
+  kInput,
+  kConv2d,           // includes grouped / depthwise via ConvAttrs::groups
+  kLinear,
+  kBatchNorm,
+  kLayerNorm,
+  kLocalResponseNorm,
+  kReLU,
+  kGELU,
+  kHardswish,
+  kSigmoid,
+  kSoftmax,
+  kMaxPool2d,
+  kAvgPool2d,
+  kAdaptiveAvgPool2d,
+  kAdd,              // residual connection join
+  kConcat,           // branch join (GoogLeNet, DenseNet)
+  kMul,              // channel-wise scaling (squeeze-excitation)
+  kMultiHeadAttention,
+  kPatchEmbed,       // ViT tokenizer (strided conv + flatten)
+  kFlatten,
+  kDropout,
+  kCount_,           // sentinel, keep last
+};
+
+inline constexpr std::size_t kNumOpTypes =
+    static_cast<std::size_t>(OpType::kCount_);
+
+// Stable human-readable name, e.g. for power-view dumps and tests.
+constexpr std::string_view op_name(OpType t) noexcept {
+  switch (t) {
+    case OpType::kInput: return "input";
+    case OpType::kConv2d: return "conv2d";
+    case OpType::kLinear: return "linear";
+    case OpType::kBatchNorm: return "batch_norm";
+    case OpType::kLayerNorm: return "layer_norm";
+    case OpType::kLocalResponseNorm: return "lrn";
+    case OpType::kReLU: return "relu";
+    case OpType::kGELU: return "gelu";
+    case OpType::kHardswish: return "hardswish";
+    case OpType::kSigmoid: return "sigmoid";
+    case OpType::kSoftmax: return "softmax";
+    case OpType::kMaxPool2d: return "max_pool2d";
+    case OpType::kAvgPool2d: return "avg_pool2d";
+    case OpType::kAdaptiveAvgPool2d: return "adaptive_avg_pool2d";
+    case OpType::kAdd: return "add";
+    case OpType::kConcat: return "concat";
+    case OpType::kMul: return "mul";
+    case OpType::kMultiHeadAttention: return "multi_head_attention";
+    case OpType::kPatchEmbed: return "patch_embed";
+    case OpType::kFlatten: return "flatten";
+    case OpType::kDropout: return "dropout";
+    case OpType::kCount_: break;
+  }
+  return "unknown";
+}
+
+// True for operators dominated by MAC arithmetic (the "significant impact on
+// power consumption" class of section 2.1.2 for which deep features are
+// additionally extracted).
+constexpr bool is_compute_op(OpType t) noexcept {
+  switch (t) {
+    case OpType::kConv2d:
+    case OpType::kLinear:
+    case OpType::kMultiHeadAttention:
+    case OpType::kPatchEmbed:
+      return true;
+    default:
+      return false;
+  }
+}
+
+// True for data-movement / elementwise operators whose runtime is bounded by
+// memory bandwidth rather than the GPU clock.
+constexpr bool is_memory_op(OpType t) noexcept {
+  switch (t) {
+    case OpType::kBatchNorm:
+    case OpType::kLayerNorm:
+    case OpType::kLocalResponseNorm:
+    case OpType::kReLU:
+    case OpType::kGELU:
+    case OpType::kHardswish:
+    case OpType::kSigmoid:
+    case OpType::kSoftmax:
+    case OpType::kMaxPool2d:
+    case OpType::kAvgPool2d:
+    case OpType::kAdaptiveAvgPool2d:
+    case OpType::kAdd:
+    case OpType::kConcat:
+    case OpType::kMul:
+    case OpType::kFlatten:
+    case OpType::kDropout:
+      return true;
+    default:
+      return false;
+  }
+}
+
+// True for structural joins that merge multiple producer tensors.
+constexpr bool is_join_op(OpType t) noexcept {
+  return t == OpType::kAdd || t == OpType::kConcat || t == OpType::kMul;
+}
+
+}  // namespace powerlens::dnn

@@ -1,0 +1,176 @@
+#include "dnn/random_gen.hpp"
+
+#include "dnn/builder.hpp"
+
+#include <algorithm>
+#include <array>
+#include <string>
+
+namespace powerlens::dnn {
+
+RandomDnnGenerator::RandomDnnGenerator(std::uint64_t seed,
+                                       RandomDnnConfig config)
+    : config_(config), rng_(seed) {}
+
+int RandomDnnGenerator::uniform_int(int lo, int hi) {
+  return std::uniform_int_distribution<int>(lo, hi)(rng_);
+}
+
+bool RandomDnnGenerator::chance(double p) {
+  return std::uniform_real_distribution<double>(0.0, 1.0)(rng_) < p;
+}
+
+std::int64_t RandomDnnGenerator::pick_width() {
+  // Widths are multiples of 8 between min and max, log-uniform-ish by
+  // doubling a base draw.
+  const std::int64_t base = 8 * uniform_int(
+      static_cast<int>(config_.min_width / 8),
+      static_cast<int>(config_.max_width / 32));
+  const std::int64_t scaled = base << uniform_int(0, 2);
+  return std::clamp(scaled, config_.min_width, config_.max_width);
+}
+
+Graph RandomDnnGenerator::generate() {
+  ++counter_;
+  switch (uniform_int(0, 2)) {
+    case 0: return generate_plain_cnn();
+    case 1: return generate_residual_cnn();
+    default: return generate_transformer();
+  }
+}
+
+Graph RandomDnnGenerator::generate_plain_cnn() {
+  GraphBuilder b("rand_plain_" + std::to_string(counter_),
+                 {config_.batch, 3, 224, 224});
+  NodeId x = b.input();
+
+  const int stages = uniform_int(config_.min_stages, config_.max_stages);
+  std::int64_t width = std::clamp<std::int64_t>(pick_width() / 4,
+                                                config_.min_width, 256);
+  static constexpr std::array<std::int64_t, 3> kKernels{1, 3, 5};
+  for (int s = 0; s < stages; ++s) {
+    const int blocks =
+        uniform_int(config_.min_blocks_per_stage, config_.max_blocks_per_stage);
+    for (int i = 0; i < blocks; ++i) {
+      const std::int64_t k =
+          kKernels[static_cast<std::size_t>(uniform_int(0, 2))];
+      x = b.conv2d(x, width, k, 1, k / 2);
+      if (chance(0.7)) x = b.batch_norm(x);
+      x = chance(0.8) ? b.relu(x) : b.hardswish(x);
+    }
+    if (b.shape(x).h >= 4) {
+      x = chance(0.5) ? b.max_pool2d(x, 2, 2) : b.avg_pool2d(x, 2, 2);
+    }
+    width = std::min(width * 2, config_.max_width);
+  }
+  x = b.adaptive_avg_pool2d(x, 1);
+  x = b.flatten(x);
+  if (chance(0.5)) {
+    x = b.linear(x, 1024);
+    x = b.relu(x);
+  }
+  x = b.linear(x, 1000);
+  return b.build();
+}
+
+Graph RandomDnnGenerator::generate_residual_cnn() {
+  GraphBuilder b("rand_residual_" + std::to_string(counter_),
+                 {config_.batch, 3, 224, 224});
+  NodeId x = b.input();
+  x = b.conv2d(x, 64, 7, 2, 3);
+  x = b.batch_norm(x);
+  x = b.relu(x);
+  x = b.max_pool2d(x, 3, 2, 1);
+
+  const int stages = uniform_int(config_.min_stages, config_.max_stages);
+  std::int64_t width = 64;
+  const bool use_se = chance(0.4);
+  const bool bottleneck = chance(0.5);
+  const std::int64_t groups = chance(0.3) ? 32 : 1;
+
+  for (int s = 0; s < stages; ++s) {
+    const int blocks =
+        uniform_int(config_.min_blocks_per_stage, config_.max_blocks_per_stage);
+    for (int i = 0; i < blocks; ++i) {
+      const std::int64_t stride = (s > 0 && i == 0 && b.shape(x).h > 7) ? 2 : 1;
+      const NodeId block_in = x;
+      NodeId y = x;
+      if (bottleneck) {
+        const std::int64_t mid = std::max<std::int64_t>(width / 4, groups);
+        y = b.conv2d(y, mid, 1, 1, 0);
+        y = b.batch_norm(y);
+        y = b.relu(y);
+        y = b.conv2d(y, mid, 3, stride, 1, groups);
+        y = b.batch_norm(y);
+        y = b.relu(y);
+        y = b.conv2d(y, width, 1, 1, 0);
+        y = b.batch_norm(y);
+      } else {
+        y = b.conv2d(y, width, 3, stride, 1);
+        y = b.batch_norm(y);
+        y = b.relu(y);
+        y = b.conv2d(y, width, 3, 1, 1);
+        y = b.batch_norm(y);
+      }
+      if (use_se) {
+        NodeId g = b.adaptive_avg_pool2d(y, 1);
+        g = b.conv2d(g, std::max<std::int64_t>(width / 4, 8), 1, 1, 0);
+        g = b.relu(g);
+        g = b.conv2d(g, width, 1, 1, 0);
+        g = b.sigmoid(g);
+        y = b.mul(y, g);
+      }
+      NodeId identity = block_in;
+      if (stride != 1 || b.shape(block_in).c != width) {
+        identity = b.conv2d(block_in, width, 1, stride, 0);
+        identity = b.batch_norm(identity);
+      }
+      y = b.add(y, identity);
+      x = b.relu(y);
+    }
+    width = std::min(width * 2, config_.max_width);
+  }
+  x = b.adaptive_avg_pool2d(x, 1);
+  x = b.flatten(x);
+  x = b.linear(x, 1000);
+  return b.build();
+}
+
+Graph RandomDnnGenerator::generate_transformer() {
+  GraphBuilder b("rand_transformer_" + std::to_string(counter_),
+                 {config_.batch, 3, 224, 224});
+  static constexpr std::array<std::int64_t, 3> kPatches{14, 16, 32};
+  static constexpr std::array<std::int64_t, 4> kDims{192, 384, 768, 1024};
+  static constexpr std::array<std::int64_t, 4> kHeads{4, 8, 12, 16};
+
+  const std::int64_t patch =
+      kPatches[static_cast<std::size_t>(uniform_int(0, 2))];
+  std::int64_t dim = kDims[static_cast<std::size_t>(uniform_int(0, 3))];
+  std::int64_t heads = kHeads[static_cast<std::size_t>(uniform_int(0, 3))];
+  while (dim % heads != 0) heads /= 2;
+  const int layers = uniform_int(config_.min_transformer_layers,
+                                 config_.max_transformer_layers);
+  const std::int64_t mlp_dim = dim * uniform_int(2, 4);
+
+  NodeId x = b.input();
+  x = b.patch_embed(x, patch, dim);
+  for (int l = 0; l < layers; ++l) {
+    NodeId skip = x;
+    NodeId y = b.layer_norm(x);
+    y = b.attention(y, heads);
+    x = b.add(y, skip);
+    skip = x;
+    y = b.layer_norm(x);
+    y = b.linear(y, mlp_dim);
+    y = b.gelu(y);
+    y = b.linear(y, dim);
+    x = b.add(y, skip);
+  }
+  x = b.layer_norm(x);
+  x = b.adaptive_avg_pool2d(x, 1);
+  x = b.flatten(x);
+  x = b.linear(x, 1000);
+  return b.build();
+}
+
+}  // namespace powerlens::dnn

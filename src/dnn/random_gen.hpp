@@ -1,0 +1,54 @@
+// Random DNN generator for the model-training phase (paper section 2.2).
+//
+// The dataset generator "uses a DNN generator to produce a large variety of
+// neural networks by randomly combining features mentioned in section 2.1.2".
+// This generator emits three architecture families (plain CNNs, residual /
+// squeeze-excitation CNNs, and transformer encoders) with randomized depth,
+// widths, kernel sizes, strides, and branching, so the feature space the
+// prediction models see at training time covers the zoo models they meet at
+// deployment time.
+#pragma once
+
+#include "dnn/graph.hpp"
+
+#include <cstdint>
+#include <random>
+
+namespace powerlens::dnn {
+
+struct RandomDnnConfig {
+  std::int64_t batch = 8;
+  int min_stages = 2;
+  int max_stages = 5;
+  int min_blocks_per_stage = 1;
+  int max_blocks_per_stage = 8;
+  std::int64_t min_width = 16;
+  std::int64_t max_width = 1024;
+  int min_transformer_layers = 2;
+  int max_transformer_layers = 16;
+};
+
+class RandomDnnGenerator {
+ public:
+  explicit RandomDnnGenerator(std::uint64_t seed,
+                              RandomDnnConfig config = {});
+
+  // Generates the next random network. Successive calls use fresh
+  // pseudo-random draws; the whole sequence is reproducible from the seed.
+  Graph generate();
+
+ private:
+  Graph generate_plain_cnn();
+  Graph generate_residual_cnn();
+  Graph generate_transformer();
+
+  int uniform_int(int lo, int hi);
+  std::int64_t pick_width();
+  bool chance(double p);
+
+  RandomDnnConfig config_;
+  std::mt19937_64 rng_;
+  std::uint64_t counter_ = 0;
+};
+
+}  // namespace powerlens::dnn

@@ -1,0 +1,41 @@
+#include "hw/analytic.hpp"
+
+namespace powerlens::hw {
+
+BlockCost analytic_block_cost(const Platform& platform,
+                              std::span<const dnn::Layer> layers,
+                              std::size_t gpu_level, std::size_t cpu_level,
+                              double cpu_load) {
+  const LatencyModel latency(platform);
+  const PowerModel power(platform);
+  const double gpu_f = platform.gpu_freq(gpu_level);
+  const double cpu_f = platform.cpu_freq(cpu_level);
+
+  BlockCost cost;
+  for (const dnn::Layer& l : layers) {
+    if (l.type == dnn::OpType::kInput) continue;
+    const LayerTiming t = latency.time_layer(l, gpu_f, cpu_f);
+    const ActivityState act{t.gpu_activity, t.mem_activity, cpu_load};
+    cost.time_s += t.total_s;
+    cost.energy_j += power.total_w(gpu_f, cpu_f, act) * t.total_s;
+  }
+  return cost;
+}
+
+std::size_t optimal_gpu_level(const Platform& platform,
+                              std::span<const dnn::Layer> layers,
+                              std::size_t cpu_level, double cpu_load) {
+  std::size_t best = 0;
+  double best_energy = -1.0;
+  for (std::size_t level = 0; level < platform.gpu_levels(); ++level) {
+    const BlockCost c =
+        analytic_block_cost(platform, layers, level, cpu_level, cpu_load);
+    if (best_energy < 0.0 || c.energy_j < best_energy) {
+      best_energy = c.energy_j;
+      best = level;
+    }
+  }
+  return best;
+}
+
+}  // namespace powerlens::hw

@@ -1,0 +1,42 @@
+// Closed-form (lag-free) energy/time evaluation of layer ranges at fixed
+// frequency levels.
+//
+// The dataset generator (paper section 2.2) deploys "each block in the power
+// view at all frequencies to select the optimal energy efficiency"; doing
+// that with the full event simulation for 8000 networks x every block x every
+// level would be needlessly slow, and no governor dynamics are involved at a
+// fixed frequency. These helpers compute the same steady-state quantities
+// directly from the latency and power models.
+#pragma once
+
+#include "dnn/graph.hpp"
+#include "hw/latency_model.hpp"
+#include "hw/power_model.hpp"
+
+#include <span>
+
+namespace powerlens::hw {
+
+struct BlockCost {
+  double time_s = 0.0;
+  double energy_j = 0.0;
+
+  double avg_power_w() const noexcept {
+    return time_s > 0.0 ? energy_j / time_s : 0.0;
+  }
+};
+
+// Cost of executing `layers` once at fixed GPU/CPU levels. kInput layers
+// contribute nothing. `cpu_load` is the host-load fraction during inference.
+BlockCost analytic_block_cost(const Platform& platform,
+                              std::span<const dnn::Layer> layers,
+                              std::size_t gpu_level, std::size_t cpu_level,
+                              double cpu_load = 0.2);
+
+// The GPU level minimizing energy for the given layers (energy-optimal ==
+// EE-optimal at fixed work). Ties resolve to the lower level.
+std::size_t optimal_gpu_level(const Platform& platform,
+                              std::span<const dnn::Layer> layers,
+                              std::size_t cpu_level, double cpu_load = 0.2);
+
+}  // namespace powerlens::hw

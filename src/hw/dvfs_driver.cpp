@@ -1,0 +1,66 @@
+#include "hw/dvfs_driver.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+
+namespace powerlens::hw {
+
+SimDvfsDriver::SimDvfsDriver(const Platform& platform)
+    : platform_(&platform), level_(platform.max_gpu_level()) {}
+
+bool SimDvfsDriver::set_gpu_level(std::size_t level) {
+  if (level >= platform_->gpu_levels()) {
+    throw std::out_of_range("SimDvfsDriver: level out of range");
+  }
+  if (level != level_) {
+    level_ = level;
+    ++transitions_;
+  }
+  return true;
+}
+
+SysfsDvfsDriver::SysfsDvfsDriver(const Platform& platform,
+                                 std::string devfreq_path)
+    : platform_(&platform),
+      path_(std::move(devfreq_path)),
+      level_(platform.max_gpu_level()) {
+  if (path_.empty()) {
+    throw std::invalid_argument("SysfsDvfsDriver: empty devfreq path");
+  }
+}
+
+bool SysfsDvfsDriver::available() const {
+  const std::ifstream probe(path_ + "/available_frequencies");
+  return probe.good();
+}
+
+bool SysfsDvfsDriver::set_gpu_level(std::size_t level) {
+  if (level >= platform_->gpu_levels()) {
+    throw std::out_of_range("SysfsDvfsDriver: level out of range");
+  }
+  // Pinning the clock means equal min and max frequency — exactly what
+  // jetson_clocks does to lock MAXN clocks.
+  const long long hz =
+      static_cast<long long>(platform_->gpu_freq(level));
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%lld", hz);
+
+  std::ofstream min_f(path_ + "/min_freq");
+  std::ofstream max_f(path_ + "/max_freq");
+  if (!min_f || !max_f) return false;
+  // Write order matters on devfreq: raising min above the current max is
+  // rejected, so set max first when climbing and min first when dropping.
+  if (static_cast<long long>(platform_->gpu_freq(level_)) < hz) {
+    max_f << buf << '\n';
+    min_f << buf << '\n';
+  } else {
+    min_f << buf << '\n';
+    max_f << buf << '\n';
+  }
+  if (!min_f || !max_f) return false;
+  level_ = level;
+  return true;
+}
+
+}  // namespace powerlens::hw

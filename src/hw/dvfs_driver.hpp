@@ -1,0 +1,81 @@
+// DVFS driver facade: the deployment seam between PowerLens and a platform.
+//
+// On the paper's hardware the preset instrumentation points execute as
+// writes to the Jetson devfreq sysfs nodes (the same path jetson_clocks
+// scripts use); in this repository the runtime drives the simulation engine
+// instead. Both sit behind this interface, so the instrumentation code is
+// identical whether it runs on a board or in the simulator:
+//
+//   - SimDvfsDriver     — adapter used by examples/tests; applies levels to a
+//                         RunPolicy-owned schedule state.
+//   - SysfsDvfsDriver   — writes the frequency to a devfreq node
+//                         (/sys/class/devfreq/<dev>/{min,max}_freq). Compiles
+//                         everywhere; fails cleanly at runtime off-device.
+#pragma once
+
+#include "hw/platform.hpp"
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+namespace powerlens::hw {
+
+class DvfsDriver {
+ public:
+  virtual ~DvfsDriver() = default;
+
+  // Requests a GPU frequency-ladder level. Returns false if the request
+  // could not be issued (e.g. sysfs node missing); throws std::out_of_range
+  // for an invalid level.
+  virtual bool set_gpu_level(std::size_t level) = 0;
+  // Last successfully requested level.
+  virtual std::size_t gpu_level() const noexcept = 0;
+  virtual std::string_view name() const noexcept = 0;
+};
+
+// In-memory driver for the simulated platforms; also serves as the test
+// double for instrumentation code.
+class SimDvfsDriver final : public DvfsDriver {
+ public:
+  explicit SimDvfsDriver(const Platform& platform);
+
+  bool set_gpu_level(std::size_t level) override;
+  std::size_t gpu_level() const noexcept override { return level_; }
+  std::string_view name() const noexcept override { return "sim"; }
+
+  // Number of successful set calls — mirrors the transition counters the
+  // engine keeps.
+  std::size_t transitions() const noexcept { return transitions_; }
+
+ private:
+  const Platform* platform_;  // non-owning
+  std::size_t level_;
+  std::size_t transitions_ = 0;
+};
+
+// Jetson devfreq driver: pins the GPU clock by writing the ladder frequency
+// into min_freq and max_freq of a devfreq device (the mechanism behind
+// jetson_clocks). Requires root on a real board; off-device every set call
+// returns false.
+class SysfsDvfsDriver final : public DvfsDriver {
+ public:
+  // `devfreq_path` e.g. "/sys/class/devfreq/17000000.gv11b".
+  SysfsDvfsDriver(const Platform& platform, std::string devfreq_path);
+
+  bool set_gpu_level(std::size_t level) override;
+  std::size_t gpu_level() const noexcept override { return level_; }
+  std::string_view name() const noexcept override { return "sysfs"; }
+
+  const std::string& devfreq_path() const noexcept { return path_; }
+  // True if the devfreq node exists and is writable (i.e. running on a
+  // board with sufficient privileges).
+  bool available() const;
+
+ private:
+  const Platform* platform_;  // non-owning
+  std::string path_;
+  std::size_t level_;
+};
+
+}  // namespace powerlens::hw

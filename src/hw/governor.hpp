@@ -1,0 +1,88 @@
+// Runtime DVFS governor interface.
+//
+// Reactive governors (ondemand/BiM, FPG) observe utilization and power over a
+// sampling window and request frequency-level changes — exactly the
+// history-driven paradigm of Figure 1(A), complete with the lag and
+// ping-pong the paper criticizes. PowerLens itself does not implement this
+// interface; it presets a schedule (hw::PresetSchedule) instead.
+#pragma once
+
+#include "hw/platform.hpp"
+
+#include <cstddef>
+#include <optional>
+#include <string_view>
+#include <vector>
+
+namespace powerlens::hw {
+
+// Aggregated observations over one sampling window, the analogue of what a
+// real governor reads from sysfs load counters and the power rails.
+struct GovernorSample {
+  double time_s = 0.0;     // end of the window
+  double window_s = 0.0;   // window duration
+  // Mean kernel-resident (busy) fraction — the sysfs "load" a real governor
+  // reads. Memory stalls count as busy, so DNN inference reads near 1.0.
+  double gpu_util = 0.0;
+  // Mean ALU-activity fraction — actual compute throughput achieved. Only
+  // model-aware heuristics (FPG's EDP proxy) exploit this.
+  double gpu_compute_util = 0.0;
+  double mem_util = 0.0;   // mean DRAM-bandwidth fraction
+  double cpu_util = 0.0;   // mean host CPU load
+  double power_w = 0.0;    // mean board power
+  double throughput = 0.0; // images retired per second over the window
+  std::size_t gpu_level = 0;
+  std::size_t cpu_level = 0;
+};
+
+struct GovernorDecision {
+  std::optional<std::size_t> gpu_level;
+  std::optional<std::size_t> cpu_level;
+};
+
+class Governor {
+ public:
+  virtual ~Governor() = default;
+
+  // Called once before a run; governors reset history here.
+  virtual void reset(const Platform& platform) = 0;
+  virtual double sample_period_s() const noexcept = 0;
+  virtual GovernorDecision on_sample(const GovernorSample& sample) = 0;
+  virtual std::string_view name() const noexcept = 0;
+};
+
+// A preset DVFS instrumentation plan: when execution reaches layer
+// `layer_index` (of each forward pass), the GPU is switched to `gpu_level`.
+// This is the output of PowerLens's offline pipeline (paper section 2.1.4).
+struct PresetPoint {
+  std::size_t layer_index = 0;
+  std::size_t gpu_level = 0;
+};
+
+struct PresetSchedule {
+  std::vector<PresetPoint> points;  // sorted by layer_index, unique indices
+  // Optional CPU presets (the paper's future-work extension: "incorporate
+  // more configurable optimization options, such as CPU DVFS"). Same layout;
+  // gpu_level is reinterpreted as a CPU ladder level.
+  std::vector<PresetPoint> cpu_points;
+
+  // Level preset for a layer index, if any.
+  std::optional<std::size_t> level_at(std::size_t layer_index) const {
+    return find(points, layer_index);
+  }
+  std::optional<std::size_t> cpu_level_at(std::size_t layer_index) const {
+    return find(cpu_points, layer_index);
+  }
+
+ private:
+  static std::optional<std::size_t> find(const std::vector<PresetPoint>& pts,
+                                         std::size_t layer_index) {
+    for (const PresetPoint& p : pts) {
+      if (p.layer_index == layer_index) return p.gpu_level;
+      if (p.layer_index > layer_index) break;
+    }
+    return std::nullopt;
+  }
+};
+
+}  // namespace powerlens::hw

@@ -1,0 +1,133 @@
+#include "hw/platform.hpp"
+
+namespace powerlens::hw {
+
+namespace {
+
+constexpr double kMHz = 1e6;
+
+}  // namespace
+
+void Platform::validate() const {
+  auto check_ladder = [](const std::vector<double>& f, const char* what) {
+    if (f.size() < 2) {
+      throw std::invalid_argument(std::string("Platform: ") + what +
+                                  " ladder needs at least two levels");
+    }
+    for (std::size_t i = 0; i < f.size(); ++i) {
+      if (f[i] <= 0.0 || (i > 0 && f[i] <= f[i - 1])) {
+        throw std::invalid_argument(std::string("Platform: ") + what +
+                                    " ladder must be positive ascending");
+      }
+    }
+  };
+  check_ladder(gpu.freqs_hz, "gpu");
+  check_ladder(cpu.freqs_hz, "cpu");
+  if (gpu.v_min <= 0.0 || gpu.v_max < gpu.v_min || gpu.v_exponent <= 0.0) {
+    throw std::invalid_argument("Platform: bad gpu voltage curve");
+  }
+  if (gpu.cuda_cores <= 0 || gpu.c_eff <= 0.0) {
+    throw std::invalid_argument("Platform: bad gpu compute/power spec");
+  }
+  if (mem.bandwidth_bytes_per_s <= 0.0 || mem.efficiency <= 0.0 ||
+      mem.efficiency > 1.0 || mem.traffic_amplification < 1.0) {
+    throw std::invalid_argument("Platform: bad memory spec");
+  }
+  if (base_power_w < 0.0 || dvfs.latency_s < 0.0 || dvfs.stall_s < 0.0 ||
+      telemetry_period_s <= 0.0) {
+    throw std::invalid_argument("Platform: bad power/timing constants");
+  }
+}
+
+Platform make_tx2() {
+  Platform p;
+  p.name = "tx2";
+  // 13 GPU levels, 114-1300 MHz (Jetson TX2 gp10b frequency table).
+  p.gpu.freqs_hz = {114.75 * kMHz, 216.75 * kMHz, 318.75 * kMHz,
+                    420.75 * kMHz, 522.75 * kMHz, 624.75 * kMHz,
+                    726.75 * kMHz, 854.25 * kMHz, 930.75 * kMHz,
+                    1032.75 * kMHz, 1122.0 * kMHz, 1236.75 * kMHz,
+                    1300.5 * kMHz};
+  p.gpu.v_min = 0.55;
+  p.gpu.v_max = 1.10;
+  p.gpu.v_exponent = 1.3;
+  p.gpu.cuda_cores = 256;  // 2 Pascal SMs
+  p.gpu.flops_per_core_per_cycle = 2.0;
+  p.gpu.c_eff = 7.6e-9;            // ~12 W dynamic at f_max, V_max
+  p.gpu.static_w_per_volt = 0.7;
+  p.gpu.stall_activity = 0.50;
+
+  // Quad-core Cortex-A57 cluster (Denver cluster offline in MAXN defaults).
+  p.cpu.cores = 4;
+  p.cpu.freqs_hz = {345.6 * kMHz, 499.2 * kMHz, 652.8 * kMHz, 806.4 * kMHz,
+                    960.0 * kMHz, 1113.6 * kMHz, 1267.2 * kMHz,
+                    1420.8 * kMHz, 1574.4 * kMHz, 1728.0 * kMHz,
+                    1881.6 * kMHz, 2035.2 * kMHz};
+  p.cpu.v_min = 0.60;
+  p.cpu.v_max = 1.05;
+  p.cpu.c_eff = 1.2e-9;  // ~2.7 W dynamic at f_max
+  p.cpu.static_w_per_volt = 0.3;
+  p.cpu.launch_overhead_s = 25e-6;
+
+  p.mem.bandwidth_bytes_per_s = 58.3e9;  // 128-bit LPDDR4
+  p.mem.efficiency = 0.70;
+  // PyTorch-era conv kernels lower to im2col + GEMM: a 3x3 convolution
+  // re-reads its input ~K^2 times, so DRAM traffic runs several times the
+  // tensor footprint. This is what makes Jetson inference memory-bound at
+  // the top of the ladder (fps flattens past ~60% f_max in measurements).
+  p.mem.traffic_amplification = 6.5;
+  p.mem.active_power_w = 1.6;
+
+  p.base_power_w = 1.6;
+  p.dvfs = {0.048, 0.002};
+  p.telemetry_period_s = 0.05;
+  p.validate();
+  return p;
+}
+
+Platform make_agx() {
+  Platform p;
+  p.name = "agx";
+  // 14 GPU levels, 114-1377 MHz (Jetson AGX Xavier gv11b frequency table).
+  p.gpu.freqs_hz = {114.75 * kMHz, 216.75 * kMHz, 318.75 * kMHz,
+                    420.75 * kMHz, 522.75 * kMHz, 624.75 * kMHz,
+                    675.75 * kMHz, 828.75 * kMHz, 905.25 * kMHz,
+                    1032.75 * kMHz, 1198.5 * kMHz, 1236.75 * kMHz,
+                    1338.75 * kMHz, 1377.0 * kMHz};
+  p.gpu.v_min = 0.50;
+  p.gpu.v_max = 1.15;
+  // Steeper top end than TX2: Xavier's Volta V/f curve rises sharply past
+  // ~1 GHz, which is what makes MAXN's pinned-max behaviour so wasteful.
+  p.gpu.v_exponent = 1.35;
+  p.gpu.cuda_cores = 512;  // 8 Volta SMs
+  p.gpu.flops_per_core_per_cycle = 2.0;
+  p.gpu.c_eff = 1.65e-8;           // ~30 W dynamic at f_max, V_max
+  p.gpu.static_w_per_volt = 1.0;
+  p.gpu.stall_activity = 0.50;
+
+  // 8 Carmel cores.
+  p.cpu.cores = 8;
+  p.cpu.freqs_hz = {729.6 * kMHz, 960.0 * kMHz, 1190.4 * kMHz, 1420.8 * kMHz,
+                    1651.2 * kMHz, 1881.6 * kMHz, 2112.0 * kMHz,
+                    2265.6 * kMHz};
+  p.cpu.v_min = 0.60;
+  p.cpu.v_max = 1.05;
+  p.cpu.c_eff = 1.4e-9;  // ~3.5 W dynamic at f_max
+  p.cpu.static_w_per_volt = 0.3;
+  p.cpu.launch_overhead_s = 12e-6;
+
+  p.mem.bandwidth_bytes_per_s = 137.0e9;  // 256-bit LPDDR4x
+  p.mem.efficiency = 0.75;
+  // See TX2 note: im2col traffic amplification; Xavier's larger caches help
+  // a little less than its bandwidth advantage suggests.
+  p.mem.traffic_amplification = 8.0;
+  p.mem.active_power_w = 2.6;
+
+  p.base_power_w = 2.2;
+  p.dvfs = {0.048, 0.002};
+  p.telemetry_period_s = 0.05;
+  p.validate();
+  return p;
+}
+
+}  // namespace powerlens::hw

@@ -1,0 +1,105 @@
+// Simulated embedded-GPU platforms.
+//
+// The paper deploys on NVIDIA Jetson TX2 and Jetson AGX Xavier in MAXN mode.
+// This module reproduces those platforms as calibrated analytic models: the
+// exact GPU frequency ladders the paper states (TX2: 13 levels, 114-1300 MHz;
+// AGX: 14 levels, 114-1370 MHz), a voltage/frequency curve, peak arithmetic
+// throughput and DRAM bandwidth from the devices' datasheets, and the DVFS
+// transition cost the paper measures (~50 ms, section 3.3).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace powerlens::hw {
+
+// GPU compute/power description.
+struct GpuSpec {
+  // Frequency ladder in Hz, ascending. Levels are indexed 0..n-1.
+  std::vector<double> freqs_hz;
+  double v_min = 0.65;        // volts at freqs_hz.front()
+  double v_max = 1.10;        // volts at freqs_hz.back()
+  double v_exponent = 1.0;    // V(f) curvature; >1 = steeper near f_max
+  int cuda_cores = 256;
+  double flops_per_core_per_cycle = 2.0;  // FMA counts as two FLOPs
+  double c_eff = 0.0;         // effective switched capacitance (W / (V^2 Hz))
+  double static_w_per_volt = 0.0;  // leakage, linear in V
+  // Dynamic-activity floor while a kernel is memory-stalled: schedulers,
+  // caches, and the memory subsystem keep toggling even when the ALUs wait
+  // on DRAM. This is what makes downclocking memory-bound blocks pay — the
+  // clock (and V^2) drop while the DRAM-bound runtime stays flat.
+  double stall_activity = 0.35;
+};
+
+// CPU description (exercised by the FPG-C+G baseline and host overhead).
+struct CpuSpec {
+  std::vector<double> freqs_hz;
+  int cores = 4;
+  double v_min = 0.60;
+  double v_max = 1.05;
+  double c_eff = 0.0;
+  double static_w_per_volt = 0.0;
+  // Host-side per-kernel-launch overhead at f_max, seconds; scales as 1/f.
+  double launch_overhead_s = 15e-6;
+};
+
+struct MemSpec {
+  double bandwidth_bytes_per_s = 0.0;
+  double efficiency = 0.75;       // achievable fraction of peak bandwidth
+  // Actual DRAM traffic / theoretical tensor footprint. Real kernels re-read
+  // inputs (im2col, halo regions), write-allocate, and miss caches, so the
+  // footprint understates traffic severely; this multiplies layer bytes.
+  double traffic_amplification = 1.0;
+  double active_power_w = 0.0;    // DRAM power at full-bandwidth streaming
+};
+
+struct DvfsCost {
+  // Delay between issuing a frequency change and it taking effect; execution
+  // continues at the old frequency meanwhile (sysfs path + clock relock).
+  double latency_s = 0.048;
+  // Hard stall while the host blocks in the driver write; no forward
+  // progress. latency + stall reproduces the ~50 ms per-switch overhead the
+  // paper measures (section 3.3).
+  double stall_s = 0.002;
+};
+
+struct Platform {
+  std::string name;
+  GpuSpec gpu;
+  CpuSpec cpu;
+  MemSpec mem;
+  double base_power_w = 0.0;  // board: regulators, carrier, idle peripherals
+  DvfsCost dvfs;
+  double telemetry_period_s = 0.05;  // tegrastats-equivalent sampling
+
+  std::size_t gpu_levels() const noexcept { return gpu.freqs_hz.size(); }
+  std::size_t cpu_levels() const noexcept { return cpu.freqs_hz.size(); }
+  std::size_t max_gpu_level() const noexcept { return gpu_levels() - 1; }
+  std::size_t max_cpu_level() const noexcept { return cpu_levels() - 1; }
+
+  double gpu_freq(std::size_t level) const {
+    if (level >= gpu.freqs_hz.size()) {
+      throw std::out_of_range("Platform: gpu level out of range");
+    }
+    return gpu.freqs_hz[level];
+  }
+  double cpu_freq(std::size_t level) const {
+    if (level >= cpu.freqs_hz.size()) {
+      throw std::out_of_range("Platform: cpu level out of range");
+    }
+    return cpu.freqs_hz[level];
+  }
+
+  // Throws std::invalid_argument on an inconsistent specification.
+  void validate() const;
+};
+
+// The two platforms of the paper's evaluation.
+Platform make_tx2();
+Platform make_agx();
+
+}  // namespace powerlens::hw

@@ -1,0 +1,61 @@
+#include "hw/power_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace powerlens::hw {
+
+PowerModel::PowerModel(const Platform& platform) : platform_(&platform) {}
+
+double PowerModel::interp_voltage(double freq_hz, double f_min, double f_max,
+                                  double v_min, double v_max,
+                                  double exponent) noexcept {
+  const double t =
+      std::clamp((freq_hz - f_min) / (f_max - f_min), 0.0, 1.0);
+  return v_min + (v_max - v_min) * std::pow(t, exponent);
+}
+
+double PowerModel::gpu_voltage(double freq_hz) const noexcept {
+  const GpuSpec& g = platform_->gpu;
+  return interp_voltage(freq_hz, g.freqs_hz.front(), g.freqs_hz.back(),
+                        g.v_min, g.v_max, g.v_exponent);
+}
+
+double PowerModel::cpu_voltage(double freq_hz) const noexcept {
+  const CpuSpec& c = platform_->cpu;
+  return interp_voltage(freq_hz, c.freqs_hz.front(), c.freqs_hz.back(),
+                        c.v_min, c.v_max, 1.0);
+}
+
+double PowerModel::gpu_dynamic_w(double freq_hz,
+                                 double activity) const noexcept {
+  const double v = gpu_voltage(freq_hz);
+  return platform_->gpu.c_eff * v * v * freq_hz *
+         std::clamp(activity, 0.0, 1.0);
+}
+
+double PowerModel::gpu_static_w(double freq_hz) const noexcept {
+  return platform_->gpu.static_w_per_volt * gpu_voltage(freq_hz);
+}
+
+double PowerModel::cpu_power_w(double freq_hz, double load) const noexcept {
+  const double v = cpu_voltage(freq_hz);
+  return platform_->cpu.c_eff * v * v * freq_hz *
+             std::clamp(load, 0.0, 1.0) +
+         platform_->cpu.static_w_per_volt * v;
+}
+
+double PowerModel::mem_power_w(double bandwidth_fraction) const noexcept {
+  return platform_->mem.active_power_w *
+         std::clamp(bandwidth_fraction, 0.0, 1.0);
+}
+
+double PowerModel::total_w(double gpu_freq_hz, double cpu_freq_hz,
+                           const ActivityState& activity) const noexcept {
+  return gpu_dynamic_w(gpu_freq_hz, activity.gpu_compute) +
+         gpu_static_w(gpu_freq_hz) +
+         cpu_power_w(cpu_freq_hz, activity.cpu) + mem_power_w(activity.mem) +
+         platform_->base_power_w;
+}
+
+}  // namespace powerlens::hw

@@ -1,0 +1,52 @@
+// Analytic power model for the simulated platforms.
+//
+// Board power decomposes into:
+//   P = P_gpu_dyn(V, f, activity) + P_gpu_static(V)
+//     + P_cpu_dyn + P_cpu_static
+//     + P_mem(bandwidth utilization) + P_base
+// with the classic CMOS dynamic term C_eff * V^2 * f * activity and a
+// leakage term linear in V. The voltage/frequency curve interpolates
+// between (f_min, V_min) and (f_max, V_max) with a configurable exponent —
+// embedded GPU rails rise sharply near f_max, which is exactly the region
+// DVFS exploits.
+#pragma once
+
+#include "hw/platform.hpp"
+
+namespace powerlens::hw {
+
+// Instantaneous activity factors observed over a simulation slice.
+struct ActivityState {
+  double gpu_compute = 0.0;  // fraction of the slice the ALUs were busy
+  double mem = 0.0;          // fraction of peak DRAM bandwidth in use
+  double cpu = 0.0;          // host CPU load fraction
+};
+
+class PowerModel {
+ public:
+  explicit PowerModel(const Platform& platform);
+
+  // GPU core voltage at a ladder frequency (interpolated for mid values).
+  double gpu_voltage(double freq_hz) const noexcept;
+  double cpu_voltage(double freq_hz) const noexcept;
+
+  double gpu_dynamic_w(double freq_hz, double activity) const noexcept;
+  double gpu_static_w(double freq_hz) const noexcept;
+  double cpu_power_w(double freq_hz, double load) const noexcept;
+  double mem_power_w(double bandwidth_fraction) const noexcept;
+
+  // Total board power for a slice.
+  double total_w(double gpu_freq_hz, double cpu_freq_hz,
+                 const ActivityState& activity) const noexcept;
+
+  double base_power_w() const noexcept { return platform_->base_power_w; }
+
+ private:
+  static double interp_voltage(double freq_hz, double f_min, double f_max,
+                               double v_min, double v_max,
+                               double exponent) noexcept;
+
+  const Platform* platform_;  // non-owning; Platform outlives the model
+};
+
+}  // namespace powerlens::hw

@@ -1,0 +1,272 @@
+#include "hw/sim_engine.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace powerlens::hw {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+// Guard against zero-length slices looping forever on FP round-off.
+constexpr double kMinSlice = 1e-12;
+
+}  // namespace
+
+struct SimEngine::State {
+  double time = 0.0;
+  double energy = 0.0;
+  std::int64_t images = 0;
+  std::size_t transitions = 0;
+
+  std::size_t gpu_level = 0;       // effective level
+  std::size_t cpu_level = 0;
+  std::size_t gpu_pending = 0;     // target of an in-flight change
+  double gpu_pending_at = kInf;    // effect time (kInf = none)
+  std::size_t cpu_pending = 0;
+  double cpu_pending_at = kInf;
+
+  // Governor accumulators over the current sampling window.
+  double win_start = 0.0;
+  double win_gpu_util = 0.0;   // integral of busy-fraction dt
+  double win_gpu_compute = 0.0;  // integral of ALU-activity dt
+  double win_mem_util = 0.0;
+  double win_cpu_util = 0.0;
+  double win_cpu_peak = 0.0;   // integral of launcher-thread load dt
+  double win_energy = 0.0;
+  std::int64_t win_images = 0;
+  double next_sample_at = kInf;
+
+  double cpu_load = 0.2;
+
+  std::vector<FreqTracePoint> trace;
+  Telemetry telemetry{0.05};
+};
+
+SimEngine::SimEngine(const Platform& platform)
+    : platform_(&platform), latency_(platform), power_(platform) {
+  platform.validate();
+}
+
+RunPolicy SimEngine::default_policy() const noexcept {
+  RunPolicy p;
+  p.initial_gpu_level = platform_->max_gpu_level();
+  p.initial_cpu_level = platform_->max_cpu_level();
+  return p;
+}
+
+void SimEngine::advance(State& st, double dt, const ActivityState& activity,
+                        double gpu_busy) {
+  if (dt <= 0.0) return;
+  const double gpu_f = platform_->gpu_freq(st.gpu_level);
+  const double cpu_f = platform_->cpu_freq(st.cpu_level);
+  const double p = power_.total_w(gpu_f, cpu_f, activity);
+  st.energy += p * dt;
+  st.telemetry.record_slice(st.time, dt, p);
+  st.win_gpu_util += gpu_busy * dt;
+  st.win_gpu_compute += activity.gpu_compute * dt;
+  st.win_mem_util += activity.mem * dt;
+  st.win_cpu_util += activity.cpu * dt;
+  st.win_energy += p * dt;
+  st.time += dt;
+}
+
+void SimEngine::request_gpu_level(State& st, std::size_t level) {
+  if (level >= platform_->gpu_levels()) {
+    throw std::out_of_range("SimEngine: gpu level out of range");
+  }
+  const std::size_t target =
+      st.gpu_pending_at < kInf ? st.gpu_pending : st.gpu_level;
+  if (level == target) return;
+
+  ++st.transitions;
+  // The host blocks while the clock request goes through the driver; no
+  // forward progress, near-idle GPU activity.
+  advance(st, platform_->dvfs.stall_s, ActivityState{0.0, 0.0, st.cpu_load},
+          /*gpu_busy=*/0.0);
+  st.gpu_pending = level;
+  st.gpu_pending_at = st.time + platform_->dvfs.latency_s;
+}
+
+void SimEngine::request_cpu_level(State& st, std::size_t level) {
+  if (level >= platform_->cpu_levels()) {
+    throw std::out_of_range("SimEngine: cpu level out of range");
+  }
+  const std::size_t target =
+      st.cpu_pending_at < kInf ? st.cpu_pending : st.cpu_level;
+  if (level == target) return;
+  // CPU cpufreq switches are cheap relative to the GPU path; effect-only.
+  st.cpu_pending = level;
+  st.cpu_pending_at = st.time + 1e-3;
+}
+
+void SimEngine::apply_pending(State& st) {
+  if (st.time >= st.gpu_pending_at) {
+    st.gpu_level = st.gpu_pending;
+    st.gpu_pending_at = kInf;
+    st.trace.push_back({st.time, st.gpu_level});
+  }
+  if (st.time >= st.cpu_pending_at) {
+    st.cpu_level = st.cpu_pending;
+    st.cpu_pending_at = kInf;
+  }
+}
+
+void SimEngine::governor_sample(State& st, const RunPolicy& policy) {
+  const double window = st.time - st.win_start;
+  GovernorSample s;
+  s.time_s = st.time;
+  s.window_s = window;
+  if (window > 0.0) {
+    s.gpu_util = st.win_gpu_util / window;
+    s.gpu_compute_util = st.win_gpu_compute / window;
+    s.mem_util = st.win_mem_util / window;
+    // Governors see the busiest core, cpufreq-style.
+    s.cpu_util = st.win_cpu_peak / window;
+    s.power_w = st.win_energy / window;
+    s.throughput = static_cast<double>(st.win_images) / window;
+  }
+  s.gpu_level = st.gpu_level;
+  s.cpu_level = st.cpu_level;
+
+  const GovernorDecision d = policy.governor->on_sample(s);
+  // Preset schedules own the GPU ladder; a concurrent reactive governor may
+  // still drive the CPU (the paper's deployments keep CPU ondemand).
+  if (d.gpu_level && policy.schedule == nullptr) {
+    request_gpu_level(st, *d.gpu_level);
+  }
+  if (d.cpu_level) request_cpu_level(st, *d.cpu_level);
+
+  st.win_start = st.time;
+  st.win_gpu_util = 0.0;
+  st.win_gpu_compute = 0.0;
+  st.win_mem_util = 0.0;
+  st.win_cpu_util = 0.0;
+  st.win_cpu_peak = 0.0;
+  st.win_energy = 0.0;
+  st.win_images = 0;
+  st.next_sample_at = st.time + policy.governor->sample_period_s();
+}
+
+void SimEngine::execute_graph(const dnn::Graph& graph, int passes,
+                              const RunPolicy& policy, State& st) {
+  if (passes <= 0) throw std::invalid_argument("SimEngine: passes <= 0");
+
+  for (int pass = 0; pass < passes; ++pass) {
+    for (std::size_t i = 0; i < graph.size(); ++i) {
+      if (policy.schedule != nullptr) {
+        if (const auto level = policy.schedule->level_at(i)) {
+          request_gpu_level(st, *level);
+        }
+        if (const auto cpu = policy.schedule->cpu_level_at(i)) {
+          request_cpu_level(st, *cpu);
+        }
+      }
+      const dnn::Layer& layer = graph.layer(i);
+      if (layer.type == dnn::OpType::kInput) continue;
+
+      double remaining = 1.0;  // fraction of the layer still to execute
+      while (remaining > kMinSlice) {
+        apply_pending(st);
+        const LayerTiming t =
+            latency_.time_layer(layer, platform_->gpu_freq(st.gpu_level),
+                                platform_->cpu_freq(st.cpu_level));
+        if (t.total_s <= 0.0) break;
+
+        const double layer_dt = remaining * t.total_s;
+        double dt = layer_dt;
+        dt = std::min(dt, st.gpu_pending_at - st.time);
+        dt = std::min(dt, st.cpu_pending_at - st.time);
+        dt = std::min(dt, st.next_sample_at - st.time);
+        dt = std::max(dt, kMinSlice);
+
+        // Launcher-thread load is work-conserving: fixed cycles per second
+        // of inference, so its busy fraction rises as the CPU slows. The
+        // average load (for power) spreads it over the cores.
+        const double launcher = std::min(
+            1.0, policy.launcher_load * platform_->cpu.freqs_hz.back() /
+                     platform_->cpu_freq(st.cpu_level));
+        const double cpu_act = std::min(
+            1.0, policy.cpu_load +
+                     launcher / static_cast<double>(platform_->cpu.cores));
+        st.win_cpu_peak += launcher * dt;
+        advance(st, dt, ActivityState{t.gpu_activity, t.mem_activity, cpu_act},
+                t.gpu_busy);
+        remaining -= dt / t.total_s;
+
+        apply_pending(st);
+        if (policy.governor != nullptr && st.time >= st.next_sample_at) {
+          governor_sample(st, policy);
+        }
+      }
+    }
+    st.images += graph.batch_size();
+    st.win_images += graph.batch_size();
+
+    // Host-side inter-pass gap: GPU idle, launcher busy preparing the next
+    // batch. Sliced against governor sampling so the utilization dip is
+    // observable.
+    double gap = policy.inter_pass_gap_s;
+    while (gap > kMinSlice) {
+      apply_pending(st);
+      double dt = gap;
+      dt = std::min(dt, st.gpu_pending_at - st.time);
+      dt = std::min(dt, st.cpu_pending_at - st.time);
+      dt = std::min(dt, st.next_sample_at - st.time);
+      dt = std::max(dt, kMinSlice);
+      const double cpu_act = std::min(
+          1.0, policy.cpu_load +
+                   policy.launcher_load /
+                       static_cast<double>(platform_->cpu.cores));
+      st.win_cpu_peak += policy.launcher_load * dt;
+      advance(st, dt, ActivityState{0.0, 0.0, cpu_act}, /*gpu_busy=*/0.0);
+      gap -= dt;
+      apply_pending(st);
+      if (policy.governor != nullptr && st.time >= st.next_sample_at) {
+        governor_sample(st, policy);
+      }
+    }
+  }
+}
+
+ExecutionResult SimEngine::run(const dnn::Graph& graph, int passes,
+                               const RunPolicy& policy) {
+  const WorkItem item{&graph, passes};
+  return run_workload(std::span<const WorkItem>{&item, 1}, policy);
+}
+
+ExecutionResult SimEngine::run_workload(std::span<const WorkItem> items,
+                                        const RunPolicy& policy) {
+  State st;
+  st.cpu_load = policy.cpu_load;
+  st.gpu_level = policy.initial_gpu_level;
+  st.cpu_level = policy.initial_cpu_level;
+  st.telemetry = Telemetry(platform_->telemetry_period_s);
+  st.trace.push_back({0.0, st.gpu_level});
+
+  if (policy.governor != nullptr) {
+    policy.governor->reset(*platform_);
+    st.next_sample_at = policy.governor->sample_period_s();
+  }
+
+  for (const WorkItem& item : items) {
+    if (item.graph == nullptr) {
+      throw std::invalid_argument("SimEngine: null graph in workload");
+    }
+    execute_graph(*item.graph, item.passes, policy, st);
+  }
+  st.telemetry.finish(st.time);
+
+  ExecutionResult r;
+  r.time_s = st.time;
+  r.energy_j = st.energy;
+  r.images = st.images;
+  r.dvfs_transitions = st.transitions;
+  r.gpu_trace = std::move(st.trace);
+  r.power_samples.assign(st.telemetry.samples().begin(),
+                         st.telemetry.samples().end());
+  return r;
+}
+
+}  // namespace powerlens::hw

@@ -1,0 +1,114 @@
+// Time-stepped execution engine for DNN inference on the simulated platform.
+//
+// The engine walks a Graph layer by layer, advancing a simulation clock in
+// slices bounded by: the end of the current layer, the next reactive-governor
+// sampling instant, and pending DVFS level changes taking effect. Within a
+// slice the frequency pair is constant, so power integrates exactly. This is
+// what lets reactive governors exhibit their real pathologies — response lag
+// (a block transition is only noticed at the next sample) and ping-pong
+// (oscillating between levels around a utilization threshold) — while
+// PowerLens's preset schedule switches exactly at block boundaries.
+#pragma once
+
+#include "dnn/graph.hpp"
+#include "hw/governor.hpp"
+#include "hw/latency_model.hpp"
+#include "hw/platform.hpp"
+#include "hw/power_model.hpp"
+#include "hw/telemetry.hpp"
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace powerlens::hw {
+
+struct WorkItem {
+  const dnn::Graph* graph = nullptr;
+  int passes = 1;  // forward passes; images = passes * batch
+};
+
+struct RunPolicy {
+  // Reactive control; may be null. Decides GPU and/or CPU levels.
+  Governor* governor = nullptr;
+  // Preset GPU schedule (PowerLens / ablations); overrides any GPU decision
+  // from `governor`. May be null.
+  const PresetSchedule* schedule = nullptr;
+  // Starting levels. Defaults (set by SimEngine::default_policy) are the
+  // maximum levels, matching MAXN boot state.
+  std::size_t initial_gpu_level = 0;
+  std::size_t initial_cpu_level = 0;
+  // Mean host load fraction across all cores while inference runs (feeds
+  // CPU power).
+  double cpu_load = 0.2;
+  // Host-side gap between forward passes (next-batch preparation, result
+  // copy). The GPU idles here — precisely the utilization dip that makes
+  // reactive governors oscillate (Figure 1(A)): ondemand scales down in the
+  // gap, then lags through the start of the next pass.
+  double inter_pass_gap_s = 0.010;
+  // Busy fraction of the kernel-launching thread at maximum CPU frequency.
+  // The launcher's work is fixed cycles, so its busy fraction scales as
+  // f_max/f — and it is the *per-core peak* load that cpufreq governors see,
+  // which is why ondemand keeps the CPU clock high during inference.
+  double launcher_load = 0.6;
+};
+
+struct FreqTracePoint {
+  double time_s = 0.0;
+  std::size_t gpu_level = 0;
+};
+
+struct ExecutionResult {
+  double time_s = 0.0;
+  double energy_j = 0.0;
+  std::int64_t images = 0;
+  std::size_t dvfs_transitions = 0;
+  std::vector<FreqTracePoint> gpu_trace;  // level changes (incl. initial)
+  std::vector<PowerSample> power_samples; // tegrastats-style trace
+
+  double avg_power_w() const noexcept {
+    return time_s > 0.0 ? energy_j / time_s : 0.0;
+  }
+  double fps() const noexcept {
+    return time_s > 0.0 ? static_cast<double>(images) / time_s : 0.0;
+  }
+  // The paper's metric (eq. 1): images per joule.
+  double energy_efficiency() const noexcept {
+    return energy_j > 0.0 ? static_cast<double>(images) / energy_j : 0.0;
+  }
+};
+
+class SimEngine {
+ public:
+  explicit SimEngine(const Platform& platform);
+
+  // A policy starting from MAXN state (both ladders at maximum).
+  RunPolicy default_policy() const noexcept;
+
+  // Runs `passes` forward passes of one graph.
+  ExecutionResult run(const dnn::Graph& graph, int passes,
+                      const RunPolicy& policy);
+
+  // Runs a task flow of multiple items back to back (Figure 5 workload).
+  ExecutionResult run_workload(std::span<const WorkItem> items,
+                               const RunPolicy& policy);
+
+  const Platform& platform() const noexcept { return *platform_; }
+
+ private:
+  struct State;
+  void execute_graph(const dnn::Graph& graph, int passes,
+                     const RunPolicy& policy, State& st);
+  void advance(State& st, double dt, const ActivityState& activity,
+               double gpu_busy);
+  void request_gpu_level(State& st, std::size_t level);
+  void request_cpu_level(State& st, std::size_t level);
+  void apply_pending(State& st);
+  void governor_sample(State& st, const RunPolicy& policy);
+
+  const Platform* platform_;  // non-owning
+  LatencyModel latency_;
+  PowerModel power_;
+};
+
+}  // namespace powerlens::hw

@@ -1,0 +1,51 @@
+#include "hw/telemetry.hpp"
+
+#include <stdexcept>
+
+namespace powerlens::hw {
+
+Telemetry::Telemetry(double period_s) : period_s_(period_s) {
+  if (period_s <= 0.0) {
+    throw std::invalid_argument("Telemetry: period must be positive");
+  }
+}
+
+void Telemetry::record_slice(double t_start_s, double dt_s, double power_w) {
+  if (dt_s < 0.0) throw std::invalid_argument("Telemetry: negative slice");
+  // Round-off guard: windows within this of full are emitted, and slivers
+  // below it are dropped, so 1.0 s at period 0.1 yields exactly 10 samples.
+  const double eps = period_s_ * 1e-9;
+  double remaining = dt_s;
+  double t = t_start_s;
+  while (remaining > eps) {
+    const double window_left = period_s_ - window_elapsed_s_;
+    const double take = remaining < window_left ? remaining : window_left;
+    window_energy_j_ += power_w * take;
+    window_elapsed_s_ += take;
+    t += take;
+    remaining -= take;
+    if (window_elapsed_s_ >= period_s_ - eps) {
+      samples_.push_back({t, window_energy_j_ / window_elapsed_s_});
+      window_start_s_ = t;
+      window_energy_j_ = 0.0;
+      window_elapsed_s_ = 0.0;
+    }
+  }
+}
+
+void Telemetry::finish(double end_time_s) {
+  if (window_elapsed_s_ > period_s_ * 1e-9) {
+    samples_.push_back({end_time_s, window_energy_j_ / window_elapsed_s_});
+    window_energy_j_ = 0.0;
+    window_elapsed_s_ = 0.0;
+  }
+}
+
+double Telemetry::mean_power_w() const noexcept {
+  if (samples_.empty()) return 0.0;
+  double s = 0.0;
+  for (const PowerSample& p : samples_) s += p.power_w;
+  return s / static_cast<double>(samples_.size());
+}
+
+}  // namespace powerlens::hw

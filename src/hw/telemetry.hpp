@@ -1,0 +1,43 @@
+// tegrastats-equivalent power telemetry.
+//
+// The paper monitors real-time power with tegrastats and integrates it into
+// energy; this class records (time, power) samples at a fixed period from
+// the simulated power rail and exposes the same derived quantities.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace powerlens::hw {
+
+struct PowerSample {
+  double time_s = 0.0;
+  double power_w = 0.0;
+};
+
+class Telemetry {
+ public:
+  explicit Telemetry(double period_s);
+
+  // Integrates a constant-power slice [t, t + dt) into the sample stream;
+  // emits one averaged sample per elapsed period.
+  void record_slice(double t_start_s, double dt_s, double power_w);
+  // Flushes a trailing partial period as a final sample.
+  void finish(double end_time_s);
+
+  std::span<const PowerSample> samples() const noexcept { return samples_; }
+  double period_s() const noexcept { return period_s_; }
+
+  // Mean of recorded samples (0 if none).
+  double mean_power_w() const noexcept;
+
+ private:
+  double period_s_;
+  double window_start_s_ = 0.0;
+  double window_energy_j_ = 0.0;
+  double window_elapsed_s_ = 0.0;
+  std::vector<PowerSample> samples_;
+};
+
+}  // namespace powerlens::hw

@@ -1,0 +1,120 @@
+#include "linalg/eigen.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace powerlens::linalg {
+
+namespace {
+
+// Sum of squares of off-diagonal elements; Jacobi convergence measure.
+double off_diagonal_norm(const Matrix& a) {
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t j = 0; j < a.cols(); ++j) {
+      if (i != j) s += a(i, j) * a(i, j);
+    }
+  }
+  return std::sqrt(s);
+}
+
+}  // namespace
+
+EigenDecomposition eigen_symmetric(const Matrix& a, double symmetry_tol) {
+  if (!a.square()) {
+    throw std::invalid_argument("eigen_symmetric: matrix must be square");
+  }
+  const std::size_t n = a.rows();
+  const double scale = std::max(a.frobenius_norm(), 1.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      if (std::abs(a(i, j) - a(j, i)) > symmetry_tol * scale) {
+        throw std::invalid_argument("eigen_symmetric: matrix not symmetric");
+      }
+    }
+  }
+
+  Matrix d = a;
+  Matrix v = Matrix::identity(n);
+  constexpr int kMaxSweeps = 100;
+  const double tol = 1e-13 * scale;
+
+  for (int sweep = 0; sweep < kMaxSweeps; ++sweep) {
+    if (off_diagonal_norm(d) <= tol) break;
+    for (std::size_t p = 0; p + 1 < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) {
+        const double apq = d(p, q);
+        if (std::abs(apq) <= tol / static_cast<double>(n * n + 1)) continue;
+        const double app = d(p, p);
+        const double aqq = d(q, q);
+        const double theta = (aqq - app) / (2.0 * apq);
+        const double t = (theta >= 0.0 ? 1.0 : -1.0) /
+                         (std::abs(theta) + std::sqrt(theta * theta + 1.0));
+        const double c = 1.0 / std::sqrt(t * t + 1.0);
+        const double s = t * c;
+
+        for (std::size_t k = 0; k < n; ++k) {
+          const double dkp = d(k, p);
+          const double dkq = d(k, q);
+          d(k, p) = c * dkp - s * dkq;
+          d(k, q) = s * dkp + c * dkq;
+        }
+        for (std::size_t k = 0; k < n; ++k) {
+          const double dpk = d(p, k);
+          const double dqk = d(q, k);
+          d(p, k) = c * dpk - s * dqk;
+          d(q, k) = s * dpk + c * dqk;
+        }
+        for (std::size_t k = 0; k < n; ++k) {
+          const double vkp = v(k, p);
+          const double vkq = v(k, q);
+          v(k, p) = c * vkp - s * vkq;
+          v(k, q) = s * vkp + c * vkq;
+        }
+      }
+    }
+  }
+
+  // Sort eigenpairs by descending eigenvalue.
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t i, std::size_t j) {
+    return d(i, i) > d(j, j);
+  });
+
+  EigenDecomposition out;
+  out.values.resize(n);
+  out.vectors = Matrix(n, n);
+  for (std::size_t c = 0; c < n; ++c) {
+    out.values[c] = d(order[c], order[c]);
+    for (std::size_t r = 0; r < n; ++r) out.vectors(r, c) = v(r, order[c]);
+  }
+  return out;
+}
+
+Matrix pseudo_inverse_spd(const Matrix& a, double rcond) {
+  const EigenDecomposition ed = eigen_symmetric(a);
+  const std::size_t n = a.rows();
+  double max_ev = 0.0;
+  for (double ev : ed.values) max_ev = std::max(max_ev, std::abs(ev));
+  const double cutoff = rcond * std::max(max_ev, 1e-300);
+
+  // A^+ = V diag(1/lambda_i where |lambda_i| > cutoff, else 0) V^T.
+  Matrix out(n, n);
+  for (std::size_t k = 0; k < n; ++k) {
+    if (std::abs(ed.values[k]) <= cutoff) continue;
+    const double inv = 1.0 / ed.values[k];
+    for (std::size_t i = 0; i < n; ++i) {
+      const double vik = ed.vectors(i, k);
+      if (vik == 0.0) continue;
+      for (std::size_t j = 0; j < n; ++j) {
+        out(i, j) += inv * vik * ed.vectors(j, k);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace powerlens::linalg

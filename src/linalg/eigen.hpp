@@ -1,0 +1,33 @@
+// Symmetric eigendecomposition (cyclic Jacobi) and Moore-Penrose
+// pseudo-inverse for symmetric positive semi-definite matrices.
+//
+// Algorithm 1 of the paper computes the pseudo-inverse of a feature
+// covariance matrix; covariance matrices are symmetric PSD, so a Jacobi
+// eigendecomposition followed by reciprocal-of-nonzero-eigenvalues
+// reconstruction is exact, simple, and robust to rank deficiency (common
+// when few layers share a feature value).
+#pragma once
+
+#include "linalg/matrix.hpp"
+
+#include <vector>
+
+namespace powerlens::linalg {
+
+struct EigenDecomposition {
+  // Eigenvalues in descending order.
+  std::vector<double> values;
+  // Columns are the corresponding orthonormal eigenvectors.
+  Matrix vectors;
+};
+
+// Decomposes a symmetric matrix A = V diag(values) V^T.
+// Throws std::invalid_argument if `a` is not square or not symmetric
+// (asymmetry beyond `symmetry_tol` * frobenius_norm).
+EigenDecomposition eigen_symmetric(const Matrix& a, double symmetry_tol = 1e-9);
+
+// Moore-Penrose pseudo-inverse of a symmetric PSD matrix. Eigenvalues whose
+// magnitude is below rcond * max_eigenvalue are treated as zero.
+Matrix pseudo_inverse_spd(const Matrix& a, double rcond = 1e-10);
+
+}  // namespace powerlens::linalg

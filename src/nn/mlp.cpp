@@ -1,0 +1,248 @@
+#include "nn/mlp.hpp"
+
+#include "nn/serialize.hpp"
+#include "nn/tensor.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace powerlens::nn {
+
+DenseLayer::DenseLayer(std::size_t in_dim, std::size_t out_dim, bool relu,
+                       std::mt19937_64& rng)
+    : w_(out_dim, in_dim),
+      b_(out_dim, 0.0),
+      relu_(relu),
+      grad_w_(out_dim, in_dim),
+      grad_b_(out_dim, 0.0),
+      m_w_(out_dim, in_dim),
+      v_w_(out_dim, in_dim),
+      m_b_(out_dim, 0.0),
+      v_b_(out_dim, 0.0) {
+  if (in_dim == 0 || out_dim == 0) {
+    throw std::invalid_argument("DenseLayer: zero dimension");
+  }
+  // He initialization, right for the ReLU stages and harmless for the head.
+  std::normal_distribution<double> dist(
+      0.0, std::sqrt(2.0 / static_cast<double>(in_dim)));
+  for (double& v : w_.data()) v = dist(rng);
+}
+
+linalg::Matrix DenseLayer::affine(const linalg::Matrix& x) const {
+  if (x.cols() != w_.cols()) {
+    throw std::invalid_argument("DenseLayer: input dimension mismatch");
+  }
+  linalg::Matrix out(x.rows(), w_.rows());
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    for (std::size_t o = 0; o < w_.rows(); ++o) {
+      out(r, o) = linalg::dot(x.row(r), w_.row(o)) + b_[o];
+    }
+  }
+  return out;
+}
+
+linalg::Matrix DenseLayer::forward(const linalg::Matrix& x) {
+  last_x_ = x;
+  last_pre_ = affine(x);
+  if (!relu_) return last_pre_;
+  linalg::Matrix out = last_pre_;
+  for (double& v : out.data()) v = v > 0.0 ? v : 0.0;
+  return out;
+}
+
+linalg::Matrix DenseLayer::forward_const(const linalg::Matrix& x) const {
+  linalg::Matrix out = affine(x);
+  if (relu_) {
+    for (double& v : out.data()) v = v > 0.0 ? v : 0.0;
+  }
+  return out;
+}
+
+linalg::Matrix DenseLayer::backward(const linalg::Matrix& grad_out) {
+  if (grad_out.rows() != last_x_.rows() || grad_out.cols() != w_.rows()) {
+    throw std::invalid_argument("DenseLayer::backward: shape mismatch");
+  }
+  linalg::Matrix g = grad_out;
+  if (relu_) {
+    for (std::size_t r = 0; r < g.rows(); ++r) {
+      for (std::size_t c = 0; c < g.cols(); ++c) {
+        if (last_pre_(r, c) <= 0.0) g(r, c) = 0.0;
+      }
+    }
+  }
+  // grad_w += g^T x ; grad_b += column sums of g ; grad_in = g w
+  for (std::size_t r = 0; r < g.rows(); ++r) {
+    for (std::size_t o = 0; o < w_.rows(); ++o) {
+      const double go = g(r, o);
+      if (go == 0.0) continue;
+      grad_b_[o] += go;
+      for (std::size_t i = 0; i < w_.cols(); ++i) {
+        grad_w_(o, i) += go * last_x_(r, i);
+      }
+    }
+  }
+  linalg::Matrix grad_in(g.rows(), w_.cols());
+  for (std::size_t r = 0; r < g.rows(); ++r) {
+    for (std::size_t o = 0; o < w_.rows(); ++o) {
+      const double go = g(r, o);
+      if (go == 0.0) continue;
+      for (std::size_t i = 0; i < w_.cols(); ++i) {
+        grad_in(r, i) += go * w_(o, i);
+      }
+    }
+  }
+  return grad_in;
+}
+
+void DenseLayer::adam_step(double lr, double beta1, double beta2, double eps,
+                           std::int64_t t) {
+  const double bc1 = 1.0 - std::pow(beta1, static_cast<double>(t));
+  const double bc2 = 1.0 - std::pow(beta2, static_cast<double>(t));
+  auto update = [&](double& param, double& m, double& v, double g) {
+    m = beta1 * m + (1.0 - beta1) * g;
+    v = beta2 * v + (1.0 - beta2) * g * g;
+    param -= lr * (m / bc1) / (std::sqrt(v / bc2) + eps);
+  };
+  auto wd = w_.data();
+  auto gw = grad_w_.data();
+  auto mw = m_w_.data();
+  auto vw = v_w_.data();
+  for (std::size_t i = 0; i < wd.size(); ++i) {
+    update(wd[i], mw[i], vw[i], gw[i]);
+    gw[i] = 0.0;
+  }
+  for (std::size_t i = 0; i < b_.size(); ++i) {
+    update(b_[i], m_b_[i], v_b_[i], grad_b_[i]);
+    grad_b_[i] = 0.0;
+  }
+}
+
+TwoStageMlp::TwoStageMlp(const TwoStageMlpConfig& config)
+    : config_(config),
+      rng_([&] {
+        if (config.structural_dim == 0 || config.statistics_dim == 0 ||
+            config.num_classes == 0) {
+          throw std::invalid_argument("TwoStageMlp: zero dimension");
+        }
+        return config.seed;
+      }()),
+      stage1_a_(config.structural_dim, config.hidden1, true, rng_),
+      stage1_b_(config.hidden1, config.hidden2, true, rng_),
+      stage2_a_(config.hidden2 + config.statistics_dim, config.hidden3, true,
+                rng_),
+      head_(config.hidden3, config.num_classes, false, rng_) {}
+
+linalg::Matrix TwoStageMlp::forward(const linalg::Matrix& structural,
+                                    const linalg::Matrix& statistics) {
+  const linalg::Matrix h1 = stage1_a_.forward(structural);
+  const linalg::Matrix h2 = stage1_b_.forward(h1);
+  const linalg::Matrix mid = hconcat(h2, statistics);
+  const linalg::Matrix h3 = stage2_a_.forward(mid);
+  return head_.forward(h3);
+}
+
+linalg::Matrix TwoStageMlp::forward_const(
+    const linalg::Matrix& structural, const linalg::Matrix& statistics) const {
+  const linalg::Matrix h1 = stage1_a_.forward_const(structural);
+  const linalg::Matrix h2 = stage1_b_.forward_const(h1);
+  const linalg::Matrix mid = hconcat(h2, statistics);
+  const linalg::Matrix h3 = stage2_a_.forward_const(mid);
+  return head_.forward_const(h3);
+}
+
+void TwoStageMlp::backward(const linalg::Matrix& grad_logits) {
+  const linalg::Matrix g3 = head_.backward(grad_logits);
+  const linalg::Matrix g_mid = stage2_a_.backward(g3);
+  // Split the mid gradient: first hidden2 columns flow back to stage 1; the
+  // statistics columns are raw inputs with no upstream parameters.
+  linalg::Matrix g2(g_mid.rows(), config_.hidden2);
+  for (std::size_t r = 0; r < g_mid.rows(); ++r) {
+    for (std::size_t c = 0; c < config_.hidden2; ++c) g2(r, c) = g_mid(r, c);
+  }
+  const linalg::Matrix g1 = stage1_b_.backward(g2);
+  stage1_a_.backward(g1);
+}
+
+void TwoStageMlp::adam_step(double lr, double beta1, double beta2,
+                            double eps) {
+  ++adam_t_;
+  stage1_a_.adam_step(lr, beta1, beta2, eps, adam_t_);
+  stage1_b_.adam_step(lr, beta1, beta2, eps, adam_t_);
+  stage2_a_.adam_step(lr, beta1, beta2, eps, adam_t_);
+  head_.adam_step(lr, beta1, beta2, eps, adam_t_);
+}
+
+std::vector<int> TwoStageMlp::predict(const linalg::Matrix& structural,
+                                      const linalg::Matrix& statistics) const {
+  return argmax_rows(forward_const(structural, statistics));
+}
+
+void DenseLayer::save(std::ostream& os) const {
+  write_scalar(os, "relu", relu_ ? 1 : 0);
+  write_matrix(os, "w", w_);
+  write_vector(os, "b", b_);
+  write_matrix(os, "m_w", m_w_);
+  write_matrix(os, "v_w", v_w_);
+  write_vector(os, "m_b", m_b_);
+  write_vector(os, "v_b", v_b_);
+}
+
+DenseLayer DenseLayer::load(std::istream& is) {
+  DenseLayer l;
+  l.relu_ = read_scalar(is, "relu") != 0;
+  l.w_ = read_matrix(is, "w");
+  l.b_ = read_vector(is, "b");
+  l.m_w_ = read_matrix(is, "m_w");
+  l.v_w_ = read_matrix(is, "v_w");
+  l.m_b_ = read_vector(is, "m_b");
+  l.v_b_ = read_vector(is, "v_b");
+  if (l.w_.rows() != l.b_.size() || l.m_w_.rows() != l.w_.rows() ||
+      l.v_w_.cols() != l.w_.cols()) {
+    throw std::runtime_error("DenseLayer::load: inconsistent shapes");
+  }
+  l.grad_w_ = linalg::Matrix(l.w_.rows(), l.w_.cols());
+  l.grad_b_.assign(l.b_.size(), 0.0);
+  return l;
+}
+
+void TwoStageMlp::save(std::ostream& os) const {
+  write_scalar(os, "structural_dim",
+               static_cast<long long>(config_.structural_dim));
+  write_scalar(os, "statistics_dim",
+               static_cast<long long>(config_.statistics_dim));
+  write_scalar(os, "hidden1", static_cast<long long>(config_.hidden1));
+  write_scalar(os, "hidden2", static_cast<long long>(config_.hidden2));
+  write_scalar(os, "hidden3", static_cast<long long>(config_.hidden3));
+  write_scalar(os, "num_classes",
+               static_cast<long long>(config_.num_classes));
+  write_scalar(os, "adam_t", adam_t_);
+  stage1_a_.save(os);
+  stage1_b_.save(os);
+  stage2_a_.save(os);
+  head_.save(os);
+}
+
+TwoStageMlp TwoStageMlp::load(std::istream& is) {
+  TwoStageMlpConfig cfg;
+  cfg.structural_dim =
+      static_cast<std::size_t>(read_scalar(is, "structural_dim"));
+  cfg.statistics_dim =
+      static_cast<std::size_t>(read_scalar(is, "statistics_dim"));
+  cfg.hidden1 = static_cast<std::size_t>(read_scalar(is, "hidden1"));
+  cfg.hidden2 = static_cast<std::size_t>(read_scalar(is, "hidden2"));
+  cfg.hidden3 = static_cast<std::size_t>(read_scalar(is, "hidden3"));
+  cfg.num_classes = static_cast<std::size_t>(read_scalar(is, "num_classes"));
+  TwoStageMlp m(cfg);
+  m.adam_t_ = read_scalar(is, "adam_t");
+  m.stage1_a_ = DenseLayer::load(is);
+  m.stage1_b_ = DenseLayer::load(is);
+  m.stage2_a_ = DenseLayer::load(is);
+  m.head_ = DenseLayer::load(is);
+  if (m.stage1_a_.in_dim() != cfg.structural_dim ||
+      m.head_.out_dim() != cfg.num_classes) {
+    throw std::runtime_error("TwoStageMlp::load: topology mismatch");
+  }
+  return m;
+}
+
+}  // namespace powerlens::nn

@@ -1,0 +1,113 @@
+// Two-stage MLP: the prediction-model architecture of Figures 3 and 4.
+//
+// Both the clustering-hyperparameter prediction model and the target-
+// frequency decision model share this topology: structural features enter at
+// the beginning to "establish a basic understanding of the DNN structure";
+// statistics features are injected mid-network "to further enhance the
+// prediction accuracy based on the existing structural understanding". The
+// head is a classifier (hyperparameter-grid index, or frequency level).
+//
+// Training is plain backprop with Adam; everything is implemented from
+// scratch on the linalg substrate.
+#pragma once
+
+#include "linalg/matrix.hpp"
+
+#include <cstdint>
+#include <iosfwd>
+#include <random>
+#include <vector>
+
+namespace powerlens::nn {
+
+// Fully connected layer with optional ReLU and built-in Adam state.
+class DenseLayer {
+ public:
+  DenseLayer(std::size_t in_dim, std::size_t out_dim, bool relu,
+             std::mt19937_64& rng);
+
+  // Forward over a (batch x in_dim) matrix; caches activations for backward.
+  linalg::Matrix forward(const linalg::Matrix& x);
+  // Inference-only forward; no caches touched.
+  linalg::Matrix forward_const(const linalg::Matrix& x) const;
+
+  // Backward from (batch x out_dim) gradient; accumulates weight grads and
+  // returns the gradient w.r.t. the input.
+  linalg::Matrix backward(const linalg::Matrix& grad_out);
+
+  // One Adam update using the accumulated gradients, then clears them.
+  void adam_step(double lr, double beta1, double beta2, double eps,
+                 std::int64_t t);
+
+  std::size_t in_dim() const noexcept { return w_.cols(); }
+  std::size_t out_dim() const noexcept { return w_.rows(); }
+  const linalg::Matrix& weights() const noexcept { return w_; }
+
+  // Text serialization (weights, bias, ReLU flag, Adam moments).
+  void save(std::ostream& os) const;
+  static DenseLayer load(std::istream& is);
+
+ private:
+  DenseLayer() = default;  // for load()
+  linalg::Matrix affine(const linalg::Matrix& x) const;
+
+  linalg::Matrix w_;          // out x in
+  std::vector<double> b_;     // out
+  bool relu_ = false;
+
+  linalg::Matrix grad_w_;
+  std::vector<double> grad_b_;
+  linalg::Matrix m_w_, v_w_;  // Adam moments
+  std::vector<double> m_b_, v_b_;
+
+  linalg::Matrix last_x_;
+  linalg::Matrix last_pre_;   // pre-activation, needed for the ReLU mask
+};
+
+struct TwoStageMlpConfig {
+  std::size_t structural_dim = 0;
+  std::size_t statistics_dim = 0;
+  std::size_t hidden1 = 64;
+  std::size_t hidden2 = 64;
+  std::size_t hidden3 = 64;
+  std::size_t num_classes = 0;
+  std::uint64_t seed = 1;
+};
+
+class TwoStageMlp {
+ public:
+  explicit TwoStageMlp(const TwoStageMlpConfig& config);
+
+  // Logits for a batch: `structural` is (batch x structural_dim),
+  // `statistics` is (batch x statistics_dim).
+  linalg::Matrix forward(const linalg::Matrix& structural,
+                         const linalg::Matrix& statistics);
+  linalg::Matrix forward_const(const linalg::Matrix& structural,
+                               const linalg::Matrix& statistics) const;
+
+  // Backward from d(loss)/d(logits); input gradients are discarded.
+  void backward(const linalg::Matrix& grad_logits);
+
+  void adam_step(double lr, double beta1, double beta2, double eps);
+
+  // Predicted class per row.
+  std::vector<int> predict(const linalg::Matrix& structural,
+                           const linalg::Matrix& statistics) const;
+
+  const TwoStageMlpConfig& config() const noexcept { return config_; }
+
+  // Text serialization of the full model (topology + all four layers).
+  void save(std::ostream& os) const;
+  static TwoStageMlp load(std::istream& is);
+
+ private:
+  TwoStageMlpConfig config_;
+  std::mt19937_64 rng_;  // must precede the layers: they draw init weights
+  DenseLayer stage1_a_;  // structural -> hidden1
+  DenseLayer stage1_b_;  // hidden1 -> hidden2
+  DenseLayer stage2_a_;  // hidden2 + statistics -> hidden3
+  DenseLayer head_;      // hidden3 -> classes
+  std::int64_t adam_t_ = 0;
+};
+
+}  // namespace powerlens::nn

@@ -1,0 +1,93 @@
+#include "nn/serialize.hpp"
+
+#include <iomanip>
+#include <istream>
+#include <limits>
+#include <ostream>
+#include <stdexcept>
+#include <string>
+
+namespace powerlens::nn {
+
+namespace {
+
+void expect_tag(std::istream& is, std::string_view tag) {
+  std::string got;
+  if (!(is >> got) || got != tag) {
+    throw std::runtime_error("serialize: expected tag '" + std::string(tag) +
+                             "', got '" + got + "'");
+  }
+}
+
+void set_full_precision(std::ostream& os) {
+  os << std::setprecision(std::numeric_limits<double>::max_digits10);
+}
+
+}  // namespace
+
+void write_matrix(std::ostream& os, std::string_view tag,
+                  const linalg::Matrix& m) {
+  set_full_precision(os);
+  os << tag << ' ' << m.rows() << ' ' << m.cols();
+  for (double v : m.data()) os << ' ' << v;
+  os << '\n';
+}
+
+linalg::Matrix read_matrix(std::istream& is, std::string_view tag) {
+  expect_tag(is, tag);
+  std::size_t rows = 0;
+  std::size_t cols = 0;
+  if (!(is >> rows >> cols)) {
+    throw std::runtime_error("serialize: bad matrix header for '" +
+                             std::string(tag) + "'");
+  }
+  linalg::Matrix m(rows, cols);
+  for (double& v : m.data()) {
+    if (!(is >> v)) {
+      throw std::runtime_error("serialize: truncated matrix '" +
+                               std::string(tag) + "'");
+    }
+  }
+  return m;
+}
+
+void write_vector(std::ostream& os, std::string_view tag,
+                  std::span<const double> v) {
+  set_full_precision(os);
+  os << tag << ' ' << v.size();
+  for (double x : v) os << ' ' << x;
+  os << '\n';
+}
+
+std::vector<double> read_vector(std::istream& is, std::string_view tag) {
+  expect_tag(is, tag);
+  std::size_t n = 0;
+  if (!(is >> n)) {
+    throw std::runtime_error("serialize: bad vector header for '" +
+                             std::string(tag) + "'");
+  }
+  std::vector<double> v(n);
+  for (double& x : v) {
+    if (!(is >> x)) {
+      throw std::runtime_error("serialize: truncated vector '" +
+                               std::string(tag) + "'");
+    }
+  }
+  return v;
+}
+
+void write_scalar(std::ostream& os, std::string_view tag, long long value) {
+  os << tag << ' ' << value << '\n';
+}
+
+long long read_scalar(std::istream& is, std::string_view tag) {
+  expect_tag(is, tag);
+  long long v = 0;
+  if (!(is >> v)) {
+    throw std::runtime_error("serialize: bad scalar '" + std::string(tag) +
+                             "'");
+  }
+  return v;
+}
+
+}  // namespace powerlens::nn

@@ -1,0 +1,35 @@
+// Plain-text serialization for the trained prediction models.
+//
+// PowerLens's offline phase is cheap in this repository but expensive on
+// real hardware (the paper reports 4.5-26 h of training per platform), so a
+// deployment needs to persist the trained models. The format is
+// whitespace-separated text with section tags — diff-able, versionable, and
+// endianness-free. Full precision (max_digits10) round-trips doubles
+// exactly.
+#pragma once
+
+#include "linalg/matrix.hpp"
+
+#include <iosfwd>
+#include <span>
+#include <string_view>
+#include <vector>
+
+namespace powerlens::nn {
+
+// Writes/reads a tagged matrix block: "tag rows cols v00 v01 ...".
+void write_matrix(std::ostream& os, std::string_view tag,
+                  const linalg::Matrix& m);
+// Throws std::runtime_error on tag mismatch or malformed input.
+linalg::Matrix read_matrix(std::istream& is, std::string_view tag);
+
+// Writes/reads a tagged vector block: "tag n v0 v1 ...".
+void write_vector(std::ostream& os, std::string_view tag,
+                  std::span<const double> v);
+std::vector<double> read_vector(std::istream& is, std::string_view tag);
+
+// Tagged scalar (integral) value.
+void write_scalar(std::ostream& os, std::string_view tag, long long value);
+long long read_scalar(std::istream& is, std::string_view tag);
+
+}  // namespace powerlens::nn

@@ -1,0 +1,80 @@
+#include "nn/tensor.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace powerlens::nn {
+
+linalg::Matrix softmax_rows(const linalg::Matrix& logits) {
+  linalg::Matrix out(logits.rows(), logits.cols());
+  for (std::size_t r = 0; r < logits.rows(); ++r) {
+    double mx = logits(r, 0);
+    for (std::size_t c = 1; c < logits.cols(); ++c) {
+      mx = std::max(mx, logits(r, c));
+    }
+    double sum = 0.0;
+    for (std::size_t c = 0; c < logits.cols(); ++c) {
+      out(r, c) = std::exp(logits(r, c) - mx);
+      sum += out(r, c);
+    }
+    for (std::size_t c = 0; c < logits.cols(); ++c) out(r, c) /= sum;
+  }
+  return out;
+}
+
+double cross_entropy(const linalg::Matrix& probs,
+                     const std::vector<int>& labels) {
+  if (labels.size() != probs.rows()) {
+    throw std::invalid_argument("cross_entropy: label count mismatch");
+  }
+  double loss = 0.0;
+  for (std::size_t r = 0; r < probs.rows(); ++r) {
+    const int y = labels[r];
+    if (y < 0 || static_cast<std::size_t>(y) >= probs.cols()) {
+      throw std::invalid_argument("cross_entropy: label out of range");
+    }
+    loss -= std::log(std::max(probs(r, static_cast<std::size_t>(y)), 1e-12));
+  }
+  return loss / static_cast<double>(probs.rows());
+}
+
+linalg::Matrix cross_entropy_grad(const linalg::Matrix& probs,
+                                  const std::vector<int>& labels) {
+  if (labels.size() != probs.rows()) {
+    throw std::invalid_argument("cross_entropy_grad: label count mismatch");
+  }
+  linalg::Matrix g = probs;
+  const double inv_batch = 1.0 / static_cast<double>(probs.rows());
+  for (std::size_t r = 0; r < probs.rows(); ++r) {
+    g(r, static_cast<std::size_t>(labels[r])) -= 1.0;
+    for (std::size_t c = 0; c < probs.cols(); ++c) g(r, c) *= inv_batch;
+  }
+  return g;
+}
+
+std::vector<int> argmax_rows(const linalg::Matrix& m) {
+  std::vector<int> out(m.rows(), 0);
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    std::size_t best = 0;
+    for (std::size_t c = 1; c < m.cols(); ++c) {
+      if (m(r, c) > m(r, best)) best = c;
+    }
+    out[r] = static_cast<int>(best);
+  }
+  return out;
+}
+
+linalg::Matrix hconcat(const linalg::Matrix& a, const linalg::Matrix& b) {
+  if (a.rows() != b.rows()) {
+    throw std::invalid_argument("hconcat: row count mismatch");
+  }
+  linalg::Matrix out(a.rows(), a.cols() + b.cols());
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    for (std::size_t c = 0; c < a.cols(); ++c) out(r, c) = a(r, c);
+    for (std::size_t c = 0; c < b.cols(); ++c) out(r, a.cols() + c) = b(r, c);
+  }
+  return out;
+}
+
+}  // namespace powerlens::nn

@@ -1,0 +1,34 @@
+// Batch-tensor helpers for the prediction-model trainer.
+//
+// The prediction models are small MLPs over feature vectors; a (batch x dim)
+// linalg::Matrix is the only tensor shape needed. These free functions cover
+// the classification head: row-wise softmax, cross-entropy, argmax.
+#pragma once
+
+#include "linalg/matrix.hpp"
+
+#include <cstddef>
+#include <vector>
+
+namespace powerlens::nn {
+
+// Numerically stable row-wise softmax.
+linalg::Matrix softmax_rows(const linalg::Matrix& logits);
+
+// Mean cross-entropy of `probs` (rows already softmaxed) against integer
+// labels. Throws std::invalid_argument on size mismatch or labels out of
+// range.
+double cross_entropy(const linalg::Matrix& probs,
+                     const std::vector<int>& labels);
+
+// Gradient of mean cross-entropy w.r.t. logits: (softmax - onehot) / batch.
+linalg::Matrix cross_entropy_grad(const linalg::Matrix& probs,
+                                  const std::vector<int>& labels);
+
+// Row-wise argmax.
+std::vector<int> argmax_rows(const linalg::Matrix& m);
+
+// Horizontal concatenation [a | b]; rows must match.
+linalg::Matrix hconcat(const linalg::Matrix& a, const linalg::Matrix& b);
+
+}  // namespace powerlens::nn

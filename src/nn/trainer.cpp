@@ -1,0 +1,143 @@
+#include "nn/trainer.hpp"
+
+#include "nn/tensor.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <random>
+#include <stdexcept>
+
+namespace powerlens::nn {
+
+void Dataset::validate() const {
+  if (structural.rows() != labels.size() ||
+      statistics.rows() != labels.size()) {
+    throw std::invalid_argument("Dataset: misaligned rows/labels");
+  }
+}
+
+Dataset Dataset::subset(const std::vector<std::size_t>& indices) const {
+  validate();
+  Dataset out;
+  out.structural = linalg::Matrix(indices.size(), structural.cols());
+  out.statistics = linalg::Matrix(indices.size(), statistics.cols());
+  out.labels.reserve(indices.size());
+  for (std::size_t r = 0; r < indices.size(); ++r) {
+    const std::size_t src = indices[r];
+    if (src >= labels.size()) {
+      throw std::out_of_range("Dataset::subset: index out of range");
+    }
+    for (std::size_t c = 0; c < structural.cols(); ++c) {
+      out.structural(r, c) = structural(src, c);
+    }
+    for (std::size_t c = 0; c < statistics.cols(); ++c) {
+      out.statistics(r, c) = statistics(src, c);
+    }
+    out.labels.push_back(labels[src]);
+  }
+  return out;
+}
+
+DatasetSplit split_dataset(const Dataset& data, std::uint64_t seed,
+                           double train_frac, double val_frac) {
+  data.validate();
+  if (train_frac <= 0.0 || val_frac < 0.0 || train_frac + val_frac >= 1.0) {
+    throw std::invalid_argument("split_dataset: bad fractions");
+  }
+  std::vector<std::size_t> order(data.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::mt19937_64 rng(seed);
+  std::shuffle(order.begin(), order.end(), rng);
+
+  const auto n = static_cast<double>(data.size());
+  const std::size_t n_train = static_cast<std::size_t>(n * train_frac);
+  const std::size_t n_val = static_cast<std::size_t>(n * val_frac);
+
+  DatasetSplit s;
+  s.train = data.subset({order.begin(), order.begin() + n_train});
+  s.val = data.subset(
+      {order.begin() + n_train, order.begin() + n_train + n_val});
+  s.test = data.subset({order.begin() + n_train + n_val, order.end()});
+  return s;
+}
+
+double accuracy(const TwoStageMlp& model, const Dataset& data) {
+  data.validate();
+  if (data.size() == 0) return 0.0;
+  const std::vector<int> pred = model.predict(data.structural,
+                                              data.statistics);
+  std::size_t hits = 0;
+  for (std::size_t i = 0; i < pred.size(); ++i) {
+    if (pred[i] == data.labels[i]) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(pred.size());
+}
+
+double mean_level_error(const TwoStageMlp& model, const Dataset& data) {
+  data.validate();
+  if (data.size() == 0) return 0.0;
+  const std::vector<int> pred = model.predict(data.structural,
+                                              data.statistics);
+  double err = 0.0;
+  for (std::size_t i = 0; i < pred.size(); ++i) {
+    err += std::abs(pred[i] - data.labels[i]);
+  }
+  return err / static_cast<double>(pred.size());
+}
+
+TrainReport train(TwoStageMlp& model, const Dataset& train_set,
+                  const Dataset& val_set, const TrainConfig& config) {
+  train_set.validate();
+  val_set.validate();
+  if (train_set.size() == 0) {
+    throw std::invalid_argument("train: empty training set");
+  }
+
+  TrainReport report;
+  std::mt19937_64 rng(config.shuffle_seed);
+  std::vector<std::size_t> order(train_set.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+
+  int epochs_since_best = 0;
+  for (int epoch = 0; epoch < config.epochs; ++epoch) {
+    std::shuffle(order.begin(), order.end(), rng);
+    double epoch_loss = 0.0;
+    std::size_t batches = 0;
+
+    for (std::size_t start = 0; start < order.size();
+         start += config.batch_size) {
+      const std::size_t end =
+          std::min(start + config.batch_size, order.size());
+      const Dataset batch = train_set.subset(
+          {order.begin() + static_cast<std::ptrdiff_t>(start),
+           order.begin() + static_cast<std::ptrdiff_t>(end)});
+
+      const linalg::Matrix logits =
+          model.forward(batch.structural, batch.statistics);
+      const linalg::Matrix probs = softmax_rows(logits);
+      epoch_loss += cross_entropy(probs, batch.labels);
+      ++batches;
+      model.backward(cross_entropy_grad(probs, batch.labels));
+      model.adam_step(config.lr, config.beta1, config.beta2, config.adam_eps);
+    }
+
+    report.train_loss.push_back(epoch_loss /
+                                static_cast<double>(std::max<std::size_t>(
+                                    batches, 1)));
+    const double val_acc =
+        val_set.size() > 0 ? accuracy(model, val_set) : 0.0;
+    report.val_accuracy.push_back(val_acc);
+    report.epochs_run = epoch + 1;
+
+    if (val_acc > report.best_val_accuracy) {
+      report.best_val_accuracy = val_acc;
+      epochs_since_best = 0;
+    } else if (config.patience > 0 && ++epochs_since_best >= config.patience) {
+      break;
+    }
+  }
+  return report;
+}
+
+}  // namespace powerlens::nn

@@ -1,0 +1,198 @@
+#include "baselines/fpg.hpp"
+#include "baselines/ondemand.hpp"
+
+#include "dnn/models.hpp"
+#include "hw/sim_engine.hpp"
+
+#include <gtest/gtest.h>
+
+namespace powerlens::baselines {
+namespace {
+
+hw::GovernorSample sample(double gpu_util, std::size_t gpu_level,
+                          double cpu_util = 0.3, std::size_t cpu_level = 5,
+                          double power = 8.0) {
+  hw::GovernorSample s;
+  s.time_s = 1.0;
+  s.window_s = 0.06;
+  // Unit tests drive both utilization facets with the same value; the
+  // integration tests below exercise the realistic busy-vs-compute split.
+  s.gpu_util = gpu_util;
+  s.gpu_compute_util = gpu_util;
+  s.cpu_util = cpu_util;
+  s.power_w = power;
+  s.gpu_level = gpu_level;
+  s.cpu_level = cpu_level;
+  return s;
+}
+
+class OndemandTest : public ::testing::Test {
+ protected:
+  hw::Platform platform_ = hw::make_tx2();
+  OndemandGovernor governor_;
+
+  void SetUp() override { governor_.reset(platform_); }
+};
+
+TEST_F(OndemandTest, HighUtilJumpsToMax) {
+  const hw::GovernorDecision d = governor_.on_sample(sample(0.95, 4));
+  ASSERT_TRUE(d.gpu_level.has_value());
+  EXPECT_EQ(*d.gpu_level, platform_.max_gpu_level());
+}
+
+TEST_F(OndemandTest, LowUtilScalesDown) {
+  const hw::GovernorDecision d = governor_.on_sample(sample(0.20, 10));
+  ASSERT_TRUE(d.gpu_level.has_value());
+  EXPECT_LT(*d.gpu_level, 10u);
+}
+
+TEST_F(OndemandTest, ModerateUtilHolds) {
+  // Utilization just below threshold at the current level: no change.
+  const hw::GovernorDecision d = governor_.on_sample(sample(0.69, 6));
+  EXPECT_FALSE(d.gpu_level.has_value());
+}
+
+TEST_F(OndemandTest, NeverScalesUpPartially) {
+  // ondemand's characteristic behaviour: up-transitions go straight to max.
+  for (double util : {0.81, 0.9, 0.99}) {
+    const hw::GovernorDecision d = governor_.on_sample(sample(util, 3));
+    ASSERT_TRUE(d.gpu_level.has_value());
+    EXPECT_EQ(*d.gpu_level, platform_.max_gpu_level());
+  }
+}
+
+TEST_F(OndemandTest, ManagesCpuWhenConfigured) {
+  const hw::GovernorDecision d =
+      governor_.on_sample(sample(0.5, 5, /*cpu_util=*/0.95, 3));
+  ASSERT_TRUE(d.cpu_level.has_value());
+  EXPECT_EQ(*d.cpu_level, platform_.max_cpu_level());
+}
+
+TEST(OndemandConfig, CpuManagementCanBeDisabled) {
+  OndemandGovernor g(OndemandConfig{0.06, 0.8, 0.1, /*manage_cpu=*/false});
+  const hw::Platform p = hw::make_tx2();
+  g.reset(p);
+  const hw::GovernorDecision d = g.on_sample(sample(0.5, 5, 0.95, 3));
+  EXPECT_FALSE(d.cpu_level.has_value());
+}
+
+TEST(OndemandConfig, BadConfigThrows) {
+  EXPECT_THROW(OndemandGovernor(OndemandConfig{0.0, 0.8, 0.1, true}),
+               std::invalid_argument);
+  EXPECT_THROW(OndemandGovernor(OndemandConfig{0.06, 1.5, 0.1, true}),
+               std::invalid_argument);
+}
+
+TEST(Ondemand, SampleBeforeResetThrows) {
+  OndemandGovernor g;
+  EXPECT_THROW(g.on_sample(sample(0.5, 5)), std::logic_error);
+}
+
+class FpgTest : public ::testing::Test {
+ protected:
+  hw::Platform platform_ = hw::make_agx();
+};
+
+TEST_F(FpgTest, PerformanceGuardStepsUp) {
+  FpgGovernor g(FpgMode::kGpuOnly);
+  g.reset(platform_);
+  const hw::GovernorDecision d = g.on_sample(sample(0.99, 5));
+  ASSERT_TRUE(d.gpu_level.has_value());
+  EXPECT_EQ(*d.gpu_level, 6u);  // one step, not jump-to-max
+}
+
+TEST_F(FpgTest, PowerGuardStepsDown) {
+  FpgGovernor g(FpgMode::kGpuOnly);
+  g.reset(platform_);
+  const hw::GovernorDecision d = g.on_sample(sample(0.10, 5));
+  ASSERT_TRUE(d.gpu_level.has_value());
+  EXPECT_EQ(*d.gpu_level, 4u);
+}
+
+TEST_F(FpgTest, HillClimbReversesOnWorseScore) {
+  FpgGovernor g(FpgMode::kGpuOnly);
+  g.reset(platform_);
+  // First sample: moderate util -> probes downward (initial direction).
+  hw::GovernorDecision d1 = g.on_sample(sample(0.7, 8, 0.3, 5, 10.0));
+  ASSERT_TRUE(d1.gpu_level.has_value());
+  EXPECT_EQ(*d1.gpu_level, 7u);
+  // Second sample: score got much worse (power up, same rate) -> reverse.
+  hw::GovernorDecision d2 = g.on_sample(sample(0.7, 7, 0.3, 5, 40.0));
+  ASSERT_TRUE(d2.gpu_level.has_value());
+  EXPECT_EQ(*d2.gpu_level, 8u);
+}
+
+TEST_F(FpgTest, GpuOnlyModeDelegatesCpuToOndemand) {
+  FpgGovernor g(FpgMode::kGpuOnly);
+  g.reset(platform_);
+  const hw::GovernorDecision d = g.on_sample(sample(0.7, 5, 0.95, 2));
+  ASSERT_TRUE(d.cpu_level.has_value());
+  EXPECT_EQ(*d.cpu_level, platform_.max_cpu_level());  // ondemand jump
+}
+
+TEST_F(FpgTest, CpuGpuModeStepsCpuGradually) {
+  FpgGovernor g(FpgMode::kCpuGpu);
+  g.reset(platform_);
+  const hw::GovernorDecision d = g.on_sample(sample(0.7, 5, 0.95, 2));
+  ASSERT_TRUE(d.cpu_level.has_value());
+  EXPECT_EQ(*d.cpu_level, 3u);  // hill-climb step, not jump
+}
+
+TEST_F(FpgTest, NamesDistinguishModes) {
+  EXPECT_EQ(FpgGovernor(FpgMode::kGpuOnly).name(), "fpg-g");
+  EXPECT_EQ(FpgGovernor(FpgMode::kCpuGpu).name(), "fpg-c+g");
+}
+
+TEST_F(FpgTest, SampleBeforeResetThrows) {
+  FpgGovernor g(FpgMode::kGpuOnly);
+  EXPECT_THROW(g.on_sample(sample(0.5, 5)), std::logic_error);
+}
+
+// Integration: governors actually steer the simulated platform.
+TEST(GovernorIntegration, OndemandConvergesNearMaxForComputeBoundLoad) {
+  const hw::Platform platform = hw::make_agx();
+  hw::SimEngine engine(platform);
+  const dnn::Graph g = dnn::make_vgg19(8);  // heavily compute-bound
+
+  OndemandGovernor governor;
+  hw::RunPolicy policy = engine.default_policy();
+  policy.governor = &governor;
+  policy.initial_gpu_level = 0;  // start at the bottom; ondemand must climb
+  const hw::ExecutionResult r = engine.run(g, 3, policy);
+  EXPECT_EQ(r.gpu_trace.back().gpu_level, platform.max_gpu_level());
+}
+
+TEST(GovernorIntegration, FpgSettlesBelowMax) {
+  const hw::Platform platform = hw::make_agx();
+  hw::SimEngine engine(platform);
+  const dnn::Graph g = dnn::make_resnet152(8);
+
+  FpgGovernor governor(FpgMode::kGpuOnly);
+  hw::RunPolicy policy = engine.default_policy();
+  policy.governor = &governor;
+  const hw::ExecutionResult r = engine.run(g, 5, policy);
+  // The EDP hill climb should leave MAXN; its final level sits below max.
+  EXPECT_LT(r.gpu_trace.back().gpu_level, platform.max_gpu_level());
+  EXPECT_GT(r.dvfs_transitions, 2u);
+}
+
+TEST(GovernorIntegration, FpgBeatsOndemandOnEnergy) {
+  const hw::Platform platform = hw::make_agx();
+  hw::SimEngine engine(platform);
+  const dnn::Graph g = dnn::make_resnet152(8);
+
+  OndemandGovernor ondemand;
+  hw::RunPolicy p1 = engine.default_policy();
+  p1.governor = &ondemand;
+  const hw::ExecutionResult r_od = engine.run(g, 5, p1);
+
+  FpgGovernor fpg(FpgMode::kGpuOnly);
+  hw::RunPolicy p2 = engine.default_policy();
+  p2.governor = &fpg;
+  const hw::ExecutionResult r_fpg = engine.run(g, 5, p2);
+
+  EXPECT_GT(r_fpg.energy_efficiency(), r_od.energy_efficiency());
+}
+
+}  // namespace
+}  // namespace powerlens::baselines

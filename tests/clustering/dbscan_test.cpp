@@ -1,0 +1,102 @@
+#include "clustering/dbscan.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace powerlens::clustering {
+namespace {
+
+using linalg::Matrix;
+
+// Distance matrix for points on a line.
+Matrix line_distances(const std::vector<double>& pts) {
+  Matrix d(pts.size(), pts.size());
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    for (std::size_t j = 0; j < pts.size(); ++j) {
+      d(i, j) = std::abs(pts[i] - pts[j]);
+    }
+  }
+  return d;
+}
+
+TEST(Dbscan, TwoWellSeparatedClusters) {
+  const Matrix d = line_distances({0.0, 0.1, 0.2, 10.0, 10.1, 10.2});
+  const std::vector<int> labels = dbscan(d, {0.5, 2});
+  EXPECT_EQ(labels[0], labels[1]);
+  EXPECT_EQ(labels[1], labels[2]);
+  EXPECT_EQ(labels[3], labels[4]);
+  EXPECT_EQ(labels[4], labels[5]);
+  EXPECT_NE(labels[0], labels[3]);
+  EXPECT_NE(labels[0], kNoise);
+}
+
+TEST(Dbscan, IsolatedPointIsNoise) {
+  const Matrix d = line_distances({0.0, 0.1, 0.2, 100.0});
+  const std::vector<int> labels = dbscan(d, {0.5, 2});
+  EXPECT_EQ(labels[3], kNoise);
+}
+
+TEST(Dbscan, ChainExpandsThroughCorePoints) {
+  // Consecutive points 0.4 apart: each has neighbors within 0.5, the chain
+  // connects into one cluster through density reachability.
+  std::vector<double> pts;
+  for (int i = 0; i < 10; ++i) pts.push_back(0.4 * i);
+  const std::vector<int> labels = dbscan(line_distances(pts), {0.5, 2});
+  for (int l : labels) EXPECT_EQ(l, labels[0]);
+  EXPECT_NE(labels[0], kNoise);
+}
+
+TEST(Dbscan, MinPtsControlsCoreDefinition) {
+  const Matrix d = line_distances({0.0, 0.1, 5.0, 5.1});
+  // Pairs of two; with min_pts 2 (point + one neighbor) both pairs cluster.
+  const std::vector<int> loose = dbscan(d, {0.5, 2});
+  EXPECT_NE(loose[0], kNoise);
+  // With min_pts 3 nobody is core.
+  const std::vector<int> strict = dbscan(d, {0.5, 3});
+  for (int l : strict) EXPECT_EQ(l, kNoise);
+}
+
+TEST(Dbscan, AllPointsOneClusterWithLargeEps) {
+  const Matrix d = line_distances({0.0, 1.0, 2.0, 3.0});
+  const std::vector<int> labels = dbscan(d, {100.0, 2});
+  std::set<int> unique(labels.begin(), labels.end());
+  EXPECT_EQ(unique.size(), 1u);
+}
+
+TEST(Dbscan, BorderPointJoinsCluster) {
+  // Points 0, 0.4, 0.8: with eps 0.5 and min_pts 3, only the middle point is
+  // core (3 neighbors incl. self); the ends are border points of its cluster.
+  const Matrix d = line_distances({0.0, 0.4, 0.8});
+  const std::vector<int> labels = dbscan(d, {0.5, 3});
+  EXPECT_EQ(labels[0], labels[1]);
+  EXPECT_EQ(labels[2], labels[1]);
+  EXPECT_NE(labels[1], kNoise);
+}
+
+TEST(Dbscan, LabelsAreContiguousFromZero) {
+  const Matrix d = line_distances({0.0, 0.1, 10.0, 10.1, 20.0, 20.1});
+  const std::vector<int> labels = dbscan(d, {0.5, 2});
+  std::set<int> unique(labels.begin(), labels.end());
+  EXPECT_TRUE(unique.count(0));
+  EXPECT_TRUE(unique.count(1));
+  EXPECT_TRUE(unique.count(2));
+}
+
+TEST(Dbscan, RejectsBadArguments) {
+  const Matrix d = line_distances({0.0, 1.0});
+  EXPECT_THROW(dbscan(d, {0.0, 2}), std::invalid_argument);
+  EXPECT_THROW(dbscan(d, {0.5, 0}), std::invalid_argument);
+  EXPECT_THROW(dbscan(Matrix(2, 3), {0.5, 2}), std::invalid_argument);
+  EXPECT_THROW(dbscan(Matrix(), {0.5, 2}), std::invalid_argument);
+}
+
+TEST(Dbscan, DeterministicLabels) {
+  const Matrix d = line_distances({0.0, 0.2, 0.4, 5.0, 5.2, 9.0});
+  const std::vector<int> a = dbscan(d, {0.5, 2});
+  const std::vector<int> b = dbscan(d, {0.5, 2});
+  EXPECT_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace powerlens::clustering

@@ -1,0 +1,135 @@
+#include "clustering/distance.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace powerlens::clustering {
+namespace {
+
+using linalg::Matrix;
+
+TEST(Mahalanobis, ZeroDiagonalSymmetric) {
+  const Matrix x{{1.0, 2.0}, {3.0, 1.0}, {0.0, 5.0}, {2.0, 2.0}};
+  const Matrix d = mahalanobis_distances(x);
+  for (std::size_t i = 0; i < d.rows(); ++i) {
+    EXPECT_DOUBLE_EQ(d(i, i), 0.0);
+    for (std::size_t j = 0; j < d.cols(); ++j) {
+      EXPECT_DOUBLE_EQ(d(i, j), d(j, i));
+    }
+  }
+}
+
+TEST(Mahalanobis, ScaleInvariance) {
+  // Mahalanobis whitens by covariance: multiplying one feature column by a
+  // constant must not change pairwise distances (unlike Euclidean).
+  Matrix x{{1.0, 2.0}, {3.0, 1.0}, {0.0, 5.0}, {2.0, 2.0}, {4.0, 0.5}};
+  const Matrix d1 = mahalanobis_distances(x);
+  Matrix scaled = x;
+  for (std::size_t r = 0; r < x.rows(); ++r) scaled(r, 1) *= 1000.0;
+  const Matrix d2 = mahalanobis_distances(scaled);
+  EXPECT_LT(Matrix::max_abs_diff(d1, d2), 1e-6);
+}
+
+TEST(Mahalanobis, EuclideanIsNotScaleInvariant) {
+  Matrix x{{1.0, 2.0}, {3.0, 1.0}, {0.0, 5.0}};
+  const Matrix d1 = euclidean_distances(x);
+  Matrix scaled = x;
+  for (std::size_t r = 0; r < x.rows(); ++r) scaled(r, 1) *= 1000.0;
+  const Matrix d2 = euclidean_distances(scaled);
+  EXPECT_GT(Matrix::max_abs_diff(d1, d2), 1.0);
+}
+
+TEST(Mahalanobis, HandlesConstantColumn) {
+  // Constant features make the covariance singular; the pseudo-inverse must
+  // cope without NaNs.
+  const Matrix x{{1.0, 7.0}, {2.0, 7.0}, {3.0, 7.0}, {4.0, 7.0}};
+  const Matrix d = mahalanobis_distances(x);
+  for (std::size_t i = 0; i < d.rows(); ++i) {
+    for (std::size_t j = 0; j < d.cols(); ++j) {
+      EXPECT_FALSE(std::isnan(d(i, j)));
+      EXPECT_GE(d(i, j), 0.0);
+    }
+  }
+  EXPECT_GT(d(0, 3), 0.0);
+}
+
+TEST(Euclidean, MatchesHandComputed) {
+  const Matrix x{{0.0, 0.0}, {3.0, 4.0}};
+  const Matrix d = euclidean_distances(x);
+  EXPECT_DOUBLE_EQ(d(0, 1), 5.0);
+}
+
+TEST(SpacingPenalty, ZeroOnDiagonalGrowsWithSeparation) {
+  const Matrix r = spacing_penalty(5, 0.3);
+  for (std::size_t i = 0; i < 5; ++i) EXPECT_DOUBLE_EQ(r(i, i), 0.0);
+  EXPECT_LT(r(0, 1), r(0, 2));
+  EXPECT_LT(r(0, 2), r(0, 4));
+  EXPECT_NEAR(r(0, 1), 1.0 - std::exp(-0.3), 1e-12);
+}
+
+TEST(SpacingPenalty, LambdaControlsDecay) {
+  const Matrix slow = spacing_penalty(4, 0.05);
+  const Matrix fast = spacing_penalty(4, 1.0);
+  EXPECT_LT(slow(0, 3), fast(0, 3));
+}
+
+TEST(SpacingPenalty, BadArgsThrow) {
+  EXPECT_THROW(spacing_penalty(0, 0.1), std::invalid_argument);
+  EXPECT_THROW(spacing_penalty(4, -0.1), std::invalid_argument);
+}
+
+TEST(PowerDistance, AlphaBlendsTerms) {
+  const Matrix x{{1.0, 0.0}, {0.0, 1.0}, {5.0, 5.0}};
+  DistanceParams p;
+  p.lambda = 0.5;
+
+  p.alpha = 1.0;  // pure feature distance (normalized)
+  const Matrix d_feat = power_distance_matrix(x, p);
+  p.alpha = 0.0;  // pure spacing penalty
+  const Matrix d_space = power_distance_matrix(x, p);
+  EXPECT_LT(Matrix::max_abs_diff(d_space, spacing_penalty(3, 0.5)), 1e-12);
+
+  p.alpha = 0.5;
+  const Matrix d_mix = power_distance_matrix(x, p);
+  for (std::size_t i = 0; i < 3; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) {
+      EXPECT_NEAR(d_mix(i, j), 0.5 * d_feat(i, j) + 0.5 * d_space(i, j),
+                  1e-12);
+    }
+  }
+}
+
+TEST(PowerDistance, FeatureTermNormalizedToUnitMax) {
+  const Matrix x{{0.0, 0.0}, {100.0, 0.0}, {0.0, 100.0}};
+  DistanceParams p;
+  p.alpha = 1.0;
+  const Matrix d = power_distance_matrix(x, p);
+  double mx = 0.0;
+  for (std::size_t i = 0; i < 3; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) mx = std::max(mx, d(i, j));
+  }
+  EXPECT_NEAR(mx, 1.0, 1e-12);
+}
+
+TEST(PowerDistance, AlphaOutOfRangeThrows) {
+  const Matrix x{{1.0}, {2.0}};
+  DistanceParams p;
+  p.alpha = 1.5;
+  EXPECT_THROW(power_distance_matrix(x, p), std::invalid_argument);
+}
+
+TEST(PowerDistance, EuclideanMetricOption) {
+  const Matrix x{{1.0, 2.0}, {3.0, 1.0}, {0.0, 5.0}};
+  DistanceParams p;
+  p.metric = FeatureMetric::kEuclidean;
+  EXPECT_NO_THROW(power_distance_matrix(x, p));
+}
+
+TEST(Mahalanobis, EmptyThrows) {
+  EXPECT_THROW(mahalanobis_distances(Matrix()), std::invalid_argument);
+  EXPECT_THROW(euclidean_distances(Matrix()), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace powerlens::clustering

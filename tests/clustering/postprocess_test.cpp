@@ -1,0 +1,123 @@
+#include "clustering/postprocess.hpp"
+
+#include "clustering/dbscan.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+namespace powerlens::clustering {
+namespace {
+
+using linalg::Matrix;
+
+// Distances that make indices in the same decade close, others far.
+Matrix block_distances(const std::vector<int>& labels) {
+  Matrix d(labels.size(), labels.size());
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    for (std::size_t j = 0; j < labels.size(); ++j) {
+      d(i, j) = labels[i] == labels[j] ? 0.1 : 1.0;
+    }
+  }
+  return d;
+}
+
+TEST(ProcessClusters, CleanRunsBecomeBlocks) {
+  const std::vector<int> labels{0, 0, 0, 0, 1, 1, 1, 1};
+  const PowerView v =
+      process_clusters(labels, block_distances(labels), {2});
+  ASSERT_EQ(v.block_count(), 2u);
+  EXPECT_EQ(v.blocks()[0], (PowerBlock{0, 4}));
+  EXPECT_EQ(v.blocks()[1], (PowerBlock{4, 8}));
+}
+
+TEST(ProcessClusters, NonContiguousLabelSplitsIntoTwoBlocks) {
+  // Label 0 appears before and after label 1: contiguity forces a split.
+  const std::vector<int> labels{0, 0, 0, 1, 1, 1, 0, 0, 0};
+  const PowerView v =
+      process_clusters(labels, block_distances(labels), {2});
+  EXPECT_EQ(v.block_count(), 3u);
+}
+
+TEST(ProcessClusters, NoiseAbsorbedIntoNeighbor) {
+  const std::vector<int> labels{0, 0, 0, 0, kNoise, 1, 1, 1, 1};
+  const PowerView v =
+      process_clusters(labels, block_distances(labels), {2});
+  EXPECT_EQ(v.block_count(), 2u);
+  // Every layer is covered.
+  EXPECT_EQ(v.num_layers(), 9u);
+}
+
+TEST(ProcessClusters, AllNoiseCollapsesToSingleBlock) {
+  const std::vector<int> labels(7, kNoise);
+  const PowerView v =
+      process_clusters(labels, Matrix(7, 7, 1.0), {3});
+  EXPECT_EQ(v.block_count(), 1u);
+  EXPECT_EQ(v.blocks()[0], (PowerBlock{0, 7}));
+}
+
+TEST(ProcessClusters, ShortRunsMergeIntoCloserNeighbor) {
+  // A 1-layer run of label 2 between two big runs. Distances put it close to
+  // run of label 0 (left side).
+  const std::vector<int> labels{0, 0, 0, 0, 2, 1, 1, 1, 1};
+  Matrix d(9, 9, 1.0);
+  for (std::size_t i = 0; i < 9; ++i) d(i, i) = 0.0;
+  // index 4 close to 0..3, far from 5..8.
+  for (std::size_t j = 0; j < 4; ++j) {
+    d(4, j) = 0.05;
+    d(j, 4) = 0.05;
+  }
+  const PowerView v = process_clusters(labels, d, {3});
+  ASSERT_EQ(v.block_count(), 2u);
+  EXPECT_EQ(v.blocks()[0], (PowerBlock{0, 5}));  // absorbed leftward
+}
+
+TEST(ProcessClusters, MinBlockLayersEnforced) {
+  const std::vector<int> labels{0, 0, 1, 1, 1, 1, 1, 1};
+  // min_block_layers 3 forces the length-2 run to merge.
+  const PowerView v =
+      process_clusters(labels, block_distances(labels), {3});
+  EXPECT_EQ(v.block_count(), 1u);
+}
+
+TEST(ProcessClusters, SingleLayerNetwork) {
+  const std::vector<int> labels{kNoise};
+  const PowerView v = process_clusters(labels, Matrix(1, 1), {3});
+  EXPECT_EQ(v.block_count(), 1u);
+  EXPECT_EQ(v.num_layers(), 1u);
+}
+
+TEST(ProcessClusters, MismatchedDistanceMatrixThrows) {
+  const std::vector<int> labels{0, 0, 1};
+  EXPECT_THROW(process_clusters(labels, Matrix(2, 2), {2}),
+               std::invalid_argument);
+}
+
+TEST(ProcessClusters, EmptyLabelsThrow) {
+  EXPECT_THROW(process_clusters({}, Matrix(), {2}), std::invalid_argument);
+}
+
+TEST(ProcessClusters, ViewAlwaysCoversEveryLayer) {
+  // Property: any label vector yields a valid covering partition.
+  std::mt19937_64 rng(99);
+  std::uniform_int_distribution<int> label_dist(-1, 3);
+  for (int trial = 0; trial < 50; ++trial) {
+    const std::size_t n = 5 + (rng() % 40);
+    std::vector<int> labels(n);
+    for (int& l : labels) l = label_dist(rng);
+    Matrix d(n, n);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < n; ++j) {
+        d(i, j) = i == j ? 0.0 : 0.1 + 0.01 * static_cast<double>((i + j) % 7);
+      }
+    }
+    const PowerView v = process_clusters(labels, d, {2});
+    EXPECT_EQ(v.num_layers(), n);
+    std::size_t covered = 0;
+    for (const PowerBlock& b : v.blocks()) covered += b.size();
+    EXPECT_EQ(covered, n);
+  }
+}
+
+}  // namespace
+}  // namespace powerlens::clustering

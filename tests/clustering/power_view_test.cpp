@@ -1,0 +1,60 @@
+#include "clustering/power_view.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace powerlens::clustering {
+namespace {
+
+TEST(PowerView, ValidPartitionAccepted) {
+  const PowerView v({{0, 3}, {3, 7}, {7, 10}}, 10);
+  EXPECT_EQ(v.block_count(), 3u);
+  EXPECT_EQ(v.num_layers(), 10u);
+}
+
+TEST(PowerView, RejectsGap) {
+  EXPECT_THROW(PowerView({{0, 3}, {4, 10}}, 10), std::invalid_argument);
+}
+
+TEST(PowerView, RejectsOverlap) {
+  EXPECT_THROW(PowerView({{0, 5}, {4, 10}}, 10), std::invalid_argument);
+}
+
+TEST(PowerView, RejectsIncompleteCover) {
+  EXPECT_THROW(PowerView({{0, 5}}, 10), std::invalid_argument);
+}
+
+TEST(PowerView, RejectsEmptyBlock) {
+  EXPECT_THROW(PowerView({{0, 0}, {0, 10}}, 10), std::invalid_argument);
+}
+
+TEST(PowerView, RejectsNoBlocks) {
+  EXPECT_THROW(PowerView({}, 0), std::invalid_argument);
+}
+
+TEST(PowerView, BlockOfFindsContainingBlock) {
+  const PowerView v({{0, 3}, {3, 7}, {7, 10}}, 10);
+  EXPECT_EQ(v.block_of(0), 0u);
+  EXPECT_EQ(v.block_of(2), 0u);
+  EXPECT_EQ(v.block_of(3), 1u);
+  EXPECT_EQ(v.block_of(9), 2u);
+  EXPECT_THROW(v.block_of(10), std::out_of_range);
+}
+
+TEST(PowerBlock, ContainsAndSize) {
+  const PowerBlock b{2, 5};
+  EXPECT_EQ(b.size(), 3u);
+  EXPECT_TRUE(b.contains(2));
+  EXPECT_TRUE(b.contains(4));
+  EXPECT_FALSE(b.contains(5));
+  EXPECT_FALSE(b.contains(1));
+}
+
+TEST(PowerView, ToStringListsRanges) {
+  const PowerView v({{0, 2}, {2, 4}}, 4);
+  EXPECT_EQ(v.to_string(), "PowerView{[0,2) [2,4)}");
+}
+
+}  // namespace
+}  // namespace powerlens::clustering

@@ -1,0 +1,67 @@
+#include "core/ablation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace powerlens::core {
+namespace {
+
+TEST(RandomPowerView, PartitionIsValidAndSized) {
+  const clustering::PowerView v = random_power_view(100, 5, 42);
+  EXPECT_EQ(v.block_count(), 5u);
+  EXPECT_EQ(v.num_layers(), 100u);
+  std::size_t covered = 0;
+  for (const clustering::PowerBlock& b : v.blocks()) covered += b.size();
+  EXPECT_EQ(covered, 100u);
+}
+
+TEST(RandomPowerView, DeterministicInSeed) {
+  const clustering::PowerView a = random_power_view(60, 4, 7);
+  const clustering::PowerView b = random_power_view(60, 4, 7);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(a.blocks()[i], b.blocks()[i]);
+  }
+}
+
+TEST(RandomPowerView, DifferentSeedsDiffer) {
+  const clustering::PowerView a = random_power_view(200, 6, 1);
+  const clustering::PowerView b = random_power_view(200, 6, 2);
+  bool differs = false;
+  for (std::size_t i = 0; i < 6 && !differs; ++i) {
+    differs = !(a.blocks()[i] == b.blocks()[i]);
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(RandomPowerView, OneBlockIsWholeNetwork) {
+  const clustering::PowerView v = random_power_view(30, 1, 3);
+  EXPECT_EQ(v.block_count(), 1u);
+  EXPECT_EQ(v.blocks()[0], (clustering::PowerBlock{0, 30}));
+}
+
+TEST(RandomPowerView, MaxBlocksIsOnePerLayer) {
+  const clustering::PowerView v = random_power_view(10, 10, 5);
+  EXPECT_EQ(v.block_count(), 10u);
+  for (const clustering::PowerBlock& b : v.blocks()) {
+    EXPECT_EQ(b.size(), 1u);
+  }
+}
+
+TEST(RandomPowerView, BadArgsThrow) {
+  EXPECT_THROW(random_power_view(10, 0, 1), std::invalid_argument);
+  EXPECT_THROW(random_power_view(10, 11, 1), std::invalid_argument);
+}
+
+TEST(SingleBlockView, CoversEverything) {
+  const clustering::PowerView v = single_block_view(17);
+  EXPECT_EQ(v.block_count(), 1u);
+  EXPECT_EQ(v.num_layers(), 17u);
+}
+
+TEST(SingleBlockView, EmptyThrows) {
+  EXPECT_THROW(single_block_view(0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace powerlens::core

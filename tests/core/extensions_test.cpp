@@ -1,0 +1,128 @@
+#include "core/extensions.hpp"
+
+#include "dnn/models.hpp"
+#include "hw/analytic.hpp"
+#include "hw/sim_engine.hpp"
+
+#include <gtest/gtest.h>
+
+namespace powerlens::core {
+namespace {
+
+class JointPlanTest : public ::testing::Test {
+ protected:
+  hw::Platform platform_ = hw::make_tx2();
+  dnn::Graph graph_ = dnn::make_resnet34(8);
+};
+
+TEST_F(JointPlanTest, PlanShapesConsistent) {
+  const JointPlan plan = optimize_joint_oracle(graph_, platform_);
+  EXPECT_EQ(plan.view.num_layers(), graph_.size());
+  EXPECT_EQ(plan.gpu_levels.size(), plan.view.block_count());
+  EXPECT_EQ(plan.cpu_levels.size(), plan.view.block_count());
+  EXPECT_EQ(plan.schedule.points.size(), plan.view.block_count());
+  EXPECT_EQ(plan.schedule.cpu_points.size(), plan.view.block_count());
+  for (std::size_t level : plan.gpu_levels) {
+    EXPECT_LT(level, platform_.gpu_levels());
+  }
+  for (std::size_t level : plan.cpu_levels) {
+    EXPECT_LT(level, platform_.cpu_levels());
+  }
+}
+
+TEST_F(JointPlanTest, JointAtLeastAsGoodAsGpuOnlyAnalytically) {
+  const JointPlan joint = optimize_joint_oracle(graph_, platform_);
+  // GPU-only analytic optimum at the max CPU level (the GPU-only labelling
+  // convention): joint per-block energy must not exceed it.
+  for (std::size_t b = 0; b < joint.view.block_count(); ++b) {
+    const clustering::PowerBlock& blk = joint.view.blocks()[b];
+    const auto layers = graph_.layers().subspan(blk.begin, blk.size());
+    const std::size_t gpu_only = hw::optimal_gpu_level(
+        platform_, layers, platform_.max_cpu_level());
+    const double e_gpu_only =
+        hw::analytic_block_cost(platform_, layers, gpu_only,
+                                platform_.max_cpu_level())
+            .energy_j;
+    const double e_joint =
+        hw::analytic_block_cost(platform_, layers, joint.gpu_levels[b],
+                                joint.cpu_levels[b])
+            .energy_j;
+    EXPECT_LE(e_joint, e_gpu_only + 1e-12);
+  }
+}
+
+TEST_F(JointPlanTest, CpuPresetsAppliedByEngine) {
+  const JointPlan plan = optimize_joint_oracle(graph_, platform_);
+  // Force a visible CPU change.
+  ASSERT_FALSE(plan.schedule.cpu_points.empty());
+  hw::SimEngine engine(platform_);
+  hw::RunPolicy policy = engine.default_policy();
+  policy.schedule = &plan.schedule;
+  const hw::ExecutionResult r = engine.run(graph_, 5, policy);
+  EXPECT_GT(r.energy_j, 0.0);
+  // Joint plans never pick the max CPU level here (lower levels strictly
+  // reduce CPU power with only launch-overhead cost), so energy must come in
+  // below the GPU-only-at-max-CPU plan.
+  hw::PresetSchedule gpu_only;
+  gpu_only.points = plan.schedule.points;
+  hw::RunPolicy gpu_policy = engine.default_policy();
+  gpu_policy.schedule = &gpu_only;
+  const hw::ExecutionResult r_gpu = engine.run(graph_, 5, gpu_policy);
+  EXPECT_LT(r.energy_j, r_gpu.energy_j);
+}
+
+TEST(ChooseBatchSize, PrefersLargerBatchForEfficiency) {
+  const hw::Platform platform = hw::make_agx();
+  const std::int64_t candidates[] = {1, 2, 4, 8, 16};
+  const BatchChoice choice = choose_batch_size(
+      [](std::int64_t b) { return dnn::make_resnet34(b); }, candidates,
+      platform);
+  // Larger batches amortize weight traffic and launch overhead; with no
+  // latency budget the sweep should land on the largest candidate.
+  EXPECT_EQ(choice.batch, 16);
+  EXPECT_GT(choice.ee_images_per_joule, 0.0);
+}
+
+TEST(ChooseBatchSize, LatencyBudgetCapsBatch) {
+  const hw::Platform platform = hw::make_agx();
+  const std::int64_t candidates[] = {1, 2, 4, 8, 16};
+  const BatchChoice unconstrained = choose_batch_size(
+      [](std::int64_t b) { return dnn::make_resnet34(b); }, candidates,
+      platform);
+  // Pick a budget slightly below the unconstrained pass latency: the choice
+  // must change to a smaller batch.
+  const BatchChoice capped = choose_batch_size(
+      [](std::int64_t b) { return dnn::make_resnet34(b); }, candidates,
+      platform, unconstrained.pass_latency_s * 0.9);
+  EXPECT_LT(capped.batch, unconstrained.batch);
+  EXPECT_LE(capped.pass_latency_s, unconstrained.pass_latency_s * 0.9);
+}
+
+TEST(ChooseBatchSize, ImpossibleBudgetThrows) {
+  const hw::Platform platform = hw::make_tx2();
+  const std::int64_t candidates[] = {1, 8};
+  EXPECT_THROW(
+      choose_batch_size([](std::int64_t b) { return dnn::make_vgg19(b); },
+                        candidates, platform, 1e-9),
+      std::invalid_argument);
+}
+
+TEST(ChooseBatchSize, EmptyCandidatesThrow) {
+  const hw::Platform platform = hw::make_tx2();
+  EXPECT_THROW(
+      choose_batch_size([](std::int64_t b) { return dnn::make_alexnet(b); },
+                        {}, platform),
+      std::invalid_argument);
+}
+
+TEST(ChooseBatchSize, NonPositiveBatchThrows) {
+  const hw::Platform platform = hw::make_tx2();
+  const std::int64_t candidates[] = {0};
+  EXPECT_THROW(
+      choose_batch_size([](std::int64_t b) { return dnn::make_alexnet(b); },
+                        candidates, platform),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace powerlens::core

@@ -1,0 +1,94 @@
+// PowerLens model-bundle persistence: a deployment loads the trained models
+// and produces byte-identical plans without re-running the offline phase.
+#include "core/powerlens.hpp"
+
+#include "dnn/models.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+namespace powerlens::core {
+namespace {
+
+class PersistenceTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    platform_ = new hw::Platform(hw::make_tx2());
+    PowerLensConfig cfg;
+    cfg.dataset.num_networks = 40;
+    cfg.train_hyper.epochs = 15;
+    cfg.train_decision.epochs = 15;
+    trained_ = new PowerLens(*platform_, cfg);
+    trained_->train();
+  }
+  static void TearDownTestSuite() {
+    delete trained_;
+    delete platform_;
+    std::remove(path().c_str());
+  }
+  static std::string path() {
+    return ::testing::TempDir() + "powerlens_models.txt";
+  }
+
+  static hw::Platform* platform_;
+  static PowerLens* trained_;
+};
+
+hw::Platform* PersistenceTest::platform_ = nullptr;
+PowerLens* PersistenceTest::trained_ = nullptr;
+
+TEST_F(PersistenceTest, SaveLoadRoundTripReproducesPlans) {
+  trained_->save_models(path());
+
+  PowerLensConfig cfg;
+  cfg.dataset.num_networks = 40;
+  PowerLens restored(*platform_, cfg);
+  EXPECT_FALSE(restored.trained());
+  restored.load_models(path());
+  EXPECT_TRUE(restored.trained());
+
+  for (const char* name : {"alexnet", "resnet34", "vit_base_32"}) {
+    const dnn::Graph g = dnn::make_model(name, 8);
+    const OptimizationPlan a = trained_->optimize(g);
+    const OptimizationPlan b = restored.optimize(g);
+    EXPECT_EQ(a.hyper, b.hyper) << name;
+    ASSERT_EQ(a.view.block_count(), b.view.block_count()) << name;
+    EXPECT_EQ(a.block_levels, b.block_levels) << name;
+  }
+}
+
+TEST_F(PersistenceTest, SaveBeforeTrainThrows) {
+  PowerLens untrained(*platform_, {});
+  EXPECT_THROW(untrained.save_models(path()), std::logic_error);
+}
+
+TEST_F(PersistenceTest, LoadMissingFileThrows) {
+  PowerLens p(*platform_, {});
+  EXPECT_THROW(p.load_models("/nonexistent/dir/models.txt"),
+               std::runtime_error);
+}
+
+TEST_F(PersistenceTest, LoadRejectsWrongPlatformBundle) {
+  trained_->save_models(path());
+  const hw::Platform agx = hw::make_agx();
+  PowerLens other(agx, {});
+  EXPECT_THROW(other.load_models(path()), std::runtime_error);
+}
+
+TEST_F(PersistenceTest, LoadRejectsGarbageFile) {
+  const std::string garbage = ::testing::TempDir() + "garbage.txt";
+  {
+    FILE* f = std::fopen(garbage.c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    std::fputs("this is not a model bundle", f);
+    std::fclose(f);
+  }
+  PowerLens p(*platform_, {});
+  EXPECT_THROW(p.load_models(garbage), std::runtime_error);
+  std::remove(garbage.c_str());
+}
+
+}  // namespace
+}  // namespace powerlens::core

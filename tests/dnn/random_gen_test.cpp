@@ -1,0 +1,74 @@
+#include "dnn/random_gen.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace powerlens::dnn {
+namespace {
+
+TEST(RandomDnnGenerator, DeterministicForSeed) {
+  RandomDnnGenerator a(123);
+  RandomDnnGenerator b(123);
+  for (int i = 0; i < 5; ++i) {
+    const Graph ga = a.generate();
+    const Graph gb = b.generate();
+    EXPECT_EQ(ga.name(), gb.name());
+    EXPECT_EQ(ga.size(), gb.size());
+    EXPECT_EQ(ga.total_flops(), gb.total_flops());
+    EXPECT_EQ(ga.total_params(), gb.total_params());
+  }
+}
+
+TEST(RandomDnnGenerator, DifferentSeedsDiffer) {
+  RandomDnnGenerator a(1);
+  RandomDnnGenerator b(2);
+  bool any_diff = false;
+  for (int i = 0; i < 5 && !any_diff; ++i) {
+    any_diff = a.generate().total_flops() != b.generate().total_flops();
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(RandomDnnGenerator, AllGraphsValidate) {
+  RandomDnnGenerator gen(777);
+  for (int i = 0; i < 30; ++i) {
+    const Graph g = gen.generate();
+    EXPECT_NO_THROW(g.validate()) << g.name();
+    EXPECT_GT(g.size(), 5u);
+    EXPECT_GT(g.total_flops(), 0);
+  }
+}
+
+TEST(RandomDnnGenerator, ProducesAllThreeFamilies) {
+  RandomDnnGenerator gen(42);
+  std::set<std::string> families;
+  for (int i = 0; i < 40; ++i) {
+    const Graph g = gen.generate();
+    families.insert(g.name().substr(0, g.name().rfind('_')));
+  }
+  EXPECT_TRUE(families.count("rand_plain"));
+  EXPECT_TRUE(families.count("rand_residual"));
+  EXPECT_TRUE(families.count("rand_transformer"));
+}
+
+TEST(RandomDnnGenerator, RespectsBatchConfig) {
+  RandomDnnConfig cfg;
+  cfg.batch = 4;
+  RandomDnnGenerator gen(5, cfg);
+  for (int i = 0; i < 6; ++i) {
+    EXPECT_EQ(gen.generate().batch_size(), 4);
+  }
+}
+
+TEST(RandomDnnGenerator, SizesVary) {
+  RandomDnnGenerator gen(9);
+  std::set<std::size_t> sizes;
+  for (int i = 0; i < 20; ++i) sizes.insert(gen.generate().size());
+  // A generator that always emits the same topology is useless for dataset
+  // generation; expect substantial diversity.
+  EXPECT_GE(sizes.size(), 10u);
+}
+
+}  // namespace
+}  // namespace powerlens::dnn

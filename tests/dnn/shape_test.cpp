@@ -1,0 +1,48 @@
+#include "dnn/shape.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace powerlens::dnn {
+namespace {
+
+TEST(TensorShape, Elements) {
+  const TensorShape s{2, 3, 4, 5};
+  EXPECT_EQ(s.elements(), 120);
+  EXPECT_EQ(s.elements_per_sample(), 60);
+}
+
+TEST(TensorShape, Validity) {
+  EXPECT_TRUE((TensorShape{1, 3, 224, 224}.valid()));
+  EXPECT_FALSE((TensorShape{0, 3, 224, 224}.valid()));
+  EXPECT_FALSE((TensorShape{1, 0, 224, 224}.valid()));
+  EXPECT_FALSE((TensorShape{1, 3, -1, 224}.valid()));
+}
+
+TEST(TensorShape, Equality) {
+  EXPECT_EQ((TensorShape{1, 2, 3, 4}), (TensorShape{1, 2, 3, 4}));
+  EXPECT_NE((TensorShape{1, 2, 3, 4}), (TensorShape{1, 2, 3, 5}));
+}
+
+TEST(ConvOutDim, StandardCases) {
+  // 224x224, k=7, s=2, p=3 -> 112 (ResNet stem).
+  EXPECT_EQ(conv_out_dim(224, 7, 2, 3), 112);
+  // 224, k=3, s=1, p=1 -> same padding.
+  EXPECT_EQ(conv_out_dim(224, 3, 1, 1), 224);
+  // 224, k=11, s=4, p=2 -> 55 (AlexNet conv1).
+  EXPECT_EQ(conv_out_dim(224, 11, 4, 2), 55);
+  // Pooling 2x2 stride 2.
+  EXPECT_EQ(conv_out_dim(224, 2, 2, 0), 112);
+}
+
+TEST(ConvOutDim, WindowTooLargeThrows) {
+  EXPECT_THROW(conv_out_dim(4, 7, 1, 0), std::invalid_argument);
+}
+
+TEST(ConvOutDim, BadStrideThrows) {
+  EXPECT_THROW(conv_out_dim(10, 3, 0, 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace powerlens::dnn

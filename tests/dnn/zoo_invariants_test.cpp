@@ -1,0 +1,112 @@
+// Layer-level invariants over the whole model zoo: every builder must emit
+// cost-consistent, shape-consistent layers — the foundation every feature,
+// clustering, and simulation result rests on.
+#include "dnn/models.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace powerlens::dnn {
+namespace {
+
+class ZooInvariantsTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(ZooInvariantsTest, EveryLayerHasSaneCosts) {
+  const Graph g = make_model(GetParam(), 2);
+  for (std::size_t i = 0; i < g.size(); ++i) {
+    const Layer& l = g.layer(i);
+    EXPECT_GE(l.flops, 0) << l.name;
+    EXPECT_GE(l.params, 0) << l.name;
+    EXPECT_GE(l.mem_bytes, 0) << l.name;
+    EXPECT_TRUE(l.output.valid()) << l.name;
+    if (l.type != OpType::kInput) {
+      EXPECT_TRUE(l.input.valid()) << l.name;
+    }
+    // No layer of a real model is simultaneously free in compute AND
+    // memory unless it is a pure view (flatten/dropout) or the input.
+    if (l.type != OpType::kInput && l.type != OpType::kFlatten &&
+        l.type != OpType::kDropout) {
+      EXPECT_GT(l.flops + l.mem_bytes, 0) << l.name;
+    }
+  }
+}
+
+TEST_P(ZooInvariantsTest, ConvAttributesConsistent) {
+  const Graph g = make_model(GetParam(), 1);
+  for (const Layer& l : g.layers()) {
+    if (l.type != OpType::kConv2d) continue;
+    EXPECT_GT(l.conv.kernel_h, 0) << l.name;
+    EXPECT_GT(l.conv.stride, 0) << l.name;
+    EXPECT_EQ(l.conv.filters, l.output.c) << l.name;
+    EXPECT_EQ(l.input.c % l.conv.groups, 0) << l.name;
+    EXPECT_EQ(l.output.c % l.conv.groups, 0) << l.name;
+  }
+}
+
+TEST_P(ZooInvariantsTest, ComputeOpsCarryTheFlops) {
+  const Graph g = make_model(GetParam(), 1);
+  std::int64_t compute_flops = 0;
+  for (const Layer& l : g.layers()) {
+    if (is_compute_op(l.type)) compute_flops += l.flops;
+  }
+  // MAC-dominated operators must account for at least 90% of all FLOPs in
+  // every real network.
+  EXPECT_GT(static_cast<double>(compute_flops),
+            0.9 * static_cast<double>(g.total_flops()));
+}
+
+TEST_P(ZooInvariantsTest, ParamsLiveInParametricLayers) {
+  const Graph g = make_model(GetParam(), 1);
+  for (const Layer& l : g.layers()) {
+    switch (l.type) {
+      case OpType::kReLU:
+      case OpType::kGELU:
+      case OpType::kHardswish:
+      case OpType::kSigmoid:
+      case OpType::kSoftmax:
+      case OpType::kMaxPool2d:
+      case OpType::kAvgPool2d:
+      case OpType::kAdaptiveAvgPool2d:
+      case OpType::kAdd:
+      case OpType::kConcat:
+      case OpType::kMul:
+      case OpType::kFlatten:
+      case OpType::kDropout:
+      case OpType::kInput:
+        EXPECT_EQ(l.params, 0) << l.name;
+        break;
+      default:
+        break;  // parametric types may carry weights
+    }
+  }
+}
+
+TEST_P(ZooInvariantsTest, SpatialDimsNeverGrowAlongPrimaryPath) {
+  // Classification backbones only ever downsample the spatial axes (token
+  // tensors keep H fixed). Only the primary producer counts: SE gates feed
+  // kMul with (C,1,1) tensors by design.
+  const Graph g = make_model(GetParam(), 1);
+  for (std::size_t i = 0; i < g.size(); ++i) {
+    if (g.producers(i).empty()) continue;
+    const Layer& prod = g.layer(g.producers(i).front());
+    const Layer& cons = g.layer(i);
+    if (cons.type == OpType::kPatchEmbed) continue;  // reshapes to tokens
+    if (cons.type == OpType::kFlatten) continue;
+    EXPECT_LE(cons.output.h, prod.output.h)
+        << cons.name << " grows H over " << prod.name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllModels, ZooInvariantsTest,
+    ::testing::Values("alexnet", "googlenet", "vgg19", "mobilenet_v3",
+                      "densenet201", "resnext101", "resnet34", "resnet152",
+                      "regnet_x_32gf", "regnet_y_128gf", "vit_base_16",
+                      "vit_base_32"),
+    [](const ::testing::TestParamInfo<const char*>& info) {
+      return std::string(info.param);
+    });
+
+}  // namespace
+}  // namespace powerlens::dnn

@@ -1,0 +1,117 @@
+#include "hw/analytic.hpp"
+
+#include "dnn/models.hpp"
+
+#include <gtest/gtest.h>
+
+namespace powerlens::hw {
+namespace {
+
+class AnalyticTest : public ::testing::Test {
+ protected:
+  Platform platform_ = make_agx();
+  dnn::Graph graph_ = dnn::make_resnet34(/*batch=*/8);
+};
+
+TEST_F(AnalyticTest, CostPositiveForRealModel) {
+  const BlockCost c = analytic_block_cost(platform_, graph_.layers(),
+                                          platform_.max_gpu_level(),
+                                          platform_.max_cpu_level());
+  EXPECT_GT(c.time_s, 0.0);
+  EXPECT_GT(c.energy_j, 0.0);
+  EXPECT_GT(c.avg_power_w(), platform_.base_power_w);
+}
+
+TEST_F(AnalyticTest, TimeDecreasesWithFrequency) {
+  double prev = 1e18;
+  for (std::size_t level = 0; level < platform_.gpu_levels(); ++level) {
+    const BlockCost c = analytic_block_cost(platform_, graph_.layers(), level,
+                                            platform_.max_cpu_level());
+    EXPECT_LT(c.time_s, prev);
+    prev = c.time_s;
+  }
+}
+
+TEST_F(AnalyticTest, EnergyCurveIsConvexish) {
+  // Energy should fall then rise across the ladder: both endpoints are more
+  // expensive than the optimum.
+  const std::size_t best = optimal_gpu_level(platform_, graph_.layers(),
+                                             platform_.max_cpu_level());
+  const double e_best = analytic_block_cost(platform_, graph_.layers(), best,
+                                            platform_.max_cpu_level())
+                            .energy_j;
+  const double e_min = analytic_block_cost(platform_, graph_.layers(), 0,
+                                           platform_.max_cpu_level())
+                           .energy_j;
+  const double e_max =
+      analytic_block_cost(platform_, graph_.layers(),
+                          platform_.max_gpu_level(),
+                          platform_.max_cpu_level())
+          .energy_j;
+  EXPECT_LT(e_best, e_min);
+  EXPECT_LT(e_best, e_max);
+}
+
+TEST_F(AnalyticTest, OptimalLevelIsInterior) {
+  // The calibrated platforms put the EE optimum strictly inside the ladder —
+  // the physics that makes DVFS worthwhile at all.
+  const std::size_t best = optimal_gpu_level(platform_, graph_.layers(),
+                                             platform_.max_cpu_level());
+  EXPECT_GT(best, 0u);
+  EXPECT_LT(best, platform_.max_gpu_level());
+}
+
+TEST_F(AnalyticTest, InputLayerContributesNothing) {
+  const auto only_input = graph_.layers().subspan(0, 1);
+  const BlockCost c = analytic_block_cost(platform_, only_input, 0, 0);
+  EXPECT_DOUBLE_EQ(c.time_s, 0.0);
+  EXPECT_DOUBLE_EQ(c.energy_j, 0.0);
+}
+
+TEST_F(AnalyticTest, BlockCostsAddUp) {
+  const std::size_t cpu = platform_.max_cpu_level();
+  const BlockCost whole =
+      analytic_block_cost(platform_, graph_.layers(), 5, cpu);
+  const std::size_t half = graph_.size() / 2;
+  const BlockCost a =
+      analytic_block_cost(platform_, graph_.layers().subspan(0, half), 5, cpu);
+  const BlockCost b = analytic_block_cost(
+      platform_, graph_.layers().subspan(half), 5, cpu);
+  EXPECT_NEAR(whole.time_s, a.time_s + b.time_s, 1e-9);
+  EXPECT_NEAR(whole.energy_j, a.energy_j + b.energy_j, 1e-6);
+}
+
+TEST_F(AnalyticTest, MemoryBoundLayersPreferLowerFrequencies) {
+  // Find a memory-bound sub-range (elementwise ops) and a compute-bound one
+  // (large convs); their optimal levels must differ in the expected
+  // direction.
+  const LatencyModel latency(platform_);
+  std::vector<dnn::Layer> mem_layers, compute_layers;
+  for (const dnn::Layer& l : graph_.layers()) {
+    const double knee = latency.knee_frequency(l);
+    if (l.type == dnn::OpType::kReLU) mem_layers.push_back(l);
+    if (l.type == dnn::OpType::kConv2d &&
+        knee > platform_.gpu.freqs_hz.back()) {
+      compute_layers.push_back(l);
+    }
+  }
+  ASSERT_FALSE(mem_layers.empty());
+  ASSERT_FALSE(compute_layers.empty());
+  const std::size_t cpu = platform_.max_cpu_level();
+  EXPECT_LE(optimal_gpu_level(platform_, mem_layers, cpu),
+            optimal_gpu_level(platform_, compute_layers, cpu));
+}
+
+TEST(AnalyticCrossPlatform, Tx2SlowerThanAgx) {
+  const dnn::Graph g = dnn::make_resnet152(8);
+  const Platform tx2 = make_tx2();
+  const Platform agx = make_agx();
+  const BlockCost c_tx2 = analytic_block_cost(
+      tx2, g.layers(), tx2.max_gpu_level(), tx2.max_cpu_level());
+  const BlockCost c_agx = analytic_block_cost(
+      agx, g.layers(), agx.max_gpu_level(), agx.max_cpu_level());
+  EXPECT_GT(c_tx2.time_s, c_agx.time_s);
+}
+
+}  // namespace
+}  // namespace powerlens::hw

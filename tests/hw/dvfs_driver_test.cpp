@@ -1,0 +1,83 @@
+#include "hw/dvfs_driver.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+namespace powerlens::hw {
+namespace {
+
+TEST(SimDvfsDriver, StartsAtMaxLevel) {
+  const Platform p = make_tx2();
+  SimDvfsDriver d(p);
+  EXPECT_EQ(d.gpu_level(), p.max_gpu_level());
+  EXPECT_EQ(d.transitions(), 0u);
+}
+
+TEST(SimDvfsDriver, CountsDistinctTransitionsOnly) {
+  const Platform p = make_tx2();
+  SimDvfsDriver d(p);
+  EXPECT_TRUE(d.set_gpu_level(4));
+  EXPECT_TRUE(d.set_gpu_level(4));  // redundant
+  EXPECT_TRUE(d.set_gpu_level(7));
+  EXPECT_EQ(d.gpu_level(), 7u);
+  EXPECT_EQ(d.transitions(), 2u);
+}
+
+TEST(SimDvfsDriver, RejectsBadLevel) {
+  const Platform p = make_tx2();
+  SimDvfsDriver d(p);
+  EXPECT_THROW(d.set_gpu_level(p.gpu_levels()), std::out_of_range);
+}
+
+TEST(SysfsDvfsDriver, UnavailableOffDevice) {
+  const Platform p = make_agx();
+  SysfsDvfsDriver d(p, "/sys/class/devfreq/does_not_exist");
+  EXPECT_FALSE(d.available());
+  EXPECT_FALSE(d.set_gpu_level(3));
+  // Failed writes must not move the tracked level.
+  EXPECT_EQ(d.gpu_level(), p.max_gpu_level());
+}
+
+TEST(SysfsDvfsDriver, EmptyPathThrows) {
+  const Platform p = make_agx();
+  EXPECT_THROW(SysfsDvfsDriver(p, ""), std::invalid_argument);
+}
+
+TEST(SysfsDvfsDriver, WritesPinnedFrequencyToFakeNode) {
+  // Emulate a devfreq node with a temp directory.
+  const Platform p = make_tx2();
+  const std::filesystem::path dir =
+      std::filesystem::path(::testing::TempDir()) / "fake_devfreq";
+  std::filesystem::create_directories(dir);
+  {
+    std::ofstream(dir / "available_frequencies") << "114750000 1300500000\n";
+    std::ofstream(dir / "min_freq") << "114750000\n";
+    std::ofstream(dir / "max_freq") << "1300500000\n";
+  }
+  SysfsDvfsDriver d(p, dir.string());
+  EXPECT_TRUE(d.available());
+  ASSERT_TRUE(d.set_gpu_level(5));
+  EXPECT_EQ(d.gpu_level(), 5u);
+
+  // Both bounds must be pinned to the ladder frequency of level 5.
+  const long long expected = static_cast<long long>(p.gpu_freq(5));
+  for (const char* node : {"min_freq", "max_freq"}) {
+    std::ifstream f(dir / node);
+    long long hz = 0;
+    f >> hz;
+    EXPECT_EQ(hz, expected) << node;
+  }
+  std::filesystem::remove_all(dir);
+}
+
+TEST(SysfsDvfsDriver, RejectsBadLevel) {
+  const Platform p = make_tx2();
+  SysfsDvfsDriver d(p, "/tmp/whatever");
+  EXPECT_THROW(d.set_gpu_level(99), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace powerlens::hw

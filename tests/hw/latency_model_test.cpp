@@ -1,0 +1,139 @@
+#include "hw/latency_model.hpp"
+
+#include "dnn/builder.hpp"
+
+#include <gtest/gtest.h>
+
+namespace powerlens::hw {
+namespace {
+
+dnn::Layer conv_layer(std::int64_t channels, std::int64_t hw_dim,
+                      std::int64_t groups = 1) {
+  dnn::GraphBuilder b("t", {1, channels, hw_dim, hw_dim});
+  b.conv2d(b.input(), channels, 3, 1, 1, groups);
+  const dnn::Graph g = b.build();
+  return g.layer(1);
+}
+
+dnn::Layer relu_layer(std::int64_t elements_side) {
+  dnn::GraphBuilder b("t", {1, 64, elements_side, elements_side});
+  b.relu(b.input());
+  return b.build().layer(1);
+}
+
+class LatencyModelTest : public ::testing::Test {
+ protected:
+  Platform platform_ = make_agx();
+  LatencyModel model_{platform_};
+};
+
+TEST_F(LatencyModelTest, PeakFlopsScalesWithFrequency) {
+  const double f = 1e9;
+  EXPECT_DOUBLE_EQ(model_.peak_flops(2.0 * f), 2.0 * model_.peak_flops(f));
+  EXPECT_DOUBLE_EQ(model_.peak_flops(f),
+                   512.0 * 2.0 * f);  // cores * flops/cycle * f
+}
+
+TEST_F(LatencyModelTest, InputLayerIsFree) {
+  dnn::Layer input;
+  input.type = dnn::OpType::kInput;
+  const LayerTiming t = model_.time_layer(input, 1e9, 1e9);
+  EXPECT_DOUBLE_EQ(t.total_s, 0.0);
+}
+
+TEST_F(LatencyModelTest, ComputeTimeInverselyProportionalToFrequency) {
+  const dnn::Layer conv = conv_layer(256, 28);
+  const LayerTiming t1 = model_.time_layer(conv, 5e8, 2e9);
+  const LayerTiming t2 = model_.time_layer(conv, 1e9, 2e9);
+  EXPECT_NEAR(t1.compute_s, 2.0 * t2.compute_s, 1e-12);
+}
+
+TEST_F(LatencyModelTest, MemoryTimeIndependentOfGpuFrequency) {
+  const dnn::Layer conv = conv_layer(256, 28);
+  const LayerTiming t1 = model_.time_layer(conv, 5e8, 2e9);
+  const LayerTiming t2 = model_.time_layer(conv, 1.4e9, 2e9);
+  EXPECT_DOUBLE_EQ(t1.memory_s, t2.memory_s);
+}
+
+TEST_F(LatencyModelTest, TotalIsRooflineMaxPlusLaunch) {
+  const dnn::Layer conv = conv_layer(128, 14);
+  const LayerTiming t = model_.time_layer(conv, 1e9, 2e9);
+  EXPECT_NEAR(t.total_s, std::max(t.compute_s, t.memory_s) + t.launch_s,
+              1e-15);
+}
+
+TEST_F(LatencyModelTest, LaunchOverheadScalesWithCpuFrequency) {
+  const dnn::Layer conv = conv_layer(64, 14);
+  const double f_max = platform_.cpu.freqs_hz.back();
+  const LayerTiming fast = model_.time_layer(conv, 1e9, f_max);
+  const LayerTiming slow = model_.time_layer(conv, 1e9, f_max / 2.0);
+  EXPECT_NEAR(slow.launch_s, 2.0 * fast.launch_s, 1e-12);
+}
+
+TEST_F(LatencyModelTest, DepthwiseConvLessEfficientThanDense) {
+  const dnn::Layer dense = conv_layer(256, 28, 1);
+  const dnn::Layer depthwise = conv_layer(256, 28, 256);
+  EXPECT_GT(LatencyModel::compute_efficiency(dense),
+            LatencyModel::compute_efficiency(depthwise));
+}
+
+TEST_F(LatencyModelTest, ElementwiseOpsAreMemoryBound) {
+  const dnn::Layer relu = relu_layer(56);
+  const LayerTiming t =
+      model_.time_layer(relu, platform_.gpu.freqs_hz.back(), 2e9);
+  EXPECT_GT(t.memory_s, t.compute_s);
+}
+
+TEST_F(LatencyModelTest, ActivityFractionsInUnitRange) {
+  for (std::size_t level = 0; level < platform_.gpu_levels(); ++level) {
+    const LayerTiming t = model_.time_layer(
+        conv_layer(512, 14), platform_.gpu_freq(level),
+        platform_.cpu.freqs_hz.back());
+    EXPECT_GE(t.gpu_activity, 0.0);
+    EXPECT_LE(t.gpu_activity, 1.0);
+    EXPECT_GE(t.mem_activity, 0.0);
+    EXPECT_LE(t.mem_activity, 1.0);
+  }
+}
+
+TEST_F(LatencyModelTest, KneeFrequencySeparatesRegimes) {
+  const dnn::Layer conv = conv_layer(256, 28);
+  const double knee = model_.knee_frequency(conv);
+  ASSERT_GT(knee, 0.0);
+  // Below the knee: compute-bound. Above: memory-bound.
+  const LayerTiming below = model_.time_layer(conv, knee * 0.5, 2e9);
+  EXPECT_GT(below.compute_s, below.memory_s);
+  const LayerTiming above = model_.time_layer(conv, knee * 2.0, 2e9);
+  EXPECT_LT(above.compute_s, above.memory_s);
+}
+
+TEST_F(LatencyModelTest, KneeZeroForZeroFlops) {
+  dnn::Layer l;
+  l.type = dnn::OpType::kConcat;
+  l.flops = 0;
+  l.mem_bytes = 1024;
+  EXPECT_DOUBLE_EQ(model_.knee_frequency(l), 0.0);
+}
+
+TEST_F(LatencyModelTest, TimeMonotoneNonIncreasingInFrequency) {
+  const dnn::Layer conv = conv_layer(384, 14);
+  double prev = 1e18;
+  for (std::size_t level = 0; level < platform_.gpu_levels(); ++level) {
+    const LayerTiming t = model_.time_layer(
+        conv, platform_.gpu_freq(level), platform_.cpu.freqs_hz.back());
+    EXPECT_LE(t.total_s, prev + 1e-15);
+    prev = t.total_s;
+  }
+}
+
+TEST_F(LatencyModelTest, TrafficAmplificationSlowsMemory) {
+  Platform amped = platform_;
+  amped.mem.traffic_amplification *= 2.0;
+  const LatencyModel m2(amped);
+  const dnn::Layer conv = conv_layer(64, 56);
+  EXPECT_NEAR(m2.time_layer(conv, 1e9, 2e9).memory_s,
+              2.0 * model_.time_layer(conv, 1e9, 2e9).memory_s, 1e-12);
+}
+
+}  // namespace
+}  // namespace powerlens::hw

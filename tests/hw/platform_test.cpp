@@ -1,0 +1,82 @@
+#include "hw/platform.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace powerlens::hw {
+namespace {
+
+TEST(Platform, Tx2MatchesPaperLadder) {
+  const Platform p = make_tx2();
+  // "On the TX2, frequencies range from 114MHz to 1300MHz across 13 levels."
+  EXPECT_EQ(p.gpu_levels(), 13u);
+  EXPECT_NEAR(p.gpu.freqs_hz.front() / 1e6, 114.75, 0.01);
+  EXPECT_NEAR(p.gpu.freqs_hz.back() / 1e6, 1300.5, 0.01);
+}
+
+TEST(Platform, AgxMatchesPaperLadder) {
+  const Platform p = make_agx();
+  // "On the AGX, frequencies range from 114MHz to 1370MHz across 14 levels."
+  EXPECT_EQ(p.gpu_levels(), 14u);
+  EXPECT_NEAR(p.gpu.freqs_hz.front() / 1e6, 114.75, 0.01);
+  EXPECT_NEAR(p.gpu.freqs_hz.back() / 1e6, 1377.0, 0.01);
+}
+
+TEST(Platform, LaddersAscending) {
+  for (const Platform& p : {make_tx2(), make_agx()}) {
+    for (std::size_t i = 1; i < p.gpu_levels(); ++i) {
+      EXPECT_GT(p.gpu.freqs_hz[i], p.gpu.freqs_hz[i - 1]);
+    }
+    for (std::size_t i = 1; i < p.cpu_levels(); ++i) {
+      EXPECT_GT(p.cpu.freqs_hz[i], p.cpu.freqs_hz[i - 1]);
+    }
+  }
+}
+
+TEST(Platform, DvfsTransitionCostMatchesPaper) {
+  // Section 3.3: a DVFS level change costs ~50 ms on the measured devices.
+  for (const Platform& p : {make_tx2(), make_agx()}) {
+    EXPECT_NEAR(p.dvfs.latency_s + p.dvfs.stall_s, 0.050, 0.005);
+  }
+}
+
+TEST(Platform, FreqAccessorsBoundsChecked) {
+  const Platform p = make_tx2();
+  EXPECT_THROW(p.gpu_freq(p.gpu_levels()), std::out_of_range);
+  EXPECT_THROW(p.cpu_freq(p.cpu_levels()), std::out_of_range);
+  EXPECT_GT(p.gpu_freq(0), 0.0);
+}
+
+TEST(Platform, ValidateRejectsBadLadder) {
+  Platform p = make_tx2();
+  p.gpu.freqs_hz = {2e8, 1e8};  // descending
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+}
+
+TEST(Platform, ValidateRejectsSingleLevel) {
+  Platform p = make_tx2();
+  p.gpu.freqs_hz = {1e8};
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+}
+
+TEST(Platform, ValidateRejectsBadVoltage) {
+  Platform p = make_agx();
+  p.gpu.v_max = p.gpu.v_min - 0.1;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+}
+
+TEST(Platform, ValidateRejectsBadMemory) {
+  Platform p = make_agx();
+  p.mem.traffic_amplification = 0.5;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+}
+
+TEST(Platform, AgxHasMoreComputeThanTx2) {
+  EXPECT_GT(make_agx().gpu.cuda_cores, make_tx2().gpu.cuda_cores);
+  EXPECT_GT(make_agx().mem.bandwidth_bytes_per_s,
+            make_tx2().mem.bandwidth_bytes_per_s);
+}
+
+}  // namespace
+}  // namespace powerlens::hw

@@ -1,0 +1,76 @@
+#include "hw/telemetry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace powerlens::hw {
+namespace {
+
+TEST(Telemetry, RejectsNonPositivePeriod) {
+  EXPECT_THROW(Telemetry(0.0), std::invalid_argument);
+  EXPECT_THROW(Telemetry(-1.0), std::invalid_argument);
+}
+
+TEST(Telemetry, ConstantPowerGivesConstantSamples) {
+  Telemetry t(0.1);
+  t.record_slice(0.0, 1.0, 5.0);
+  t.finish(1.0);
+  ASSERT_EQ(t.samples().size(), 10u);
+  for (const PowerSample& s : t.samples()) {
+    EXPECT_DOUBLE_EQ(s.power_w, 5.0);
+  }
+  EXPECT_DOUBLE_EQ(t.mean_power_w(), 5.0);
+}
+
+TEST(Telemetry, AveragesWithinWindow) {
+  Telemetry t(0.1);
+  // Half the window at 2 W, half at 6 W -> sample mean 4 W.
+  t.record_slice(0.0, 0.05, 2.0);
+  t.record_slice(0.05, 0.05, 6.0);
+  t.finish(0.1);
+  ASSERT_EQ(t.samples().size(), 1u);
+  EXPECT_DOUBLE_EQ(t.samples()[0].power_w, 4.0);
+}
+
+TEST(Telemetry, SplitsLongSliceAcrossWindows) {
+  Telemetry t(0.05);
+  t.record_slice(0.0, 0.22, 3.0);
+  t.finish(0.22);
+  // 4 full windows + trailing partial.
+  EXPECT_EQ(t.samples().size(), 5u);
+}
+
+TEST(Telemetry, PartialWindowFlushedByFinish) {
+  Telemetry t(1.0);
+  t.record_slice(0.0, 0.3, 7.0);
+  EXPECT_TRUE(t.samples().empty());
+  t.finish(0.3);
+  ASSERT_EQ(t.samples().size(), 1u);
+  EXPECT_DOUBLE_EQ(t.samples()[0].power_w, 7.0);
+}
+
+TEST(Telemetry, NegativeSliceThrows) {
+  Telemetry t(0.1);
+  EXPECT_THROW(t.record_slice(0.0, -0.1, 1.0), std::invalid_argument);
+}
+
+TEST(Telemetry, EmptyMeanIsZero) {
+  Telemetry t(0.1);
+  EXPECT_DOUBLE_EQ(t.mean_power_w(), 0.0);
+}
+
+TEST(Telemetry, SampleTimesMonotone) {
+  Telemetry t(0.05);
+  t.record_slice(0.0, 0.12, 2.0);
+  t.record_slice(0.12, 0.09, 4.0);
+  t.finish(0.21);
+  double prev = -1.0;
+  for (const PowerSample& s : t.samples()) {
+    EXPECT_GT(s.time_s, prev);
+    prev = s.time_s;
+  }
+}
+
+}  // namespace
+}  // namespace powerlens::hw

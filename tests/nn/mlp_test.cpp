@@ -1,0 +1,192 @@
+#include "nn/mlp.hpp"
+
+#include "nn/tensor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+namespace powerlens::nn {
+namespace {
+
+using linalg::Matrix;
+
+TEST(DenseLayer, ForwardMatchesAffine) {
+  std::mt19937_64 rng(1);
+  DenseLayer l(2, 3, /*relu=*/false, rng);
+  const Matrix x{{1.0, -2.0}};
+  const Matrix y = l.forward(x);
+  ASSERT_EQ(y.rows(), 1u);
+  ASSERT_EQ(y.cols(), 3u);
+  // Manually recompute W x + b (bias starts at zero).
+  for (std::size_t o = 0; o < 3; ++o) {
+    const double expected =
+        l.weights()(o, 0) * 1.0 + l.weights()(o, 1) * -2.0;
+    EXPECT_NEAR(y(0, o), expected, 1e-12);
+  }
+}
+
+TEST(DenseLayer, ReluClampsNegatives) {
+  std::mt19937_64 rng(2);
+  DenseLayer l(4, 8, /*relu=*/true, rng);
+  Matrix x(3, 4);
+  std::normal_distribution<double> d(0.0, 3.0);
+  for (double& v : x.data()) v = d(rng);
+  const Matrix y = l.forward(x);
+  for (double v : y.data()) EXPECT_GE(v, 0.0);
+}
+
+TEST(DenseLayer, ForwardConstMatchesForward) {
+  std::mt19937_64 rng(3);
+  DenseLayer l(5, 2, true, rng);
+  Matrix x(2, 5, 0.3);
+  EXPECT_LT(Matrix::max_abs_diff(l.forward(x), l.forward_const(x)), 1e-15);
+}
+
+TEST(DenseLayer, DimensionMismatchThrows) {
+  std::mt19937_64 rng(4);
+  DenseLayer l(3, 2, false, rng);
+  EXPECT_THROW(l.forward(Matrix(1, 4)), std::invalid_argument);
+  EXPECT_THROW(DenseLayer(0, 2, false, rng), std::invalid_argument);
+}
+
+// Numerical gradient check: the input gradient returned by backward() must
+// match central finite differences of loss = sum(outputs).
+TEST(DenseLayer, GradientMatchesFiniteDifference) {
+  std::mt19937_64 rng(6);
+  DenseLayer layer(3, 2, /*relu=*/false, rng);
+  const Matrix x{{0.5, -1.0, 2.0}};
+
+  auto loss_at = [&](const Matrix& input) {
+    const Matrix y = layer.forward_const(input);
+    double s = 0.0;
+    for (double v : y.data()) s += v;
+    return s;
+  };
+
+  layer.forward(x);
+  const Matrix analytic = layer.backward(Matrix(1, 2, 1.0));
+  ASSERT_EQ(analytic.rows(), 1u);
+  ASSERT_EQ(analytic.cols(), 3u);
+
+  const double eps = 1e-6;
+  for (std::size_t i = 0; i < 3; ++i) {
+    Matrix xp = x;
+    xp(0, i) += eps;
+    Matrix xm = x;
+    xm(0, i) -= eps;
+    const double numeric = (loss_at(xp) - loss_at(xm)) / (2.0 * eps);
+    EXPECT_NEAR(analytic(0, i), numeric, 1e-6);
+  }
+}
+
+// Same check through ReLU: the mask must gate the gradient.
+TEST(DenseLayer, ReluGradientMatchesFiniteDifference) {
+  std::mt19937_64 rng(7);
+  DenseLayer layer(4, 3, /*relu=*/true, rng);
+  const Matrix x{{0.8, -0.4, 1.2, -2.0}};
+
+  auto loss_at = [&](const Matrix& input) {
+    const Matrix y = layer.forward_const(input);
+    double s = 0.0;
+    for (double v : y.data()) s += v;
+    return s;
+  };
+
+  layer.forward(x);
+  const Matrix analytic = layer.backward(Matrix(1, 3, 1.0));
+  const double eps = 1e-6;
+  for (std::size_t i = 0; i < 4; ++i) {
+    Matrix xp = x;
+    xp(0, i) += eps;
+    Matrix xm = x;
+    xm(0, i) -= eps;
+    const double numeric = (loss_at(xp) - loss_at(xm)) / (2.0 * eps);
+    EXPECT_NEAR(analytic(0, i), numeric, 1e-5);
+  }
+}
+
+TEST(TwoStageMlp, RejectsZeroDimensions) {
+  TwoStageMlpConfig c;
+  c.structural_dim = 0;
+  c.statistics_dim = 4;
+  c.num_classes = 3;
+  EXPECT_THROW(TwoStageMlp{c}, std::invalid_argument);
+}
+
+TwoStageMlpConfig small_config() {
+  TwoStageMlpConfig c;
+  c.structural_dim = 3;
+  c.statistics_dim = 2;
+  c.hidden1 = 16;
+  c.hidden2 = 16;
+  c.hidden3 = 16;
+  c.num_classes = 4;
+  c.seed = 9;
+  return c;
+}
+
+TEST(TwoStageMlp, ForwardShape) {
+  TwoStageMlp m(small_config());
+  const Matrix xs(5, 3, 0.1);
+  const Matrix xt(5, 2, 0.2);
+  const Matrix logits = m.forward(xs, xt);
+  EXPECT_EQ(logits.rows(), 5u);
+  EXPECT_EQ(logits.cols(), 4u);
+}
+
+TEST(TwoStageMlp, DeterministicForSeed) {
+  TwoStageMlp a(small_config());
+  TwoStageMlp b(small_config());
+  const Matrix xs(2, 3, 0.5);
+  const Matrix xt(2, 2, -0.5);
+  EXPECT_LT(Matrix::max_abs_diff(a.forward_const(xs, xt),
+                                 b.forward_const(xs, xt)),
+            1e-15);
+}
+
+TEST(TwoStageMlp, StatisticsInputInfluencesOutput) {
+  TwoStageMlp m(small_config());
+  const Matrix xs(1, 3, 0.5);
+  const Matrix xt1(1, 2, 0.0);
+  const Matrix xt2(1, 2, 5.0);
+  EXPECT_GT(Matrix::max_abs_diff(m.forward_const(xs, xt1),
+                                 m.forward_const(xs, xt2)),
+            1e-6);
+}
+
+TEST(TwoStageMlp, TrainingStepReducesLossOnTinyProblem) {
+  TwoStageMlp m(small_config());
+  // Labels depend on the statistics facet: class = (xt[0] > 0) * 2 + (xs[0] > 0).
+  std::mt19937_64 rng(11);
+  std::normal_distribution<double> d(0.0, 1.0);
+  Matrix xs(64, 3), xt(64, 2);
+  std::vector<int> labels(64);
+  for (std::size_t r = 0; r < 64; ++r) {
+    for (std::size_t c = 0; c < 3; ++c) xs(r, c) = d(rng);
+    for (std::size_t c = 0; c < 2; ++c) xt(r, c) = d(rng);
+    labels[r] = (xt(r, 0) > 0 ? 2 : 0) + (xs(r, 0) > 0 ? 1 : 0);
+  }
+
+  double first_loss = 0.0, last_loss = 0.0;
+  for (int step = 0; step < 300; ++step) {
+    const Matrix probs = softmax_rows(m.forward(xs, xt));
+    const double loss = cross_entropy(probs, labels);
+    if (step == 0) first_loss = loss;
+    last_loss = loss;
+    m.backward(cross_entropy_grad(probs, labels));
+    m.adam_step(3e-3, 0.9, 0.999, 1e-8);
+  }
+  EXPECT_LT(last_loss, first_loss * 0.3);
+
+  const std::vector<int> pred = m.predict(xs, xt);
+  std::size_t hits = 0;
+  for (std::size_t i = 0; i < 64; ++i) {
+    if (pred[i] == labels[i]) ++hits;
+  }
+  EXPECT_GT(hits, 55u);  // both facets must be learned
+}
+
+}  // namespace
+}  // namespace powerlens::nn

@@ -1,0 +1,137 @@
+#include "nn/serialize.hpp"
+
+#include "linalg/stats.hpp"
+#include "nn/mlp.hpp"
+#include "nn/tensor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <sstream>
+
+namespace powerlens::nn {
+namespace {
+
+using linalg::Matrix;
+
+TEST(Serialize, MatrixRoundTrip) {
+  Matrix m{{1.5, -2.25e-10}, {3.0, 1.0 / 3.0}};
+  std::stringstream ss;
+  write_matrix(ss, "test", m);
+  const Matrix r = read_matrix(ss, "test");
+  EXPECT_EQ(r, m);  // exact: max_digits10 round-trips doubles
+}
+
+TEST(Serialize, VectorRoundTrip) {
+  const std::vector<double> v{0.1, -7.0, 1e300, 0.0};
+  std::stringstream ss;
+  write_vector(ss, "vec", v);
+  EXPECT_EQ(read_vector(ss, "vec"), v);
+}
+
+TEST(Serialize, ScalarRoundTrip) {
+  std::stringstream ss;
+  write_scalar(ss, "n", -42);
+  EXPECT_EQ(read_scalar(ss, "n"), -42);
+}
+
+TEST(Serialize, TagMismatchThrows) {
+  std::stringstream ss;
+  write_matrix(ss, "alpha", Matrix(1, 1));
+  EXPECT_THROW(read_matrix(ss, "beta"), std::runtime_error);
+}
+
+TEST(Serialize, TruncatedInputThrows) {
+  std::stringstream ss("test 2 2 1.0 2.0");  // 4 values promised, 2 given
+  EXPECT_THROW(read_matrix(ss, "test"), std::runtime_error);
+}
+
+TEST(Serialize, DenseLayerRoundTripPreservesOutputs) {
+  std::mt19937_64 rng(5);
+  DenseLayer layer(4, 3, /*relu=*/true, rng);
+  std::stringstream ss;
+  layer.save(ss);
+  const DenseLayer restored = DenseLayer::load(ss);
+
+  Matrix x(2, 4);
+  std::normal_distribution<double> d(0.0, 1.0);
+  for (double& v : x.data()) v = d(rng);
+  EXPECT_LT(Matrix::max_abs_diff(layer.forward_const(x),
+                                 restored.forward_const(x)),
+            1e-15);
+}
+
+TEST(Serialize, DenseLayerLoadRejectsInconsistentShapes) {
+  std::stringstream ss;
+  // relu + mismatched bias length vs weight rows.
+  write_scalar(ss, "relu", 1);
+  write_matrix(ss, "w", Matrix(3, 4));
+  write_vector(ss, "b", std::vector<double>(2, 0.0));  // should be 3
+  write_matrix(ss, "m_w", Matrix(3, 4));
+  write_matrix(ss, "v_w", Matrix(3, 4));
+  write_vector(ss, "m_b", std::vector<double>(2, 0.0));
+  write_vector(ss, "v_b", std::vector<double>(2, 0.0));
+  EXPECT_THROW(DenseLayer::load(ss), std::runtime_error);
+}
+
+TEST(Serialize, TwoStageMlpRoundTripPreservesPredictions) {
+  TwoStageMlpConfig cfg;
+  cfg.structural_dim = 5;
+  cfg.statistics_dim = 3;
+  cfg.hidden1 = cfg.hidden2 = cfg.hidden3 = 16;
+  cfg.num_classes = 7;
+  cfg.seed = 77;
+  TwoStageMlp model(cfg);
+
+  // Push a few training steps so serialized Adam state matters.
+  std::mt19937_64 rng(1);
+  std::normal_distribution<double> d(0.0, 1.0);
+  Matrix xs(8, 5), xt(8, 3);
+  for (double& v : xs.data()) v = d(rng);
+  for (double& v : xt.data()) v = d(rng);
+  std::vector<int> labels{0, 1, 2, 3, 4, 5, 6, 0};
+  for (int i = 0; i < 5; ++i) {
+    const Matrix probs = softmax_rows(model.forward(xs, xt));
+    model.backward(cross_entropy_grad(probs, labels));
+    model.adam_step(1e-3, 0.9, 0.999, 1e-8);
+  }
+
+  std::stringstream ss;
+  model.save(ss);
+  TwoStageMlp restored = TwoStageMlp::load(ss);
+  EXPECT_LT(Matrix::max_abs_diff(model.forward_const(xs, xt),
+                                 restored.forward_const(xs, xt)),
+            1e-15);
+
+  // Continuing training from the restored state matches exactly (Adam
+  // moments and step count were persisted).
+  const Matrix p1 = softmax_rows(model.forward(xs, xt));
+  model.backward(cross_entropy_grad(p1, labels));
+  model.adam_step(1e-3, 0.9, 0.999, 1e-8);
+  const Matrix p2 = softmax_rows(restored.forward(xs, xt));
+  restored.backward(cross_entropy_grad(p2, labels));
+  restored.adam_step(1e-3, 0.9, 0.999, 1e-8);
+  EXPECT_LT(Matrix::max_abs_diff(model.forward_const(xs, xt),
+                                 restored.forward_const(xs, xt)),
+            1e-14);
+}
+
+TEST(Serialize, StandardScalerRoundTrip) {
+  const Matrix samples{{1.0, 10.0}, {2.0, 30.0}, {3.0, 20.0}};
+  linalg::StandardScaler scaler;
+  scaler.fit(samples);
+  std::stringstream ss;
+  scaler.save(ss);
+  const linalg::StandardScaler restored = linalg::StandardScaler::load(ss);
+  EXPECT_LT(Matrix::max_abs_diff(scaler.transform(samples),
+                                 restored.transform(samples)),
+            1e-15);
+}
+
+TEST(Serialize, ScalerLoadRejectsBadHeader) {
+  std::stringstream ss("not_a_scaler 2 1 2 3 4");
+  EXPECT_THROW(linalg::StandardScaler::load(ss), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace powerlens::nn

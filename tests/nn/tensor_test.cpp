@@ -1,0 +1,96 @@
+#include "nn/tensor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace powerlens::nn {
+namespace {
+
+using linalg::Matrix;
+
+TEST(SoftmaxRows, RowsSumToOne) {
+  const Matrix logits{{1.0, 2.0, 3.0}, {-5.0, 0.0, 5.0}};
+  const Matrix p = softmax_rows(logits);
+  for (std::size_t r = 0; r < p.rows(); ++r) {
+    double s = 0.0;
+    for (std::size_t c = 0; c < p.cols(); ++c) {
+      s += p(r, c);
+      EXPECT_GT(p(r, c), 0.0);
+    }
+    EXPECT_NEAR(s, 1.0, 1e-12);
+  }
+}
+
+TEST(SoftmaxRows, StableForLargeLogits) {
+  const Matrix logits{{1000.0, 999.0}};
+  const Matrix p = softmax_rows(logits);
+  EXPECT_FALSE(std::isnan(p(0, 0)));
+  EXPECT_GT(p(0, 0), p(0, 1));
+}
+
+TEST(SoftmaxRows, ShiftInvariant) {
+  const Matrix a{{1.0, 2.0, 3.0}};
+  const Matrix b{{101.0, 102.0, 103.0}};
+  EXPECT_LT(Matrix::max_abs_diff(softmax_rows(a), softmax_rows(b)), 1e-12);
+}
+
+TEST(CrossEntropy, PerfectPredictionNearZero) {
+  const Matrix p{{1.0 - 1e-9, 1e-9}};
+  EXPECT_NEAR(cross_entropy(p, {0}), 0.0, 1e-6);
+}
+
+TEST(CrossEntropy, UniformPredictionIsLogK) {
+  const Matrix p{{0.25, 0.25, 0.25, 0.25}};
+  EXPECT_NEAR(cross_entropy(p, {2}), std::log(4.0), 1e-12);
+}
+
+TEST(CrossEntropy, LabelOutOfRangeThrows) {
+  const Matrix p{{0.5, 0.5}};
+  EXPECT_THROW(cross_entropy(p, {2}), std::invalid_argument);
+  EXPECT_THROW(cross_entropy(p, {-1}), std::invalid_argument);
+}
+
+TEST(CrossEntropy, SizeMismatchThrows) {
+  const Matrix p{{0.5, 0.5}};
+  EXPECT_THROW(cross_entropy(p, {0, 1}), std::invalid_argument);
+}
+
+TEST(CrossEntropyGrad, MatchesSoftmaxMinusOneHot) {
+  const Matrix logits{{2.0, 1.0, 0.5}};
+  const Matrix p = softmax_rows(logits);
+  const Matrix g = cross_entropy_grad(p, {1});
+  EXPECT_NEAR(g(0, 0), p(0, 0), 1e-12);
+  EXPECT_NEAR(g(0, 1), p(0, 1) - 1.0, 1e-12);
+  EXPECT_NEAR(g(0, 2), p(0, 2), 1e-12);
+}
+
+TEST(CrossEntropyGrad, RowsSumToZero) {
+  const Matrix logits{{2.0, 1.0}, {0.0, 1.0}};
+  const Matrix p = softmax_rows(logits);
+  const Matrix g = cross_entropy_grad(p, {0, 1});
+  for (std::size_t r = 0; r < 2; ++r) {
+    EXPECT_NEAR(g(r, 0) + g(r, 1), 0.0, 1e-12);
+  }
+}
+
+TEST(ArgmaxRows, PicksLargest) {
+  const Matrix m{{0.1, 0.9, 0.0}, {5.0, 1.0, 2.0}};
+  const std::vector<int> a = argmax_rows(m);
+  EXPECT_EQ(a, (std::vector<int>{1, 0}));
+}
+
+TEST(Hconcat, JoinsColumns) {
+  const Matrix a{{1.0, 2.0}};
+  const Matrix b{{3.0}};
+  const Matrix c = hconcat(a, b);
+  EXPECT_EQ(c.cols(), 3u);
+  EXPECT_DOUBLE_EQ(c(0, 2), 3.0);
+}
+
+TEST(Hconcat, RowMismatchThrows) {
+  EXPECT_THROW(hconcat(Matrix(2, 2), Matrix(3, 2)), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace powerlens::nn

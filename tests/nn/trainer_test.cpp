@@ -1,0 +1,173 @@
+#include "nn/trainer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+namespace powerlens::nn {
+namespace {
+
+using linalg::Matrix;
+
+// Synthetic dataset whose label is a simple joint function of both facets.
+Dataset make_synthetic(std::size_t n, std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::normal_distribution<double> d(0.0, 1.0);
+  Dataset data;
+  data.structural = Matrix(n, 4);
+  data.statistics = Matrix(n, 3);
+  data.labels.resize(n);
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c < 4; ++c) data.structural(r, c) = d(rng);
+    for (std::size_t c = 0; c < 3; ++c) data.statistics(r, c) = d(rng);
+    data.labels[r] = (data.structural(r, 0) + data.statistics(r, 0) > 0.0)
+                         ? 1
+                         : 0;
+  }
+  return data;
+}
+
+TEST(Dataset, ValidateCatchesMisalignment) {
+  Dataset d;
+  d.structural = Matrix(3, 2);
+  d.statistics = Matrix(3, 2);
+  d.labels = {0, 1};
+  EXPECT_THROW(d.validate(), std::invalid_argument);
+}
+
+TEST(Dataset, SubsetSelectsRows) {
+  const Dataset d = make_synthetic(10, 1);
+  const Dataset s = d.subset({2, 5, 7});
+  EXPECT_EQ(s.size(), 3u);
+  EXPECT_DOUBLE_EQ(s.structural(0, 0), d.structural(2, 0));
+  EXPECT_DOUBLE_EQ(s.statistics(2, 1), d.statistics(7, 1));
+  EXPECT_EQ(s.labels[1], d.labels[5]);
+}
+
+TEST(Dataset, SubsetOutOfRangeThrows) {
+  const Dataset d = make_synthetic(5, 2);
+  EXPECT_THROW(d.subset({7}), std::out_of_range);
+}
+
+TEST(SplitDataset, ProportionsRespected) {
+  const Dataset d = make_synthetic(100, 3);
+  const DatasetSplit s = split_dataset(d, 42);
+  EXPECT_EQ(s.train.size(), 80u);
+  EXPECT_EQ(s.val.size(), 10u);
+  EXPECT_EQ(s.test.size(), 10u);
+}
+
+TEST(SplitDataset, DisjointAndCovering) {
+  // Tag each row with a unique value to verify the split is a permutation.
+  Dataset d = make_synthetic(50, 4);
+  for (std::size_t r = 0; r < 50; ++r) {
+    d.structural(r, 0) = static_cast<double>(r);
+  }
+  const DatasetSplit s = split_dataset(d, 7);
+  std::vector<int> seen(50, 0);
+  for (const Dataset* part : {&s.train, &s.val, &s.test}) {
+    for (std::size_t r = 0; r < part->size(); ++r) {
+      ++seen[static_cast<std::size_t>(part->structural(r, 0))];
+    }
+  }
+  for (int count : seen) EXPECT_EQ(count, 1);
+}
+
+TEST(SplitDataset, DeterministicInSeed) {
+  const Dataset d = make_synthetic(40, 5);
+  const DatasetSplit a = split_dataset(d, 9);
+  const DatasetSplit b = split_dataset(d, 9);
+  EXPECT_EQ(a.train.labels, b.train.labels);
+}
+
+TEST(SplitDataset, BadFractionsThrow) {
+  const Dataset d = make_synthetic(10, 6);
+  EXPECT_THROW(split_dataset(d, 1, 0.9, 0.2), std::invalid_argument);
+  EXPECT_THROW(split_dataset(d, 1, 0.0, 0.1), std::invalid_argument);
+}
+
+TEST(Train, LearnsSeparableProblem) {
+  const Dataset d = make_synthetic(400, 8);
+  const DatasetSplit s = split_dataset(d, 21);
+
+  TwoStageMlpConfig mc;
+  mc.structural_dim = 4;
+  mc.statistics_dim = 3;
+  mc.num_classes = 2;
+  mc.hidden1 = mc.hidden2 = mc.hidden3 = 24;
+  mc.seed = 31;
+  TwoStageMlp model(mc);
+
+  TrainConfig tc;
+  tc.epochs = 40;
+  tc.lr = 3e-3;
+  const TrainReport report = train(model, s.train, s.val, tc);
+
+  EXPECT_GT(report.epochs_run, 0);
+  EXPECT_EQ(report.train_loss.size(),
+            static_cast<std::size_t>(report.epochs_run));
+  // Loss should drop substantially and held-out accuracy be high.
+  EXPECT_LT(report.train_loss.back(), report.train_loss.front() * 0.5);
+  EXPECT_GT(accuracy(model, s.test), 0.9);
+}
+
+TEST(Train, EarlyStoppingBoundsEpochs) {
+  const Dataset d = make_synthetic(100, 10);
+  const DatasetSplit s = split_dataset(d, 12);
+  TwoStageMlpConfig mc;
+  mc.structural_dim = 4;
+  mc.statistics_dim = 3;
+  mc.num_classes = 2;
+  mc.seed = 1;
+  TwoStageMlp model(mc);
+  TrainConfig tc;
+  tc.epochs = 500;
+  tc.patience = 3;
+  const TrainReport report = train(model, s.train, s.val, tc);
+  EXPECT_LT(report.epochs_run, 500);
+}
+
+TEST(Train, EmptyTrainSetThrows) {
+  Dataset empty;
+  empty.structural = Matrix(0, 2);
+  empty.statistics = Matrix(0, 2);
+  TwoStageMlpConfig mc;
+  mc.structural_dim = 2;
+  mc.statistics_dim = 2;
+  mc.num_classes = 2;
+  TwoStageMlp model(mc);
+  EXPECT_THROW(train(model, empty, empty, {}), std::invalid_argument);
+}
+
+TEST(MeanLevelError, ZeroForPerfectOrderedPredictions) {
+  const Dataset d = make_synthetic(200, 13);
+  const DatasetSplit s = split_dataset(d, 14);
+  TwoStageMlpConfig mc;
+  mc.structural_dim = 4;
+  mc.statistics_dim = 3;
+  mc.num_classes = 2;
+  mc.hidden1 = mc.hidden2 = mc.hidden3 = 24;
+  mc.seed = 15;
+  TwoStageMlp model(mc);
+  TrainConfig tc;
+  tc.epochs = 40;
+  tc.lr = 3e-3;
+  train(model, s.train, s.val, tc);
+  // For a near-perfect binary classifier the mean |pred - label| is small.
+  EXPECT_LT(mean_level_error(model, s.test), 0.2);
+}
+
+TEST(Accuracy, EmptyDatasetIsZero) {
+  Dataset empty;
+  empty.structural = Matrix(0, 2);
+  empty.statistics = Matrix(0, 2);
+  TwoStageMlpConfig mc;
+  mc.structural_dim = 2;
+  mc.statistics_dim = 2;
+  mc.num_classes = 2;
+  const TwoStageMlp model(mc);
+  EXPECT_DOUBLE_EQ(accuracy(model, empty), 0.0);
+}
+
+}  // namespace
+}  // namespace powerlens::nn
