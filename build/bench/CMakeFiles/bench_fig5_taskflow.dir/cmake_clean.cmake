@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_taskflow.dir/bench_fig5_taskflow.cpp.o"
+  "CMakeFiles/bench_fig5_taskflow.dir/bench_fig5_taskflow.cpp.o.d"
+  "bench_fig5_taskflow"
+  "bench_fig5_taskflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_taskflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

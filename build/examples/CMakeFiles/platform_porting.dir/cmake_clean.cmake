@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/platform_porting.dir/platform_porting.cpp.o"
+  "CMakeFiles/platform_porting.dir/platform_porting.cpp.o.d"
+  "platform_porting"
+  "platform_porting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/platform_porting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

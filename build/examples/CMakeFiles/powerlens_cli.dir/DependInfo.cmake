@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/powerlens_cli.cpp" "examples/CMakeFiles/powerlens_cli.dir/powerlens_cli.cpp.o" "gcc" "examples/CMakeFiles/powerlens_cli.dir/powerlens_cli.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/pl_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/clustering/CMakeFiles/pl_clustering.dir/DependInfo.cmake"
+  "/root/repo/build/src/features/CMakeFiles/pl_features.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/pl_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/pl_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/pl_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/pl_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/dnn/CMakeFiles/pl_dnn.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

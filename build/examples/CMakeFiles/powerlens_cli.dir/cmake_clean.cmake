@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/powerlens_cli.dir/powerlens_cli.cpp.o"
+  "CMakeFiles/powerlens_cli.dir/powerlens_cli.cpp.o.d"
+  "powerlens_cli"
+  "powerlens_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/powerlens_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

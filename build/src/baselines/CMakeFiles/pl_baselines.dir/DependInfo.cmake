@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/fpg.cpp" "src/baselines/CMakeFiles/pl_baselines.dir/fpg.cpp.o" "gcc" "src/baselines/CMakeFiles/pl_baselines.dir/fpg.cpp.o.d"
+  "/root/repo/src/baselines/ondemand.cpp" "src/baselines/CMakeFiles/pl_baselines.dir/ondemand.cpp.o" "gcc" "src/baselines/CMakeFiles/pl_baselines.dir/ondemand.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hw/CMakeFiles/pl_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/dnn/CMakeFiles/pl_dnn.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pl_baselines.dir/fpg.cpp.o"
+  "CMakeFiles/pl_baselines.dir/fpg.cpp.o.d"
+  "CMakeFiles/pl_baselines.dir/ondemand.cpp.o"
+  "CMakeFiles/pl_baselines.dir/ondemand.cpp.o.d"
+  "libpl_baselines.a"
+  "libpl_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pl_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

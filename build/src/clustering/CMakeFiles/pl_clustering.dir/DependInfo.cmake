@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/clustering/cluster.cpp" "src/clustering/CMakeFiles/pl_clustering.dir/cluster.cpp.o" "gcc" "src/clustering/CMakeFiles/pl_clustering.dir/cluster.cpp.o.d"
+  "/root/repo/src/clustering/dbscan.cpp" "src/clustering/CMakeFiles/pl_clustering.dir/dbscan.cpp.o" "gcc" "src/clustering/CMakeFiles/pl_clustering.dir/dbscan.cpp.o.d"
+  "/root/repo/src/clustering/distance.cpp" "src/clustering/CMakeFiles/pl_clustering.dir/distance.cpp.o" "gcc" "src/clustering/CMakeFiles/pl_clustering.dir/distance.cpp.o.d"
+  "/root/repo/src/clustering/postprocess.cpp" "src/clustering/CMakeFiles/pl_clustering.dir/postprocess.cpp.o" "gcc" "src/clustering/CMakeFiles/pl_clustering.dir/postprocess.cpp.o.d"
+  "/root/repo/src/clustering/power_view.cpp" "src/clustering/CMakeFiles/pl_clustering.dir/power_view.cpp.o" "gcc" "src/clustering/CMakeFiles/pl_clustering.dir/power_view.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/linalg/CMakeFiles/pl_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/dnn/CMakeFiles/pl_dnn.dir/DependInfo.cmake"
+  "/root/repo/build/src/features/CMakeFiles/pl_features.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pl_clustering.dir/cluster.cpp.o"
+  "CMakeFiles/pl_clustering.dir/cluster.cpp.o.d"
+  "CMakeFiles/pl_clustering.dir/dbscan.cpp.o"
+  "CMakeFiles/pl_clustering.dir/dbscan.cpp.o.d"
+  "CMakeFiles/pl_clustering.dir/distance.cpp.o"
+  "CMakeFiles/pl_clustering.dir/distance.cpp.o.d"
+  "CMakeFiles/pl_clustering.dir/postprocess.cpp.o"
+  "CMakeFiles/pl_clustering.dir/postprocess.cpp.o.d"
+  "CMakeFiles/pl_clustering.dir/power_view.cpp.o"
+  "CMakeFiles/pl_clustering.dir/power_view.cpp.o.d"
+  "libpl_clustering.a"
+  "libpl_clustering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pl_clustering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

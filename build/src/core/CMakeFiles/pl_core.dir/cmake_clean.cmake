@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pl_core.dir/ablation.cpp.o"
+  "CMakeFiles/pl_core.dir/ablation.cpp.o.d"
+  "CMakeFiles/pl_core.dir/dataset_gen.cpp.o"
+  "CMakeFiles/pl_core.dir/dataset_gen.cpp.o.d"
+  "CMakeFiles/pl_core.dir/extensions.cpp.o"
+  "CMakeFiles/pl_core.dir/extensions.cpp.o.d"
+  "CMakeFiles/pl_core.dir/metrics.cpp.o"
+  "CMakeFiles/pl_core.dir/metrics.cpp.o.d"
+  "CMakeFiles/pl_core.dir/powerlens.cpp.o"
+  "CMakeFiles/pl_core.dir/powerlens.cpp.o.d"
+  "CMakeFiles/pl_core.dir/report.cpp.o"
+  "CMakeFiles/pl_core.dir/report.cpp.o.d"
+  "libpl_core.a"
+  "libpl_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pl_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

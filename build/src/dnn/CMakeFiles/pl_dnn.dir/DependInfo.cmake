@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dnn/builder.cpp" "src/dnn/CMakeFiles/pl_dnn.dir/builder.cpp.o" "gcc" "src/dnn/CMakeFiles/pl_dnn.dir/builder.cpp.o.d"
+  "/root/repo/src/dnn/graph.cpp" "src/dnn/CMakeFiles/pl_dnn.dir/graph.cpp.o" "gcc" "src/dnn/CMakeFiles/pl_dnn.dir/graph.cpp.o.d"
+  "/root/repo/src/dnn/models_cnn.cpp" "src/dnn/CMakeFiles/pl_dnn.dir/models_cnn.cpp.o" "gcc" "src/dnn/CMakeFiles/pl_dnn.dir/models_cnn.cpp.o.d"
+  "/root/repo/src/dnn/models_regnet_vit.cpp" "src/dnn/CMakeFiles/pl_dnn.dir/models_regnet_vit.cpp.o" "gcc" "src/dnn/CMakeFiles/pl_dnn.dir/models_regnet_vit.cpp.o.d"
+  "/root/repo/src/dnn/models_resnet.cpp" "src/dnn/CMakeFiles/pl_dnn.dir/models_resnet.cpp.o" "gcc" "src/dnn/CMakeFiles/pl_dnn.dir/models_resnet.cpp.o.d"
+  "/root/repo/src/dnn/random_gen.cpp" "src/dnn/CMakeFiles/pl_dnn.dir/random_gen.cpp.o" "gcc" "src/dnn/CMakeFiles/pl_dnn.dir/random_gen.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

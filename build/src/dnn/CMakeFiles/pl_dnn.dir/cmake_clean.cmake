@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pl_dnn.dir/builder.cpp.o"
+  "CMakeFiles/pl_dnn.dir/builder.cpp.o.d"
+  "CMakeFiles/pl_dnn.dir/graph.cpp.o"
+  "CMakeFiles/pl_dnn.dir/graph.cpp.o.d"
+  "CMakeFiles/pl_dnn.dir/models_cnn.cpp.o"
+  "CMakeFiles/pl_dnn.dir/models_cnn.cpp.o.d"
+  "CMakeFiles/pl_dnn.dir/models_regnet_vit.cpp.o"
+  "CMakeFiles/pl_dnn.dir/models_regnet_vit.cpp.o.d"
+  "CMakeFiles/pl_dnn.dir/models_resnet.cpp.o"
+  "CMakeFiles/pl_dnn.dir/models_resnet.cpp.o.d"
+  "CMakeFiles/pl_dnn.dir/random_gen.cpp.o"
+  "CMakeFiles/pl_dnn.dir/random_gen.cpp.o.d"
+  "libpl_dnn.a"
+  "libpl_dnn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pl_dnn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

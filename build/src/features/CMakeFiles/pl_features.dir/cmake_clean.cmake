@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pl_features.dir/depthwise.cpp.o"
+  "CMakeFiles/pl_features.dir/depthwise.cpp.o.d"
+  "CMakeFiles/pl_features.dir/global.cpp.o"
+  "CMakeFiles/pl_features.dir/global.cpp.o.d"
+  "libpl_features.a"
+  "libpl_features.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pl_features.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hw/analytic.cpp" "src/hw/CMakeFiles/pl_hw.dir/analytic.cpp.o" "gcc" "src/hw/CMakeFiles/pl_hw.dir/analytic.cpp.o.d"
+  "/root/repo/src/hw/dvfs_driver.cpp" "src/hw/CMakeFiles/pl_hw.dir/dvfs_driver.cpp.o" "gcc" "src/hw/CMakeFiles/pl_hw.dir/dvfs_driver.cpp.o.d"
+  "/root/repo/src/hw/latency_model.cpp" "src/hw/CMakeFiles/pl_hw.dir/latency_model.cpp.o" "gcc" "src/hw/CMakeFiles/pl_hw.dir/latency_model.cpp.o.d"
+  "/root/repo/src/hw/platform.cpp" "src/hw/CMakeFiles/pl_hw.dir/platform.cpp.o" "gcc" "src/hw/CMakeFiles/pl_hw.dir/platform.cpp.o.d"
+  "/root/repo/src/hw/power_model.cpp" "src/hw/CMakeFiles/pl_hw.dir/power_model.cpp.o" "gcc" "src/hw/CMakeFiles/pl_hw.dir/power_model.cpp.o.d"
+  "/root/repo/src/hw/sim_engine.cpp" "src/hw/CMakeFiles/pl_hw.dir/sim_engine.cpp.o" "gcc" "src/hw/CMakeFiles/pl_hw.dir/sim_engine.cpp.o.d"
+  "/root/repo/src/hw/telemetry.cpp" "src/hw/CMakeFiles/pl_hw.dir/telemetry.cpp.o" "gcc" "src/hw/CMakeFiles/pl_hw.dir/telemetry.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dnn/CMakeFiles/pl_dnn.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

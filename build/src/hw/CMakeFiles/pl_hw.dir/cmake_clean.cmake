@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pl_hw.dir/analytic.cpp.o"
+  "CMakeFiles/pl_hw.dir/analytic.cpp.o.d"
+  "CMakeFiles/pl_hw.dir/dvfs_driver.cpp.o"
+  "CMakeFiles/pl_hw.dir/dvfs_driver.cpp.o.d"
+  "CMakeFiles/pl_hw.dir/latency_model.cpp.o"
+  "CMakeFiles/pl_hw.dir/latency_model.cpp.o.d"
+  "CMakeFiles/pl_hw.dir/platform.cpp.o"
+  "CMakeFiles/pl_hw.dir/platform.cpp.o.d"
+  "CMakeFiles/pl_hw.dir/power_model.cpp.o"
+  "CMakeFiles/pl_hw.dir/power_model.cpp.o.d"
+  "CMakeFiles/pl_hw.dir/sim_engine.cpp.o"
+  "CMakeFiles/pl_hw.dir/sim_engine.cpp.o.d"
+  "CMakeFiles/pl_hw.dir/telemetry.cpp.o"
+  "CMakeFiles/pl_hw.dir/telemetry.cpp.o.d"
+  "libpl_hw.a"
+  "libpl_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pl_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pl_linalg.dir/eigen.cpp.o"
+  "CMakeFiles/pl_linalg.dir/eigen.cpp.o.d"
+  "CMakeFiles/pl_linalg.dir/matrix.cpp.o"
+  "CMakeFiles/pl_linalg.dir/matrix.cpp.o.d"
+  "CMakeFiles/pl_linalg.dir/stats.cpp.o"
+  "CMakeFiles/pl_linalg.dir/stats.cpp.o.d"
+  "libpl_linalg.a"
+  "libpl_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pl_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

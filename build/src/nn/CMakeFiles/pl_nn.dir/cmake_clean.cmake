@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pl_nn.dir/mlp.cpp.o"
+  "CMakeFiles/pl_nn.dir/mlp.cpp.o.d"
+  "CMakeFiles/pl_nn.dir/serialize.cpp.o"
+  "CMakeFiles/pl_nn.dir/serialize.cpp.o.d"
+  "CMakeFiles/pl_nn.dir/tensor.cpp.o"
+  "CMakeFiles/pl_nn.dir/tensor.cpp.o.d"
+  "CMakeFiles/pl_nn.dir/trainer.cpp.o"
+  "CMakeFiles/pl_nn.dir/trainer.cpp.o.d"
+  "libpl_nn.a"
+  "libpl_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pl_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_clustering.dir/clustering/cluster_test.cpp.o"
+  "CMakeFiles/test_clustering.dir/clustering/cluster_test.cpp.o.d"
+  "CMakeFiles/test_clustering.dir/clustering/dbscan_test.cpp.o"
+  "CMakeFiles/test_clustering.dir/clustering/dbscan_test.cpp.o.d"
+  "CMakeFiles/test_clustering.dir/clustering/distance_test.cpp.o"
+  "CMakeFiles/test_clustering.dir/clustering/distance_test.cpp.o.d"
+  "CMakeFiles/test_clustering.dir/clustering/postprocess_test.cpp.o"
+  "CMakeFiles/test_clustering.dir/clustering/postprocess_test.cpp.o.d"
+  "CMakeFiles/test_clustering.dir/clustering/power_view_test.cpp.o"
+  "CMakeFiles/test_clustering.dir/clustering/power_view_test.cpp.o.d"
+  "test_clustering"
+  "test_clustering.pdb"
+  "test_clustering[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_clustering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/core/ablation_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/ablation_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/dataset_gen_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/dataset_gen_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/extensions_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/extensions_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/metrics_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/metrics_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/persistence_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/persistence_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/powerlens_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/powerlens_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/report_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/report_test.cpp.o.d"
+  "test_core"
+  "test_core.pdb"
+  "test_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

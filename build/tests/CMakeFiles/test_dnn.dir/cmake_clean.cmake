@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dnn.dir/dnn/builder_test.cpp.o"
+  "CMakeFiles/test_dnn.dir/dnn/builder_test.cpp.o.d"
+  "CMakeFiles/test_dnn.dir/dnn/graph_test.cpp.o"
+  "CMakeFiles/test_dnn.dir/dnn/graph_test.cpp.o.d"
+  "CMakeFiles/test_dnn.dir/dnn/models_test.cpp.o"
+  "CMakeFiles/test_dnn.dir/dnn/models_test.cpp.o.d"
+  "CMakeFiles/test_dnn.dir/dnn/random_gen_test.cpp.o"
+  "CMakeFiles/test_dnn.dir/dnn/random_gen_test.cpp.o.d"
+  "CMakeFiles/test_dnn.dir/dnn/shape_test.cpp.o"
+  "CMakeFiles/test_dnn.dir/dnn/shape_test.cpp.o.d"
+  "CMakeFiles/test_dnn.dir/dnn/zoo_invariants_test.cpp.o"
+  "CMakeFiles/test_dnn.dir/dnn/zoo_invariants_test.cpp.o.d"
+  "test_dnn"
+  "test_dnn.pdb"
+  "test_dnn[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dnn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hw.dir/hw/analytic_test.cpp.o"
+  "CMakeFiles/test_hw.dir/hw/analytic_test.cpp.o.d"
+  "CMakeFiles/test_hw.dir/hw/dvfs_driver_test.cpp.o"
+  "CMakeFiles/test_hw.dir/hw/dvfs_driver_test.cpp.o.d"
+  "CMakeFiles/test_hw.dir/hw/governor_dynamics_test.cpp.o"
+  "CMakeFiles/test_hw.dir/hw/governor_dynamics_test.cpp.o.d"
+  "CMakeFiles/test_hw.dir/hw/latency_model_test.cpp.o"
+  "CMakeFiles/test_hw.dir/hw/latency_model_test.cpp.o.d"
+  "CMakeFiles/test_hw.dir/hw/platform_test.cpp.o"
+  "CMakeFiles/test_hw.dir/hw/platform_test.cpp.o.d"
+  "CMakeFiles/test_hw.dir/hw/power_model_test.cpp.o"
+  "CMakeFiles/test_hw.dir/hw/power_model_test.cpp.o.d"
+  "CMakeFiles/test_hw.dir/hw/sim_engine_test.cpp.o"
+  "CMakeFiles/test_hw.dir/hw/sim_engine_test.cpp.o.d"
+  "CMakeFiles/test_hw.dir/hw/telemetry_test.cpp.o"
+  "CMakeFiles/test_hw.dir/hw/telemetry_test.cpp.o.d"
+  "test_hw"
+  "test_hw.pdb"
+  "test_hw[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
