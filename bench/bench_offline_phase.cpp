@@ -1,0 +1,94 @@
+// Offline-phase scaling bench: times generate_datasets and model training
+// at 1, 2, and N threads (N = the machine's resolved default) and emits one
+// JSON record per measurement:
+//
+//   {"phase": "generate", "networks": 60, "threads": 2, "seconds": 0.41}
+//
+// Also cross-checks that every thread count produced byte-identical
+// datasets — the determinism contract the parallel pipeline is built on.
+//
+// Usage: bench_offline_phase [num_networks]
+#include "core/dataset_gen.hpp"
+#include "hw/platform.hpp"
+#include "nn/trainer.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+bool identical(const powerlens::nn::Dataset& a,
+               const powerlens::nn::Dataset& b) {
+  return a.structural == b.structural && a.statistics == b.statistics &&
+         a.labels == b.labels;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace powerlens;
+
+  const std::size_t networks =
+      argc > 1 ? static_cast<std::size_t>(std::strtoull(argv[1], nullptr, 10))
+               : 60;
+  const hw::Platform platform = hw::make_tx2();
+
+  std::vector<std::size_t> thread_counts = {1, 2};
+  const std::size_t machine = util::ParallelConfig{}.resolved();
+  if (machine > 2) thread_counts.push_back(machine);
+
+  core::GeneratedDatasets reference;
+  bool all_identical = true;
+
+  for (const std::size_t threads : thread_counts) {
+    core::DatasetGenConfig cfg;
+    cfg.num_networks = networks;
+    cfg.seed = 2024;
+    cfg.parallel.num_threads = threads;
+
+    auto start = Clock::now();
+    core::GeneratedDatasets data = core::generate_datasets(platform, cfg);
+    std::printf(
+        "{\"phase\": \"generate\", \"networks\": %zu, \"threads\": %zu, "
+        "\"seconds\": %.4f, \"blocks\": %zu}\n",
+        networks, threads, seconds_since(start), data.blocks_generated);
+
+    if (threads == thread_counts.front()) {
+      reference = data;
+    } else {
+      all_identical = all_identical &&
+                      identical(reference.dataset_a, data.dataset_a) &&
+                      identical(reference.dataset_b, data.dataset_b);
+    }
+
+    const nn::DatasetSplit split = nn::split_dataset(data.dataset_b, 3);
+    nn::TwoStageMlpConfig mlp_cfg;
+    mlp_cfg.structural_dim = data.dataset_b.structural.cols();
+    mlp_cfg.statistics_dim = data.dataset_b.statistics.cols();
+    mlp_cfg.num_classes = platform.gpu_levels();
+    nn::TwoStageMlp model(mlp_cfg);
+    nn::TrainConfig train_cfg;
+    train_cfg.epochs = 20;
+    train_cfg.patience = 0;
+    train_cfg.parallel.num_threads = threads;
+
+    start = Clock::now();
+    nn::train(model, split.train, split.val, train_cfg);
+    std::printf(
+        "{\"phase\": \"train\", \"networks\": %zu, \"threads\": %zu, "
+        "\"seconds\": %.4f}\n",
+        networks, threads, seconds_since(start));
+  }
+
+  std::printf("{\"phase\": \"determinism\", \"identical\": %s}\n",
+              all_identical ? "true" : "false");
+  return all_identical ? 0 : 1;
+}

@@ -4,6 +4,7 @@
 #include "features/global.hpp"
 #include "hw/analytic.hpp"
 #include "hw/power_model.hpp"
+#include "util/rng.hpp"
 
 #include <algorithm>
 #include <cmath>
@@ -28,22 +29,45 @@ std::size_t HyperparamGrid::index_of(
   throw std::invalid_argument("HyperparamGrid::index_of: not a grid point");
 }
 
-double feasible_block_duration(const dnn::Graph& graph,
+namespace {
+
+// The CPU planes the labelling pipeline needs from a CostTable: block
+// feasibility is always evaluated at the platform maximum, labels at the
+// configured level (usually the same).
+std::vector<std::size_t> label_cpu_levels(const hw::Platform& platform,
+                                          std::size_t cpu_level_for_labels) {
+  std::vector<std::size_t> levels = {platform.max_cpu_level()};
+  if (cpu_level_for_labels != platform.max_cpu_level()) {
+    levels.push_back(cpu_level_for_labels);
+  }
+  return levels;
+}
+
+}  // namespace
+
+double feasible_block_duration(const hw::CostTable& costs,
                                const hw::Platform& platform) {
   const double switch_floor =
       1.5 * (platform.dvfs.latency_s + platform.dvfs.stall_s);
   const double pass_time =
-      analytic_block_cost(platform, graph.layers(),
-                          platform.gpu_levels() / 2,
-                          platform.max_cpu_level())
+      costs
+          .block_cost(0, costs.num_layers(), platform.gpu_levels() / 2,
+                      platform.max_cpu_level())
           .time_s;
   return std::max(switch_floor, pass_time / 10.0);
 }
 
+double feasible_block_duration(const dnn::Graph& graph,
+                               const hw::Platform& platform) {
+  const std::size_t cpu_levels[] = {platform.max_cpu_level()};
+  return feasible_block_duration(
+      hw::CostTable(platform, graph.layers(), cpu_levels), platform);
+}
+
 clustering::PowerView enforce_min_block_duration(
-    const dnn::Graph& graph, const clustering::PowerView& view,
+    const hw::CostTable& costs, const clustering::PowerView& view,
     const hw::Platform& platform, double min_duration_s) {
-  if (view.num_layers() != graph.size()) {
+  if (view.num_layers() != costs.num_layers()) {
     throw std::invalid_argument(
         "enforce_min_block_duration: view does not match graph");
   }
@@ -52,10 +76,7 @@ clustering::PowerView enforce_min_block_duration(
 
   std::vector<clustering::PowerBlock> blocks(view.blocks());
   auto duration = [&](const clustering::PowerBlock& b) {
-    return analytic_block_cost(platform,
-                               graph.layers().subspan(b.begin, b.size()),
-                               mid_level, cpu)
-        .time_s;
+    return costs.block_cost(b.begin, b.end, mid_level, cpu).time_s;
   };
   bool changed = true;
   while (changed && blocks.size() > 1) {
@@ -70,30 +91,37 @@ clustering::PowerView enforce_min_block_duration(
       break;
     }
   }
-  return clustering::PowerView(std::move(blocks), graph.size());
+  return clustering::PowerView(std::move(blocks), view.num_layers());
 }
 
-ViewEvaluation evaluate_view_oracle(const dnn::Graph& graph,
+clustering::PowerView enforce_min_block_duration(
+    const dnn::Graph& graph, const clustering::PowerView& view,
+    const hw::Platform& platform, double min_duration_s) {
+  const std::size_t cpu_levels[] = {platform.max_cpu_level()};
+  return enforce_min_block_duration(
+      hw::CostTable(platform, graph.layers(), cpu_levels), view, platform,
+      min_duration_s);
+}
+
+ViewEvaluation evaluate_view_oracle(const hw::CostTable& costs,
                                     const clustering::PowerView& view,
                                     const hw::Platform& platform,
                                     std::size_t cpu_level) {
-  if (view.num_layers() != graph.size()) {
+  if (view.num_layers() != costs.num_layers()) {
     throw std::invalid_argument(
         "evaluate_view_oracle: view does not match graph");
   }
   ViewEvaluation ev;
   const hw::PowerModel power(platform);
   std::size_t prev_level = platform.max_gpu_level();  // MAXN start
-  bool first = true;
 
   for (const clustering::PowerBlock& b : view.blocks()) {
-    const auto layers = graph.layers().subspan(b.begin, b.size());
-    const std::size_t level =
-        hw::optimal_gpu_level(platform, layers, cpu_level);
+    const std::size_t level = costs.optimal_gpu_level(b.begin, b.end,
+                                                      cpu_level);
     ev.block_levels.push_back(level);
 
-    const hw::BlockCost cost =
-        hw::analytic_block_cost(platform, layers, level, cpu_level);
+    const hw::BlockCost cost = costs.block_cost(b.begin, b.end, level,
+                                                cpu_level);
     ev.time_s += cost.time_s;
     ev.energy_j += cost.energy_j;
 
@@ -104,7 +132,6 @@ ViewEvaluation evaluate_view_oracle(const dnn::Graph& graph,
     //    power gap for min(latency, block duration) — this is what makes
     //    fine-grained views lose on short passes, where a requested
     //    frequency never takes effect before the next preset point.
-    (void)first;
     if (level != prev_level) {
       const double stall_power = power.total_w(
           platform.gpu_freq(prev_level), platform.cpu_freq(cpu_level),
@@ -124,39 +151,67 @@ ViewEvaluation evaluate_view_oracle(const dnn::Graph& graph,
       ev.energy_j += std::abs(p_prev - p_target) * settle;
     }
     prev_level = level;
-    first = false;
   }
   return ev;
 }
 
-std::size_t best_hyperparam_class(const dnn::Graph& graph,
-                                  const hw::Platform& platform,
-                                  const DatasetGenConfig& config) {
-  const linalg::Matrix depthwise =
-      features::DepthwiseFeatureExtractor::extract(graph);
-  const linalg::Matrix distances =
-      clustering::power_distances_for(depthwise, config.distance);
+ViewEvaluation evaluate_view_oracle(const dnn::Graph& graph,
+                                    const clustering::PowerView& view,
+                                    const hw::Platform& platform,
+                                    std::size_t cpu_level) {
+  if (view.num_layers() != graph.size()) {
+    throw std::invalid_argument(
+        "evaluate_view_oracle: view does not match graph");
+  }
+  const std::size_t cpu_levels[] = {cpu_level};
+  return evaluate_view_oracle(
+      hw::CostTable(platform, graph.layers(), cpu_levels), view, platform,
+      cpu_level);
+}
 
+namespace {
+
+// One full hyperparameter-grid sweep: every candidate view (feasibility-
+// enforced) plus its oracle evaluation, and the winning class. Shared by
+// best_hyperparam_class and generate_datasets so the generator can reuse the
+// winning view and block levels without recomputing them.
+struct GridSweep {
+  std::size_t best_class = 0;
+  std::vector<clustering::PowerView> views;  // one per grid point
+  std::vector<ViewEvaluation> evals;
+};
+
+GridSweep sweep_hyperparam_grid(const linalg::Matrix& distances,
+                                const hw::CostTable& costs,
+                                const hw::Platform& platform,
+                                const DatasetGenConfig& config) {
+  GridSweep sweep;
+  const double min_duration = feasible_block_duration(costs, platform);
   std::vector<double> energies(config.grid.size());
   std::vector<std::size_t> block_counts(config.grid.size());
   double best_energy = -1.0;
   for (std::size_t k = 0; k < config.grid.size(); ++k) {
-    const clustering::PowerView view = enforce_min_block_duration(
-        graph,
+    sweep.views.push_back(enforce_min_block_duration(
+        costs,
         clustering::build_power_view_from_distances(distances,
                                                     config.grid.at(k)),
-        platform, feasible_block_duration(graph, platform));
-    const ViewEvaluation ev = evaluate_view_oracle(
-        graph, view, platform, config.cpu_level_for_labels);
-    energies[k] = ev.energy_j;
-    block_counts[k] = view.block_count();
-    if (best_energy < 0.0 || ev.energy_j < best_energy) {
-      best_energy = ev.energy_j;
+        platform, min_duration));
+    sweep.evals.push_back(evaluate_view_oracle(
+        costs, sweep.views.back(), platform, config.cpu_level_for_labels));
+    energies[k] = sweep.evals.back().energy_j;
+    block_counts[k] = sweep.views.back().block_count();
+    // Strict < keeps the lowest grid index on exact float ties, so the
+    // reference optimum is itself deterministic.
+    if (best_energy < 0.0 || energies[k] < best_energy) {
+      best_energy = energies[k];
     }
   }
   // Among hyperparameter classes within half a percent of the energy
   // optimum, prefer the finest feasible view: per-block instrumentation
-  // hedges against runtime variation at no modelled energy cost.
+  // hedges against runtime variation at no modelled energy cost. Ties are
+  // broken deterministically — strictly-more blocks wins, equal block
+  // counts keep the lower grid index (k ascends and the comparison is
+  // strict) — so labels are stable across thread counts and platforms.
   std::size_t best_class = 0;
   std::size_t best_blocks = 0;
   for (std::size_t k = 0; k < config.grid.size(); ++k) {
@@ -165,7 +220,34 @@ std::size_t best_hyperparam_class(const dnn::Graph& graph,
       best_class = k;
     }
   }
-  return best_class;
+  sweep.best_class = best_class;
+  return sweep;
+}
+
+linalg::Matrix network_distances(const dnn::Graph& graph,
+                                 const DatasetGenConfig& config) {
+  return clustering::power_distances_for(
+      features::DepthwiseFeatureExtractor::extract(graph), config.distance);
+}
+
+}  // namespace
+
+std::size_t best_hyperparam_class(const dnn::Graph& graph,
+                                  const hw::CostTable& costs,
+                                  const hw::Platform& platform,
+                                  const DatasetGenConfig& config) {
+  return sweep_hyperparam_grid(network_distances(graph, config), costs,
+                               platform, config)
+      .best_class;
+}
+
+std::size_t best_hyperparam_class(const dnn::Graph& graph,
+                                  const hw::Platform& platform,
+                                  const DatasetGenConfig& config) {
+  const hw::CostTable costs(
+      platform, graph.layers(),
+      label_cpu_levels(platform, config.cpu_level_for_labels));
+  return best_hyperparam_class(graph, costs, platform, config);
 }
 
 GeneratedDatasets generate_datasets(const hw::Platform& platform,
@@ -178,50 +260,77 @@ GeneratedDatasets generate_datasets(const hw::Platform& platform,
     cfg.cpu_level_for_labels = platform.max_cpu_level();
   }
 
-  dnn::RandomDnnGenerator generator(cfg.seed, cfg.dnn_config);
+  // One slot per network, written only by the task labelling that network;
+  // the merge below reads them in index order, so the result is independent
+  // of how tasks were scheduled across threads.
+  struct NetworkRows {
+    std::vector<double> a_struct, a_stats;
+    int a_label = 0;
+    std::vector<std::vector<double>> b_struct, b_stats;
+    std::vector<int> b_labels;
+  };
+  std::vector<NetworkRows> rows(cfg.num_networks);
 
-  std::vector<std::vector<double>> a_struct, a_stats, b_struct, b_stats;
-  std::vector<int> a_labels, b_labels;
-
-  GeneratedDatasets out;
-  for (std::size_t n = 0; n < cfg.num_networks; ++n) {
+  util::parallel_for(cfg.parallel, 0, cfg.num_networks, [&](std::size_t n) {
+    dnn::RandomDnnGenerator generator(util::split_seed(cfg.seed, n),
+                                      cfg.dnn_config);
+    generator.set_sequence_index(n);
     const dnn::Graph graph = generator.generate();
-    ++out.networks_generated;
+
+    const hw::CostTable costs(
+        platform, graph.layers(),
+        label_cpu_levels(platform, cfg.cpu_level_for_labels));
+    const linalg::Matrix distances = network_distances(graph, cfg);
+    const GridSweep sweep =
+        sweep_hyperparam_grid(distances, costs, platform, cfg);
+
+    NetworkRows& out = rows[n];
 
     // Dataset A row: whole-network features -> best hyperparameter class.
     const features::GlobalFeatures net_features =
         features::GlobalFeatureExtractor::extract(graph);
-    const std::size_t best_class =
-        best_hyperparam_class(graph, platform, cfg);
-    a_struct.push_back(net_features.structural);
-    a_stats.push_back(net_features.statistics);
-    a_labels.push_back(static_cast<int>(best_class));
+    out.a_struct = net_features.structural;
+    out.a_stats = net_features.statistics;
+    out.a_label = static_cast<int>(sweep.best_class);
 
     // Dataset B rows: blocks of the best view -> optimal frequency level.
-    clustering::ClusteringConfig cc;
-    cc.hyper = cfg.grid.at(best_class);
-    cc.distance = cfg.distance;
-    const clustering::PowerView view = enforce_min_block_duration(
-        graph, clustering::build_power_view(graph, cc), platform,
-        feasible_block_duration(graph, platform));
-    const ViewEvaluation ev =
-        evaluate_view_oracle(graph, view, platform, cfg.cpu_level_for_labels);
+    // The sweep already built and evaluated the winning view; reuse it.
+    const clustering::PowerView& view = sweep.views[sweep.best_class];
+    const ViewEvaluation& ev = sweep.evals[sweep.best_class];
     for (std::size_t b = 0; b < view.block_count(); ++b) {
       const clustering::PowerBlock& blk = view.blocks()[b];
       const features::GlobalFeatures block_features =
           features::GlobalFeatureExtractor::extract(graph, blk.begin,
                                                     blk.end);
-      b_struct.push_back(block_features.structural);
-      b_stats.push_back(block_features.statistics);
-      b_labels.push_back(static_cast<int>(ev.block_levels[b]));
-      ++out.blocks_generated;
+      out.b_struct.push_back(block_features.structural);
+      out.b_stats.push_back(block_features.statistics);
+      out.b_labels.push_back(static_cast<int>(ev.block_levels[b]));
     }
+  });
+
+  GeneratedDatasets out;
+  std::vector<std::vector<double>> a_struct, a_stats, b_struct, b_stats;
+  std::vector<int> a_labels, b_labels;
+  for (NetworkRows& r : rows) {
+    ++out.networks_generated;
+    a_struct.push_back(std::move(r.a_struct));
+    a_stats.push_back(std::move(r.a_stats));
+    a_labels.push_back(r.a_label);
+    out.blocks_generated += r.b_labels.size();
+    std::move(r.b_struct.begin(), r.b_struct.end(),
+              std::back_inserter(b_struct));
+    std::move(r.b_stats.begin(), r.b_stats.end(),
+              std::back_inserter(b_stats));
+    b_labels.insert(b_labels.end(), r.b_labels.begin(), r.b_labels.end());
   }
 
-  auto to_matrix = [](const std::vector<std::vector<double>>& rows) {
-    linalg::Matrix m(rows.size(), rows.empty() ? 0 : rows.front().size());
-    for (std::size_t r = 0; r < rows.size(); ++r) {
-      for (std::size_t c = 0; c < rows[r].size(); ++c) m(r, c) = rows[r][c];
+  auto to_matrix = [](const std::vector<std::vector<double>>& mat_rows) {
+    linalg::Matrix m(mat_rows.size(),
+                     mat_rows.empty() ? 0 : mat_rows.front().size());
+    for (std::size_t r = 0; r < mat_rows.size(); ++r) {
+      for (std::size_t c = 0; c < mat_rows[r].size(); ++c) {
+        m(r, c) = mat_rows[r][c];
+      }
     }
     return m;
   };

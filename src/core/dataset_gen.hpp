@@ -16,8 +16,10 @@
 
 #include "clustering/cluster.hpp"
 #include "dnn/random_gen.hpp"
+#include "hw/cost_table.hpp"
 #include "hw/platform.hpp"
 #include "nn/trainer.hpp"
+#include "util/thread_pool.hpp"
 
 #include <cstdint>
 #include <vector>
@@ -43,6 +45,10 @@ struct DatasetGenConfig {
   clustering::DistanceParams distance;
   HyperparamGrid grid;
   std::size_t cpu_level_for_labels = 0;  // set to max at generation time
+  // Offline-phase parallelism. Network n is always generated from its own
+  // RNG stream (split_seed(seed, n)), so the produced datasets are byte-
+  // identical for every thread count, including 1.
+  util::ParallelConfig parallel;
 };
 
 struct GeneratedDatasets {
@@ -62,11 +68,21 @@ clustering::PowerView enforce_min_block_duration(
     const dnn::Graph& graph, const clustering::PowerView& view,
     const hw::Platform& platform, double min_duration_s);
 
+// Memoized variant: block durations come from `costs` (which must cover the
+// platform's maximum CPU level) instead of fresh analytic sweeps. This is
+// the form every repeated caller uses — the graph-based overload above is a
+// convenience wrapper that builds a one-plane table.
+clustering::PowerView enforce_min_block_duration(
+    const hw::CostTable& costs, const clustering::PowerView& view,
+    const hw::Platform& platform, double min_duration_s);
+
 // Feasibility horizon for one graph: a block must outlast 1.5x the full
 // switch cost, and instrumentation stays at single-digit granularity — a
 // block shorter than a tenth of the pass adds a switch without adding
 // control authority.
 double feasible_block_duration(const dnn::Graph& graph,
+                               const hw::Platform& platform);
+double feasible_block_duration(const hw::CostTable& costs,
                                const hw::Platform& platform);
 
 // Steady-state cost of running one pass of `graph` under `view` with each
@@ -81,14 +97,33 @@ ViewEvaluation evaluate_view_oracle(const dnn::Graph& graph,
                                     const hw::Platform& platform,
                                     std::size_t cpu_level);
 
+// Memoized variant; `costs` must cover `cpu_level`.
+ViewEvaluation evaluate_view_oracle(const hw::CostTable& costs,
+                                    const clustering::PowerView& view,
+                                    const hw::Platform& platform,
+                                    std::size_t cpu_level);
+
 // Selects the EE-optimal hyperparameter class for one graph by sweeping the
 // grid: each candidate view's blocks get their analytic-optimal frequencies,
 // and candidates are ranked by total energy including per-switch DVFS cost.
+// Tie-breaking is fully deterministic (see the implementation): among
+// near-optimal candidates, the finest view wins, and equal block counts
+// resolve to the lower grid index.
 std::size_t best_hyperparam_class(const dnn::Graph& graph,
                                   const hw::Platform& platform,
                                   const DatasetGenConfig& config);
 
-// Full generation pass (Figure 2, "dataset generator").
+// Memoized variant; `costs` must cover the platform's maximum CPU level and
+// config.cpu_level_for_labels.
+std::size_t best_hyperparam_class(const dnn::Graph& graph,
+                                  const hw::CostTable& costs,
+                                  const hw::Platform& platform,
+                                  const DatasetGenConfig& config);
+
+// Full generation pass (Figure 2, "dataset generator"). Networks are
+// labelled in parallel on config.parallel threads; each network is one task
+// with its own RNG stream and its own CostTable, and rows are concatenated
+// in network order, so the output is identical for every thread count.
 GeneratedDatasets generate_datasets(const hw::Platform& platform,
                                     const DatasetGenConfig& config);
 

@@ -2,6 +2,7 @@
 
 #include "features/depthwise.hpp"
 #include "hw/analytic.hpp"
+#include "hw/cost_table.hpp"
 #include "nn/serialize.hpp"
 
 #include <fstream>
@@ -87,6 +88,16 @@ PowerLens::PowerLens(const hw::Platform& platform, PowerLensConfig config)
   if (config_.dataset.cpu_level_for_labels == 0) {
     config_.dataset.cpu_level_for_labels = platform.max_cpu_level();
   }
+  // One knob drives the whole offline phase unless a sub-config overrides.
+  if (config_.dataset.parallel.num_threads == 0) {
+    config_.dataset.parallel = config_.parallel;
+  }
+  if (config_.train_hyper.parallel.num_threads == 0) {
+    config_.train_hyper.parallel = config_.parallel;
+  }
+  if (config_.train_decision.parallel.num_threads == 0) {
+    config_.train_decision.parallel = config_.parallel;
+  }
 }
 
 bool PowerLens::trained() const noexcept {
@@ -112,11 +123,11 @@ TrainingSummary PowerLens::train() {
 
 std::size_t PowerLens::decide_block_level(const dnn::Graph& graph,
                                           const clustering::PowerBlock& block,
-                                          bool use_oracle) const {
-  if (use_oracle) {
-    return hw::optimal_gpu_level(
-        *platform_, graph.layers().subspan(block.begin, block.size()),
-        config_.dataset.cpu_level_for_labels);
+                                          const hw::CostTable* oracle_costs)
+    const {
+  if (oracle_costs != nullptr) {
+    return oracle_costs->optimal_gpu_level(block.begin, block.end,
+                                           config_.dataset.cpu_level_for_labels);
   }
   const features::GlobalFeatures f =
       features::GlobalFeatureExtractor::extract(graph, block.begin,
@@ -137,10 +148,18 @@ OptimizationPlan PowerLens::plan_for_view(const dnn::Graph& graph,
   if (view.num_layers() != graph.size()) {
     throw std::invalid_argument("PowerLens: view does not match graph");
   }
+  // The oracle path sweeps the GPU ladder once per block; memoize the layer
+  // costs once for the whole graph instead of per (block, level) pair.
+  std::optional<hw::CostTable> costs;
+  if (use_oracle) {
+    const std::size_t cpu_levels[] = {config_.dataset.cpu_level_for_labels};
+    costs.emplace(*platform_, graph.layers(), cpu_levels);
+  }
   OptimizationPlan plan;
   plan.view = std::move(view);
   for (const clustering::PowerBlock& b : plan.view.blocks()) {
-    const std::size_t level = decide_block_level(graph, b, use_oracle);
+    const std::size_t level =
+        decide_block_level(graph, b, costs ? &*costs : nullptr);
     plan.block_levels.push_back(level);
     plan.schedule.points.push_back({b.begin, level});
   }
@@ -159,13 +178,16 @@ OptimizationPlan PowerLens::optimize(const dnn::Graph& graph) const {
       config_.dataset.grid.at(static_cast<std::size_t>(cls));
 
   // Steps 2-3: power behavior similarity clustering into a power view,
-  // post-processed to deployment-feasible block durations.
+  // post-processed to deployment-feasible block durations. Feasibility only
+  // reads the (mid GPU, max CPU) plane, so a one-plane table suffices.
   clustering::ClusteringConfig cc;
   cc.hyper = hp;
   cc.distance = config_.dataset.distance;
+  const std::size_t cpu_levels[] = {platform_->max_cpu_level()};
+  const hw::CostTable costs(*platform_, graph.layers(), cpu_levels);
   clustering::PowerView view = enforce_min_block_duration(
-      graph, clustering::build_power_view(graph, cc), *platform_,
-      feasible_block_duration(graph, *platform_));
+      costs, clustering::build_power_view(graph, cc), *platform_,
+      feasible_block_duration(costs, *platform_));
 
   // Steps 4-5: per-block frequency decisions and the preset schedule.
   OptimizationPlan plan = plan_for_view(graph, std::move(view), false);
@@ -174,18 +196,33 @@ OptimizationPlan PowerLens::optimize(const dnn::Graph& graph) const {
 }
 
 OptimizationPlan PowerLens::optimize_oracle(const dnn::Graph& graph) const {
+  // The exhaustive-sweep pipeline touches every (block, gpu level) pair many
+  // times over; one CostTable covers the hyperparameter sweep, feasibility
+  // enforcement, and the per-block ladder scans.
+  std::vector<std::size_t> cpu_levels = {platform_->max_cpu_level()};
+  if (config_.dataset.cpu_level_for_labels != platform_->max_cpu_level()) {
+    cpu_levels.push_back(config_.dataset.cpu_level_for_labels);
+  }
+  const hw::CostTable costs(*platform_, graph.layers(), cpu_levels);
+
   const std::size_t cls =
-      best_hyperparam_class(graph, *platform_, config_.dataset);
+      best_hyperparam_class(graph, costs, *platform_, config_.dataset);
   const clustering::ClusteringHyperparams hp = config_.dataset.grid.at(cls);
 
   clustering::ClusteringConfig cc;
   cc.hyper = hp;
   cc.distance = config_.dataset.distance;
   clustering::PowerView view = enforce_min_block_duration(
-      graph, clustering::build_power_view(graph, cc), *platform_,
-      feasible_block_duration(graph, *platform_));
+      costs, clustering::build_power_view(graph, cc), *platform_,
+      feasible_block_duration(costs, *platform_));
 
-  OptimizationPlan plan = plan_for_view(graph, std::move(view), true);
+  OptimizationPlan plan;
+  plan.view = std::move(view);
+  for (const clustering::PowerBlock& b : plan.view.blocks()) {
+    const std::size_t level = decide_block_level(graph, b, &costs);
+    plan.block_levels.push_back(level);
+    plan.schedule.points.push_back({b.begin, level});
+  }
   plan.hyper = hp;
   return plan;
 }

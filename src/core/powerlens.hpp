@@ -67,6 +67,10 @@ struct PowerLensConfig {
   nn::TrainConfig train_decision;  // target-frequency decision model
   std::size_t hidden_units = 64;
   std::uint64_t model_seed = 11;
+  // Offline-phase thread count; propagated at construction into any of the
+  // sub-configs above that are still on "auto" (num_threads == 0). Results
+  // are invariant to the value — it only changes wall-clock.
+  util::ParallelConfig parallel;
 };
 
 struct TrainingSummary {
@@ -118,7 +122,7 @@ class PowerLens {
  private:
   std::size_t decide_block_level(const dnn::Graph& graph,
                                  const clustering::PowerBlock& block,
-                                 bool use_oracle) const;
+                                 const hw::CostTable* oracle_costs) const;
 
   const hw::Platform* platform_;  // non-owning
   PowerLensConfig config_;

@@ -37,6 +37,12 @@ class RandomDnnGenerator {
   // pseudo-random draws; the whole sequence is reproducible from the seed.
   Graph generate();
 
+  // Positions the name counter so the next generate() emits "rand_*_{n+1}".
+  // Used by per-network RNG stream splitting: each network n gets its own
+  // generator seeded from split_seed(seed, n), and this keeps the generated
+  // names globally unique and identical to a single serial sequence.
+  void set_sequence_index(std::uint64_t n) noexcept { counter_ = n; }
+
  private:
   Graph generate_plain_cnn();
   Graph generate_residual_cnn();

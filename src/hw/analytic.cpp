@@ -1,5 +1,7 @@
 #include "hw/analytic.hpp"
 
+#include "hw/cost_table.hpp"
+
 namespace powerlens::hw {
 
 BlockCost analytic_block_cost(const Platform& platform,
@@ -25,17 +27,12 @@ BlockCost analytic_block_cost(const Platform& platform,
 std::size_t optimal_gpu_level(const Platform& platform,
                               std::span<const dnn::Layer> layers,
                               std::size_t cpu_level, double cpu_load) {
-  std::size_t best = 0;
-  double best_energy = -1.0;
-  for (std::size_t level = 0; level < platform.gpu_levels(); ++level) {
-    const BlockCost c =
-        analytic_block_cost(platform, layers, level, cpu_level, cpu_load);
-    if (best_energy < 0.0 || c.energy_j < best_energy) {
-      best_energy = c.energy_j;
-      best = level;
-    }
-  }
-  return best;
+  // One-cpu-plane table: same total work as the direct ladder scan, and the
+  // prefix accumulation from layer 0 is bitwise identical to it, so this is
+  // purely a shared code path with CostTable::optimal_gpu_level.
+  const std::size_t cpu_levels[] = {cpu_level};
+  const CostTable table(platform, layers, cpu_levels, cpu_load);
+  return table.optimal_gpu_level(0, layers.size(), cpu_level);
 }
 
 }  // namespace powerlens::hw

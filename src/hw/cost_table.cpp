@@ -1,0 +1,112 @@
+#include "hw/cost_table.hpp"
+
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+
+namespace powerlens::hw {
+
+namespace {
+constexpr std::size_t kNoSlot = std::numeric_limits<std::size_t>::max();
+}  // namespace
+
+CostTable::CostTable(const Platform& platform,
+                     std::span<const dnn::Layer> layers, double cpu_load) {
+  std::vector<std::size_t> all(platform.cpu_levels());
+  std::iota(all.begin(), all.end(), std::size_t{0});
+  init(platform, layers, all, cpu_load);
+}
+
+CostTable::CostTable(const Platform& platform,
+                     std::span<const dnn::Layer> layers,
+                     std::span<const std::size_t> cpu_levels, double cpu_load) {
+  init(platform, layers, cpu_levels, cpu_load);
+}
+
+void CostTable::init(const Platform& platform,
+                     std::span<const dnn::Layer> layers,
+                     std::span<const std::size_t> cpu_levels,
+                     double cpu_load) {
+  num_layers_ = layers.size();
+  gpu_levels_ = platform.gpu_levels();
+  cpu_slot_.assign(platform.cpu_levels(), kNoSlot);
+  for (const std::size_t c : cpu_levels) {
+    if (c >= platform.cpu_levels()) {
+      throw std::out_of_range("CostTable: cpu level out of range");
+    }
+    if (cpu_slot_[c] == kNoSlot) cpu_slot_[c] = cpu_slots_++;
+  }
+  if (cpu_slots_ == 0) {
+    throw std::invalid_argument("CostTable: no cpu levels requested");
+  }
+
+  const LatencyModel latency(platform);
+  const PowerModel power(platform);
+  const std::size_t run = num_layers_ + 1;
+  time_prefix_.assign(gpu_levels_ * cpu_slots_ * run, 0.0);
+  energy_prefix_.assign(gpu_levels_ * cpu_slots_ * run, 0.0);
+
+  for (std::size_t g = 0; g < gpu_levels_; ++g) {
+    const double gpu_f = platform.gpu_freq(g);
+    for (std::size_t c = 0; c < cpu_slot_.size(); ++c) {
+      if (cpu_slot_[c] == kNoSlot) continue;
+      const double cpu_f = platform.cpu_freq(c);
+      const std::size_t base = (g * cpu_slots_ + cpu_slot_[c]) * run;
+      double t = 0.0;
+      double e = 0.0;
+      for (std::size_t i = 0; i < num_layers_; ++i) {
+        // Same accumulation as analytic_block_cost: kInput contributes 0.
+        if (layers[i].type != dnn::OpType::kInput) {
+          const LayerTiming lt = latency.time_layer(layers[i], gpu_f, cpu_f);
+          const ActivityState act{lt.gpu_activity, lt.mem_activity, cpu_load};
+          t += lt.total_s;
+          e += power.total_w(gpu_f, cpu_f, act) * lt.total_s;
+        }
+        time_prefix_[base + i + 1] = t;
+        energy_prefix_[base + i + 1] = e;
+      }
+    }
+  }
+}
+
+bool CostTable::has_cpu_level(std::size_t cpu_level) const noexcept {
+  return cpu_level < cpu_slot_.size() && cpu_slot_[cpu_level] != kNoSlot;
+}
+
+std::size_t CostTable::plane(std::size_t gpu_level,
+                             std::size_t cpu_level) const {
+  if (gpu_level >= gpu_levels_) {
+    throw std::out_of_range("CostTable: gpu level out of range");
+  }
+  if (!has_cpu_level(cpu_level)) {
+    throw std::out_of_range("CostTable: cpu level not precomputed");
+  }
+  return gpu_level * cpu_slots_ + cpu_slot_[cpu_level];
+}
+
+BlockCost CostTable::block_cost(std::size_t begin, std::size_t end,
+                                std::size_t gpu_level,
+                                std::size_t cpu_level) const {
+  if (begin > end || end > num_layers_) {
+    throw std::out_of_range("CostTable: bad layer range");
+  }
+  const std::size_t base = plane(gpu_level, cpu_level) * (num_layers_ + 1);
+  return {time_prefix_[base + end] - time_prefix_[base + begin],
+          energy_prefix_[base + end] - energy_prefix_[base + begin]};
+}
+
+std::size_t CostTable::optimal_gpu_level(std::size_t begin, std::size_t end,
+                                         std::size_t cpu_level) const {
+  std::size_t best = 0;
+  double best_energy = -1.0;
+  for (std::size_t level = 0; level < gpu_levels_; ++level) {
+    const double e = block_cost(begin, end, level, cpu_level).energy_j;
+    if (best_energy < 0.0 || e < best_energy) {
+      best_energy = e;
+      best = level;
+    }
+  }
+  return best;
+}
+
+}  // namespace powerlens::hw

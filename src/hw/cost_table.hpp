@@ -1,0 +1,67 @@
+// Memoized analytic costs for one graph: per-layer (time, energy) at every
+// (gpu_level, cpu_level) pair, stored as prefix sums over the layer axis.
+//
+// The offline labelling sweeps (dataset generation, oracle planning) evaluate
+// the same layer ranges at the same frequency levels thousands of times per
+// network — enforce_min_block_duration re-times shrinking views per merge
+// step, best_hyperparam_class sweeps a 24-point hyperparameter grid, and
+// every block is swept across the whole GPU ladder. A CostTable pays the
+// per-layer model evaluation exactly once per (layer, gpu, cpu) triple and
+// then answers any contiguous block query in O(1) by prefix-sum subtraction.
+//
+// Accumulation order matches analytic_block_cost layer-by-layer, so a query
+// starting at layer 0 is bitwise identical to the direct computation;
+// queries starting mid-graph differ only by one floating-point subtraction.
+#pragma once
+
+#include "hw/analytic.hpp"
+
+#include <span>
+#include <vector>
+
+namespace powerlens::hw {
+
+class CostTable {
+ public:
+  // Precomputes all (gpu_level, cpu_level) pairs of `platform`.
+  CostTable(const Platform& platform, std::span<const dnn::Layer> layers,
+            double cpu_load = 0.2);
+  // Precomputes only the given cpu levels (all gpu levels); use when the
+  // caller sweeps the GPU ladder at one or two known CPU operating points.
+  // Duplicate cpu levels are stored once. Throws std::out_of_range on a
+  // level outside the platform ladder.
+  CostTable(const Platform& platform, std::span<const dnn::Layer> layers,
+            std::span<const std::size_t> cpu_levels, double cpu_load = 0.2);
+
+  std::size_t num_layers() const noexcept { return num_layers_; }
+  std::size_t gpu_levels() const noexcept { return gpu_levels_; }
+  bool has_cpu_level(std::size_t cpu_level) const noexcept;
+
+  // Cost of layers [begin, end) at the given levels; O(1). Throws
+  // std::out_of_range on a bad range, gpu level, or a cpu level that was not
+  // precomputed.
+  BlockCost block_cost(std::size_t begin, std::size_t end,
+                       std::size_t gpu_level, std::size_t cpu_level) const;
+
+  // Energy-argmin GPU level for layers [begin, end); ties resolve to the
+  // lower level, matching hw::optimal_gpu_level exactly.
+  std::size_t optimal_gpu_level(std::size_t begin, std::size_t end,
+                                std::size_t cpu_level) const;
+
+ private:
+  void init(const Platform& platform, std::span<const dnn::Layer> layers,
+            std::span<const std::size_t> cpu_levels, double cpu_load);
+  std::size_t plane(std::size_t gpu_level, std::size_t cpu_level) const;
+
+  std::size_t num_layers_ = 0;
+  std::size_t gpu_levels_ = 0;
+  // cpu level -> dense slot index, or npos when not precomputed.
+  std::vector<std::size_t> cpu_slot_;
+  std::size_t cpu_slots_ = 0;
+  // Prefix sums, one (num_layers_ + 1)-length run per (gpu, cpu-slot) plane:
+  // index [plane * (L + 1) + i] holds the cost of layers [0, i).
+  std::vector<double> time_prefix_;
+  std::vector<double> energy_prefix_;
+};
+
+}  // namespace powerlens::hw

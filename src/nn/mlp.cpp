@@ -117,6 +117,30 @@ void DenseLayer::adam_step(double lr, double beta1, double beta2, double eps,
   }
 }
 
+void DenseLayer::copy_weights_from(const DenseLayer& src) {
+  if (src.w_.rows() != w_.rows() || src.w_.cols() != w_.cols()) {
+    throw std::invalid_argument("DenseLayer::copy_weights_from: shape");
+  }
+  w_ = src.w_;
+  b_ = src.b_;
+}
+
+void DenseLayer::add_gradients_from(const DenseLayer& src) {
+  if (src.grad_w_.rows() != grad_w_.rows() ||
+      src.grad_w_.cols() != grad_w_.cols()) {
+    throw std::invalid_argument("DenseLayer::add_gradients_from: shape");
+  }
+  grad_w_ += src.grad_w_;
+  for (std::size_t i = 0; i < grad_b_.size(); ++i) {
+    grad_b_[i] += src.grad_b_[i];
+  }
+}
+
+void DenseLayer::zero_gradients() {
+  for (double& v : grad_w_.data()) v = 0.0;
+  for (double& v : grad_b_) v = 0.0;
+}
+
 TwoStageMlp::TwoStageMlp(const TwoStageMlpConfig& config)
     : config_(config),
       rng_([&] {
@@ -170,6 +194,27 @@ void TwoStageMlp::adam_step(double lr, double beta1, double beta2,
   stage1_b_.adam_step(lr, beta1, beta2, eps, adam_t_);
   stage2_a_.adam_step(lr, beta1, beta2, eps, adam_t_);
   head_.adam_step(lr, beta1, beta2, eps, adam_t_);
+}
+
+void TwoStageMlp::sync_weights_from(const TwoStageMlp& master) {
+  stage1_a_.copy_weights_from(master.stage1_a_);
+  stage1_b_.copy_weights_from(master.stage1_b_);
+  stage2_a_.copy_weights_from(master.stage2_a_);
+  head_.copy_weights_from(master.head_);
+}
+
+void TwoStageMlp::add_gradients_from(const TwoStageMlp& replica) {
+  stage1_a_.add_gradients_from(replica.stage1_a_);
+  stage1_b_.add_gradients_from(replica.stage1_b_);
+  stage2_a_.add_gradients_from(replica.stage2_a_);
+  head_.add_gradients_from(replica.head_);
+}
+
+void TwoStageMlp::zero_gradients() {
+  stage1_a_.zero_gradients();
+  stage1_b_.zero_gradients();
+  stage2_a_.zero_gradients();
+  head_.zero_gradients();
 }
 
 std::vector<int> TwoStageMlp::predict(const linalg::Matrix& structural,

@@ -39,6 +39,13 @@ class DenseLayer {
   void adam_step(double lr, double beta1, double beta2, double eps,
                  std::int64_t t);
 
+  // Data-parallel training support: replicas copy the master's parameters,
+  // accumulate shard gradients independently, and the master sums them back
+  // in a fixed order before its Adam step.
+  void copy_weights_from(const DenseLayer& src);     // w, b only
+  void add_gradients_from(const DenseLayer& src);    // grad_w, grad_b +=
+  void zero_gradients();
+
   std::size_t in_dim() const noexcept { return w_.cols(); }
   std::size_t out_dim() const noexcept { return w_.rows(); }
   const linalg::Matrix& weights() const noexcept { return w_; }
@@ -89,6 +96,12 @@ class TwoStageMlp {
   void backward(const linalg::Matrix& grad_logits);
 
   void adam_step(double lr, double beta1, double beta2, double eps);
+
+  // Data-parallel training support (see DenseLayer). Topologies must match;
+  // throws std::invalid_argument otherwise.
+  void sync_weights_from(const TwoStageMlp& master);
+  void add_gradients_from(const TwoStageMlp& replica);
+  void zero_gradients();
 
   // Predicted class per row.
   std::vector<int> predict(const linalg::Matrix& structural,

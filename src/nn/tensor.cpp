@@ -40,12 +40,14 @@ double cross_entropy(const linalg::Matrix& probs,
 }
 
 linalg::Matrix cross_entropy_grad(const linalg::Matrix& probs,
-                                  const std::vector<int>& labels) {
+                                  const std::vector<int>& labels,
+                                  std::size_t denom) {
   if (labels.size() != probs.rows()) {
     throw std::invalid_argument("cross_entropy_grad: label count mismatch");
   }
+  if (denom == 0) denom = probs.rows();
   linalg::Matrix g = probs;
-  const double inv_batch = 1.0 / static_cast<double>(probs.rows());
+  const double inv_batch = 1.0 / static_cast<double>(denom);
   for (std::size_t r = 0; r < probs.rows(); ++r) {
     g(r, static_cast<std::size_t>(labels[r])) -= 1.0;
     for (std::size_t c = 0; c < probs.cols(); ++c) g(r, c) *= inv_batch;

@@ -21,9 +21,13 @@ linalg::Matrix softmax_rows(const linalg::Matrix& logits);
 double cross_entropy(const linalg::Matrix& probs,
                      const std::vector<int>& labels);
 
-// Gradient of mean cross-entropy w.r.t. logits: (softmax - onehot) / batch.
+// Gradient of mean cross-entropy w.r.t. logits: (softmax - onehot) / denom.
+// `denom` defaults to the row count; data-parallel training passes the FULL
+// minibatch size while feeding only its shard of rows, so the shard
+// gradients sum to exactly the whole-batch mean gradient.
 linalg::Matrix cross_entropy_grad(const linalg::Matrix& probs,
-                                  const std::vector<int>& labels);
+                                  const std::vector<int>& labels,
+                                  std::size_t denom = 0);
 
 // Row-wise argmax.
 std::vector<int> argmax_rows(const linalg::Matrix& m);

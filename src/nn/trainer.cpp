@@ -86,6 +86,15 @@ double mean_level_error(const TwoStageMlp& model, const Dataset& data) {
   return err / static_cast<double>(pred.size());
 }
 
+namespace {
+
+// Rows per gradient shard. Fixed (never derived from the thread count) so
+// the shard boundaries — and therefore the floating-point summation order of
+// the merged gradient — are identical however many threads run the shards.
+constexpr std::size_t kGradShardRows = 8;
+
+}  // namespace
+
 TrainReport train(TwoStageMlp& model, const Dataset& train_set,
                   const Dataset& val_set, const TrainConfig& config) {
   train_set.validate();
@@ -93,11 +102,23 @@ TrainReport train(TwoStageMlp& model, const Dataset& train_set,
   if (train_set.size() == 0) {
     throw std::invalid_argument("train: empty training set");
   }
+  if (config.batch_size == 0) {
+    throw std::invalid_argument("train: batch_size == 0");
+  }
 
   TrainReport report;
   std::mt19937_64 rng(config.shuffle_seed);
   std::vector<std::size_t> order(train_set.size());
   std::iota(order.begin(), order.end(), std::size_t{0});
+
+  // One replica per shard slot of the largest possible minibatch. Replicas
+  // re-sync parameters from the master every minibatch and only ever own
+  // their shard's activations and gradient accumulators.
+  const std::size_t max_shards =
+      (std::min(config.batch_size, train_set.size()) + kGradShardRows - 1) /
+      kGradShardRows;
+  std::vector<TwoStageMlp> replicas(max_shards, model);
+  std::vector<double> shard_loss(max_shards, 0.0);
 
   int epochs_since_best = 0;
   for (int epoch = 0; epoch < config.epochs; ++epoch) {
@@ -109,16 +130,35 @@ TrainReport train(TwoStageMlp& model, const Dataset& train_set,
          start += config.batch_size) {
       const std::size_t end =
           std::min(start + config.batch_size, order.size());
-      const Dataset batch = train_set.subset(
-          {order.begin() + static_cast<std::ptrdiff_t>(start),
-           order.begin() + static_cast<std::ptrdiff_t>(end)});
+      const std::size_t batch_rows = end - start;
+      const std::size_t shards =
+          (batch_rows + kGradShardRows - 1) / kGradShardRows;
 
-      const linalg::Matrix logits =
-          model.forward(batch.structural, batch.statistics);
-      const linalg::Matrix probs = softmax_rows(logits);
-      epoch_loss += cross_entropy(probs, batch.labels);
+      // Shard s owns rows [start + s*kGradShardRows, ...) of the shuffled
+      // order; every slot below is written by exactly one shard.
+      util::parallel_for(config.parallel, 0, shards, [&](std::size_t s) {
+        TwoStageMlp& rep = replicas[s];
+        rep.sync_weights_from(model);
+        const std::size_t lo = start + s * kGradShardRows;
+        const std::size_t hi = std::min(end, lo + kGradShardRows);
+        const Dataset shard = train_set.subset(
+            {order.begin() + static_cast<std::ptrdiff_t>(lo),
+             order.begin() + static_cast<std::ptrdiff_t>(hi)});
+        const linalg::Matrix logits =
+            rep.forward(shard.structural, shard.statistics);
+        const linalg::Matrix probs = softmax_rows(logits);
+        shard_loss[s] =
+            cross_entropy(probs, shard.labels) * static_cast<double>(hi - lo);
+        // Scale by the whole minibatch so shard gradients sum to its mean.
+        rep.backward(cross_entropy_grad(probs, shard.labels, batch_rows));
+      });
+
+      for (std::size_t s = 0; s < shards; ++s) {
+        model.add_gradients_from(replicas[s]);
+        replicas[s].zero_gradients();
+        epoch_loss += shard_loss[s] / static_cast<double>(batch_rows);
+      }
       ++batches;
-      model.backward(cross_entropy_grad(probs, batch.labels));
       model.adam_step(config.lr, config.beta1, config.beta2, config.adam_eps);
     }
 

@@ -9,6 +9,7 @@
 #pragma once
 
 #include "nn/mlp.hpp"
+#include "util/thread_pool.hpp"
 
 #include <array>
 #include <cstdint>
@@ -47,6 +48,11 @@ struct TrainConfig {
   // Stop early when validation accuracy has not improved for this many
   // epochs (0 disables).
   int patience = 10;
+  // Threads for minibatch gradient accumulation. Each minibatch is cut into
+  // fixed-size shards (independent of thread count) whose gradients are
+  // computed on model replicas and summed back in shard order, so training
+  // is deterministic and invariant to the thread count.
+  util::ParallelConfig parallel;
 };
 
 struct TrainReport {

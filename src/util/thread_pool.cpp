@@ -1,0 +1,140 @@
+#include "util/thread_pool.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace powerlens::util {
+
+namespace {
+
+// Set while the current thread is executing a lane; nested parallel_for
+// calls from inside a lane body run inline instead of re-entering the pool.
+thread_local bool t_in_lane = false;
+
+}  // namespace
+
+std::size_t ParallelConfig::resolved() const {
+  if (num_threads > 0) return num_threads;
+  if (const char* env = std::getenv("POWERLENS_NUM_THREADS")) {
+    char* end = nullptr;
+    const long v = std::strtol(env, &end, 10);
+    if (end != env && v > 0) return static_cast<std::size_t>(v);
+  }
+  const unsigned hc = std::thread::hardware_concurrency();
+  return hc > 0 ? hc : 1;
+}
+
+ThreadPool::ThreadPool(std::size_t num_threads) {
+  const std::size_t workers = num_threads > 1 ? num_threads - 1 : 0;
+  workers_.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::run_lane(std::size_t lane) {
+  const std::size_t n = end_ - begin_;
+  const std::size_t chunk = (n + num_lanes_ - 1) / num_lanes_;
+  const std::size_t lo = begin_ + lane * chunk;
+  const std::size_t hi = std::min(end_, lo + chunk);
+  t_in_lane = true;
+  try {
+    for (std::size_t i = lo; i < hi; ++i) (*body_)(i);
+  } catch (...) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!error_) error_ = std::current_exception();
+  }
+  t_in_lane = false;
+}
+
+void ThreadPool::worker_loop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  std::uint64_t seen = 0;
+  for (;;) {
+    work_cv_.wait(lock, [&] {
+      return stop_ || (generation_ != seen && lanes_remaining_ > 0);
+    });
+    if (stop_) return;
+    seen = generation_;
+    while (lanes_remaining_ > 0) {
+      const std::size_t lane = num_lanes_ - lanes_remaining_;
+      --lanes_remaining_;
+      ++lanes_active_;
+      lock.unlock();
+      run_lane(lane);
+      lock.lock();
+      --lanes_active_;
+      if (lanes_remaining_ == 0 && lanes_active_ == 0) {
+        done_cv_.notify_all();
+      }
+    }
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
+                              std::size_t max_parallelism,
+                              const std::function<void(std::size_t)>& body) {
+  if (end <= begin) return;
+  const std::size_t n = end - begin;
+  const std::size_t lanes = std::min(std::max<std::size_t>(max_parallelism, 1),
+                                     n);
+  if (lanes <= 1 || t_in_lane) {
+    for (std::size_t i = begin; i < end; ++i) body(i);
+    return;
+  }
+
+  std::unique_lock<std::mutex> lock(mu_);
+  begin_ = begin;
+  end_ = end;
+  num_lanes_ = lanes;
+  lanes_remaining_ = lanes;
+  lanes_active_ = 0;
+  body_ = &body;
+  error_ = nullptr;
+  ++generation_;
+  lock.unlock();
+  work_cv_.notify_all();
+
+  lock.lock();
+  while (lanes_remaining_ > 0) {
+    const std::size_t lane = num_lanes_ - lanes_remaining_;
+    --lanes_remaining_;
+    ++lanes_active_;
+    lock.unlock();
+    run_lane(lane);
+    lock.lock();
+    --lanes_active_;
+  }
+  done_cv_.wait(lock, [&] {
+    return lanes_remaining_ == 0 && lanes_active_ == 0;
+  });
+  body_ = nullptr;
+  if (error_) std::rethrow_exception(error_);
+}
+
+ThreadPool& global_pool() {
+  static ThreadPool pool(ParallelConfig{}.resolved());
+  return pool;
+}
+
+void parallel_for(const ParallelConfig& par, std::size_t begin,
+                  std::size_t end,
+                  const std::function<void(std::size_t)>& body) {
+  const std::size_t threads = par.resolved();
+  if (threads <= 1 || end <= begin + 1) {
+    for (std::size_t i = begin; i < end; ++i) body(i);
+    return;
+  }
+  global_pool().parallel_for(begin, end, threads, body);
+}
+
+}  // namespace powerlens::util

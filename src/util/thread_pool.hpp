@@ -1,0 +1,90 @@
+// Shared-pool parallelism for the offline phase.
+//
+// The offline pipeline (dataset generation, grid sweeps, minibatch gradient
+// accumulation) is embarrassingly parallel at coarse granularity, and every
+// parallel site in this codebase writes results into per-index slots, so the
+// only primitive needed is a chunked parallel_for. Scheduling is static
+// chunking with dynamic lane claiming: the index range is cut into at most
+// `max_parallelism` contiguous lanes and idle workers (plus the calling
+// thread) claim whole lanes until none remain. Because outputs are keyed by
+// index — never by thread — results are bit-identical for any thread count,
+// including 1.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace powerlens::util {
+
+// Thread-count knob plumbed through DatasetGenConfig / TrainConfig /
+// PowerLensConfig. 0 means "auto": the POWERLENS_NUM_THREADS environment
+// variable if set to a positive integer, otherwise hardware concurrency.
+struct ParallelConfig {
+  std::size_t num_threads = 0;
+
+  std::size_t resolved() const;
+};
+
+class ThreadPool {
+ public:
+  // Spawns num_threads - 1 workers; the caller of parallel_for is always the
+  // remaining lane runner, so ThreadPool(1) is a purely serial pool.
+  explicit ThreadPool(std::size_t num_threads);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  // Worker threads + the calling thread.
+  std::size_t size() const noexcept { return workers_.size() + 1; }
+
+  // Runs body(i) for every i in [begin, end). The range is split into at
+  // most max_parallelism contiguous lanes claimed dynamically by workers and
+  // the caller; lanes may exceed the worker count (they queue). Blocks until
+  // the whole range is done; the first exception thrown by `body` is
+  // rethrown here. Nested calls from inside a lane run inline (serial) to
+  // avoid deadlock.
+  void parallel_for(std::size_t begin, std::size_t end,
+                    std::size_t max_parallelism,
+                    const std::function<void(std::size_t)>& body);
+
+ private:
+  void worker_loop();
+  void run_lane(std::size_t lane);
+
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  bool stop_ = false;
+
+  // Current job, valid while lanes_remaining_ + lanes_active_ > 0. The
+  // plain fields are written by the caller under mu_ before workers are
+  // woken and read by workers after they acquire mu_ to claim a lane.
+  std::uint64_t generation_ = 0;
+  std::size_t begin_ = 0;
+  std::size_t end_ = 0;
+  std::size_t num_lanes_ = 0;
+  std::size_t lanes_remaining_ = 0;  // not yet claimed
+  std::size_t lanes_active_ = 0;     // claimed, still running
+  const std::function<void(std::size_t)>* body_ = nullptr;
+  std::exception_ptr error_;
+};
+
+// Process-wide pool, created on first use and sized to the auto-resolved
+// thread count (POWERLENS_NUM_THREADS or hardware concurrency).
+ThreadPool& global_pool();
+
+// Convenience wrapper: runs body(i) over [begin, end) on the global pool
+// with at most par.resolved() lanes; degenerates to a plain loop when the
+// resolved count or the range is 1.
+void parallel_for(const ParallelConfig& par, std::size_t begin,
+                  std::size_t end,
+                  const std::function<void(std::size_t)>& body);
+
+}  // namespace powerlens::util

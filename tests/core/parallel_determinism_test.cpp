@@ -1,0 +1,75 @@
+// The whole point of the per-network RNG streams and the fixed gradient
+// shards: offline-phase output must be byte-identical for every thread
+// count. These tests pin that contract.
+#include "core/dataset_gen.hpp"
+
+#include "hw/platform.hpp"
+#include "nn/trainer.hpp"
+
+#include <gtest/gtest.h>
+
+namespace powerlens::core {
+namespace {
+
+DatasetGenConfig small_config(std::size_t threads) {
+  DatasetGenConfig cfg;
+  cfg.num_networks = 12;
+  cfg.seed = 7;
+  cfg.dnn_config.max_blocks_per_stage = 4;
+  cfg.parallel.num_threads = threads;
+  return cfg;
+}
+
+void expect_identical(const nn::Dataset& a, const nn::Dataset& b) {
+  EXPECT_EQ(a.structural, b.structural);
+  EXPECT_EQ(a.statistics, b.statistics);
+  EXPECT_EQ(a.labels, b.labels);
+}
+
+TEST(ParallelDeterminism, DatasetsAreIdenticalAcrossThreadCounts) {
+  const hw::Platform platform = hw::make_tx2();
+  const GeneratedDatasets serial =
+      generate_datasets(platform, small_config(1));
+  const GeneratedDatasets threaded =
+      generate_datasets(platform, small_config(8));
+
+  EXPECT_EQ(serial.networks_generated, threaded.networks_generated);
+  EXPECT_EQ(serial.blocks_generated, threaded.blocks_generated);
+  expect_identical(serial.dataset_a, threaded.dataset_a);
+  expect_identical(serial.dataset_b, threaded.dataset_b);
+}
+
+TEST(ParallelDeterminism, TrainingIsIdenticalAcrossThreadCounts) {
+  const hw::Platform platform = hw::make_tx2();
+  const GeneratedDatasets data = generate_datasets(platform, small_config(1));
+  const nn::DatasetSplit split = nn::split_dataset(data.dataset_b, 3);
+
+  auto run = [&](std::size_t threads) {
+    nn::TwoStageMlpConfig mlp_cfg;
+    mlp_cfg.structural_dim = data.dataset_b.structural.cols();
+    mlp_cfg.statistics_dim = data.dataset_b.statistics.cols();
+    mlp_cfg.num_classes = platform.gpu_levels();
+    mlp_cfg.seed = 11;
+    nn::TwoStageMlp model(mlp_cfg);
+    nn::TrainConfig cfg;
+    cfg.epochs = 4;
+    cfg.patience = 0;
+    cfg.parallel.num_threads = threads;
+    const nn::TrainReport report = nn::train(model, split.train, split.val,
+                                             cfg);
+    return std::pair{model, report};
+  };
+
+  const auto [model1, report1] = run(1);
+  const auto [model8, report8] = run(8);
+
+  // Bitwise-equal loss trajectory: the fixed shard size pins the gradient
+  // summation order regardless of which thread ran which shard.
+  EXPECT_EQ(report1.train_loss, report8.train_loss);
+  EXPECT_EQ(report1.val_accuracy, report8.val_accuracy);
+  EXPECT_EQ(model1.predict(split.test.structural, split.test.statistics),
+            model8.predict(split.test.structural, split.test.statistics));
+}
+
+}  // namespace
+}  // namespace powerlens::core

@@ -1,0 +1,116 @@
+#include "util/thread_pool.hpp"
+
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+namespace powerlens::util {
+namespace {
+
+TEST(ParallelConfig, ExplicitCountWins) {
+  EXPECT_EQ((ParallelConfig{3}).resolved(), 3u);
+  EXPECT_EQ((ParallelConfig{1}).resolved(), 1u);
+}
+
+TEST(ParallelConfig, AutoResolvesToAtLeastOne) {
+  EXPECT_GE((ParallelConfig{}).resolved(), 1u);
+}
+
+TEST(ThreadPool, CoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(257);
+  pool.parallel_for(0, hits.size(), 8,
+                    [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, EmptyRangeIsANoop) {
+  ThreadPool pool(2);
+  int calls = 0;
+  pool.parallel_for(5, 5, 4, [&](std::size_t) { ++calls; });
+  pool.parallel_for(7, 3, 4, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(ThreadPool, MoreLanesThanWorkersStillCompletes) {
+  ThreadPool pool(2);  // 1 worker + caller
+  std::vector<std::atomic<int>> hits(64);
+  pool.parallel_for(0, hits.size(), 16,
+                    [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, SerialPoolRunsInline) {
+  ThreadPool pool(1);
+  std::vector<int> order;
+  pool.parallel_for(0, 5, 1, [&](std::size_t i) {
+    order.push_back(static_cast<int>(i));
+  });
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(ThreadPool, RethrowsBodyException) {
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.parallel_for(0, 100, 8,
+                                 [](std::size_t i) {
+                                   if (i == 37) {
+                                     throw std::runtime_error("boom");
+                                   }
+                                 }),
+               std::runtime_error);
+  // The pool stays usable after an exception.
+  std::atomic<int> count{0};
+  pool.parallel_for(0, 10, 8, [&](std::size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 10);
+}
+
+TEST(ThreadPool, NestedCallsRunInlineWithoutDeadlock) {
+  ThreadPool pool(4);
+  std::atomic<int> inner{0};
+  pool.parallel_for(0, 8, 8, [&](std::size_t) {
+    pool.parallel_for(0, 4, 4, [&](std::size_t) { inner.fetch_add(1); });
+  });
+  EXPECT_EQ(inner.load(), 32);
+}
+
+TEST(ThreadPool, BackToBackJobsDoNotInterfere) {
+  ThreadPool pool(4);
+  for (int round = 0; round < 50; ++round) {
+    std::atomic<int> sum{0};
+    pool.parallel_for(0, 20, 4,
+                      [&](std::size_t i) { sum.fetch_add(static_cast<int>(i)); });
+    EXPECT_EQ(sum.load(), 190);
+  }
+}
+
+TEST(ParallelForHelper, ResultIsThreadCountInvariant) {
+  // Slot-per-index writes must land identically for any thread count.
+  auto run = [](std::size_t threads) {
+    std::vector<std::uint64_t> out(100);
+    parallel_for(ParallelConfig{threads}, 0, out.size(),
+                 [&](std::size_t i) { out[i] = split_seed(42, i); });
+    return out;
+  };
+  const auto serial = run(1);
+  EXPECT_EQ(serial, run(2));
+  EXPECT_EQ(serial, run(8));
+}
+
+TEST(SplitSeed, StreamsAreDistinctAndStable) {
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t i = 0; i < 1000; ++i) {
+    seen.insert(split_seed(7, i));
+  }
+  EXPECT_EQ(seen.size(), 1000u);
+  EXPECT_EQ(split_seed(7, 3), split_seed(7, 3));
+  EXPECT_NE(split_seed(7, 3), split_seed(8, 3));
+}
+
+}  // namespace
+}  // namespace powerlens::util
