@@ -7,6 +7,7 @@
 #include "core/powerlens.hpp"
 #include "dnn/models.hpp"
 #include "hw/sim_engine.hpp"
+#include "obs/setup.hpp"
 
 #include <cstdio>
 #include <memory>
@@ -61,6 +62,7 @@ inline hw::ExecutionResult run_method(
     hw::SimEngine& engine, std::span<const hw::WorkItem> items, Method method,
     const hw::PresetSchedule* schedule) {
   hw::RunPolicy policy = engine.default_policy();
+  policy.trace_label = method_name(method);
   baselines::OndemandGovernor ondemand;
   baselines::FpgGovernor fpg_g(baselines::FpgMode::kGpuOnly);
   baselines::FpgGovernor fpg_cg(baselines::FpgMode::kCpuGpu);

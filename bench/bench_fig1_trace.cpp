@@ -1,14 +1,17 @@
 // Reproduces Figure 1: the qualitative contrast between history-driven DVFS
 // (lag + frequency ping-pong) and PowerLens's preset instrumentation points.
 //
-// Prints the GPU frequency trace (time, level) of ondemand, FPG-G, and
-// PowerLens over the same inference run, plus summary statistics: switch
-// count, mean |level change|, and time spent more than one level away from
-// the oracle EE-optimal level — the "misalignment between computation needs
-// and frequency adjustments" the paper illustrates.
+// Writes a Chrome/Perfetto trace of the three methods' runs — each run gets
+// its own process track with per-layer spans, dvfs_request instants, and
+// gpu_level/power_w counter tracks (the figure, but interactive) — and
+// prints summary statistics: switch count and time spent more than one
+// level away from the oracle EE-optimal level — the "misalignment between
+// computation needs and frequency adjustments" the paper illustrates.
+// Default trace file: bench_fig1_trace.json (override with --trace).
 #include "bench_common.hpp"
 
 #include "hw/analytic.hpp"
+#include "obs/trace.hpp"
 
 namespace powerlens::bench {
 namespace {
@@ -33,14 +36,6 @@ void summarize(const char* name, const hw::ExecutionResult& r,
       "%5.1f%%\n",
       name, r.dvfs_transitions, r.energy_efficiency(),
       100.0 * misaligned_time / total_time);
-  std::printf("    trace:");
-  const std::size_t stride =
-      std::max<std::size_t>(1, r.gpu_trace.size() / 16);
-  for (std::size_t i = 0; i < r.gpu_trace.size(); i += stride) {
-    std::printf(" (%.2fs,L%zu)", r.gpu_trace[i].time_s,
-                r.gpu_trace[i].gpu_level);
-  }
-  std::printf("\n");
 }
 
 void run_platform(const hw::Platform& platform) {
@@ -71,10 +66,20 @@ void run_platform(const hw::Platform& platform) {
 }  // namespace
 }  // namespace powerlens::bench
 
-int main() {
+int main(int argc, char** argv) {
+  namespace obs = powerlens::obs;
+  obs::ObsOptions options = obs::extract_cli_flags(argc, argv);
+  // The frequency timeline IS this bench's output; trace unconditionally.
+  if (options.trace_path.empty()) {
+    options.trace_path = "bench_fig1_trace.json";
+  }
+  const obs::ObsScope obs_scope(options);
+
   std::printf(
       "Figure 1 reproduction: reactive lag/ping-pong vs preset DVFS\n");
   powerlens::bench::run_platform(powerlens::hw::make_tx2());
   powerlens::bench::run_platform(powerlens::hw::make_agx());
+  std::printf("\nwrote Chrome/Perfetto trace: %s (load in ui.perfetto.dev)\n",
+              options.trace_path.c_str());
   return 0;
 }

@@ -8,9 +8,12 @@
 // datasets — the determinism contract the parallel pipeline is built on.
 //
 // Usage: bench_offline_phase [num_networks]
+// Also accepts --trace/--metrics/--log-level (see obs/setup.hpp).
 #include "core/dataset_gen.hpp"
 #include "hw/platform.hpp"
 #include "nn/trainer.hpp"
+#include "obs/json.hpp"
+#include "obs/setup.hpp"
 
 #include <chrono>
 #include <cstdio>
@@ -36,6 +39,9 @@ bool identical(const powerlens::nn::Dataset& a,
 int main(int argc, char** argv) {
   using namespace powerlens;
 
+  const obs::ObsOptions obs_options = obs::extract_cli_flags(argc, argv);
+  const obs::ObsScope obs_scope(obs_options);
+
   const std::size_t networks =
       argc > 1 ? static_cast<std::size_t>(std::strtoull(argv[1], nullptr, 10))
                : 60;
@@ -56,10 +62,16 @@ int main(int argc, char** argv) {
 
     auto start = Clock::now();
     core::GeneratedDatasets data = core::generate_datasets(platform, cfg);
-    std::printf(
-        "{\"phase\": \"generate\", \"networks\": %zu, \"threads\": %zu, "
-        "\"seconds\": %.4f, \"blocks\": %zu}\n",
-        networks, threads, seconds_since(start), data.blocks_generated);
+    std::printf("%s\n",
+                obs::JsonWriter()
+                    .field("phase", "generate")
+                    .field("networks", static_cast<double>(networks))
+                    .field("threads", static_cast<double>(threads))
+                    .field("seconds", seconds_since(start))
+                    .field("blocks",
+                           static_cast<double>(data.blocks_generated))
+                    .str()
+                    .c_str());
 
     if (threads == thread_counts.front()) {
       reference = data;
@@ -82,13 +94,19 @@ int main(int argc, char** argv) {
 
     start = Clock::now();
     nn::train(model, split.train, split.val, train_cfg);
-    std::printf(
-        "{\"phase\": \"train\", \"networks\": %zu, \"threads\": %zu, "
-        "\"seconds\": %.4f}\n",
-        networks, threads, seconds_since(start));
+    std::printf("%s\n", obs::JsonWriter()
+                            .field("phase", "train")
+                            .field("networks", static_cast<double>(networks))
+                            .field("threads", static_cast<double>(threads))
+                            .field("seconds", seconds_since(start))
+                            .str()
+                            .c_str());
   }
 
-  std::printf("{\"phase\": \"determinism\", \"identical\": %s}\n",
-              all_identical ? "true" : "false");
+  std::printf("%s\n", obs::JsonWriter()
+                          .field("phase", "determinism")
+                          .field("identical", all_identical)
+                          .str()
+                          .c_str());
   return all_identical ? 0 : 1;
 }

@@ -10,12 +10,18 @@
 // `optimize` loads it and prints the instrumentation plan; `profile` dumps
 // the per-layer roofline profile; `run` simulates deployment against the
 // ondemand baseline.
+//
+// Every command also accepts the observability flags:
+//   --trace <file>     Chrome/Perfetto trace (load in ui.perfetto.dev)
+//   --metrics <file>   metrics snapshot (JSON; Prometheus text in <file>.prom)
+//   --log-level <lvl>  off|error|warn|info|debug|trace (or env POWERLENS_LOG)
 #include "baselines/ondemand.hpp"
 #include "core/metrics.hpp"
 #include "core/powerlens.hpp"
 #include "core/report.hpp"
 #include "dnn/models.hpp"
 #include "hw/sim_engine.hpp"
+#include "obs/setup.hpp"
 
 #include <cstdio>
 #include <cstdlib>
@@ -35,7 +41,9 @@ int usage() {
                "  powerlens_cli profile  <tx2|agx> <model> [level] [batch]\n"
                "  powerlens_cli run      <tx2|agx> <models.txt> <model> "
                "[passes] [batch]\n"
-               "  powerlens_cli models\n");
+               "  powerlens_cli models\n"
+               "common flags: --trace <file> --metrics <file> "
+               "--log-level <off|error|warn|info|debug|trace>\n");
   return 2;
 }
 
@@ -101,12 +109,14 @@ int cmd_run(const hw::Platform& platform, const std::string& bundle,
   baselines::OndemandGovernor bim;
   hw::RunPolicy bim_policy = engine.default_policy();
   bim_policy.governor = &bim;
+  bim_policy.trace_label = "ondemand";
   const hw::ExecutionResult r_bim = engine.run(g, passes, bim_policy);
 
   baselines::OndemandGovernor cpu_governor;
   hw::RunPolicy pl_policy = engine.default_policy();
   pl_policy.schedule = &plan.schedule;
   pl_policy.governor = &cpu_governor;
+  pl_policy.trace_label = "powerlens";
   const hw::ExecutionResult r_pl = engine.run(g, passes, pl_policy);
 
   std::printf("%-10s %10s %10s %14s\n", "method", "time_s", "energy_J",
@@ -122,6 +132,8 @@ int cmd_run(const hw::Platform& platform, const std::string& bundle,
 }  // namespace
 
 int main(int argc, char** argv) {
+  const obs::ObsOptions obs_options = obs::extract_cli_flags(argc, argv);
+  const obs::ObsScope obs_scope(obs_options);
   if (argc < 2) return usage();
   const std::string cmd = argv[1];
   try {

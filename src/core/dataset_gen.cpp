@@ -4,9 +4,13 @@
 #include "features/global.hpp"
 #include "hw/analytic.hpp"
 #include "hw/power_model.hpp"
+#include "obs/log.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/rng.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <stdexcept>
 
@@ -260,6 +264,22 @@ GeneratedDatasets generate_datasets(const hw::Platform& platform,
     cfg.cpu_level_for_labels = platform.max_cpu_level();
   }
 
+  obs::TraceWriter& tw = obs::default_trace();
+  obs::ScopedSpan gen_span(
+      tw, "generate_datasets", "pipeline",
+      {obs::TraceArg::num("num_networks",
+                          static_cast<double>(cfg.num_networks))});
+  obs::MetricsRegistry& metrics = obs::global_metrics();
+  obs::Counter& networks_ctr = metrics.counter(
+      "powerlens_offline_networks_total", "networks labelled offline");
+  obs::Counter& blocks_ctr = metrics.counter(
+      "powerlens_offline_blocks_total", "dataset B block rows generated");
+  obs::Histogram& network_hist = metrics.histogram(
+      "powerlens_offline_network_seconds", obs::default_seconds_buckets(),
+      "wall time to label one network");
+  obs::log_info("dataset_gen", "generating datasets",
+                {{"networks", static_cast<double>(cfg.num_networks)}});
+
   // One slot per network, written only by the task labelling that network;
   // the merge below reads them in index order, so the result is independent
   // of how tasks were scheduled across threads.
@@ -272,6 +292,10 @@ GeneratedDatasets generate_datasets(const hw::Platform& platform,
   std::vector<NetworkRows> rows(cfg.num_networks);
 
   util::parallel_for(cfg.parallel, 0, cfg.num_networks, [&](std::size_t n) {
+    obs::ScopedSpan net_span(
+        tw, "network", "pipeline",
+        {obs::TraceArg::num("index", static_cast<double>(n))});
+    const auto net_start = std::chrono::steady_clock::now();
     dnn::RandomDnnGenerator generator(util::split_seed(cfg.seed, n),
                                       cfg.dnn_config);
     generator.set_sequence_index(n);
@@ -306,6 +330,13 @@ GeneratedDatasets generate_datasets(const hw::Platform& platform,
       out.b_stats.push_back(block_features.statistics);
       out.b_labels.push_back(static_cast<int>(ev.block_levels[b]));
     }
+
+    networks_ctr.inc();
+    blocks_ctr.inc(static_cast<double>(out.b_labels.size()));
+    network_hist.observe(
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      net_start)
+            .count());
   });
 
   GeneratedDatasets out;

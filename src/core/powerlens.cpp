@@ -4,6 +4,8 @@
 #include "hw/analytic.hpp"
 #include "hw/cost_table.hpp"
 #include "nn/serialize.hpp"
+#include "obs/log.hpp"
+#include "obs/trace.hpp"
 
 #include <fstream>
 #include <stdexcept>
@@ -105,19 +107,33 @@ bool PowerLens::trained() const noexcept {
 }
 
 TrainingSummary PowerLens::train() {
+  obs::TraceWriter& tw = obs::default_trace();
+  obs::ScopedSpan train_span(tw, "powerlens_train", "pipeline");
   const GeneratedDatasets data = generate_datasets(*platform_, config_.dataset);
 
   TrainingSummary s;
   s.networks = data.networks_generated;
   s.blocks = data.blocks_generated;
-  s.hyper_model =
-      hyper_model_.fit(data.dataset_a, config_.dataset.grid.size(),
-                       config_.train_hyper, config_.model_seed,
-                       config_.hidden_units);
-  s.decision_model =
-      decision_model_.fit(data.dataset_b, platform_->gpu_levels(),
-                          config_.train_decision, config_.model_seed + 1,
-                          config_.hidden_units);
+  {
+    obs::ScopedSpan span(tw, "fit_hyper_model", "pipeline");
+    s.hyper_model =
+        hyper_model_.fit(data.dataset_a, config_.dataset.grid.size(),
+                         config_.train_hyper, config_.model_seed,
+                         config_.hidden_units);
+  }
+  {
+    obs::ScopedSpan span(tw, "fit_decision_model", "pipeline");
+    s.decision_model =
+        decision_model_.fit(data.dataset_b, platform_->gpu_levels(),
+                            config_.train_decision, config_.model_seed + 1,
+                            config_.hidden_units);
+  }
+  obs::log_info(
+      "powerlens", "offline training complete",
+      {{"networks", static_cast<double>(s.networks)},
+       {"blocks", static_cast<double>(s.blocks)},
+       {"hyper_test_acc", s.hyper_model.test_accuracy},
+       {"decision_test_acc", s.decision_model.test_accuracy}});
   return s;
 }
 
@@ -170,10 +186,19 @@ OptimizationPlan PowerLens::optimize(const dnn::Graph& graph) const {
   if (!trained()) {
     throw std::logic_error("PowerLens: optimize before train");
   }
+  obs::TraceWriter& tw = obs::default_trace();
+  obs::ScopedSpan opt_span(
+      tw, "powerlens_optimize", "pipeline",
+      {obs::TraceArg::num("layers", static_cast<double>(graph.size()))});
+
   // Step 1: predict clustering hyperparameters from global features.
   const features::GlobalFeatures net_features =
       features::GlobalFeatureExtractor::extract(graph);
-  const int cls = hyper_model_.predict(net_features);
+  int cls = 0;
+  {
+    obs::ScopedSpan span(tw, "predict_hyper", "pipeline");
+    cls = hyper_model_.predict(net_features);
+  }
   const clustering::ClusteringHyperparams hp =
       config_.dataset.grid.at(static_cast<std::size_t>(cls));
 
@@ -185,13 +210,21 @@ OptimizationPlan PowerLens::optimize(const dnn::Graph& graph) const {
   cc.distance = config_.dataset.distance;
   const std::size_t cpu_levels[] = {platform_->max_cpu_level()};
   const hw::CostTable costs(*platform_, graph.layers(), cpu_levels);
-  clustering::PowerView view = enforce_min_block_duration(
-      costs, clustering::build_power_view(graph, cc), *platform_,
-      feasible_block_duration(costs, *platform_));
+  clustering::PowerView view = [&] {
+    obs::ScopedSpan span(tw, "cluster_and_postprocess", "pipeline");
+    return enforce_min_block_duration(
+        costs, clustering::build_power_view(graph, cc), *platform_,
+        feasible_block_duration(costs, *platform_));
+  }();
 
   // Steps 4-5: per-block frequency decisions and the preset schedule.
+  obs::ScopedSpan decide_span(tw, "decide_levels", "pipeline");
   OptimizationPlan plan = plan_for_view(graph, std::move(view), false);
   plan.hyper = hp;
+  obs::log_debug(
+      "powerlens", "optimized graph",
+      {{"layers", static_cast<double>(graph.size())},
+       {"blocks", static_cast<double>(plan.view.block_count())}});
   return plan;
 }
 

@@ -1,8 +1,12 @@
 #include "hw/sim_engine.hpp"
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 #include <algorithm>
 #include <limits>
 #include <stdexcept>
+#include <string>
 
 namespace powerlens::hw {
 
@@ -12,6 +16,16 @@ constexpr double kInf = std::numeric_limits<double>::infinity();
 // Guard against zero-length slices looping forever on FP round-off.
 constexpr double kMinSlice = 1e-12;
 
+// Virtual-track layout of one simulator run in the trace. Each run claims a
+// fresh pid, and each tid's timestamps are non-decreasing by construction
+// (simulated time only moves forward within a run).
+constexpr int kLayersTid = 0;    // per-layer / pass / gap B-E spans
+constexpr int kDvfsTid = 1;      // transition instants + level counters
+constexpr int kGovernorTid = 2;  // sampling-decision instants
+constexpr int kPowerTid = 3;     // tegrastats-style power counter track
+
+constexpr double kUsPerS = 1e6;
+
 }  // namespace
 
 struct SimEngine::State {
@@ -19,6 +33,12 @@ struct SimEngine::State {
   double energy = 0.0;
   std::int64_t images = 0;
   std::size_t transitions = 0;
+  double stall_time = 0.0;  // cumulative DVFS host-stall seconds
+
+  // Trace sink for this run; null when tracing is disabled, so every
+  // emission site is a single pointer test on the hot path.
+  obs::TraceWriter* tw = nullptr;
+  int trace_pid = 0;
 
   std::size_t gpu_level = 0;       // effective level
   std::size_t cpu_level = 0;
@@ -81,10 +101,23 @@ void SimEngine::request_gpu_level(State& st, std::size_t level) {
   if (level == target) return;
 
   ++st.transitions;
+  if (st.tw != nullptr) {
+    st.tw->instant_at(st.trace_pid, kDvfsTid, st.time * kUsPerS,
+                      "dvfs_request", "dvfs",
+                      {obs::TraceArg::num("from", static_cast<double>(target)),
+                       obs::TraceArg::num("to", static_cast<double>(level))});
+  }
   // The host blocks while the clock request goes through the driver; no
   // forward progress, near-idle GPU activity.
   advance(st, platform_->dvfs.stall_s, ActivityState{0.0, 0.0, st.cpu_load},
           /*gpu_busy=*/0.0);
+  st.stall_time += platform_->dvfs.stall_s;
+  if (st.tw != nullptr) {
+    st.tw->counter(st.trace_pid, kDvfsTid, st.time * kUsPerS,
+                   "dvfs_transitions", static_cast<double>(st.transitions));
+    st.tw->counter(st.trace_pid, kDvfsTid, st.time * kUsPerS, "dvfs_stall_ms",
+                   st.stall_time * 1e3);
+  }
   st.gpu_pending = level;
   st.gpu_pending_at = st.time + platform_->dvfs.latency_s;
 }
@@ -106,10 +139,18 @@ void SimEngine::apply_pending(State& st) {
     st.gpu_level = st.gpu_pending;
     st.gpu_pending_at = kInf;
     st.trace.push_back({st.time, st.gpu_level});
+    if (st.tw != nullptr) {
+      st.tw->counter(st.trace_pid, kDvfsTid, st.time * kUsPerS, "gpu_level",
+                     static_cast<double>(st.gpu_level));
+    }
   }
   if (st.time >= st.cpu_pending_at) {
     st.cpu_level = st.cpu_pending;
     st.cpu_pending_at = kInf;
+    if (st.tw != nullptr) {
+      st.tw->counter(st.trace_pid, kDvfsTid, st.time * kUsPerS, "cpu_level",
+                     static_cast<double>(st.cpu_level));
+    }
   }
 }
 
@@ -131,6 +172,20 @@ void SimEngine::governor_sample(State& st, const RunPolicy& policy) {
   s.cpu_level = st.cpu_level;
 
   const GovernorDecision d = policy.governor->on_sample(s);
+  if (st.tw != nullptr) {
+    st.tw->instant_at(
+        st.trace_pid, kGovernorTid, st.time * kUsPerS, "governor_sample",
+        "governor",
+        {obs::TraceArg::num("gpu_util", s.gpu_util),
+         obs::TraceArg::num("cpu_util", s.cpu_util),
+         obs::TraceArg::num("power_w", s.power_w),
+         obs::TraceArg::num("gpu_decision",
+                            d.gpu_level ? static_cast<double>(*d.gpu_level)
+                                        : -1.0),
+         obs::TraceArg::num("cpu_decision",
+                            d.cpu_level ? static_cast<double>(*d.cpu_level)
+                                        : -1.0)});
+  }
   // Preset schedules own the GPU ladder; a concurrent reactive governor may
   // still drive the CPU (the paper's deployments keep CPU ondemand).
   if (d.gpu_level && policy.schedule == nullptr) {
@@ -154,6 +209,12 @@ void SimEngine::execute_graph(const dnn::Graph& graph, int passes,
   if (passes <= 0) throw std::invalid_argument("SimEngine: passes <= 0");
 
   for (int pass = 0; pass < passes; ++pass) {
+    if (st.tw != nullptr) {
+      st.tw->begin_at(st.trace_pid, kLayersTid, st.time * kUsPerS, "pass",
+                      "sim",
+                      {obs::TraceArg::num("pass", static_cast<double>(pass)),
+                       obs::TraceArg::str("graph", graph.name())});
+    }
     for (std::size_t i = 0; i < graph.size(); ++i) {
       if (policy.schedule != nullptr) {
         if (const auto level = policy.schedule->level_at(i)) {
@@ -166,6 +227,14 @@ void SimEngine::execute_graph(const dnn::Graph& graph, int passes,
       const dnn::Layer& layer = graph.layer(i);
       if (layer.type == dnn::OpType::kInput) continue;
 
+      if (st.tw != nullptr) {
+        st.tw->begin_at(
+            st.trace_pid, kLayersTid, st.time * kUsPerS,
+            dnn::op_name(layer.type), "layer",
+            {obs::TraceArg::num("layer", static_cast<double>(i)),
+             obs::TraceArg::num("gpu_level",
+                                static_cast<double>(st.gpu_level))});
+      }
       double remaining = 1.0;  // fraction of the layer still to execute
       while (remaining > kMinSlice) {
         apply_pending(st);
@@ -200,6 +269,10 @@ void SimEngine::execute_graph(const dnn::Graph& graph, int passes,
           governor_sample(st, policy);
         }
       }
+      if (st.tw != nullptr) {
+        st.tw->end_at(st.trace_pid, kLayersTid, st.time * kUsPerS,
+                      dnn::op_name(layer.type), "layer");
+      }
     }
     st.images += graph.batch_size();
     st.win_images += graph.batch_size();
@@ -207,6 +280,10 @@ void SimEngine::execute_graph(const dnn::Graph& graph, int passes,
     // Host-side inter-pass gap: GPU idle, launcher busy preparing the next
     // batch. Sliced against governor sampling so the utilization dip is
     // observable.
+    if (st.tw != nullptr && policy.inter_pass_gap_s > kMinSlice) {
+      st.tw->begin_at(st.trace_pid, kLayersTid, st.time * kUsPerS,
+                      "inter_pass_gap", "sim");
+    }
     double gap = policy.inter_pass_gap_s;
     while (gap > kMinSlice) {
       apply_pending(st);
@@ -227,6 +304,14 @@ void SimEngine::execute_graph(const dnn::Graph& graph, int passes,
         governor_sample(st, policy);
       }
     }
+    if (st.tw != nullptr && policy.inter_pass_gap_s > kMinSlice) {
+      st.tw->end_at(st.trace_pid, kLayersTid, st.time * kUsPerS,
+                    "inter_pass_gap", "sim");
+    }
+    if (st.tw != nullptr) {
+      st.tw->end_at(st.trace_pid, kLayersTid, st.time * kUsPerS, "pass",
+                    "sim");
+    }
   }
 }
 
@@ -245,6 +330,28 @@ ExecutionResult SimEngine::run_workload(std::span<const WorkItem> items,
   st.telemetry = Telemetry(platform_->telemetry_period_s);
   st.trace.push_back({0.0, st.gpu_level});
 
+  obs::TraceWriter& tw =
+      policy.trace != nullptr ? *policy.trace : obs::default_trace();
+  if (tw.enabled()) {
+    st.tw = &tw;
+    st.trace_pid = tw.next_virtual_pid();
+    std::string label = "sim " + platform_->name;
+    if (policy.trace_label != nullptr) {
+      label += " (";
+      label += policy.trace_label;
+      label += ")";
+    }
+    tw.name_process(st.trace_pid, label);
+    tw.name_thread(st.trace_pid, kLayersTid, "layers");
+    tw.name_thread(st.trace_pid, kDvfsTid, "dvfs");
+    tw.name_thread(st.trace_pid, kGovernorTid, "governor");
+    tw.name_thread(st.trace_pid, kPowerTid, "power");
+    tw.counter(st.trace_pid, kDvfsTid, 0.0, "gpu_level",
+               static_cast<double>(st.gpu_level));
+    tw.counter(st.trace_pid, kDvfsTid, 0.0, "cpu_level",
+               static_cast<double>(st.cpu_level));
+  }
+
   if (policy.governor != nullptr) {
     policy.governor->reset(*platform_);
     st.next_sample_at = policy.governor->sample_period_s();
@@ -258,14 +365,48 @@ ExecutionResult SimEngine::run_workload(std::span<const WorkItem> items,
   }
   st.telemetry.finish(st.time);
 
+  // The power-rail counter track mirrors the tegrastats trace: one counter
+  // point per telemetry sample, on its own tid so timestamps stay monotone.
+  if (st.tw != nullptr) {
+    for (const PowerSample& s : st.telemetry.samples()) {
+      st.tw->counter(st.trace_pid, kPowerTid, s.time_s * kUsPerS, "power_w",
+                     s.power_w);
+    }
+  }
+
   ExecutionResult r;
   r.time_s = st.time;
   r.energy_j = st.energy;
   r.images = st.images;
   r.dvfs_transitions = st.transitions;
+  r.dvfs_stall_s = st.stall_time;
+  r.telemetry_energy_j = st.telemetry.total_energy_j();
   r.gpu_trace = std::move(st.trace);
   r.power_samples.assign(st.telemetry.samples().begin(),
                          st.telemetry.samples().end());
+
+  // Aggregate run accounting in the global registry — one registry lookup
+  // per run, nothing on the simulation hot path.
+  obs::MetricsRegistry& metrics = obs::global_metrics();
+  metrics.counter("powerlens_sim_runs_total", "simulator runs").inc();
+  metrics
+      .counter("powerlens_sim_images_total", "images inferred in simulation")
+      .inc(static_cast<double>(r.images));
+  metrics
+      .counter("powerlens_sim_energy_joules_total",
+               "simulated energy consumed")
+      .inc(r.energy_j);
+  metrics
+      .counter("powerlens_sim_time_seconds_total", "simulated time elapsed")
+      .inc(r.time_s);
+  metrics
+      .counter("powerlens_sim_dvfs_transitions_total",
+               "GPU DVFS transitions applied")
+      .inc(static_cast<double>(r.dvfs_transitions));
+  metrics
+      .counter("powerlens_sim_dvfs_stall_seconds_total",
+               "host stall paid on DVFS transitions")
+      .inc(r.dvfs_stall_s);
   return r;
 }
 

@@ -21,6 +21,10 @@
 #include <span>
 #include <vector>
 
+namespace powerlens::obs {
+class TraceWriter;
+}  // namespace powerlens::obs
+
 namespace powerlens::hw {
 
 struct WorkItem {
@@ -51,6 +55,13 @@ struct RunPolicy {
   // f_max/f — and it is the *per-core peak* load that cpufreq governors see,
   // which is why ondemand keeps the CPU clock high during inference.
   double launcher_load = 0.6;
+  // Trace sink for this run; null means the process-wide obs::default_trace()
+  // (a no-op unless someone enabled it). Emission reads the simulated clock
+  // but never advances it, so results are identical with tracing on or off.
+  obs::TraceWriter* trace = nullptr;
+  // Label for this run's process track in the trace viewer (e.g. the
+  // governor/method name). Must outlive the run.
+  const char* trace_label = nullptr;
 };
 
 struct FreqTracePoint {
@@ -63,6 +74,13 @@ struct ExecutionResult {
   double energy_j = 0.0;
   std::int64_t images = 0;
   std::size_t dvfs_transitions = 0;
+  // Cumulative host-stall time paid on GPU DVFS transitions (Table 3
+  // overhead accounting): dvfs_transitions * Platform::dvfs.stall_s, already
+  // included in time_s.
+  double dvfs_stall_s = 0.0;
+  // Telemetry's exact power integral, including slivers the sampling
+  // windows drop; equals energy_j bit for bit (conservation invariant).
+  double telemetry_energy_j = 0.0;
   std::vector<FreqTracePoint> gpu_trace;  // level changes (incl. initial)
   std::vector<PowerSample> power_samples; // tegrastats-style trace
 

@@ -12,8 +12,11 @@ Telemetry::Telemetry(double period_s) : period_s_(period_s) {
 
 void Telemetry::record_slice(double t_start_s, double dt_s, double power_w) {
   if (dt_s < 0.0) throw std::invalid_argument("Telemetry: negative slice");
+  total_energy_j_ += power_w * dt_s;
   // Round-off guard: windows within this of full are emitted, and slivers
-  // below it are dropped, so 1.0 s at period 0.1 yields exactly 10 samples.
+  // below it are dropped (from the sample stream only — total_energy_j_
+  // above already integrated them), so 1.0 s at period 0.1 yields exactly
+  // 10 samples.
   const double eps = period_s_ * 1e-9;
   double remaining = dt_s;
   double t = t_start_s;
@@ -26,7 +29,6 @@ void Telemetry::record_slice(double t_start_s, double dt_s, double power_w) {
     remaining -= take;
     if (window_elapsed_s_ >= period_s_ - eps) {
       samples_.push_back({t, window_energy_j_ / window_elapsed_s_});
-      window_start_s_ = t;
       window_energy_j_ = 0.0;
       window_elapsed_s_ = 0.0;
     }

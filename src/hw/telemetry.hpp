@@ -32,11 +32,17 @@ class Telemetry {
   // Mean of recorded samples (0 if none).
   double mean_power_w() const noexcept;
 
+  // Exact integral of every recorded slice, including the sub-epsilon
+  // slivers the round-off guard in record_slice keeps out of the sample
+  // windows. This is the energy-conservation invariant: it equals the
+  // engine's own power integral bit for bit (same products, same order).
+  double total_energy_j() const noexcept { return total_energy_j_; }
+
  private:
   double period_s_;
-  double window_start_s_ = 0.0;
   double window_energy_j_ = 0.0;
   double window_elapsed_s_ = 0.0;
+  double total_energy_j_ = 0.0;
   std::vector<PowerSample> samples_;
 };
 

@@ -1,8 +1,11 @@
 #include "nn/trainer.hpp"
 
 #include "nn/tensor.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <numeric>
 #include <random>
@@ -120,8 +123,20 @@ TrainReport train(TwoStageMlp& model, const Dataset& train_set,
   std::vector<TwoStageMlp> replicas(max_shards, model);
   std::vector<double> shard_loss(max_shards, 0.0);
 
+  obs::TraceWriter& tw = obs::default_trace();
+  obs::MetricsRegistry& metrics = obs::global_metrics();
+  obs::Counter& epochs_ctr =
+      metrics.counter("powerlens_train_epochs_total", "training epochs run");
+  obs::Histogram& epoch_hist = metrics.histogram(
+      "powerlens_train_epoch_seconds", obs::default_seconds_buckets(),
+      "wall time per training epoch");
+
   int epochs_since_best = 0;
   for (int epoch = 0; epoch < config.epochs; ++epoch) {
+    obs::ScopedSpan epoch_span(
+        tw, "epoch", "train",
+        {obs::TraceArg::num("epoch", static_cast<double>(epoch))});
+    const auto epoch_start = std::chrono::steady_clock::now();
     std::shuffle(order.begin(), order.end(), rng);
     double epoch_loss = 0.0;
     std::size_t batches = 0;
@@ -169,6 +184,11 @@ TrainReport train(TwoStageMlp& model, const Dataset& train_set,
         val_set.size() > 0 ? accuracy(model, val_set) : 0.0;
     report.val_accuracy.push_back(val_acc);
     report.epochs_run = epoch + 1;
+    epochs_ctr.inc();
+    epoch_hist.observe(
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      epoch_start)
+            .count());
 
     if (val_acc > report.best_val_accuracy) {
       report.best_val_accuracy = val_acc;

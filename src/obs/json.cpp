@@ -1,0 +1,87 @@
+#include "obs/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace powerlens::obs {
+
+void append_json_escaped(std::string& out, std::string_view s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  append_json_escaped(out, s);
+  return out;
+}
+
+void append_json_number(std::string& out, double v) {
+  if (!std::isfinite(v)) v = 0.0;
+  char buf[32];
+  // Integers up to 2^53 print exactly and without an exponent or trailing
+  // fraction; everything else keeps round-trip precision.
+  if (v == std::floor(v) && std::fabs(v) < 9.007199254740992e15) {
+    std::snprintf(buf, sizeof(buf), "%.0f", v);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.12g", v);
+  }
+  out += buf;
+}
+
+std::string json_number(double v) {
+  std::string out;
+  append_json_number(out, v);
+  return out;
+}
+
+JsonWriter& JsonWriter::field(std::string_view key, double value) {
+  if (!body_.empty()) body_ += ", ";
+  body_ += '"';
+  append_json_escaped(body_, key);
+  body_ += "\": ";
+  append_json_number(body_, value);
+  return *this;
+}
+
+JsonWriter& JsonWriter::field(std::string_view key, std::string_view value) {
+  if (!body_.empty()) body_ += ", ";
+  body_ += '"';
+  append_json_escaped(body_, key);
+  body_ += "\": \"";
+  append_json_escaped(body_, value);
+  body_ += '"';
+  return *this;
+}
+
+JsonWriter& JsonWriter::field(std::string_view key, bool value) {
+  if (!body_.empty()) body_ += ", ";
+  body_ += '"';
+  append_json_escaped(body_, key);
+  body_ += "\": ";
+  body_ += value ? "true" : "false";
+  return *this;
+}
+
+std::string JsonWriter::str() const { return "{" + body_ + "}"; }
+
+}  // namespace powerlens::obs

@@ -1,0 +1,45 @@
+// Minimal JSON emission helpers shared by every observability sink.
+//
+// One escaping routine and one number formatter serve the trace writer, the
+// metrics exporters, and the bench record emitters, so there is exactly one
+// place that knows how to keep output parseable (`python3 -m json.tool`
+// clean): control characters are \u-escaped and non-finite doubles are
+// clamped to 0, which JSON cannot represent.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace powerlens::obs {
+
+// Appends `s` escaped for use inside a JSON string literal (no quotes).
+void append_json_escaped(std::string& out, std::string_view s);
+
+std::string json_escape(std::string_view s);
+
+// Appends `v` as a valid JSON number. Non-finite values become 0.
+void append_json_number(std::string& out, double v);
+
+std::string json_number(double v);
+
+// Builder for one-line JSON object records, the format the bench binaries
+// emit one measurement per line in. Integer-valued doubles print without a
+// fractional part, so counters round-trip as integers.
+class JsonWriter {
+ public:
+  JsonWriter& field(std::string_view key, double value);
+  JsonWriter& field(std::string_view key, std::string_view value);
+  JsonWriter& field(std::string_view key, const char* value) {
+    return field(key, std::string_view(value));
+  }
+  JsonWriter& field(std::string_view key, bool value);
+
+  // The finished object, e.g. {"phase": "generate", "seconds": 0.41}.
+  std::string str() const;
+
+ private:
+  std::string body_;
+};
+
+}  // namespace powerlens::obs

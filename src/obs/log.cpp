@@ -1,0 +1,125 @@
+#include "obs/log.hpp"
+
+#include "obs/json.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <iostream>
+#include <mutex>
+
+namespace powerlens::obs {
+
+namespace {
+
+std::atomic<int> g_level{-1};  // -1 = not yet initialised from the env
+std::atomic<std::ostream*> g_sink{nullptr};
+std::mutex g_mu;
+
+std::chrono::steady_clock::time_point log_epoch() {
+  static const auto epoch = std::chrono::steady_clock::now();
+  return epoch;
+}
+
+int init_level_from_env() {
+  const char* env = std::getenv("POWERLENS_LOG");
+  LogLevel level = LogLevel::kWarn;
+  bool bad_env = false;
+  if (env != nullptr && *env != '\0') {
+    if (const auto parsed = parse_log_level(env)) {
+      level = *parsed;
+    } else {
+      bad_env = true;
+    }
+  }
+  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+  if (bad_env) {
+    log_warn("obs.log", "unrecognised POWERLENS_LOG value, using warn",
+             {{"value", env}});
+  }
+  return static_cast<int>(level);
+}
+
+}  // namespace
+
+std::string_view log_level_name(LogLevel level) noexcept {
+  switch (level) {
+    case LogLevel::kOff: return "off";
+    case LogLevel::kError: return "error";
+    case LogLevel::kWarn: return "warn";
+    case LogLevel::kInfo: return "info";
+    case LogLevel::kDebug: return "debug";
+    case LogLevel::kTrace: return "trace";
+  }
+  return "?";
+}
+
+std::optional<LogLevel> parse_log_level(std::string_view name) noexcept {
+  if (name == "off") return LogLevel::kOff;
+  if (name == "error") return LogLevel::kError;
+  if (name == "warn") return LogLevel::kWarn;
+  if (name == "info") return LogLevel::kInfo;
+  if (name == "debug") return LogLevel::kDebug;
+  if (name == "trace") return LogLevel::kTrace;
+  return std::nullopt;
+}
+
+LogLevel log_level() noexcept {
+  int v = g_level.load(std::memory_order_relaxed);
+  if (v < 0) v = init_level_from_env();
+  return static_cast<LogLevel>(v);
+}
+
+void set_log_level(LogLevel level) noexcept {
+  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+void set_log_sink(std::ostream* sink) noexcept {
+  g_sink.store(sink, std::memory_order_relaxed);
+}
+
+LogField::LogField(std::string_view k, double v)
+    : key(k), value(json_number(v)), quoted(false) {}
+
+void log(LogLevel level, std::string_view component, std::string_view message,
+         std::initializer_list<LogField> fields) {
+  if (level == LogLevel::kOff || !log_enabled(level)) return;
+
+  const double ts = std::chrono::duration<double>(
+                        std::chrono::steady_clock::now() - log_epoch())
+                        .count();
+  std::string line;
+  line.reserve(128);
+  line += "ts=";
+  append_json_number(line, ts);
+  line += " level=";
+  line += log_level_name(level);
+  line += " comp=";
+  line += component;
+  line += " msg=\"";
+  append_json_escaped(line, message);
+  line += '"';
+  for (const LogField& f : fields) {
+    line += ' ';
+    line += f.key;
+    line += '=';
+    if (f.quoted) {
+      line += '"';
+      append_json_escaped(line, f.value);
+      line += '"';
+    } else {
+      line += f.value;
+    }
+  }
+  line += '\n';
+
+  std::lock_guard<std::mutex> lock(g_mu);
+  std::ostream* sink = g_sink.load(std::memory_order_relaxed);
+  if (sink != nullptr) {
+    (*sink) << line << std::flush;
+  } else {
+    std::cerr << line << std::flush;
+  }
+}
+
+}  // namespace powerlens::obs

@@ -1,0 +1,82 @@
+// Leveled structured logging for the simulator and offline pipeline.
+//
+// One process-wide level (initialised from the POWERLENS_LOG environment
+// variable, overridable at runtime) gates key=value lines on stderr. The
+// point is to replace silent failure paths — a bad environment variable, an
+// unopenable trace file — with a single grep-able stream, without ever
+// paying for formatting when the level is off: `log()` checks the level
+// before touching its arguments' rendered values, and hot paths should
+// pre-check with `log_enabled()`.
+#pragma once
+
+#include <initializer_list>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace powerlens::obs {
+
+enum class LogLevel : int {
+  kOff = 0,
+  kError = 1,
+  kWarn = 2,
+  kInfo = 3,
+  kDebug = 4,
+  kTrace = 5,
+};
+
+std::string_view log_level_name(LogLevel level) noexcept;
+
+// "error" | "warn" | "info" | "debug" | "trace" | "off" (case-sensitive).
+std::optional<LogLevel> parse_log_level(std::string_view name) noexcept;
+
+// Current level. Lazily initialised from POWERLENS_LOG; defaults to warn.
+// An unparseable POWERLENS_LOG value falls back to warn and is itself
+// reported once at warn level.
+LogLevel log_level() noexcept;
+
+void set_log_level(LogLevel level) noexcept;
+
+inline bool log_enabled(LogLevel level) noexcept {
+  return static_cast<int>(level) <= static_cast<int>(log_level());
+}
+
+// Redirects log output (nullptr restores stderr). For tests.
+void set_log_sink(std::ostream* sink) noexcept;
+
+// One structured field of a log line. Numeric values render bare, strings
+// render quoted.
+struct LogField {
+  std::string_view key;
+  std::string value;
+  bool quoted = true;
+
+  LogField(std::string_view k, std::string_view v) : key(k), value(v) {}
+  LogField(std::string_view k, const char* v) : key(k), value(v) {}
+  LogField(std::string_view k, double v);
+};
+
+// Emits `ts=<s> level=<l> comp=<component> msg="<message>" k=v ...` if
+// `level` is enabled.
+void log(LogLevel level, std::string_view component, std::string_view message,
+         std::initializer_list<LogField> fields = {});
+
+inline void log_error(std::string_view component, std::string_view message,
+                      std::initializer_list<LogField> fields = {}) {
+  log(LogLevel::kError, component, message, fields);
+}
+inline void log_warn(std::string_view component, std::string_view message,
+                     std::initializer_list<LogField> fields = {}) {
+  log(LogLevel::kWarn, component, message, fields);
+}
+inline void log_info(std::string_view component, std::string_view message,
+                     std::initializer_list<LogField> fields = {}) {
+  log(LogLevel::kInfo, component, message, fields);
+}
+inline void log_debug(std::string_view component, std::string_view message,
+                      std::initializer_list<LogField> fields = {}) {
+  log(LogLevel::kDebug, component, message, fields);
+}
+
+}  // namespace powerlens::obs

@@ -1,0 +1,107 @@
+#include "obs/setup.hpp"
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+#include <fstream>
+#include <string_view>
+
+namespace powerlens::obs {
+
+namespace {
+
+// If argv[i] is `--<flag> value` or `--<flag>=value`, stores the value and
+// the number of argv slots consumed; otherwise returns 0.
+int match_flag(int argc, char** argv, int i, std::string_view flag,
+               std::string& value) {
+  const std::string_view arg = argv[i];
+  if (arg == flag) {
+    if (i + 1 >= argc) {
+      log_warn("obs.setup", "flag is missing its value",
+               {{"flag", std::string(flag)}});
+      return 1;
+    }
+    value = argv[i + 1];
+    return 2;
+  }
+  if (arg.size() > flag.size() + 1 && arg.substr(0, flag.size()) == flag &&
+      arg[flag.size()] == '=') {
+    value = std::string(arg.substr(flag.size() + 1));
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+
+ObsOptions extract_cli_flags(int& argc, char** argv) {
+  ObsOptions opts;
+  int out = 0;
+  for (int i = 0; i < argc;) {
+    std::string value;
+    int used = match_flag(argc, argv, i, "--trace", value);
+    if (used > 0) {
+      if (!value.empty()) opts.trace_path = value;
+      i += used;
+      continue;
+    }
+    used = match_flag(argc, argv, i, "--metrics", value);
+    if (used > 0) {
+      if (!value.empty()) opts.metrics_path = value;
+      i += used;
+      continue;
+    }
+    used = match_flag(argc, argv, i, "--log-level", value);
+    if (used > 0) {
+      if (!value.empty()) {
+        if (const auto level = parse_log_level(value)) {
+          opts.log_level = *level;
+        } else {
+          log_warn("obs.setup", "unrecognised --log-level value",
+                   {{"value", value}});
+        }
+      }
+      i += used;
+      continue;
+    }
+    argv[out++] = argv[i++];
+  }
+  argc = out;
+  argv[argc] = nullptr;
+  return opts;
+}
+
+ObsScope::ObsScope(ObsOptions options) : options_(std::move(options)) {
+  if (options_.log_level) set_log_level(*options_.log_level);
+  if (!options_.trace_path.empty()) {
+    if (default_trace().open(options_.trace_path)) {
+      log_info("obs.setup", "tracing enabled",
+               {{"path", options_.trace_path}});
+    }
+  }
+}
+
+ObsScope::~ObsScope() {
+  default_trace().close();
+  if (options_.metrics_path.empty()) return;
+  {
+    std::ofstream os(options_.metrics_path);
+    if (!os) {
+      log_error("obs.setup", "cannot open metrics file",
+                {{"path", options_.metrics_path}});
+      return;
+    }
+    global_metrics().write_json(os);
+  }
+  const std::string prom_path = options_.metrics_path + ".prom";
+  std::ofstream os(prom_path);
+  if (!os) {
+    log_error("obs.setup", "cannot open metrics file", {{"path", prom_path}});
+    return;
+  }
+  global_metrics().write_prometheus(os);
+  log_info("obs.setup", "metrics snapshot written",
+           {{"json", options_.metrics_path}, {"prometheus", prom_path}});
+}
+
+}  // namespace powerlens::obs

@@ -1,0 +1,44 @@
+// Shared observability wiring for binaries (CLI + benches).
+//
+// extract_cli_flags() strips the three common flags from an argv:
+//
+//   --trace <file>      write a Chrome/Perfetto trace to <file>
+//   --metrics <file>    write a metrics snapshot: JSON to <file>,
+//                       Prometheus text exposition to <file>.prom
+//   --log-level <lvl>   off|error|warn|info|debug|trace (or POWERLENS_LOG)
+//
+// ('--flag=value' forms are also accepted.) ObsScope is the RAII companion:
+// construct it in main() with the extracted options; it opens the default
+// trace and applies the log level, and on destruction closes the trace and
+// flushes the metrics files.
+#pragma once
+
+#include "obs/log.hpp"
+
+#include <optional>
+#include <string>
+
+namespace powerlens::obs {
+
+struct ObsOptions {
+  std::string trace_path;
+  std::string metrics_path;
+  std::optional<LogLevel> log_level;
+};
+
+// Removes recognised flags from argv (compacting it and updating argc).
+// A flag missing its value is dropped with a warning.
+ObsOptions extract_cli_flags(int& argc, char** argv);
+
+class ObsScope {
+ public:
+  explicit ObsScope(ObsOptions options);
+  ~ObsScope();
+  ObsScope(const ObsScope&) = delete;
+  ObsScope& operator=(const ObsScope&) = delete;
+
+ private:
+  ObsOptions options_;
+};
+
+}  // namespace powerlens::obs

@@ -1,0 +1,207 @@
+#include "obs/trace.hpp"
+
+#include "obs/json.hpp"
+#include "obs/log.hpp"
+
+#include <cstdio>
+
+namespace powerlens::obs {
+
+namespace {
+
+void append_ts(std::string& out, double ts_us) {
+  // Nanosecond resolution is plenty for both clock domains and keeps the
+  // file compact.
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.3f", ts_us);
+  out += buf;
+}
+
+void append_args(std::string& out, std::initializer_list<TraceArg> args) {
+  out += ",\"args\":{";
+  bool first = true;
+  for (const TraceArg& a : args) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    append_json_escaped(out, a.key);
+    out += "\":";
+    if (a.kind == TraceArg::Kind::kNumber) {
+      append_json_number(out, a.number);
+    } else {
+      out += '"';
+      append_json_escaped(out, a.string);
+      out += '"';
+    }
+  }
+  out += '}';
+}
+
+}  // namespace
+
+TraceWriter::~TraceWriter() { close(); }
+
+bool TraceWriter::open(const std::string& path) {
+  close();
+  std::lock_guard<std::mutex> lock(mu_);
+  out_.open(path, std::ios::out | std::ios::trunc);
+  if (!out_) {
+    log_error("obs.trace", "cannot open trace file", {{"path", path}});
+    return false;
+  }
+  out_ << "[\n";
+  first_event_ = true;
+  wall_tids_.clear();
+  next_wall_tid_ = 0;
+  epoch_ = std::chrono::steady_clock::now();
+  enabled_.store(true, std::memory_order_relaxed);
+  return true;
+}
+
+void TraceWriter::close() {
+  if (!enabled_.exchange(false, std::memory_order_relaxed)) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (out_.is_open()) {
+    out_ << "\n]\n";
+    out_.close();
+  }
+}
+
+double TraceWriter::now_us() const noexcept {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+void TraceWriter::write_line_locked(const std::string& body) {
+  if (!out_.is_open()) return;
+  if (!first_event_) out_ << ",\n";
+  first_event_ = false;
+  out_ << body;
+}
+
+void TraceWriter::emit(char ph, int pid, int tid, double ts_us,
+                       std::string_view name, std::string_view cat,
+                       std::initializer_list<TraceArg> args) {
+  std::string body;
+  body.reserve(128);
+  body += "{\"name\":\"";
+  append_json_escaped(body, name);
+  body += "\",\"ph\":\"";
+  body += ph;
+  body += '"';
+  if (!cat.empty()) {
+    body += ",\"cat\":\"";
+    append_json_escaped(body, cat);
+    body += '"';
+  }
+  body += ",\"ts\":";
+  append_ts(body, ts_us);
+  body += ",\"pid\":";
+  append_json_number(body, pid);
+  body += ",\"tid\":";
+  append_json_number(body, tid);
+  if (ph == 'i') body += ",\"s\":\"t\"";  // thread-scoped instant
+  if (args.size() > 0) append_args(body, args);
+  body += '}';
+
+  std::lock_guard<std::mutex> lock(mu_);
+  write_line_locked(body);
+}
+
+int TraceWriter::wall_tid() {
+  const std::thread::id self = std::this_thread::get_id();
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = wall_tids_.find(self);
+  if (it != wall_tids_.end()) return it->second;
+  const int tid = next_wall_tid_++;
+  wall_tids_.emplace(self, tid);
+
+  // Name the new track inline; metadata events carry ts 0 and are exempt
+  // from the per-track monotonicity contract.
+  std::string body = "{\"name\":\"thread_name\",\"ph\":\"M\",\"ts\":0,";
+  body += "\"pid\":" + json_number(kPipelinePid);
+  body += ",\"tid\":" + json_number(tid);
+  body += ",\"args\":{\"name\":\"";
+  append_json_escaped(body, tid == 0 ? std::string("main")
+                                     : "worker-" + std::to_string(tid));
+  body += "\"}}";
+  write_line_locked(body);
+  return tid;
+}
+
+void TraceWriter::begin(std::string_view name, std::string_view cat,
+                        std::initializer_list<TraceArg> args) {
+  if (!enabled()) return;
+  const double ts = now_us();
+  emit('B', kPipelinePid, wall_tid(), ts, name, cat, args);
+}
+
+void TraceWriter::end(std::string_view name, std::string_view cat) {
+  if (!enabled()) return;
+  const double ts = now_us();
+  emit('E', kPipelinePid, wall_tid(), ts, name, cat, {});
+}
+
+void TraceWriter::instant(std::string_view name, std::string_view cat,
+                          std::initializer_list<TraceArg> args) {
+  if (!enabled()) return;
+  const double ts = now_us();
+  emit('i', kPipelinePid, wall_tid(), ts, name, cat, args);
+}
+
+void TraceWriter::begin_at(int pid, int tid, double ts_us,
+                           std::string_view name, std::string_view cat,
+                           std::initializer_list<TraceArg> args) {
+  if (!enabled()) return;
+  emit('B', pid, tid, ts_us, name, cat, args);
+}
+
+void TraceWriter::end_at(int pid, int tid, double ts_us, std::string_view name,
+                         std::string_view cat) {
+  if (!enabled()) return;
+  emit('E', pid, tid, ts_us, name, cat, {});
+}
+
+void TraceWriter::instant_at(int pid, int tid, double ts_us,
+                             std::string_view name, std::string_view cat,
+                             std::initializer_list<TraceArg> args) {
+  if (!enabled()) return;
+  emit('i', pid, tid, ts_us, name, cat, args);
+}
+
+void TraceWriter::counter(int pid, int tid, double ts_us,
+                          std::string_view name, double value) {
+  if (!enabled()) return;
+  emit('C', pid, tid, ts_us, name, {}, {TraceArg::num("value", value)});
+}
+
+void TraceWriter::name_process(int pid, std::string_view name) {
+  if (!enabled()) return;
+  std::string body = "{\"name\":\"process_name\",\"ph\":\"M\",\"ts\":0,";
+  body += "\"pid\":" + json_number(pid);
+  body += ",\"tid\":0,\"args\":{\"name\":\"";
+  append_json_escaped(body, name);
+  body += "\"}}";
+  std::lock_guard<std::mutex> lock(mu_);
+  write_line_locked(body);
+}
+
+void TraceWriter::name_thread(int pid, int tid, std::string_view name) {
+  if (!enabled()) return;
+  std::string body = "{\"name\":\"thread_name\",\"ph\":\"M\",\"ts\":0,";
+  body += "\"pid\":" + json_number(pid);
+  body += ",\"tid\":" + json_number(tid);
+  body += ",\"args\":{\"name\":\"";
+  append_json_escaped(body, name);
+  body += "\"}}";
+  std::lock_guard<std::mutex> lock(mu_);
+  write_line_locked(body);
+}
+
+TraceWriter& default_trace() {
+  static TraceWriter writer;
+  return writer;
+}
+
+}  // namespace powerlens::obs

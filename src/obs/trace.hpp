@@ -1,0 +1,160 @@
+// Chrome/Perfetto trace-event emitter (JSON array format).
+//
+// One writer produces a single trace file that `chrome://tracing` and
+// https://ui.perfetto.dev load directly. Two clock domains coexist:
+//
+//  - Wall-clock spans (`begin`/`end`/`instant`, or the RAII ScopedSpan) for
+//    the offline pipeline. Each real thread is assigned a stable tid on
+//    first use — spans emitted from util::ThreadPool workers land on their
+//    own named tracks — and timestamps are microseconds since open().
+//  - Explicit-timestamp events (`*_at`, `counter`) for the simulator, which
+//    passes its *simulated* clock. Each SimEngine run claims a fresh virtual
+//    pid via next_virtual_pid() so timestamps stay monotonic per (pid, tid)
+//    track even though every run restarts at t=0.
+//
+// Disabled writers are null sinks: every entry point checks `enabled()`
+// first and returns without locking or allocating, so instrumentation left
+// in hot paths costs one relaxed atomic load. Emission never feeds back
+// into what it observes — the simulator's clock and the pipeline's results
+// are byte-identical with tracing on or off.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <fstream>
+#include <initializer_list>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <unordered_map>
+
+namespace powerlens::obs {
+
+// One entry of a trace event's "args" object. Plain views + a double, so
+// building an argument list never allocates.
+struct TraceArg {
+  enum class Kind { kNumber, kString };
+
+  std::string_view key;
+  Kind kind = Kind::kNumber;
+  double number = 0.0;
+  std::string_view string;
+
+  static TraceArg num(std::string_view key, double value) {
+    TraceArg a;
+    a.key = key;
+    a.kind = Kind::kNumber;
+    a.number = value;
+    return a;
+  }
+  static TraceArg str(std::string_view key, std::string_view value) {
+    TraceArg a;
+    a.key = key;
+    a.kind = Kind::kString;
+    a.string = value;
+    return a;
+  }
+};
+
+class TraceWriter {
+ public:
+  // The pid wall-clock (pipeline) events are filed under; virtual pids for
+  // simulator runs start above this.
+  static constexpr int kPipelinePid = 1;
+
+  TraceWriter() = default;
+  ~TraceWriter();
+  TraceWriter(const TraceWriter&) = delete;
+  TraceWriter& operator=(const TraceWriter&) = delete;
+
+  // Starts a new trace file; enables the writer. Returns false (and logs at
+  // error level) if the file cannot be opened.
+  bool open(const std::string& path);
+
+  // Terminates the JSON array and disables the writer. Idempotent.
+  void close();
+
+  bool enabled() const noexcept {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  // Microseconds since open() on the steady clock.
+  double now_us() const noexcept;
+
+  // --- wall-clock API (real threads, tid auto-assigned per thread) ---
+  void begin(std::string_view name, std::string_view cat,
+             std::initializer_list<TraceArg> args = {});
+  void end(std::string_view name, std::string_view cat);
+  void instant(std::string_view name, std::string_view cat,
+               std::initializer_list<TraceArg> args = {});
+
+  // --- explicit-timestamp API (simulated clocks, virtual tracks) ---
+  void begin_at(int pid, int tid, double ts_us, std::string_view name,
+                std::string_view cat,
+                std::initializer_list<TraceArg> args = {});
+  void end_at(int pid, int tid, double ts_us, std::string_view name,
+              std::string_view cat);
+  void instant_at(int pid, int tid, double ts_us, std::string_view name,
+                  std::string_view cat,
+                  std::initializer_list<TraceArg> args = {});
+  void counter(int pid, int tid, double ts_us, std::string_view name,
+               double value);
+
+  // Metadata events naming the tracks in the trace viewer (ts 0).
+  void name_process(int pid, std::string_view name);
+  void name_thread(int pid, int tid, std::string_view name);
+
+  // Claims a fresh pid for a virtual track group (one simulator run).
+  int next_virtual_pid() noexcept {
+    return virtual_pid_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+ private:
+  void emit(char ph, int pid, int tid, double ts_us, std::string_view name,
+            std::string_view cat, std::initializer_list<TraceArg> args);
+  void write_line_locked(const std::string& body);
+  int wall_tid();
+
+  std::atomic<bool> enabled_{false};
+  std::atomic<int> virtual_pid_{100};
+  std::chrono::steady_clock::time_point epoch_{};
+
+  std::mutex mu_;  // guards everything below
+  std::ofstream out_;
+  bool first_event_ = true;
+  std::unordered_map<std::thread::id, int> wall_tids_;
+  int next_wall_tid_ = 0;
+};
+
+// RAII wall-clock span. Does nothing (and allocates nothing) when the
+// writer is disabled at construction time.
+class ScopedSpan {
+ public:
+  ScopedSpan(TraceWriter& writer, std::string_view name, std::string_view cat,
+             std::initializer_list<TraceArg> args = {})
+      : writer_(&writer), name_(name), cat_(cat) {
+    if (writer_->enabled()) {
+      writer_->begin(name_, cat_, args);
+      active_ = true;
+    }
+  }
+  ~ScopedSpan() {
+    if (active_) writer_->end(name_, cat_);
+  }
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  TraceWriter* writer_;
+  std::string_view name_;
+  std::string_view cat_;
+  bool active_ = false;
+};
+
+// The process-wide writer the pipeline and (by default) the simulator emit
+// into. Disabled until someone — the CLI's --trace flag, a bench, a test —
+// opens it.
+TraceWriter& default_trace();
+
+}  // namespace powerlens::obs

@@ -1,5 +1,7 @@
 #include "util/thread_pool.hpp"
 
+#include "obs/log.hpp"
+
 #include <algorithm>
 #include <cstdlib>
 
@@ -18,7 +20,18 @@ std::size_t ParallelConfig::resolved() const {
   if (const char* env = std::getenv("POWERLENS_NUM_THREADS")) {
     char* end = nullptr;
     const long v = std::strtol(env, &end, 10);
-    if (end != env && v > 0) return static_cast<std::size_t>(v);
+    if (end != env && *end == '\0' && v > 0) {
+      return static_cast<std::size_t>(v);
+    }
+    // Previously a bad value fell through silently to hardware_concurrency;
+    // say so once instead.
+    static const bool warned = [env] {
+      obs::log_warn("thread_pool",
+                    "ignoring unparseable POWERLENS_NUM_THREADS",
+                    {{"value", env}});
+      return true;
+    }();
+    (void)warned;
   }
   const unsigned hc = std::thread::hardware_concurrency();
   return hc > 0 ? hc : 1;

@@ -5,8 +5,11 @@
 
 #include "hw/platform.hpp"
 #include "nn/trainer.hpp"
+#include "obs/trace.hpp"
 
 #include <gtest/gtest.h>
+
+#include <cstdio>
 
 namespace powerlens::core {
 namespace {
@@ -37,6 +40,27 @@ TEST(ParallelDeterminism, DatasetsAreIdenticalAcrossThreadCounts) {
   EXPECT_EQ(serial.blocks_generated, threaded.blocks_generated);
   expect_identical(serial.dataset_a, threaded.dataset_a);
   expect_identical(serial.dataset_b, threaded.dataset_b);
+}
+
+TEST(ParallelDeterminism, DatasetsAreIdenticalWithTracingEnabled) {
+  // Tracing writes spans from pool workers; it must stay a pure observer —
+  // same bytes out whether the trace is on or off, one thread or many.
+  const hw::Platform platform = hw::make_tx2();
+  const GeneratedDatasets quiet = generate_datasets(platform, small_config(1));
+
+  const std::string path =
+      testing::TempDir() + "determinism_trace_test.json";
+  obs::TraceWriter& tw = obs::default_trace();
+  ASSERT_TRUE(tw.open(path));
+  const GeneratedDatasets traced =
+      generate_datasets(platform, small_config(8));
+  tw.close();
+  std::remove(path.c_str());
+
+  EXPECT_EQ(quiet.networks_generated, traced.networks_generated);
+  EXPECT_EQ(quiet.blocks_generated, traced.blocks_generated);
+  expect_identical(quiet.dataset_a, traced.dataset_a);
+  expect_identical(quiet.dataset_b, traced.dataset_b);
 }
 
 TEST(ParallelDeterminism, TrainingIsIdenticalAcrossThreadCounts) {

@@ -2,9 +2,11 @@
 
 #include "dnn/models.hpp"
 #include "hw/analytic.hpp"
+#include "obs/trace.hpp"
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <stdexcept>
 
 namespace powerlens::hw {
@@ -89,14 +91,21 @@ TEST_F(SimEngineTest, TransitionsCostTime) {
   RunPolicy with = engine_.default_policy();
   with.schedule = &schedule;
 
-  RunPolicy fixed = engine_.default_policy();
-  fixed.initial_gpu_level = 4;
-
   // Same passes; the scheduled run switches twice per pass and must pay the
-  // stall each time.
+  // stall each time, and the stall total is accounted exactly.
   const ExecutionResult r_with = engine_.run(graph_, 4, with);
   EXPECT_GT(r_with.dvfs_transitions, 0u);
   EXPECT_GT(r_with.time_s, 0.0);
+  EXPECT_DOUBLE_EQ(r_with.dvfs_stall_s,
+                   static_cast<double>(r_with.dvfs_transitions) *
+                       platform_.dvfs.stall_s);
+}
+
+TEST_F(SimEngineTest, FixedLevelRunHasNoStallTime) {
+  RunPolicy policy = engine_.default_policy();
+  const ExecutionResult r = engine_.run(graph_, 3, policy);
+  EXPECT_EQ(r.dvfs_transitions, 0u);
+  EXPECT_DOUBLE_EQ(r.dvfs_stall_s, 0.0);
 }
 
 TEST_F(SimEngineTest, TelemetryCoversRun) {
@@ -176,6 +185,35 @@ TEST_F(SimEngineTest, GovernorSampledAndApplied) {
   EXPECT_GT(governor.last_.power_w, 0.0);
   EXPECT_GE(governor.last_.gpu_util, 0.0);
   EXPECT_LE(governor.last_.gpu_util, 1.0);
+}
+
+TEST_F(SimEngineTest, TracingDoesNotPerturbResults) {
+  PresetSchedule schedule;
+  schedule.points.push_back({0, 4});
+  schedule.points.push_back({graph_.size() / 2, platform_.max_gpu_level()});
+  PinGovernor governor(3);
+  RunPolicy policy = engine_.default_policy();
+  policy.schedule = &schedule;
+  policy.governor = &governor;
+
+  const ExecutionResult quiet = engine_.run(graph_, 4, policy);
+
+  const std::string path = testing::TempDir() + "sim_engine_trace_test.json";
+  obs::TraceWriter tw;
+  ASSERT_TRUE(tw.open(path));
+  policy.trace = &tw;
+  policy.trace_label = "traced";
+  const ExecutionResult traced = engine_.run(graph_, 4, policy);
+  tw.close();
+  std::remove(path.c_str());
+
+  // Tracing must be a pure observer: identical results bit for bit.
+  EXPECT_EQ(traced.time_s, quiet.time_s);
+  EXPECT_EQ(traced.energy_j, quiet.energy_j);
+  EXPECT_EQ(traced.images, quiet.images);
+  EXPECT_EQ(traced.dvfs_transitions, quiet.dvfs_transitions);
+  EXPECT_EQ(traced.dvfs_stall_s, quiet.dvfs_stall_s);
+  EXPECT_EQ(traced.telemetry_energy_j, quiet.telemetry_energy_j);
 }
 
 TEST_F(SimEngineTest, ScheduleOverridesGovernorGpuDecision) {

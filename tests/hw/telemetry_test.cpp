@@ -1,5 +1,8 @@
 #include "hw/telemetry.hpp"
 
+#include "dnn/models.hpp"
+#include "hw/sim_engine.hpp"
+
 #include <gtest/gtest.h>
 
 #include <stdexcept>
@@ -58,6 +61,39 @@ TEST(Telemetry, NegativeSliceThrows) {
 TEST(Telemetry, EmptyMeanIsZero) {
   Telemetry t(0.1);
   EXPECT_DOUBLE_EQ(t.mean_power_w(), 0.0);
+}
+
+TEST(Telemetry, TotalEnergyIsExactIntegral) {
+  Telemetry t(0.1);
+  t.record_slice(0.0, 0.25, 4.0);
+  t.record_slice(0.25, 0.15, 2.0);
+  t.finish(0.4);
+  EXPECT_DOUBLE_EQ(t.total_energy_j(), 4.0 * 0.25 + 2.0 * 0.15);
+}
+
+TEST(Telemetry, TotalEnergyIncludesDroppedSlivers) {
+  Telemetry t(0.1);
+  t.record_slice(0.0, 1.0, 5.0);
+  // Below the round-off guard (period * 1e-9): excluded from the sample
+  // windows but still integrated into total energy.
+  const double sliver = 1e-11;
+  t.record_slice(1.0, sliver, 100.0);
+  t.finish(1.0 + sliver);
+  EXPECT_EQ(t.samples().size(), 10u);
+  EXPECT_DOUBLE_EQ(t.total_energy_j(), 5.0 * 1.0 + 100.0 * sliver);
+}
+
+TEST(Telemetry, ConservesEnergyAgainstSimEngine) {
+  // The engine integrates power into ExecutionResult::energy_j with the
+  // same products in the same order as Telemetry; conservation must hold
+  // bit for bit, including governor runs with many oddly-sized slices.
+  const Platform platform = make_tx2();
+  SimEngine engine(platform);
+  const dnn::Graph graph = dnn::make_alexnet(8);
+  const ExecutionResult r =
+      engine.run(graph, /*passes=*/7, engine.default_policy());
+  EXPECT_GT(r.telemetry_energy_j, 0.0);
+  EXPECT_DOUBLE_EQ(r.energy_j, r.telemetry_energy_j);
 }
 
 TEST(Telemetry, SampleTimesMonotone) {

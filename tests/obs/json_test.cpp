@@ -1,0 +1,57 @@
+#include "obs/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+namespace powerlens::obs {
+namespace {
+
+TEST(JsonEscape, PassesPlainTextThrough) {
+  EXPECT_EQ(json_escape("hello world"), "hello world");
+}
+
+TEST(JsonEscape, EscapesQuotesBackslashesAndControls) {
+  EXPECT_EQ(json_escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(json_escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(json_escape("a\nb\tc"), "a\\nb\\tc");
+  EXPECT_EQ(json_escape(std::string("a\x01z")), "a\\u0001z");
+}
+
+TEST(JsonNumber, IntegersPrintWithoutFraction) {
+  EXPECT_EQ(json_number(0.0), "0");
+  EXPECT_EQ(json_number(42.0), "42");
+  EXPECT_EQ(json_number(-7.0), "-7");
+}
+
+TEST(JsonNumber, FractionsKeepPrecision) {
+  EXPECT_EQ(json_number(0.5), "0.5");
+  EXPECT_NE(json_number(3.14159).find("3.14159"), std::string::npos);
+}
+
+TEST(JsonNumber, NonFiniteClampsToZero) {
+  EXPECT_EQ(json_number(std::numeric_limits<double>::infinity()), "0");
+  EXPECT_EQ(json_number(std::nan("")), "0");
+}
+
+TEST(JsonWriter, BuildsObjectRecords) {
+  const std::string s = JsonWriter()
+                            .field("phase", "generate")
+                            .field("threads", 4.0)
+                            .field("ok", true)
+                            .str();
+  EXPECT_EQ(s, "{\"phase\": \"generate\", \"threads\": 4, \"ok\": true}");
+}
+
+TEST(JsonWriter, EmptyObject) {
+  EXPECT_EQ(JsonWriter().str(), "{}");
+}
+
+TEST(JsonWriter, EscapesStringValues) {
+  const std::string s = JsonWriter().field("k", "a\"b").str();
+  EXPECT_EQ(s, "{\"k\": \"a\\\"b\"}");
+}
+
+}  // namespace
+}  // namespace powerlens::obs

@@ -1,0 +1,82 @@
+#include "obs/log.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace powerlens::obs {
+namespace {
+
+// Captures log output and restores level + sink afterwards.
+class LogTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    saved_level_ = log_level();
+    set_log_sink(&captured_);
+  }
+  void TearDown() override {
+    set_log_sink(nullptr);
+    set_log_level(saved_level_);
+  }
+  std::string text() const { return captured_.str(); }
+
+  std::ostringstream captured_;
+  LogLevel saved_level_ = LogLevel::kWarn;
+};
+
+TEST_F(LogTest, ParsesLevelNames) {
+  EXPECT_EQ(parse_log_level("off"), LogLevel::kOff);
+  EXPECT_EQ(parse_log_level("error"), LogLevel::kError);
+  EXPECT_EQ(parse_log_level("warn"), LogLevel::kWarn);
+  EXPECT_EQ(parse_log_level("info"), LogLevel::kInfo);
+  EXPECT_EQ(parse_log_level("debug"), LogLevel::kDebug);
+  EXPECT_EQ(parse_log_level("trace"), LogLevel::kTrace);
+  EXPECT_FALSE(parse_log_level("verbose").has_value());
+  EXPECT_FALSE(parse_log_level("").has_value());
+}
+
+TEST_F(LogTest, LevelGatesOutput) {
+  set_log_level(LogLevel::kWarn);
+  log_info("test", "should not appear");
+  EXPECT_TRUE(text().empty());
+  log_warn("test", "should appear");
+  EXPECT_NE(text().find("should appear"), std::string::npos);
+}
+
+TEST_F(LogTest, OffSilencesEverything) {
+  set_log_level(LogLevel::kOff);
+  log_error("test", "even errors");
+  EXPECT_TRUE(text().empty());
+}
+
+TEST_F(LogTest, StructuredFieldsRender) {
+  set_log_level(LogLevel::kInfo);
+  log_info("engine", "run done",
+           {{"model", "alexnet"}, {"energy_j", 12.5}});
+  const std::string s = text();
+  EXPECT_NE(s.find("level=info"), std::string::npos);
+  EXPECT_NE(s.find("comp=engine"), std::string::npos);
+  EXPECT_NE(s.find("msg=\"run done\""), std::string::npos);
+  EXPECT_NE(s.find("model=\"alexnet\""), std::string::npos);
+  // Numeric fields render bare.
+  EXPECT_NE(s.find("energy_j=12.5"), std::string::npos);
+}
+
+TEST_F(LogTest, QuotesAndEscapesMessage) {
+  set_log_level(LogLevel::kError);
+  log_error("test", "broke \"badly\"\nhere");
+  const std::string s = text();
+  // The message stays on one line with its quotes escaped.
+  EXPECT_EQ(s.find("\nhere"), std::string::npos);
+  EXPECT_NE(s.find("\\\"badly\\\""), std::string::npos);
+}
+
+TEST_F(LogTest, LogEnabledMatchesLevel) {
+  set_log_level(LogLevel::kInfo);
+  EXPECT_TRUE(log_enabled(LogLevel::kError));
+  EXPECT_TRUE(log_enabled(LogLevel::kInfo));
+  EXPECT_FALSE(log_enabled(LogLevel::kDebug));
+}
+
+}  // namespace
+}  // namespace powerlens::obs

@@ -1,0 +1,145 @@
+#include "obs/metrics.hpp"
+
+#include "util/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace powerlens::obs {
+namespace {
+
+TEST(MetricsRegistry, CounterAccumulatesAcrossThreads) {
+  MetricsRegistry reg;
+  Counter& c = reg.counter("requests_total", "help text");
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 1000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c] {
+      for (int i = 0; i < kPerThread; ++i) c.inc();
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_DOUBLE_EQ(c.value(), kThreads * kPerThread);
+}
+
+TEST(MetricsRegistry, RegistrationIsIdempotent) {
+  MetricsRegistry reg;
+  Counter& a = reg.counter("c");
+  Counter& b = reg.counter("c");
+  EXPECT_EQ(&a, &b);
+  a.inc(2.0);
+  EXPECT_DOUBLE_EQ(b.value(), 2.0);
+}
+
+TEST(MetricsRegistry, KindMismatchThrows) {
+  MetricsRegistry reg;
+  reg.counter("x");
+  EXPECT_THROW(reg.gauge("x"), std::logic_error);
+  const double bounds[] = {1.0};
+  EXPECT_THROW(reg.histogram("x", bounds), std::logic_error);
+}
+
+TEST(MetricsRegistry, GaugeSetAndAdd) {
+  MetricsRegistry reg;
+  Gauge& g = reg.gauge("temperature");
+  g.set(3.5);
+  EXPECT_DOUBLE_EQ(g.value(), 3.5);
+  g.add(1.5);
+  EXPECT_DOUBLE_EQ(g.value(), 5.0);
+}
+
+TEST(MetricsRegistry, HistogramBucketsFollowPrometheusSemantics) {
+  MetricsRegistry reg;
+  const double bounds[] = {1.0, 5.0, 10.0};
+  Histogram& h = reg.histogram("latency", bounds);
+  h.observe(0.5);   // <= 1
+  h.observe(1.0);   // <= 1 (le is inclusive)
+  h.observe(3.0);   // <= 5
+  h.observe(100.0); // +Inf
+  const Histogram::Snapshot snap = h.snapshot();
+  ASSERT_EQ(snap.counts.size(), 4u);
+  EXPECT_EQ(snap.counts[0], 2u);
+  EXPECT_EQ(snap.counts[1], 1u);
+  EXPECT_EQ(snap.counts[2], 0u);
+  EXPECT_EQ(snap.counts[3], 1u);
+  EXPECT_EQ(snap.count, 4u);
+  EXPECT_DOUBLE_EQ(snap.sum, 104.5);
+}
+
+TEST(MetricsRegistry, HistogramRejectsUnsortedBounds) {
+  MetricsRegistry reg;
+  const double bounds[] = {5.0, 1.0};
+  EXPECT_THROW(reg.histogram("bad", bounds), std::invalid_argument);
+}
+
+TEST(MetricsRegistry, SnapshotIsDeterministicAcrossThreadCounts) {
+  // The same logical workload, sharded differently, must export the same
+  // bytes: counters sum shards in fixed order, names iterate sorted.
+  auto run = [](std::size_t num_threads) {
+    MetricsRegistry reg;
+    Counter& c = reg.counter("work_items_total", "items processed");
+    const double bounds[] = {0.1, 1.0, 10.0};
+    Histogram& h = reg.histogram("work_seconds", bounds, "item latency");
+    util::ParallelConfig par;
+    par.num_threads = num_threads;
+    util::parallel_for(par, 0, 64, [&](std::size_t i) {
+      c.inc();
+      h.observe(static_cast<double>(i % 12));
+    });
+    std::ostringstream json, prom;
+    reg.write_json(json);
+    reg.write_prometheus(prom);
+    return std::pair<std::string, std::string>{json.str(), prom.str()};
+  };
+  const auto one = run(1);
+  const auto four = run(4);
+  EXPECT_EQ(one.first, four.first);
+  EXPECT_EQ(one.second, four.second);
+}
+
+TEST(MetricsRegistry, JsonExportHasExpectedShape) {
+  MetricsRegistry reg;
+  reg.counter("runs_total").inc(3.0);
+  reg.gauge("level").set(2.0);
+  const double bounds[] = {1.0};
+  reg.histogram("dur", bounds).observe(0.5);
+  std::ostringstream os;
+  reg.write_json(os);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("\"counters\""), std::string::npos);
+  EXPECT_NE(s.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(s.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(s.find("\"runs_total\": 3"), std::string::npos);
+}
+
+TEST(MetricsRegistry, PrometheusExportHasExpectedShape) {
+  MetricsRegistry reg;
+  reg.counter("runs_total", "total runs").inc(2.0);
+  const double bounds[] = {1.0, 2.0};
+  Histogram& h = reg.histogram("dur_seconds", bounds, "durations");
+  h.observe(0.5);
+  h.observe(1.5);
+  h.observe(9.0);
+  std::ostringstream os;
+  reg.write_prometheus(os);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("# TYPE runs_total counter"), std::string::npos);
+  EXPECT_NE(s.find("# HELP runs_total total runs"), std::string::npos);
+  // Cumulative buckets: le="1" sees 1, le="2" sees 2, +Inf sees all 3.
+  EXPECT_NE(s.find("dur_seconds_bucket{le=\"1\"} 1"), std::string::npos);
+  EXPECT_NE(s.find("dur_seconds_bucket{le=\"2\"} 2"), std::string::npos);
+  EXPECT_NE(s.find("dur_seconds_bucket{le=\"+Inf\"} 3"), std::string::npos);
+  EXPECT_NE(s.find("dur_seconds_count 3"), std::string::npos);
+}
+
+TEST(MetricsRegistry, GlobalRegistryIsASingleton) {
+  EXPECT_EQ(&global_metrics(), &global_metrics());
+}
+
+}  // namespace
+}  // namespace powerlens::obs

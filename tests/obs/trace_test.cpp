@@ -1,0 +1,395 @@
+// Golden-shape test for the Chrome trace emitter: runs the simulator and a
+// small dataset generation through one TraceWriter, then parses the emitted
+// JSON with a minimal in-test parser and checks the invariants every trace
+// viewer relies on — valid event fields, monotonic timestamps per track,
+// and matched B/E pairs.
+#include "obs/trace.hpp"
+
+#include "core/dataset_gen.hpp"
+#include "dnn/models.hpp"
+#include "hw/sim_engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace powerlens::obs {
+namespace {
+
+// --- minimal JSON parser (objects/arrays/strings/numbers/bools/null) ---
+
+struct JsonValue;
+using JsonObject = std::map<std::string, JsonValue>;
+using JsonArray = std::vector<JsonValue>;
+
+struct JsonValue {
+  std::variant<std::nullptr_t, bool, double, std::string, JsonArray,
+               JsonObject>
+      v;
+
+  bool is_object() const { return std::holds_alternative<JsonObject>(v); }
+  bool is_array() const { return std::holds_alternative<JsonArray>(v); }
+  bool is_number() const { return std::holds_alternative<double>(v); }
+  bool is_string() const { return std::holds_alternative<std::string>(v); }
+  const JsonObject& object() const { return std::get<JsonObject>(v); }
+  const JsonArray& array() const { return std::get<JsonArray>(v); }
+  double number() const { return std::get<double>(v); }
+  const std::string& string() const { return std::get<std::string>(v); }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(std::string text) : text_(std::move(text)) {}
+
+  JsonValue parse() {
+    JsonValue v = value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing content");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& why) {
+    throw std::runtime_error("JSON parse error at offset " +
+                             std::to_string(pos_) + ": " + why);
+  }
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end");
+    return text_[pos_];
+  }
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+  bool consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  bool consume_word(std::string_view w) {
+    if (text_.compare(pos_, w.size(), w) == 0) {
+      pos_ += w.size();
+      return true;
+    }
+    return false;
+  }
+
+  JsonValue value() {
+    skip_ws();
+    const char c = peek();
+    if (c == '{') return object();
+    if (c == '[') return array();
+    if (c == '"') return JsonValue{string()};
+    if (consume_word("true")) return JsonValue{true};
+    if (consume_word("false")) return JsonValue{false};
+    if (consume_word("null")) return JsonValue{nullptr};
+    return number();
+  }
+
+  JsonValue object() {
+    expect('{');
+    JsonObject out;
+    skip_ws();
+    if (consume('}')) return JsonValue{std::move(out)};
+    for (;;) {
+      skip_ws();
+      std::string key = string();
+      skip_ws();
+      expect(':');
+      out.emplace(std::move(key), value());
+      skip_ws();
+      if (consume(',')) continue;
+      expect('}');
+      return JsonValue{std::move(out)};
+    }
+  }
+
+  JsonValue array() {
+    expect('[');
+    JsonArray out;
+    skip_ws();
+    if (consume(']')) return JsonValue{std::move(out)};
+    for (;;) {
+      out.push_back(value());
+      skip_ws();
+      if (consume(',')) continue;
+      expect(']');
+      return JsonValue{std::move(out)};
+    }
+  }
+
+  std::string string() {
+    expect('"');
+    std::string out;
+    for (;;) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) fail("bad escape");
+        const char e = text_[pos_++];
+        switch (e) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) fail("bad \\u escape");
+            const unsigned code =
+                static_cast<unsigned>(std::stoul(text_.substr(pos_, 4),
+                                                 nullptr, 16));
+            pos_ += 4;
+            // The writer only emits \u00XX for control bytes.
+            out += static_cast<char>(code);
+            break;
+          }
+          default: fail("unknown escape");
+        }
+      } else {
+        out += c;
+      }
+    }
+  }
+
+  JsonValue number() {
+    const std::size_t start = pos_;
+    if (consume('-')) {}
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) fail("expected number");
+    return JsonValue{std::stod(text_.substr(start, pos_ - start))};
+  }
+
+  std::string text_;
+  std::size_t pos_ = 0;
+};
+
+std::string read_file(const std::string& path) {
+  std::ifstream is(path);
+  std::ostringstream os;
+  os << is.rdbuf();
+  return os.str();
+}
+
+// Generates a trace with both clock domains: one traced simulator run (two
+// runs, so virtual pids must not collide) plus a small parallel dataset
+// generation on the wall clock.
+class TraceGoldenShape : public ::testing::Test {
+ protected:
+  static constexpr std::size_t kNetworks = 4;
+
+  void SetUp() override {
+    path_ = testing::TempDir() + "powerlens_trace_test.json";
+    TraceWriter& tw = default_trace();
+    ASSERT_TRUE(tw.open(path_));
+
+    const hw::Platform platform = hw::make_tx2();
+    hw::SimEngine engine(platform);
+    const dnn::Graph graph = dnn::make_alexnet(4);
+    hw::PresetSchedule schedule;
+    schedule.points.push_back({0, 4});
+    schedule.points.push_back({graph.size() / 2, platform.max_gpu_level()});
+    hw::RunPolicy policy = engine.default_policy();
+    policy.schedule = &schedule;
+    policy.trace_label = "golden";
+    engine.run(graph, 2, policy);
+    engine.run(graph, 1, policy);  // second run: fresh virtual pid
+
+    core::DatasetGenConfig cfg;
+    cfg.num_networks = kNetworks;
+    cfg.seed = 11;
+    cfg.parallel.num_threads = 2;
+    core::generate_datasets(platform, cfg);
+
+    tw.close();
+    const std::string text = read_file(path_);
+    std::remove(path_.c_str());
+    ASSERT_FALSE(text.empty());
+    JsonValue root = JsonParser(text).parse();
+    ASSERT_TRUE(root.is_array());
+    events_ = root.array();
+    ASSERT_FALSE(events_.empty());
+  }
+
+  std::string path_;
+  JsonArray events_;
+};
+
+TEST_F(TraceGoldenShape, EventsCarryRequiredFields) {
+  for (const JsonValue& ev : events_) {
+    ASSERT_TRUE(ev.is_object());
+    const JsonObject& o = ev.object();
+    ASSERT_TRUE(o.count("ph"));
+    ASSERT_TRUE(o.at("ph").is_string());
+    EXPECT_EQ(o.at("ph").string().size(), 1u);
+    ASSERT_TRUE(o.count("name"));
+    EXPECT_TRUE(o.at("name").is_string());
+    ASSERT_TRUE(o.count("ts"));
+    EXPECT_TRUE(o.at("ts").is_number());
+    EXPECT_GE(o.at("ts").number(), 0.0);
+    ASSERT_TRUE(o.count("pid"));
+    EXPECT_TRUE(o.at("pid").is_number());
+    ASSERT_TRUE(o.count("tid"));
+    EXPECT_TRUE(o.at("tid").is_number());
+  }
+}
+
+TEST_F(TraceGoldenShape, TimestampsMonotonePerTrack) {
+  std::map<std::pair<double, double>, double> last_ts;
+  for (const JsonValue& ev : events_) {
+    const JsonObject& o = ev.object();
+    if (o.at("ph").string() == "M") continue;  // metadata is pinned to ts 0
+    const std::pair<double, double> track{o.at("pid").number(),
+                                          o.at("tid").number()};
+    const double ts = o.at("ts").number();
+    auto [it, inserted] = last_ts.emplace(track, ts);
+    if (!inserted) {
+      EXPECT_GE(ts, it->second)
+          << "timestamp regressed on track pid=" << track.first
+          << " tid=" << track.second;
+      it->second = ts;
+    }
+  }
+}
+
+TEST_F(TraceGoldenShape, SpansNestProperly) {
+  // Per track, E events must close the most recent open B of the same name,
+  // and every span opened must be closed.
+  std::map<std::pair<double, double>, std::vector<std::string>> stacks;
+  for (const JsonValue& ev : events_) {
+    const JsonObject& o = ev.object();
+    const std::string& ph = o.at("ph").string();
+    if (ph != "B" && ph != "E") continue;
+    auto& stack = stacks[{o.at("pid").number(), o.at("tid").number()}];
+    if (ph == "B") {
+      stack.push_back(o.at("name").string());
+    } else {
+      ASSERT_FALSE(stack.empty()) << "E without open span";
+      EXPECT_EQ(stack.back(), o.at("name").string());
+      stack.pop_back();
+    }
+  }
+  for (const auto& [track, stack] : stacks) {
+    EXPECT_TRUE(stack.empty())
+        << stack.size() << " unclosed span(s) on pid=" << track.first
+        << " tid=" << track.second;
+  }
+}
+
+TEST_F(TraceGoldenShape, ContainsExpectedSimulatorEvents) {
+  bool conv_span = false;
+  bool dvfs_request = false;
+  bool power_counter = false;
+  bool gpu_level_counter = false;
+  for (const JsonValue& ev : events_) {
+    const JsonObject& o = ev.object();
+    const std::string& ph = o.at("ph").string();
+    const std::string& name = o.at("name").string();
+    if (ph == "B" && name == "conv2d") {
+      conv_span = true;
+      ASSERT_TRUE(o.count("cat"));
+      EXPECT_EQ(o.at("cat").string(), "layer");
+    }
+    if (ph == "i" && name == "dvfs_request") dvfs_request = true;
+    if (ph == "C" && name == "power_w") {
+      power_counter = true;
+      ASSERT_TRUE(o.count("args"));
+      EXPECT_TRUE(o.at("args").object().at("value").is_number());
+    }
+    if (ph == "C" && name == "gpu_level") gpu_level_counter = true;
+  }
+  EXPECT_TRUE(conv_span);
+  EXPECT_TRUE(dvfs_request);
+  EXPECT_TRUE(power_counter);
+  EXPECT_TRUE(gpu_level_counter);
+}
+
+TEST_F(TraceGoldenShape, SimulatorRunsGetDistinctPids) {
+  std::vector<double> sim_pids;
+  for (const JsonValue& ev : events_) {
+    const JsonObject& o = ev.object();
+    if (o.at("ph").string() == "M" &&
+        o.at("name").string() == "process_name" &&
+        o.at("pid").number() != TraceWriter::kPipelinePid) {
+      sim_pids.push_back(o.at("pid").number());
+    }
+  }
+  ASSERT_EQ(sim_pids.size(), 2u);
+  EXPECT_NE(sim_pids[0], sim_pids[1]);
+}
+
+TEST_F(TraceGoldenShape, PipelineEmitsOneSpanPerNetwork) {
+  std::size_t network_spans = 0;
+  for (const JsonValue& ev : events_) {
+    const JsonObject& o = ev.object();
+    if (o.at("ph").string() == "B" && o.at("name").string() == "network") {
+      ++network_spans;
+      EXPECT_EQ(o.at("pid").number(), TraceWriter::kPipelinePid);
+    }
+  }
+  EXPECT_EQ(network_spans, kNetworks);
+}
+
+TEST(TraceWriterTest, DisabledWriterEmitsNothingAndSpansAreFree) {
+  TraceWriter tw;
+  EXPECT_FALSE(tw.enabled());
+  tw.begin("x", "cat");
+  tw.end("x", "cat");
+  tw.instant("y", "cat");
+  tw.counter(7, 0, 1.0, "c", 2.0);
+  { ScopedSpan span(tw, "scoped", "cat"); }
+  // Still disabled, nothing crashed, nothing was written anywhere.
+  EXPECT_FALSE(tw.enabled());
+}
+
+TEST(TraceWriterTest, OpenFailureReturnsFalse) {
+  TraceWriter tw;
+  EXPECT_FALSE(tw.open("/nonexistent-dir/definitely/not/here.json"));
+  EXPECT_FALSE(tw.enabled());
+}
+
+TEST(TraceWriterTest, EscapesNamesInEmittedJson) {
+  const std::string path = testing::TempDir() + "trace_escape_test.json";
+  TraceWriter tw;
+  ASSERT_TRUE(tw.open(path));
+  tw.instant("weird \"name\"\n\t\\", "cat");
+  tw.close();
+  const std::string text = read_file(path);
+  std::remove(path.c_str());
+  const JsonValue root = JsonParser(text).parse();
+  ASSERT_TRUE(root.is_array());
+  bool found = false;
+  for (const JsonValue& ev : root.array()) {
+    if (ev.object().at("ph").string() == "i") {
+      EXPECT_EQ(ev.object().at("name").string(), "weird \"name\"\n\t\\");
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+}  // namespace
+}  // namespace powerlens::obs
