@@ -6,9 +6,19 @@
 // time (s), and energy efficiency (images/J), plus PowerLens's relative
 // energy reduction / time increase / EE gain against each baseline — the
 // numbers the paper reads off the figure.
+//
+// The task flow runs through the serving layer (serve::Server): a seeded
+// RequestStream reproduces the historical mt19937_64(7) model picks, the
+// PowerLens pass fans requests out across host workers with plans memoized
+// in the PlanCache, and the reactive baselines execute as one continuous
+// governor run. Numbers are identical to driving hw::SimEngine directly
+// (test-enforced by tests/serve/server_test.cpp).
 #include "bench_common.hpp"
 
-#include <random>
+#include "serve/server.hpp"
+
+#include <string>
+#include <thread>
 #include <vector>
 
 namespace powerlens::bench {
@@ -18,89 +28,78 @@ constexpr int kTasks = 100;
 constexpr int kImagesPerTask = 50;
 constexpr std::int64_t kBatch = 10;  // 5 passes of 10 images per task
 
+serve::ServeReport run_policy(const TrainedFramework& t,
+                              const std::vector<serve::DeployedModel>& models,
+                              const serve::RequestStream& stream,
+                              serve::ServePolicy policy) {
+  serve::ServerConfig config;
+  config.policy = policy;
+  // Results are invariant to the worker count; use the machine.
+  config.num_workers = std::max(1u, std::thread::hardware_concurrency());
+  serve::Server server(t.platform, models, config, t.framework.get());
+  return server.serve(stream);
+}
+
 void run_platform(const hw::Platform& platform) {
   std::printf("\n=== Task flow on %s (%d tasks x %d images) ===\n",
               platform.name.c_str(), kTasks, kImagesPerTask);
   TrainedFramework t = train_for(platform);
-  hw::SimEngine engine(t.platform);
 
-  // Build graphs + plans once per distinct model (offline instrumentation).
-  std::vector<dnn::Graph> graphs;
-  std::vector<core::OptimizationPlan> plans;
-  graphs.reserve(dnn::model_zoo().size());
+  // Deploy the zoo once per platform (offline instrumentation happens on
+  // first use of each model, memoized by the plan cache).
+  std::vector<serve::DeployedModel> models;
+  models.reserve(dnn::model_zoo().size());
   for (const dnn::ModelSpec& spec : dnn::model_zoo()) {
-    graphs.push_back(spec.build(kBatch));
-  }
-  for (const dnn::Graph& g : graphs) {
-    plans.push_back(t.framework->optimize(g));
+    models.push_back({std::string(spec.name), spec.build(kBatch)});
   }
 
-  // Random task assembly, deterministic across methods.
-  std::mt19937_64 rng(7);
-  std::uniform_int_distribution<std::size_t> pick(0, graphs.size() - 1);
-  std::vector<std::size_t> task_models(kTasks);
-  for (std::size_t& m : task_models) m = pick(rng);
+  // Random task assembly, deterministic across methods: seed 7 reproduces
+  // the historical bench's model-pick sequence exactly.
+  serve::RequestStreamConfig stream_config;
+  stream_config.seed = 7;
+  stream_config.num_tasks = kTasks;
+  stream_config.arrivals = serve::ArrivalProcess::kClosedLoop;
+  stream_config.images_per_task = kImagesPerTask;
+  stream_config.batch = kBatch;
+  const serve::RequestStream stream(models.size(), stream_config);
 
-  const int passes_per_task = kImagesPerTask / static_cast<int>(kBatch);
-  std::vector<hw::WorkItem> items;
-  items.reserve(kTasks);
-  for (std::size_t m : task_models) {
-    items.push_back({&graphs[m], passes_per_task});
-  }
-
-  // PowerLens stitches the per-model schedules into one workload-level
-  // schedule per task boundary; the engine applies per-item schedules by
-  // running items one at a time under the matching plan.
-  auto run_powerlens = [&] {
-    hw::ExecutionResult total;
-    baselines::OndemandGovernor cpu_governor;
-    for (const hw::WorkItem& item : items) {
-      const std::size_t model_index = static_cast<std::size_t>(
-          &item - items.data());
-      const core::OptimizationPlan& plan = plans[task_models[model_index]];
-      hw::RunPolicy policy = engine.default_policy();
-      policy.schedule = &plan.schedule;
-      policy.governor = &cpu_governor;
-      const hw::ExecutionResult r =
-          engine.run(*item.graph, item.passes, policy);
-      total.time_s += r.time_s;
-      total.energy_j += r.energy_j;
-      total.images += r.images;
-      total.dvfs_transitions += r.dvfs_transitions;
-    }
-    return total;
-  };
-
-  const hw::ExecutionResult r_pl = run_powerlens();
-  const hw::ExecutionResult r_bim =
-      run_method(engine, items, Method::kBiM, nullptr);
-  const hw::ExecutionResult r_fg =
-      run_method(engine, items, Method::kFpgG, nullptr);
-  const hw::ExecutionResult r_fcg =
-      run_method(engine, items, Method::kFpgCG, nullptr);
+  const serve::ServeReport r_pl =
+      run_policy(t, models, stream, serve::ServePolicy::kPowerLens);
+  const serve::ServeReport r_bim =
+      run_policy(t, models, stream, serve::ServePolicy::kBiM);
+  const serve::ServeReport r_fg =
+      run_policy(t, models, stream, serve::ServePolicy::kFpgG);
+  const serve::ServeReport r_fcg =
+      run_policy(t, models, stream, serve::ServePolicy::kFpgCG);
 
   std::printf("%-11s %-12s %-10s %-12s %-12s\n", "method", "energy_kJ",
               "time_s", "EE_img_per_J", "dvfs_switches");
   for (const auto& [name, r] :
-       {std::pair<const char*, const hw::ExecutionResult*>{"BiM", &r_bim},
+       {std::pair<const char*, const serve::ServeReport*>{"BiM", &r_bim},
         {"FPG-G", &r_fg},
         {"FPG-CG", &r_fcg},
         {"PowerLens", &r_pl}}) {
     std::printf("%-11s %-12.3f %-10.2f %-12.4f %-12zu\n", name,
-                r->energy_j / 1e3, r->time_s, r->energy_efficiency(),
+                r->energy_j / 1e3, r->busy_s, r->energy_efficiency(),
                 r->dvfs_transitions);
   }
+  std::printf("plan cache: %llu misses (distinct models), %llu hits\n",
+              static_cast<unsigned long long>(r_pl.plan_cache_misses),
+              static_cast<unsigned long long>(r_pl.plan_cache_hits));
 
   std::printf("\nPowerLens vs baselines:\n");
   for (const auto& [name, r] :
-       {std::pair<const char*, const hw::ExecutionResult*>{"FPG-G", &r_fg},
+       {std::pair<const char*, const serve::ServeReport*>{"FPG-G", &r_fg},
         {"FPG-CG", &r_fcg},
         {"BiM", &r_bim}}) {
     std::printf(
         "  vs %-8s energy reduction %6.2f%%   time increase %6.2f%%   EE "
         "gain %6.2f%%\n",
-        name, 100.0 * core::energy_reduction(r_pl, *r),
-        100.0 * core::time_increase(r_pl, *r), 100.0 * core::ee_gain(r_pl, *r));
+        name,
+        100.0 * (r->energy_j - r_pl.energy_j) / r->energy_j,
+        100.0 * (r_pl.busy_s - r->busy_s) / r->busy_s,
+        100.0 * core::ee_gain(r_pl.energy_efficiency(),
+                              r->energy_efficiency()));
   }
 }
 

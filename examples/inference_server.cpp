@@ -1,20 +1,17 @@
 // Example: an edge inference server processing a mixed task queue.
 //
-// The paper's Figure 5 scenario as an application: a stream of inference
-// requests over several models, each carrying a batch of images. The server
-// precomputes one optimization plan per deployed model (offline), then
-// applies the matching preset schedule per request — contrast with a single
-// reactive governor chasing the mixed workload.
-#include "baselines/fpg.hpp"
-#include "baselines/ondemand.hpp"
-#include "core/metrics.hpp"
+// The paper's Figure 5 scenario as an application, driven through the
+// serving subsystem (serve::Server): three deployed models, a seeded
+// Poisson request stream with per-request deadlines, PowerLens preset plans
+// memoized in the plan cache — contrast with a single reactive governor
+// chasing the mixed workload. Also demonstrates admission control: a
+// bounded in-system queue sheds load instead of letting latency grow
+// without bound.
 #include "core/powerlens.hpp"
 #include "dnn/models.hpp"
-#include "hw/sim_engine.hpp"
+#include "serve/server.hpp"
 
 #include <cstdio>
-#include <map>
-#include <random>
 #include <string>
 #include <vector>
 
@@ -22,88 +19,75 @@ using namespace powerlens;
 
 namespace {
 
-struct Request {
-  std::string model;
-  int passes;
-};
+void print_report(const serve::ServeReport& r) {
+  std::printf("  %-10s %10.2f %10.1f %14.3f   p99 %6.3f s  %zu/%zu on time\n",
+              r.policy.c_str(), r.busy_s, r.energy_j, r.energy_efficiency(),
+              r.latency_p99_s, r.admitted - r.deadline_misses, r.admitted);
+}
 
 }  // namespace
 
 int main() {
   const hw::Platform platform = hw::make_tx2();
-  hw::SimEngine engine(platform);
 
   // The server deploys three models.
-  const std::vector<std::string> deployed = {"resnet34", "googlenet",
-                                             "vit_base_32"};
-  std::map<std::string, dnn::Graph> graphs;
-  for (const std::string& name : deployed) {
-    graphs.emplace(name, dnn::make_model(name, /*batch=*/8));
+  std::vector<serve::DeployedModel> models;
+  for (const char* name : {"resnet34", "googlenet", "vit_base_32"}) {
+    models.push_back({name, dnn::make_model(name, /*batch=*/8)});
   }
 
-  // Offline: train once, build one plan per model.
+  // Offline: train once. Plans are built lazily, one per deployed model, on
+  // first request — and memoized in the server's plan cache thereafter.
   core::PowerLensConfig config;
   config.dataset.num_networks = 300;
   core::PowerLens framework(platform, config);
   framework.train();
-  std::map<std::string, core::OptimizationPlan> plans;
-  for (const auto& [name, graph] : graphs) {
-    plans.emplace(name, framework.optimize(graph));
-    std::printf("deployed %-12s -> %zu power block(s)\n", name.c_str(),
-                plans.at(name).view.block_count());
-  }
 
-  // A random request stream.
-  std::mt19937_64 rng(99);
-  std::uniform_int_distribution<std::size_t> pick(0, deployed.size() - 1);
-  std::uniform_int_distribution<int> batches(2, 6);
-  std::vector<Request> queue;
-  for (int i = 0; i < 60; ++i) {
-    queue.push_back({deployed[pick(rng)], batches(rng)});
-  }
+  // A seeded Poisson request stream: 60 requests, ~1.5 arrivals/s, each
+  // carrying 32 images in batches of 8, due 6 s after arrival.
+  serve::RequestStreamConfig stream_config;
+  stream_config.seed = 99;
+  stream_config.num_tasks = 60;
+  stream_config.arrivals = serve::ArrivalProcess::kPoisson;
+  stream_config.arrival_rate_hz = 1.5;
+  stream_config.images_per_task = 32;
+  stream_config.batch = 8;
+  stream_config.deadline_s = 6.0;
+  const serve::RequestStream stream(models.size(), stream_config);
 
-  // Serve under PowerLens (per-request preset schedule).
-  hw::ExecutionResult pl_total;
-  baselines::OndemandGovernor cpu_governor;
-  for (const Request& req : queue) {
-    hw::RunPolicy policy = engine.default_policy();
-    policy.schedule = &plans.at(req.model).schedule;
-    policy.governor = &cpu_governor;
-    const hw::ExecutionResult r =
-        engine.run(graphs.at(req.model), req.passes, policy);
-    pl_total.time_s += r.time_s;
-    pl_total.energy_j += r.energy_j;
-    pl_total.images += r.images;
-  }
-
-  // Serve the identical stream under the reactive baselines.
-  auto serve_reactive = [&](hw::Governor& governor) {
-    std::vector<hw::WorkItem> items;
-    items.reserve(queue.size());
-    for (const Request& req : queue) {
-      items.push_back({&graphs.at(req.model), req.passes});
-    }
-    hw::RunPolicy policy = engine.default_policy();
-    policy.governor = &governor;
-    return engine.run_workload(items, policy);
+  const auto serve_under = [&](serve::ServePolicy policy) {
+    serve::ServerConfig server_config;
+    server_config.policy = policy;
+    server_config.num_workers = 4;  // results are invariant to this
+    serve::Server server(platform, models, server_config, &framework);
+    return server.serve(stream);
   };
-  baselines::OndemandGovernor bim;
-  const hw::ExecutionResult r_bim = serve_reactive(bim);
-  baselines::FpgGovernor fpg(baselines::FpgMode::kGpuOnly);
-  const hw::ExecutionResult r_fpg = serve_reactive(fpg);
 
-  std::printf("\n60 requests, %lld images total:\n",
-              static_cast<long long>(pl_total.images));
-  std::printf("  %-10s %10s %10s %14s\n", "method", "time_s", "energy_J",
+  const serve::ServeReport r_pl = serve_under(serve::ServePolicy::kPowerLens);
+  const serve::ServeReport r_bim = serve_under(serve::ServePolicy::kBiM);
+  const serve::ServeReport r_fpg = serve_under(serve::ServePolicy::kFpgG);
+
+  std::printf("%zu requests, %lld images total (%llu plan-cache hits):\n",
+              r_pl.total_tasks, static_cast<long long>(r_pl.images),
+              static_cast<unsigned long long>(r_pl.plan_cache_hits));
+  std::printf("  %-10s %10s %10s %14s\n", "method", "busy_s", "energy_J",
               "EE_img_per_J");
-  std::printf("  %-10s %10.2f %10.1f %14.3f\n", "ondemand", r_bim.time_s,
-              r_bim.energy_j, r_bim.energy_efficiency());
-  std::printf("  %-10s %10.2f %10.1f %14.3f\n", "FPG-G", r_fpg.time_s,
-              r_fpg.energy_j, r_fpg.energy_efficiency());
-  std::printf("  %-10s %10.2f %10.1f %14.3f\n", "PowerLens", pl_total.time_s,
-              pl_total.energy_j, pl_total.energy_efficiency());
-  std::printf("\nEE gain vs ondemand: %.1f%%, vs FPG-G: %.1f%%\n",
-              100.0 * core::ee_gain(pl_total, r_bim),
-              100.0 * core::ee_gain(pl_total, r_fpg));
+  print_report(r_bim);
+  print_report(r_fpg);
+  print_report(r_pl);
+
+  // Overload response: cap the in-system queue at 4 requests and shed the
+  // rest at arrival (plan policies only — a reactive governor's history
+  // cannot be forked around a rejected request).
+  serve::ServerConfig bounded;
+  bounded.policy = serve::ServePolicy::kPowerLens;
+  bounded.num_workers = 4;
+  bounded.admission_capacity = 4;
+  serve::Server server(platform, models, bounded, &framework);
+  const serve::ServeReport r_cap = server.serve(stream);
+  std::printf(
+      "\nwith admission_capacity=4: admitted %zu, rejected %zu, "
+      "p99 latency %.3f s (was %.3f s)\n",
+      r_cap.admitted, r_cap.rejected, r_cap.latency_p99_s, r_pl.latency_p99_s);
   return 0;
 }

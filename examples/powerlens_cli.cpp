@@ -4,12 +4,17 @@
 //   powerlens_cli optimize <tx2|agx> <models.txt> <model> [batch]
 //   powerlens_cli profile  <tx2|agx> <model> [level] [batch]
 //   powerlens_cli run      <tx2|agx> <models.txt> <model> [passes] [batch]
+//   powerlens_cli serve    <tx2|agx> <models.txt|-> [tasks] [policy]
+//                          [workers] [rate_hz]
 //   powerlens_cli models
 //
 // `train` runs the offline phase and persists the trained bundle;
 // `optimize` loads it and prints the instrumentation plan; `profile` dumps
 // the per-layer roofline profile; `run` simulates deployment against the
-// ondemand baseline.
+// ondemand baseline; `serve` replays a seeded request stream over the whole
+// model zoo through the serving engine (policy: powerlens|maxn|bim|fpg-g|
+// fpg-cg; rate_hz 0 = closed loop, otherwise Poisson arrivals) and prints a
+// JSON summary. Pass `-` for the bundle with non-powerlens policies.
 //
 // Every command also accepts the observability flags:
 //   --trace <file>     Chrome/Perfetto trace (load in ui.perfetto.dev)
@@ -22,6 +27,7 @@
 #include "dnn/models.hpp"
 #include "hw/sim_engine.hpp"
 #include "obs/setup.hpp"
+#include "serve/server.hpp"
 
 #include <cstdio>
 #include <cstdlib>
@@ -41,6 +47,8 @@ int usage() {
                "  powerlens_cli profile  <tx2|agx> <model> [level] [batch]\n"
                "  powerlens_cli run      <tx2|agx> <models.txt> <model> "
                "[passes] [batch]\n"
+               "  powerlens_cli serve    <tx2|agx> <models.txt|-> [tasks] "
+               "[powerlens|maxn|bim|fpg-g|fpg-cg] [workers] [rate_hz]\n"
                "  powerlens_cli models\n"
                "common flags: --trace <file> --metrics <file> "
                "--log-level <off|error|warn|info|debug|trace>\n");
@@ -129,6 +137,57 @@ int cmd_run(const hw::Platform& platform, const std::string& bundle,
   return 0;
 }
 
+serve::ServePolicy parse_policy(const std::string& name) {
+  if (name == "powerlens") return serve::ServePolicy::kPowerLens;
+  if (name == "maxn") return serve::ServePolicy::kMaxn;
+  if (name == "bim") return serve::ServePolicy::kBiM;
+  if (name == "fpg-g") return serve::ServePolicy::kFpgG;
+  if (name == "fpg-cg") return serve::ServePolicy::kFpgCG;
+  throw std::invalid_argument("unknown serve policy '" + name + "'");
+}
+
+int cmd_serve(const hw::Platform& platform, const std::string& bundle,
+              std::size_t tasks, serve::ServePolicy policy,
+              std::size_t workers, double rate_hz) {
+  core::PowerLens framework(platform, {});
+  if (policy == serve::ServePolicy::kPowerLens) {
+    if (bundle == "-") {
+      throw std::invalid_argument(
+          "serve: the powerlens policy needs a trained bundle (run "
+          "`powerlens_cli train` first)");
+    }
+    framework.load_models(bundle);
+  }
+
+  constexpr std::int64_t kBatch = 10;
+  std::vector<serve::DeployedModel> models;
+  for (const dnn::ModelSpec& spec : dnn::model_zoo()) {
+    models.push_back({std::string(spec.name), spec.build(kBatch)});
+  }
+
+  serve::RequestStreamConfig stream_config;
+  stream_config.num_tasks = tasks;
+  if (rate_hz > 0.0) {
+    stream_config.arrivals = serve::ArrivalProcess::kPoisson;
+    stream_config.arrival_rate_hz = rate_hz;
+  }
+  const serve::RequestStream stream(models.size(), stream_config);
+
+  serve::ServerConfig config;
+  config.policy = policy;
+  config.num_workers = workers;
+  serve::Server server(platform, std::move(models), config, &framework);
+  const serve::ServeReport report = server.serve(stream);
+
+  std::printf("%zu tasks on %s under %s: %.1f J, makespan %.2f s, EE %.4f "
+              "img/J, p99 latency %.3f s\n",
+              report.total_tasks, report.platform.c_str(),
+              report.policy.c_str(), report.energy_j, report.makespan_s,
+              report.energy_efficiency(), report.latency_p99_s);
+  report.write_json(std::cout);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -159,6 +218,14 @@ int main(int argc, char** argv) {
       return cmd_run(parse_platform(argv[2]), argv[3], argv[4],
                      argc > 5 ? std::atoi(argv[5]) : 30,
                      argc > 6 ? std::atoll(argv[6]) : 8);
+    }
+    if (cmd == "serve" && argc >= 4) {
+      return cmd_serve(
+          parse_platform(argv[2]), argv[3],
+          argc > 4 ? static_cast<std::size_t>(std::atoll(argv[4])) : 100,
+          parse_policy(argc > 5 ? argv[5] : "powerlens"),
+          argc > 6 ? static_cast<std::size_t>(std::atoll(argv[6])) : 4,
+          argc > 7 ? std::atof(argv[7]) : 0.0);
     }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());

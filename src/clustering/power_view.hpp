@@ -42,6 +42,8 @@ class PowerView {
 
   std::string to_string() const;
 
+  bool operator==(const PowerView&) const noexcept = default;
+
  private:
   std::vector<PowerBlock> blocks_;
   std::size_t num_layers_ = 0;

@@ -85,6 +85,9 @@ struct OptimizationPlan {
   clustering::PowerView view;
   std::vector<std::size_t> block_levels;  // one GPU level per block
   hw::PresetSchedule schedule;
+
+  // Field-exact equality — the PlanCache's hit-equals-fresh-plan invariant.
+  bool operator==(const OptimizationPlan&) const noexcept = default;
 };
 
 class PowerLens {

@@ -57,6 +57,8 @@ class Governor {
 struct PresetPoint {
   std::size_t layer_index = 0;
   std::size_t gpu_level = 0;
+
+  bool operator==(const PresetPoint&) const noexcept = default;
 };
 
 struct PresetSchedule {
@@ -73,6 +75,8 @@ struct PresetSchedule {
   std::optional<std::size_t> cpu_level_at(std::size_t layer_index) const {
     return find(cpu_points, layer_index);
   }
+
+  bool operator==(const PresetSchedule&) const noexcept = default;
 
  private:
   static std::optional<std::size_t> find(const std::vector<PresetPoint>& pts,

@@ -357,11 +357,14 @@ ExecutionResult SimEngine::run_workload(std::span<const WorkItem> items,
     st.next_sample_at = policy.governor->sample_period_s();
   }
 
+  std::vector<WorkItemMark> item_marks;
+  item_marks.reserve(items.size());
   for (const WorkItem& item : items) {
     if (item.graph == nullptr) {
       throw std::invalid_argument("SimEngine: null graph in workload");
     }
     execute_graph(*item.graph, item.passes, policy, st);
+    item_marks.push_back({st.time, st.energy, st.images, st.transitions});
   }
   st.telemetry.finish(st.time);
 
@@ -384,6 +387,7 @@ ExecutionResult SimEngine::run_workload(std::span<const WorkItem> items,
   r.gpu_trace = std::move(st.trace);
   r.power_samples.assign(st.telemetry.samples().begin(),
                          st.telemetry.samples().end());
+  r.item_marks = std::move(item_marks);
 
   // Aggregate run accounting in the global registry — one registry lookup
   // per run, nothing on the simulation hot path.

@@ -69,6 +69,17 @@ struct FreqTracePoint {
   std::size_t gpu_level = 0;
 };
 
+// Cumulative run totals at the instant a work item completes. Consecutive
+// marks difference into exact per-item accounting, which is how the serving
+// layer attributes latency/energy to individual requests of a continuous
+// reactive-governor run without perturbing it.
+struct WorkItemMark {
+  double end_time_s = 0.0;
+  double end_energy_j = 0.0;
+  std::int64_t end_images = 0;
+  std::size_t end_transitions = 0;
+};
+
 struct ExecutionResult {
   double time_s = 0.0;
   double energy_j = 0.0;
@@ -83,6 +94,7 @@ struct ExecutionResult {
   double telemetry_energy_j = 0.0;
   std::vector<FreqTracePoint> gpu_trace;  // level changes (incl. initial)
   std::vector<PowerSample> power_samples; // tegrastats-style trace
+  std::vector<WorkItemMark> item_marks;   // one per work item, in order
 
   double avg_power_w() const noexcept {
     return time_s > 0.0 ? energy_j / time_s : 0.0;

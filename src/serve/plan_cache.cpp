@@ -1,0 +1,82 @@
+#include "serve/plan_cache.hpp"
+
+#include "obs/metrics.hpp"
+#include "serve/signature.hpp"
+
+#include <stdexcept>
+
+namespace powerlens::serve {
+
+namespace {
+
+obs::Counter& hit_counter() {
+  static obs::Counter& c = obs::global_metrics().counter(
+      "powerlens_serve_plan_cache_hits_total",
+      "plan cache lookups served from the cache");
+  return c;
+}
+
+obs::Counter& miss_counter() {
+  static obs::Counter& c = obs::global_metrics().counter(
+      "powerlens_serve_plan_cache_misses_total",
+      "plan cache lookups that computed a fresh plan");
+  return c;
+}
+
+}  // namespace
+
+PlanCache::PlanCache(std::size_t num_shards) : shards_(num_shards) {
+  if (num_shards == 0) {
+    throw std::invalid_argument("PlanCache: num_shards must be positive");
+  }
+}
+
+PlanCache::PlanPtr PlanCache::get_or_compute(const dnn::Graph& graph,
+                                             const PlanFactory& factory) {
+  const std::uint64_t sig = graph_signature(graph);
+  Shard& shard = shard_for(sig);
+  const std::lock_guard<std::mutex> lock(shard.mu);
+  const auto it = shard.plans.find(sig);
+  if (it != shard.plans.end()) {
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    hit_counter().inc();
+    return it->second;
+  }
+  // Computed under the shard lock: concurrent requests for the same model
+  // wait here and then hit, so each signature is optimized exactly once.
+  PlanPtr plan =
+      std::make_shared<const core::OptimizationPlan>(factory(graph));
+  shard.plans.emplace(sig, plan);
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  miss_counter().inc();
+  return plan;
+}
+
+PlanCache::PlanPtr PlanCache::lookup(const dnn::Graph& graph) const {
+  const std::uint64_t sig = graph_signature(graph);
+  Shard& shard = shard_for(sig);
+  const std::lock_guard<std::mutex> lock(shard.mu);
+  const auto it = shard.plans.find(sig);
+  if (it == shard.plans.end()) return nullptr;
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  hit_counter().inc();
+  return it->second;
+}
+
+std::size_t PlanCache::size() const {
+  std::size_t total = 0;
+  for (const Shard& shard : shards_) {
+    const std::lock_guard<std::mutex> lock(shard.mu);
+    total += shard.plans.size();
+  }
+  return total;
+}
+
+void PlanCache::clear() {
+  for (Shard& shard : shards_) {
+    const std::lock_guard<std::mutex> lock(shard.mu);
+    shard.plans.clear();
+  }
+}
+
+}  // namespace powerlens::serve

@@ -1,0 +1,70 @@
+// Sharded memoization of PowerLens::optimize results.
+//
+// The offline-instrumentation story of the paper becomes a serving-layer
+// cache: the first request for a model pays the optimize() cost, every
+// subsequent request reuses the stored plan. Keys are stable structural
+// graph signatures (serve/signature.hpp); optimize() is a pure function of
+// the graph for a trained framework, so a hit is byte-identical to a fresh
+// plan — test-asserted, not assumed.
+//
+// Shards are locked independently; a miss computes *under the shard lock*,
+// which serializes concurrent misses that hash to the same shard but
+// guarantees each key is computed exactly once. That makes the hit/miss
+// counters (exported to the global metrics registry as
+// powerlens_serve_plan_cache_{hits,misses}_total) deterministic for a given
+// request set, whatever the worker count.
+#pragma once
+
+#include "core/powerlens.hpp"
+#include "dnn/graph.hpp"
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+namespace powerlens::serve {
+
+class PlanCache {
+ public:
+  using PlanPtr = std::shared_ptr<const core::OptimizationPlan>;
+  using PlanFactory =
+      std::function<core::OptimizationPlan(const dnn::Graph&)>;
+
+  explicit PlanCache(std::size_t num_shards = 8);
+
+  // The plan for `graph`'s signature, computing it with `factory` on first
+  // use. Thread-safe; each distinct signature is computed exactly once.
+  PlanPtr get_or_compute(const dnn::Graph& graph, const PlanFactory& factory);
+
+  // Cached plan if present (counts as a hit); nullptr otherwise (no miss
+  // counted — nothing was computed).
+  PlanPtr lookup(const dnn::Graph& graph) const;
+
+  std::uint64_t hits() const noexcept {
+    return hits_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t misses() const noexcept {
+    return misses_.load(std::memory_order_relaxed);
+  }
+  std::size_t size() const;
+  void clear();
+
+ private:
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<std::uint64_t, PlanPtr> plans;
+  };
+  Shard& shard_for(std::uint64_t signature) const noexcept {
+    return shards_[signature % shards_.size()];
+  }
+
+  mutable std::vector<Shard> shards_;
+  mutable std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+};
+
+}  // namespace powerlens::serve

@@ -1,0 +1,85 @@
+// Bounded MPMC queue for host-side request dispatch.
+//
+// Mutex + condition-variable ring with close() semantics: producers block
+// while the queue is full (backpressure toward the stream generator),
+// consumers block while it is empty and drain remaining items after close().
+// This bounds only *host* memory/concurrency — admission control on the
+// simulated clock lives in the Server's deterministic timeline fold, so
+// serving results never depend on host-side scheduling.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <stdexcept>
+#include <utility>
+
+namespace powerlens::serve {
+
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(std::size_t capacity) : capacity_(capacity) {
+    if (capacity_ == 0) {
+      throw std::invalid_argument("BoundedQueue: capacity must be positive");
+    }
+  }
+  BoundedQueue(const BoundedQueue&) = delete;
+  BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+  // Blocks while full. Returns false (dropping `v`) if the queue is closed.
+  bool push(T v) {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_full_.wait(lock,
+                   [&] { return closed_ || items_.size() < capacity_; });
+    if (closed_) return false;
+    items_.push_back(std::move(v));
+    peak_depth_ = std::max(peak_depth_, items_.size());
+    lock.unlock();
+    not_empty_.notify_one();
+    return true;
+  }
+
+  // Blocks while empty. Returns nullopt once closed and drained.
+  std::optional<T> pop() {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_empty_.wait(lock, [&] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return std::nullopt;
+    T v = std::move(items_.front());
+    items_.pop_front();
+    lock.unlock();
+    not_full_.notify_one();
+    return v;
+  }
+
+  // Wakes all blocked producers and consumers; queued items stay poppable.
+  void close() {
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    not_full_.notify_all();
+    not_empty_.notify_all();
+  }
+
+  std::size_t capacity() const noexcept { return capacity_; }
+
+  // High-water mark of the host-side backlog (diagnostics only).
+  std::size_t peak_depth() const {
+    const std::lock_guard<std::mutex> lock(mu_);
+    return peak_depth_;
+  }
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::deque<T> items_;
+  std::size_t peak_depth_ = 0;
+  bool closed_ = false;
+};
+
+}  // namespace powerlens::serve

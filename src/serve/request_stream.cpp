@@ -1,0 +1,61 @@
+#include "serve/request_stream.hpp"
+
+#include "util/rng.hpp"
+
+#include <random>
+#include <stdexcept>
+
+namespace powerlens::serve {
+
+RequestStream::RequestStream(std::size_t num_models,
+                             RequestStreamConfig config)
+    : num_models_(num_models), config_(config) {
+  if (num_models_ == 0) {
+    throw std::invalid_argument("RequestStream: no deployed models");
+  }
+  if (config_.batch <= 0 || config_.images_per_task <= 0) {
+    throw std::invalid_argument(
+        "RequestStream: batch and images_per_task must be positive");
+  }
+  if (config_.arrivals == ArrivalProcess::kPoisson &&
+      config_.arrival_rate_hz <= 0.0) {
+    throw std::invalid_argument(
+        "RequestStream: Poisson arrivals need arrival_rate_hz > 0");
+  }
+  if (config_.deadline_s < 0.0) {
+    throw std::invalid_argument("RequestStream: negative deadline");
+  }
+}
+
+std::vector<Task> RequestStream::generate() const {
+  std::vector<Task> tasks(config_.num_tasks);
+
+  // Model picks first, from the bare seed — the exact draw sequence of the
+  // Figure 5 bench, so seed 7 reproduces the paper workload's task list.
+  std::mt19937_64 model_rng(config_.seed);
+  std::uniform_int_distribution<std::size_t> pick(0, num_models_ - 1);
+  const int passes = (config_.images_per_task +
+                      static_cast<int>(config_.batch) - 1) /
+                     static_cast<int>(config_.batch);
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    tasks[i].id = i;
+    tasks[i].model_index = pick(model_rng);
+    tasks[i].passes = passes;
+    tasks[i].deadline_s = config_.deadline_s;
+  }
+
+  // Arrivals from a split stream, so enabling them never perturbs the model
+  // sequence above.
+  if (config_.arrivals == ArrivalProcess::kPoisson) {
+    std::mt19937_64 arrival_rng(util::split_seed(config_.seed, 1));
+    std::exponential_distribution<double> gap(config_.arrival_rate_hz);
+    double t = 0.0;
+    for (Task& task : tasks) {
+      t += gap(arrival_rng);
+      task.arrival_s = t;
+    }
+  }
+  return tasks;
+}
+
+}  // namespace powerlens::serve

@@ -1,0 +1,62 @@
+// Seeded, deterministic request-stream generator for the serving layer.
+//
+// A task flow (the paper's Figure 5 scenario, scaled toward a real serving
+// workload) is a sequence of inference tasks {model, images, arrival time,
+// optional deadline}. Generation is a pure function of the config: model
+// picks are drawn first from one generator and arrival times from a second
+// generator split off the same seed, so the model sequence for a given seed
+// is identical whether arrivals are closed-loop or Poisson — the property
+// that lets one stream be replayed under every policy and arrival regime.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace powerlens::serve {
+
+enum class ArrivalProcess {
+  kClosedLoop,  // all tasks queued at t = 0, device always backlogged
+  kPoisson,     // exponential inter-arrival times at arrival_rate_hz
+};
+
+struct RequestStreamConfig {
+  std::uint64_t seed = 7;
+  std::size_t num_tasks = 100;
+  ArrivalProcess arrivals = ArrivalProcess::kClosedLoop;
+  double arrival_rate_hz = 0.0;  // mean task arrivals per simulated second
+  int images_per_task = 50;      // images each task processes
+  std::int64_t batch = 10;       // images per forward pass
+  // Relative deadline applied to every task (seconds after arrival);
+  // 0 disables deadline accounting.
+  double deadline_s = 0.0;
+};
+
+struct Task {
+  std::size_t id = 0;           // position in the stream (arrival order)
+  std::size_t model_index = 0;  // into the server's deployed-model list
+  int passes = 1;               // forward passes (images = passes * batch)
+  double arrival_s = 0.0;       // simulated arrival time
+  double deadline_s = 0.0;      // relative deadline; 0 = none
+};
+
+class RequestStream {
+ public:
+  // `num_models` is the size of the deployed-model list tasks index into.
+  // Throws std::invalid_argument on zero models, a non-positive batch or
+  // images count, or a Poisson config without a positive rate.
+  RequestStream(std::size_t num_models, RequestStreamConfig config);
+
+  // The full task sequence, sorted by arrival time (ids break ties).
+  // Deterministic: same config, same tasks, bit for bit.
+  std::vector<Task> generate() const;
+
+  const RequestStreamConfig& config() const noexcept { return config_; }
+  std::size_t num_models() const noexcept { return num_models_; }
+
+ private:
+  std::size_t num_models_;
+  RequestStreamConfig config_;
+};
+
+}  // namespace powerlens::serve

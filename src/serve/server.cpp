@@ -1,0 +1,436 @@
+#include "serve/server.hpp"
+
+#include "baselines/fpg.hpp"
+#include "baselines/ondemand.hpp"
+#include "hw/sim_engine.hpp"
+#include "obs/json.hpp"
+#include "obs/log.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "serve/queue.hpp"
+
+#include <algorithm>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <queue>
+#include <stdexcept>
+#include <thread>
+
+namespace powerlens::serve {
+
+namespace {
+
+constexpr double kUsPerS = 1e6;
+constexpr int kDeviceTid = 0;  // per-request spans on the device timeline
+constexpr int kQueueTid = 1;   // in-system depth counter + rejections
+
+// Nearest-rank quantile over an ascending-sorted sample.
+double quantile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const std::size_t idx = std::min(
+      sorted.size() - 1, static_cast<std::size_t>(q * sorted.size()));
+  return sorted[idx];
+}
+
+}  // namespace
+
+const char* policy_name(ServePolicy policy) noexcept {
+  switch (policy) {
+    case ServePolicy::kPowerLens: return "PowerLens";
+    case ServePolicy::kMaxn: return "MAXN";
+    case ServePolicy::kBiM: return "BiM";
+    case ServePolicy::kFpgG: return "FPG-G";
+    case ServePolicy::kFpgCG: return "FPG-CG";
+  }
+  return "?";
+}
+
+bool is_plan_policy(ServePolicy policy) noexcept {
+  return policy == ServePolicy::kPowerLens || policy == ServePolicy::kMaxn;
+}
+
+Server::Server(const hw::Platform& platform,
+               std::vector<DeployedModel> models, ServerConfig config,
+               const core::PowerLens* framework)
+    : platform_(&platform),
+      models_(std::move(models)),
+      config_(config),
+      framework_(framework) {
+  if (models_.empty()) {
+    throw std::invalid_argument("Server: no deployed models");
+  }
+  for (const DeployedModel& m : models_) {
+    if (m.graph.empty()) {
+      throw std::invalid_argument("Server: deployed model '" + m.name +
+                                  "' has an empty graph");
+    }
+  }
+  if (config_.dispatch_depth == 0) {
+    throw std::invalid_argument("Server: dispatch_depth must be positive");
+  }
+}
+
+PlanCache::PlanPtr Server::plan_for(const dnn::Graph& graph) {
+  if (framework_ == nullptr || !framework_->trained()) {
+    throw std::logic_error(
+        "Server: the PowerLens policy needs a trained framework");
+  }
+  const auto factory = [this](const dnn::Graph& g) {
+    return framework_->optimize(g);
+  };
+  if (config_.use_plan_cache) {
+    return cache_.get_or_compute(graph, factory);
+  }
+  return std::make_shared<const core::OptimizationPlan>(factory(graph));
+}
+
+std::vector<Server::ServiceResult> Server::simulate_parallel(
+    std::span<const Task> tasks) {
+  std::vector<ServiceResult> results(tasks.size());
+  if (tasks.empty()) return results;
+
+  // Resolving a PowerLens plan touches the cache (or the framework); probe
+  // the error path up front so worker threads never throw on a
+  // misconfigured server.
+  if (config_.policy == ServePolicy::kPowerLens) {
+    if (framework_ == nullptr || !framework_->trained()) {
+      throw std::logic_error(
+          "Server: the PowerLens policy needs a trained framework");
+    }
+  }
+
+  BoundedQueue<std::size_t> queue(config_.dispatch_depth);
+  std::mutex error_mu;
+  std::exception_ptr first_error;
+
+  const auto worker = [&] {
+    // Each worker owns its simulator and CPU governor; runs are independent
+    // (the governor resets per run), so results are keyed by task index and
+    // invariant to which worker claims which request.
+    hw::SimEngine engine(*platform_);
+    baselines::OndemandGovernor cpu_governor;
+    bool draining = false;
+    while (const std::optional<std::size_t> idx = queue.pop()) {
+      if (draining) continue;  // a sibling failed; keep the producer moving
+      try {
+        const Task& task = tasks[*idx];
+        const DeployedModel& model = models_[task.model_index];
+        hw::RunPolicy policy = engine.default_policy();
+        policy.trace_label = policy_name(config_.policy);
+        PlanCache::PlanPtr plan;  // keeps the schedule alive through run()
+        if (config_.policy == ServePolicy::kPowerLens) {
+          plan = plan_for(model.graph);
+          policy.schedule = &plan->schedule;
+          policy.governor = &cpu_governor;
+        }
+        const hw::ExecutionResult r =
+            engine.run(model.graph, task.passes, policy);
+        results[*idx] = {r.time_s, r.energy_j, r.images, r.dvfs_transitions};
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(error_mu);
+        if (!first_error) first_error = std::current_exception();
+        draining = true;
+      }
+    }
+  };
+
+  const std::size_t num_workers =
+      std::min(std::max<std::size_t>(1, config_.num_workers), tasks.size());
+  std::vector<std::thread> workers;
+  workers.reserve(num_workers);
+  for (std::size_t w = 0; w < num_workers; ++w) workers.emplace_back(worker);
+  for (std::size_t i = 0; i < tasks.size(); ++i) queue.push(i);
+  queue.close();
+  for (std::thread& t : workers) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+  return results;
+}
+
+std::vector<Server::ServiceResult> Server::simulate_reactive(
+    std::span<const Task> tasks) {
+  std::vector<hw::WorkItem> items;
+  items.reserve(tasks.size());
+  for (const Task& task : tasks) {
+    items.push_back({&models_[task.model_index].graph, task.passes});
+  }
+
+  baselines::OndemandGovernor ondemand;
+  baselines::FpgGovernor fpg_g(baselines::FpgMode::kGpuOnly);
+  baselines::FpgGovernor fpg_cg(baselines::FpgMode::kCpuGpu);
+  hw::SimEngine engine(*platform_);
+  hw::RunPolicy policy = engine.default_policy();
+  policy.trace = config_.trace;
+  policy.trace_label = policy_name(config_.policy);
+  switch (config_.policy) {
+    case ServePolicy::kBiM: policy.governor = &ondemand; break;
+    case ServePolicy::kFpgG: policy.governor = &fpg_g; break;
+    case ServePolicy::kFpgCG: policy.governor = &fpg_cg; break;
+    default:
+      throw std::logic_error("Server: not a reactive policy");
+  }
+
+  const hw::ExecutionResult r = engine.run_workload(items, policy);
+  marks_.assign(r.item_marks.begin(), r.item_marks.end());
+
+  std::vector<ServiceResult> results(tasks.size());
+  hw::WorkItemMark prev;
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const hw::WorkItemMark& mark = r.item_marks[i];
+    results[i] = {mark.end_time_s - prev.end_time_s,
+                  mark.end_energy_j - prev.end_energy_j,
+                  mark.end_images - prev.end_images,
+                  mark.end_transitions - prev.end_transitions};
+    prev = mark;
+  }
+  return results;
+}
+
+ServeReport Server::fold_timeline(std::span<const Task> tasks,
+                                  std::span<const ServiceResult> services,
+                                  std::uint64_t cache_hits_before,
+                                  std::uint64_t cache_misses_before) {
+  const bool continuous = !marks_.empty();
+
+  ServeReport report;
+  report.platform = platform_->name;
+  report.policy = policy_name(config_.policy);
+  report.total_tasks = tasks.size();
+  report.outcomes.resize(tasks.size());
+
+  obs::TraceWriter& tw =
+      config_.trace != nullptr ? *config_.trace : obs::default_trace();
+  obs::TraceWriter* trace = tw.enabled() ? &tw : nullptr;
+  int pid = 0;
+  if (trace != nullptr) {
+    pid = trace->next_virtual_pid();
+    trace->name_process(pid, "serve " + platform_->name + " (" +
+                                 report.policy + ")");
+    trace->name_thread(pid, kDeviceTid, "device");
+    trace->name_thread(pid, kQueueTid, "queue");
+  }
+
+  // Finish times of admitted tasks still in the system (waiting or in
+  // service) — the simulated queue the admission bound applies to.
+  std::priority_queue<double, std::vector<double>, std::greater<>> in_system;
+  double device_free = 0.0;
+  double idle_total = 0.0;  // continuous mode: idle inserted before starts
+  std::vector<double> latencies;
+  latencies.reserve(tasks.size());
+
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    const Task& task = tasks[i];
+    RequestOutcome& out = report.outcomes[i];
+    out.task_id = task.id;
+    out.model_index = task.model_index;
+    out.arrival_s = task.arrival_s;
+    out.deadline_s = task.deadline_s;
+
+    while (!in_system.empty() && in_system.top() <= task.arrival_s) {
+      in_system.pop();
+    }
+    if (config_.admission_capacity > 0 &&
+        in_system.size() >= config_.admission_capacity) {
+      ++report.rejected;
+      if (trace != nullptr) {
+        trace->instant_at(pid, kQueueTid, task.arrival_s * kUsPerS,
+                          "rejected", "serve",
+                          {obs::TraceArg::num(
+                              "task", static_cast<double>(task.id))});
+      }
+      continue;
+    }
+
+    const ServiceResult& svc = services[i];
+    out.admitted = true;
+    out.start_s = std::max(task.arrival_s, device_free);
+    if (continuous) {
+      // Finish times chain off the continuous run's own clock so the
+      // closed-loop case reproduces it bit for bit; idle gaps only shift
+      // the chain.
+      idle_total += out.start_s - device_free;
+      out.finish_s = idle_total + marks_[i].end_time_s;
+    } else {
+      out.finish_s = out.start_s + svc.service_s;
+    }
+    device_free = out.finish_s;
+    in_system.push(out.finish_s);
+    report.peak_queue_depth =
+        std::max(report.peak_queue_depth, in_system.size());
+
+    out.service_s = svc.service_s;
+    out.wait_s = out.start_s - task.arrival_s;
+    out.energy_j = svc.energy_j;
+    out.images = svc.images;
+    out.dvfs_transitions = svc.dvfs_transitions;
+    out.deadline_missed =
+        task.deadline_s > 0.0 && out.latency_s() > task.deadline_s;
+
+    ++report.admitted;
+    if (out.deadline_missed) ++report.deadline_misses;
+    latencies.push_back(out.latency_s());
+    report.makespan_s = out.finish_s;
+    if (!continuous) {
+      report.energy_j += svc.energy_j;
+      report.busy_s += svc.service_s;
+      report.images += svc.images;
+      report.dvfs_transitions += svc.dvfs_transitions;
+    }
+
+    if (trace != nullptr) {
+      const DeployedModel& model = models_[task.model_index];
+      trace->counter(pid, kQueueTid, task.arrival_s * kUsPerS, "in_system",
+                     static_cast<double>(in_system.size()));
+      trace->begin_at(pid, kDeviceTid, out.start_s * kUsPerS, model.name,
+                      "serve",
+                      {obs::TraceArg::num("task",
+                                          static_cast<double>(task.id)),
+                       obs::TraceArg::num("wait_ms", out.wait_s * 1e3)});
+      trace->end_at(pid, kDeviceTid, out.finish_s * kUsPerS, model.name,
+                    "serve");
+    }
+  }
+
+  if (continuous && !marks_.empty()) {
+    // Aggregates come from the continuous run's own accumulators, not a
+    // re-summation of per-item differences (floating-point addition does
+    // not cancel exactly), so the report equals the direct run_workload.
+    const hw::WorkItemMark& last = marks_.back();
+    report.energy_j = last.end_energy_j;
+    report.busy_s = last.end_time_s;
+    report.images = last.end_images;
+    report.dvfs_transitions = last.end_transitions;
+  }
+
+  std::sort(latencies.begin(), latencies.end());
+  if (!latencies.empty()) {
+    double sum = 0.0;
+    for (const double v : latencies) sum += v;
+    report.latency_mean_s = sum / static_cast<double>(latencies.size());
+    report.latency_p50_s = quantile(latencies, 0.50);
+    report.latency_p99_s = quantile(latencies, 0.99);
+    report.latency_max_s = latencies.back();
+  }
+  report.plan_cache_hits = cache_.hits() - cache_hits_before;
+  report.plan_cache_misses = cache_.misses() - cache_misses_before;
+
+  // Aggregate accounting in the global registry, once per serve() call.
+  obs::MetricsRegistry& metrics = obs::global_metrics();
+  metrics.counter("powerlens_serve_requests_total", "requests offered")
+      .inc(static_cast<double>(report.total_tasks));
+  metrics.counter("powerlens_serve_admitted_total", "requests admitted")
+      .inc(static_cast<double>(report.admitted));
+  metrics
+      .counter("powerlens_serve_rejected_total",
+               "requests rejected by admission control")
+      .inc(static_cast<double>(report.rejected));
+  metrics
+      .counter("powerlens_serve_deadline_misses_total",
+               "admitted requests finishing past their deadline")
+      .inc(static_cast<double>(report.deadline_misses));
+  metrics
+      .counter("powerlens_serve_energy_joules_total",
+               "simulated energy of admitted requests")
+      .inc(report.energy_j);
+  metrics
+      .counter("powerlens_serve_images_total",
+               "images inferred for admitted requests")
+      .inc(static_cast<double>(report.images));
+  metrics
+      .gauge("powerlens_serve_queue_depth_peak",
+             "in-system high-water mark of the last serve() call")
+      .set(static_cast<double>(report.peak_queue_depth));
+  obs::Histogram& latency_hist = metrics.histogram(
+      "powerlens_serve_latency_seconds", obs::default_seconds_buckets(),
+      "request latency (arrival to finish, simulated)");
+  for (const double v : latencies) latency_hist.observe(v);
+
+  obs::log_info("serve", "stream served",
+                {{"policy", report.policy},
+                 {"tasks", static_cast<double>(report.total_tasks)},
+                 {"admitted", static_cast<double>(report.admitted)},
+                 {"rejected", static_cast<double>(report.rejected)},
+                 {"deadline_misses",
+                  static_cast<double>(report.deadline_misses)},
+                 {"energy_j", report.energy_j},
+                 {"makespan_s", report.makespan_s}});
+  return report;
+}
+
+ServeReport Server::serve(const RequestStream& stream) {
+  if (stream.num_models() != models_.size()) {
+    throw std::invalid_argument(
+        "Server: stream was built for a different model count");
+  }
+  const std::vector<Task> tasks = stream.generate();
+  return serve(tasks);
+}
+
+ServeReport Server::serve(std::span<const Task> tasks) {
+  double prev_arrival = 0.0;
+  for (const Task& task : tasks) {
+    if (task.model_index >= models_.size()) {
+      throw std::invalid_argument("Server: task model_index out of range");
+    }
+    if (task.passes <= 0) {
+      throw std::invalid_argument("Server: task passes must be positive");
+    }
+    if (task.arrival_s < prev_arrival) {
+      throw std::invalid_argument(
+          "Server: tasks must be sorted by arrival time");
+    }
+    prev_arrival = task.arrival_s;
+  }
+  if (!is_plan_policy(config_.policy) && config_.admission_capacity > 0) {
+    // Rejecting a request mid-stream would fork the reactive governor's
+    // history; refuse rather than silently approximate.
+    throw std::invalid_argument(
+        "Server: admission control requires a plan policy");
+  }
+
+  const std::uint64_t hits_before = cache_.hits();
+  const std::uint64_t misses_before = cache_.misses();
+  marks_.clear();
+  const std::vector<ServiceResult> services =
+      is_plan_policy(config_.policy) ? simulate_parallel(tasks)
+                                     : simulate_reactive(tasks);
+  return fold_timeline(tasks, services, hits_before, misses_before);
+}
+
+void ServeReport::write_json(std::ostream& os) const {
+  std::string body;
+  const auto field = [&body](std::string_view key, double v) {
+    if (!body.empty()) body += ", ";
+    body += '"';
+    obs::append_json_escaped(body, key);
+    body += "\": ";
+    obs::append_json_number(body, v);
+  };
+  body += "\"platform\": \"";
+  obs::append_json_escaped(body, platform);
+  body += "\", \"policy\": \"";
+  obs::append_json_escaped(body, policy);
+  body += '"';
+  field("total_tasks", static_cast<double>(total_tasks));
+  field("admitted", static_cast<double>(admitted));
+  field("rejected", static_cast<double>(rejected));
+  field("deadline_misses", static_cast<double>(deadline_misses));
+  field("energy_j", energy_j);
+  field("busy_s", busy_s);
+  field("makespan_s", makespan_s);
+  field("images", static_cast<double>(images));
+  field("dvfs_transitions", static_cast<double>(dvfs_transitions));
+  field("energy_efficiency_img_per_j", energy_efficiency());
+  field("latency_mean_s", latency_mean_s);
+  field("latency_p50_s", latency_p50_s);
+  field("latency_p99_s", latency_p99_s);
+  field("latency_max_s", latency_max_s);
+  field("peak_queue_depth", static_cast<double>(peak_queue_depth));
+  field("plan_cache_hits", static_cast<double>(plan_cache_hits));
+  field("plan_cache_misses", static_cast<double>(plan_cache_misses));
+  os << '{' << body << "}\n";
+}
+
+}  // namespace powerlens::serve

@@ -1,0 +1,183 @@
+// Online task-flow serving engine over the simulated platform.
+//
+// Turns the Figure 5 bench into a reusable subsystem: a Server owns a set of
+// deployed models on one platform shard and serves a RequestStream under a
+// pluggable policy — PowerLens preset plans (memoized in a PlanCache), the
+// reactive baselines (ondemand/BiM, FPG-G, FPG-C+G), or MAXN.
+//
+// Execution model, chosen so aggregate results are a pure function of the
+// stream (invariant to the host worker count — test-enforced at 1/4/8
+// workers under Release and TSan):
+//
+//  - Plan policies (PowerLens, MAXN): requests are independent simulator
+//    runs (the preset schedule resets at each request boundary, exactly the
+//    Figure 5 protocol), so worker threads pull request indices from a
+//    bounded MPMC queue and write results into per-index slots.
+//  - Reactive policies: governor state must persist across request
+//    boundaries (a real cpufreq/podgov instance never resets between
+//    requests), so the whole stream executes as ONE continuous
+//    SimEngine::run_workload on the calling thread, and per-request
+//    accounting is recovered from the engine's work-item marks. This is
+//    byte-identical to the seed Figure 5 bench.
+//
+// Either way, a deterministic single-threaded fold over the tasks in
+// arrival order then builds the serving timeline: admission control
+// (bounded in-system task count on the *simulated* clock), start/finish
+// times on the single device, per-request latency and deadline accounting,
+// metrics, and per-request trace spans on a virtual track.
+//
+// Two simplifications are deliberate and documented: the device consumes no
+// energy while idle between arrivals, and admission control requires a plan
+// policy (rejecting a request mid-stream would fork a reactive governor's
+// history — serve() throws rather than silently approximating).
+#pragma once
+
+#include "core/powerlens.hpp"
+#include "dnn/graph.hpp"
+#include "hw/platform.hpp"
+#include "hw/sim_engine.hpp"
+#include "serve/plan_cache.hpp"
+#include "serve/request_stream.hpp"
+
+#include <cstdint>
+#include <iosfwd>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace powerlens::obs {
+class TraceWriter;
+}  // namespace powerlens::obs
+
+namespace powerlens::serve {
+
+enum class ServePolicy {
+  kPowerLens,  // per-request preset plan + ondemand CPU governor
+  kMaxn,       // both ladders pinned at maximum (no governor, no schedule)
+  kBiM,        // reactive ondemand on CPU + GPU
+  kFpgG,       // FPG hill-climb on GPU, ondemand CPU
+  kFpgCG,      // FPG hill-climb on CPU + GPU
+};
+
+const char* policy_name(ServePolicy policy) noexcept;
+
+// Returns true for policies whose requests are independent simulator runs.
+bool is_plan_policy(ServePolicy policy) noexcept;
+
+struct DeployedModel {
+  std::string name;
+  dnn::Graph graph;
+};
+
+struct ServerConfig {
+  ServePolicy policy = ServePolicy::kPowerLens;
+  // Host worker threads simulating independent requests (plan policies
+  // only; reactive streams are inherently sequential). Results are
+  // invariant to this value.
+  std::size_t num_workers = 1;
+  // Capacity of the host-side dispatch queue (backpressure only).
+  std::size_t dispatch_depth = 64;
+  // Admission control: maximum tasks in system (waiting + in service) on
+  // the simulated clock; arrivals beyond it are rejected. 0 = unbounded.
+  // Plan policies only — see the header comment.
+  std::size_t admission_capacity = 0;
+  // Memoize optimization plans across requests. Off recomputes per request
+  // (the cost the cache exists to remove); results are identical either way.
+  bool use_plan_cache = true;
+  // Trace sink; null means obs::default_trace().
+  obs::TraceWriter* trace = nullptr;
+};
+
+// Per-request serving outcome, in task-id order.
+struct RequestOutcome {
+  std::size_t task_id = 0;
+  std::size_t model_index = 0;
+  bool admitted = false;
+  double arrival_s = 0.0;
+  double start_s = 0.0;    // service start on the device timeline
+  double finish_s = 0.0;
+  double service_s = 0.0;  // simulated execution time
+  double wait_s = 0.0;     // start - arrival
+  double energy_j = 0.0;
+  std::int64_t images = 0;
+  std::size_t dvfs_transitions = 0;
+  double deadline_s = 0.0;  // relative; 0 = none
+  bool deadline_missed = false;
+
+  double latency_s() const noexcept { return finish_s - arrival_s; }
+};
+
+struct ServeReport {
+  std::string platform;
+  std::string policy;
+  std::size_t total_tasks = 0;
+  std::size_t admitted = 0;
+  std::size_t rejected = 0;
+  std::size_t deadline_misses = 0;
+  double energy_j = 0.0;       // admitted requests only
+  double busy_s = 0.0;         // sum of service times
+  double makespan_s = 0.0;     // last finish on the device timeline
+  std::int64_t images = 0;
+  std::size_t dvfs_transitions = 0;
+  double latency_mean_s = 0.0;
+  double latency_p50_s = 0.0;
+  double latency_p99_s = 0.0;
+  double latency_max_s = 0.0;
+  std::size_t peak_queue_depth = 0;  // in-system high-water (simulated)
+  std::uint64_t plan_cache_hits = 0;    // this serve() call only
+  std::uint64_t plan_cache_misses = 0;
+  std::vector<RequestOutcome> outcomes;  // task-id order
+
+  // The paper's metric (eq. 1) over the admitted workload.
+  double energy_efficiency() const noexcept {
+    return energy_j > 0.0 ? static_cast<double>(images) / energy_j : 0.0;
+  }
+  // One JSON object (python3 -m json.tool clean), summary fields only.
+  void write_json(std::ostream& os) const;
+};
+
+class Server {
+ public:
+  // `framework` may be null for reactive/MAXN policies; kPowerLens throws
+  // std::logic_error at serve() time without a trained framework.
+  Server(const hw::Platform& platform, std::vector<DeployedModel> models,
+         ServerConfig config = {}, const core::PowerLens* framework = nullptr);
+
+  ServeReport serve(const RequestStream& stream);
+  ServeReport serve(std::span<const Task> tasks);
+
+  PlanCache& plan_cache() noexcept { return cache_; }
+  const std::vector<DeployedModel>& models() const noexcept { return models_; }
+  const hw::Platform& platform() const noexcept { return *platform_; }
+  const ServerConfig& config() const noexcept { return config_; }
+
+ private:
+  struct ServiceResult {
+    double service_s = 0.0;
+    double energy_j = 0.0;
+    std::int64_t images = 0;
+    std::size_t dvfs_transitions = 0;
+  };
+
+  PlanCache::PlanPtr plan_for(const dnn::Graph& graph);
+  // Independent per-request simulation, fanned out over worker threads.
+  std::vector<ServiceResult> simulate_parallel(std::span<const Task> tasks);
+  // One continuous run_workload, split into per-request results by marks.
+  std::vector<ServiceResult> simulate_reactive(std::span<const Task> tasks);
+  ServeReport fold_timeline(std::span<const Task> tasks,
+                            std::span<const ServiceResult> services,
+                            std::uint64_t cache_hits_before,
+                            std::uint64_t cache_misses_before);
+
+  const hw::Platform* platform_;  // non-owning
+  std::vector<DeployedModel> models_;
+  ServerConfig config_;
+  const core::PowerLens* framework_;  // non-owning, may be null
+  PlanCache cache_;
+  // Cumulative marks of the last reactive run; empty for plan policies.
+  // The fold chains finish times off these so a closed-loop reactive
+  // serve reproduces the continuous run bit for bit.
+  std::vector<hw::WorkItemMark> marks_;
+};
+
+}  // namespace powerlens::serve

@@ -1,0 +1,58 @@
+#include "serve/signature.hpp"
+
+#include <string_view>
+
+namespace powerlens::serve {
+
+namespace {
+
+std::uint64_t fold_bytes(std::uint64_t h, std::string_view s) {
+  h = fnv1a_u64(h, s.size());
+  for (const char c : s) h = fnv1a_byte(h, static_cast<unsigned char>(c));
+  return h;
+}
+
+std::uint64_t fold_i64(std::uint64_t h, std::int64_t v) {
+  return fnv1a_u64(h, static_cast<std::uint64_t>(v));
+}
+
+std::uint64_t fold_shape(std::uint64_t h, const dnn::TensorShape& s) {
+  h = fold_i64(h, s.n);
+  h = fold_i64(h, s.c);
+  h = fold_i64(h, s.h);
+  return fold_i64(h, s.w);
+}
+
+}  // namespace
+
+std::uint64_t graph_signature(const dnn::Graph& graph) {
+  std::uint64_t h = kFnvOffset;
+  h = fold_bytes(h, graph.name());
+  h = fnv1a_u64(h, graph.size());
+  for (std::size_t i = 0; i < graph.size(); ++i) {
+    const dnn::Layer& layer = graph.layer(i);
+    h = fnv1a_u64(h, static_cast<std::uint64_t>(layer.type));
+    h = fold_bytes(h, layer.name);
+    h = fold_shape(h, layer.input);
+    h = fold_shape(h, layer.output);
+    h = fold_i64(h, layer.flops);
+    h = fold_i64(h, layer.params);
+    h = fold_i64(h, layer.mem_bytes);
+    h = fold_i64(h, layer.conv.kernel_h);
+    h = fold_i64(h, layer.conv.kernel_w);
+    h = fold_i64(h, layer.conv.stride);
+    h = fold_i64(h, layer.conv.padding);
+    h = fold_i64(h, layer.conv.groups);
+    h = fold_i64(h, layer.conv.filters);
+    h = fold_i64(h, layer.attn.heads);
+    h = fold_i64(h, layer.attn.embed_dim);
+    h = fold_i64(h, layer.attn.head_dim);
+    h = fold_i64(h, layer.attn.seq_len);
+    const auto producers = graph.producers(i);
+    h = fnv1a_u64(h, producers.size());
+    for (const dnn::NodeId p : producers) h = fnv1a_u64(h, p);
+  }
+  return h;
+}
+
+}  // namespace powerlens::serve

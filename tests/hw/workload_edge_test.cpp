@@ -1,0 +1,175 @@
+// Edge cases of SimEngine workload execution that the serving layer leans
+// on: empty flows, degenerate items, out-of-range starting levels, per-item
+// marks as exact cumulative accounting, and preset DVFS points landing
+// exactly on the first / last layer of a graph.
+#include "baselines/ondemand.hpp"
+#include "dnn/models.hpp"
+#include "hw/governor.hpp"
+#include "hw/platform.hpp"
+#include "hw/sim_engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+namespace powerlens::hw {
+namespace {
+
+class WorkloadEdgeTest : public ::testing::Test {
+ protected:
+  Platform platform_ = make_tx2();
+  SimEngine engine_{platform_};
+  dnn::Graph graph_ = dnn::make_alexnet(4);
+};
+
+TEST_F(WorkloadEdgeTest, EmptyWorkloadProducesZeroTotals) {
+  const ExecutionResult r =
+      engine_.run_workload({}, engine_.default_policy());
+  EXPECT_EQ(r.time_s, 0.0);
+  EXPECT_EQ(r.energy_j, 0.0);
+  EXPECT_EQ(r.images, 0);
+  EXPECT_EQ(r.dvfs_transitions, 0u);
+  EXPECT_EQ(r.dvfs_stall_s, 0.0);
+  EXPECT_EQ(r.telemetry_energy_j, 0.0);
+  EXPECT_TRUE(r.item_marks.empty());
+  // Derived metrics guard their divisions.
+  EXPECT_EQ(r.avg_power_w(), 0.0);
+  EXPECT_EQ(r.fps(), 0.0);
+  EXPECT_EQ(r.energy_efficiency(), 0.0);
+}
+
+TEST_F(WorkloadEdgeTest, EmptyWorkloadWithGovernorAlsoYieldsZeros) {
+  baselines::OndemandGovernor governor;
+  RunPolicy policy = engine_.default_policy();
+  policy.governor = &governor;
+  const ExecutionResult r = engine_.run_workload({}, policy);
+  EXPECT_EQ(r.time_s, 0.0);
+  EXPECT_EQ(r.energy_j, 0.0);
+}
+
+TEST_F(WorkloadEdgeTest, NonPositivePassesThrowInsideWorkloads) {
+  for (int passes : {0, -1, -100}) {
+    const std::vector<WorkItem> items = {{&graph_, 2}, {&graph_, passes}};
+    EXPECT_THROW(engine_.run_workload(items, engine_.default_policy()),
+                 std::invalid_argument)
+        << "passes=" << passes;
+  }
+}
+
+TEST_F(WorkloadEdgeTest, NullGraphInWorkloadThrows) {
+  const std::vector<WorkItem> items = {{&graph_, 1}, {nullptr, 1}};
+  EXPECT_THROW(engine_.run_workload(items, engine_.default_policy()),
+               std::invalid_argument);
+}
+
+TEST_F(WorkloadEdgeTest, OutOfRangeStartingLevelsThrow) {
+  RunPolicy policy = engine_.default_policy();
+  policy.initial_gpu_level = platform_.gpu_levels();
+  EXPECT_THROW(engine_.run(graph_, 1, policy), std::out_of_range);
+
+  policy = engine_.default_policy();
+  policy.initial_cpu_level = platform_.cpu_levels();
+  EXPECT_THROW(engine_.run(graph_, 1, policy), std::out_of_range);
+}
+
+TEST_F(WorkloadEdgeTest, SingleItemWorkloadIsExactlyRun) {
+  baselines::OndemandGovernor g1, g2;
+  RunPolicy p1 = engine_.default_policy();
+  p1.governor = &g1;
+  RunPolicy p2 = engine_.default_policy();
+  p2.governor = &g2;
+
+  const ExecutionResult direct = engine_.run(graph_, 3, p1);
+  const WorkItem item{&graph_, 3};
+  const ExecutionResult wrapped =
+      engine_.run_workload(std::span<const WorkItem>{&item, 1}, p2);
+
+  EXPECT_EQ(direct.time_s, wrapped.time_s);
+  EXPECT_EQ(direct.energy_j, wrapped.energy_j);
+  EXPECT_EQ(direct.images, wrapped.images);
+  EXPECT_EQ(direct.dvfs_transitions, wrapped.dvfs_transitions);
+  ASSERT_EQ(wrapped.item_marks.size(), 1u);
+  EXPECT_EQ(wrapped.item_marks[0].end_time_s, wrapped.time_s);
+}
+
+TEST_F(WorkloadEdgeTest, MarksAreCumulativeAndFinalMarkEqualsTotals) {
+  baselines::OndemandGovernor governor;
+  RunPolicy policy = engine_.default_policy();
+  policy.governor = &governor;
+  const dnn::Graph google = dnn::make_model("googlenet", 4);
+  const std::vector<WorkItem> items = {
+      {&graph_, 2}, {&google, 1}, {&graph_, 3}};
+  const ExecutionResult r = engine_.run_workload(items, policy);
+
+  ASSERT_EQ(r.item_marks.size(), items.size());
+  WorkItemMark prev{};
+  for (const WorkItemMark& m : r.item_marks) {
+    EXPECT_GT(m.end_time_s, prev.end_time_s);
+    EXPECT_GT(m.end_energy_j, prev.end_energy_j);
+    EXPECT_GT(m.end_images, prev.end_images);
+    EXPECT_GE(m.end_transitions, prev.end_transitions);
+    prev = m;
+  }
+  // Marks are cumulative totals, so the last one IS the run result —
+  // bit for bit, which is what lets the serving layer difference them
+  // into exact per-request accounting.
+  EXPECT_EQ(prev.end_time_s, r.time_s);
+  EXPECT_EQ(prev.end_energy_j, r.energy_j);
+  EXPECT_EQ(prev.end_images, r.images);
+  EXPECT_EQ(prev.end_transitions, r.dvfs_transitions);
+}
+
+TEST_F(WorkloadEdgeTest, PresetPointOnFirstLayerSetsLevelBeforeAnyWork) {
+  PresetSchedule schedule;
+  schedule.points = {{0, 0}};  // pin the lowest GPU clock from layer 0
+  RunPolicy policy = engine_.default_policy();
+  policy.schedule = &schedule;
+  const ExecutionResult slow = engine_.run(graph_, 1, policy);
+  const ExecutionResult maxn =
+      engine_.run(graph_, 1, engine_.default_policy());
+
+  EXPECT_GT(slow.time_s, maxn.time_s);
+  EXPECT_LT(slow.energy_j, maxn.energy_j);
+  ASSERT_FALSE(slow.gpu_trace.empty());
+  // The switch request lands at t=0; after the DVFS latency the trace must
+  // sit at the preset level for the rest of the run.
+  EXPECT_EQ(slow.gpu_trace.back().gpu_level, 0u);
+  EXPECT_GE(slow.dvfs_transitions, 1u);
+}
+
+TEST_F(WorkloadEdgeTest, PresetPointOnLastLayerStillCounts) {
+  const std::size_t last = graph_.size() - 1;
+  PresetSchedule schedule;
+  schedule.points = {{last, 0}};
+  RunPolicy policy = engine_.default_policy();
+  policy.schedule = &schedule;
+  // Two passes so the boundary request from pass 1 demonstrably affects
+  // pass 2 even if the first request lands too late in pass 1.
+  const ExecutionResult r = engine_.run(graph_, 2, policy);
+  const ExecutionResult maxn =
+      engine_.run(graph_, 2, engine_.default_policy());
+
+  EXPECT_GE(r.dvfs_transitions, 1u);
+  EXPECT_EQ(r.gpu_trace.back().gpu_level, 0u);
+  EXPECT_GT(r.time_s, maxn.time_s);
+  EXPECT_EQ(r.images, maxn.images);
+}
+
+TEST_F(WorkloadEdgeTest, ScheduleOverridesGovernorGpuDecisions) {
+  // With both present, the preset schedule owns the GPU clock; the reactive
+  // governor may only drive the CPU ladder.
+  baselines::OndemandGovernor governor;
+  PresetSchedule schedule;
+  schedule.points = {{0, platform_.max_gpu_level()}};
+  RunPolicy policy = engine_.default_policy();
+  policy.governor = &governor;
+  policy.schedule = &schedule;
+  const ExecutionResult r = engine_.run(graph_, 2, policy);
+  for (const FreqTracePoint& p : r.gpu_trace) {
+    EXPECT_EQ(p.gpu_level, platform_.max_gpu_level());
+  }
+}
+
+}  // namespace
+}  // namespace powerlens::hw

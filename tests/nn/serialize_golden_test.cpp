@@ -1,0 +1,94 @@
+// Golden-file round-trip for the model serialization format.
+//
+// tests/data/serialize_golden.txt freezes a serialized StandardScaler and
+// TwoStageMlp (seed 77, five deterministic Adam steps) followed by a probe
+// input and its exact outputs, all written with the current format. The
+// tests pin two contracts at once:
+//
+//  - backward compatibility: today's reader must load yesterday's bytes and
+//    reproduce bit-identical predictions (a trained bundle on disk keeps
+//    working across releases);
+//  - format stability: re-serializing the loaded models reproduces the
+//    golden bytes exactly, so any format change — intentional or not —
+//    fails here and forces a conscious regeneration of the golden file.
+#include "nn/serialize.hpp"
+
+#include "linalg/stats.hpp"
+#include "nn/mlp.hpp"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+namespace powerlens::nn {
+namespace {
+
+using linalg::Matrix;
+
+std::string golden_path() {
+  return std::string(PL_TEST_DATA_DIR) + "/serialize_golden.txt";
+}
+
+std::string read_all(const std::string& path) {
+  std::ifstream is(path);
+  std::ostringstream os;
+  os << is.rdbuf();
+  return os.str();
+}
+
+class SerializeGolden : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    text_ = read_all(golden_path());
+    ASSERT_FALSE(text_.empty()) << "missing golden file " << golden_path();
+    std::istringstream is(text_);
+    scaler_ = linalg::StandardScaler::load(is);
+    model_.emplace(TwoStageMlp::load(is));
+    xs_ = read_matrix(is, "golden_xs");
+    xt_ = read_matrix(is, "golden_xt");
+    scaled_ = read_matrix(is, "golden_scaled");
+    logits_ = read_matrix(is, "golden_logits");
+  }
+
+  std::string text_;
+  linalg::StandardScaler scaler_;
+  std::optional<TwoStageMlp> model_;
+  Matrix xs_, xt_, scaled_, logits_;
+};
+
+TEST_F(SerializeGolden, ReloadedModelsReproduceRecordedOutputsBitwise) {
+  // Zero tolerance: the golden outputs were computed by the same arithmetic
+  // on the same (max_digits10 round-tripped) parameters.
+  EXPECT_EQ(Matrix::max_abs_diff(model_->forward_const(xs_, xt_), logits_),
+            0.0);
+  EXPECT_EQ(Matrix::max_abs_diff(scaler_.transform(xs_), scaled_), 0.0);
+}
+
+TEST_F(SerializeGolden, ReserializationReproducesGoldenBytes) {
+  std::ostringstream os;
+  scaler_.save(os);
+  model_->save(os);
+  const std::string reserialized = os.str();
+  ASSERT_LE(reserialized.size(), text_.size());
+  // The golden file starts with the scaler + model sections; a load->save
+  // cycle must reproduce them byte for byte.
+  EXPECT_EQ(text_.compare(0, reserialized.size(), reserialized), 0)
+      << "serialization format drifted from the golden file";
+}
+
+TEST_F(SerializeGolden, SecondRoundTripIsAFixedPoint) {
+  std::ostringstream first;
+  model_->save(first);
+  std::istringstream is(first.str());
+  const TwoStageMlp again = TwoStageMlp::load(is);
+  std::ostringstream second;
+  again.save(second);
+  EXPECT_EQ(first.str(), second.str());
+  EXPECT_EQ(Matrix::max_abs_diff(again.forward_const(xs_, xt_), logits_),
+            0.0);
+}
+
+}  // namespace
+}  // namespace powerlens::nn

@@ -1,12 +1,18 @@
 #include "obs/json.hpp"
 
+#include "support/json_parser.hpp"
+
 #include <gtest/gtest.h>
 
 #include <cmath>
 #include <limits>
+#include <string>
 
 namespace powerlens::obs {
 namespace {
+
+using test_support::JsonParser;
+using test_support::JsonValue;
 
 TEST(JsonEscape, PassesPlainTextThrough) {
   EXPECT_EQ(json_escape("hello world"), "hello world");
@@ -51,6 +57,97 @@ TEST(JsonWriter, EmptyObject) {
 TEST(JsonWriter, EscapesStringValues) {
   const std::string s = JsonWriter().field("k", "a\"b").str();
   EXPECT_EQ(s, "{\"k\": \"a\\\"b\"}");
+}
+
+// --- adversarial inputs: every emitted record must survive a strict parse
+// and decode back to the original payload.
+
+TEST(JsonEscapeAdversarial, AllControlBytesRoundTrip) {
+  std::string raw;
+  for (int c = 0; c < 0x20; ++c) raw += static_cast<char>(c);
+  const std::string quoted = "\"" + json_escape(raw) + "\"";
+  // No bare control byte may survive escaping.
+  for (char c : json_escape(raw)) {
+    EXPECT_GE(static_cast<unsigned char>(c), 0x20u);
+  }
+  const JsonValue v = JsonParser(quoted).parse();
+  ASSERT_TRUE(v.is_string());
+  EXPECT_EQ(v.string(), raw);
+}
+
+TEST(JsonEscapeAdversarial, BackslashQuoteGauntletRoundTrips) {
+  const std::string raw = "\\\\\"\\\"\"\\n literal \\u0041 \"\" \\";
+  const JsonValue v = JsonParser("\"" + json_escape(raw) + "\"").parse();
+  ASSERT_TRUE(v.is_string());
+  EXPECT_EQ(v.string(), raw);
+}
+
+TEST(JsonEscapeAdversarial, Utf8PayloadPassesThroughUnmangled) {
+  // Multibyte UTF-8 (é, 中, 🚀) is valid inside JSON strings and must not
+  // be escaped byte-by-byte.
+  const std::string raw = "caf\xc3\xa9 \xe4\xb8\xad \xf0\x9f\x9a\x80";
+  EXPECT_EQ(json_escape(raw), raw);
+  const JsonValue v = JsonParser("\"" + raw + "\"").parse();
+  EXPECT_EQ(v.string(), raw);
+}
+
+TEST(JsonEscapeAdversarial, EmbeddedNulIsEscapedNotTruncated) {
+  const std::string raw = std::string("a\0b", 3);
+  const std::string escaped = json_escape(raw);
+  EXPECT_EQ(escaped, "a\\u0000b");
+  const JsonValue v = JsonParser("\"" + escaped + "\"").parse();
+  EXPECT_EQ(v.string(), raw);
+}
+
+TEST(JsonNumberAdversarial, ExtremeMagnitudesStayParseable) {
+  for (double d : {std::numeric_limits<double>::max(),
+                   std::numeric_limits<double>::lowest(),
+                   std::numeric_limits<double>::min(),
+                   std::numeric_limits<double>::denorm_min(), -0.0, 1e-300,
+                   -1e300}) {
+    const std::string text = json_number(d);
+    const JsonValue v = JsonParser(text).parse();
+    ASSERT_TRUE(v.is_number()) << text;
+  }
+  EXPECT_EQ(JsonParser(json_number(-std::numeric_limits<double>::infinity()))
+                .parse()
+                .number(),
+            0.0);
+}
+
+TEST(JsonWriterAdversarial, HostileKeysAndValuesParseBack) {
+  const std::string key = "bad\nkey\"with\\stuff";
+  const std::string val = std::string("\x01\x7f\t\0", 4);
+  const std::string s = JsonWriter()
+                            .field(key, val)
+                            .field("inf", std::numeric_limits<double>::infinity())
+                            .field("flag", false)
+                            .str();
+  const JsonValue v = JsonParser(s).parse();
+  ASSERT_TRUE(v.is_object());
+  ASSERT_EQ(v.object().count(key), 1u);
+  EXPECT_EQ(v.object().at(key).string(), val);
+  EXPECT_EQ(v.object().at("inf").number(), 0.0);
+  EXPECT_FALSE(v.object().at("flag").boolean());
+}
+
+TEST(JsonWriterAdversarial, DeepNestingViaStringPayloadsSurvives) {
+  // A value that itself looks like deeply nested JSON must arrive as an
+  // inert string, not change the document structure.
+  std::string bomb;
+  for (int i = 0; i < 64; ++i) bomb += "{\"a\":[";
+  const std::string s = JsonWriter().field("payload", bomb).str();
+  const JsonValue v = JsonParser(s).parse();
+  ASSERT_TRUE(v.is_object());
+  EXPECT_EQ(v.object().at("payload").string(), bomb);
+}
+
+TEST(JsonParserSupport, RejectsMalformedDocuments) {
+  for (const char* bad :
+       {"{", "[1,", "\"unterminated", "{\"k\" 1}", "{\"k\":1} extra",
+        "\"\\x41\"", "\"\\u00g1\"", "nul", "--1"}) {
+    EXPECT_THROW(JsonParser(bad).parse(), std::runtime_error) << bad;
+  }
 }
 
 }  // namespace

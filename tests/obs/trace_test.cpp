@@ -9,6 +9,8 @@
 #include "dnn/models.hpp"
 #include "hw/sim_engine.hpp"
 
+#include "support/json_parser.hpp"
+
 #include <gtest/gtest.h>
 
 #include <cctype>
@@ -23,169 +25,11 @@
 namespace powerlens::obs {
 namespace {
 
-// --- minimal JSON parser (objects/arrays/strings/numbers/bools/null) ---
-
-struct JsonValue;
-using JsonObject = std::map<std::string, JsonValue>;
-using JsonArray = std::vector<JsonValue>;
-
-struct JsonValue {
-  std::variant<std::nullptr_t, bool, double, std::string, JsonArray,
-               JsonObject>
-      v;
-
-  bool is_object() const { return std::holds_alternative<JsonObject>(v); }
-  bool is_array() const { return std::holds_alternative<JsonArray>(v); }
-  bool is_number() const { return std::holds_alternative<double>(v); }
-  bool is_string() const { return std::holds_alternative<std::string>(v); }
-  const JsonObject& object() const { return std::get<JsonObject>(v); }
-  const JsonArray& array() const { return std::get<JsonArray>(v); }
-  double number() const { return std::get<double>(v); }
-  const std::string& string() const { return std::get<std::string>(v); }
-};
-
-class JsonParser {
- public:
-  explicit JsonParser(std::string text) : text_(std::move(text)) {}
-
-  JsonValue parse() {
-    JsonValue v = value();
-    skip_ws();
-    if (pos_ != text_.size()) fail("trailing content");
-    return v;
-  }
-
- private:
-  [[noreturn]] void fail(const std::string& why) {
-    throw std::runtime_error("JSON parse error at offset " +
-                             std::to_string(pos_) + ": " + why);
-  }
-  void skip_ws() {
-    while (pos_ < text_.size() &&
-           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
-      ++pos_;
-    }
-  }
-  char peek() {
-    if (pos_ >= text_.size()) fail("unexpected end");
-    return text_[pos_];
-  }
-  void expect(char c) {
-    if (peek() != c) fail(std::string("expected '") + c + "'");
-    ++pos_;
-  }
-  bool consume(char c) {
-    if (pos_ < text_.size() && text_[pos_] == c) {
-      ++pos_;
-      return true;
-    }
-    return false;
-  }
-  bool consume_word(std::string_view w) {
-    if (text_.compare(pos_, w.size(), w) == 0) {
-      pos_ += w.size();
-      return true;
-    }
-    return false;
-  }
-
-  JsonValue value() {
-    skip_ws();
-    const char c = peek();
-    if (c == '{') return object();
-    if (c == '[') return array();
-    if (c == '"') return JsonValue{string()};
-    if (consume_word("true")) return JsonValue{true};
-    if (consume_word("false")) return JsonValue{false};
-    if (consume_word("null")) return JsonValue{nullptr};
-    return number();
-  }
-
-  JsonValue object() {
-    expect('{');
-    JsonObject out;
-    skip_ws();
-    if (consume('}')) return JsonValue{std::move(out)};
-    for (;;) {
-      skip_ws();
-      std::string key = string();
-      skip_ws();
-      expect(':');
-      out.emplace(std::move(key), value());
-      skip_ws();
-      if (consume(',')) continue;
-      expect('}');
-      return JsonValue{std::move(out)};
-    }
-  }
-
-  JsonValue array() {
-    expect('[');
-    JsonArray out;
-    skip_ws();
-    if (consume(']')) return JsonValue{std::move(out)};
-    for (;;) {
-      out.push_back(value());
-      skip_ws();
-      if (consume(',')) continue;
-      expect(']');
-      return JsonValue{std::move(out)};
-    }
-  }
-
-  std::string string() {
-    expect('"');
-    std::string out;
-    for (;;) {
-      if (pos_ >= text_.size()) fail("unterminated string");
-      const char c = text_[pos_++];
-      if (c == '"') return out;
-      if (c == '\\') {
-        if (pos_ >= text_.size()) fail("bad escape");
-        const char e = text_[pos_++];
-        switch (e) {
-          case '"': out += '"'; break;
-          case '\\': out += '\\'; break;
-          case '/': out += '/'; break;
-          case 'b': out += '\b'; break;
-          case 'f': out += '\f'; break;
-          case 'n': out += '\n'; break;
-          case 'r': out += '\r'; break;
-          case 't': out += '\t'; break;
-          case 'u': {
-            if (pos_ + 4 > text_.size()) fail("bad \\u escape");
-            const unsigned code =
-                static_cast<unsigned>(std::stoul(text_.substr(pos_, 4),
-                                                 nullptr, 16));
-            pos_ += 4;
-            // The writer only emits \u00XX for control bytes.
-            out += static_cast<char>(code);
-            break;
-          }
-          default: fail("unknown escape");
-        }
-      } else {
-        out += c;
-      }
-    }
-  }
-
-  JsonValue number() {
-    const std::size_t start = pos_;
-    if (consume('-')) {}
-    while (pos_ < text_.size() &&
-           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
-            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
-            text_[pos_] == '+' || text_[pos_] == '-')) {
-      ++pos_;
-    }
-    if (pos_ == start) fail("expected number");
-    return JsonValue{std::stod(text_.substr(start, pos_ - start))};
-  }
-
-  std::string text_;
-  std::size_t pos_ = 0;
-};
+// JSON parsing lives in the shared test-support parser.
+using test_support::JsonArray;
+using test_support::JsonObject;
+using test_support::JsonParser;
+using test_support::JsonValue;
 
 std::string read_file(const std::string& path) {
   std::ifstream is(path);

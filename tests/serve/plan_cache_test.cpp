@@ -1,0 +1,182 @@
+// PlanCache + graph signatures: hits are byte-identical to fresh plans,
+// each key is computed exactly once under concurrency, and the hit/miss
+// counters surface in the Prometheus export.
+#include "serve/plan_cache.hpp"
+
+#include "core/powerlens.hpp"
+#include "dnn/models.hpp"
+#include "hw/platform.hpp"
+#include "obs/metrics.hpp"
+#include "serve/signature.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+namespace powerlens::serve {
+namespace {
+
+TEST(GraphSignatureTest, StableAcrossRebuilds) {
+  const dnn::Graph a = dnn::make_alexnet(4);
+  const dnn::Graph b = dnn::make_alexnet(4);
+  EXPECT_EQ(graph_signature(a), graph_signature(b));
+}
+
+TEST(GraphSignatureTest, DiscriminatesModelAndBatch) {
+  const std::uint64_t alex4 = graph_signature(dnn::make_alexnet(4));
+  const std::uint64_t alex8 = graph_signature(dnn::make_alexnet(8));
+  const std::uint64_t res4 = graph_signature(dnn::make_model("resnet34", 4));
+  EXPECT_NE(alex4, alex8);
+  EXPECT_NE(alex4, res4);
+  EXPECT_NE(alex8, res4);
+}
+
+TEST(GraphSignatureTest, ZooModelsAllDistinct) {
+  std::vector<std::uint64_t> sigs;
+  for (const dnn::ModelSpec& spec : dnn::model_zoo()) {
+    sigs.push_back(graph_signature(spec.build(10)));
+  }
+  for (std::size_t i = 0; i < sigs.size(); ++i) {
+    for (std::size_t j = i + 1; j < sigs.size(); ++j) {
+      EXPECT_NE(sigs[i], sigs[j]) << "zoo models " << i << " and " << j;
+    }
+  }
+}
+
+TEST(PlanCacheTest, MissThenHitReturnsSamePlan) {
+  PlanCache cache;
+  const dnn::Graph g = dnn::make_alexnet(4);
+  std::atomic<int> calls{0};
+  const PlanCache::PlanFactory factory = [&](const dnn::Graph&) {
+    ++calls;
+    core::OptimizationPlan plan;
+    plan.block_levels = {3, 5};
+    plan.schedule.points = {{0, 3}, {4, 5}};
+    return plan;
+  };
+
+  const PlanCache::PlanPtr first = cache.get_or_compute(g, factory);
+  const PlanCache::PlanPtr second = cache.get_or_compute(g, factory);
+  EXPECT_EQ(calls.load(), 1);
+  EXPECT_EQ(first.get(), second.get());  // the same stored object
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(PlanCacheTest, LookupDoesNotCountMisses) {
+  PlanCache cache;
+  const dnn::Graph g = dnn::make_alexnet(4);
+  EXPECT_EQ(cache.lookup(g), nullptr);
+  EXPECT_EQ(cache.misses(), 0u);
+  EXPECT_EQ(cache.hits(), 0u);
+
+  cache.get_or_compute(g, [](const dnn::Graph&) {
+    return core::OptimizationPlan{};
+  });
+  EXPECT_NE(cache.lookup(g), nullptr);
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 1u);
+}
+
+TEST(PlanCacheTest, ClearResetsPlansButKeepsCounters) {
+  PlanCache cache;
+  const dnn::Graph g = dnn::make_alexnet(4);
+  cache.get_or_compute(g, [](const dnn::Graph&) {
+    return core::OptimizationPlan{};
+  });
+  cache.clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.misses(), 1u);  // counters are lifetime totals
+}
+
+TEST(PlanCacheTest, EachSignatureComputedExactlyOnceUnderConcurrency) {
+  PlanCache cache(4);
+  std::vector<dnn::Graph> graphs;
+  graphs.push_back(dnn::make_alexnet(2));
+  graphs.push_back(dnn::make_alexnet(4));
+  graphs.push_back(dnn::make_model("mobilenet_v3", 2));
+
+  std::atomic<int> calls{0};
+  const PlanCache::PlanFactory factory = [&](const dnn::Graph&) {
+    ++calls;
+    return core::OptimizationPlan{};
+  };
+
+  constexpr int kThreads = 8;
+  constexpr int kRounds = 50;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int r = 0; r < kRounds; ++r) {
+        for (const dnn::Graph& g : graphs) {
+          EXPECT_NE(cache.get_or_compute(g, factory), nullptr);
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  // Compute-under-shard-lock: misses equal the distinct signatures no
+  // matter how the threads interleaved, and the counters balance.
+  EXPECT_EQ(calls.load(), 3);
+  EXPECT_EQ(cache.misses(), 3u);
+  EXPECT_EQ(cache.hits(),
+            static_cast<std::uint64_t>(kThreads * kRounds * 3 - 3));
+  EXPECT_EQ(cache.size(), 3u);
+}
+
+// The acceptance criterion: a cache hit is byte-identical to a freshly
+// computed optimize() result for a real trained framework.
+TEST(PlanCacheTest, HitEqualsFreshOptimizeForTrainedFramework) {
+  const hw::Platform platform = hw::make_tx2();
+  core::PowerLensConfig cfg;
+  cfg.dataset.num_networks = 40;
+  cfg.dataset.seed = 5;
+  cfg.train_hyper.epochs = 20;
+  cfg.train_decision.epochs = 20;
+  core::PowerLens framework(platform, cfg);
+  framework.train();
+
+  const PlanCache::PlanFactory factory = [&](const dnn::Graph& g) {
+    return framework.optimize(g);
+  };
+
+  PlanCache cache;
+  for (const char* name : {"alexnet", "resnet34"}) {
+    const dnn::Graph g = dnn::make_model(name, 4);
+    const PlanCache::PlanPtr warm = cache.get_or_compute(g, factory);
+    const PlanCache::PlanPtr hit = cache.get_or_compute(g, factory);
+    const core::OptimizationPlan fresh = framework.optimize(g);
+    ASSERT_NE(hit, nullptr);
+    EXPECT_EQ(hit.get(), warm.get());
+    // Field-exact (operator== is defaulted memberwise equality down to the
+    // schedule points and block levels).
+    EXPECT_TRUE(*hit == fresh) << name;
+  }
+}
+
+TEST(PlanCacheTest, CountersSurfaceInPrometheusExport) {
+  PlanCache cache;
+  const dnn::Graph g = dnn::make_alexnet(4);
+  cache.get_or_compute(g, [](const dnn::Graph&) {
+    return core::OptimizationPlan{};
+  });
+  cache.get_or_compute(g, [](const dnn::Graph&) {
+    return core::OptimizationPlan{};
+  });
+
+  std::ostringstream os;
+  obs::global_metrics().write_prometheus(os);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("powerlens_serve_plan_cache_hits_total"),
+            std::string::npos);
+  EXPECT_NE(text.find("powerlens_serve_plan_cache_misses_total"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace powerlens::serve

@@ -1,0 +1,129 @@
+// RequestStream: the generator is a pure function of its config, reproduces
+// the historical Figure 5 draw sequence, and keeps the model sequence
+// independent of the arrival regime.
+#include "serve/request_stream.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <vector>
+
+namespace powerlens::serve {
+namespace {
+
+RequestStreamConfig base_config() {
+  RequestStreamConfig cfg;
+  cfg.seed = 7;
+  cfg.num_tasks = 100;
+  cfg.images_per_task = 50;
+  cfg.batch = 10;
+  return cfg;
+}
+
+TEST(RequestStreamTest, GenerateIsDeterministic) {
+  const RequestStream stream(12, base_config());
+  const std::vector<Task> a = stream.generate();
+  const std::vector<Task> b = stream.generate();
+  const std::vector<Task> c = RequestStream(12, base_config()).generate();
+  ASSERT_EQ(a.size(), 100u);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].model_index, b[i].model_index);
+    EXPECT_EQ(a[i].model_index, c[i].model_index);
+    EXPECT_EQ(a[i].arrival_s, b[i].arrival_s);
+    EXPECT_EQ(a[i].arrival_s, c[i].arrival_s);
+  }
+}
+
+TEST(RequestStreamTest, ReproducesHistoricalFig5Picks) {
+  // The seed bench drew task models as mt19937_64(7) + uniform over the zoo.
+  // The stream must reproduce that sequence exactly — it is what makes the
+  // serving-layer Figure 5 reproduction byte-identical to the original.
+  const RequestStream stream(12, base_config());
+  const std::vector<Task> tasks = stream.generate();
+
+  std::mt19937_64 rng(7);
+  std::uniform_int_distribution<std::size_t> pick(0, 11);
+  for (const Task& task : tasks) {
+    EXPECT_EQ(task.model_index, pick(rng)) << "task " << task.id;
+  }
+}
+
+TEST(RequestStreamTest, ClosedLoopFieldsAndPassRounding) {
+  RequestStreamConfig cfg = base_config();
+  cfg.num_tasks = 5;
+  cfg.images_per_task = 52;  // 52 images at batch 10 -> 6 passes (ceil)
+  cfg.deadline_s = 3.0;
+  const std::vector<Task> tasks = RequestStream(3, cfg).generate();
+  ASSERT_EQ(tasks.size(), 5u);
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    EXPECT_EQ(tasks[i].id, i);
+    EXPECT_EQ(tasks[i].passes, 6);
+    EXPECT_EQ(tasks[i].arrival_s, 0.0);
+    EXPECT_EQ(tasks[i].deadline_s, 3.0);
+    EXPECT_LT(tasks[i].model_index, 3u);
+  }
+}
+
+TEST(RequestStreamTest, PoissonArrivalsIncreaseAndPreserveModelSequence) {
+  RequestStreamConfig cfg = base_config();
+  const std::vector<Task> closed = RequestStream(12, cfg).generate();
+
+  cfg.arrivals = ArrivalProcess::kPoisson;
+  cfg.arrival_rate_hz = 2.0;
+  const std::vector<Task> poisson = RequestStream(12, cfg).generate();
+
+  ASSERT_EQ(closed.size(), poisson.size());
+  double prev = 0.0;
+  for (std::size_t i = 0; i < poisson.size(); ++i) {
+    // Arrival draws come from a split seed, so turning them on must not
+    // perturb the model picks.
+    EXPECT_EQ(poisson[i].model_index, closed[i].model_index);
+    EXPECT_GT(poisson[i].arrival_s, prev);
+    prev = poisson[i].arrival_s;
+  }
+}
+
+TEST(RequestStreamTest, PoissonRateScalesMeanGap) {
+  RequestStreamConfig cfg = base_config();
+  cfg.num_tasks = 2000;
+  cfg.arrivals = ArrivalProcess::kPoisson;
+  cfg.arrival_rate_hz = 4.0;
+  const std::vector<Task> tasks = RequestStream(12, cfg).generate();
+  const double mean_gap = tasks.back().arrival_s / 2000.0;
+  EXPECT_NEAR(mean_gap, 0.25, 0.02);  // 1/rate, law of large numbers
+}
+
+TEST(RequestStreamTest, ValidatesConfig) {
+  EXPECT_THROW(RequestStream(0, base_config()), std::invalid_argument);
+
+  RequestStreamConfig bad_batch = base_config();
+  bad_batch.batch = 0;
+  EXPECT_THROW(RequestStream(3, bad_batch), std::invalid_argument);
+
+  RequestStreamConfig bad_images = base_config();
+  bad_images.images_per_task = -1;
+  EXPECT_THROW(RequestStream(3, bad_images), std::invalid_argument);
+
+  RequestStreamConfig no_rate = base_config();
+  no_rate.arrivals = ArrivalProcess::kPoisson;
+  EXPECT_THROW(RequestStream(3, no_rate), std::invalid_argument);
+
+  RequestStreamConfig bad_deadline = base_config();
+  bad_deadline.deadline_s = -1.0;
+  EXPECT_THROW(RequestStream(3, bad_deadline), std::invalid_argument);
+}
+
+TEST(RequestStreamTest, SeedChangesTheStream) {
+  RequestStreamConfig other = base_config();
+  other.seed = 8;
+  const std::vector<Task> a = RequestStream(12, base_config()).generate();
+  const std::vector<Task> b = RequestStream(12, other).generate();
+  bool differs = false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].model_index != b[i].model_index) differs = true;
+  }
+  EXPECT_TRUE(differs);
+}
+
+}  // namespace
+}  // namespace powerlens::serve

@@ -1,0 +1,389 @@
+// Server: the serving engine's determinism contract.
+//
+//  - PowerLens serving equals the direct per-item SimEngine loop of the
+//    historical Figure 5 bench, bit for bit — single worker, many workers,
+//    cache on, cache off.
+//  - Reactive serving equals one continuous run_workload, bit for bit.
+//  - Reports are invariant to the host worker count (1/4/8); the TSan CI
+//    job runs this same suite to catch data races in the fan-out.
+//  - Admission control, deadlines, and error paths behave as documented.
+#include "serve/server.hpp"
+
+#include "baselines/fpg.hpp"
+#include "baselines/ondemand.hpp"
+#include "core/powerlens.hpp"
+#include "dnn/models.hpp"
+#include "hw/sim_engine.hpp"
+#include "support/json_parser.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace powerlens::serve {
+namespace {
+
+constexpr std::int64_t kBatch = 10;
+
+// One trained framework + deployed models for the whole suite (training is
+// the expensive part; every test reuses it read-only).
+class ServerTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    platform_ = new hw::Platform(hw::make_tx2());
+    core::PowerLensConfig cfg;
+    cfg.dataset.num_networks = 40;
+    cfg.dataset.seed = 5;
+    cfg.train_hyper.epochs = 20;
+    cfg.train_decision.epochs = 20;
+    framework_ = new core::PowerLens(*platform_, cfg);
+    framework_->train();
+
+    models_ = new std::vector<DeployedModel>;
+    for (const char* name : {"alexnet", "mobilenet_v3", "googlenet"}) {
+      models_->push_back({name, dnn::make_model(name, kBatch)});
+    }
+  }
+  static void TearDownTestSuite() {
+    delete models_;
+    delete framework_;
+    delete platform_;
+    models_ = nullptr;
+    framework_ = nullptr;
+    platform_ = nullptr;
+  }
+
+  static RequestStreamConfig stream_config(std::size_t tasks = 12) {
+    RequestStreamConfig cfg;
+    cfg.seed = 7;
+    cfg.num_tasks = tasks;
+    cfg.images_per_task = 20;  // 2 passes per task
+    cfg.batch = kBatch;
+    return cfg;
+  }
+
+  static ServeReport serve_with(ServePolicy policy, std::size_t workers,
+                                bool cache = true,
+                                std::size_t admission = 0,
+                                std::size_t tasks = 12) {
+    ServerConfig cfg;
+    cfg.policy = policy;
+    cfg.num_workers = workers;
+    cfg.use_plan_cache = cache;
+    cfg.admission_capacity = admission;
+    Server server(*platform_, *models_, cfg, framework_);
+    return server.serve(RequestStream(models_->size(), stream_config(tasks)));
+  }
+
+  static void expect_identical(const ServeReport& a, const ServeReport& b) {
+    EXPECT_EQ(a.energy_j, b.energy_j);  // bitwise, not NEAR
+    EXPECT_EQ(a.busy_s, b.busy_s);
+    EXPECT_EQ(a.makespan_s, b.makespan_s);
+    EXPECT_EQ(a.images, b.images);
+    EXPECT_EQ(a.dvfs_transitions, b.dvfs_transitions);
+    EXPECT_EQ(a.admitted, b.admitted);
+    EXPECT_EQ(a.rejected, b.rejected);
+    EXPECT_EQ(a.latency_p99_s, b.latency_p99_s);
+    ASSERT_EQ(a.outcomes.size(), b.outcomes.size());
+    for (std::size_t i = 0; i < a.outcomes.size(); ++i) {
+      EXPECT_EQ(a.outcomes[i].start_s, b.outcomes[i].start_s);
+      EXPECT_EQ(a.outcomes[i].finish_s, b.outcomes[i].finish_s);
+      EXPECT_EQ(a.outcomes[i].energy_j, b.outcomes[i].energy_j);
+    }
+  }
+
+  static hw::Platform* platform_;
+  static core::PowerLens* framework_;
+  static std::vector<DeployedModel>* models_;
+};
+
+hw::Platform* ServerTest::platform_ = nullptr;
+core::PowerLens* ServerTest::framework_ = nullptr;
+std::vector<DeployedModel>* ServerTest::models_ = nullptr;
+
+// --- the Figure 5 equivalence acceptance criterion ---
+
+TEST_F(ServerTest, PowerLensServingEqualsDirectSimEngineLoop) {
+  const std::vector<Task> tasks =
+      RequestStream(models_->size(), stream_config()).generate();
+
+  // The historical bench structure: one plan per model, one engine, one CPU
+  // ondemand governor across the loop, totals accumulated in task order.
+  hw::SimEngine engine(*platform_);
+  std::vector<core::OptimizationPlan> plans;
+  for (const DeployedModel& m : *models_) {
+    plans.push_back(framework_->optimize(m.graph));
+  }
+  double energy = 0.0, time = 0.0;
+  std::int64_t images = 0;
+  std::size_t transitions = 0;
+  baselines::OndemandGovernor cpu_governor;
+  std::vector<hw::ExecutionResult> direct;
+  for (const Task& task : tasks) {
+    hw::RunPolicy policy = engine.default_policy();
+    policy.schedule = &plans[task.model_index].schedule;
+    policy.governor = &cpu_governor;
+    const hw::ExecutionResult r =
+        engine.run(models_->at(task.model_index).graph, task.passes, policy);
+    time += r.time_s;
+    energy += r.energy_j;
+    images += r.images;
+    transitions += r.dvfs_transitions;
+    direct.push_back(r);
+  }
+
+  for (const bool cache : {true, false}) {
+    const ServeReport report =
+        serve_with(ServePolicy::kPowerLens, /*workers=*/1, cache);
+    EXPECT_EQ(report.energy_j, energy) << "cache=" << cache;
+    EXPECT_EQ(report.busy_s, time) << "cache=" << cache;
+    EXPECT_EQ(report.images, images);
+    EXPECT_EQ(report.dvfs_transitions, transitions);
+    ASSERT_EQ(report.outcomes.size(), tasks.size());
+    for (std::size_t i = 0; i < tasks.size(); ++i) {
+      EXPECT_EQ(report.outcomes[i].service_s, direct[i].time_s) << i;
+      EXPECT_EQ(report.outcomes[i].energy_j, direct[i].energy_j) << i;
+    }
+  }
+}
+
+TEST_F(ServerTest, ReactiveServingEqualsContinuousRunWorkload) {
+  const std::vector<Task> tasks =
+      RequestStream(models_->size(), stream_config()).generate();
+
+  std::vector<hw::WorkItem> items;
+  for (const Task& task : tasks) {
+    items.push_back({&models_->at(task.model_index).graph, task.passes});
+  }
+  hw::SimEngine engine(*platform_);
+
+  const auto run_direct = [&](hw::Governor& governor) {
+    hw::RunPolicy policy = engine.default_policy();
+    policy.governor = &governor;
+    return engine.run_workload(items, policy);
+  };
+
+  {
+    baselines::OndemandGovernor g;
+    const hw::ExecutionResult direct = run_direct(g);
+    const ServeReport report = serve_with(ServePolicy::kBiM, 4);
+    EXPECT_EQ(report.energy_j, direct.energy_j);
+    EXPECT_EQ(report.busy_s, direct.time_s);
+    EXPECT_EQ(report.makespan_s, direct.time_s);  // closed loop, no idle
+    EXPECT_EQ(report.images, direct.images);
+    EXPECT_EQ(report.dvfs_transitions, direct.dvfs_transitions);
+  }
+  {
+    baselines::FpgGovernor g(baselines::FpgMode::kGpuOnly);
+    const hw::ExecutionResult direct = run_direct(g);
+    const ServeReport report = serve_with(ServePolicy::kFpgG, 1);
+    EXPECT_EQ(report.energy_j, direct.energy_j);
+    EXPECT_EQ(report.busy_s, direct.time_s);
+  }
+  {
+    baselines::FpgGovernor g(baselines::FpgMode::kCpuGpu);
+    const hw::ExecutionResult direct = run_direct(g);
+    const ServeReport report = serve_with(ServePolicy::kFpgCG, 1);
+    EXPECT_EQ(report.energy_j, direct.energy_j);
+    EXPECT_EQ(report.busy_s, direct.time_s);
+  }
+}
+
+// --- worker-count invariance (also the TSan surface) ---
+
+TEST_F(ServerTest, ReportsInvariantToWorkerCount) {
+  const ServeReport one = serve_with(ServePolicy::kPowerLens, 1);
+  const ServeReport four = serve_with(ServePolicy::kPowerLens, 4);
+  const ServeReport eight = serve_with(ServePolicy::kPowerLens, 8);
+  expect_identical(one, four);
+  expect_identical(one, eight);
+}
+
+TEST_F(ServerTest, CacheOnOffIdenticalResults) {
+  const ServeReport on = serve_with(ServePolicy::kPowerLens, 4, true);
+  const ServeReport off = serve_with(ServePolicy::kPowerLens, 4, false);
+  expect_identical(on, off);
+  EXPECT_EQ(off.plan_cache_hits, 0u);
+  EXPECT_EQ(off.plan_cache_misses, 0u);
+}
+
+TEST_F(ServerTest, CacheCountersAreDeterministic) {
+  // 12 tasks over 3 models, seed 7 touches all of them: misses = distinct
+  // models, hits = the rest — whatever the worker count.
+  for (const std::size_t workers : {1u, 4u, 8u}) {
+    const ServeReport r = serve_with(ServePolicy::kPowerLens, workers);
+    EXPECT_EQ(r.plan_cache_misses, models_->size()) << workers;
+    EXPECT_EQ(r.plan_cache_hits, 12u - models_->size()) << workers;
+  }
+}
+
+TEST_F(ServerTest, MaxnNeedsNoFramework) {
+  ServerConfig cfg;
+  cfg.policy = ServePolicy::kMaxn;
+  cfg.num_workers = 4;
+  Server server(*platform_, *models_, cfg, /*framework=*/nullptr);
+  const ServeReport r =
+      server.serve(RequestStream(models_->size(), stream_config()));
+  EXPECT_EQ(r.admitted, 12u);
+  EXPECT_GT(r.energy_j, 0.0);
+  // MAXN burns the most power of all policies on the same workload.
+  const ServeReport pl = serve_with(ServePolicy::kPowerLens, 4);
+  EXPECT_GT(r.energy_j, pl.energy_j);
+}
+
+// --- timeline semantics ---
+
+TEST_F(ServerTest, ClosedLoopTimelineIsBackToBack) {
+  const ServeReport r = serve_with(ServePolicy::kPowerLens, 4);
+  double device_free = 0.0;
+  for (const RequestOutcome& out : r.outcomes) {
+    EXPECT_TRUE(out.admitted);
+    EXPECT_EQ(out.start_s, device_free);
+    EXPECT_EQ(out.finish_s, out.start_s + out.service_s);
+    EXPECT_EQ(out.wait_s, out.start_s);  // all arrivals at t = 0
+    device_free = out.finish_s;
+  }
+  EXPECT_EQ(r.makespan_s, device_free);
+  EXPECT_EQ(r.peak_queue_depth, r.outcomes.size());  // backlog at t = 0
+}
+
+TEST_F(ServerTest, PoissonArrivalsCanIdleTheDevice) {
+  RequestStreamConfig cfg = stream_config();
+  cfg.arrivals = ArrivalProcess::kPoisson;
+  cfg.arrival_rate_hz = 0.01;  // gaps far exceed service times
+  ServerConfig scfg;
+  scfg.policy = ServePolicy::kPowerLens;
+  scfg.num_workers = 4;
+  Server server(*platform_, *models_, scfg, framework_);
+  const ServeReport r = server.serve(RequestStream(models_->size(), cfg));
+  EXPECT_GT(r.makespan_s, r.busy_s);  // idle gaps stretch the makespan
+  for (const RequestOutcome& out : r.outcomes) {
+    EXPECT_GE(out.start_s, out.arrival_s);
+  }
+  // At this rate, requests rarely overlap.
+  EXPECT_LE(r.peak_queue_depth, 3u);
+}
+
+TEST_F(ServerTest, AdmissionControlShedsLoadDeterministically) {
+  const ServeReport unbounded = serve_with(ServePolicy::kPowerLens, 4);
+  const ServeReport capped =
+      serve_with(ServePolicy::kPowerLens, 4, true, /*admission=*/3);
+  // Closed loop: all 12 arrive at t=0; exactly 3 fit in the system.
+  EXPECT_EQ(capped.admitted, 3u);
+  EXPECT_EQ(capped.rejected, 9u);
+  EXPECT_EQ(capped.peak_queue_depth, 3u);
+  EXPECT_LT(capped.energy_j, unbounded.energy_j);
+  // Identical under a different worker count.
+  const ServeReport capped8 =
+      serve_with(ServePolicy::kPowerLens, 8, true, /*admission=*/3);
+  expect_identical(capped, capped8);
+  // Rejected outcomes carry no execution accounting.
+  for (const RequestOutcome& out : capped.outcomes) {
+    if (!out.admitted) {
+      EXPECT_EQ(out.energy_j, 0.0);
+      EXPECT_EQ(out.images, 0);
+    }
+  }
+}
+
+TEST_F(ServerTest, DeadlinesAreAccounted) {
+  RequestStreamConfig cfg = stream_config();
+  cfg.deadline_s = 1e-6;  // nothing can finish this fast
+  ServerConfig scfg;
+  scfg.policy = ServePolicy::kPowerLens;
+  Server server(*platform_, *models_, scfg, framework_);
+  const ServeReport all_miss =
+      server.serve(RequestStream(models_->size(), cfg));
+  EXPECT_EQ(all_miss.deadline_misses, all_miss.admitted);
+
+  cfg.deadline_s = 1e9;  // everything finishes in time
+  const ServeReport none_miss =
+      server.serve(RequestStream(models_->size(), cfg));
+  EXPECT_EQ(none_miss.deadline_misses, 0u);
+}
+
+// --- error paths ---
+
+TEST_F(ServerTest, PowerLensWithoutFrameworkThrows) {
+  ServerConfig cfg;
+  cfg.policy = ServePolicy::kPowerLens;
+  Server server(*platform_, *models_, cfg, /*framework=*/nullptr);
+  EXPECT_THROW(
+      server.serve(RequestStream(models_->size(), stream_config())),
+      std::logic_error);
+}
+
+TEST_F(ServerTest, ReactivePlusAdmissionControlThrows) {
+  ServerConfig cfg;
+  cfg.policy = ServePolicy::kBiM;
+  cfg.admission_capacity = 4;
+  Server server(*platform_, *models_, cfg);
+  EXPECT_THROW(
+      server.serve(RequestStream(models_->size(), stream_config())),
+      std::invalid_argument);
+}
+
+TEST_F(ServerTest, ValidatesTasksAndConstruction) {
+  EXPECT_THROW(Server(*platform_, {}, {}), std::invalid_argument);
+
+  ServerConfig cfg;
+  cfg.policy = ServePolicy::kMaxn;
+  Server server(*platform_, *models_, cfg);
+
+  Task bad_model;
+  bad_model.model_index = 99;
+  bad_model.passes = 1;
+  EXPECT_THROW(server.serve(std::vector<Task>{bad_model}),
+               std::invalid_argument);
+
+  Task bad_passes;
+  bad_passes.passes = 0;
+  EXPECT_THROW(server.serve(std::vector<Task>{bad_passes}),
+               std::invalid_argument);
+
+  Task late, early;
+  late.passes = early.passes = 1;
+  late.arrival_s = 2.0;
+  early.arrival_s = 1.0;
+  EXPECT_THROW(server.serve(std::vector<Task>{late, early}),
+               std::invalid_argument);
+
+  const ServeReport empty = server.serve(std::vector<Task>{});
+  EXPECT_EQ(empty.total_tasks, 0u);
+  EXPECT_EQ(empty.energy_j, 0.0);
+  EXPECT_EQ(empty.makespan_s, 0.0);
+}
+
+TEST_F(ServerTest, StreamModelCountMustMatch) {
+  ServerConfig cfg;
+  cfg.policy = ServePolicy::kMaxn;
+  Server server(*platform_, *models_, cfg);
+  EXPECT_THROW(server.serve(RequestStream(7, stream_config())),
+               std::invalid_argument);
+}
+
+// --- report export ---
+
+TEST_F(ServerTest, ReportJsonIsParseableAndConsistent) {
+  const ServeReport r = serve_with(ServePolicy::kPowerLens, 4);
+  std::ostringstream os;
+  r.write_json(os);
+  const test_support::JsonValue root =
+      test_support::JsonParser(os.str()).parse();
+  ASSERT_TRUE(root.is_object());
+  const test_support::JsonObject& o = root.object();
+  EXPECT_EQ(o.at("policy").string(), "PowerLens");
+  EXPECT_EQ(o.at("total_tasks").number(), 12.0);
+  // The JSON number formatter trades trailing digits for compactness, so
+  // compare at its precision rather than bitwise.
+  EXPECT_NEAR(o.at("energy_j").number(), r.energy_j, 1e-9 * r.energy_j);
+  EXPECT_NEAR(o.at("energy_efficiency_img_per_j").number(),
+              r.energy_efficiency(), 1e-9 * r.energy_efficiency());
+  EXPECT_TRUE(o.count("latency_p99_s"));
+  EXPECT_TRUE(o.count("plan_cache_hits"));
+}
+
+}  // namespace
+}  // namespace powerlens::serve
