@@ -20,11 +20,20 @@
 //   --trace <file>     Chrome/Perfetto trace (load in ui.perfetto.dev)
 //   --metrics <file>   metrics snapshot (JSON; Prometheus text in <file>.prom)
 //   --log-level <lvl>  off|error|warn|info|debug|trace (or env POWERLENS_LOG)
+//
+// `serve` additionally accepts:
+//   --faults <spec>            deterministic hardware fault injection, e.g.
+//                              "dvfs=0.1,sticky=0.2,thermal=0.5,seed=42"
+//                              (keys: dvfs sticky thermal thermal_s
+//                              thermal_cap telemetry latency latency_x seed)
+//   --plan-cache-capacity <n>  bound resident plans with LRU eviction
+//                              (0 = unbounded, the default)
 #include "baselines/ondemand.hpp"
 #include "core/metrics.hpp"
 #include "core/powerlens.hpp"
 #include "core/report.hpp"
 #include "dnn/models.hpp"
+#include "fault/fault_spec.hpp"
 #include "hw/sim_engine.hpp"
 #include "obs/setup.hpp"
 #include "serve/server.hpp"
@@ -33,6 +42,7 @@
 #include <cstdlib>
 #include <iostream>
 #include <string>
+#include <string_view>
 
 using namespace powerlens;
 
@@ -51,8 +61,34 @@ int usage() {
                "[powerlens|maxn|bim|fpg-g|fpg-cg] [workers] [rate_hz]\n"
                "  powerlens_cli models\n"
                "common flags: --trace <file> --metrics <file> "
-               "--log-level <off|error|warn|info|debug|trace>\n");
+               "--log-level <off|error|warn|info|debug|trace>\n"
+               "serve flags:  --faults <spec> --plan-cache-capacity <n>\n");
   return 2;
+}
+
+// Serve-specific flags, stripped from argv before positional dispatch (the
+// same contract as obs::extract_cli_flags).
+struct ServeFlags {
+  std::string faults;
+  std::size_t plan_cache_capacity = 0;
+};
+
+ServeFlags extract_serve_flags(int& argc, char** argv) {
+  ServeFlags flags;
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--faults" && i + 1 < argc) {
+      flags.faults = argv[++i];
+    } else if (arg == "--plan-cache-capacity" && i + 1 < argc) {
+      flags.plan_cache_capacity =
+          static_cast<std::size_t>(std::atoll(argv[++i]));
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  argc = out;
+  return flags;
 }
 
 hw::Platform parse_platform(const std::string& name) {
@@ -148,7 +184,8 @@ serve::ServePolicy parse_policy(const std::string& name) {
 
 int cmd_serve(const hw::Platform& platform, const std::string& bundle,
               std::size_t tasks, serve::ServePolicy policy,
-              std::size_t workers, double rate_hz) {
+              std::size_t workers, double rate_hz,
+              const ServeFlags& flags) {
   core::PowerLens framework(platform, {});
   if (policy == serve::ServePolicy::kPowerLens) {
     if (bundle == "-") {
@@ -176,6 +213,10 @@ int cmd_serve(const hw::Platform& platform, const std::string& bundle,
   serve::ServerConfig config;
   config.policy = policy;
   config.num_workers = workers;
+  config.plan_cache_capacity = flags.plan_cache_capacity;
+  if (!flags.faults.empty()) {
+    config.faults = fault::FaultSpec::parse(flags.faults);
+  }
   serve::Server server(platform, std::move(models), config, &framework);
   const serve::ServeReport report = server.serve(stream);
 
@@ -184,6 +225,15 @@ int cmd_serve(const hw::Platform& platform, const std::string& bundle,
               report.total_tasks, report.platform.c_str(),
               report.policy.c_str(), report.energy_j, report.makespan_s,
               report.energy_efficiency(), report.latency_p99_s);
+  if (config.faults.active()) {
+    std::printf("faults: %zu dvfs failed, %zu thermal, %zu telemetry "
+                "dropped, %zu inflated; recovery: %zu retries, %zu "
+                "fallbacks, %.2f s backoff\n",
+                report.faults.dvfs_failed, report.faults.thermal_events,
+                report.faults.telemetry_dropped,
+                report.faults.latency_inflated, report.retries,
+                report.fallbacks, report.backoff_s);
+  }
   report.write_json(std::cout);
   return 0;
 }
@@ -193,6 +243,7 @@ int cmd_serve(const hw::Platform& platform, const std::string& bundle,
 int main(int argc, char** argv) {
   const obs::ObsOptions obs_options = obs::extract_cli_flags(argc, argv);
   const obs::ObsScope obs_scope(obs_options);
+  const ServeFlags serve_flags = extract_serve_flags(argc, argv);
   if (argc < 2) return usage();
   const std::string cmd = argv[1];
   try {
@@ -225,7 +276,7 @@ int main(int argc, char** argv) {
           argc > 4 ? static_cast<std::size_t>(std::atoll(argv[4])) : 100,
           parse_policy(argc > 5 ? argv[5] : "powerlens"),
           argc > 6 ? static_cast<std::size_t>(std::atoll(argv[6])) : 4,
-          argc > 7 ? std::atof(argv[7]) : 0.0);
+          argc > 7 ? std::atof(argv[7]) : 0.0, serve_flags);
     }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());

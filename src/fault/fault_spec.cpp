@@ -1,0 +1,137 @@
+#include "fault/fault_spec.hpp"
+
+#include "util/rng.hpp"
+
+#include <cstdlib>
+#include <stdexcept>
+
+namespace powerlens::fault {
+
+namespace {
+
+double parse_number(std::string_view key, std::string_view value) {
+  const std::string s(value);
+  char* end = nullptr;
+  const double v = std::strtod(s.c_str(), &end);
+  if (end == s.c_str() || *end != '\0') {
+    throw std::invalid_argument("FaultSpec: malformed value '" + s +
+                                "' for key '" + std::string(key) + "'");
+  }
+  return v;
+}
+
+void require_rate(std::string_view key, double v) {
+  if (v < 0.0 || v > 1.0) {
+    throw std::invalid_argument("FaultSpec: '" + std::string(key) +
+                                "' must be in [0, 1]");
+  }
+}
+
+void require_non_negative(std::string_view key, double v) {
+  if (v < 0.0) {
+    throw std::invalid_argument("FaultSpec: '" + std::string(key) +
+                                "' must be >= 0");
+  }
+}
+
+}  // namespace
+
+void FaultSpec::validate() const {
+  require_rate("dvfs", dvfs_fail_rate);
+  require_non_negative("sticky", dvfs_sticky_s);
+  require_non_negative("thermal", thermal_rate_hz);
+  if (thermal_duration_s <= 0.0) {
+    throw std::invalid_argument("FaultSpec: 'thermal_s' must be positive");
+  }
+  require_rate("telemetry", telemetry_drop_rate);
+  require_rate("latency", latency_rate);
+  if (latency_factor < 1.0) {
+    throw std::invalid_argument("FaultSpec: 'latency_x' must be >= 1");
+  }
+}
+
+FaultSpec FaultSpec::parse(std::string_view text) {
+  FaultSpec spec;
+  std::string_view rest = text;
+  while (!rest.empty()) {
+    const std::size_t comma = rest.find(',');
+    const std::string_view item =
+        comma == std::string_view::npos ? rest : rest.substr(0, comma);
+    rest = comma == std::string_view::npos ? std::string_view{}
+                                           : rest.substr(comma + 1);
+    if (item.empty()) continue;
+    const std::size_t eq = item.find('=');
+    if (eq == std::string_view::npos) {
+      throw std::invalid_argument("FaultSpec: expected key=value, got '" +
+                                  std::string(item) + "'");
+    }
+    const std::string_view key = item.substr(0, eq);
+    const std::string_view value = item.substr(eq + 1);
+    if (key == "dvfs") {
+      spec.dvfs_fail_rate = parse_number(key, value);
+    } else if (key == "sticky") {
+      spec.dvfs_sticky_s = parse_number(key, value);
+    } else if (key == "thermal") {
+      spec.thermal_rate_hz = parse_number(key, value);
+    } else if (key == "thermal_s") {
+      spec.thermal_duration_s = parse_number(key, value);
+    } else if (key == "thermal_cap") {
+      spec.thermal_levels_off =
+          static_cast<std::size_t>(parse_number(key, value));
+    } else if (key == "telemetry") {
+      spec.telemetry_drop_rate = parse_number(key, value);
+    } else if (key == "latency") {
+      spec.latency_rate = parse_number(key, value);
+    } else if (key == "latency_x") {
+      spec.latency_factor = parse_number(key, value);
+    } else if (key == "seed") {
+      spec.seed = static_cast<std::uint64_t>(parse_number(key, value));
+    } else {
+      throw std::invalid_argument("FaultSpec: unknown key '" +
+                                  std::string(key) + "'");
+    }
+  }
+  spec.validate();
+  return spec;
+}
+
+std::string FaultSpec::to_string() const {
+  std::string out = "seed=" + std::to_string(seed);
+  const auto num = [](double v) {
+    std::string s = std::to_string(v);
+    while (s.size() > 1 && s.back() == '0') s.pop_back();
+    if (!s.empty() && s.back() == '.') s.pop_back();
+    return s;
+  };
+  if (dvfs_fail_rate > 0.0) out += ",dvfs=" + num(dvfs_fail_rate);
+  if (dvfs_sticky_s > 0.0) out += ",sticky=" + num(dvfs_sticky_s);
+  if (thermal_rate_hz > 0.0) {
+    out += ",thermal=" + num(thermal_rate_hz);
+    out += ",thermal_s=" + num(thermal_duration_s);
+    out += ",thermal_cap=" + std::to_string(thermal_levels_off);
+  }
+  if (telemetry_drop_rate > 0.0) out += ",telemetry=" + num(telemetry_drop_rate);
+  if (latency_rate > 0.0) {
+    out += ",latency=" + num(latency_rate);
+    out += ",latency_x=" + num(latency_factor);
+  }
+  return out;
+}
+
+namespace {
+// Domain salts keeping the per-purpose draw streams decorrelated.
+constexpr std::uint64_t kRequestDomain = 0x9a1f3b5c7d9e0f21ULL;
+constexpr std::uint64_t kReactiveDomain = 0x1c6e9d4b2a7f5e83ULL;
+}  // namespace
+
+std::uint64_t request_fault_seed(std::uint64_t seed, std::size_t task_id,
+                                 std::size_t attempt) noexcept {
+  return util::split_seed(util::split_seed(seed ^ kRequestDomain, task_id),
+                          attempt);
+}
+
+std::uint64_t reactive_fault_seed(std::uint64_t seed) noexcept {
+  return util::splitmix64(seed ^ kReactiveDomain);
+}
+
+}  // namespace powerlens::fault

@@ -1,0 +1,71 @@
+// Declarative fault-injection specification.
+//
+// A FaultSpec names the rates and shapes of the four hardware fault classes
+// the simulator can inject (hw/fault_hooks.hpp). It is plain data: the CLI
+// parses one from a `--faults` string, the serving layer stores one in its
+// config, and fault::FaultInjector turns (spec, stream seed) into concrete
+// deterministic decisions. All-zero rates (the default) mean no injection.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace powerlens::fault {
+
+struct FaultSpec {
+  // Base seed of the fault streams. The serving layer splits per-request
+  // (and per-retry) sub-seeds off it, so fault sequences are a pure
+  // function of (seed, task id, attempt) — invariant to worker count.
+  std::uint64_t seed = 0;
+
+  // P(a GPU DVFS transition request fails to actuate), per request.
+  double dvfs_fail_rate = 0.0;
+  // After a failed actuation the clock driver stays stuck: every request
+  // within this window also fails. 0 = failures are independent.
+  double dvfs_sticky_s = 0.0;
+
+  // Thermal throttle events per simulated second (Poisson arrivals).
+  double thermal_rate_hz = 0.0;
+  // Duration of one throttle window.
+  double thermal_duration_s = 0.5;
+  // Levels chopped off the top of the GPU ladder while throttled.
+  std::size_t thermal_levels_off = 3;
+
+  // P(a telemetry sample is dropped from the stream), per sample.
+  double telemetry_drop_rate = 0.0;
+
+  // P(a layer's latency is transiently inflated), per executed layer.
+  double latency_rate = 0.0;
+  // Multiplier applied to an inflated layer's latency.
+  double latency_factor = 1.5;
+
+  // True if any fault class can fire.
+  bool active() const noexcept {
+    return dvfs_fail_rate > 0.0 || thermal_rate_hz > 0.0 ||
+           telemetry_drop_rate > 0.0 || latency_rate > 0.0;
+  }
+
+  // Throws std::invalid_argument on out-of-range values.
+  void validate() const;
+
+  // Parses "key=value[,key=value...]" with keys: dvfs, sticky, thermal,
+  // thermal_s, thermal_cap, telemetry, latency, latency_x, seed — e.g.
+  // "dvfs=0.1,sticky=0.2,thermal=0.05,seed=42". Empty string = defaults.
+  // Throws std::invalid_argument on unknown keys or malformed numbers.
+  static FaultSpec parse(std::string_view text);
+
+  // The parseable form of the non-default fields (round-trips via parse).
+  std::string to_string() const;
+};
+
+// Fault-stream seed for one request attempt: a pure function of (spec seed,
+// task id, attempt), so retries draw fresh fault sequences and results are
+// invariant to which worker serves which request.
+std::uint64_t request_fault_seed(std::uint64_t seed, std::size_t task_id,
+                                 std::size_t attempt) noexcept;
+
+// Fault-stream seed for a continuous reactive run (one stream per serve).
+std::uint64_t reactive_fault_seed(std::uint64_t seed) noexcept;
+
+}  // namespace powerlens::fault

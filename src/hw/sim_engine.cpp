@@ -60,6 +60,16 @@ struct SimEngine::State {
 
   double cpu_load = 0.2;
 
+  // Fault model for this run (null = fault-free) and its decision indices.
+  FaultModel* faults = nullptr;
+  std::size_t dvfs_request_index = 0;
+  std::size_t layer_ordinal = 0;
+  // Thermal cap currently in force and the earliest time it may change;
+  // -inf forces a query at the first slice.
+  std::size_t thermal_levels_off = 0;
+  double thermal_until = -kInf;
+  double throttled_s = 0.0;  // time with effective level below requested
+
   std::vector<FreqTracePoint> trace;
   Telemetry telemetry{0.05};
 };
@@ -76,10 +86,31 @@ RunPolicy SimEngine::default_policy() const noexcept {
   return p;
 }
 
+std::size_t SimEngine::effective_gpu_level(const State& st) const noexcept {
+  if (st.thermal_levels_off == 0) return st.gpu_level;
+  const std::size_t max = platform_->max_gpu_level();
+  const std::size_t cap =
+      st.thermal_levels_off >= max ? 0 : max - st.thermal_levels_off;
+  return st.gpu_level < cap ? st.gpu_level : cap;
+}
+
+void SimEngine::refresh_thermal(State& st) {
+  if (st.faults == nullptr || st.time < st.thermal_until) return;
+  const ThermalState ts = st.faults->thermal_at(st.time);
+  if (st.tw != nullptr && ts.levels_off != st.thermal_levels_off) {
+    st.tw->counter(st.trace_pid, kDvfsTid, st.time * kUsPerS,
+                   "thermal_levels_off", static_cast<double>(ts.levels_off));
+  }
+  st.thermal_levels_off = ts.levels_off;
+  st.thermal_until = ts.until_s;
+}
+
 void SimEngine::advance(State& st, double dt, const ActivityState& activity,
                         double gpu_busy) {
   if (dt <= 0.0) return;
-  const double gpu_f = platform_->gpu_freq(st.gpu_level);
+  const std::size_t gpu_eff = effective_gpu_level(st);
+  if (gpu_eff < st.gpu_level) st.throttled_s += dt;
+  const double gpu_f = platform_->gpu_freq(gpu_eff);
   const double cpu_f = platform_->cpu_freq(st.cpu_level);
   const double p = power_.total_w(gpu_f, cpu_f, activity);
   st.energy += p * dt;
@@ -117,6 +148,19 @@ void SimEngine::request_gpu_level(State& st, std::size_t level) {
                    "dvfs_transitions", static_cast<double>(st.transitions));
     st.tw->counter(st.trace_pid, kDvfsTid, st.time * kUsPerS, "dvfs_stall_ms",
                    st.stall_time * 1e3);
+  }
+  if (st.faults != nullptr &&
+      st.faults->dvfs_request_fails(st.dvfs_request_index++, st.time)) {
+    // Actuation failed: the driver stall was paid, but the clock keeps its
+    // old frequency and no pending change is scheduled. A later request for
+    // the same level is not deduplicated (the target never moved), so
+    // callers naturally retry.
+    if (st.tw != nullptr) {
+      st.tw->instant_at(st.trace_pid, kDvfsTid, st.time * kUsPerS,
+                        "dvfs_fault", "dvfs",
+                        {obs::TraceArg::num("to", static_cast<double>(level))});
+    }
+    return;
   }
   st.gpu_pending = level;
   st.gpu_pending_at = st.time + platform_->dvfs.latency_s;
@@ -235,19 +279,30 @@ void SimEngine::execute_graph(const dnn::Graph& graph, int passes,
              obs::TraceArg::num("gpu_level",
                                 static_cast<double>(st.gpu_level))});
       }
+      // One latency-inflation draw per executed layer; the factor applies
+      // to the whole layer however many slices it ends up cut into.
+      double lat_factor = 1.0;
+      if (st.faults != nullptr) {
+        lat_factor = st.faults->layer_latency_factor(st.layer_ordinal++);
+      }
       double remaining = 1.0;  // fraction of the layer still to execute
       while (remaining > kMinSlice) {
         apply_pending(st);
-        const LayerTiming t =
-            latency_.time_layer(layer, platform_->gpu_freq(st.gpu_level),
-                                platform_->cpu_freq(st.cpu_level));
+        refresh_thermal(st);
+        const LayerTiming t = latency_.time_layer(
+            layer, platform_->gpu_freq(effective_gpu_level(st)),
+            platform_->cpu_freq(st.cpu_level));
         if (t.total_s <= 0.0) break;
+        const double total_s = t.total_s * lat_factor;
 
-        const double layer_dt = remaining * t.total_s;
+        const double layer_dt = remaining * total_s;
         double dt = layer_dt;
         dt = std::min(dt, st.gpu_pending_at - st.time);
         dt = std::min(dt, st.cpu_pending_at - st.time);
         dt = std::min(dt, st.next_sample_at - st.time);
+        if (st.faults != nullptr) {
+          dt = std::min(dt, st.thermal_until - st.time);
+        }
         dt = std::max(dt, kMinSlice);
 
         // Launcher-thread load is work-conserving: fixed cycles per second
@@ -262,7 +317,7 @@ void SimEngine::execute_graph(const dnn::Graph& graph, int passes,
         st.win_cpu_peak += launcher * dt;
         advance(st, dt, ActivityState{t.gpu_activity, t.mem_activity, cpu_act},
                 t.gpu_busy);
-        remaining -= dt / t.total_s;
+        remaining -= dt / total_s;
 
         apply_pending(st);
         if (policy.governor != nullptr && st.time >= st.next_sample_at) {
@@ -287,10 +342,14 @@ void SimEngine::execute_graph(const dnn::Graph& graph, int passes,
     double gap = policy.inter_pass_gap_s;
     while (gap > kMinSlice) {
       apply_pending(st);
+      refresh_thermal(st);
       double dt = gap;
       dt = std::min(dt, st.gpu_pending_at - st.time);
       dt = std::min(dt, st.cpu_pending_at - st.time);
       dt = std::min(dt, st.next_sample_at - st.time);
+      if (st.faults != nullptr) {
+        dt = std::min(dt, st.thermal_until - st.time);
+      }
       dt = std::max(dt, kMinSlice);
       const double cpu_act = std::min(
           1.0, policy.cpu_load +
@@ -328,6 +387,14 @@ ExecutionResult SimEngine::run_workload(std::span<const WorkItem> items,
   st.gpu_level = policy.initial_gpu_level;
   st.cpu_level = policy.initial_cpu_level;
   st.telemetry = Telemetry(platform_->telemetry_period_s);
+  st.faults = policy.faults;
+  if (policy.faults != nullptr) {
+    st.telemetry.set_fault_model(policy.faults);
+  }
+  // Snapshot so the result reports this run's delta even if the caller
+  // (incorrectly) reuses a fault model across runs.
+  const FaultCounters faults_before =
+      policy.faults != nullptr ? policy.faults->counters() : FaultCounters{};
   st.trace.push_back({0.0, st.gpu_level});
 
   obs::TraceWriter& tw =
@@ -384,6 +451,17 @@ ExecutionResult SimEngine::run_workload(std::span<const WorkItem> items,
   r.dvfs_transitions = st.transitions;
   r.dvfs_stall_s = st.stall_time;
   r.telemetry_energy_j = st.telemetry.total_energy_j();
+  r.thermal_throttled_s = st.throttled_s;
+  if (policy.faults != nullptr) {
+    const FaultCounters& after = policy.faults->counters();
+    r.faults.dvfs_failed = after.dvfs_failed - faults_before.dvfs_failed;
+    r.faults.thermal_events =
+        after.thermal_events - faults_before.thermal_events;
+    r.faults.telemetry_dropped =
+        after.telemetry_dropped - faults_before.telemetry_dropped;
+    r.faults.latency_inflated =
+        after.latency_inflated - faults_before.latency_inflated;
+  }
   r.gpu_trace = std::move(st.trace);
   r.power_samples.assign(st.telemetry.samples().begin(),
                          st.telemetry.samples().end());
@@ -411,6 +489,28 @@ ExecutionResult SimEngine::run_workload(std::span<const WorkItem> items,
       .counter("powerlens_sim_dvfs_stall_seconds_total",
                "host stall paid on DVFS transitions")
       .inc(r.dvfs_stall_s);
+  if (policy.faults != nullptr) {
+    metrics
+        .counter("powerlens_fault_dvfs_failed_total",
+                 "GPU DVFS transition requests that failed to actuate")
+        .inc(static_cast<double>(r.faults.dvfs_failed));
+    metrics
+        .counter("powerlens_fault_thermal_events_total",
+                 "thermal throttle windows entered")
+        .inc(static_cast<double>(r.faults.thermal_events));
+    metrics
+        .counter("powerlens_fault_telemetry_dropped_total",
+                 "telemetry samples dropped from the stream")
+        .inc(static_cast<double>(r.faults.telemetry_dropped));
+    metrics
+        .counter("powerlens_fault_latency_inflated_total",
+                 "layers hit by transient latency inflation")
+        .inc(static_cast<double>(r.faults.latency_inflated));
+    metrics
+        .counter("powerlens_fault_thermal_throttled_seconds_total",
+                 "simulated time spent thermally capped")
+        .inc(r.thermal_throttled_s);
+  }
   return r;
 }
 

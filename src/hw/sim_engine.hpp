@@ -11,6 +11,7 @@
 #pragma once
 
 #include "dnn/graph.hpp"
+#include "hw/fault_hooks.hpp"
 #include "hw/governor.hpp"
 #include "hw/latency_model.hpp"
 #include "hw/platform.hpp"
@@ -62,6 +63,10 @@ struct RunPolicy {
   // Label for this run's process track in the trace viewer (e.g. the
   // governor/method name). Must outlive the run.
   const char* trace_label = nullptr;
+  // Hardware fault model for this run; null means fault-free. One instance
+  // per run (its sticky/thermal state tracks this run's clock); the engine
+  // reports the per-run fault delta in ExecutionResult::faults.
+  FaultModel* faults = nullptr;
 };
 
 struct FreqTracePoint {
@@ -92,6 +97,11 @@ struct ExecutionResult {
   // Telemetry's exact power integral, including slivers the sampling
   // windows drop; equals energy_j bit for bit (conservation invariant).
   double telemetry_energy_j = 0.0;
+  // Faults injected during this run (zero when RunPolicy::faults is null).
+  FaultCounters faults;
+  // Time spent with the GPU ladder thermally capped below the requested
+  // level, already included in time_s.
+  double thermal_throttled_s = 0.0;
   std::vector<FreqTracePoint> gpu_trace;  // level changes (incl. initial)
   std::vector<PowerSample> power_samples; // tegrastats-style trace
   std::vector<WorkItemMark> item_marks;   // one per work item, in order
@@ -131,6 +141,10 @@ class SimEngine {
                      const RunPolicy& policy, State& st);
   void advance(State& st, double dt, const ActivityState& activity,
                double gpu_busy);
+  // Requested level clamped by the thermal cap currently in force.
+  std::size_t effective_gpu_level(const State& st) const noexcept;
+  // Re-queries the fault model once the cached thermal window expires.
+  void refresh_thermal(State& st);
   void request_gpu_level(State& st, std::size_t level);
   void request_cpu_level(State& st, std::size_t level);
   void apply_pending(State& st);

@@ -1,5 +1,7 @@
 #include "hw/telemetry.hpp"
 
+#include "hw/fault_hooks.hpp"
+
 #include <stdexcept>
 
 namespace powerlens::hw {
@@ -8,6 +10,15 @@ Telemetry::Telemetry(double period_s) : period_s_(period_s) {
   if (period_s <= 0.0) {
     throw std::invalid_argument("Telemetry: period must be positive");
   }
+}
+
+void Telemetry::emit_sample(double time_s, double power_w) {
+  const std::size_t index = emitted_++;
+  if (fault_model_ != nullptr && fault_model_->drop_telemetry_sample(index)) {
+    ++dropped_;
+    return;
+  }
+  samples_.push_back({time_s, power_w});
 }
 
 void Telemetry::record_slice(double t_start_s, double dt_s, double power_w) {
@@ -28,7 +39,7 @@ void Telemetry::record_slice(double t_start_s, double dt_s, double power_w) {
     t += take;
     remaining -= take;
     if (window_elapsed_s_ >= period_s_ - eps) {
-      samples_.push_back({t, window_energy_j_ / window_elapsed_s_});
+      emit_sample(t, window_energy_j_ / window_elapsed_s_);
       window_energy_j_ = 0.0;
       window_elapsed_s_ = 0.0;
     }
@@ -37,10 +48,12 @@ void Telemetry::record_slice(double t_start_s, double dt_s, double power_w) {
 
 void Telemetry::finish(double end_time_s) {
   if (window_elapsed_s_ > period_s_ * 1e-9) {
-    samples_.push_back({end_time_s, window_energy_j_ / window_elapsed_s_});
-    window_energy_j_ = 0.0;
-    window_elapsed_s_ = 0.0;
+    emit_sample(end_time_s, window_energy_j_ / window_elapsed_s_);
   }
+  // Reset unconditionally: a sub-epsilon residual must not leak into the
+  // next window if recording resumes after finish().
+  window_energy_j_ = 0.0;
+  window_elapsed_s_ = 0.0;
 }
 
 double Telemetry::mean_power_w() const noexcept {

@@ -11,6 +11,8 @@
 
 namespace powerlens::hw {
 
+class FaultModel;
+
 struct PowerSample {
   double time_s = 0.0;
   double power_w = 0.0;
@@ -23,8 +25,17 @@ class Telemetry {
   // Integrates a constant-power slice [t, t + dt) into the sample stream;
   // emits one averaged sample per elapsed period.
   void record_slice(double t_start_s, double dt_s, double power_w);
-  // Flushes a trailing partial period as a final sample.
+  // Flushes a trailing partial period as a final sample, then always resets
+  // the window accumulators — a record_slice after finish() (or a second
+  // finish()) starts from a clean window, never merging stale energy.
   void finish(double end_time_s);
+
+  // Optional fault model consulted per emitted sample; a dropped sample
+  // vanishes from the stream (real tegrastats lines go missing under load)
+  // while total_energy_j stays exact. Must outlive this object.
+  void set_fault_model(FaultModel* model) noexcept { fault_model_ = model; }
+  // Samples lost to the fault model.
+  std::size_t dropped_samples() const noexcept { return dropped_; }
 
   std::span<const PowerSample> samples() const noexcept { return samples_; }
   double period_s() const noexcept { return period_s_; }
@@ -39,10 +50,16 @@ class Telemetry {
   double total_energy_j() const noexcept { return total_energy_j_; }
 
  private:
+  // Emits one averaged window sample, subject to fault-model dropouts.
+  void emit_sample(double time_s, double power_w);
+
   double period_s_;
   double window_energy_j_ = 0.0;
   double window_elapsed_s_ = 0.0;
   double total_energy_j_ = 0.0;
+  FaultModel* fault_model_ = nullptr;  // non-owning, may be null
+  std::size_t emitted_ = 0;            // sample index for fault decisions
+  std::size_t dropped_ = 0;
   std::vector<PowerSample> samples_;
 };
 

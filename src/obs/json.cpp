@@ -48,6 +48,14 @@ void append_json_number(std::string& out, double v) {
   out += buf;
 }
 
+void append_json_number_or_null(std::string& out, double v) {
+  if (!std::isfinite(v)) {
+    out += "null";
+    return;
+  }
+  append_json_number(out, v);
+}
+
 std::string json_number(double v) {
   std::string out;
   append_json_number(out, v);

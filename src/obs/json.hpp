@@ -18,8 +18,15 @@ void append_json_escaped(std::string& out, std::string_view s);
 
 std::string json_escape(std::string_view s);
 
-// Appends `v` as a valid JSON number. Non-finite values become 0.
+// Appends `v` as a valid JSON number. Non-finite values become 0 — use
+// only where 0 is an honest stand-in (counter tracks, histogram sums);
+// report fields where 0 would read as a perfect measurement should use
+// append_json_number_or_null instead.
 void append_json_number(std::string& out, double v);
+
+// Appends `v` as a JSON number, or the literal `null` when it is NaN or
+// infinite — the unambiguous encoding for "not measured".
+void append_json_number_or_null(std::string& out, double v);
 
 std::string json_number(double v);
 

@@ -12,22 +12,33 @@ namespace {
 obs::Counter& hit_counter() {
   static obs::Counter& c = obs::global_metrics().counter(
       "powerlens_serve_plan_cache_hits_total",
-      "plan cache lookups served from the cache");
+      "plan cache requests served from the cache");
   return c;
 }
 
 obs::Counter& miss_counter() {
   static obs::Counter& c = obs::global_metrics().counter(
       "powerlens_serve_plan_cache_misses_total",
-      "plan cache lookups that computed a fresh plan");
+      "plan cache requests that computed a fresh plan");
+  return c;
+}
+
+obs::Counter& eviction_counter() {
+  static obs::Counter& c = obs::global_metrics().counter(
+      "powerlens_serve_plan_cache_evictions_total",
+      "plans evicted by the LRU capacity bound");
   return c;
 }
 
 }  // namespace
 
-PlanCache::PlanCache(std::size_t num_shards) : shards_(num_shards) {
+PlanCache::PlanCache(std::size_t num_shards, std::size_t capacity)
+    : shards_(num_shards), capacity_(capacity) {
   if (num_shards == 0) {
     throw std::invalid_argument("PlanCache: num_shards must be positive");
+  }
+  if (capacity_ > 0) {
+    shard_capacity_ = (capacity_ + num_shards - 1) / num_shards;
   }
 }
 
@@ -38,15 +49,26 @@ PlanCache::PlanPtr PlanCache::get_or_compute(const dnn::Graph& graph,
   const std::lock_guard<std::mutex> lock(shard.mu);
   const auto it = shard.plans.find(sig);
   if (it != shard.plans.end()) {
+    // Refresh recency: splice the key to the MRU end of the shard list.
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second.lru_pos);
     hits_.fetch_add(1, std::memory_order_relaxed);
     hit_counter().inc();
-    return it->second;
+    return it->second.plan;
   }
   // Computed under the shard lock: concurrent requests for the same model
-  // wait here and then hit, so each signature is optimized exactly once.
+  // wait here and then hit, so each resident signature is optimized exactly
+  // once.
   PlanPtr plan =
       std::make_shared<const core::OptimizationPlan>(factory(graph));
-  shard.plans.emplace(sig, plan);
+  if (shard_capacity_ > 0 && shard.plans.size() >= shard_capacity_) {
+    const std::uint64_t victim = shard.lru.back();
+    shard.lru.pop_back();
+    shard.plans.erase(victim);
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+    eviction_counter().inc();
+  }
+  shard.lru.push_front(sig);
+  shard.plans.emplace(sig, Entry{plan, shard.lru.begin()});
   misses_.fetch_add(1, std::memory_order_relaxed);
   miss_counter().inc();
   return plan;
@@ -58,9 +80,11 @@ PlanCache::PlanPtr PlanCache::lookup(const dnn::Graph& graph) const {
   const std::lock_guard<std::mutex> lock(shard.mu);
   const auto it = shard.plans.find(sig);
   if (it == shard.plans.end()) return nullptr;
-  hits_.fetch_add(1, std::memory_order_relaxed);
-  hit_counter().inc();
-  return it->second;
+  // Probe-path counting only: the serving-path hit counter and the LRU
+  // order are untouched, so probing the cache never inflates the hit-rate
+  // story or keeps a plan alive that the serving path has abandoned.
+  probe_hits_.fetch_add(1, std::memory_order_relaxed);
+  return it->second.plan;
 }
 
 std::size_t PlanCache::size() const {
@@ -76,6 +100,7 @@ void PlanCache::clear() {
   for (Shard& shard : shards_) {
     const std::lock_guard<std::mutex> lock(shard.mu);
     shard.plans.clear();
+    shard.lru.clear();
   }
 }
 

@@ -1,4 +1,4 @@
-// Sharded memoization of PowerLens::optimize results.
+// Sharded, optionally bounded memoization of PowerLens::optimize results.
 //
 // The offline-instrumentation story of the paper becomes a serving-layer
 // cache: the first request for a model pays the optimize() cost, every
@@ -9,10 +9,21 @@
 //
 // Shards are locked independently; a miss computes *under the shard lock*,
 // which serializes concurrent misses that hash to the same shard but
-// guarantees each key is computed exactly once. That makes the hit/miss
-// counters (exported to the global metrics registry as
-// powerlens_serve_plan_cache_{hits,misses}_total) deterministic for a given
-// request set, whatever the worker count.
+// guarantees each key is computed exactly once while resident. With the
+// default unbounded capacity that makes the hit/miss counters (exported to
+// the global metrics registry as powerlens_serve_plan_cache_{hits,misses}_
+// total) deterministic for a given request set, whatever the worker count.
+//
+// A positive `capacity` bounds the number of resident plans with
+// least-recently-used eviction. The budget is split evenly across shards
+// (exact with num_shards = 1); an evicted signature recomputes on next use,
+// so under concurrency the counters become access-order dependent — plans
+// themselves stay byte-identical either way.
+//
+// Counting discipline: get_or_compute() drives the serving-path hit/miss
+// counters; lookup() is a read-only probe with its own probe_hits counter
+// and touches neither the serving-path counters nor LRU recency, so
+// diagnostics never distort the cache's behavior or its hit-rate story.
 #pragma once
 
 #include "core/powerlens.hpp"
@@ -21,6 +32,7 @@
 #include <atomic>
 #include <cstdint>
 #include <functional>
+#include <list>
 #include <memory>
 #include <mutex>
 #include <unordered_map>
@@ -34,37 +46,59 @@ class PlanCache {
   using PlanFactory =
       std::function<core::OptimizationPlan(const dnn::Graph&)>;
 
-  explicit PlanCache(std::size_t num_shards = 8);
+  // `capacity` = maximum resident plans (0 = unbounded), split evenly
+  // across shards and enforced per shard.
+  explicit PlanCache(std::size_t num_shards = 8, std::size_t capacity = 0);
 
   // The plan for `graph`'s signature, computing it with `factory` on first
-  // use. Thread-safe; each distinct signature is computed exactly once.
+  // use and refreshing LRU recency on reuse. Thread-safe; each distinct
+  // signature is computed exactly once while it stays resident.
   PlanPtr get_or_compute(const dnn::Graph& graph, const PlanFactory& factory);
 
-  // Cached plan if present (counts as a hit); nullptr otherwise (no miss
-  // counted — nothing was computed).
+  // Read-only probe: the cached plan if present, nullptr otherwise. Counts
+  // only probe_hits (never hits/misses) and does not refresh recency.
   PlanPtr lookup(const dnn::Graph& graph) const;
 
+  // Serving-path counters (get_or_compute).
   std::uint64_t hits() const noexcept {
     return hits_.load(std::memory_order_relaxed);
   }
   std::uint64_t misses() const noexcept {
     return misses_.load(std::memory_order_relaxed);
   }
+  // Probe-path counter (lookup).
+  std::uint64_t probe_hits() const noexcept {
+    return probe_hits_.load(std::memory_order_relaxed);
+  }
+  // Plans displaced by the capacity bound.
+  std::uint64_t evictions() const noexcept {
+    return evictions_.load(std::memory_order_relaxed);
+  }
+  std::size_t capacity() const noexcept { return capacity_; }
   std::size_t size() const;
   void clear();
 
  private:
+  struct Entry {
+    PlanPtr plan;
+    std::list<std::uint64_t>::iterator lru_pos;
+  };
   struct Shard {
     mutable std::mutex mu;
-    std::unordered_map<std::uint64_t, PlanPtr> plans;
+    std::unordered_map<std::uint64_t, Entry> plans;
+    std::list<std::uint64_t> lru;  // most-recently-used at the front
   };
   Shard& shard_for(std::uint64_t signature) const noexcept {
     return shards_[signature % shards_.size()];
   }
 
   mutable std::vector<Shard> shards_;
-  mutable std::atomic<std::uint64_t> hits_{0};
+  std::size_t capacity_ = 0;        // total bound (0 = unbounded)
+  std::size_t shard_capacity_ = 0;  // per-shard slice of the bound
+  std::atomic<std::uint64_t> hits_{0};
   std::atomic<std::uint64_t> misses_{0};
+  mutable std::atomic<std::uint64_t> probe_hits_{0};
+  std::atomic<std::uint64_t> evictions_{0};
 };
 
 }  // namespace powerlens::serve

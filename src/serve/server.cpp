@@ -2,6 +2,7 @@
 
 #include "baselines/fpg.hpp"
 #include "baselines/ondemand.hpp"
+#include "fault/fault_injector.hpp"
 #include "hw/sim_engine.hpp"
 #include "obs/json.hpp"
 #include "obs/log.hpp"
@@ -10,10 +11,13 @@
 #include "serve/queue.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <exception>
 #include <functional>
+#include <limits>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <ostream>
 #include <queue>
 #include <stdexcept>
@@ -58,7 +62,8 @@ Server::Server(const hw::Platform& platform,
     : platform_(&platform),
       models_(std::move(models)),
       config_(config),
-      framework_(framework) {
+      framework_(framework),
+      cache_(/*num_shards=*/8, config_.plan_cache_capacity) {
   if (models_.empty()) {
     throw std::invalid_argument("Server: no deployed models");
   }
@@ -70,6 +75,11 @@ Server::Server(const hw::Platform& platform,
   }
   if (config_.dispatch_depth == 0) {
     throw std::invalid_argument("Server: dispatch_depth must be positive");
+  }
+  config_.faults.validate();
+  if (config_.degrade.backoff_base_s < 0.0 ||
+      config_.degrade.backoff_cap_s < 0.0) {
+    throw std::invalid_argument("Server: backoff times must be >= 0");
   }
 }
 
@@ -106,10 +116,13 @@ std::vector<Server::ServiceResult> Server::simulate_parallel(
   std::mutex error_mu;
   std::exception_ptr first_error;
 
+  const bool inject = config_.faults.active();
   const auto worker = [&] {
     // Each worker owns its simulator and CPU governor; runs are independent
     // (the governor resets per run), so results are keyed by task index and
-    // invariant to which worker claims which request.
+    // invariant to which worker claims which request. Fault streams are a
+    // pure function of (spec seed, task id, attempt), preserving that
+    // invariance under injection.
     hw::SimEngine engine(*platform_);
     baselines::OndemandGovernor cpu_governor;
     bool draining = false;
@@ -118,17 +131,54 @@ std::vector<Server::ServiceResult> Server::simulate_parallel(
       try {
         const Task& task = tasks[*idx];
         const DeployedModel& model = models_[task.model_index];
-        hw::RunPolicy policy = engine.default_policy();
-        policy.trace_label = policy_name(config_.policy);
         PlanCache::PlanPtr plan;  // keeps the schedule alive through run()
         if (config_.policy == ServePolicy::kPowerLens) {
           plan = plan_for(model.graph);
-          policy.schedule = &plan->schedule;
-          policy.governor = &cpu_governor;
         }
-        const hw::ExecutionResult r =
-            engine.run(model.graph, task.passes, policy);
-        results[*idx] = {r.time_s, r.energy_j, r.images, r.dvfs_transitions};
+        ServiceResult out;
+        for (std::size_t attempt = 0;; ++attempt) {
+          hw::RunPolicy policy = engine.default_policy();
+          policy.trace_label = policy_name(config_.policy);
+          std::optional<fault::FaultInjector> injector;
+          if (inject) {
+            injector.emplace(config_.faults,
+                             fault::request_fault_seed(config_.faults.seed,
+                                                       task.id, attempt));
+            policy.faults = &*injector;
+          }
+          // Once fallen back, the request runs pinned at the MAXN state:
+          // no schedule, no governor, hence no DVFS transitions to fail.
+          if (config_.policy == ServePolicy::kPowerLens && !out.fell_back) {
+            policy.schedule = &plan->schedule;
+            policy.governor = &cpu_governor;
+          }
+          const hw::ExecutionResult r =
+              engine.run(model.graph, task.passes, policy);
+          // Every attempt occupies the device and burns energy; only the
+          // accepted attempt's output counts as served images.
+          out.service_s += r.time_s;
+          out.energy_j += r.energy_j;
+          out.dvfs_transitions += r.dvfs_transitions;
+          out.faults += r.faults;
+          const bool degraded =
+              inject && config_.degrade.fallback_enabled && !out.fell_back &&
+              r.faults.dvfs_failed > config_.degrade.dvfs_fault_tolerance;
+          if (!degraded) {
+            out.images = r.images;
+            break;
+          }
+          if (attempt >= config_.degrade.max_retries) {
+            out.fell_back = true;  // next attempt runs pinned
+          }
+          ++out.retries;
+          const double backoff =
+              std::min(config_.degrade.backoff_base_s *
+                           std::ldexp(1.0, static_cast<int>(attempt)),
+                       config_.degrade.backoff_cap_s);
+          out.backoff_s += backoff;
+          out.service_s += backoff;
+        }
+        results[*idx] = out;
       } catch (...) {
         const std::lock_guard<std::mutex> lock(error_mu);
         if (!first_error) first_error = std::current_exception();
@@ -142,9 +192,23 @@ std::vector<Server::ServiceResult> Server::simulate_parallel(
   std::vector<std::thread> workers;
   workers.reserve(num_workers);
   for (std::size_t w = 0; w < num_workers; ++w) workers.emplace_back(worker);
-  for (std::size_t i = 0; i < tasks.size(); ++i) queue.push(i);
+  bool dispatch_failed = false;
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    if (!queue.push(i)) {
+      // push() returning false means the queue was closed under us; a
+      // silent drop here would serve a stream with holes in it. Drain the
+      // workers, then fail the whole serve() call loudly.
+      dispatch_failed = true;
+      break;
+    }
+  }
   queue.close();
   for (std::thread& t : workers) t.join();
+  if (dispatch_failed) {
+    throw std::runtime_error(
+        "Server: dispatch queue closed mid-stream; request dispatch "
+        "incomplete");
+  }
   if (first_error) std::rethrow_exception(first_error);
   return results;
 }
@@ -172,17 +236,29 @@ std::vector<Server::ServiceResult> Server::simulate_reactive(
       throw std::logic_error("Server: not a reactive policy");
   }
 
+  // One continuous run gets one continuous fault stream; per-item fault
+  // attribution is impossible through marks differencing, so the totals
+  // land in reactive_faults_ for the fold to report stream-wide.
+  std::optional<fault::FaultInjector> injector;
+  if (config_.faults.active()) {
+    injector.emplace(config_.faults,
+                     fault::reactive_fault_seed(config_.faults.seed));
+    policy.faults = &*injector;
+  }
+
   const hw::ExecutionResult r = engine.run_workload(items, policy);
   marks_.assign(r.item_marks.begin(), r.item_marks.end());
+  reactive_faults_ = r.faults;
 
   std::vector<ServiceResult> results(tasks.size());
   hw::WorkItemMark prev;
   for (std::size_t i = 0; i < results.size(); ++i) {
     const hw::WorkItemMark& mark = r.item_marks[i];
-    results[i] = {mark.end_time_s - prev.end_time_s,
-                  mark.end_energy_j - prev.end_energy_j,
-                  mark.end_images - prev.end_images,
-                  mark.end_transitions - prev.end_transitions};
+    ServiceResult& svc = results[i];
+    svc.service_s = mark.end_time_s - prev.end_time_s;
+    svc.energy_j = mark.end_energy_j - prev.end_energy_j;
+    svc.images = mark.end_images - prev.end_images;
+    svc.dvfs_transitions = mark.end_transitions - prev.end_transitions;
     prev = mark;
   }
   return results;
@@ -244,6 +320,23 @@ ServeReport Server::fold_timeline(std::span<const Task> tasks,
     }
 
     const ServiceResult& svc = services[i];
+    if (config_.degrade.shed_doomed && task.deadline_s > 0.0) {
+      // The service time is already known (the simulation ran host-side),
+      // so a request that cannot meet its deadline even if started now is
+      // shed instead of burning device time on a guaranteed miss.
+      const double would_start = std::max(task.arrival_s, device_free);
+      if (would_start + svc.service_s - task.arrival_s > task.deadline_s) {
+        out.shed = true;
+        ++report.shed;
+        if (trace != nullptr) {
+          trace->instant_at(pid, kQueueTid, task.arrival_s * kUsPerS, "shed",
+                            "serve",
+                            {obs::TraceArg::num(
+                                "task", static_cast<double>(task.id))});
+        }
+        continue;
+      }
+    }
     out.admitted = true;
     out.start_s = std::max(task.arrival_s, device_free);
     if (continuous) {
@@ -265,6 +358,10 @@ ServeReport Server::fold_timeline(std::span<const Task> tasks,
     out.energy_j = svc.energy_j;
     out.images = svc.images;
     out.dvfs_transitions = svc.dvfs_transitions;
+    out.retries = svc.retries;
+    out.backoff_s = svc.backoff_s;
+    out.fell_back = svc.fell_back;
+    out.faults = svc.faults;
     out.deadline_missed =
         task.deadline_s > 0.0 && out.latency_s() > task.deadline_s;
 
@@ -272,11 +369,15 @@ ServeReport Server::fold_timeline(std::span<const Task> tasks,
     if (out.deadline_missed) ++report.deadline_misses;
     latencies.push_back(out.latency_s());
     report.makespan_s = out.finish_s;
+    report.retries += svc.retries;
+    report.backoff_s += svc.backoff_s;
+    if (svc.fell_back) ++report.fallbacks;
     if (!continuous) {
       report.energy_j += svc.energy_j;
       report.busy_s += svc.service_s;
       report.images += svc.images;
       report.dvfs_transitions += svc.dvfs_transitions;
+      report.faults += svc.faults;
     }
 
     if (trace != nullptr) {
@@ -302,10 +403,20 @@ ServeReport Server::fold_timeline(std::span<const Task> tasks,
     report.busy_s = last.end_time_s;
     report.images = last.end_images;
     report.dvfs_transitions = last.end_transitions;
+    report.faults = reactive_faults_;
   }
 
   std::sort(latencies.begin(), latencies.end());
-  if (!latencies.empty()) {
+  if (latencies.empty()) {
+    // No request completed: latency statistics do not exist. NaN (emitted
+    // as JSON null) is the honest encoding — the previous 0.0 read as a
+    // perfect p99 on a serve() call that served nothing.
+    constexpr double nan = std::numeric_limits<double>::quiet_NaN();
+    report.latency_mean_s = nan;
+    report.latency_p50_s = nan;
+    report.latency_p99_s = nan;
+    report.latency_max_s = nan;
+  } else {
     double sum = 0.0;
     for (const double v : latencies) sum += v;
     report.latency_mean_s = sum / static_cast<double>(latencies.size());
@@ -347,11 +458,41 @@ ServeReport Server::fold_timeline(std::span<const Task> tasks,
       "request latency (arrival to finish, simulated)");
   for (const double v : latencies) latency_hist.observe(v);
 
+  if (config_.faults.active() || config_.degrade.shed_doomed) {
+    metrics
+        .counter("powerlens_serve_degraded_retries_total",
+                 "request re-executions after fault-degraded runs")
+        .inc(static_cast<double>(report.retries));
+    metrics
+        .counter("powerlens_serve_degraded_fallbacks_total",
+                 "requests served on the pinned fallback configuration")
+        .inc(static_cast<double>(report.fallbacks));
+    metrics
+        .counter("powerlens_serve_degraded_backoff_seconds_total",
+                 "simulated backoff inserted before retries")
+        .inc(report.backoff_s);
+    metrics
+        .counter("powerlens_serve_degraded_shed_total",
+                 "deadline-doomed requests shed before service")
+        .inc(static_cast<double>(report.shed));
+    metrics
+        .counter("powerlens_fault_injected_dvfs_failed_total",
+                 "injected DVFS actuation failures seen by the server")
+        .inc(static_cast<double>(report.faults.dvfs_failed));
+    metrics
+        .counter("powerlens_fault_injected_thermal_events_total",
+                 "injected thermal windows seen by the server")
+        .inc(static_cast<double>(report.faults.thermal_events));
+  }
+
   obs::log_info("serve", "stream served",
                 {{"policy", report.policy},
                  {"tasks", static_cast<double>(report.total_tasks)},
                  {"admitted", static_cast<double>(report.admitted)},
                  {"rejected", static_cast<double>(report.rejected)},
+                 {"shed", static_cast<double>(report.shed)},
+                 {"retries", static_cast<double>(report.retries)},
+                 {"fallbacks", static_cast<double>(report.fallbacks)},
                  {"deadline_misses",
                   static_cast<double>(report.deadline_misses)},
                  {"energy_j", report.energy_j},
@@ -389,10 +530,17 @@ ServeReport Server::serve(std::span<const Task> tasks) {
     throw std::invalid_argument(
         "Server: admission control requires a plan policy");
   }
+  if (!is_plan_policy(config_.policy) && config_.degrade.shed_doomed) {
+    // Same forking problem: a shed request would vanish from the middle of
+    // the continuous reactive run.
+    throw std::invalid_argument(
+        "Server: shedding doomed requests requires a plan policy");
+  }
 
   const std::uint64_t hits_before = cache_.hits();
   const std::uint64_t misses_before = cache_.misses();
   marks_.clear();
+  reactive_faults_ = {};
   const std::vector<ServiceResult> services =
       is_plan_policy(config_.policy) ? simulate_parallel(tasks)
                                      : simulate_reactive(tasks);
@@ -401,12 +549,15 @@ ServeReport Server::serve(std::span<const Task> tasks) {
 
 void ServeReport::write_json(std::ostream& os) const {
   std::string body;
+  // Measured quantities go through the null-emitting formatter: a field
+  // that was never measured (e.g. p99 latency when every request was
+  // rejected) must surface as null, not as a perfect-looking 0.
   const auto field = [&body](std::string_view key, double v) {
     if (!body.empty()) body += ", ";
     body += '"';
     obs::append_json_escaped(body, key);
     body += "\": ";
-    obs::append_json_number(body, v);
+    obs::append_json_number_or_null(body, v);
   };
   body += "\"platform\": \"";
   obs::append_json_escaped(body, platform);
@@ -416,6 +567,7 @@ void ServeReport::write_json(std::ostream& os) const {
   field("total_tasks", static_cast<double>(total_tasks));
   field("admitted", static_cast<double>(admitted));
   field("rejected", static_cast<double>(rejected));
+  field("shed", static_cast<double>(shed));
   field("deadline_misses", static_cast<double>(deadline_misses));
   field("energy_j", energy_j);
   field("busy_s", busy_s);
@@ -430,6 +582,15 @@ void ServeReport::write_json(std::ostream& os) const {
   field("peak_queue_depth", static_cast<double>(peak_queue_depth));
   field("plan_cache_hits", static_cast<double>(plan_cache_hits));
   field("plan_cache_misses", static_cast<double>(plan_cache_misses));
+  field("retries", static_cast<double>(retries));
+  field("fallbacks", static_cast<double>(fallbacks));
+  field("backoff_s", backoff_s);
+  field("fault_dvfs_failed", static_cast<double>(faults.dvfs_failed));
+  field("fault_thermal_events", static_cast<double>(faults.thermal_events));
+  field("fault_telemetry_dropped",
+        static_cast<double>(faults.telemetry_dropped));
+  field("fault_latency_inflated",
+        static_cast<double>(faults.latency_inflated));
   os << '{' << body << "}\n";
 }
 

@@ -26,14 +26,28 @@
 // times on the single device, per-request latency and deadline accounting,
 // metrics, and per-request trace spans on a virtual track.
 //
-// Two simplifications are deliberate and documented: the device consumes no
-// energy while idle between arrivals, and admission control requires a plan
-// policy (rejecting a request mid-stream would fork a reactive governor's
-// history — serve() throws rather than silently approximating).
+// Fault injection and graceful degradation: ServerConfig::faults turns on
+// the deterministic hardware fault model (src/fault). Plan policies derive
+// one fault stream per (task, attempt) from the spec seed — worker-count
+// invariance survives injection — and recover per request: a run whose DVFS
+// actuation failed beyond tolerance is retried after capped exponential
+// backoff on the simulated clock, and after max_retries the request falls
+// back to the pinned MAXN-like configuration, which issues no transitions
+// and therefore cannot be hit by actuation faults. Reactive policies run one
+// continuous fault stream with no recovery (there is no request boundary to
+// retry at).
+//
+// Simplifications that are deliberate and documented: the device consumes
+// no energy while idle between arrivals or during retry backoff, and
+// admission control / deadline shedding require a plan policy (rejecting or
+// shedding a request mid-stream would fork a reactive governor's history —
+// serve() throws rather than silently approximating).
 #pragma once
 
 #include "core/powerlens.hpp"
 #include "dnn/graph.hpp"
+#include "fault/fault_spec.hpp"
+#include "hw/fault_hooks.hpp"
 #include "hw/platform.hpp"
 #include "hw/sim_engine.hpp"
 #include "serve/plan_cache.hpp"
@@ -69,6 +83,29 @@ struct DeployedModel {
   dnn::Graph graph;
 };
 
+// How the server degrades when injected hardware faults hit a request.
+struct DegradePolicy {
+  // Master switch for the retry/fallback machinery. Off, a degraded run is
+  // returned as-is (useful for measuring the undegraded fault impact).
+  bool fallback_enabled = true;
+  // Re-executions granted before the request falls back to the pinned
+  // (MAXN-like) safe configuration, which issues no DVFS transitions and is
+  // therefore immune to actuation faults.
+  std::size_t max_retries = 2;
+  // DVFS actuation failures tolerated per run before it counts as degraded.
+  std::size_t dvfs_fault_tolerance = 0;
+  // Exponential backoff inserted on the simulated clock before each retry:
+  // min(base * 2^attempt, cap). It extends the request's device occupancy
+  // but consumes no energy (the device idles; a documented simplification).
+  double backoff_base_s = 0.05;
+  double backoff_cap_s = 0.4;
+  // Shed requests whose deadline is already unmeetable at their would-be
+  // service start instead of running them to a guaranteed miss. Plan
+  // policies only (dropping a request mid-stream would fork a reactive
+  // governor's history — serve() throws).
+  bool shed_doomed = false;
+};
+
 struct ServerConfig {
   ServePolicy policy = ServePolicy::kPowerLens;
   // Host worker threads simulating independent requests (plan policies
@@ -84,6 +121,17 @@ struct ServerConfig {
   // Memoize optimization plans across requests. Off recomputes per request
   // (the cost the cache exists to remove); results are identical either way.
   bool use_plan_cache = true;
+  // Maximum resident plans before LRU eviction (0 = unbounded). Bounded
+  // caches keep results identical but make hit/miss counters access-order
+  // dependent under concurrency (see plan_cache.hpp).
+  std::size_t plan_cache_capacity = 0;
+  // Hardware fault injection applied to every simulated request. Plan
+  // policies derive one fault stream per (task, attempt) from the spec
+  // seed, so results stay invariant to the worker count; reactive policies
+  // run one continuous stream. All-zero rates (default) = no injection.
+  fault::FaultSpec faults;
+  // Recovery behavior when injected faults degrade a request.
+  DegradePolicy degrade;
   // Trace sink; null means obs::default_trace().
   obs::TraceWriter* trace = nullptr;
 };
@@ -93,16 +141,26 @@ struct RequestOutcome {
   std::size_t task_id = 0;
   std::size_t model_index = 0;
   bool admitted = false;
+  // Dropped at dispatch because its deadline was already unmeetable
+  // (DegradePolicy::shed_doomed); never started, no energy billed.
+  bool shed = false;
   double arrival_s = 0.0;
   double start_s = 0.0;    // service start on the device timeline
   double finish_s = 0.0;
-  double service_s = 0.0;  // simulated execution time
+  double service_s = 0.0;  // simulated execution time (attempts + backoff)
   double wait_s = 0.0;     // start - arrival
   double energy_j = 0.0;
   std::int64_t images = 0;
   std::size_t dvfs_transitions = 0;
   double deadline_s = 0.0;  // relative; 0 = none
   bool deadline_missed = false;
+  // Fault recovery (zero without injection): re-executions after degraded
+  // runs, backoff inserted before them, whether the request ended pinned,
+  // and the faults injected across all of its attempts.
+  std::size_t retries = 0;
+  double backoff_s = 0.0;
+  bool fell_back = false;
+  hw::FaultCounters faults;
 
   double latency_s() const noexcept { return finish_s - arrival_s; }
 };
@@ -113,6 +171,7 @@ struct ServeReport {
   std::size_t total_tasks = 0;
   std::size_t admitted = 0;
   std::size_t rejected = 0;
+  std::size_t shed = 0;  // deadline-doomed, dropped before service start
   std::size_t deadline_misses = 0;
   double energy_j = 0.0;       // admitted requests only
   double busy_s = 0.0;         // sum of service times
@@ -126,6 +185,11 @@ struct ServeReport {
   std::size_t peak_queue_depth = 0;  // in-system high-water (simulated)
   std::uint64_t plan_cache_hits = 0;    // this serve() call only
   std::uint64_t plan_cache_misses = 0;
+  // Fault-recovery totals over admitted requests (reactive: whole stream).
+  std::size_t retries = 0;
+  std::size_t fallbacks = 0;  // requests that ended on the pinned fallback
+  double backoff_s = 0.0;
+  hw::FaultCounters faults;
   std::vector<RequestOutcome> outcomes;  // task-id order
 
   // The paper's metric (eq. 1) over the admitted workload.
@@ -157,6 +221,10 @@ class Server {
     double energy_j = 0.0;
     std::int64_t images = 0;
     std::size_t dvfs_transitions = 0;
+    std::size_t retries = 0;
+    double backoff_s = 0.0;
+    bool fell_back = false;
+    hw::FaultCounters faults;
   };
 
   PlanCache::PlanPtr plan_for(const dnn::Graph& graph);
@@ -178,6 +246,9 @@ class Server {
   // The fold chains finish times off these so a closed-loop reactive
   // serve reproduces the continuous run bit for bit.
   std::vector<hw::WorkItemMark> marks_;
+  // Fault totals of the last reactive run (marks differencing cannot
+  // attribute them per item); zero for plan policies.
+  hw::FaultCounters reactive_faults_;
 };
 
 }  // namespace powerlens::serve

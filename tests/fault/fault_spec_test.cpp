@@ -1,0 +1,127 @@
+// FaultSpec: the --faults grammar parses and round-trips, validation
+// rejects out-of-range values, and the seed-splitting functions are pure
+// and collision-free across (task, attempt) — the property worker-count
+// invariance under injection rests on.
+#include "fault/fault_spec.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <set>
+#include <stdexcept>
+
+namespace powerlens::fault {
+namespace {
+
+TEST(FaultSpecTest, DefaultIsInactive) {
+  const FaultSpec spec;
+  EXPECT_FALSE(spec.active());
+  EXPECT_NO_THROW(spec.validate());
+}
+
+TEST(FaultSpecTest, EmptyStringParsesToDefaults) {
+  const FaultSpec spec = FaultSpec::parse("");
+  EXPECT_FALSE(spec.active());
+  EXPECT_EQ(spec.seed, 0u);
+  EXPECT_DOUBLE_EQ(spec.latency_factor, 1.5);
+}
+
+TEST(FaultSpecTest, ParsesEveryKey) {
+  const FaultSpec spec = FaultSpec::parse(
+      "dvfs=0.1,sticky=0.2,thermal=0.05,thermal_s=0.25,thermal_cap=2,"
+      "telemetry=0.01,latency=0.02,latency_x=2.5,seed=42");
+  EXPECT_DOUBLE_EQ(spec.dvfs_fail_rate, 0.1);
+  EXPECT_DOUBLE_EQ(spec.dvfs_sticky_s, 0.2);
+  EXPECT_DOUBLE_EQ(spec.thermal_rate_hz, 0.05);
+  EXPECT_DOUBLE_EQ(spec.thermal_duration_s, 0.25);
+  EXPECT_EQ(spec.thermal_levels_off, 2u);
+  EXPECT_DOUBLE_EQ(spec.telemetry_drop_rate, 0.01);
+  EXPECT_DOUBLE_EQ(spec.latency_rate, 0.02);
+  EXPECT_DOUBLE_EQ(spec.latency_factor, 2.5);
+  EXPECT_EQ(spec.seed, 42u);
+  EXPECT_TRUE(spec.active());
+}
+
+TEST(FaultSpecTest, ToStringRoundTripsThroughParse) {
+  FaultSpec spec;
+  spec.seed = 1234;
+  spec.dvfs_fail_rate = 0.125;
+  spec.dvfs_sticky_s = 0.5;
+  spec.thermal_rate_hz = 0.25;
+  spec.thermal_duration_s = 0.75;
+  spec.thermal_levels_off = 4;
+  spec.telemetry_drop_rate = 0.0625;
+  spec.latency_rate = 0.03125;
+  spec.latency_factor = 2.0;
+
+  const FaultSpec back = FaultSpec::parse(spec.to_string());
+  EXPECT_EQ(back.seed, spec.seed);
+  EXPECT_DOUBLE_EQ(back.dvfs_fail_rate, spec.dvfs_fail_rate);
+  EXPECT_DOUBLE_EQ(back.dvfs_sticky_s, spec.dvfs_sticky_s);
+  EXPECT_DOUBLE_EQ(back.thermal_rate_hz, spec.thermal_rate_hz);
+  EXPECT_DOUBLE_EQ(back.thermal_duration_s, spec.thermal_duration_s);
+  EXPECT_EQ(back.thermal_levels_off, spec.thermal_levels_off);
+  EXPECT_DOUBLE_EQ(back.telemetry_drop_rate, spec.telemetry_drop_rate);
+  EXPECT_DOUBLE_EQ(back.latency_rate, spec.latency_rate);
+  EXPECT_DOUBLE_EQ(back.latency_factor, spec.latency_factor);
+}
+
+TEST(FaultSpecTest, ToStringOmitsInactiveClasses) {
+  FaultSpec spec;
+  spec.seed = 9;
+  spec.dvfs_fail_rate = 0.1;
+  const std::string text = spec.to_string();
+  EXPECT_EQ(text, "seed=9,dvfs=0.1");
+}
+
+TEST(FaultSpecTest, ParseRejectsMalformedInput) {
+  EXPECT_THROW(FaultSpec::parse("dvfs"), std::invalid_argument);
+  EXPECT_THROW(FaultSpec::parse("dvfs=abc"), std::invalid_argument);
+  EXPECT_THROW(FaultSpec::parse("dvfs=0.1x"), std::invalid_argument);
+  EXPECT_THROW(FaultSpec::parse("bogus=1"), std::invalid_argument);
+}
+
+TEST(FaultSpecTest, ParseValidatesRanges) {
+  EXPECT_THROW(FaultSpec::parse("dvfs=1.5"), std::invalid_argument);
+  EXPECT_THROW(FaultSpec::parse("dvfs=-0.1"), std::invalid_argument);
+  EXPECT_THROW(FaultSpec::parse("sticky=-1"), std::invalid_argument);
+  EXPECT_THROW(FaultSpec::parse("thermal=-0.5"), std::invalid_argument);
+  EXPECT_THROW(FaultSpec::parse("thermal_s=0"), std::invalid_argument);
+  EXPECT_THROW(FaultSpec::parse("telemetry=2"), std::invalid_argument);
+  EXPECT_THROW(FaultSpec::parse("latency=1.01"), std::invalid_argument);
+  EXPECT_THROW(FaultSpec::parse("latency_x=0.5"), std::invalid_argument);
+}
+
+TEST(FaultSpecTest, SkipsEmptyItems) {
+  const FaultSpec spec = FaultSpec::parse("dvfs=0.1,,seed=3,");
+  EXPECT_DOUBLE_EQ(spec.dvfs_fail_rate, 0.1);
+  EXPECT_EQ(spec.seed, 3u);
+}
+
+// --- seed splitting ---
+
+TEST(FaultSeedTest, RequestSeedIsPureFunction) {
+  EXPECT_EQ(request_fault_seed(7, 3, 1), request_fault_seed(7, 3, 1));
+  EXPECT_EQ(reactive_fault_seed(7), reactive_fault_seed(7));
+}
+
+TEST(FaultSeedTest, RequestSeedsDistinctAcrossTaskAndAttempt) {
+  std::set<std::uint64_t> seen;
+  for (std::size_t task = 0; task < 64; ++task) {
+    for (std::size_t attempt = 0; attempt < 4; ++attempt) {
+      seen.insert(request_fault_seed(/*seed=*/11, task, attempt));
+    }
+  }
+  // 64 tasks x 4 attempts, all distinct — retries draw fresh streams.
+  EXPECT_EQ(seen.size(), 64u * 4u);
+}
+
+TEST(FaultSeedTest, BaseSeedChangesEveryStream) {
+  EXPECT_NE(request_fault_seed(1, 0, 0), request_fault_seed(2, 0, 0));
+  EXPECT_NE(reactive_fault_seed(1), reactive_fault_seed(2));
+  // Request and reactive domains are decorrelated even at equal inputs.
+  EXPECT_NE(request_fault_seed(5, 0, 0), reactive_fault_seed(5));
+}
+
+}  // namespace
+}  // namespace powerlens::fault

@@ -96,6 +96,48 @@ TEST(Telemetry, ConservesEnergyAgainstSimEngine) {
   EXPECT_DOUBLE_EQ(r.energy_j, r.telemetry_energy_j);
 }
 
+// Regression: finish() only reset the window accumulators inside the
+// flushed-a-sample branch, so a sub-threshold residual window survived the
+// call and silently merged into the first window of any later recording.
+TEST(Telemetry, FinishAlwaysResetsWindowState) {
+  Telemetry t(1.0);
+  // A sliver below the round-off guard: no sample flushes, but before the
+  // fix the window kept its (tiny) energy across finish().
+  t.record_slice(0.0, 1e-11, 100.0);
+  t.finish(1e-11);
+  EXPECT_TRUE(t.samples().empty());
+
+  // Recording resumes: the first full window must average exactly 2 W, with
+  // no stale energy from before the finish().
+  t.record_slice(1.0, 1.0, 2.0);
+  t.finish(2.0);
+  ASSERT_EQ(t.samples().size(), 1u);
+  EXPECT_DOUBLE_EQ(t.samples()[0].power_w, 2.0);
+}
+
+TEST(Telemetry, FinishIsIdempotent) {
+  Telemetry t(1.0);
+  t.record_slice(0.0, 0.4, 5.0);
+  t.finish(0.4);
+  ASSERT_EQ(t.samples().size(), 1u);
+  // A second finish() finds a clean window and must not flush again.
+  t.finish(0.4);
+  EXPECT_EQ(t.samples().size(), 1u);
+  EXPECT_DOUBLE_EQ(t.total_energy_j(), 5.0 * 0.4);
+}
+
+TEST(Telemetry, RecordAfterFinishStartsFreshWindow) {
+  Telemetry t(1.0);
+  t.record_slice(0.0, 0.5, 8.0);
+  t.finish(0.5);  // flushes the partial window as an 8 W sample
+  t.record_slice(0.5, 1.0, 2.0);
+  t.finish(1.5);
+  ASSERT_EQ(t.samples().size(), 2u);
+  EXPECT_DOUBLE_EQ(t.samples()[0].power_w, 8.0);
+  // Exactly 2 W: the pre-finish 8 W half-window must not bleed in.
+  EXPECT_DOUBLE_EQ(t.samples()[1].power_w, 2.0);
+}
+
 TEST(Telemetry, SampleTimesMonotone) {
   Telemetry t(0.05);
   t.record_slice(0.0, 0.12, 2.0);

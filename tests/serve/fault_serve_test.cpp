@@ -1,0 +1,363 @@
+// Fault injection + graceful degradation at the serving layer:
+//
+//  - Reports under injection stay byte-identical across host worker counts
+//    (the PR's acceptance criterion; the TSan job reruns this suite).
+//  - With fallback enabled, every admitted request completes — retries and
+//    the pinned fallback absorb even a 100% DVFS-failure rate.
+//  - Shedding drops deadline-doomed requests before they burn device time,
+//    and a serve() call that served nothing reports NaN latency statistics
+//    (JSON null), not a perfect-looking zero.
+#include "serve/server.hpp"
+
+#include "core/powerlens.hpp"
+#include "dnn/models.hpp"
+#include "fault/fault_spec.hpp"
+#include "support/json_parser.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+#include <vector>
+
+namespace powerlens::serve {
+namespace {
+
+constexpr std::int64_t kBatch = 10;
+
+class FaultServeTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    platform_ = new hw::Platform(hw::make_tx2());
+    core::PowerLensConfig cfg;
+    cfg.dataset.num_networks = 40;
+    cfg.dataset.seed = 5;
+    cfg.train_hyper.epochs = 20;
+    cfg.train_decision.epochs = 20;
+    framework_ = new core::PowerLens(*platform_, cfg);
+    framework_->train();
+
+    models_ = new std::vector<DeployedModel>;
+    for (const char* name : {"alexnet", "mobilenet_v3", "googlenet"}) {
+      models_->push_back({name, dnn::make_model(name, kBatch)});
+    }
+  }
+  static void TearDownTestSuite() {
+    delete models_;
+    delete framework_;
+    delete platform_;
+    models_ = nullptr;
+    framework_ = nullptr;
+    platform_ = nullptr;
+  }
+
+  static RequestStreamConfig stream_config(std::size_t tasks = 12) {
+    RequestStreamConfig cfg;
+    cfg.seed = 7;
+    cfg.num_tasks = tasks;
+    cfg.images_per_task = 20;  // 2 passes per task
+    cfg.batch = kBatch;
+    return cfg;
+  }
+
+  // The chaos spec most tests share: all four fault classes live at once.
+  static fault::FaultSpec chaos_spec() {
+    return fault::FaultSpec::parse(
+        "dvfs=0.1,sticky=0.2,thermal=0.5,thermal_s=0.2,thermal_cap=3,"
+        "telemetry=0.05,latency=0.05,latency_x=1.5,seed=42");
+  }
+
+  static ServeReport serve_with(ServePolicy policy, std::size_t workers,
+                                const fault::FaultSpec& faults,
+                                const DegradePolicy& degrade = {},
+                                const RequestStreamConfig* stream = nullptr) {
+    ServerConfig cfg;
+    cfg.policy = policy;
+    cfg.num_workers = workers;
+    cfg.faults = faults;
+    cfg.degrade = degrade;
+    Server server(*platform_, *models_, cfg, framework_);
+    const RequestStreamConfig scfg =
+        stream != nullptr ? *stream : stream_config();
+    return server.serve(RequestStream(models_->size(), scfg));
+  }
+
+  // Bitwise equality over everything injection and recovery can touch.
+  static void expect_identical(const ServeReport& a, const ServeReport& b) {
+    EXPECT_EQ(a.energy_j, b.energy_j);
+    EXPECT_EQ(a.busy_s, b.busy_s);
+    EXPECT_EQ(a.makespan_s, b.makespan_s);
+    EXPECT_EQ(a.images, b.images);
+    EXPECT_EQ(a.dvfs_transitions, b.dvfs_transitions);
+    EXPECT_EQ(a.admitted, b.admitted);
+    EXPECT_EQ(a.rejected, b.rejected);
+    EXPECT_EQ(a.shed, b.shed);
+    EXPECT_EQ(a.retries, b.retries);
+    EXPECT_EQ(a.fallbacks, b.fallbacks);
+    EXPECT_EQ(a.backoff_s, b.backoff_s);
+    EXPECT_TRUE(a.faults == b.faults);
+    ASSERT_EQ(a.outcomes.size(), b.outcomes.size());
+    for (std::size_t i = 0; i < a.outcomes.size(); ++i) {
+      const RequestOutcome& x = a.outcomes[i];
+      const RequestOutcome& y = b.outcomes[i];
+      EXPECT_EQ(x.start_s, y.start_s) << i;
+      EXPECT_EQ(x.finish_s, y.finish_s) << i;
+      EXPECT_EQ(x.energy_j, y.energy_j) << i;
+      EXPECT_EQ(x.retries, y.retries) << i;
+      EXPECT_EQ(x.backoff_s, y.backoff_s) << i;
+      EXPECT_EQ(x.fell_back, y.fell_back) << i;
+      EXPECT_TRUE(x.faults == y.faults) << i;
+    }
+  }
+
+  static hw::Platform* platform_;
+  static core::PowerLens* framework_;
+  static std::vector<DeployedModel>* models_;
+};
+
+hw::Platform* FaultServeTest::platform_ = nullptr;
+core::PowerLens* FaultServeTest::framework_ = nullptr;
+std::vector<DeployedModel>* FaultServeTest::models_ = nullptr;
+
+// --- the acceptance criterion: determinism survives injection ---
+
+TEST_F(FaultServeTest, FaultedReportsInvariantToWorkerCount) {
+  const fault::FaultSpec spec = chaos_spec();
+  const ServeReport one = serve_with(ServePolicy::kPowerLens, 1, spec);
+  const ServeReport four = serve_with(ServePolicy::kPowerLens, 4, spec);
+  const ServeReport eight = serve_with(ServePolicy::kPowerLens, 8, spec);
+  expect_identical(one, four);
+  expect_identical(one, eight);
+  // The chaos spec actually bit: at least some injected faults landed.
+  const hw::FaultCounters& f = one.faults;
+  EXPECT_GT(f.dvfs_failed + f.thermal_events + f.telemetry_dropped +
+                f.latency_inflated,
+            0u);
+}
+
+TEST_F(FaultServeTest, InactiveSpecMatchesFaultFreeServing) {
+  fault::FaultSpec inert;
+  inert.seed = 42;  // a seed alone must not change anything
+  const ServeReport faulted = serve_with(ServePolicy::kPowerLens, 4, inert);
+  const ServeReport plain =
+      serve_with(ServePolicy::kPowerLens, 4, fault::FaultSpec{});
+  expect_identical(faulted, plain);
+  EXPECT_EQ(faulted.retries, 0u);
+  EXPECT_EQ(faulted.fallbacks, 0u);
+  EXPECT_TRUE(faulted.faults == hw::FaultCounters{});
+}
+
+// --- graceful degradation ---
+
+TEST_F(FaultServeTest, FallbackCompletesEveryAdmittedRequest) {
+  // 100% actuation-failure rate: every GPU transition request fails, so
+  // every PowerLens run that issues one is degraded. Retries burn out and
+  // the pinned fallback — which issues no transitions — finishes the job.
+  fault::FaultSpec spec;
+  spec.seed = 9;
+  spec.dvfs_fail_rate = 1.0;
+  const ServeReport r = serve_with(ServePolicy::kPowerLens, 4, spec);
+  EXPECT_EQ(r.admitted, 12u);
+  EXPECT_GT(r.fallbacks, 0u);
+  EXPECT_GT(r.retries, 0u);
+  EXPECT_GT(r.backoff_s, 0.0);
+  EXPECT_GT(r.faults.dvfs_failed, 0u);
+  for (const RequestOutcome& out : r.outcomes) {
+    ASSERT_TRUE(out.admitted);
+    EXPECT_GT(out.images, 0) << "task " << out.task_id;
+    EXPECT_EQ(out.finish_s, out.start_s + out.service_s);
+    EXPECT_GE(out.service_s, out.backoff_s);
+    if (out.fell_back) {
+      // The fallback path went through every granted retry first.
+      EXPECT_GT(out.retries, 0u);
+    }
+  }
+  // Retries + backoff occupy the device: strictly more busy time than the
+  // undisturbed serve, for the same number of served images.
+  const ServeReport clean =
+      serve_with(ServePolicy::kPowerLens, 4, fault::FaultSpec{});
+  EXPECT_GT(r.busy_s, clean.busy_s);
+  EXPECT_EQ(r.images, clean.images);
+}
+
+TEST_F(FaultServeTest, FallbackDisabledReturnsDegradedRunsAsIs) {
+  fault::FaultSpec spec;
+  spec.seed = 9;
+  spec.dvfs_fail_rate = 1.0;
+  DegradePolicy degrade;
+  degrade.fallback_enabled = false;
+  const ServeReport r =
+      serve_with(ServePolicy::kPowerLens, 4, spec, degrade);
+  EXPECT_EQ(r.retries, 0u);
+  EXPECT_EQ(r.fallbacks, 0u);
+  EXPECT_EQ(r.backoff_s, 0.0);
+  EXPECT_GT(r.faults.dvfs_failed, 0u);  // the faults still happened
+  for (const RequestOutcome& out : r.outcomes) {
+    EXPECT_GT(out.images, 0);  // the single degraded attempt still serves
+    EXPECT_FALSE(out.fell_back);
+  }
+}
+
+TEST_F(FaultServeTest, ToleranceAbsorbsFaultsWithoutRetrying) {
+  fault::FaultSpec spec;
+  spec.seed = 9;
+  spec.dvfs_fail_rate = 1.0;
+  DegradePolicy degrade;
+  degrade.dvfs_fault_tolerance = 1000000;  // nothing counts as degraded
+  const ServeReport r =
+      serve_with(ServePolicy::kPowerLens, 4, spec, degrade);
+  EXPECT_EQ(r.retries, 0u);
+  EXPECT_EQ(r.fallbacks, 0u);
+  EXPECT_GT(r.faults.dvfs_failed, 0u);
+}
+
+TEST_F(FaultServeTest, TelemetryDropsDoNotPerturbPhysics) {
+  // Dropping samples thins the telemetry stream only; energy, time, and
+  // images integrate identically, bit for bit.
+  fault::FaultSpec spec;
+  spec.seed = 3;
+  spec.telemetry_drop_rate = 1.0;
+  const ServeReport dropped = serve_with(ServePolicy::kPowerLens, 4, spec);
+  const ServeReport clean =
+      serve_with(ServePolicy::kPowerLens, 4, fault::FaultSpec{});
+  EXPECT_EQ(dropped.energy_j, clean.energy_j);
+  EXPECT_EQ(dropped.busy_s, clean.busy_s);
+  EXPECT_EQ(dropped.images, clean.images);
+  EXPECT_GT(dropped.faults.telemetry_dropped, 0u);
+  EXPECT_EQ(dropped.retries, 0u);  // no DVFS faults, nothing degrades
+}
+
+TEST_F(FaultServeTest, ThermalThrottlingChangesMaxnEnergy) {
+  // MAXN pins the GPU at the top of the ladder, so a thermal cap always
+  // binds: the throttled serve cannot match the clean one.
+  fault::FaultSpec spec;
+  spec.seed = 11;
+  spec.thermal_rate_hz = 2.0;
+  spec.thermal_duration_s = 0.5;
+  spec.thermal_levels_off = 3;
+  const ServeReport hot = serve_with(ServePolicy::kMaxn, 4, spec);
+  const ServeReport clean =
+      serve_with(ServePolicy::kMaxn, 4, fault::FaultSpec{});
+  EXPECT_GT(hot.faults.thermal_events, 0u);
+  EXPECT_NE(hot.energy_j, clean.energy_j);
+  EXPECT_GT(hot.busy_s, clean.busy_s);  // lower clocks, longer runs
+  EXPECT_EQ(hot.images, clean.images);
+}
+
+TEST_F(FaultServeTest, LatencyInflationStretchesBusyTime) {
+  fault::FaultSpec spec;
+  spec.seed = 13;
+  spec.latency_rate = 1.0;
+  spec.latency_factor = 2.0;
+  const ServeReport slow = serve_with(ServePolicy::kPowerLens, 4, spec);
+  const ServeReport clean =
+      serve_with(ServePolicy::kPowerLens, 4, fault::FaultSpec{});
+  EXPECT_GT(slow.faults.latency_inflated, 0u);
+  EXPECT_GT(slow.busy_s, clean.busy_s);
+  EXPECT_EQ(slow.images, clean.images);
+}
+
+// --- reactive policies under injection ---
+
+TEST_F(FaultServeTest, ReactiveFaultStreamIsDeterministic) {
+  const fault::FaultSpec spec = chaos_spec();
+  const ServeReport a = serve_with(ServePolicy::kBiM, 1, spec);
+  const ServeReport b = serve_with(ServePolicy::kBiM, 1, spec);
+  expect_identical(a, b);
+  const hw::FaultCounters& f = a.faults;
+  EXPECT_GT(f.dvfs_failed + f.thermal_events + f.telemetry_dropped +
+                f.latency_inflated,
+            0u);
+  // No recovery on the continuous stream: faults are reported, not retried.
+  EXPECT_EQ(a.retries, 0u);
+  EXPECT_EQ(a.fallbacks, 0u);
+}
+
+// --- shedding doomed requests ---
+
+TEST_F(FaultServeTest, ShedDoomedDropsUnmeetableDeadlines) {
+  RequestStreamConfig scfg = stream_config();
+  scfg.deadline_s = 1e-6;  // nothing can finish this fast
+  DegradePolicy degrade;
+  degrade.shed_doomed = true;
+  const ServeReport r = serve_with(ServePolicy::kPowerLens, 4,
+                                   fault::FaultSpec{}, degrade, &scfg);
+  EXPECT_EQ(r.admitted, 0u);
+  EXPECT_EQ(r.shed, 12u);
+  EXPECT_EQ(r.deadline_misses, 0u);  // nothing ran, nothing missed
+  EXPECT_EQ(r.energy_j, 0.0);       // shed requests are never billed
+  EXPECT_EQ(r.images, 0);
+  EXPECT_EQ(r.makespan_s, 0.0);
+  for (const RequestOutcome& out : r.outcomes) {
+    EXPECT_TRUE(out.shed);
+    EXPECT_FALSE(out.admitted);
+    EXPECT_EQ(out.energy_j, 0.0);
+  }
+  // Generous deadlines shed nothing and match the plain serve exactly.
+  scfg.deadline_s = 1e9;
+  const ServeReport relaxed = serve_with(ServePolicy::kPowerLens, 4,
+                                         fault::FaultSpec{}, degrade, &scfg);
+  EXPECT_EQ(relaxed.shed, 0u);
+  EXPECT_EQ(relaxed.admitted, 12u);
+  EXPECT_EQ(relaxed.deadline_misses, 0u);
+}
+
+TEST_F(FaultServeTest, ShedDoomedRequiresPlanPolicy) {
+  ServerConfig cfg;
+  cfg.policy = ServePolicy::kBiM;
+  cfg.degrade.shed_doomed = true;
+  Server server(*platform_, *models_, cfg);
+  EXPECT_THROW(
+      server.serve(RequestStream(models_->size(), stream_config())),
+      std::invalid_argument);
+}
+
+// --- empty-quantile honesty (the satellite #4 regression) ---
+
+TEST_F(FaultServeTest, AllShedReportsNaNLatencyAndJsonNull) {
+  RequestStreamConfig scfg = stream_config();
+  scfg.deadline_s = 1e-6;
+  DegradePolicy degrade;
+  degrade.shed_doomed = true;
+  const ServeReport r = serve_with(ServePolicy::kPowerLens, 4,
+                                   fault::FaultSpec{}, degrade, &scfg);
+  ASSERT_EQ(r.admitted, 0u);
+  // Latency statistics over zero completions do not exist; 0.0 here used to
+  // read as a perfect p99.
+  EXPECT_TRUE(std::isnan(r.latency_mean_s));
+  EXPECT_TRUE(std::isnan(r.latency_p50_s));
+  EXPECT_TRUE(std::isnan(r.latency_p99_s));
+  EXPECT_TRUE(std::isnan(r.latency_max_s));
+
+  std::ostringstream os;
+  r.write_json(os);
+  const test_support::JsonValue root =
+      test_support::JsonParser(os.str()).parse();
+  ASSERT_TRUE(root.is_object());
+  const test_support::JsonObject& o = root.object();
+  EXPECT_TRUE(o.at("latency_p99_s").is_null());
+  EXPECT_TRUE(o.at("latency_mean_s").is_null());
+  EXPECT_EQ(o.at("shed").number(), 12.0);
+  EXPECT_EQ(o.at("energy_j").number(), 0.0);  // measured, genuinely zero
+}
+
+TEST_F(FaultServeTest, FaultedJsonCarriesRecoveryFields) {
+  fault::FaultSpec spec;
+  spec.seed = 9;
+  spec.dvfs_fail_rate = 1.0;
+  const ServeReport r = serve_with(ServePolicy::kPowerLens, 4, spec);
+  std::ostringstream os;
+  r.write_json(os);
+  const test_support::JsonValue root =
+      test_support::JsonParser(os.str()).parse();
+  const test_support::JsonObject& o = root.object();
+  EXPECT_EQ(o.at("retries").number(), static_cast<double>(r.retries));
+  EXPECT_EQ(o.at("fallbacks").number(), static_cast<double>(r.fallbacks));
+  EXPECT_EQ(o.at("fault_dvfs_failed").number(),
+            static_cast<double>(r.faults.dvfs_failed));
+  EXPECT_TRUE(o.count("backoff_s"));
+  EXPECT_TRUE(o.count("fault_telemetry_dropped"));
+}
+
+}  // namespace
+}  // namespace powerlens::serve

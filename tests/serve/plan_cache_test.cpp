@@ -67,19 +67,32 @@ TEST(PlanCacheTest, MissThenHitReturnsSamePlan) {
   EXPECT_EQ(cache.size(), 1u);
 }
 
-TEST(PlanCacheTest, LookupDoesNotCountMisses) {
+// Regression: lookup() used to bump the serving-path hit counter, so one
+// get_or_compute hit plus one diagnostic probe double-counted as two hits
+// and the exported hit rate overstated cache effectiveness. Probes now have
+// their own counter and leave hits()/misses() to the serving path.
+TEST(PlanCacheTest, LookupCountsProbesNotServingPathHits) {
   PlanCache cache;
   const dnn::Graph g = dnn::make_alexnet(4);
   EXPECT_EQ(cache.lookup(g), nullptr);
   EXPECT_EQ(cache.misses(), 0u);
   EXPECT_EQ(cache.hits(), 0u);
+  EXPECT_EQ(cache.probe_hits(), 0u);  // a probe miss counts nothing
 
   cache.get_or_compute(g, [](const dnn::Graph&) {
     return core::OptimizationPlan{};
   });
   EXPECT_NE(cache.lookup(g), nullptr);
-  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_NE(cache.lookup(g), nullptr);
+  EXPECT_EQ(cache.probe_hits(), 2u);
+  EXPECT_EQ(cache.hits(), 0u);  // probes no longer leak into serving hits
   EXPECT_EQ(cache.misses(), 1u);
+
+  cache.get_or_compute(g, [](const dnn::Graph&) {
+    return core::OptimizationPlan{};
+  });
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.probe_hits(), 2u);
 }
 
 TEST(PlanCacheTest, ClearResetsPlansButKeepsCounters) {
@@ -91,6 +104,66 @@ TEST(PlanCacheTest, ClearResetsPlansButKeepsCounters) {
   cache.clear();
   EXPECT_EQ(cache.size(), 0u);
   EXPECT_EQ(cache.misses(), 1u);  // counters are lifetime totals
+}
+
+TEST(PlanCacheTest, BoundedCacheEvictsLeastRecentlyUsed) {
+  // One shard makes the capacity bound and LRU order exact.
+  PlanCache cache(/*num_shards=*/1, /*capacity=*/2);
+  EXPECT_EQ(cache.capacity(), 2u);
+  const dnn::Graph a = dnn::make_alexnet(2);
+  const dnn::Graph b = dnn::make_alexnet(4);
+  const dnn::Graph c = dnn::make_alexnet(8);
+  std::atomic<int> calls{0};
+  const PlanCache::PlanFactory factory = [&](const dnn::Graph&) {
+    ++calls;
+    return core::OptimizationPlan{};
+  };
+
+  cache.get_or_compute(a, factory);
+  cache.get_or_compute(b, factory);  // resident: {b, a}
+  cache.get_or_compute(a, factory);  // hit refreshes a: {a, b}
+  cache.get_or_compute(c, factory);  // evicts b, the LRU entry
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.evictions(), 1u);
+  EXPECT_EQ(cache.lookup(b), nullptr);   // the victim
+  EXPECT_NE(cache.lookup(a), nullptr);   // survived via the hit refresh
+  EXPECT_NE(cache.lookup(c), nullptr);
+
+  // An evicted signature recomputes on next use.
+  EXPECT_EQ(calls.load(), 3);
+  cache.get_or_compute(b, factory);
+  EXPECT_EQ(calls.load(), 4);
+  EXPECT_EQ(cache.evictions(), 2u);  // b's return displaced a (now LRU)
+}
+
+TEST(PlanCacheTest, ProbeDoesNotRefreshRecency) {
+  PlanCache cache(/*num_shards=*/1, /*capacity=*/2);
+  const dnn::Graph a = dnn::make_alexnet(2);
+  const dnn::Graph b = dnn::make_alexnet(4);
+  const dnn::Graph c = dnn::make_alexnet(8);
+  const PlanCache::PlanFactory factory = [](const dnn::Graph&) {
+    return core::OptimizationPlan{};
+  };
+
+  cache.get_or_compute(a, factory);
+  cache.get_or_compute(b, factory);  // MRU order: b, a
+  EXPECT_NE(cache.lookup(a), nullptr);  // read-only probe
+  cache.get_or_compute(c, factory);
+  // The probe must not have kept `a` alive — it was still the LRU entry.
+  EXPECT_EQ(cache.lookup(a), nullptr);
+  EXPECT_NE(cache.lookup(b), nullptr);
+}
+
+TEST(PlanCacheTest, ZeroCapacityMeansUnbounded) {
+  PlanCache cache(/*num_shards=*/1, /*capacity=*/0);
+  const PlanCache::PlanFactory factory = [](const dnn::Graph&) {
+    return core::OptimizationPlan{};
+  };
+  for (const std::int64_t batch : {1, 2, 4, 8, 16, 32}) {
+    cache.get_or_compute(dnn::make_alexnet(batch), factory);
+  }
+  EXPECT_EQ(cache.size(), 6u);
+  EXPECT_EQ(cache.evictions(), 0u);
 }
 
 TEST(PlanCacheTest, EachSignatureComputedExactlyOnceUnderConcurrency) {

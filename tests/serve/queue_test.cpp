@@ -1,0 +1,143 @@
+// BoundedQueue: FIFO order, backpressure, and — the regression that
+// matters to the Server — close() semantics. push() returns false instead
+// of enqueueing once the queue is closed, including for producers already
+// blocked on a full queue; callers must treat that as a hard signal that
+// dispatch is incomplete (server.cpp turns it into an error).
+#include "serve/queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <optional>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace powerlens::serve {
+namespace {
+
+TEST(BoundedQueueTest, RejectsZeroCapacity) {
+  EXPECT_THROW(BoundedQueue<int>(0), std::invalid_argument);
+}
+
+TEST(BoundedQueueTest, FifoWithinCapacity) {
+  BoundedQueue<int> q(4);
+  EXPECT_TRUE(q.push(1));
+  EXPECT_TRUE(q.push(2));
+  EXPECT_TRUE(q.push(3));
+  EXPECT_EQ(q.pop(), std::optional<int>(1));
+  EXPECT_EQ(q.pop(), std::optional<int>(2));
+  EXPECT_EQ(q.pop(), std::optional<int>(3));
+  EXPECT_EQ(q.peak_depth(), 3u);
+}
+
+// Regression: push() on a closed queue returns false and must NOT enqueue.
+// The Server used to ignore this return value, silently dropping requests.
+TEST(BoundedQueueTest, PushOnClosedQueueReturnsFalseAndDropsNothing) {
+  BoundedQueue<int> q(4);
+  EXPECT_TRUE(q.push(1));
+  q.close();
+  EXPECT_FALSE(q.push(2));
+  // Only the pre-close item drains; the rejected one never entered.
+  EXPECT_EQ(q.pop(), std::optional<int>(1));
+  EXPECT_EQ(q.pop(), std::nullopt);
+  EXPECT_EQ(q.peak_depth(), 1u);
+}
+
+TEST(BoundedQueueTest, CloseWakesBlockedProducer) {
+  BoundedQueue<int> q(1);
+  EXPECT_TRUE(q.push(0));  // queue now full
+  std::atomic<int> result{-1};
+  std::thread producer([&] {
+    // Blocks on the full queue until close() wakes it; must report false.
+    result = q.push(1) ? 1 : 0;
+  });
+  // Give the producer time to block (not strictly required for
+  // correctness — close() handles both orders — but exercises the wakeup).
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  q.close();
+  producer.join();
+  EXPECT_EQ(result.load(), 0);
+  EXPECT_EQ(q.pop(), std::optional<int>(0));
+  EXPECT_EQ(q.pop(), std::nullopt);
+}
+
+TEST(BoundedQueueTest, CloseWakesBlockedConsumers) {
+  BoundedQueue<int> q(2);
+  std::vector<std::thread> consumers;
+  std::atomic<int> empties{0};
+  for (int i = 0; i < 3; ++i) {
+    consumers.emplace_back([&] {
+      if (!q.pop().has_value()) ++empties;
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  q.close();
+  for (std::thread& t : consumers) t.join();
+  EXPECT_EQ(empties.load(), 3);
+}
+
+TEST(BoundedQueueTest, DrainsBacklogAfterClose) {
+  BoundedQueue<int> q(8);
+  for (int i = 0; i < 5; ++i) EXPECT_TRUE(q.push(i));
+  q.close();
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(q.pop(), std::optional<int>(i));
+  }
+  EXPECT_EQ(q.pop(), std::nullopt);
+}
+
+TEST(BoundedQueueTest, BackpressureReleasesWhenConsumed) {
+  BoundedQueue<int> q(1);
+  EXPECT_TRUE(q.push(0));
+  std::atomic<bool> second_pushed{false};
+  std::thread producer([&] {
+    EXPECT_TRUE(q.push(1));  // blocks until the consumer makes room
+    second_pushed = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(second_pushed.load());
+  EXPECT_EQ(q.pop(), std::optional<int>(0));
+  producer.join();
+  EXPECT_TRUE(second_pushed.load());
+  EXPECT_EQ(q.pop(), std::optional<int>(1));
+  EXPECT_EQ(q.capacity(), 1u);
+}
+
+TEST(BoundedQueueTest, ManyProducersManyConsumersLoseNothing) {
+  constexpr int kProducers = 4;
+  constexpr int kConsumers = 4;
+  constexpr int kPerProducer = 250;
+  BoundedQueue<int> q(8);
+  std::atomic<long> sum{0};
+  std::atomic<int> popped{0};
+
+  std::vector<std::thread> threads;
+  for (int p = 0; p < kProducers; ++p) {
+    threads.emplace_back([&, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        ASSERT_TRUE(q.push(p * kPerProducer + i));
+      }
+    });
+  }
+  for (int c = 0; c < kConsumers; ++c) {
+    threads.emplace_back([&] {
+      for (std::optional<int> v = q.pop(); v.has_value(); v = q.pop()) {
+        sum += *v;
+        ++popped;
+      }
+    });
+  }
+  for (int p = 0; p < kProducers; ++p) threads[p].join();
+  q.close();
+  for (std::size_t t = kProducers; t < threads.size(); ++t) threads[t].join();
+
+  constexpr long kTotal = kProducers * kPerProducer;
+  EXPECT_EQ(popped.load(), kTotal);
+  EXPECT_EQ(sum.load(), kTotal * (kTotal - 1) / 2);
+  EXPECT_LE(q.peak_depth(), q.capacity());
+}
+
+}  // namespace
+}  // namespace powerlens::serve
