@@ -6,13 +6,20 @@
 namespace powerlens::clustering {
 
 PowerView build_power_view(const dnn::Graph& graph,
-                           const ClusteringConfig& config) {
-  return build_power_view(
-      features::DepthwiseFeatureExtractor::extract(graph), config);
+                           const ClusteringConfig& config,
+                           linalg::Workspace* ws) {
+  return build_power_view(features::DepthwiseFeatureExtractor::extract(graph),
+                          config, ws);
 }
 
 PowerView build_power_view(const linalg::Matrix& depthwise_features,
-                           const ClusteringConfig& config) {
+                           const ClusteringConfig& config,
+                           linalg::Workspace* ws) {
+  if (ws != nullptr) {
+    linalg::Workspace::Lease dist = ws->lease(0, 0);
+    power_distances_into(depthwise_features, config.distance, *ws, *dist);
+    return build_power_view_from_distances(*dist, config.hyper);
+  }
   const linalg::Matrix dist =
       power_distances_for(depthwise_features, config.distance);
   return build_power_view_from_distances(dist, config.hyper);
@@ -23,6 +30,17 @@ linalg::Matrix power_distances_for(const linalg::Matrix& depthwise_features,
   linalg::StandardScaler scaler;
   const linalg::Matrix scaled = scaler.fit_transform(depthwise_features);
   return power_distance_matrix(scaled, params);
+}
+
+void power_distances_into(const linalg::Matrix& depthwise_features,
+                          const DistanceParams& params, linalg::Workspace& ws,
+                          linalg::Matrix& dist) {
+  linalg::StandardScaler scaler;
+  scaler.fit(depthwise_features);
+  linalg::Workspace::Lease scaled =
+      ws.lease(depthwise_features.rows(), depthwise_features.cols());
+  scaler.transform_into(depthwise_features, *scaled);
+  power_distance_matrix_into(*scaled, params, ws, dist);
 }
 
 PowerView build_power_view_from_distances(

@@ -10,6 +10,7 @@
 #include "clustering/postprocess.hpp"
 #include "clustering/power_view.hpp"
 #include "dnn/graph.hpp"
+#include "linalg/workspace.hpp"
 
 namespace powerlens::clustering {
 
@@ -30,19 +31,29 @@ struct ClusteringConfig {
 
 // Runs Algorithm 1 on a graph: extracts + scales depthwise features, builds
 // the power-distance matrix, clusters, and post-processes into a PowerView.
+// When `ws` is non-null, all matrix temporaries (scaled table, distance
+// pipeline scratch) are drawn from it — the serving hot path passes its
+// per-worker Workspace so repeated calls do no heap traffic after warmup.
 PowerView build_power_view(const dnn::Graph& graph,
-                           const ClusteringConfig& config);
+                           const ClusteringConfig& config,
+                           linalg::Workspace* ws = nullptr);
 
 // Variant taking a pre-extracted *unscaled* depthwise feature table (row i ==
 // layer i); used by the dataset generator to avoid re-extraction in sweeps.
 PowerView build_power_view(const linalg::Matrix& depthwise_features,
-                           const ClusteringConfig& config);
+                           const ClusteringConfig& config,
+                           linalg::Workspace* ws = nullptr);
 
 // Scaled features -> power-distance matrix (Algorithm 1 lines 2-12). Compute
 // once per network, then sweep hyperparameters cheaply with the overload
 // below — the distance matrix does not depend on eps/minPts.
 linalg::Matrix power_distances_for(const linalg::Matrix& depthwise_features,
                                    const DistanceParams& params);
+// Workspace variant: the result lands in `dist` (reshaped) and every
+// temporary comes from `ws`.
+void power_distances_into(const linalg::Matrix& depthwise_features,
+                          const DistanceParams& params, linalg::Workspace& ws,
+                          linalg::Matrix& dist);
 
 // DBSCAN + post-processing on a precomputed power-distance matrix.
 PowerView build_power_view_from_distances(const linalg::Matrix& distances,

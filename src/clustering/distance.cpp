@@ -1,6 +1,7 @@
 #include "clustering/distance.hpp"
 
 #include "linalg/eigen.hpp"
+#include "linalg/kernels.hpp"
 #include "linalg/stats.hpp"
 
 #include <algorithm>
@@ -10,7 +11,50 @@
 
 namespace powerlens::clustering {
 
+void mahalanobis_distances_into(const linalg::Matrix& x,
+                                linalg::Workspace& ws, linalg::Matrix& dist) {
+  const std::size_t n = x.rows();
+  const std::size_t d = x.cols();
+  if (n == 0 || d == 0) {
+    throw std::invalid_argument("mahalanobis_distances: empty feature table");
+  }
+  linalg::Workspace::Lease cov = ws.lease(d, d);
+  linalg::covariance_into(x, *cov);
+  // P = Wᵀ W; d²(i,j) = ‖W(xᵢ − xⱼ)‖² = ‖yᵢ − yⱼ‖² with Y = X Wᵀ. The mean
+  // never needs subtracting — it cancels in the row differences.
+  const linalg::Matrix w = linalg::whitening_factor_spd(*cov);
+  const std::size_t k = w.rows();
+
+  dist.reshape(n, n);
+  if (k == 0) return;  // zero covariance: all rows identical under P
+
+  linalg::Workspace::Lease y = ws.lease(n, k);
+  linalg::kernels::gemm_nt(n, k, d, x.data().data(), d, w.data().data(), d,
+                           y->data().data(), k);
+  linalg::Workspace::Lease gram = ws.lease(n, n);
+  linalg::kernels::gemm_nt(n, n, k, y->data().data(), k, y->data().data(), k,
+                           gram->data().data(), n);
+
+  const linalg::Matrix& g = *gram;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double sq_i = g(i, i);
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const double dd =
+          std::sqrt(std::max(sq_i + g(j, j) - 2.0 * g(i, j), 0.0));
+      dist(i, j) = dd;
+      dist(j, i) = dd;
+    }
+  }
+}
+
 linalg::Matrix mahalanobis_distances(const linalg::Matrix& x) {
+  linalg::Workspace ws;
+  linalg::Matrix dist;
+  mahalanobis_distances_into(x, ws, dist);
+  return dist;
+}
+
+linalg::Matrix mahalanobis_distances_naive(const linalg::Matrix& x) {
   const std::size_t n = x.rows();
   const std::size_t d = x.cols();
   if (n == 0 || d == 0) {
@@ -40,12 +84,12 @@ linalg::Matrix mahalanobis_distances(const linalg::Matrix& x) {
   return dist;
 }
 
-linalg::Matrix euclidean_distances(const linalg::Matrix& x) {
+void euclidean_distances_into(const linalg::Matrix& x, linalg::Matrix& dist) {
   const std::size_t n = x.rows();
   if (n == 0 || x.cols() == 0) {
     throw std::invalid_argument("euclidean_distances: empty feature table");
   }
-  linalg::Matrix dist(n, n);
+  dist.reshape(n, n);
   for (std::size_t i = 0; i < n; ++i) {
     for (std::size_t j = i + 1; j < n; ++j) {
       double acc = 0.0;
@@ -58,6 +102,11 @@ linalg::Matrix euclidean_distances(const linalg::Matrix& x) {
       dist(j, i) = dd;
     }
   }
+}
+
+linalg::Matrix euclidean_distances(const linalg::Matrix& x) {
+  linalg::Matrix dist;
+  euclidean_distances_into(x, dist);
   return dist;
 }
 
@@ -77,33 +126,48 @@ linalg::Matrix spacing_penalty(std::size_t n, double lambda) {
   return r;
 }
 
-linalg::Matrix power_distance_matrix(const linalg::Matrix& scaled_features,
-                                     const DistanceParams& params) {
+void power_distance_matrix_into(const linalg::Matrix& scaled_features,
+                                const DistanceParams& params,
+                                linalg::Workspace& ws, linalg::Matrix& out) {
   if (params.alpha < 0.0 || params.alpha > 1.0) {
     throw std::invalid_argument("power_distance_matrix: alpha outside [0,1]");
   }
-  linalg::Matrix feat =
-      params.metric == FeatureMetric::kMahalanobis
-          ? mahalanobis_distances(scaled_features)
-          : euclidean_distances(scaled_features);
+  if (params.metric == FeatureMetric::kMahalanobis) {
+    mahalanobis_distances_into(scaled_features, ws, out);
+  } else {
+    euclidean_distances_into(scaled_features, out);
+  }
+  const std::size_t n = out.rows();
 
   // Normalize the feature distance to [0, 1] so alpha weighs two
   // commensurate terms regardless of feature dimensionality.
   double max_d = 0.0;
-  for (std::size_t i = 0; i < feat.rows(); ++i) {
-    for (std::size_t j = 0; j < feat.cols(); ++j) {
-      max_d = std::max(max_d, feat(i, j));
-    }
-  }
-  if (max_d > 0.0) feat *= 1.0 / max_d;
+  for (const double v : out.data()) max_d = std::max(max_d, v);
+  const double inv_max = max_d > 0.0 ? 1.0 / max_d : 1.0;
 
-  const linalg::Matrix r = spacing_penalty(feat.rows(), params.lambda);
-  linalg::Matrix out(feat.rows(), feat.cols());
-  for (std::size_t i = 0; i < feat.rows(); ++i) {
-    for (std::size_t j = 0; j < feat.cols(); ++j) {
-      out(i, j) = params.alpha * feat(i, j) + (1.0 - params.alpha) * r(i, j);
+  // The spacing penalty depends only on |i - j|: one exp per offset, then a
+  // single fused normalize-and-blend pass over the one output matrix
+  // (previously: three n x n matrices and a separate max-scan).
+  linalg::Workspace::Lease penalty = ws.lease(1, n);
+  for (std::size_t t = 1; t < n; ++t) {
+    (*penalty)(0, t) =
+        1.0 - std::exp(-params.lambda * static_cast<double>(t));
+  }
+  const double alpha = params.alpha;
+  const double beta = 1.0 - params.alpha;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      const std::size_t off = i < j ? j - i : i - j;
+      out(i, j) = alpha * (out(i, j) * inv_max) + beta * (*penalty)(0, off);
     }
   }
+}
+
+linalg::Matrix power_distance_matrix(const linalg::Matrix& scaled_features,
+                                     const DistanceParams& params) {
+  linalg::Workspace ws;
+  linalg::Matrix out;
+  power_distance_matrix_into(scaled_features, params, ws, out);
   return out;
 }
 

@@ -16,9 +16,17 @@
 //   R' = 1 - exp(-lambda |i-j|),
 // which is zero for an operator and itself, grows with |i-j|, and matches
 // the paper's described behaviour. DESIGN.md records this correction.
+//
+// Cost model: the Mahalanobis path factors the pseudo-inverse as
+// P = Wᵀ W (linalg::whitening_factor_spd), whitens the feature table with
+// one GEMM (Y = X Wᵀ), and reads every pairwise distance from
+// ‖yᵢ‖² + ‖yⱼ‖² − 2·(Y Yᵀ)ᵢⱼ — O(n·d²) + two GEMMs instead of the naive
+// O(n²·d²) per-pair quadratic form, which is kept as
+// mahalanobis_distances_naive() purely as the test/bench oracle.
 #pragma once
 
 #include "linalg/matrix.hpp"
+#include "linalg/workspace.hpp"
 
 namespace powerlens::clustering {
 
@@ -34,19 +42,35 @@ struct DistanceParams {
 };
 
 // Pairwise Mahalanobis distances between rows of the scaled feature table X
-// (layers x features), using pinv(cov(X)). Symmetric, zero diagonal.
+// (layers x features), using pinv(cov(X)). Symmetric (bitwise — each pair is
+// computed once and mirrored), zero diagonal.
 linalg::Matrix mahalanobis_distances(const linalg::Matrix& x);
+// Same, with every temporary drawn from `ws` and the result written into
+// `dist` (reshaped) — the allocation-free serving-path variant.
+void mahalanobis_distances_into(const linalg::Matrix& x,
+                                linalg::Workspace& ws, linalg::Matrix& dist);
+
+// Reference O(n²·d²) implementation (per-pair diffᵀ·pinv(cov)·diff). Kept
+// as the equivalence oracle for tests and the before/after benchmark; the
+// production path above must agree with it to within factorization rounding.
+linalg::Matrix mahalanobis_distances_naive(const linalg::Matrix& x);
 
 // Pairwise Euclidean distances between rows (ablation baseline).
 linalg::Matrix euclidean_distances(const linalg::Matrix& x);
+void euclidean_distances_into(const linalg::Matrix& x, linalg::Matrix& dist);
 
 // Spacing penalty matrix R'[i,j] = 1 - exp(-lambda * |i - j|).
 linalg::Matrix spacing_penalty(std::size_t n, double lambda);
 
 // Final power distance: alpha * feature_distance (normalized to [0, 1] by
-// its max) + (1 - alpha) * spacing penalty. Throws std::invalid_argument on
-// an empty table or alpha outside [0, 1].
+// its max) + (1 - alpha) * spacing penalty. The feature distance, max-scan,
+// and spacing blend are fused over a single output matrix (the penalty term
+// is generated from a per-offset table — no R matrix is materialized).
+// Throws std::invalid_argument on an empty table or alpha outside [0, 1].
 linalg::Matrix power_distance_matrix(const linalg::Matrix& scaled_features,
                                      const DistanceParams& params);
+void power_distance_matrix_into(const linalg::Matrix& scaled_features,
+                                const DistanceParams& params,
+                                linalg::Workspace& ws, linalg::Matrix& out);
 
 }  // namespace powerlens::clustering

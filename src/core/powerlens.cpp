@@ -56,15 +56,32 @@ PredictionModel::FitSummary PredictionModel::fit(
   return s;
 }
 
-int PredictionModel::predict(const features::GlobalFeatures& features) const {
+int PredictionModel::predict(const features::GlobalFeatures& features,
+                             linalg::Workspace* ws) const {
   if (!trained()) {
     throw std::logic_error("PredictionModel: predict before fit");
   }
-  const linalg::Matrix xs =
-      scaler_structural_.transform(row_matrix(features.structural));
-  const linalg::Matrix xt =
-      scaler_statistics_.transform(row_matrix(features.statistics));
-  return mlp_->predict(xs, xt).front();
+  if (ws == nullptr) {
+    const linalg::Matrix xs =
+        scaler_structural_.transform(row_matrix(features.structural));
+    const linalg::Matrix xt =
+        scaler_statistics_.transform(row_matrix(features.statistics));
+    return mlp_->predict(xs, xt).front();
+  }
+  // Workspace path: lease the two feature rows, scale them in place
+  // (transform_into is elementwise, so aliasing input and output is fine),
+  // and run the single-sample MLP forward on leased activations.
+  linalg::Workspace::Lease xs = ws->lease(1, features.structural.size());
+  linalg::Workspace::Lease xt = ws->lease(1, features.statistics.size());
+  for (std::size_t c = 0; c < features.structural.size(); ++c) {
+    (*xs)(0, c) = features.structural[c];
+  }
+  for (std::size_t c = 0; c < features.statistics.size(); ++c) {
+    (*xt)(0, c) = features.statistics[c];
+  }
+  scaler_structural_.transform_into(*xs, *xs);
+  scaler_statistics_.transform_into(*xt, *xt);
+  return mlp_->predict_one(*xs, *xt, *ws);
 }
 
 void PredictionModel::save(std::ostream& os) const {
@@ -139,8 +156,8 @@ TrainingSummary PowerLens::train() {
 
 std::size_t PowerLens::decide_block_level(const dnn::Graph& graph,
                                           const clustering::PowerBlock& block,
-                                          const hw::CostTable* oracle_costs)
-    const {
+                                          const hw::CostTable* oracle_costs,
+                                          linalg::Workspace* ws) const {
   if (oracle_costs != nullptr) {
     return oracle_costs->optimal_gpu_level(block.begin, block.end,
                                            config_.dataset.cpu_level_for_labels);
@@ -148,7 +165,7 @@ std::size_t PowerLens::decide_block_level(const dnn::Graph& graph,
   const features::GlobalFeatures f =
       features::GlobalFeatureExtractor::extract(graph, block.begin,
                                                 block.end);
-  const int level = decision_model_.predict(f);
+  const int level = decision_model_.predict(f, ws);
   if (level < 0 || static_cast<std::size_t>(level) >= platform_->gpu_levels()) {
     throw std::logic_error("PowerLens: decision model emitted a bad level");
   }
@@ -157,7 +174,8 @@ std::size_t PowerLens::decide_block_level(const dnn::Graph& graph,
 
 OptimizationPlan PowerLens::plan_for_view(const dnn::Graph& graph,
                                           clustering::PowerView view,
-                                          bool use_oracle) const {
+                                          bool use_oracle,
+                                          linalg::Workspace* ws) const {
   if (!use_oracle && !trained()) {
     throw std::logic_error("PowerLens: optimize before train");
   }
@@ -175,14 +193,15 @@ OptimizationPlan PowerLens::plan_for_view(const dnn::Graph& graph,
   plan.view = std::move(view);
   for (const clustering::PowerBlock& b : plan.view.blocks()) {
     const std::size_t level =
-        decide_block_level(graph, b, costs ? &*costs : nullptr);
+        decide_block_level(graph, b, costs ? &*costs : nullptr, ws);
     plan.block_levels.push_back(level);
     plan.schedule.points.push_back({b.begin, level});
   }
   return plan;
 }
 
-OptimizationPlan PowerLens::optimize(const dnn::Graph& graph) const {
+OptimizationPlan PowerLens::optimize(const dnn::Graph& graph,
+                                     linalg::Workspace* ws) const {
   if (!trained()) {
     throw std::logic_error("PowerLens: optimize before train");
   }
@@ -197,7 +216,7 @@ OptimizationPlan PowerLens::optimize(const dnn::Graph& graph) const {
   int cls = 0;
   {
     obs::ScopedSpan span(tw, "predict_hyper", "pipeline");
-    cls = hyper_model_.predict(net_features);
+    cls = hyper_model_.predict(net_features, ws);
   }
   const clustering::ClusteringHyperparams hp =
       config_.dataset.grid.at(static_cast<std::size_t>(cls));
@@ -213,13 +232,13 @@ OptimizationPlan PowerLens::optimize(const dnn::Graph& graph) const {
   clustering::PowerView view = [&] {
     obs::ScopedSpan span(tw, "cluster_and_postprocess", "pipeline");
     return enforce_min_block_duration(
-        costs, clustering::build_power_view(graph, cc), *platform_,
+        costs, clustering::build_power_view(graph, cc, ws), *platform_,
         feasible_block_duration(costs, *platform_));
   }();
 
   // Steps 4-5: per-block frequency decisions and the preset schedule.
   obs::ScopedSpan decide_span(tw, "decide_levels", "pipeline");
-  OptimizationPlan plan = plan_for_view(graph, std::move(view), false);
+  OptimizationPlan plan = plan_for_view(graph, std::move(view), false, ws);
   plan.hyper = hp;
   obs::log_debug(
       "powerlens", "optimized graph",
@@ -252,7 +271,7 @@ OptimizationPlan PowerLens::optimize_oracle(const dnn::Graph& graph) const {
   OptimizationPlan plan;
   plan.view = std::move(view);
   for (const clustering::PowerBlock& b : plan.view.blocks()) {
-    const std::size_t level = decide_block_level(graph, b, &costs);
+    const std::size_t level = decide_block_level(graph, b, &costs, nullptr);
     plan.block_levels.push_back(level);
     plan.schedule.points.push_back({b.begin, level});
   }

@@ -47,8 +47,11 @@ class PredictionModel {
   bool trained() const noexcept { return mlp_.has_value(); }
 
   // Predicted class for one feature bundle. Throws std::logic_error if not
-  // trained.
-  int predict(const features::GlobalFeatures& features) const;
+  // trained. When `ws` is non-null, the scaled feature rows and every MLP
+  // activation are leased from it (the serving hot path's per-worker
+  // workspace) instead of heap-allocated.
+  int predict(const features::GlobalFeatures& features,
+              linalg::Workspace* ws = nullptr) const;
 
   // Text serialization of a trained predictor (scalers + MLP). save()
   // throws std::logic_error before fit().
@@ -100,8 +103,13 @@ class PowerLens {
   bool trained() const noexcept;
 
   // Model-driven optimization of one DNN (workflow steps 1-5 of section
-  // 2.1.1). Throws std::logic_error before train().
-  OptimizationPlan optimize(const dnn::Graph& graph) const;
+  // 2.1.1). Throws std::logic_error before train(). A non-null `ws` is
+  // threaded through every dense computation (feature scaling, MLP
+  // inference, the clustering distance pipeline), so a warmed-up per-worker
+  // workspace makes repeated plan computation allocation-free in the matrix
+  // hot loops.
+  OptimizationPlan optimize(const dnn::Graph& graph,
+                            linalg::Workspace* ws = nullptr) const;
 
   // Analytic upper bound: the same pipeline but with exhaustive-sweep ground
   // truth in place of both models (dataset-generation labelling rules).
@@ -117,7 +125,8 @@ class PowerLens {
   // shared by the P-R / P-N ablations so only the partitioning differs.
   OptimizationPlan plan_for_view(const dnn::Graph& graph,
                                  clustering::PowerView view,
-                                 bool use_oracle = false) const;
+                                 bool use_oracle = false,
+                                 linalg::Workspace* ws = nullptr) const;
 
   const hw::Platform& platform() const noexcept { return *platform_; }
   const PowerLensConfig& config() const noexcept { return config_; }
@@ -125,7 +134,8 @@ class PowerLens {
  private:
   std::size_t decide_block_level(const dnn::Graph& graph,
                                  const clustering::PowerBlock& block,
-                                 const hw::CostTable* oracle_costs) const;
+                                 const hw::CostTable* oracle_costs,
+                                 linalg::Workspace* ws) const;
 
   const hw::Platform* platform_;  // non-owning
   PowerLensConfig config_;

@@ -30,4 +30,14 @@ EigenDecomposition eigen_symmetric(const Matrix& a, double symmetry_tol = 1e-9);
 // magnitude is below rcond * max_eigenvalue are treated as zero.
 Matrix pseudo_inverse_spd(const Matrix& a, double rcond = 1e-10);
 
+// Whitening factor W (k x n, k = rank kept) of a symmetric PSD matrix:
+// rows are eigenvectors scaled by 1/sqrt(lambda), so Wᵀ W = pinv(a) exactly
+// on the kept spectrum. This is the factored form of the pseudo-inverse the
+// Mahalanobis rewrite uses: d² = diffᵀ pinv(a) diff = ‖W diff‖², which
+// turns the O(n²·d²) all-pairs quadratic form into one whitening GEMM plus
+// pairwise norms. Eigenvalues at or below rcond * max_eigenvalue — or
+// non-positive ones, which a PSD input only produces through rounding — are
+// dropped; with nothing kept, W is a 0 x n matrix.
+Matrix whitening_factor_spd(const Matrix& a, double rcond = 1e-10);
+
 }  // namespace powerlens::linalg

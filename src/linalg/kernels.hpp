@@ -1,0 +1,96 @@
+// Blocked, register-tiled linear-algebra kernels — the single hot-loop layer
+// every dense computation in the reproduction funnels through.
+//
+// Scope: double-precision GEMM in the three orientations the codebase needs
+// (A·B, A·Bᵀ, Aᵀ·B), GEMV, and a fused affine(+ReLU) kernel for the dense
+// layers of the prediction models. Dimensions in this project are
+// tens-to-hundreds, so the kernels block for L1/L2 reuse and tile 4x4 output
+// patches across registers; there is no packing, threading, or ISA dispatch.
+//
+// Determinism contract (load-bearing — the serving layer's byte-identical
+// reports and the golden serialization file both depend on it):
+//
+//   * Every output element is produced by ONE accumulator that walks the
+//     inner dimension in ascending order. No split accumulators, no pairwise
+//     or vectorized reduction trees. The result is therefore bitwise
+//     identical to the textbook `sum += a[k] * b[k]` loop, bitwise identical
+//     run-to-run, and independent of the blocking constants below (blocking
+//     only reorders *independent* elements, and k-panels of one element are
+//     combined in ascending-k order through exact stores).
+//   * The blocking schedule is fixed at compile time. It is never derived
+//     from the thread count, the environment, or the input values.
+//   * The kernels themselves are single-threaded and re-entrant; callers
+//     that shard work across threads (nn::train) keep determinism because
+//     each output element is still written by exactly one kernel call.
+//
+// Fused affine adds the bias AFTER the full k-sum (exactly like the naive
+// `dot(x, w) + b`), then applies ReLU, so the fusion shifts no floats.
+#pragma once
+
+#include "linalg/matrix.hpp"
+
+#include <cstddef>
+#include <span>
+
+namespace powerlens::linalg::kernels {
+
+// Fixed blocking schedule. kBlockDepth bounds the k-panel resident in L1
+// alongside a 4-wide output tile; kBlockCols keeps a B/W row panel hot in
+// L2 while the full m extent streams past it.
+inline constexpr std::size_t kBlockDepth = 256;
+inline constexpr std::size_t kBlockCols = 64;
+// Register tile: 4x4 output patch, 16 independent accumulators.
+inline constexpr std::size_t kRegRows = 4;
+inline constexpr std::size_t kRegCols = 4;
+
+// C (m x n, leading dim ldc) = A (m x k, lda) · B (k x n, ldb), or += when
+// `accumulate`. Row-major buffers; regions may not alias.
+void gemm_nn(std::size_t m, std::size_t n, std::size_t k, const double* a,
+             std::size_t lda, const double* b, std::size_t ldb, double* c,
+             std::size_t ldc, bool accumulate = false);
+
+// C (m x n) = A (m x k, lda) · Bᵀ where B is (n x k, ldb) — both operands
+// walk contiguous rows; this is the orientation of the dense-layer forward
+// (X · Wᵀ) and of Gram matrices (Y · Yᵀ).
+void gemm_nt(std::size_t m, std::size_t n, std::size_t k, const double* a,
+             std::size_t lda, const double* b, std::size_t ldb, double* c,
+             std::size_t ldc, bool accumulate = false);
+
+// C (m x n) = Aᵀ · B where A is (k x m, lda) and B is (k x n, ldb) — the
+// orientation of the dense-layer weight gradient (gᵀ · X).
+void gemm_tn(std::size_t m, std::size_t n, std::size_t k, const double* a,
+             std::size_t lda, const double* b, std::size_t ldb, double* c,
+             std::size_t ldc, bool accumulate = false);
+
+// y (m) = A (m x n, lda) · x (n), or += when `accumulate`.
+void gemv(std::size_t m, std::size_t n, const double* a, std::size_t lda,
+          const double* x, double* y, bool accumulate = false);
+
+// Fused dense-layer forward: out (batch x n) = X (batch x k, ldx) · Wᵀ + b,
+// with W (n x k, ldw) in output-major layout and optional ReLU applied in
+// the same pass. Bias joins after the complete k-sum; bitwise equal to
+// `dot(x_row, w_row) + b[o]` followed by a ReLU sweep.
+void affine(std::size_t batch, std::size_t n, std::size_t k, const double* x,
+            std::size_t ldx, const double* w, std::size_t ldw,
+            const double* bias, double* out, std::size_t ldo, bool relu);
+
+// Column sums: out[j] (+)= sum_r G(r, j) for G (m x n, ldg), ascending r —
+// the dense-layer bias gradient.
+void col_sums(std::size_t m, std::size_t n, const double* g, std::size_t ldg,
+              double* out, bool accumulate = false);
+
+// ---- Matrix conveniences (shape-checked; throw std::invalid_argument) ----
+
+// out = a · b. `out` is reshaped; must not alias an operand.
+void matmul_into(const Matrix& a, const Matrix& b, Matrix& out);
+// out = a · bᵀ.
+void matmul_nt_into(const Matrix& a, const Matrix& b, Matrix& out);
+// out (+)= aᵀ · b.
+void matmul_tn_into(const Matrix& a, const Matrix& b, Matrix& out,
+                    bool accumulate = false);
+
+Matrix matmul(const Matrix& a, const Matrix& b);
+Matrix matmul_nt(const Matrix& a, const Matrix& b);
+Matrix matmul_tn(const Matrix& a, const Matrix& b);
+
+}  // namespace powerlens::linalg::kernels

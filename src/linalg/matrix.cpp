@@ -1,5 +1,7 @@
 #include "linalg/matrix.hpp"
 
+#include "linalg/kernels.hpp"
+
 #include <algorithm>
 #include <cmath>
 #include <sstream>
@@ -36,6 +38,16 @@ Matrix Matrix::from_rows(std::size_t rows, std::size_t cols,
   Matrix m(rows, cols);
   std::copy(data.begin(), data.end(), m.data_.begin());
   return m;
+}
+
+void Matrix::reshape(std::size_t rows, std::size_t cols, double fill) {
+  rows_ = rows;
+  cols_ = cols;
+  data_.assign(rows * cols, fill);
+}
+
+void Matrix::fill(double value) noexcept {
+  for (double& v : data_) v = value;
 }
 
 double& Matrix::at(std::size_t r, std::size_t c) {
@@ -88,20 +100,7 @@ Matrix& Matrix::operator*=(double s) noexcept {
 }
 
 Matrix operator*(const Matrix& lhs, const Matrix& rhs) {
-  if (lhs.cols() != rhs.rows()) {
-    throw std::invalid_argument("Matrix product: inner dimension mismatch");
-  }
-  Matrix out(lhs.rows(), rhs.cols());
-  for (std::size_t i = 0; i < lhs.rows(); ++i) {
-    for (std::size_t k = 0; k < lhs.cols(); ++k) {
-      const double a = lhs(i, k);
-      if (a == 0.0) continue;
-      for (std::size_t j = 0; j < rhs.cols(); ++j) {
-        out(i, j) += a * rhs(k, j);
-      }
-    }
-  }
-  return out;
+  return kernels::matmul(lhs, rhs);
 }
 
 double Matrix::max_abs_diff(const Matrix& a, const Matrix& b) {
@@ -138,9 +137,8 @@ std::vector<double> mat_vec(const Matrix& m, std::span<const double> x) {
     throw std::invalid_argument("mat_vec: dimension mismatch");
   }
   std::vector<double> y(m.rows(), 0.0);
-  for (std::size_t r = 0; r < m.rows(); ++r) {
-    y[r] = dot(m.row(r), x);
-  }
+  kernels::gemv(m.rows(), m.cols(), m.data().data(), m.cols(), x.data(),
+                y.data());
   return y;
 }
 

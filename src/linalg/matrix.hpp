@@ -3,8 +3,8 @@
 // This is the minimal linear-algebra substrate PowerLens needs: covariance
 // matrices of layer-feature tables, their pseudo-inverses (for the Mahalanobis
 // distance of Algorithm 1), and the dense algebra inside the prediction-model
-// trainer. It is deliberately not a general BLAS; dimensions in this project
-// are tens-to-hundreds, so clarity wins over blocking tricks.
+// trainer. Products route through the blocked kernels in linalg/kernels.hpp;
+// the class itself stays a plain storage-and-shape type.
 #pragma once
 
 #include <cstddef>
@@ -33,6 +33,16 @@ class Matrix {
   std::size_t cols() const noexcept { return cols_; }
   bool empty() const noexcept { return data_.empty(); }
   bool square() const noexcept { return rows_ == cols_; }
+  // Doubles the backing store can hold without reallocating.
+  std::size_t capacity() const noexcept { return data_.capacity(); }
+
+  // Re-dimensions the matrix to rows x cols with every element set to
+  // `fill`. Reuses the backing store when rows * cols fits its capacity —
+  // the Workspace scratch-pool contract relies on this staying
+  // allocation-free after warmup.
+  void reshape(std::size_t rows, std::size_t cols, double fill = 0.0);
+  // Sets every element to `value` without changing the shape.
+  void fill(double value) noexcept;
 
   double& operator()(std::size_t r, std::size_t c) noexcept {
     return data_[r * cols_ + c];

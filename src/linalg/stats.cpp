@@ -25,13 +25,19 @@ std::vector<double> column_means(const Matrix& samples) {
 }
 
 Matrix covariance(const Matrix& samples) {
+  Matrix cov;
+  covariance_into(samples, cov);
+  return cov;
+}
+
+void covariance_into(const Matrix& samples, Matrix& cov) {
   const std::size_t n = samples.rows();
   const std::size_t d = samples.cols();
   if (n == 0 || d == 0) {
     throw std::invalid_argument("covariance: empty matrix");
   }
-  Matrix cov(d, d);
-  if (n < 2) return cov;
+  cov.reshape(d, d);
+  if (n < 2) return;
 
   const std::vector<double> mu = column_means(samples);
   for (std::size_t r = 0; r < n; ++r) {
@@ -50,7 +56,6 @@ Matrix covariance(const Matrix& samples) {
       cov(j, i) = cov(i, j);
     }
   }
-  return cov;
 }
 
 void StandardScaler::fit(const Matrix& samples) {
@@ -73,19 +78,26 @@ void StandardScaler::fit(const Matrix& samples) {
 }
 
 Matrix StandardScaler::transform(const Matrix& samples) const {
+  Matrix out;
+  transform_into(samples, out);
+  return out;
+}
+
+void StandardScaler::transform_into(const Matrix& samples, Matrix& out) const {
   if (!fitted()) throw std::logic_error("StandardScaler: transform before fit");
   if (samples.cols() != means_.size()) {
     throw std::invalid_argument("StandardScaler: feature-count mismatch");
   }
-  Matrix out(samples.rows(), samples.cols());
-  for (std::size_t r = 0; r < samples.rows(); ++r) {
-    for (std::size_t c = 0; c < samples.cols(); ++c) {
+  const std::size_t rows = samples.rows();
+  const std::size_t cols = samples.cols();
+  if (&out != &samples) out.reshape(rows, cols);
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
       out(r, c) = stddevs_[c] > kMinStddev
                       ? (samples(r, c) - means_[c]) / stddevs_[c]
                       : 0.0;
     }
   }
-  return out;
 }
 
 std::vector<double> StandardScaler::transform_row(

@@ -19,6 +19,9 @@ std::vector<double> column_means(const Matrix& samples);
 // Unbiased (n-1) sample covariance of rows of `samples` (samples x features).
 // With a single sample, returns the zero matrix. Throws on an empty matrix.
 Matrix covariance(const Matrix& samples);
+// Same, into a caller-owned (typically Workspace-pooled) matrix; `out` is
+// reshaped and must not alias `samples`.
+void covariance_into(const Matrix& samples, Matrix& out);
 
 // Z-score feature scaler. fit() learns per-column mean/stddev; transform()
 // maps each column to zero mean / unit variance. Constant columns (stddev
@@ -34,6 +37,9 @@ class StandardScaler {
   // Applies the learned scaling. Throws std::logic_error if fit() has not
   // been called, std::invalid_argument on a feature-count mismatch.
   Matrix transform(const Matrix& samples) const;
+  // Same, into a caller-owned matrix (reshaped). Elementwise, so `out` may
+  // alias `samples` for an in-place transform of an equal-shaped matrix.
+  void transform_into(const Matrix& samples, Matrix& out) const;
   std::vector<double> transform_row(std::span<const double> row) const;
 
   Matrix fit_transform(const Matrix& samples);

@@ -1,5 +1,6 @@
 #include "nn/mlp.hpp"
 
+#include "linalg/kernels.hpp"
 #include "nn/serialize.hpp"
 #include "nn/tensor.hpp"
 
@@ -28,22 +29,20 @@ DenseLayer::DenseLayer(std::size_t in_dim, std::size_t out_dim, bool relu,
   for (double& v : w_.data()) v = dist(rng);
 }
 
-linalg::Matrix DenseLayer::affine(const linalg::Matrix& x) const {
+void DenseLayer::affine_into(const linalg::Matrix& x, linalg::Matrix& out,
+                             bool relu) const {
   if (x.cols() != w_.cols()) {
     throw std::invalid_argument("DenseLayer: input dimension mismatch");
   }
-  linalg::Matrix out(x.rows(), w_.rows());
-  for (std::size_t r = 0; r < x.rows(); ++r) {
-    for (std::size_t o = 0; o < w_.rows(); ++o) {
-      out(r, o) = linalg::dot(x.row(r), w_.row(o)) + b_[o];
-    }
-  }
-  return out;
+  out.reshape(x.rows(), w_.rows());
+  linalg::kernels::affine(x.rows(), w_.rows(), w_.cols(), x.data().data(),
+                          x.cols(), w_.data().data(), w_.cols(), b_.data(),
+                          out.data().data(), out.cols(), relu);
 }
 
 linalg::Matrix DenseLayer::forward(const linalg::Matrix& x) {
   last_x_ = x;
-  last_pre_ = affine(x);
+  affine_into(x, last_pre_, false);
   if (!relu_) return last_pre_;
   linalg::Matrix out = last_pre_;
   for (double& v : out.data()) v = v > 0.0 ? v : 0.0;
@@ -51,11 +50,14 @@ linalg::Matrix DenseLayer::forward(const linalg::Matrix& x) {
 }
 
 linalg::Matrix DenseLayer::forward_const(const linalg::Matrix& x) const {
-  linalg::Matrix out = affine(x);
-  if (relu_) {
-    for (double& v : out.data()) v = v > 0.0 ? v : 0.0;
-  }
+  linalg::Matrix out;
+  affine_into(x, out, relu_);
   return out;
+}
+
+void DenseLayer::forward_const_into(const linalg::Matrix& x,
+                                    linalg::Matrix& out) const {
+  affine_into(x, out, relu_);
 }
 
 linalg::Matrix DenseLayer::backward(const linalg::Matrix& grad_out) {
@@ -70,28 +72,16 @@ linalg::Matrix DenseLayer::backward(const linalg::Matrix& grad_out) {
       }
     }
   }
-  // grad_w += g^T x ; grad_b += column sums of g ; grad_in = g w
-  for (std::size_t r = 0; r < g.rows(); ++r) {
-    for (std::size_t o = 0; o < w_.rows(); ++o) {
-      const double go = g(r, o);
-      if (go == 0.0) continue;
-      grad_b_[o] += go;
-      for (std::size_t i = 0; i < w_.cols(); ++i) {
-        grad_w_(o, i) += go * last_x_(r, i);
-      }
-    }
-  }
-  linalg::Matrix grad_in(g.rows(), w_.cols());
-  for (std::size_t r = 0; r < g.rows(); ++r) {
-    for (std::size_t o = 0; o < w_.rows(); ++o) {
-      const double go = g(r, o);
-      if (go == 0.0) continue;
-      for (std::size_t i = 0; i < w_.cols(); ++i) {
-        grad_in(r, i) += go * w_(o, i);
-      }
-    }
-  }
-  return grad_in;
+  // grad_w += gᵀ x ; grad_b += column sums of g ; grad_in = g w. The kernels
+  // walk the batch/output dimension in the same ascending order as the old
+  // per-element loops; the one intentional change is dropping the old
+  // `go == 0.0` skip branches, which silently turned ±0 and signed-zero
+  // products into "no-op adds" (adding 0.0 never changes a finite sum, but
+  // the branch cost a mispredict per ReLU-masked element).
+  linalg::kernels::matmul_tn_into(g, last_x_, grad_w_, /*accumulate=*/true);
+  linalg::kernels::col_sums(g.rows(), g.cols(), g.data().data(), g.cols(),
+                            grad_b_.data(), /*accumulate=*/true);
+  return linalg::kernels::matmul(g, w_);
 }
 
 void DenseLayer::adam_step(double lr, double beta1, double beta2, double eps,
@@ -174,6 +164,23 @@ linalg::Matrix TwoStageMlp::forward_const(
   return head_.forward_const(h3);
 }
 
+void TwoStageMlp::forward_const_into(const linalg::Matrix& structural,
+                                     const linalg::Matrix& statistics,
+                                     linalg::Workspace& ws,
+                                     linalg::Matrix& logits) const {
+  const std::size_t batch = structural.rows();
+  linalg::Workspace::Lease h1 = ws.lease(batch, config_.hidden1);
+  stage1_a_.forward_const_into(structural, *h1);
+  linalg::Workspace::Lease h2 = ws.lease(batch, config_.hidden2);
+  stage1_b_.forward_const_into(*h1, *h2);
+  linalg::Workspace::Lease mid =
+      ws.lease(batch, config_.hidden2 + config_.statistics_dim);
+  hconcat_into(*h2, statistics, *mid);
+  linalg::Workspace::Lease h3 = ws.lease(batch, config_.hidden3);
+  stage2_a_.forward_const_into(*mid, *h3);
+  head_.forward_const_into(*h3, logits);
+}
+
 void TwoStageMlp::backward(const linalg::Matrix& grad_logits) {
   const linalg::Matrix g3 = head_.backward(grad_logits);
   const linalg::Matrix g_mid = stage2_a_.backward(g3);
@@ -220,6 +227,18 @@ void TwoStageMlp::zero_gradients() {
 std::vector<int> TwoStageMlp::predict(const linalg::Matrix& structural,
                                       const linalg::Matrix& statistics) const {
   return argmax_rows(forward_const(structural, statistics));
+}
+
+int TwoStageMlp::predict_one(const linalg::Matrix& structural,
+                             const linalg::Matrix& statistics,
+                             linalg::Workspace& ws) const {
+  linalg::Workspace::Lease logits = ws.lease(1, config_.num_classes);
+  forward_const_into(structural, statistics, ws, *logits);
+  std::size_t best = 0;
+  for (std::size_t c = 1; c < logits->cols(); ++c) {
+    if ((*logits)(0, c) > (*logits)(0, best)) best = c;
+  }
+  return static_cast<int>(best);
 }
 
 void DenseLayer::save(std::ostream& os) const {

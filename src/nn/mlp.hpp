@@ -12,6 +12,7 @@
 #pragma once
 
 #include "linalg/matrix.hpp"
+#include "linalg/workspace.hpp"
 
 #include <cstdint>
 #include <iosfwd>
@@ -30,6 +31,9 @@ class DenseLayer {
   linalg::Matrix forward(const linalg::Matrix& x);
   // Inference-only forward; no caches touched.
   linalg::Matrix forward_const(const linalg::Matrix& x) const;
+  // Same, into a caller-owned (typically Workspace-pooled) matrix. The
+  // affine product and the ReLU are fused into one kernel pass.
+  void forward_const_into(const linalg::Matrix& x, linalg::Matrix& out) const;
 
   // Backward from (batch x out_dim) gradient; accumulates weight grads and
   // returns the gradient w.r.t. the input.
@@ -56,7 +60,9 @@ class DenseLayer {
 
  private:
   DenseLayer() = default;  // for load()
-  linalg::Matrix affine(const linalg::Matrix& x) const;
+  // out = x·wᵀ + b via the fused kernel, optionally with the ReLU epilogue.
+  void affine_into(const linalg::Matrix& x, linalg::Matrix& out,
+                   bool relu) const;
 
   linalg::Matrix w_;          // out x in
   std::vector<double> b_;     // out
@@ -91,6 +97,12 @@ class TwoStageMlp {
                          const linalg::Matrix& statistics);
   linalg::Matrix forward_const(const linalg::Matrix& structural,
                                const linalg::Matrix& statistics) const;
+  // Allocation-free inference: every intermediate activation is leased from
+  // `ws` and the logits land in `logits` (reshaped). After the workspace has
+  // warmed up on a batch shape, repeated calls do no heap traffic.
+  void forward_const_into(const linalg::Matrix& structural,
+                          const linalg::Matrix& statistics,
+                          linalg::Workspace& ws, linalg::Matrix& logits) const;
 
   // Backward from d(loss)/d(logits); input gradients are discarded.
   void backward(const linalg::Matrix& grad_logits);
@@ -106,6 +118,11 @@ class TwoStageMlp {
   // Predicted class per row.
   std::vector<int> predict(const linalg::Matrix& structural,
                            const linalg::Matrix& statistics) const;
+  // Single-sample class prediction on the workspace path (serving hot loop):
+  // both inputs are 1-row matrices; returns the argmax of the logits row.
+  int predict_one(const linalg::Matrix& structural,
+                  const linalg::Matrix& statistics,
+                  linalg::Workspace& ws) const;
 
   const TwoStageMlpConfig& config() const noexcept { return config_; }
 

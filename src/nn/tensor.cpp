@@ -68,15 +68,21 @@ std::vector<int> argmax_rows(const linalg::Matrix& m) {
 }
 
 linalg::Matrix hconcat(const linalg::Matrix& a, const linalg::Matrix& b) {
+  linalg::Matrix out;
+  hconcat_into(a, b, out);
+  return out;
+}
+
+void hconcat_into(const linalg::Matrix& a, const linalg::Matrix& b,
+                  linalg::Matrix& out) {
   if (a.rows() != b.rows()) {
     throw std::invalid_argument("hconcat: row count mismatch");
   }
-  linalg::Matrix out(a.rows(), a.cols() + b.cols());
+  out.reshape(a.rows(), a.cols() + b.cols());
   for (std::size_t r = 0; r < a.rows(); ++r) {
     for (std::size_t c = 0; c < a.cols(); ++c) out(r, c) = a(r, c);
     for (std::size_t c = 0; c < b.cols(); ++c) out(r, a.cols() + c) = b(r, c);
   }
-  return out;
 }
 
 }  // namespace powerlens::nn

@@ -34,5 +34,9 @@ std::vector<int> argmax_rows(const linalg::Matrix& m);
 
 // Horizontal concatenation [a | b]; rows must match.
 linalg::Matrix hconcat(const linalg::Matrix& a, const linalg::Matrix& b);
+// Same, into a caller-owned (typically Workspace-pooled) matrix; `out` is
+// reshaped and must not alias either operand.
+void hconcat_into(const linalg::Matrix& a, const linalg::Matrix& b,
+                  linalg::Matrix& out);
 
 }  // namespace powerlens::nn

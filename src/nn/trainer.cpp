@@ -21,10 +21,17 @@ void Dataset::validate() const {
 }
 
 Dataset Dataset::subset(const std::vector<std::size_t>& indices) const {
-  validate();
   Dataset out;
-  out.structural = linalg::Matrix(indices.size(), structural.cols());
-  out.statistics = linalg::Matrix(indices.size(), statistics.cols());
+  subset_into(indices, out);
+  return out;
+}
+
+void Dataset::subset_into(const std::vector<std::size_t>& indices,
+                          Dataset& out) const {
+  validate();
+  out.structural.reshape(indices.size(), structural.cols());
+  out.statistics.reshape(indices.size(), statistics.cols());
+  out.labels.clear();
   out.labels.reserve(indices.size());
   for (std::size_t r = 0; r < indices.size(); ++r) {
     const std::size_t src = indices[r];
@@ -39,7 +46,6 @@ Dataset Dataset::subset(const std::vector<std::size_t>& indices) const {
     }
     out.labels.push_back(labels[src]);
   }
-  return out;
 }
 
 DatasetSplit split_dataset(const Dataset& data, std::uint64_t seed,
@@ -122,6 +128,11 @@ TrainReport train(TwoStageMlp& model, const Dataset& train_set,
       kGradShardRows;
   std::vector<TwoStageMlp> replicas(max_shards, model);
   std::vector<double> shard_loss(max_shards, 0.0);
+  // Per-shard-slot scratch: row-gathered shard data and index lists live for
+  // the whole run and are refilled in place each minibatch, so the steady-
+  // state epoch loop does no per-batch heap allocation for sharding.
+  std::vector<Dataset> shard_data(max_shards);
+  std::vector<std::vector<std::size_t>> shard_indices(max_shards);
 
   obs::TraceWriter& tw = obs::default_trace();
   obs::MetricsRegistry& metrics = obs::global_metrics();
@@ -156,9 +167,11 @@ TrainReport train(TwoStageMlp& model, const Dataset& train_set,
         rep.sync_weights_from(model);
         const std::size_t lo = start + s * kGradShardRows;
         const std::size_t hi = std::min(end, lo + kGradShardRows);
-        const Dataset shard = train_set.subset(
-            {order.begin() + static_cast<std::ptrdiff_t>(lo),
-             order.begin() + static_cast<std::ptrdiff_t>(hi)});
+        std::vector<std::size_t>& idx = shard_indices[s];
+        idx.assign(order.begin() + static_cast<std::ptrdiff_t>(lo),
+                   order.begin() + static_cast<std::ptrdiff_t>(hi));
+        train_set.subset_into(idx, shard_data[s]);
+        const Dataset& shard = shard_data[s];
         const linalg::Matrix logits =
             rep.forward(shard.structural, shard.statistics);
         const linalg::Matrix probs = softmax_rows(logits);

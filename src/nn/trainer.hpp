@@ -28,6 +28,11 @@ struct Dataset {
   void validate() const;
   // Row subset in the given order.
   Dataset subset(const std::vector<std::size_t>& indices) const;
+  // Same, into a caller-owned dataset whose matrices/labels are reshaped in
+  // place — the training loop reuses one scratch Dataset per gradient shard
+  // slot so per-minibatch sharding does no heap traffic after warmup.
+  void subset_into(const std::vector<std::size_t>& indices,
+                   Dataset& out) const;
 };
 
 // Deterministic shuffled 80/10/10 split.

@@ -83,13 +83,14 @@ Server::Server(const hw::Platform& platform,
   }
 }
 
-PlanCache::PlanPtr Server::plan_for(const dnn::Graph& graph) {
+PlanCache::PlanPtr Server::plan_for(const dnn::Graph& graph,
+                                    linalg::Workspace& ws) {
   if (framework_ == nullptr || !framework_->trained()) {
     throw std::logic_error(
         "Server: the PowerLens policy needs a trained framework");
   }
-  const auto factory = [this](const dnn::Graph& g) {
-    return framework_->optimize(g);
+  const auto factory = [this, &ws](const dnn::Graph& g) {
+    return framework_->optimize(g, &ws);
   };
   if (config_.use_plan_cache) {
     return cache_.get_or_compute(graph, factory);
@@ -125,6 +126,9 @@ std::vector<Server::ServiceResult> Server::simulate_parallel(
     // invariance under injection.
     hw::SimEngine engine(*platform_);
     baselines::OndemandGovernor cpu_governor;
+    // Private scratch pool for every plan computed on this worker; after the
+    // first miss of each graph shape, further misses allocate nothing.
+    linalg::Workspace ws;
     bool draining = false;
     while (const std::optional<std::size_t> idx = queue.pop()) {
       if (draining) continue;  // a sibling failed; keep the producer moving
@@ -133,7 +137,7 @@ std::vector<Server::ServiceResult> Server::simulate_parallel(
         const DeployedModel& model = models_[task.model_index];
         PlanCache::PlanPtr plan;  // keeps the schedule alive through run()
         if (config_.policy == ServePolicy::kPowerLens) {
-          plan = plan_for(model.graph);
+          plan = plan_for(model.graph, ws);
         }
         ServiceResult out;
         for (std::size_t attempt = 0;; ++attempt) {

@@ -227,7 +227,10 @@ class Server {
     hw::FaultCounters faults;
   };
 
-  PlanCache::PlanPtr plan_for(const dnn::Graph& graph);
+  // `ws` is the calling worker's private workspace: plan-cache misses run
+  // the whole optimize() pipeline on leased scratch, so steady-state misses
+  // do no heap traffic in the matrix hot loops.
+  PlanCache::PlanPtr plan_for(const dnn::Graph& graph, linalg::Workspace& ws);
   // Independent per-request simulation, fanned out over worker threads.
   std::vector<ServiceResult> simulate_parallel(std::span<const Task> tasks);
   // One continuous run_workload, split into per-request results by marks.

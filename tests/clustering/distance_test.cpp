@@ -1,8 +1,11 @@
 #include "clustering/distance.hpp"
 
+#include "linalg/workspace.hpp"
+
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <random>
 
 namespace powerlens::clustering {
 namespace {
@@ -129,6 +132,95 @@ TEST(PowerDistance, EuclideanMetricOption) {
 TEST(Mahalanobis, EmptyThrows) {
   EXPECT_THROW(mahalanobis_distances(Matrix()), std::invalid_argument);
   EXPECT_THROW(euclidean_distances(Matrix()), std::invalid_argument);
+  EXPECT_THROW(mahalanobis_distances_naive(Matrix()), std::invalid_argument);
+}
+
+Matrix random_table(std::size_t n, std::size_t d, std::uint64_t seed) {
+  Matrix x(n, d);
+  std::mt19937_64 rng(seed);
+  std::normal_distribution<double> dist(0.0, 1.0);
+  for (double& v : x.data()) v = dist(rng);
+  return x;
+}
+
+TEST(MahalanobisWhitened, MatchesNaiveQuadraticFormOracle) {
+  // The production path (whiten + Gram) and the O(n^2 d^2) per-pair
+  // quadratic form compute the same metric through different
+  // factorizations; they must agree to factorization rounding.
+  for (const std::size_t n : {5ul, 17ul, 40ul}) {
+    const Matrix x = random_table(n, 9, 1000 + n);
+    const Matrix fast = mahalanobis_distances(x);
+    const Matrix naive = mahalanobis_distances_naive(x);
+    EXPECT_LT(Matrix::max_abs_diff(fast, naive), 1e-8) << "n=" << n;
+  }
+}
+
+TEST(MahalanobisWhitened, MatchesNaiveOnRankDeficientTable) {
+  // Duplicate and constant columns force the eigenvalue cutoff to drop
+  // directions; both paths must agree on the resulting degenerate metric.
+  Matrix x = random_table(20, 3, 42);
+  Matrix deficient(20, 6);
+  for (std::size_t r = 0; r < 20; ++r) {
+    deficient(r, 0) = x(r, 0);
+    deficient(r, 1) = x(r, 1);
+    deficient(r, 2) = x(r, 2);
+    deficient(r, 3) = x(r, 0);        // duplicate
+    deficient(r, 4) = 7.0;            // constant
+    deficient(r, 5) = x(r, 1) * 2.0;  // linear combination
+  }
+  const Matrix fast = mahalanobis_distances(deficient);
+  const Matrix naive = mahalanobis_distances_naive(deficient);
+  EXPECT_LT(Matrix::max_abs_diff(fast, naive), 1e-8);
+}
+
+TEST(MahalanobisWhitened, ExactSymmetryAndZeroDiagonal) {
+  // Each pair is computed once and mirrored: symmetry is bitwise, not just
+  // within tolerance, and the diagonal is exactly zero.
+  const Matrix x = random_table(31, 7, 9);
+  const Matrix d = mahalanobis_distances(x);
+  for (std::size_t i = 0; i < d.rows(); ++i) {
+    EXPECT_EQ(d(i, i), 0.0);
+    for (std::size_t j = 0; j < d.cols(); ++j) {
+      EXPECT_EQ(d(i, j), d(j, i));
+    }
+  }
+}
+
+TEST(MahalanobisWhitened, AllConstantTableGivesZeroDistances) {
+  // Zero covariance keeps no whitened directions; the old pinv(0) = 0 path
+  // also produced all-zero distances.
+  Matrix x(6, 4);
+  for (double& v : x.data()) v = 3.5;
+  const Matrix d = mahalanobis_distances(x);
+  for (const double v : d.data()) EXPECT_EQ(v, 0.0);
+}
+
+TEST(MahalanobisWhitened, WorkspaceVariantIsBitwiseIdentical) {
+  const Matrix x = random_table(23, 8, 77);
+  const Matrix plain = mahalanobis_distances(x);
+  linalg::Workspace ws;
+  Matrix pooled;
+  mahalanobis_distances_into(x, ws, pooled);
+  EXPECT_EQ(Matrix::max_abs_diff(plain, pooled), 0.0);
+  // Second pass reuses the warmed pool and must reproduce the result.
+  const std::size_t created = ws.created();
+  mahalanobis_distances_into(x, ws, pooled);
+  EXPECT_EQ(Matrix::max_abs_diff(plain, pooled), 0.0);
+  EXPECT_EQ(ws.created(), created);
+}
+
+TEST(PowerDistance, WorkspaceVariantIsBitwiseIdentical) {
+  const Matrix x = random_table(19, 6, 5);
+  DistanceParams p;
+  const Matrix plain = power_distance_matrix(x, p);
+  linalg::Workspace ws;
+  Matrix pooled;
+  power_distance_matrix_into(x, p, ws, pooled);
+  EXPECT_EQ(Matrix::max_abs_diff(plain, pooled), 0.0);
+  const std::size_t created = ws.created();
+  power_distance_matrix_into(x, p, ws, pooled);
+  EXPECT_EQ(Matrix::max_abs_diff(plain, pooled), 0.0);
+  EXPECT_EQ(ws.created(), created);
 }
 
 }  // namespace

@@ -26,10 +26,15 @@ class PersistenceTest : public ::testing::Test {
   static void TearDownTestSuite() {
     delete trained_;
     delete platform_;
-    std::remove(path().c_str());
   }
+  void TearDown() override { std::remove(path().c_str()); }
   static std::string path() {
-    return ::testing::TempDir() + "powerlens_models.txt";
+    // Unique per test case: under `ctest -j` each case runs in its own
+    // process, so a shared filename would let concurrent cases clobber
+    // each other's save files.
+    return ::testing::TempDir() + "powerlens_models_" +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name() +
+           ".txt";
   }
 
   static hw::Platform* platform_;

@@ -1,0 +1,280 @@
+// Blocked kernels vs textbook oracles. The contract under test is stronger
+// than numerical closeness: every kernel must be BITWISE identical to the
+// naive single-accumulator ascending-k loop (see kernels.hpp), across shapes
+// that exercise every register-tile and cache-block edge case, and identical
+// whether calls run sequentially or concurrently on many threads.
+#include "linalg/kernels.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstddef>
+#include <random>
+#include <thread>
+#include <vector>
+
+namespace powerlens::linalg::kernels {
+namespace {
+
+Matrix random_matrix(std::size_t rows, std::size_t cols, std::uint64_t seed) {
+  Matrix m(rows, cols);
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> dist(-2.0, 2.0);
+  for (double& v : m.data()) v = dist(rng);
+  return m;
+}
+
+// The reference semantics: one accumulator per output element, ascending k.
+Matrix naive_nn(const Matrix& a, const Matrix& b) {
+  Matrix c(a.rows(), b.cols());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t j = 0; j < b.cols(); ++j) {
+      double acc = 0.0;
+      for (std::size_t k = 0; k < a.cols(); ++k) acc += a(i, k) * b(k, j);
+      c(i, j) = acc;
+    }
+  }
+  return c;
+}
+
+Matrix naive_nt(const Matrix& a, const Matrix& b) {
+  Matrix c(a.rows(), b.rows());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t j = 0; j < b.rows(); ++j) {
+      double acc = 0.0;
+      for (std::size_t k = 0; k < a.cols(); ++k) acc += a(i, k) * b(j, k);
+      c(i, j) = acc;
+    }
+  }
+  return c;
+}
+
+Matrix naive_tn(const Matrix& a, const Matrix& b) {
+  Matrix c(a.cols(), b.cols());
+  for (std::size_t i = 0; i < a.cols(); ++i) {
+    for (std::size_t j = 0; j < b.cols(); ++j) {
+      double acc = 0.0;
+      for (std::size_t k = 0; k < a.rows(); ++k) acc += a(k, i) * b(k, j);
+      c(i, j) = acc;
+    }
+  }
+  return c;
+}
+
+void expect_bitwise_equal(const Matrix& got, const Matrix& want,
+                          const char* what) {
+  ASSERT_EQ(got.rows(), want.rows()) << what;
+  ASSERT_EQ(got.cols(), want.cols()) << what;
+  for (std::size_t i = 0; i < got.rows(); ++i) {
+    for (std::size_t j = 0; j < got.cols(); ++j) {
+      ASSERT_EQ(got(i, j), want(i, j))
+          << what << " differs at (" << i << ", " << j << ")";
+    }
+  }
+}
+
+// Shapes hitting: scalars, below/at/above the 4x4 register tile, odd sizes,
+// and the kBlockCols=64 / (via k) kBlockDepth=256 cache-block boundaries.
+const std::size_t kShapes[] = {1, 2, 3, 4, 5, 7, 8, 15, 16, 17,
+                               31, 32, 33, 63, 64, 65};
+
+TEST(Gemm, MatchesNaiveOracleAcrossShapeGauntlet) {
+  std::uint64_t seed = 1;
+  for (const std::size_t m : {1ul, 3ul, 4ul, 5ul, 17ul, 64ul, 65ul}) {
+    for (const std::size_t n : kShapes) {
+      for (const std::size_t k : {1ul, 2ul, 7ul, 16ul, 33ul, 65ul}) {
+        const Matrix a = random_matrix(m, k, seed++);
+        const Matrix b = random_matrix(k, n, seed++);
+        expect_bitwise_equal(matmul(a, b), naive_nn(a, b), "gemm_nn");
+        const Matrix bt = random_matrix(n, k, seed++);
+        expect_bitwise_equal(matmul_nt(a, bt), naive_nt(a, bt), "gemm_nt");
+        const Matrix at = random_matrix(k, m, seed++);
+        expect_bitwise_equal(matmul_tn(at, b), naive_tn(at, b), "gemm_tn");
+      }
+    }
+  }
+}
+
+TEST(Gemm, DeepInnerDimensionCrossesKPanelBoundary) {
+  // k > kBlockDepth forces multi-panel accumulation through memory; the
+  // per-element sum order must still be plain ascending k.
+  for (const std::size_t k : {255ul, 256ul, 257ul, 600ul}) {
+    const Matrix a = random_matrix(5, k, 90 + k);
+    const Matrix b = random_matrix(k, 6, 91 + k);
+    expect_bitwise_equal(matmul(a, b), naive_nn(a, b), "gemm_nn deep-k");
+    const Matrix bt = random_matrix(6, k, 92 + k);
+    expect_bitwise_equal(matmul_nt(a, bt), naive_nt(a, bt), "gemm_nt deep-k");
+    const Matrix at = random_matrix(k, 5, 93 + k);
+    expect_bitwise_equal(matmul_tn(at, b), naive_tn(at, b), "gemm_tn deep-k");
+  }
+}
+
+TEST(Gemm, AccumulateAddsOntoExistingValues) {
+  // Accumulate seeds each element's accumulator with the EXISTING C value
+  // and then adds products in ascending k — the exact order of the legacy
+  // `grad_w_(o, i) += go * x(r, i)` loops, and a different rounding than
+  // "compute the product, then add it".
+  const Matrix a = random_matrix(9, 13, 7);
+  const Matrix b = random_matrix(13, 11, 8);
+  const Matrix at = random_matrix(13, 9, 9);
+
+  Matrix c = random_matrix(9, 11, 10);
+  Matrix want = c;
+  for (std::size_t i = 0; i < want.rows(); ++i) {
+    for (std::size_t j = 0; j < want.cols(); ++j) {
+      double acc = want(i, j);
+      for (std::size_t k = 0; k < 13; ++k) acc += a(i, k) * b(k, j);
+      want(i, j) = acc;
+    }
+  }
+  gemm_nn(9, 11, 13, a.data().data(), 13, b.data().data(), 11,
+          c.data().data(), 11, /*accumulate=*/true);
+  expect_bitwise_equal(c, want, "gemm_nn accumulate");
+
+  Matrix ct = random_matrix(9, 11, 12);
+  Matrix want_tn = ct;
+  for (std::size_t i = 0; i < want_tn.rows(); ++i) {
+    for (std::size_t j = 0; j < want_tn.cols(); ++j) {
+      double acc = want_tn(i, j);
+      for (std::size_t k = 0; k < 13; ++k) acc += at(k, i) * b(k, j);
+      want_tn(i, j) = acc;
+    }
+  }
+  matmul_tn_into(at, b, ct, /*accumulate=*/true);
+  expect_bitwise_equal(ct, want_tn, "matmul_tn_into accumulate");
+}
+
+TEST(Gemv, MatchesNaiveDotPerRow) {
+  for (const std::size_t n : kShapes) {
+    const Matrix a = random_matrix(17, n, 40 + n);
+    std::vector<double> x(n);
+    std::mt19937_64 rng(41 + n);
+    std::uniform_real_distribution<double> dist(-1.0, 1.0);
+    for (double& v : x) v = dist(rng);
+
+    std::vector<double> got(17, 0.0);
+    gemv(17, n, a.data().data(), n, x.data(), got.data());
+    for (std::size_t r = 0; r < 17; ++r) {
+      double acc = 0.0;
+      for (std::size_t c = 0; c < n; ++c) acc += a(r, c) * x[c];
+      ASSERT_EQ(got[r], acc) << "gemv row " << r << " n " << n;
+    }
+  }
+}
+
+TEST(FusedAffine, MatchesDotPlusBiasThenRelu) {
+  for (const std::size_t batch : {1ul, 3ul, 8ul, 33ul}) {
+    for (const std::size_t out_dim : {1ul, 5ul, 64ul, 65ul}) {
+      const std::size_t in_dim = 19;
+      const Matrix x = random_matrix(batch, in_dim, 70 + batch);
+      const Matrix w = random_matrix(out_dim, in_dim, 71 + out_dim);
+      std::vector<double> bias(out_dim);
+      std::mt19937_64 rng(72);
+      std::uniform_real_distribution<double> dist(-1.0, 1.0);
+      for (double& v : bias) v = dist(rng);
+
+      for (const bool relu : {false, true}) {
+        Matrix got(batch, out_dim);
+        affine(batch, out_dim, in_dim, x.data().data(), in_dim,
+               w.data().data(), in_dim, bias.data(), got.data().data(),
+               out_dim, relu);
+        for (std::size_t r = 0; r < batch; ++r) {
+          for (std::size_t o = 0; o < out_dim; ++o) {
+            double acc = 0.0;
+            for (std::size_t k = 0; k < in_dim; ++k) {
+              acc += x(r, k) * w(o, k);
+            }
+            acc += bias[o];
+            if (relu) acc = acc > 0.0 ? acc : 0.0;
+            ASSERT_EQ(got(r, o), acc)
+                << "affine(" << r << ", " << o << ") relu=" << relu;
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(ColSums, AscendingRowOrderWithAndWithoutAccumulate) {
+  const Matrix g = random_matrix(21, 13, 55);
+  std::vector<double> fresh(13, 123.0);  // must be overwritten, not added
+  col_sums(21, 13, g.data().data(), 13, fresh.data());
+  std::vector<double> acc(13, 0.5);
+  col_sums(21, 13, g.data().data(), 13, acc.data(), /*accumulate=*/true);
+  for (std::size_t j = 0; j < 13; ++j) {
+    double want = 0.0;
+    for (std::size_t r = 0; r < 21; ++r) want += g(r, j);
+    EXPECT_EQ(fresh[j], want);
+    double want_acc = 0.5;
+    for (std::size_t r = 0; r < 21; ++r) want_acc += g(r, j);
+    EXPECT_EQ(acc[j], want_acc);
+  }
+}
+
+TEST(FusedAffine, ReluEpilogueNormalizesNanAndNegativeZero) {
+  // Legacy semantics were `v = v > 0.0 ? v : 0.0`: NaN and -0.0 both map to
+  // +0.0. The fused epilogue must preserve that exactly.
+  const double nan = std::nan("");
+  Matrix x(1, 1);
+  x(0, 0) = nan;
+  Matrix w(1, 1);
+  w(0, 0) = 1.0;
+  const double bias[] = {0.0};
+  Matrix out(1, 1);
+  affine(1, 1, 1, x.data().data(), 1, w.data().data(), 1, bias,
+         out.data().data(), 1, /*relu=*/true);
+  EXPECT_EQ(out(0, 0), 0.0);
+  EXPECT_FALSE(std::signbit(out(0, 0)));
+
+  x(0, 0) = -0.0;
+  const double bias2[] = {-0.0};
+  affine(1, 1, 1, x.data().data(), 1, w.data().data(), 1, bias2,
+         out.data().data(), 1, /*relu=*/true);
+  EXPECT_EQ(out(0, 0), 0.0);
+  EXPECT_FALSE(std::signbit(out(0, 0)));
+}
+
+TEST(Kernels, ZeroInnerDimensionYieldsZeroProduct) {
+  // k == 0: an empty sum. The kernels must write zeros (or leave C alone
+  // under accumulate), not read uninitialized panels.
+  Matrix a(3, 0);
+  Matrix b(0, 4);
+  const Matrix c = matmul(a, b);
+  for (const double v : c.data()) EXPECT_EQ(v, 0.0);
+  Matrix acc = random_matrix(3, 4, 77);
+  const Matrix before = acc;
+  gemm_nn(3, 4, 0, a.data().data(), 0, b.data().data(), 4, acc.data().data(),
+          4, /*accumulate=*/true);
+  expect_bitwise_equal(acc, before, "gemm_nn k=0 accumulate");
+}
+
+TEST(Kernels, ConcurrentCallsAreBitwiseIdenticalToSequential) {
+  // The serving layer runs one kernel stream per worker thread; concurrent
+  // invocations over the same inputs must produce byte-identical outputs.
+  const Matrix a = random_matrix(47, 33, 100);
+  const Matrix b = random_matrix(33, 29, 101);
+  const Matrix sequential = matmul(a, b);
+
+  constexpr std::size_t kThreads = 8;
+  std::vector<Matrix> results(kThreads);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] { results[t] = matmul(a, b); });
+  }
+  for (std::thread& t : threads) t.join();
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    expect_bitwise_equal(results[t], sequential, "concurrent matmul");
+  }
+}
+
+TEST(Kernels, ShapeMismatchThrows) {
+  const Matrix a = random_matrix(3, 4, 1);
+  const Matrix b = random_matrix(5, 6, 2);
+  EXPECT_THROW(matmul(a, b), std::invalid_argument);
+  EXPECT_THROW(matmul_nt(a, b), std::invalid_argument);
+  EXPECT_THROW(matmul_tn(a, b), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace powerlens::linalg::kernels

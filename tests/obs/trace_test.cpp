@@ -46,7 +46,11 @@ class TraceGoldenShape : public ::testing::Test {
   static constexpr std::size_t kNetworks = 4;
 
   void SetUp() override {
-    path_ = testing::TempDir() + "powerlens_trace_test.json";
+    // Unique per test case: under `ctest -j` each case is its own process,
+    // and a shared filename makes concurrent cases clobber each other.
+    path_ = testing::TempDir() + "powerlens_trace_test_" +
+            testing::UnitTest::GetInstance()->current_test_info()->name() +
+            ".json";
     TraceWriter& tw = default_trace();
     ASSERT_TRUE(tw.open(path_));
 
