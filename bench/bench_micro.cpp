@@ -27,6 +27,7 @@
 #include <cstdio>
 #include <fstream>
 #include <limits>
+#include <optional>
 #include <random>
 #include <stdexcept>
 #include <string>
@@ -170,31 +171,67 @@ void naive_matmul(const linalg::Matrix& a, const linalg::Matrix& b,
   }
 }
 
+// Restores the automatic dispatch choice when a forced-path timing block
+// ends, even if a cross-check throws.
+class PathOverrideGuard {
+ public:
+  explicit PathOverrideGuard(linalg::kernels::DispatchPath path) {
+    linalg::kernels::set_path_override(path);
+  }
+  ~PathOverrideGuard() { linalg::kernels::set_path_override(std::nullopt); }
+};
+
 std::vector<std::string> gemm_records() {
+  // The dispatch seam guarantees every path computes identical bits, so the
+  // scalar and SIMD columns time the same function; `simd` is whatever
+  // active_path() picks on this host (== scalar where no SIMD TU is built,
+  // and the speedup column then reads ~1.0).
+  const linalg::kernels::DispatchPath simd_path = linalg::kernels::active_path();
   std::vector<std::string> records;
-  for (const std::size_t n : {64ul, 128ul, 256ul}) {
+  for (const std::size_t n : {64ul, 128ul, 256ul, 512ul}) {
     const linalg::Matrix a = random_matrix(n, n, 100 + n);
     const linalg::Matrix b = random_matrix(n, n, 200 + n);
     linalg::Matrix c_naive(n, n);
     linalg::Matrix c_blocked(n, n);
     naive_matmul(a, b, c_naive);
     linalg::kernels::matmul_into(a, b, c_blocked);
+    // gemm_nn keeps one accumulator per output walking k ascending on every
+    // path, so agreement with the naive loop stays bitwise.
     if (linalg::Matrix::max_abs_diff(c_naive, c_blocked) != 0.0) {
       throw std::runtime_error("gemm: blocked result is not bitwise naive");
     }
-    const int reps = n <= 128 ? 9 : 5;
+    const int reps = n <= 128 ? 9 : (n <= 256 ? 5 : 3);
     const double naive_ms = best_of_ms([&] { naive_matmul(a, b, c_naive); },
                                       reps);
-    const double blocked_ms = best_of_ms(
+    double scalar_ms = 0.0;
+    {
+      const PathOverrideGuard guard(linalg::kernels::DispatchPath::kScalar);
+      linalg::Matrix c_scalar(n, n);
+      linalg::kernels::matmul_into(a, b, c_scalar);
+      if (linalg::Matrix::max_abs_diff(c_scalar, c_blocked) != 0.0) {
+        throw std::runtime_error("gemm: scalar path is not bitwise simd");
+      }
+      scalar_ms = best_of_ms(
+          [&] { linalg::kernels::matmul_into(a, b, c_scalar); }, reps);
+    }
+    const double simd_ms = best_of_ms(
         [&] { linalg::kernels::matmul_into(a, b, c_blocked); }, reps);
     records.push_back(obs::JsonWriter()
                           .field("n", static_cast<double>(n))
                           .field("naive_ms", naive_ms)
-                          .field("blocked_ms", blocked_ms)
-                          .field("speedup", naive_ms / blocked_ms)
+                          .field("blocked_ms", simd_ms)
+                          .field("speedup", naive_ms / simd_ms)
+                          .field("scalar_ms", scalar_ms)
+                          .field("simd_ms", simd_ms)
+                          .field("simd_path",
+                                 linalg::kernels::path_name(simd_path))
+                          .field("simd_speedup", scalar_ms / simd_ms)
                           .str());
-    std::printf("gemm       n=%3zu  naive %8.3f ms  blocked %8.3f ms  %5.2fx\n",
-                n, naive_ms, blocked_ms, naive_ms / blocked_ms);
+    std::printf(
+        "gemm       n=%3zu  naive %8.3f ms  scalar %8.3f ms  %s %8.3f ms  "
+        "%5.2fx over naive, %5.2fx over scalar\n",
+        n, naive_ms, scalar_ms, linalg::kernels::path_name(simd_path), simd_ms,
+        naive_ms / simd_ms, scalar_ms / simd_ms);
   }
   return records;
 }
@@ -363,20 +400,49 @@ std::string plan_compute_record() {
                9) /
            static_cast<double>(graphs.size());
   };
-  // Interleave the two paths so slow-clock phases on shared runners hit
-  // both sides equally.
+  // The coalesced-miss path: all graphs planned through one optimize_batch
+  // call (shared eigendecomposition sweeps). Cross-check first — batching
+  // must never change a plan.
+  std::vector<const dnn::Graph*> graph_ptrs;
+  for (const dnn::Graph& g : graphs) graph_ptrs.push_back(&g);
+  {
+    const std::vector<core::OptimizationPlan> batch =
+        framework.optimize_batch(graph_ptrs, &ws);
+    for (std::size_t i = 0; i < graphs.size(); ++i) {
+      if (!(batch[i] == framework.optimize(graphs[i], &ws))) {
+        throw std::runtime_error("plan_compute: batched path changed a plan");
+      }
+    }
+  }
+  const auto time_batched = [&] {
+    return best_of_ms(
+               [&] {
+                 benchmark::DoNotOptimize(
+                     framework.optimize_batch(graph_ptrs, &ws));
+               },
+               9) /
+           static_cast<double>(graphs.size());
+  };
+  // Interleave the paths so slow-clock phases on shared runners hit all
+  // sides equally.
   double heap_ms = time_path(nullptr);
   double workspace_ms = time_path(&ws);
+  double batched_ms = time_batched();
   heap_ms = std::min(heap_ms, time_path(nullptr));
   workspace_ms = std::min(workspace_ms, time_path(&ws));
+  batched_ms = std::min(batched_ms, time_batched());
   std::printf(
-      "plan       heap %8.3f ms/plan  workspace %8.3f ms/plan  %5.2fx\n",
-      heap_ms, workspace_ms, heap_ms / workspace_ms);
+      "plan       heap %8.3f ms/plan  workspace %8.3f ms/plan  batched "
+      "%8.3f ms/plan  %5.2fx serial, %5.2fx batched\n",
+      heap_ms, workspace_ms, batched_ms, heap_ms / workspace_ms,
+      heap_ms / batched_ms);
   return obs::JsonWriter()
       .field("graphs", static_cast<double>(graphs.size()))
       .field("heap_ms_per_plan", heap_ms)
       .field("workspace_ms_per_plan", workspace_ms)
       .field("speedup", heap_ms / workspace_ms)
+      .field("batched_ms_per_plan", batched_ms)
+      .field("batched_speedup_vs_serial", workspace_ms / batched_ms)
       .str();
 }
 

@@ -3,6 +3,9 @@
 #include "features/depthwise.hpp"
 #include "linalg/stats.hpp"
 
+#include <stdexcept>
+#include <vector>
+
 namespace powerlens::clustering {
 
 PowerView build_power_view(const dnn::Graph& graph,
@@ -41,6 +44,30 @@ void power_distances_into(const linalg::Matrix& depthwise_features,
       ws.lease(depthwise_features.rows(), depthwise_features.cols());
   scaler.transform_into(depthwise_features, *scaled);
   power_distance_matrix_into(*scaled, params, ws, dist);
+}
+
+void power_distances_batch_into(
+    std::span<const linalg::Matrix* const> depthwise_tables,
+    const DistanceParams& params, linalg::Workspace& ws,
+    std::span<linalg::Matrix* const> dists) {
+  if (depthwise_tables.size() != dists.size()) {
+    throw std::invalid_argument(
+        "power_distances_batch: tables/dists size mismatch");
+  }
+  // Scale every table first (leases stay alive across the batch), then one
+  // batched distance call shares the eigendecomposition sweeps.
+  std::vector<linalg::Workspace::Lease> scaled;
+  scaled.reserve(depthwise_tables.size());
+  std::vector<const linalg::Matrix*> scaled_ptrs;
+  scaled_ptrs.reserve(depthwise_tables.size());
+  for (const linalg::Matrix* table : depthwise_tables) {
+    linalg::StandardScaler scaler;
+    scaler.fit(*table);
+    scaled.push_back(ws.lease(table->rows(), table->cols()));
+    scaler.transform_into(*table, *scaled.back());
+    scaled_ptrs.push_back(&*scaled.back());
+  }
+  power_distance_matrix_batch_into(scaled_ptrs, params, ws, dists);
 }
 
 PowerView build_power_view_from_distances(

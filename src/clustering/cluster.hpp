@@ -55,6 +55,18 @@ void power_distances_into(const linalg::Matrix& depthwise_features,
                           const DistanceParams& params, linalg::Workspace& ws,
                           linalg::Matrix& dist);
 
+// Batched variant over many networks' unscaled feature tables: scales each
+// table with its own fitted scaler (exactly as power_distances_into does),
+// then computes every distance matrix through one shared
+// eigendecomposition batch (power_distance_matrix_batch_into). dists[i] is
+// bitwise identical to power_distances_into on tables[i]; `tables` and
+// `dists` must be the same length. This is the coalesced plan-compute
+// path's entry into Algorithm 1.
+void power_distances_batch_into(
+    std::span<const linalg::Matrix* const> depthwise_tables,
+    const DistanceParams& params, linalg::Workspace& ws,
+    std::span<linalg::Matrix* const> dists);
+
 // DBSCAN + post-processing on a precomputed power-distance matrix.
 PowerView build_power_view_from_distances(const linalg::Matrix& distances,
                                           const ClusteringHyperparams& hyper);

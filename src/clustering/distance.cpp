@@ -11,6 +11,40 @@
 
 namespace powerlens::clustering {
 
+void mahalanobis_from_whitening_into(const linalg::Matrix& x,
+                                     const linalg::Matrix& w,
+                                     linalg::Workspace& ws,
+                                     linalg::Matrix& dist) {
+  const std::size_t n = x.rows();
+  const std::size_t d = x.cols();
+  if (n == 0 || d == 0) {
+    throw std::invalid_argument("mahalanobis_distances: empty feature table");
+  }
+  if (w.cols() != d) {
+    throw std::invalid_argument(
+        "mahalanobis_from_whitening: factor width does not match features");
+  }
+  const std::size_t k = w.rows();
+
+  dist.reshape(n, n);
+  if (k == 0) return;  // zero covariance: all rows identical under P
+
+  // P = Wᵀ W; d²(i,j) = ‖W(xᵢ − xⱼ)‖² = ‖yᵢ − yⱼ‖² with Y = X Wᵀ. The mean
+  // never needs subtracting — it cancels in the row differences.
+  linalg::Workspace::Lease y = ws.lease(n, k);
+  linalg::kernels::gemm_nt(n, k, d, x.data().data(), d, w.data().data(), d,
+                           y->data().data(), k);
+  // Only the lower Gram triangle is materialized (each entry the same
+  // lane-tree dot the full gemm_nt would produce), and the sqrt epilogue
+  // runs inside the kernel layer so it vectorizes — bitwise equal to the
+  // classic sqrt(max(nᵢ + nⱼ - 2·g, 0)) mirror loop it replaced.
+  linalg::Workspace::Lease gram = ws.lease(n, n);
+  linalg::kernels::syrk_nt(n, k, y->data().data(), k, gram->data().data(), n);
+  linalg::Workspace::Lease norms = ws.lease(1, n);
+  linalg::kernels::gram_to_dist(n, gram->data().data(), n, dist.data().data(),
+                                n, norms->data().data());
+}
+
 void mahalanobis_distances_into(const linalg::Matrix& x,
                                 linalg::Workspace& ws, linalg::Matrix& dist) {
   const std::size_t n = x.rows();
@@ -20,31 +54,8 @@ void mahalanobis_distances_into(const linalg::Matrix& x,
   }
   linalg::Workspace::Lease cov = ws.lease(d, d);
   linalg::covariance_into(x, *cov);
-  // P = Wᵀ W; d²(i,j) = ‖W(xᵢ − xⱼ)‖² = ‖yᵢ − yⱼ‖² with Y = X Wᵀ. The mean
-  // never needs subtracting — it cancels in the row differences.
   const linalg::Matrix w = linalg::whitening_factor_spd(*cov);
-  const std::size_t k = w.rows();
-
-  dist.reshape(n, n);
-  if (k == 0) return;  // zero covariance: all rows identical under P
-
-  linalg::Workspace::Lease y = ws.lease(n, k);
-  linalg::kernels::gemm_nt(n, k, d, x.data().data(), d, w.data().data(), d,
-                           y->data().data(), k);
-  linalg::Workspace::Lease gram = ws.lease(n, n);
-  linalg::kernels::gemm_nt(n, n, k, y->data().data(), k, y->data().data(), k,
-                           gram->data().data(), n);
-
-  const linalg::Matrix& g = *gram;
-  for (std::size_t i = 0; i < n; ++i) {
-    const double sq_i = g(i, i);
-    for (std::size_t j = i + 1; j < n; ++j) {
-      const double dd =
-          std::sqrt(std::max(sq_i + g(j, j) - 2.0 * g(i, j), 0.0));
-      dist(i, j) = dd;
-      dist(j, i) = dd;
-    }
-  }
+  mahalanobis_from_whitening_into(x, w, ws, dist);
 }
 
 linalg::Matrix mahalanobis_distances(const linalg::Matrix& x) {
@@ -126,6 +137,29 @@ linalg::Matrix spacing_penalty(std::size_t n, double lambda) {
   return r;
 }
 
+void power_distance_blend_into(const DistanceParams& params,
+                               linalg::Workspace& ws, linalg::Matrix& out) {
+  const std::size_t n = out.rows();
+
+  // Normalize the feature distance to [0, 1] so alpha weighs two
+  // commensurate terms regardless of feature dimensionality.
+  double max_d = 0.0;
+  for (const double v : out.data()) max_d = std::max(max_d, v);
+  const double inv_max = max_d > 0.0 ? 1.0 / max_d : 1.0;
+
+  // The spacing penalty depends only on |i - j|: one exp per offset, then a
+  // single fused normalize-and-blend kernel pass over the one output matrix
+  // (previously: three n x n matrices and a separate max-scan).
+  linalg::Workspace::Lease penalty = ws.lease(1, n);
+  (*penalty)(0, 0) = 0.0;
+  for (std::size_t t = 1; t < n; ++t) {
+    (*penalty)(0, t) =
+        1.0 - std::exp(-params.lambda * static_cast<double>(t));
+  }
+  linalg::kernels::dist_blend(n, params.alpha, inv_max, 1.0 - params.alpha,
+                              penalty->data().data(), out.data().data(), n);
+}
+
 void power_distance_matrix_into(const linalg::Matrix& scaled_features,
                                 const DistanceParams& params,
                                 linalg::Workspace& ws, linalg::Matrix& out) {
@@ -137,29 +171,51 @@ void power_distance_matrix_into(const linalg::Matrix& scaled_features,
   } else {
     euclidean_distances_into(scaled_features, out);
   }
-  const std::size_t n = out.rows();
+  power_distance_blend_into(params, ws, out);
+}
 
-  // Normalize the feature distance to [0, 1] so alpha weighs two
-  // commensurate terms regardless of feature dimensionality.
-  double max_d = 0.0;
-  for (const double v : out.data()) max_d = std::max(max_d, v);
-  const double inv_max = max_d > 0.0 ? 1.0 / max_d : 1.0;
-
-  // The spacing penalty depends only on |i - j|: one exp per offset, then a
-  // single fused normalize-and-blend pass over the one output matrix
-  // (previously: three n x n matrices and a separate max-scan).
-  linalg::Workspace::Lease penalty = ws.lease(1, n);
-  for (std::size_t t = 1; t < n; ++t) {
-    (*penalty)(0, t) =
-        1.0 - std::exp(-params.lambda * static_cast<double>(t));
+void power_distance_matrix_batch_into(
+    std::span<const linalg::Matrix* const> tables,
+    const DistanceParams& params, linalg::Workspace& ws,
+    std::span<linalg::Matrix* const> dists) {
+  if (tables.size() != dists.size()) {
+    throw std::invalid_argument(
+        "power_distance_matrix_batch: tables/dists size mismatch");
   }
-  const double alpha = params.alpha;
-  const double beta = 1.0 - params.alpha;
-  for (std::size_t i = 0; i < n; ++i) {
-    for (std::size_t j = 0; j < n; ++j) {
-      const std::size_t off = i < j ? j - i : i - j;
-      out(i, j) = alpha * (out(i, j) * inv_max) + beta * (*penalty)(0, off);
+  if (params.alpha < 0.0 || params.alpha > 1.0) {
+    throw std::invalid_argument("power_distance_matrix: alpha outside [0,1]");
+  }
+  if (tables.empty()) return;
+
+  if (params.metric != FeatureMetric::kMahalanobis) {
+    for (std::size_t i = 0; i < tables.size(); ++i) {
+      euclidean_distances_into(*tables[i], *dists[i]);
+      power_distance_blend_into(params, ws, *dists[i]);
     }
+    return;
+  }
+
+  // One covariance per table, then ONE shared eigendecomposition batch —
+  // the per-table arithmetic is exactly the serial path's, so each output
+  // matrix is bitwise identical to power_distance_matrix_into on its table.
+  std::vector<linalg::Workspace::Lease> covs;
+  covs.reserve(tables.size());
+  std::vector<const linalg::Matrix*> cov_ptrs;
+  cov_ptrs.reserve(tables.size());
+  for (const linalg::Matrix* x : tables) {
+    if (x->rows() == 0 || x->cols() == 0) {
+      throw std::invalid_argument(
+          "mahalanobis_distances: empty feature table");
+    }
+    covs.push_back(ws.lease(x->cols(), x->cols()));
+    linalg::covariance_into(*x, *covs.back());
+    cov_ptrs.push_back(&*covs.back());
+  }
+  const std::vector<linalg::Matrix> factors =
+      linalg::batched_whitening(cov_ptrs);
+  for (std::size_t i = 0; i < tables.size(); ++i) {
+    mahalanobis_from_whitening_into(*tables[i], factors[i], ws, *dists[i]);
+    power_distance_blend_into(params, ws, *dists[i]);
   }
 }
 

@@ -28,6 +28,8 @@
 #include "linalg/matrix.hpp"
 #include "linalg/workspace.hpp"
 
+#include <span>
+
 namespace powerlens::clustering {
 
 enum class FeatureMetric {
@@ -49,6 +51,17 @@ linalg::Matrix mahalanobis_distances(const linalg::Matrix& x);
 // `dist` (reshaped) — the allocation-free serving-path variant.
 void mahalanobis_distances_into(const linalg::Matrix& x,
                                 linalg::Workspace& ws, linalg::Matrix& dist);
+
+// The post-eigendecomposition half of the pipeline: pairwise distances from
+// a precomputed whitening factor `w` of cov(x) (linalg::whitening_factor_spd
+// or one element of linalg::batched_whitening). mahalanobis_distances_into
+// is exactly covariance + whitening + this call; batched plan computation
+// uses the split to push many covariances through one shared
+// eigendecomposition batch and then finish each table here.
+void mahalanobis_from_whitening_into(const linalg::Matrix& x,
+                                     const linalg::Matrix& w,
+                                     linalg::Workspace& ws,
+                                     linalg::Matrix& dist);
 
 // Reference O(n²·d²) implementation (per-pair diffᵀ·pinv(cov)·diff). Kept
 // as the equivalence oracle for tests and the before/after benchmark; the
@@ -72,5 +85,25 @@ linalg::Matrix power_distance_matrix(const linalg::Matrix& scaled_features,
 void power_distance_matrix_into(const linalg::Matrix& scaled_features,
                                 const DistanceParams& params,
                                 linalg::Workspace& ws, linalg::Matrix& out);
+
+// The normalize-and-blend tail of power_distance_matrix_into: `out` holds a
+// raw feature-distance matrix on entry and the final power distance on
+// exit. Exposed so the batched path can apply it after computing feature
+// distances from a shared whitening batch; power_distance_matrix_into is
+// exactly feature distances + this call.
+void power_distance_blend_into(const DistanceParams& params,
+                               linalg::Workspace& ws, linalg::Matrix& out);
+
+// Batched power distances for many scaled feature tables: with the
+// Mahalanobis metric, every table's covariance goes through ONE
+// linalg::batched_whitening call (shared Jacobi sweep rounds) before each
+// table finishes independently; with the Euclidean metric this is a plain
+// loop. dists[i] is bitwise identical to power_distance_matrix_into on
+// tables[i] — batching changes sharing, never results (test-asserted).
+// `tables` and `dists` must be the same length.
+void power_distance_matrix_batch_into(
+    std::span<const linalg::Matrix* const> tables,
+    const DistanceParams& params, linalg::Workspace& ws,
+    std::span<linalg::Matrix* const> dists);
 
 }  // namespace powerlens::clustering

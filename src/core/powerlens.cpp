@@ -247,6 +247,77 @@ OptimizationPlan PowerLens::optimize(const dnn::Graph& graph,
   return plan;
 }
 
+std::vector<OptimizationPlan> PowerLens::optimize_batch(
+    std::span<const dnn::Graph* const> graphs, linalg::Workspace* ws) const {
+  if (!trained()) {
+    throw std::logic_error("PowerLens: optimize before train");
+  }
+  std::vector<OptimizationPlan> plans;
+  plans.reserve(graphs.size());
+  if (graphs.empty()) return plans;
+
+  obs::TraceWriter& tw = obs::default_trace();
+  obs::ScopedSpan opt_span(
+      tw, "powerlens_optimize_batch", "pipeline",
+      {obs::TraceArg::num("graphs", static_cast<double>(graphs.size()))});
+
+  // The distance batch needs a workspace even on the heap path; a local one
+  // only changes buffer provenance, never values.
+  linalg::Workspace local_ws;
+  linalg::Workspace& batch_ws = ws != nullptr ? *ws : local_ws;
+
+  // Phase 1, per graph: predicted clustering hyperparameters and the
+  // unscaled depthwise feature table (optimize() steps 1-2a).
+  std::vector<clustering::ClusteringHyperparams> hps;
+  hps.reserve(graphs.size());
+  std::vector<linalg::Matrix> tables;
+  tables.reserve(graphs.size());
+  for (const dnn::Graph* graph : graphs) {
+    const features::GlobalFeatures net_features =
+        features::GlobalFeatureExtractor::extract(*graph);
+    const int cls = hyper_model_.predict(net_features, ws);
+    hps.push_back(config_.dataset.grid.at(static_cast<std::size_t>(cls)));
+    tables.push_back(features::DepthwiseFeatureExtractor::extract(*graph));
+  }
+
+  // Phase 2: every graph's power-distance matrix through one shared
+  // eigendecomposition batch.
+  std::vector<const linalg::Matrix*> table_ptrs;
+  table_ptrs.reserve(tables.size());
+  for (const linalg::Matrix& t : tables) table_ptrs.push_back(&t);
+  std::vector<linalg::Workspace::Lease> dist_leases;
+  dist_leases.reserve(graphs.size());
+  std::vector<linalg::Matrix*> dist_ptrs;
+  dist_ptrs.reserve(graphs.size());
+  for (std::size_t i = 0; i < graphs.size(); ++i) {
+    dist_leases.push_back(batch_ws.lease(0, 0));
+    dist_ptrs.push_back(&*dist_leases.back());
+  }
+  {
+    obs::ScopedSpan span(tw, "batched_power_distances", "pipeline");
+    clustering::power_distances_batch_into(
+        table_ptrs, config_.dataset.distance, batch_ws, dist_ptrs);
+  }
+
+  // Phase 3, per graph: clustering, feasibility post-processing, per-block
+  // frequency decisions (optimize() steps 2b-5, same order per graph).
+  for (std::size_t i = 0; i < graphs.size(); ++i) {
+    const dnn::Graph& graph = *graphs[i];
+    const std::size_t cpu_levels[] = {platform_->max_cpu_level()};
+    const hw::CostTable costs(*platform_, graph.layers(), cpu_levels);
+    clustering::PowerView view = enforce_min_block_duration(
+        costs,
+        clustering::build_power_view_from_distances(*dist_ptrs[i], hps[i]),
+        *platform_, feasible_block_duration(costs, *platform_));
+    OptimizationPlan plan = plan_for_view(graph, std::move(view), false, ws);
+    plan.hyper = hps[i];
+    plans.push_back(std::move(plan));
+  }
+  obs::log_debug("powerlens", "optimized graph batch",
+                 {{"graphs", static_cast<double>(plans.size())}});
+  return plans;
+}
+
 OptimizationPlan PowerLens::optimize_oracle(const dnn::Graph& graph) const {
   // The exhaustive-sweep pipeline touches every (block, gpu level) pair many
   // times over; one CostTable covers the hyperparameter sweep, feasibility

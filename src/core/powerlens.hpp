@@ -25,7 +25,9 @@
 #include <iosfwd>
 #include <memory>
 #include <optional>
+#include <span>
 #include <string>
+#include <vector>
 
 namespace powerlens::core {
 
@@ -110,6 +112,17 @@ class PowerLens {
   // hot loops.
   OptimizationPlan optimize(const dnn::Graph& graph,
                             linalg::Workspace* ws = nullptr) const;
+
+  // Batched optimize(): plans many graphs in one call, pushing every
+  // graph's clustering covariance through ONE shared eigendecomposition
+  // batch (clustering::power_distances_batch_into) instead of one
+  // decomposition per graph. plans[i] is bitwise identical to
+  // optimize(*graphs[i], ws) — batching changes wall-clock, never results
+  // (test-asserted; the serving layer's coalesced plan-cache misses depend
+  // on it). Throws std::logic_error before train().
+  std::vector<OptimizationPlan> optimize_batch(
+      std::span<const dnn::Graph* const> graphs,
+      linalg::Workspace* ws = nullptr) const;
 
   // Analytic upper bound: the same pipeline but with exhaustive-sweep ground
   // truth in place of both models (dataset-generation labelling rules).

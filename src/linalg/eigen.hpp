@@ -10,6 +10,7 @@
 
 #include "linalg/matrix.hpp"
 
+#include <span>
 #include <vector>
 
 namespace powerlens::linalg {
@@ -26,6 +27,16 @@ struct EigenDecomposition {
 // (asymmetry beyond `symmetry_tol` * frobenius_norm).
 EigenDecomposition eigen_symmetric(const Matrix& a, double symmetry_tol = 1e-9);
 
+// Batched decomposition: drives many independent symmetric matrices through
+// shared cyclic-Jacobi sweep rounds (the batched offline path — one call
+// decomposes every covariance a coalesced plan-compute batch needs).
+// Per-matrix convergence is checked on the schedule eigen_symmetric uses
+// solo and rotations never cross matrices, so result i is bitwise identical
+// to eigen_symmetric(*as[i]). Validates every input before decomposing any;
+// throws std::invalid_argument as eigen_symmetric would.
+std::vector<EigenDecomposition> eigen_symmetric_batch(
+    std::span<const Matrix* const> as, double symmetry_tol = 1e-9);
+
 // Moore-Penrose pseudo-inverse of a symmetric PSD matrix. Eigenvalues whose
 // magnitude is below rcond * max_eigenvalue are treated as zero.
 Matrix pseudo_inverse_spd(const Matrix& a, double rcond = 1e-10);
@@ -39,5 +50,11 @@ Matrix pseudo_inverse_spd(const Matrix& a, double rcond = 1e-10);
 // non-positive ones, which a PSD input only produces through rounding — are
 // dropped; with nothing kept, W is a 0 x n matrix.
 Matrix whitening_factor_spd(const Matrix& a, double rcond = 1e-10);
+
+// Batched whitening_factor_spd: one eigen_symmetric_batch call followed by
+// the per-matrix factor construction. Element i is bitwise identical to
+// whitening_factor_spd(*as[i], rcond).
+std::vector<Matrix> batched_whitening(std::span<const Matrix* const> as,
+                                      double rcond = 1e-10);
 
 }  // namespace powerlens::linalg

@@ -1,6 +1,26 @@
+// Dispatch seam + shape-checked conveniences. The kernel arithmetic itself
+// lives in kernels_common.hpp, instantiated per backend in
+// kernels_scalar/avx2/neon.cpp; this file only picks which table runs.
+//
+// Resolution order (first match wins):
+//   1. POWERLENS_FORCE_SCALAR build (-DPOWERLENS_SIMD=SCALAR): scalar,
+//      unconditionally — no other backend is even compiled in.
+//   2. set_path_override() — the test/bench pin.
+//   3. POWERLENS_KERNEL_PATH env var: "scalar" | "simd" (best available
+//      vector path, scalar if none) | "auto"/unset.
+//   4. CPU detection: AVX2 if compiled in and the CPU reports it; NEON is
+//      baseline on aarch64; otherwise scalar.
+// The chosen table is cached in one atomic pointer; every path produces
+// bitwise-identical results (kernels.hpp contract), so a theoretical race
+// between first-use resolutions is benign — both writers store a table
+// computing the same bits.
 #include "linalg/kernels.hpp"
 
-#include <algorithm>
+#include "linalg/kernels_common.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
 #include <stdexcept>
 #include <string>
 
@@ -8,287 +28,165 @@ namespace powerlens::linalg::kernels {
 
 namespace {
 
-// All inner loops below keep one accumulator per output element and walk k
-// in ascending order; see the determinism contract in kernels.hpp. Edge
-// tiles fall back to the same single-accumulator scalar loop, so the edge
-// path and the 4x4 path produce bitwise-identical elements.
+using detail::KernelTable;
 
-// Scalar edge handler shared by the NT-shaped kernels: C(i, j) over the
-// k-panel [p0, p1) with rows of A and B both contiguous in k.
-inline void edge_nt(std::size_t i, std::size_t j, std::size_t p0,
-                    std::size_t p1, const double* a, std::size_t lda,
-                    const double* b, std::size_t ldb, double* c,
-                    std::size_t ldc, bool fresh) {
-  const double* ai = a + i * lda;
-  const double* bj = b + j * ldb;
-  double acc = fresh ? 0.0 : c[i * ldc + j];
-  for (std::size_t p = p0; p < p1; ++p) acc += ai[p] * bj[p];
-  c[i * ldc + j] = acc;
+const KernelTable* table_for(DispatchPath path) noexcept {
+  switch (path) {
+    case DispatchPath::kScalar:
+      return &detail::scalar_table();
+    case DispatchPath::kAvx2:
+#if defined(POWERLENS_HAVE_AVX2)
+      return &detail::avx2_table();
+#else
+      return nullptr;
+#endif
+    case DispatchPath::kNeon:
+#if defined(POWERLENS_HAVE_NEON)
+      return &detail::neon_table();
+#else
+      return nullptr;
+#endif
+  }
+  return nullptr;
 }
 
-// C = A · Bᵀ with an optional fused epilogue (bias add, then ReLU) applied
-// after the final k-panel — the shape of the dense-layer forward.
-void gemm_nt_impl(std::size_t m, std::size_t n, std::size_t k, const double* a,
-                  std::size_t lda, const double* b, std::size_t ldb, double* c,
-                  std::size_t ldc, bool accumulate, const double* bias,
-                  bool relu) {
-  const bool has_epilogue = bias != nullptr || relu;
-  for (std::size_t p0 = 0; p0 < k || p0 == 0; p0 += kBlockDepth) {
-    const std::size_t p1 = std::min(k, p0 + kBlockDepth);
-    const bool fresh = p0 == 0 && !accumulate;
-    const bool last = p1 == k;
-    for (std::size_t j0 = 0; j0 < n || j0 == 0; j0 += kBlockCols) {
-      const std::size_t j1 = std::min(n, j0 + kBlockCols);
-      std::size_t i = 0;
-      for (; i + kRegRows <= m; i += kRegRows) {
-        const double* a0 = a + (i + 0) * lda;
-        const double* a1 = a + (i + 1) * lda;
-        const double* a2 = a + (i + 2) * lda;
-        const double* a3 = a + (i + 3) * lda;
-        std::size_t j = j0;
-        for (; j + kRegCols <= j1; j += kRegCols) {
-          const double* b0 = b + (j + 0) * ldb;
-          const double* b1 = b + (j + 1) * ldb;
-          const double* b2 = b + (j + 2) * ldb;
-          const double* b3 = b + (j + 3) * ldb;
-          double t[kRegRows][kRegCols];
-          for (std::size_t r = 0; r < kRegRows; ++r) {
-            for (std::size_t s = 0; s < kRegCols; ++s) {
-              t[r][s] = fresh ? 0.0 : c[(i + r) * ldc + (j + s)];
-            }
-          }
-          for (std::size_t p = p0; p < p1; ++p) {
-            const double av[kRegRows] = {a0[p], a1[p], a2[p], a3[p]};
-            const double bv[kRegCols] = {b0[p], b1[p], b2[p], b3[p]};
-            for (std::size_t r = 0; r < kRegRows; ++r) {
-              for (std::size_t s = 0; s < kRegCols; ++s) {
-                t[r][s] += av[r] * bv[s];
-              }
-            }
-          }
-          if (last && has_epilogue) {
-            for (std::size_t r = 0; r < kRegRows; ++r) {
-              for (std::size_t s = 0; s < kRegCols; ++s) {
-                double v = t[r][s];
-                if (bias != nullptr) v += bias[j + s];
-                if (relu) v = v > 0.0 ? v : 0.0;
-                t[r][s] = v;
-              }
-            }
-          }
-          for (std::size_t r = 0; r < kRegRows; ++r) {
-            for (std::size_t s = 0; s < kRegCols; ++s) {
-              c[(i + r) * ldc + (j + s)] = t[r][s];
-            }
-          }
-        }
-        for (; j < j1; ++j) {
-          for (std::size_t r = 0; r < kRegRows; ++r) {
-            edge_nt(i + r, j, p0, p1, a, lda, b, ldb, c, ldc, fresh);
-            if (last && has_epilogue) {
-              double v = c[(i + r) * ldc + j];
-              if (bias != nullptr) v += bias[j];
-              if (relu) v = v > 0.0 ? v : 0.0;
-              c[(i + r) * ldc + j] = v;
-            }
-          }
-        }
-      }
-      for (; i < m; ++i) {
-        for (std::size_t j = j0; j < j1; ++j) {
-          edge_nt(i, j, p0, p1, a, lda, b, ldb, c, ldc, fresh);
-          if (last && has_epilogue) {
-            double v = c[i * ldc + j];
-            if (bias != nullptr) v += bias[j];
-            if (relu) v = v > 0.0 ? v : 0.0;
-            c[i * ldc + j] = v;
-          }
-        }
-      }
-      if (n == 0) break;
-    }
-    if (k == 0) break;
+bool cpu_supports(DispatchPath path) noexcept {
+  switch (path) {
+    case DispatchPath::kScalar:
+      return true;
+    case DispatchPath::kAvx2:
+#if defined(POWERLENS_HAVE_AVX2)
+      return __builtin_cpu_supports("avx2") != 0;
+#else
+      return false;
+#endif
+    case DispatchPath::kNeon:
+      // NEON with double lanes is baseline aarch64; if the backend was
+      // compiled in, the CPU has it.
+      return table_for(DispatchPath::kNeon) != nullptr;
   }
+  return false;
+}
+
+const KernelTable& best_simd_or_scalar() noexcept {
+#if defined(POWERLENS_HAVE_AVX2)
+  if (cpu_supports(DispatchPath::kAvx2)) return detail::avx2_table();
+#endif
+#if defined(POWERLENS_HAVE_NEON)
+  return detail::neon_table();
+#endif
+  return detail::scalar_table();
+}
+
+const KernelTable& resolve_auto() noexcept {
+#if defined(POWERLENS_FORCE_SCALAR)
+  return detail::scalar_table();
+#else
+  if (const char* env = std::getenv("POWERLENS_KERNEL_PATH")) {
+    if (std::strcmp(env, "scalar") == 0) return detail::scalar_table();
+    if (std::strcmp(env, "simd") == 0) return best_simd_or_scalar();
+    // "auto" or anything unrecognized falls through to detection.
+  }
+  return best_simd_or_scalar();
+#endif
+}
+
+std::atomic<const KernelTable*> g_table{nullptr};
+
+const KernelTable& table() noexcept {
+  const KernelTable* t = g_table.load(std::memory_order_acquire);
+  if (t == nullptr) {
+    t = &resolve_auto();
+    g_table.store(t, std::memory_order_release);
+  }
+  return *t;
 }
 
 }  // namespace
 
-void gemm_nt(std::size_t m, std::size_t n, std::size_t k, const double* a,
-             std::size_t lda, const double* b, std::size_t ldb, double* c,
-             std::size_t ldc, bool accumulate) {
-  gemm_nt_impl(m, n, k, a, lda, b, ldb, c, ldc, accumulate, nullptr, false);
+DispatchPath active_path() noexcept { return table().path; }
+
+const char* path_name(DispatchPath path) noexcept {
+  switch (path) {
+    case DispatchPath::kScalar:
+      return "scalar";
+    case DispatchPath::kAvx2:
+      return "avx2";
+    case DispatchPath::kNeon:
+      return "neon";
+  }
+  return "unknown";
 }
 
-void affine(std::size_t batch, std::size_t n, std::size_t k, const double* x,
-            std::size_t ldx, const double* w, std::size_t ldw,
-            const double* bias, double* out, std::size_t ldo, bool relu) {
-  gemm_nt_impl(batch, n, k, x, ldx, w, ldw, out, ldo, /*accumulate=*/false,
-               bias, relu);
+bool path_available(DispatchPath path) noexcept {
+#if defined(POWERLENS_FORCE_SCALAR)
+  return path == DispatchPath::kScalar;
+#else
+  return table_for(path) != nullptr && cpu_supports(path);
+#endif
+}
+
+void set_path_override(std::optional<DispatchPath> path) {
+  if (!path.has_value()) {
+    g_table.store(&resolve_auto(), std::memory_order_release);
+    return;
+  }
+  if (!path_available(*path)) {
+    throw std::invalid_argument(std::string("kernel path unavailable: ") +
+                                path_name(*path));
+  }
+  g_table.store(table_for(*path), std::memory_order_release);
 }
 
 void gemm_nn(std::size_t m, std::size_t n, std::size_t k, const double* a,
              std::size_t lda, const double* b, std::size_t ldb, double* c,
              std::size_t ldc, bool accumulate) {
-  for (std::size_t p0 = 0; p0 < k || p0 == 0; p0 += kBlockDepth) {
-    const std::size_t p1 = std::min(k, p0 + kBlockDepth);
-    const bool fresh = p0 == 0 && !accumulate;
-    for (std::size_t j0 = 0; j0 < n || j0 == 0; j0 += kBlockCols) {
-      const std::size_t j1 = std::min(n, j0 + kBlockCols);
-      std::size_t i = 0;
-      for (; i + kRegRows <= m; i += kRegRows) {
-        const double* a0 = a + (i + 0) * lda;
-        const double* a1 = a + (i + 1) * lda;
-        const double* a2 = a + (i + 2) * lda;
-        const double* a3 = a + (i + 3) * lda;
-        std::size_t j = j0;
-        for (; j + kRegCols <= j1; j += kRegCols) {
-          double t[kRegRows][kRegCols];
-          for (std::size_t r = 0; r < kRegRows; ++r) {
-            for (std::size_t s = 0; s < kRegCols; ++s) {
-              t[r][s] = fresh ? 0.0 : c[(i + r) * ldc + (j + s)];
-            }
-          }
-          for (std::size_t p = p0; p < p1; ++p) {
-            const double av[kRegRows] = {a0[p], a1[p], a2[p], a3[p]};
-            const double* bp = b + p * ldb + j;
-            for (std::size_t r = 0; r < kRegRows; ++r) {
-              for (std::size_t s = 0; s < kRegCols; ++s) {
-                t[r][s] += av[r] * bp[s];
-              }
-            }
-          }
-          for (std::size_t r = 0; r < kRegRows; ++r) {
-            for (std::size_t s = 0; s < kRegCols; ++s) {
-              c[(i + r) * ldc + (j + s)] = t[r][s];
-            }
-          }
-        }
-        for (; j < j1; ++j) {
-          for (std::size_t r = 0; r < kRegRows; ++r) {
-            double acc = fresh ? 0.0 : c[(i + r) * ldc + j];
-            const double* ar = a + (i + r) * lda;
-            for (std::size_t p = p0; p < p1; ++p) {
-              acc += ar[p] * b[p * ldb + j];
-            }
-            c[(i + r) * ldc + j] = acc;
-          }
-        }
-      }
-      for (; i < m; ++i) {
-        const double* ar = a + i * lda;
-        for (std::size_t j = j0; j < j1; ++j) {
-          double acc = fresh ? 0.0 : c[i * ldc + j];
-          for (std::size_t p = p0; p < p1; ++p) {
-            acc += ar[p] * b[p * ldb + j];
-          }
-          c[i * ldc + j] = acc;
-        }
-      }
-      if (n == 0) break;
-    }
-    if (k == 0) break;
-  }
+  table().gemm_nn(m, n, k, a, lda, b, ldb, c, ldc, accumulate);
+}
+
+void gemm_nt(std::size_t m, std::size_t n, std::size_t k, const double* a,
+             std::size_t lda, const double* b, std::size_t ldb, double* c,
+             std::size_t ldc, bool accumulate) {
+  table().gemm_nt_fused(m, n, k, a, lda, b, ldb, c, ldc, accumulate, nullptr,
+                        false);
 }
 
 void gemm_tn(std::size_t m, std::size_t n, std::size_t k, const double* a,
              std::size_t lda, const double* b, std::size_t ldb, double* c,
              std::size_t ldc, bool accumulate) {
-  for (std::size_t p0 = 0; p0 < k || p0 == 0; p0 += kBlockDepth) {
-    const std::size_t p1 = std::min(k, p0 + kBlockDepth);
-    const bool fresh = p0 == 0 && !accumulate;
-    for (std::size_t j0 = 0; j0 < n || j0 == 0; j0 += kBlockCols) {
-      const std::size_t j1 = std::min(n, j0 + kBlockCols);
-      std::size_t i = 0;
-      for (; i + kRegRows <= m; i += kRegRows) {
-        std::size_t j = j0;
-        for (; j + kRegCols <= j1; j += kRegCols) {
-          double t[kRegRows][kRegCols];
-          for (std::size_t r = 0; r < kRegRows; ++r) {
-            for (std::size_t s = 0; s < kRegCols; ++s) {
-              t[r][s] = fresh ? 0.0 : c[(i + r) * ldc + (j + s)];
-            }
-          }
-          for (std::size_t p = p0; p < p1; ++p) {
-            const double* ap = a + p * lda + i;
-            const double* bp = b + p * ldb + j;
-            for (std::size_t r = 0; r < kRegRows; ++r) {
-              for (std::size_t s = 0; s < kRegCols; ++s) {
-                t[r][s] += ap[r] * bp[s];
-              }
-            }
-          }
-          for (std::size_t r = 0; r < kRegRows; ++r) {
-            for (std::size_t s = 0; s < kRegCols; ++s) {
-              c[(i + r) * ldc + (j + s)] = t[r][s];
-            }
-          }
-        }
-        for (; j < j1; ++j) {
-          for (std::size_t r = 0; r < kRegRows; ++r) {
-            double acc = fresh ? 0.0 : c[(i + r) * ldc + j];
-            for (std::size_t p = p0; p < p1; ++p) {
-              acc += a[p * lda + (i + r)] * b[p * ldb + j];
-            }
-            c[(i + r) * ldc + j] = acc;
-          }
-        }
-      }
-      for (; i < m; ++i) {
-        for (std::size_t j = j0; j < j1; ++j) {
-          double acc = fresh ? 0.0 : c[i * ldc + j];
-          for (std::size_t p = p0; p < p1; ++p) {
-            acc += a[p * lda + i] * b[p * ldb + j];
-          }
-          c[i * ldc + j] = acc;
-        }
-      }
-      if (n == 0) break;
-    }
-    if (k == 0) break;
-  }
+  table().gemm_tn(m, n, k, a, lda, b, ldb, c, ldc, accumulate);
 }
 
 void gemv(std::size_t m, std::size_t n, const double* a, std::size_t lda,
           const double* x, double* y, bool accumulate) {
-  std::size_t i = 0;
-  for (; i + kRegRows <= m; i += kRegRows) {
-    const double* a0 = a + (i + 0) * lda;
-    const double* a1 = a + (i + 1) * lda;
-    const double* a2 = a + (i + 2) * lda;
-    const double* a3 = a + (i + 3) * lda;
-    double t0 = accumulate ? y[i + 0] : 0.0;
-    double t1 = accumulate ? y[i + 1] : 0.0;
-    double t2 = accumulate ? y[i + 2] : 0.0;
-    double t3 = accumulate ? y[i + 3] : 0.0;
-    for (std::size_t p = 0; p < n; ++p) {
-      const double xv = x[p];
-      t0 += a0[p] * xv;
-      t1 += a1[p] * xv;
-      t2 += a2[p] * xv;
-      t3 += a3[p] * xv;
-    }
-    y[i + 0] = t0;
-    y[i + 1] = t1;
-    y[i + 2] = t2;
-    y[i + 3] = t3;
-  }
-  for (; i < m; ++i) {
-    const double* ai = a + i * lda;
-    double acc = accumulate ? y[i] : 0.0;
-    for (std::size_t p = 0; p < n; ++p) acc += ai[p] * x[p];
-    y[i] = acc;
-  }
+  table().gemv(m, n, a, lda, x, y, accumulate);
+}
+
+void affine(std::size_t batch, std::size_t n, std::size_t k, const double* x,
+            std::size_t ldx, const double* w, std::size_t ldw,
+            const double* bias, double* out, std::size_t ldo, bool relu) {
+  table().gemm_nt_fused(batch, n, k, x, ldx, w, ldw, out, ldo,
+                        /*accumulate=*/false, bias, relu);
 }
 
 void col_sums(std::size_t m, std::size_t n, const double* g, std::size_t ldg,
               double* out, bool accumulate) {
-  if (!accumulate) {
-    for (std::size_t j = 0; j < n; ++j) out[j] = 0.0;
-  }
-  for (std::size_t r = 0; r < m; ++r) {
-    const double* gr = g + r * ldg;
-    for (std::size_t j = 0; j < n; ++j) out[j] += gr[j];
-  }
+  table().col_sums(m, n, g, ldg, out, accumulate);
+}
+
+void syrk_nt(std::size_t n, std::size_t k, const double* a, std::size_t lda,
+             double* c, std::size_t ldc) {
+  table().syrk_nt(n, k, a, lda, c, ldc);
+}
+
+void gram_to_dist(std::size_t n, const double* g, std::size_t ldg,
+                  double* dist, std::size_t ldd, double* scratch) {
+  table().gram_to_dist(n, g, ldg, dist, ldd, scratch);
+}
+
+void dist_blend(std::size_t n, double alpha, double inv_max, double beta,
+                const double* penalty, double* out, std::size_t ldo) {
+  table().dist_blend(n, alpha, inv_max, beta, penalty, out, ldo);
 }
 
 namespace {

@@ -1,83 +1,170 @@
-// Blocked, register-tiled linear-algebra kernels — the single hot-loop layer
+// Blocked, SIMD-dispatched linear-algebra kernels — the single hot-loop layer
 // every dense computation in the reproduction funnels through.
 //
 // Scope: double-precision GEMM in the three orientations the codebase needs
-// (A·B, A·Bᵀ, Aᵀ·B), GEMV, and a fused affine(+ReLU) kernel for the dense
-// layers of the prediction models. Dimensions in this project are
-// tens-to-hundreds, so the kernels block for L1/L2 reuse and tile 4x4 output
-// patches across registers; there is no packing, threading, or ISA dispatch.
+// (A·B, A·Bᵀ, Aᵀ·B), GEMV, a fused affine(+ReLU) kernel for the dense layers
+// of the prediction models, and column sums. Dimensions in this project are
+// tens-to-hundreds, so the kernels block for cache reuse and tile output
+// patches across registers. Since PR 6 there are three interchangeable
+// execution paths behind one dispatch seam — portable scalar (always built),
+// AVX2 (x86-64), and NEON (aarch64) — selected once at first use and
+// overridable for tests and benches (set_path_override) or via the
+// POWERLENS_KERNEL_PATH environment variable ("scalar" | "simd" | "auto").
 //
 // Determinism contract (load-bearing — the serving layer's byte-identical
 // reports and the golden serialization file both depend on it):
 //
-//   * Every output element is produced by ONE accumulator that walks the
-//     inner dimension in ascending order. No split accumulators, no pairwise
-//     or vectorized reduction trees. The result is therefore bitwise
-//     identical to the textbook `sum += a[k] * b[k]` loop, bitwise identical
-//     run-to-run, and independent of the blocking constants below (blocking
-//     only reorders *independent* elements, and k-panels of one element are
-//     combined in ascending-k order through exact stores).
-//   * The blocking schedule is fixed at compile time. It is never derived
-//     from the thread count, the environment, or the input values.
-//   * The kernels themselves are single-threaded and re-entrant; callers
-//     that shard work across threads (nn::train) keep determinism because
-//     each output element is still written by exactly one kernel call.
+//   * The reduction shape of every output element is fixed INDEPENDENTLY of
+//     the host ISA, so scalar, AVX2, and NEON builds produce bitwise
+//     identical results. Two fixed shapes exist:
 //
-// Fused affine adds the bias AFTER the full k-sum (exactly like the naive
-// `dot(x, w) + b`), then applies ReLU, so the fusion shifts no floats.
+//     - Kernels whose reduction axis is contiguous in both operands
+//       (gemm_nt, affine, gemv) use a fixed kLanes=4 accumulator tree: lane
+//       l accumulates the products with reduction index p ≡ l (mod 4) in
+//       ascending p, and the lanes combine in the fixed order
+//       (l0 + l1) + (l2 + l3). The lane width is a compile-time constant of
+//       the CONTRACT, not of the host vector unit: AVX2 maps the tree onto
+//       one 4-wide register, NEON onto two 2-wide registers, and the scalar
+//       path onto four plain accumulators — all the same arithmetic in the
+//       same order. Lane partial sums span the entire reduction extent (no
+//       k-panel round-trips through memory, which would collapse the tree
+//       to one double).
+//
+//     - Kernels whose OUTPUT index is contiguous in memory (gemm_nn,
+//       gemm_tn, col_sums) keep ONE accumulator per output element walking
+//       the reduction index in ascending order — bitwise identical to the
+//       textbook `sum += a[k] * b[k]` loop and unchanged from PR 5. SIMD
+//       vectorizes across independent output elements, which reorders no
+//       additions. k-panels accumulate through exact stores, ascending k.
+//
+//   * Blocking constants and the lane width are fixed at compile time; they
+//     are never derived from the thread count, the environment, the input
+//     values, or the host CPU. Changing which DISPATCH PATH runs never
+//     changes a bit of output; changing the CONTRACT (as PR 6 did, moving
+//     gemm_nt/affine/gemv from one ascending accumulator to the 4-lane
+//     tree) is a deliberate re-baselining event for the golden files.
+//
+//   * All kernel maths is compiled with -ffp-contract=off (top-level
+//     CMakeLists): scalar a*b+c must not fuse into an FMA on hosts whose
+//     baseline ISA has one (aarch64), or the scalar path would diverge from
+//     the explicitly mul-then-add SIMD paths.
+//
+//   * The kernels themselves are single-threaded and re-entrant; callers
+//     that shard work across threads (nn::train, serve workers) keep
+//     determinism because each output element is written by exactly one
+//     kernel call.
+//
+// Fused affine adds the bias AFTER the full lane-tree sum (exactly like
+// `lane_dot(x, w) + b`), then applies ReLU (`v > 0 ? v : 0`, so NaN and
+// -0.0 both normalize to +0.0 — AVX2 maxpd(v, 0) matches this exactly).
 #pragma once
 
 #include "linalg/matrix.hpp"
 
 #include <cstddef>
+#include <optional>
 #include <span>
 
 namespace powerlens::linalg::kernels {
 
 // Fixed blocking schedule. kBlockDepth bounds the k-panel resident in L1
-// alongside a 4-wide output tile; kBlockCols keeps a B/W row panel hot in
-// L2 while the full m extent streams past it.
+// for the output-contiguous kernels; kBlockCols keeps a B/W row panel hot
+// in L2 while the full m extent streams past it.
 inline constexpr std::size_t kBlockDepth = 256;
 inline constexpr std::size_t kBlockCols = 64;
-// Register tile: 4x4 output patch, 16 independent accumulators.
+// Register tile extents used by the implementations (perf only — tile shape
+// never affects numerics because every output element's reduction shape is
+// fixed by the contract above).
 inline constexpr std::size_t kRegRows = 4;
 inline constexpr std::size_t kRegCols = 4;
+// Contract-level lane count of the fixed accumulator tree. Independent of
+// the host vector width by design: see the determinism contract.
+inline constexpr std::size_t kLanes = 4;
+
+// ---- Dispatch seam ----
+
+enum class DispatchPath { kScalar, kAvx2, kNeon };
+
+// The path the next kernel call will execute (after resolving auto-detect
+// and any override).
+DispatchPath active_path() noexcept;
+const char* path_name(DispatchPath path) noexcept;
+// True when `path` was compiled in AND the running CPU supports it. kScalar
+// is always available.
+bool path_available(DispatchPath path) noexcept;
+// Test/bench seam: pin dispatch to one path (std::nullopt restores
+// auto-detection). Throws std::invalid_argument if the path is unavailable.
+// Not meant to race with in-flight kernel calls; callers quiesce first.
+void set_path_override(std::optional<DispatchPath> path);
+
+// ---- Kernels ----
 
 // C (m x n, leading dim ldc) = A (m x k, lda) · B (k x n, ldb), or += when
-// `accumulate`. Row-major buffers; regions may not alias.
+// `accumulate`. Row-major buffers; regions may not alias. One ascending-k
+// accumulator per element (output-contiguous shape).
 void gemm_nn(std::size_t m, std::size_t n, std::size_t k, const double* a,
              std::size_t lda, const double* b, std::size_t ldb, double* c,
              std::size_t ldc, bool accumulate = false);
 
 // C (m x n) = A (m x k, lda) · Bᵀ where B is (n x k, ldb) — both operands
 // walk contiguous rows; this is the orientation of the dense-layer forward
-// (X · Wᵀ) and of Gram matrices (Y · Yᵀ).
+// (X · Wᵀ) and of Gram matrices (Y · Yᵀ). Fixed 4-lane tree per element;
+// `accumulate` adds the existing C value AFTER the tree combines.
 void gemm_nt(std::size_t m, std::size_t n, std::size_t k, const double* a,
              std::size_t lda, const double* b, std::size_t ldb, double* c,
              std::size_t ldc, bool accumulate = false);
 
 // C (m x n) = Aᵀ · B where A is (k x m, lda) and B is (k x n, ldb) — the
-// orientation of the dense-layer weight gradient (gᵀ · X).
+// orientation of the dense-layer weight gradient (gᵀ · X). One ascending-k
+// accumulator per element (output-contiguous shape).
 void gemm_tn(std::size_t m, std::size_t n, std::size_t k, const double* a,
              std::size_t lda, const double* b, std::size_t ldb, double* c,
              std::size_t ldc, bool accumulate = false);
 
-// y (m) = A (m x n, lda) · x (n), or += when `accumulate`.
+// y (m) = A (m x n, lda) · x (n), or += when `accumulate` (existing y joins
+// after the tree). Fixed 4-lane tree per element.
 void gemv(std::size_t m, std::size_t n, const double* a, std::size_t lda,
           const double* x, double* y, bool accumulate = false);
 
 // Fused dense-layer forward: out (batch x n) = X (batch x k, ldx) · Wᵀ + b,
 // with W (n x k, ldw) in output-major layout and optional ReLU applied in
-// the same pass. Bias joins after the complete k-sum; bitwise equal to
-// `dot(x_row, w_row) + b[o]` followed by a ReLU sweep.
+// the same pass. Bias joins after the complete 4-lane tree; bitwise equal
+// to `lane_dot(x_row, w_row) + b[o]` followed by a ReLU sweep.
 void affine(std::size_t batch, std::size_t n, std::size_t k, const double* x,
             std::size_t ldx, const double* w, std::size_t ldw,
             const double* bias, double* out, std::size_t ldo, bool relu);
 
 // Column sums: out[j] (+)= sum_r G(r, j) for G (m x n, ldg), ascending r —
-// the dense-layer bias gradient.
+// the dense-layer bias gradient. One ascending-r accumulator per column.
 void col_sums(std::size_t m, std::size_t n, const double* g, std::size_t ldg,
               double* out, bool accumulate = false);
+
+// C lower triangle (j <= i, diagonal included) = A (n x k, lda) · Aᵀ. Each
+// entry is bitwise identical to the corresponding gemm_nt entry (same fixed
+// 4-lane tree); the upper triangle of C is left untouched. This is the
+// Gram-matrix builder for the pairwise-distance path, which only ever reads
+// one triangle — skipping the mirror halves the dominant GEMM cost there.
+void syrk_nt(std::size_t n, std::size_t k, const double* a, std::size_t lda,
+             double* c, std::size_t ldc);
+
+// Pairwise-distance epilogue over a lower-triangle Gram matrix g (n x n,
+// ldg): writes the FULL symmetric dist (ldd) with
+//   dist(i, j) = sqrt(max0(g(i,i) + g(j,j) - 2·g(max(i,j), min(i,j))))
+// and a zero diagonal. max0 is the ReLU clamp (v > 0 ? v : 0; NaN and -0.0
+// normalize to +0.0) and sqrt the IEEE correctly-rounded root, so every
+// dispatch path produces the same bits. `scratch` must hold n doubles (it
+// receives the Gram diagonal so column norms load contiguously).
+void gram_to_dist(std::size_t n, const double* g, std::size_t ldg,
+                  double* dist, std::size_t ldd, double* scratch);
+
+// Fused normalize-and-blend over an n x n matrix, in place:
+//   out(i, j) = alpha · (out(i, j) · inv_max) + beta · penalty[|i - j|]
+// with `penalty` holding n doubles indexed by |i - j|. Every element is
+// computed along full rows (cache-friendly; the j < i region loads the
+// penalty table reversed — a pure permutation). Operation order matches
+// the scalar expression alpha * (v * inv_max) + beta * p on every path.
+void dist_blend(std::size_t n, double alpha, double inv_max, double beta,
+                const double* penalty, double* out, std::size_t ldo);
 
 // ---- Matrix conveniences (shape-checked; throw std::invalid_argument) ----
 

@@ -1,0 +1,48 @@
+// AVX2 backend: the fixed 4-lane contract mapped onto one 4-wide __m256d.
+// This translation unit alone is compiled with -mavx2 (see
+// src/linalg/CMakeLists.txt); kernels.cpp only dispatches here after
+// __builtin_cpu_supports("avx2") confirms the running CPU.
+//
+// mul_add is deliberately _mm256_add_pd(acc, _mm256_mul_pd(x, y)) and NOT
+// an FMA intrinsic: the scalar and NEON paths round the product before the
+// add, so a fused operation here would break bitwise identity across paths.
+#include "linalg/kernels_common.hpp"
+
+#if defined(POWERLENS_HAVE_AVX2)
+
+#include <immintrin.h>
+
+namespace powerlens::linalg::kernels::detail {
+namespace {
+
+struct Avx2Ops {
+  using Vec = __m256d;
+  static Vec zero() { return _mm256_setzero_pd(); }
+  static Vec broadcast(double v) { return _mm256_set1_pd(v); }
+  static Vec load(const double* p) { return _mm256_loadu_pd(p); }
+  static void store(double* p, Vec v) { _mm256_storeu_pd(p, v); }
+  static Vec add(Vec a, Vec b) { return _mm256_add_pd(a, b); }
+  static Vec mul_add(Vec acc, Vec x, Vec y) {
+    return _mm256_add_pd(acc, _mm256_mul_pd(x, y));
+  }
+  static Vec mul(Vec a, Vec b) { return _mm256_mul_pd(a, b); }
+  // v > 0 ? v : 0 via compare + mask: where the compare fails (v <= 0, -0.0,
+  // NaN) the AND yields +0.0 bits — exactly the scalar ReLU contract.
+  static Vec max0(Vec v) {
+    return _mm256_and_pd(_mm256_cmp_pd(v, _mm256_setzero_pd(), _CMP_GT_OQ), v);
+  }
+  static Vec sqrt(Vec v) { return _mm256_sqrt_pd(v); }
+  static Vec reverse(Vec v) { return _mm256_permute4x64_pd(v, 0x1B); }
+};
+
+}  // namespace
+
+const KernelTable& avx2_table() {
+  static constexpr KernelTable table =
+      make_table<Avx2Ops>(DispatchPath::kAvx2, "avx2");
+  return table;
+}
+
+}  // namespace powerlens::linalg::kernels::detail
+
+#endif  // POWERLENS_HAVE_AVX2

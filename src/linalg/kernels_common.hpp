@@ -1,0 +1,543 @@
+// Internal to src/linalg: the kernel dispatch table and the ISA-generic
+// kernel bodies, templated over a 4-lane vector policy (`Ops`).
+//
+// Each backend TU (kernels_scalar.cpp, kernels_avx2.cpp, kernels_neon.cpp)
+// defines an Ops type mapping the fixed kLanes=4 contract onto its hardware
+// — four plain doubles, one __m256d, or two float64x2_t — and instantiates
+// the bodies below into a KernelTable. The bodies are the ONLY place kernel
+// arithmetic lives, so the reduction shape documented in kernels.hpp is
+// enforced structurally: a backend cannot reorder additions, it can only
+// choose how the four lanes are stored.
+//
+// Ops policy requirements (all static):
+//   Vec                        — 4 doubles of register state
+//   Vec  zero()
+//   Vec  broadcast(double)
+//   Vec  load(const double*)   — 4 contiguous doubles, unaligned ok
+//   void store(double*, Vec)
+//   Vec  mul_add(Vec acc, Vec x, Vec y)
+//        — per lane: acc + x * y, computed as an explicit multiply THEN an
+//          add. Backends must not emit a fused multiply-add (the scalar
+//          path cannot, because the whole project builds with
+//          -ffp-contract=off, and the SIMD paths use separate mul/add
+//          intrinsics), or lane sums would diverge across ISAs.
+//   Vec  add(Vec, Vec)
+//   Vec  mul(Vec, Vec)         — per-lane product (single rounding)
+//   Vec  max0(Vec)             — per lane: v > 0 ? v : 0 (the ReLU clamp:
+//          NaN and -0.0 both normalize to +0.0 — AVX2 uses cmp_gt + and,
+//          NEON vcgt + bit-and, so all paths agree even on those inputs)
+//   Vec  sqrt(Vec)             — IEEE-754 correctly-rounded square root.
+//          sqrtsd/vsqrtpd/vsqrtq_f64 and std::sqrt all round correctly,
+//          so the result is bitwise identical on every path by spec.
+//   Vec  reverse(Vec)          — lane order 3,2,1,0 (a pure permutation;
+//          used to walk a lookup table downward with contiguous loads)
+#pragma once
+
+#include "linalg/kernels.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+
+namespace powerlens::linalg::kernels::detail {
+
+struct KernelTable {
+  DispatchPath path;
+  const char* name;
+  void (*gemm_nn)(std::size_t m, std::size_t n, std::size_t k, const double* a,
+                  std::size_t lda, const double* b, std::size_t ldb, double* c,
+                  std::size_t ldc, bool accumulate);
+  // Shared implementation of gemm_nt and affine: optional fused epilogue
+  // (accumulate-add, bias add, ReLU) applied after the lane tree.
+  void (*gemm_nt_fused)(std::size_t m, std::size_t n, std::size_t k,
+                        const double* a, std::size_t lda, const double* b,
+                        std::size_t ldb, double* c, std::size_t ldc,
+                        bool accumulate, const double* bias, bool relu);
+  void (*gemm_tn)(std::size_t m, std::size_t n, std::size_t k, const double* a,
+                  std::size_t lda, const double* b, std::size_t ldb, double* c,
+                  std::size_t ldc, bool accumulate);
+  void (*gemv)(std::size_t m, std::size_t n, const double* a, std::size_t lda,
+               const double* x, double* y, bool accumulate);
+  void (*col_sums)(std::size_t m, std::size_t n, const double* g,
+                   std::size_t ldg, double* out, bool accumulate);
+  void (*syrk_nt)(std::size_t n, std::size_t k, const double* a,
+                  std::size_t lda, double* c, std::size_t ldc);
+  void (*gram_to_dist)(std::size_t n, const double* g, std::size_t ldg,
+                       double* dist, std::size_t ldd, double* scratch);
+  void (*dist_blend)(std::size_t n, double alpha, double inv_max, double beta,
+                     const double* penalty, double* out, std::size_t ldo);
+};
+
+// Backend accessors. Only the tables that were compiled in are declared
+// available; kernels.cpp gates on the same macros.
+const KernelTable& scalar_table();
+#if defined(POWERLENS_HAVE_AVX2)
+const KernelTable& avx2_table();
+#endif
+#if defined(POWERLENS_HAVE_NEON)
+const KernelTable& neon_table();
+#endif
+
+// ---- ISA-generic bodies ----
+
+// Finish one lane-tree element: spill the vector accumulator, fold the
+// scalar tail (reduction indices [k4, k), which land in lanes p mod 4
+// because k4 is a multiple of 4), and combine in the fixed tree order.
+template <class Ops>
+inline double lane_finish(typename Ops::Vec acc, const double* x,
+                          const double* y, std::size_t k4, std::size_t k) {
+  double lanes[kLanes];
+  Ops::store(lanes, acc);
+  for (std::size_t p = k4; p < k; ++p) lanes[p - k4] += x[p] * y[p];
+  return (lanes[0] + lanes[1]) + (lanes[2] + lanes[3]);
+}
+
+// Full lane-tree dot product of two contiguous k-vectors.
+template <class Ops>
+inline double lane_dot(const double* x, const double* y, std::size_t k) {
+  typename Ops::Vec acc = Ops::zero();
+  const std::size_t k4 = k & ~std::size_t{3};
+  for (std::size_t p = 0; p < k4; p += 4) {
+    acc = Ops::mul_add(acc, Ops::load(x + p), Ops::load(y + p));
+  }
+  return lane_finish<Ops>(acc, x, y, k4, k);
+}
+
+// C = A · Bᵀ (+ fused epilogue). Fixed 4-lane tree per element; lane
+// partials stay in registers across the whole reduction, so there is no
+// k-panel loop here (a round-trip through one stored double per element
+// would collapse the tree). B rows are blocked by kBlockCols for reuse.
+// The epilogue is scalar and shared verbatim by every backend: accumulate
+// joins the existing C value after the tree, then bias, then ReLU (written
+// `v > 0 ? v : 0`, so NaN and -0.0 normalize to +0.0 on every path).
+template <class Ops>
+void gemm_nt_fused_body(std::size_t m, std::size_t n, std::size_t k,
+                        const double* a, std::size_t lda, const double* b,
+                        std::size_t ldb, double* c, std::size_t ldc,
+                        bool accumulate, const double* bias, bool relu) {
+  using Vec = typename Ops::Vec;
+  const std::size_t k4 = k & ~std::size_t{3};
+  const auto epilogue = [&](std::size_t i, std::size_t j, double v) {
+    if (accumulate) v += c[i * ldc + j];
+    if (bias != nullptr) v += bias[j];
+    if (relu) v = v > 0.0 ? v : 0.0;
+    c[i * ldc + j] = v;
+  };
+  for (std::size_t j0 = 0; j0 < n; j0 += kBlockCols) {
+    const std::size_t j1 = std::min(n, j0 + kBlockCols);
+    std::size_t i = 0;
+    for (; i + kRegRows <= m; i += kRegRows) {
+      const double* ar[kRegRows] = {a + (i + 0) * lda, a + (i + 1) * lda,
+                                    a + (i + 2) * lda, a + (i + 3) * lda};
+      std::size_t j = j0;
+      // 4 rows x 2 B-columns: 8 live accumulators, B loads amortized
+      // across the row quad.
+      for (; j + 2 <= j1; j += 2) {
+        const double* b0 = b + (j + 0) * ldb;
+        const double* b1 = b + (j + 1) * ldb;
+        Vec acc[kRegRows][2];
+        for (std::size_t r = 0; r < kRegRows; ++r) {
+          acc[r][0] = Ops::zero();
+          acc[r][1] = Ops::zero();
+        }
+        for (std::size_t p = 0; p < k4; p += 4) {
+          const Vec bv0 = Ops::load(b0 + p);
+          const Vec bv1 = Ops::load(b1 + p);
+          for (std::size_t r = 0; r < kRegRows; ++r) {
+            const Vec av = Ops::load(ar[r] + p);
+            acc[r][0] = Ops::mul_add(acc[r][0], av, bv0);
+            acc[r][1] = Ops::mul_add(acc[r][1], av, bv1);
+          }
+        }
+        for (std::size_t r = 0; r < kRegRows; ++r) {
+          epilogue(i + r, j + 0, lane_finish<Ops>(acc[r][0], ar[r], b0, k4, k));
+          epilogue(i + r, j + 1, lane_finish<Ops>(acc[r][1], ar[r], b1, k4, k));
+        }
+      }
+      for (; j < j1; ++j) {
+        const double* bj = b + j * ldb;
+        for (std::size_t r = 0; r < kRegRows; ++r) {
+          epilogue(i + r, j, lane_dot<Ops>(ar[r], bj, k));
+        }
+      }
+    }
+    for (; i < m; ++i) {
+      const double* ai = a + i * lda;
+      for (std::size_t j = j0; j < j1; ++j) {
+        epilogue(i, j, lane_dot<Ops>(ai, b + j * ldb, k));
+      }
+    }
+  }
+}
+
+// C = A · B. One ascending-k accumulator per output element (each element
+// lives in one lane for the whole reduction — SIMD only spans independent
+// output columns j, so the addition order per element is the textbook
+// scalar loop, unchanged from the PR-5 kernels). k-panels accumulate
+// through exact stores.
+template <class Ops>
+void gemm_nn_body(std::size_t m, std::size_t n, std::size_t k, const double* a,
+                  std::size_t lda, const double* b, std::size_t ldb, double* c,
+                  std::size_t ldc, bool accumulate) {
+  using Vec = typename Ops::Vec;
+  for (std::size_t p0 = 0; p0 < k || p0 == 0; p0 += kBlockDepth) {
+    const std::size_t p1 = std::min(k, p0 + kBlockDepth);
+    const bool fresh = p0 == 0 && !accumulate;
+    for (std::size_t j0 = 0; j0 < n || j0 == 0; j0 += kBlockCols) {
+      const std::size_t j1 = std::min(n, j0 + kBlockCols);
+      std::size_t i = 0;
+      for (; i + kRegRows <= m; i += kRegRows) {
+        const double* ar[kRegRows] = {a + (i + 0) * lda, a + (i + 1) * lda,
+                                      a + (i + 2) * lda, a + (i + 3) * lda};
+        std::size_t j = j0;
+        // 4 rows x 8 output columns (two vectors per row).
+        for (; j + 8 <= j1; j += 8) {
+          Vec t[kRegRows][2];
+          for (std::size_t r = 0; r < kRegRows; ++r) {
+            double* cr = c + (i + r) * ldc + j;
+            t[r][0] = fresh ? Ops::zero() : Ops::load(cr);
+            t[r][1] = fresh ? Ops::zero() : Ops::load(cr + 4);
+          }
+          for (std::size_t p = p0; p < p1; ++p) {
+            const double* bp = b + p * ldb + j;
+            const Vec bv0 = Ops::load(bp);
+            const Vec bv1 = Ops::load(bp + 4);
+            for (std::size_t r = 0; r < kRegRows; ++r) {
+              const Vec av = Ops::broadcast(ar[r][p]);
+              t[r][0] = Ops::mul_add(t[r][0], av, bv0);
+              t[r][1] = Ops::mul_add(t[r][1], av, bv1);
+            }
+          }
+          for (std::size_t r = 0; r < kRegRows; ++r) {
+            double* cr = c + (i + r) * ldc + j;
+            Ops::store(cr, t[r][0]);
+            Ops::store(cr + 4, t[r][1]);
+          }
+        }
+        for (; j + 4 <= j1; j += 4) {
+          Vec t[kRegRows];
+          for (std::size_t r = 0; r < kRegRows; ++r) {
+            double* cr = c + (i + r) * ldc + j;
+            t[r] = fresh ? Ops::zero() : Ops::load(cr);
+          }
+          for (std::size_t p = p0; p < p1; ++p) {
+            const Vec bv = Ops::load(b + p * ldb + j);
+            for (std::size_t r = 0; r < kRegRows; ++r) {
+              t[r] = Ops::mul_add(t[r], Ops::broadcast(ar[r][p]), bv);
+            }
+          }
+          for (std::size_t r = 0; r < kRegRows; ++r) {
+            Ops::store(c + (i + r) * ldc + j, t[r]);
+          }
+        }
+        for (; j < j1; ++j) {
+          for (std::size_t r = 0; r < kRegRows; ++r) {
+            double acc = fresh ? 0.0 : c[(i + r) * ldc + j];
+            for (std::size_t p = p0; p < p1; ++p) {
+              acc += ar[r][p] * b[p * ldb + j];
+            }
+            c[(i + r) * ldc + j] = acc;
+          }
+        }
+      }
+      for (; i < m; ++i) {
+        const double* ai = a + i * lda;
+        std::size_t j = j0;
+        for (; j + 4 <= j1; j += 4) {
+          Vec t = fresh ? Ops::zero() : Ops::load(c + i * ldc + j);
+          for (std::size_t p = p0; p < p1; ++p) {
+            t = Ops::mul_add(t, Ops::broadcast(ai[p]), Ops::load(b + p * ldb + j));
+          }
+          Ops::store(c + i * ldc + j, t);
+        }
+        for (; j < j1; ++j) {
+          double acc = fresh ? 0.0 : c[i * ldc + j];
+          for (std::size_t p = p0; p < p1; ++p) acc += ai[p] * b[p * ldb + j];
+          c[i * ldc + j] = acc;
+        }
+      }
+      if (n == 0) break;
+    }
+    if (k == 0) break;
+  }
+}
+
+// C = Aᵀ · B. Same output-contiguous shape as gemm_nn (one ascending-k
+// accumulator per element; SIMD across output columns only); A is read
+// down a column, so the row value is broadcast from a strided load.
+template <class Ops>
+void gemm_tn_body(std::size_t m, std::size_t n, std::size_t k, const double* a,
+                  std::size_t lda, const double* b, std::size_t ldb, double* c,
+                  std::size_t ldc, bool accumulate) {
+  using Vec = typename Ops::Vec;
+  for (std::size_t p0 = 0; p0 < k || p0 == 0; p0 += kBlockDepth) {
+    const std::size_t p1 = std::min(k, p0 + kBlockDepth);
+    const bool fresh = p0 == 0 && !accumulate;
+    for (std::size_t j0 = 0; j0 < n || j0 == 0; j0 += kBlockCols) {
+      const std::size_t j1 = std::min(n, j0 + kBlockCols);
+      std::size_t i = 0;
+      for (; i + kRegRows <= m; i += kRegRows) {
+        std::size_t j = j0;
+        for (; j + 4 <= j1; j += 4) {
+          Vec t[kRegRows];
+          for (std::size_t r = 0; r < kRegRows; ++r) {
+            t[r] = fresh ? Ops::zero() : Ops::load(c + (i + r) * ldc + j);
+          }
+          for (std::size_t p = p0; p < p1; ++p) {
+            const double* ap = a + p * lda + i;
+            const Vec bv = Ops::load(b + p * ldb + j);
+            for (std::size_t r = 0; r < kRegRows; ++r) {
+              t[r] = Ops::mul_add(t[r], Ops::broadcast(ap[r]), bv);
+            }
+          }
+          for (std::size_t r = 0; r < kRegRows; ++r) {
+            Ops::store(c + (i + r) * ldc + j, t[r]);
+          }
+        }
+        for (; j < j1; ++j) {
+          for (std::size_t r = 0; r < kRegRows; ++r) {
+            double acc = fresh ? 0.0 : c[(i + r) * ldc + j];
+            for (std::size_t p = p0; p < p1; ++p) {
+              acc += a[p * lda + (i + r)] * b[p * ldb + j];
+            }
+            c[(i + r) * ldc + j] = acc;
+          }
+        }
+      }
+      for (; i < m; ++i) {
+        std::size_t j = j0;
+        for (; j + 4 <= j1; j += 4) {
+          Vec t = fresh ? Ops::zero() : Ops::load(c + i * ldc + j);
+          for (std::size_t p = p0; p < p1; ++p) {
+            t = Ops::mul_add(t, Ops::broadcast(a[p * lda + i]),
+                             Ops::load(b + p * ldb + j));
+          }
+          Ops::store(c + i * ldc + j, t);
+        }
+        for (; j < j1; ++j) {
+          double acc = fresh ? 0.0 : c[i * ldc + j];
+          for (std::size_t p = p0; p < p1; ++p) {
+            acc += a[p * lda + i] * b[p * ldb + j];
+          }
+          c[i * ldc + j] = acc;
+        }
+      }
+      if (n == 0) break;
+    }
+    if (k == 0) break;
+  }
+}
+
+// y = A · x. Fixed 4-lane tree per row; the x vector load is shared across
+// a quad of rows. Existing y joins after the tree when accumulating.
+template <class Ops>
+void gemv_body(std::size_t m, std::size_t n, const double* a, std::size_t lda,
+               const double* x, double* y, bool accumulate) {
+  using Vec = typename Ops::Vec;
+  const std::size_t n4 = n & ~std::size_t{3};
+  std::size_t i = 0;
+  for (; i + kRegRows <= m; i += kRegRows) {
+    const double* ar[kRegRows] = {a + (i + 0) * lda, a + (i + 1) * lda,
+                                  a + (i + 2) * lda, a + (i + 3) * lda};
+    Vec acc[kRegRows];
+    for (std::size_t r = 0; r < kRegRows; ++r) acc[r] = Ops::zero();
+    for (std::size_t p = 0; p < n4; p += 4) {
+      const Vec xv = Ops::load(x + p);
+      for (std::size_t r = 0; r < kRegRows; ++r) {
+        acc[r] = Ops::mul_add(acc[r], Ops::load(ar[r] + p), xv);
+      }
+    }
+    for (std::size_t r = 0; r < kRegRows; ++r) {
+      double v = lane_finish<Ops>(acc[r], ar[r], x, n4, n);
+      if (accumulate) v += y[i + r];
+      y[i + r] = v;
+    }
+  }
+  for (; i < m; ++i) {
+    double v = lane_dot<Ops>(a + i * lda, x, n);
+    if (accumulate) v += y[i];
+    y[i] = v;
+  }
+}
+
+// out[j] (+)= sum over rows of G, ascending r. One accumulator per column;
+// SIMD spans independent columns only, so per-column order is unchanged.
+template <class Ops>
+void col_sums_body(std::size_t m, std::size_t n, const double* g,
+                   std::size_t ldg, double* out, bool accumulate) {
+  using Vec = typename Ops::Vec;
+  if (!accumulate) {
+    for (std::size_t j = 0; j < n; ++j) out[j] = 0.0;
+  }
+  std::size_t j = 0;
+  for (; j + 4 <= n; j += 4) {
+    Vec t = Ops::load(out + j);
+    for (std::size_t r = 0; r < m; ++r) {
+      t = Ops::add(t, Ops::load(g + r * ldg + j));
+    }
+    Ops::store(out + j, t);
+  }
+  for (; j < n; ++j) {
+    double t = out[j];
+    for (std::size_t r = 0; r < m; ++r) t += g[r * ldg + j];
+    out[j] = t;
+  }
+}
+
+// C lower triangle (j <= i, diagonal included) = A · Aᵀ for A (n x k, lda).
+// Every element is the SAME fixed 4-lane tree gemm_nt produces for that
+// (i, j) — this kernel only SKIPS the upper triangle, which the symmetric
+// consumers (Gram matrices feeding pairwise distances) never read, halving
+// the dominant cost of the distance path. The upper triangle of C is left
+// untouched. No column blocking: A is n x k with k at most a few dozen in
+// this codebase, so the whole panel stays cache-resident while row quads
+// stream past (revisit if a caller ever passes a large k).
+template <class Ops>
+void syrk_nt_body(std::size_t n, std::size_t k, const double* a,
+                  std::size_t lda, double* c, std::size_t ldc) {
+  using Vec = typename Ops::Vec;
+  const std::size_t k4 = k & ~std::size_t{3};
+  std::size_t i = 0;
+  for (; i + kRegRows <= n; i += kRegRows) {
+    const double* ar[kRegRows] = {a + (i + 0) * lda, a + (i + 1) * lda,
+                                  a + (i + 2) * lda, a + (i + 3) * lda};
+    std::size_t j = 0;
+    // Full 4x2 tiles: both columns j, j+1 are <= every row of the quad.
+    for (; j + 2 <= i + 1; j += 2) {
+      const double* b0 = a + (j + 0) * lda;
+      const double* b1 = a + (j + 1) * lda;
+      Vec acc[kRegRows][2];
+      for (std::size_t r = 0; r < kRegRows; ++r) {
+        acc[r][0] = Ops::zero();
+        acc[r][1] = Ops::zero();
+      }
+      for (std::size_t p = 0; p < k4; p += 4) {
+        const Vec bv0 = Ops::load(b0 + p);
+        const Vec bv1 = Ops::load(b1 + p);
+        for (std::size_t r = 0; r < kRegRows; ++r) {
+          const Vec av = Ops::load(ar[r] + p);
+          acc[r][0] = Ops::mul_add(acc[r][0], av, bv0);
+          acc[r][1] = Ops::mul_add(acc[r][1], av, bv1);
+        }
+      }
+      for (std::size_t r = 0; r < kRegRows; ++r) {
+        c[(i + r) * ldc + j + 0] = lane_finish<Ops>(acc[r][0], ar[r], b0, k4, k);
+        c[(i + r) * ldc + j + 1] = lane_finish<Ops>(acc[r][1], ar[r], b1, k4, k);
+      }
+    }
+    // Diagonal boundary of the quad: per element, rows >= column only.
+    for (; j < i + kRegRows; ++j) {
+      const double* bj = a + j * lda;
+      for (std::size_t r = (j > i ? j - i : 0); r < kRegRows; ++r) {
+        c[(i + r) * ldc + j] = lane_dot<Ops>(ar[r], bj, k);
+      }
+    }
+  }
+  for (; i < n; ++i) {
+    const double* ai = a + i * lda;
+    for (std::size_t j = 0; j <= i; ++j) {
+      c[i * ldc + j] = lane_dot<Ops>(ai, a + j * lda, k);
+    }
+  }
+}
+
+// Pairwise-distance epilogue over a lower-triangle Gram matrix: writes the
+// FULL symmetric dist with
+//   dist(i, j) = dist(j, i) = sqrt(max0((g(i,i) + g(j,j)) + (-2)·g(i,j)))
+// for j < i, and a zero diagonal. (-2)·g is bitwise -(2·g) and a + (-b) is
+// bitwise a - b, so the value matches the classic scalar expression
+// ni + nj - 2·g exactly; max0 and sqrt are bitwise-pinned by the Ops
+// contract. `scratch` (capacity n) receives the Gram diagonal so the
+// per-row pass loads the column norms contiguously. The scalar tail (j in
+// [i & ~3, i)) runs the same mul-then-add order as the vector lanes.
+template <class Ops>
+void gram_to_dist_body(std::size_t n, const double* g, std::size_t ldg,
+                       double* dist, std::size_t ldd, double* scratch) {
+  using Vec = typename Ops::Vec;
+  for (std::size_t i = 0; i < n; ++i) scratch[i] = g[i * ldg + i];
+  const Vec neg2 = Ops::broadcast(-2.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const Vec ni = Ops::broadcast(scratch[i]);
+    const double* gi = g + i * ldg;
+    double* di = dist + i * ldd;
+    const std::size_t j4 = i & ~std::size_t{3};
+    std::size_t j = 0;
+    for (; j < j4; j += 4) {
+      const Vec s = Ops::add(ni, Ops::load(scratch + j));
+      const Vec t = Ops::mul_add(s, neg2, Ops::load(gi + j));
+      const Vec v = Ops::sqrt(Ops::max0(t));
+      Ops::store(di + j, v);
+      dist[(j + 0) * ldd + i] = di[j + 0];
+      dist[(j + 1) * ldd + i] = di[j + 1];
+      dist[(j + 2) * ldd + i] = di[j + 2];
+      dist[(j + 3) * ldd + i] = di[j + 3];
+    }
+    for (; j < i; ++j) {
+      const double s = scratch[i] + scratch[j];
+      const double t = s + -2.0 * gi[j];
+      const double v = std::sqrt(t > 0.0 ? t : 0.0);
+      di[j] = v;
+      dist[j * ldd + i] = v;
+    }
+    di[i] = 0.0;
+  }
+}
+
+// Fused normalize-and-blend:
+//   out(i, j) = alpha · (out(i, j) · inv_max) + beta · penalty[|i - j|]
+// Every element is computed in place along cache-friendly full rows (a
+// mirror-the-triangle variant was measured SLOWER here: n²/2 strided
+// column writes cost more than n²/2 cheap recomputes). The penalty offset
+// |i - j| descends for j < i, so that region loads the table reversed —
+// a pure permutation, no arithmetic reordered. The operation order (inner
+// product first, then the alpha scale, then one mul-then-add against the
+// penalty term) is identical scalar and vector, element by element.
+template <class Ops>
+void dist_blend_body(std::size_t n, double alpha, double inv_max, double beta,
+                     const double* penalty, double* out, std::size_t ldo) {
+  using Vec = typename Ops::Vec;
+  const Vec va = Ops::broadcast(alpha);
+  const Vec vim = Ops::broadcast(inv_max);
+  const Vec vb = Ops::broadcast(beta);
+  const auto scalar_at = [&](double* p, std::size_t off) {
+    *p = alpha * (*p * inv_max) + beta * penalty[off];
+  };
+  for (std::size_t i = 0; i < n; ++i) {
+    double* oi = out + i * ldo;
+    // j < i: offset i - j walks downward; load penalty[i-j-3 .. i-j] and
+    // reverse so lane l sees offset i - (j + l).
+    const std::size_t j4 = i & ~std::size_t{3};
+    std::size_t j = 0;
+    for (; j < j4; j += 4) {
+      const Vec scaled = Ops::mul(va, Ops::mul(Ops::load(oi + j), vim));
+      const Vec pen = Ops::reverse(Ops::load(penalty + (i - j - 3)));
+      Ops::store(oi + j, Ops::mul_add(scaled, vb, pen));
+    }
+    for (; j < i; ++j) scalar_at(oi + j, i - j);
+    // j >= i: offset j - i ascends; contiguous forward loads.
+    const std::size_t jend4 = i + ((n - i) & ~std::size_t{3});
+    for (; j < jend4; j += 4) {
+      const Vec scaled = Ops::mul(va, Ops::mul(Ops::load(oi + j), vim));
+      const Vec pen = Ops::load(penalty + (j - i));
+      Ops::store(oi + j, Ops::mul_add(scaled, vb, pen));
+    }
+    for (; j < n; ++j) scalar_at(oi + j, j - i);
+  }
+}
+
+// Assemble a backend's table from the bodies above.
+template <class Ops>
+constexpr KernelTable make_table(DispatchPath path, const char* name) {
+  return KernelTable{path,
+                     name,
+                     &gemm_nn_body<Ops>,
+                     &gemm_nt_fused_body<Ops>,
+                     &gemm_tn_body<Ops>,
+                     &gemv_body<Ops>,
+                     &col_sums_body<Ops>,
+                     &syrk_nt_body<Ops>,
+                     &gram_to_dist_body<Ops>,
+                     &dist_blend_body<Ops>};
+}
+
+}  // namespace powerlens::linalg::kernels::detail

@@ -1,0 +1,73 @@
+// NEON backend (aarch64): the fixed 4-lane contract mapped onto a pair of
+// 2-wide float64x2_t registers — lanes {0,1} in lo, {2,3} in hi, so the
+// lane-to-reduction-index assignment matches the scalar and AVX2 paths
+// exactly.
+//
+// mul_add uses vaddq_f64(acc, vmulq_f64(x, y)) and NOT vfmaq_f64: NEON's
+// fused multiply-add skips the intermediate rounding the other paths
+// perform, which would break bitwise identity. (This is also why the whole
+// project builds with -ffp-contract=off — on aarch64 the compiler would
+// otherwise contract the scalar path's mul+add into fmadd.)
+#include "linalg/kernels_common.hpp"
+
+#if defined(POWERLENS_HAVE_NEON)
+
+#include <arm_neon.h>
+
+namespace powerlens::linalg::kernels::detail {
+namespace {
+
+struct NeonOps {
+  struct Vec {
+    float64x2_t lo;
+    float64x2_t hi;
+  };
+  static Vec zero() {
+    return Vec{vdupq_n_f64(0.0), vdupq_n_f64(0.0)};
+  }
+  static Vec broadcast(double v) { return Vec{vdupq_n_f64(v), vdupq_n_f64(v)}; }
+  static Vec load(const double* p) { return Vec{vld1q_f64(p), vld1q_f64(p + 2)}; }
+  static void store(double* p, Vec v) {
+    vst1q_f64(p, v.lo);
+    vst1q_f64(p + 2, v.hi);
+  }
+  static Vec add(Vec a, Vec b) {
+    return Vec{vaddq_f64(a.lo, b.lo), vaddq_f64(a.hi, b.hi)};
+  }
+  static Vec mul_add(Vec acc, Vec x, Vec y) {
+    return Vec{vaddq_f64(acc.lo, vmulq_f64(x.lo, y.lo)),
+               vaddq_f64(acc.hi, vmulq_f64(x.hi, y.hi))};
+  }
+  static Vec mul(Vec a, Vec b) {
+    return Vec{vmulq_f64(a.lo, b.lo), vmulq_f64(a.hi, b.hi)};
+  }
+  // v > 0 ? v : 0 via compare + bit-and (NOT vmaxq_f64, whose NaN handling
+  // differs from the other paths): failed compares (v <= 0, -0.0, NaN)
+  // yield +0.0 bits, matching the scalar ReLU contract exactly.
+  static Vec max0(Vec v) {
+    const float64x2_t z = vdupq_n_f64(0.0);
+    return Vec{vreinterpretq_f64_u64(vandq_u64(vcgtq_f64(v.lo, z),
+                                               vreinterpretq_u64_f64(v.lo))),
+               vreinterpretq_f64_u64(vandq_u64(vcgtq_f64(v.hi, z),
+                                               vreinterpretq_u64_f64(v.hi)))};
+  }
+  static Vec sqrt(Vec v) {
+    return Vec{vsqrtq_f64(v.lo), vsqrtq_f64(v.hi)};
+  }
+  // Lane order 3,2,1,0: swap the halves, and the pair within each half.
+  static Vec reverse(Vec v) {
+    return Vec{vextq_f64(v.hi, v.hi, 1), vextq_f64(v.lo, v.lo, 1)};
+  }
+};
+
+}  // namespace
+
+const KernelTable& neon_table() {
+  static const KernelTable table =
+      make_table<NeonOps>(DispatchPath::kNeon, "neon");
+  return table;
+}
+
+}  // namespace powerlens::linalg::kernels::detail
+
+#endif  // POWERLENS_HAVE_NEON

@@ -1,0 +1,65 @@
+// Portable scalar backend: the fixed 4-lane contract mapped onto four
+// plain double accumulators. Always compiled, on every platform — it is
+// both the fallback when no vector unit is detected and the reference the
+// SIMD paths are tested bitwise against. Builds with -ffp-contract=off
+// (top-level CMakeLists), so the mul-then-add in mul_add below never fuses
+// into an FMA even on ISAs that have one.
+#include "linalg/kernels_common.hpp"
+
+namespace powerlens::linalg::kernels::detail {
+namespace {
+
+struct ScalarOps {
+  struct Vec {
+    double lane[kLanes];
+  };
+  static Vec zero() { return Vec{{0.0, 0.0, 0.0, 0.0}}; }
+  static Vec broadcast(double v) { return Vec{{v, v, v, v}}; }
+  static Vec load(const double* p) { return Vec{{p[0], p[1], p[2], p[3]}}; }
+  static void store(double* p, Vec v) {
+    for (std::size_t l = 0; l < kLanes; ++l) p[l] = v.lane[l];
+  }
+  static Vec add(Vec a, Vec b) {
+    Vec r;
+    for (std::size_t l = 0; l < kLanes; ++l) r.lane[l] = a.lane[l] + b.lane[l];
+    return r;
+  }
+  static Vec mul_add(Vec acc, Vec x, Vec y) {
+    Vec r;
+    for (std::size_t l = 0; l < kLanes; ++l) {
+      const double prod = x.lane[l] * y.lane[l];
+      r.lane[l] = acc.lane[l] + prod;
+    }
+    return r;
+  }
+  static Vec mul(Vec a, Vec b) {
+    Vec r;
+    for (std::size_t l = 0; l < kLanes; ++l) r.lane[l] = a.lane[l] * b.lane[l];
+    return r;
+  }
+  static Vec max0(Vec v) {
+    Vec r;
+    for (std::size_t l = 0; l < kLanes; ++l) {
+      r.lane[l] = v.lane[l] > 0.0 ? v.lane[l] : 0.0;
+    }
+    return r;
+  }
+  static Vec sqrt(Vec v) {
+    Vec r;
+    for (std::size_t l = 0; l < kLanes; ++l) r.lane[l] = std::sqrt(v.lane[l]);
+    return r;
+  }
+  static Vec reverse(Vec v) {
+    return Vec{{v.lane[3], v.lane[2], v.lane[1], v.lane[0]}};
+  }
+};
+
+}  // namespace
+
+const KernelTable& scalar_table() {
+  static constexpr KernelTable table =
+      make_table<ScalarOps>(DispatchPath::kScalar, "scalar");
+  return table;
+}
+
+}  // namespace powerlens::linalg::kernels::detail

@@ -3,7 +3,10 @@
 #include "obs/metrics.hpp"
 #include "serve/signature.hpp"
 
+#include <array>
+#include <chrono>
 #include <stdexcept>
+#include <utility>
 
 namespace powerlens::serve {
 
@@ -30,6 +33,18 @@ obs::Counter& eviction_counter() {
   return c;
 }
 
+obs::Histogram& plan_compute_histogram() {
+  // Cold-cache plan cost in milliseconds per plan (batch wall time divided
+  // by batch size). Bounds bracket the tuned serving target (<= 0.7 ms) so
+  // regressions show up as mass shifting right.
+  static constexpr std::array<double, 10> kBoundsMs = {
+      0.05, 0.1, 0.2, 0.35, 0.5, 0.7, 1.0, 2.0, 5.0, 10.0};
+  static obs::Histogram& h = obs::global_metrics().histogram(
+      "powerlens_serve_plan_compute_ms", kBoundsMs,
+      "cold-cache plan computation time per plan, milliseconds");
+  return h;
+}
+
 }  // namespace
 
 PlanCache::PlanCache(std::size_t num_shards, std::size_t capacity)
@@ -42,24 +57,8 @@ PlanCache::PlanCache(std::size_t num_shards, std::size_t capacity)
   }
 }
 
-PlanCache::PlanPtr PlanCache::get_or_compute(const dnn::Graph& graph,
-                                             const PlanFactory& factory) {
-  const std::uint64_t sig = graph_signature(graph);
-  Shard& shard = shard_for(sig);
-  const std::lock_guard<std::mutex> lock(shard.mu);
-  const auto it = shard.plans.find(sig);
-  if (it != shard.plans.end()) {
-    // Refresh recency: splice the key to the MRU end of the shard list.
-    shard.lru.splice(shard.lru.begin(), shard.lru, it->second.lru_pos);
-    hits_.fetch_add(1, std::memory_order_relaxed);
-    hit_counter().inc();
-    return it->second.plan;
-  }
-  // Computed under the shard lock: concurrent requests for the same model
-  // wait here and then hit, so each resident signature is optimized exactly
-  // once.
-  PlanPtr plan =
-      std::make_shared<const core::OptimizationPlan>(factory(graph));
+void PlanCache::insert_resident(Shard& shard, std::uint64_t sig,
+                                const PlanPtr& plan) {
   if (shard_capacity_ > 0 && shard.plans.size() >= shard_capacity_) {
     const std::uint64_t victim = shard.lru.back();
     shard.lru.pop_back();
@@ -69,9 +68,122 @@ PlanCache::PlanPtr PlanCache::get_or_compute(const dnn::Graph& graph,
   }
   shard.lru.push_front(sig);
   shard.plans.emplace(sig, Entry{plan, shard.lru.begin()});
-  misses_.fetch_add(1, std::memory_order_relaxed);
-  miss_counter().inc();
-  return plan;
+}
+
+void PlanCache::drain_pending(Shard& shard, std::unique_lock<std::mutex>& lock,
+                              const BatchPlanFactory& factory) {
+  while (!shard.pending.empty()) {
+    // Snapshot this round's misses; new arrivals append to a fresh pending
+    // list and are drained by the next iteration.
+    const auto batch = std::move(shard.pending);
+    shard.pending.clear();
+    std::vector<const dnn::Graph*> graphs;
+    graphs.reserve(batch.size());
+    for (const auto& [sig, graph] : batch) graphs.push_back(graph);
+
+    lock.unlock();
+    std::vector<core::OptimizationPlan> plans;
+    std::exception_ptr error;
+    const auto start = std::chrono::steady_clock::now();
+    try {
+      plans = factory(graphs);
+      if (plans.size() != graphs.size()) {
+        throw std::logic_error(
+            "PlanCache: batch factory returned wrong plan count");
+      }
+    } catch (...) {
+      error = std::current_exception();
+    }
+    const double elapsed_ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - start)
+            .count();
+    lock.lock();
+
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      const std::uint64_t sig = batch[i].first;
+      const auto in_it = shard.inflight.find(sig);
+      if (error != nullptr) {
+        in_it->second->error = error;
+      } else {
+        in_it->second->plan = std::make_shared<const core::OptimizationPlan>(
+            std::move(plans[i]));
+        insert_resident(shard, sig, in_it->second->plan);
+        misses_.fetch_add(1, std::memory_order_relaxed);
+        miss_counter().inc();
+        plan_compute_histogram().observe(
+            elapsed_ms / static_cast<double>(batch.size()));
+      }
+      in_it->second->ready = true;
+      shard.inflight.erase(in_it);
+    }
+    shard.cv.notify_all();
+  }
+}
+
+PlanCache::PlanPtr PlanCache::get_or_compute(const dnn::Graph& graph,
+                                             const BatchPlanFactory& factory) {
+  const std::uint64_t sig = graph_signature(graph);
+  Shard& shard = shard_for(sig);
+  std::unique_lock<std::mutex> lock(shard.mu);
+  const auto it = shard.plans.find(sig);
+  if (it != shard.plans.end()) {
+    // Refresh recency: splice the key to the MRU end of the shard list.
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second.lru_pos);
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    hit_counter().inc();
+    return it->second.plan;
+  }
+
+  // Join an in-flight computation if one exists; otherwise register one.
+  // `graph` must stay valid until the entry resolves — guaranteed because
+  // this thread blocks (waiting or leading) until then.
+  const auto in_it = shard.inflight.find(sig);
+  const bool joined = in_it != shard.inflight.end();
+  std::shared_ptr<InFlight> entry;
+  if (joined) {
+    entry = in_it->second;
+  } else {
+    entry = std::make_shared<InFlight>();
+    shard.inflight.emplace(sig, entry);
+    shard.pending.emplace_back(sig, &graph);
+  }
+
+  if (!shard.leader_active) {
+    // Become the shard leader: compute every pending miss (ours included,
+    // unless we joined) in batched factory calls with the lock released.
+    shard.leader_active = true;
+    try {
+      drain_pending(shard, lock, factory);
+    } catch (...) {
+      shard.leader_active = false;
+      throw;
+    }
+    shard.leader_active = false;
+    // Entries registered while we were the leader are all resolved; a join
+    // that raced in just before leadership may still need the wait below.
+  }
+  shard.cv.wait(lock, [&] { return entry->ready; });
+
+  if (entry->error != nullptr) std::rethrow_exception(entry->error);
+  if (joined) {
+    // Coalesced duplicate: served without a fresh computation, so it counts
+    // as a hit — totals match the PR-5 compute-under-lock discipline.
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    hit_counter().inc();
+  }
+  return entry->plan;
+}
+
+PlanCache::PlanPtr PlanCache::get_or_compute(const dnn::Graph& graph,
+                                             const PlanFactory& factory) {
+  return get_or_compute(
+      graph, [&factory](std::span<const dnn::Graph* const> graphs) {
+        std::vector<core::OptimizationPlan> plans;
+        plans.reserve(graphs.size());
+        for (const dnn::Graph* g : graphs) plans.push_back(factory(*g));
+        return plans;
+      });
 }
 
 PlanCache::PlanPtr PlanCache::lookup(const dnn::Graph& graph) const {

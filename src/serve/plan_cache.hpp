@@ -1,4 +1,5 @@
-// Sharded, optionally bounded memoization of PowerLens::optimize results.
+// Sharded, optionally bounded memoization of PowerLens::optimize results
+// with batched miss coalescing.
 //
 // The offline-instrumentation story of the paper becomes a serving-layer
 // cache: the first request for a model pays the optimize() cost, every
@@ -7,12 +8,33 @@
 // the graph for a trained framework, so a hit is byte-identical to a fresh
 // plan — test-asserted, not assumed.
 //
-// Shards are locked independently; a miss computes *under the shard lock*,
-// which serializes concurrent misses that hash to the same shard but
-// guarantees each key is computed exactly once while resident. With the
-// default unbounded capacity that makes the hit/miss counters (exported to
-// the global metrics registry as powerlens_serve_plan_cache_{hits,misses}_
-// total) deterministic for a given request set, whatever the worker count.
+// Miss protocol (PR 6 — previously misses computed *under the shard lock*,
+// serializing every concurrent miss AND every hit behind the slowest
+// compute in the shard):
+//   * A miss registers an in-flight entry and joins the shard's pending
+//     list. The first thread to find no active leader becomes the shard
+//     leader: it snapshots the whole pending list, RELEASES the shard
+//     lock, computes all pending graphs in one BatchPlanFactory call
+//     (PowerLens::optimize_batch shares eigendecomposition sweeps across
+//     the batch), then relocks to publish. It drains new arrivals the same
+//     way until the pending list is empty, then retires.
+//   * Concurrent requests for a signature that is already in flight wait
+//     on the shard's condition variable — they never recompute and never
+//     hold the lock while anyone computes.
+//   * Hits only ever take the lock for the map probe + LRU splice, so a
+//     hot key stays fast no matter what cold keys are being computed.
+//   * Completed plans live in the in-flight entry until every waiter has
+//     woken, so LRU eviction can never race a waiter out of its result.
+//
+// Counting discipline is unchanged and stays deterministic for a given
+// request set with unbounded capacity, whatever the worker count: each
+// distinct resident signature's first computation counts one miss
+// (attributed when the leader publishes it), every other serving-path
+// resolution — map hit or in-flight join — counts one hit. A factory
+// exception is rethrown to the leader and every joined waiter and counts
+// nothing, leaving the signature uncached exactly as before. lookup() is a
+// read-only probe with its own probe_hits counter; it sees only completed
+// plans and touches neither the serving-path counters nor LRU recency.
 //
 // A positive `capacity` bounds the number of resident plans with
 // least-recently-used eviction. The budget is split evenly across shards
@@ -20,21 +42,23 @@
 // so under concurrency the counters become access-order dependent — plans
 // themselves stay byte-identical either way.
 //
-// Counting discipline: get_or_compute() drives the serving-path hit/miss
-// counters; lookup() is a read-only probe with its own probe_hits counter
-// and touches neither the serving-path counters nor LRU recency, so
-// diagnostics never distort the cache's behavior or its hit-rate story.
+// Observability: every leader batch feeds the
+// powerlens_serve_plan_compute_ms histogram (elapsed wall time divided by
+// batch size, observed once per computed plan), so cold-cache plan cost is
+// visible next to the cache hit/miss counters.
 #pragma once
 
 #include "core/powerlens.hpp"
 #include "dnn/graph.hpp"
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <list>
 #include <memory>
 #include <mutex>
+#include <span>
 #include <unordered_map>
 #include <vector>
 
@@ -45,14 +69,25 @@ class PlanCache {
   using PlanPtr = std::shared_ptr<const core::OptimizationPlan>;
   using PlanFactory =
       std::function<core::OptimizationPlan(const dnn::Graph&)>;
+  // Computes plans for a whole coalesced miss batch in one call; must
+  // return exactly one plan per input graph, in order.
+  using BatchPlanFactory = std::function<std::vector<core::OptimizationPlan>(
+      std::span<const dnn::Graph* const>)>;
 
   // `capacity` = maximum resident plans (0 = unbounded), split evenly
   // across shards and enforced per shard.
   explicit PlanCache(std::size_t num_shards = 8, std::size_t capacity = 0);
 
-  // The plan for `graph`'s signature, computing it with `factory` on first
-  // use and refreshing LRU recency on reuse. Thread-safe; each distinct
-  // signature is computed exactly once while it stays resident.
+  // The plan for `graph`'s signature, computing it (batched with any other
+  // misses pending on the shard) on first use and refreshing LRU recency on
+  // reuse. Thread-safe; each distinct signature is computed exactly once
+  // while it stays resident, and computation never holds the shard lock.
+  PlanPtr get_or_compute(const dnn::Graph& graph,
+                         const BatchPlanFactory& factory);
+
+  // Single-graph factory adapter: wraps `factory` into a batch factory that
+  // loops. Keeps the lock-free-compute and coalescing protocol; only the
+  // cross-miss batching advantage is lost.
   PlanPtr get_or_compute(const dnn::Graph& graph, const PlanFactory& factory);
 
   // Read-only probe: the cached plan if present, nullptr otherwise. Counts
@@ -83,14 +118,31 @@ class PlanCache {
     PlanPtr plan;
     std::list<std::uint64_t>::iterator lru_pos;
   };
+  // One signature mid-computation. Waiters hold a shared_ptr and read their
+  // result from here, so neither eviction nor clear() can race them.
+  struct InFlight {
+    PlanPtr plan;
+    std::exception_ptr error;
+    bool ready = false;
+  };
   struct Shard {
     mutable std::mutex mu;
+    std::condition_variable cv;
     std::unordered_map<std::uint64_t, Entry> plans;
     std::list<std::uint64_t> lru;  // most-recently-used at the front
+    // Miss coalescing state: signatures registered but not yet computed.
+    std::unordered_map<std::uint64_t, std::shared_ptr<InFlight>> inflight;
+    std::vector<std::pair<std::uint64_t, const dnn::Graph*>> pending;
+    bool leader_active = false;
   };
   Shard& shard_for(std::uint64_t signature) const noexcept {
     return shards_[signature % shards_.size()];
   }
+  // Leader loop: drain `shard.pending` batches until empty. Called with the
+  // shard lock held; returns with it held.
+  void drain_pending(Shard& shard, std::unique_lock<std::mutex>& lock,
+                     const BatchPlanFactory& factory);
+  void insert_resident(Shard& shard, std::uint64_t sig, const PlanPtr& plan);
 
   mutable std::vector<Shard> shards_;
   std::size_t capacity_ = 0;        // total bound (0 = unbounded)

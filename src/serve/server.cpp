@@ -20,6 +20,7 @@
 #include <optional>
 #include <ostream>
 #include <queue>
+#include <span>
 #include <stdexcept>
 #include <thread>
 
@@ -89,13 +90,19 @@ PlanCache::PlanPtr Server::plan_for(const dnn::Graph& graph,
     throw std::logic_error(
         "Server: the PowerLens policy needs a trained framework");
   }
-  const auto factory = [this, &ws](const dnn::Graph& g) {
-    return framework_->optimize(g, &ws);
+  // Batch factory: the cache coalesces concurrent misses on a shard into
+  // one call, and optimize_batch shares the eigendecomposition sweeps
+  // across the coalesced graphs. `ws` is this worker's workspace; plans are
+  // workspace-invariant, so which worker leads a batch never changes bits.
+  const auto factory = [this, &ws](std::span<const dnn::Graph* const> graphs) {
+    return framework_->optimize_batch(graphs, &ws);
   };
   if (config_.use_plan_cache) {
     return cache_.get_or_compute(graph, factory);
   }
-  return std::make_shared<const core::OptimizationPlan>(factory(graph));
+  const dnn::Graph* const one[] = {&graph};
+  return std::make_shared<const core::OptimizationPlan>(
+      std::move(factory(one).front()));
 }
 
 std::vector<Server::ServiceResult> Server::simulate_parallel(

@@ -6,6 +6,8 @@
 
 #include <cmath>
 #include <random>
+#include <stdexcept>
+#include <vector>
 
 namespace powerlens::clustering {
 namespace {
@@ -221,6 +223,52 @@ TEST(PowerDistance, WorkspaceVariantIsBitwiseIdentical) {
   power_distance_matrix_into(x, p, ws, pooled);
   EXPECT_EQ(Matrix::max_abs_diff(plain, pooled), 0.0);
   EXPECT_EQ(ws.created(), created);
+}
+
+// The batched path (shared eigendecomposition sweeps across tables) must
+// reproduce the per-table path bit for bit on every member, including
+// degenerate tables and the Euclidean metric.
+TEST(PowerDistance, BatchVariantIsBitwiseIdenticalPerTable) {
+  std::vector<Matrix> tables;
+  tables.push_back(random_table(19, 6, 5));
+  tables.push_back(random_table(31, 6, 99));
+  tables.push_back(random_table(7, 4, 3));
+  Matrix constant_col = random_table(11, 5, 21);
+  for (std::size_t r = 0; r < constant_col.rows(); ++r) {
+    constant_col(r, 2) = 4.25;  // rank-deficient covariance member
+  }
+  tables.push_back(constant_col);
+
+  for (const FeatureMetric metric :
+       {FeatureMetric::kMahalanobis, FeatureMetric::kEuclidean}) {
+    DistanceParams p;
+    p.metric = metric;
+    linalg::Workspace ws;
+    std::vector<Matrix> dists(tables.size());
+    std::vector<const Matrix*> table_ptrs;
+    std::vector<Matrix*> dist_ptrs;
+    for (std::size_t i = 0; i < tables.size(); ++i) {
+      table_ptrs.push_back(&tables[i]);
+      dist_ptrs.push_back(&dists[i]);
+    }
+    power_distance_matrix_batch_into(table_ptrs, p, ws, dist_ptrs);
+    for (std::size_t i = 0; i < tables.size(); ++i) {
+      const Matrix solo = power_distance_matrix(tables[i], p);
+      EXPECT_EQ(Matrix::max_abs_diff(dists[i], solo), 0.0)
+          << "table " << i << " metric " << static_cast<int>(metric);
+    }
+  }
+}
+
+TEST(PowerDistance, BatchSizeMismatchThrows) {
+  const Matrix x = random_table(5, 3, 1);
+  Matrix out;
+  linalg::Workspace ws;
+  const std::vector<const Matrix*> tables = {&x};
+  const std::vector<Matrix*> dists = {&out, &out};
+  EXPECT_THROW(
+      power_distance_matrix_batch_into(tables, DistanceParams{}, ws, dists),
+      std::invalid_argument);
 }
 
 }  // namespace

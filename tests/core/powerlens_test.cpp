@@ -13,6 +13,8 @@
 
 #include <gtest/gtest.h>
 
+#include <vector>
+
 namespace powerlens::core {
 namespace {
 
@@ -201,6 +203,52 @@ TEST_F(PowerLensTest, PlanForViewRejectsMismatchedView) {
   EXPECT_THROW(
       framework_->plan_for_view(g, clustering::PowerView({{0, 3}}, 3)),
       std::invalid_argument);
+}
+
+// optimize_batch shares eigendecomposition sweeps across the batch but must
+// reproduce each solo optimize() plan field-exactly — the coalesced
+// plan-cache miss path relies on batching never changing a plan.
+TEST_F(PowerLensTest, OptimizeBatchMatchesSoloOptimizeFieldExactly) {
+  std::vector<dnn::Graph> graphs;
+  graphs.push_back(dnn::make_alexnet(4));
+  graphs.push_back(dnn::make_model("resnet34", 4));
+  graphs.push_back(dnn::make_model("mobilenet_v3", 2));
+  graphs.push_back(dnn::make_alexnet(4));  // duplicate graph in one batch
+  std::vector<const dnn::Graph*> ptrs;
+  for (const dnn::Graph& g : graphs) ptrs.push_back(&g);
+
+  const std::vector<OptimizationPlan> batch = framework_->optimize_batch(ptrs);
+  ASSERT_EQ(batch.size(), graphs.size());
+  for (std::size_t i = 0; i < graphs.size(); ++i) {
+    const OptimizationPlan solo = framework_->optimize(graphs[i]);
+    EXPECT_TRUE(batch[i] == solo) << "graph " << i;
+  }
+
+  // Workspace-threaded variant is just as exact, and a one-element batch
+  // degenerates to the solo path.
+  linalg::Workspace ws;
+  const std::vector<OptimizationPlan> pooled =
+      framework_->optimize_batch(ptrs, &ws);
+  for (std::size_t i = 0; i < graphs.size(); ++i) {
+    EXPECT_TRUE(pooled[i] == batch[i]) << "graph " << i;
+  }
+  const dnn::Graph* const one[] = {&graphs[1]};
+  const std::vector<OptimizationPlan> single =
+      framework_->optimize_batch(one, &ws);
+  ASSERT_EQ(single.size(), 1u);
+  EXPECT_TRUE(single[0] == batch[1]);
+}
+
+TEST_F(PowerLensTest, OptimizeBatchEmptyIsEmpty) {
+  EXPECT_TRUE(framework_->optimize_batch({}).empty());
+}
+
+TEST(PowerLensUntrained, OptimizeBatchBeforeTrainThrows) {
+  const hw::Platform platform = hw::make_tx2();
+  const PowerLens framework(platform, test_config());
+  const dnn::Graph g = dnn::make_alexnet(1);
+  const dnn::Graph* const ptrs[] = {&g};
+  EXPECT_THROW(framework.optimize_batch(ptrs), std::logic_error);
 }
 
 TEST(PowerLensUntrained, OptimizeBeforeTrainThrows) {

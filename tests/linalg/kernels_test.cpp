@@ -1,12 +1,19 @@
 // Blocked kernels vs textbook oracles. The contract under test is stronger
-// than numerical closeness: every kernel must be BITWISE identical to the
-// naive single-accumulator ascending-k loop (see kernels.hpp), across shapes
-// that exercise every register-tile and cache-block edge case, and identical
-// whether calls run sequentially or concurrently on many threads.
+// than numerical closeness: every kernel must be BITWISE identical to its
+// fixed reference reduction shape (see kernels.hpp) — the 4-lane tree for
+// the contiguous-k kernels (gemm_nt, affine, gemv), the naive
+// single-accumulator ascending-k loop for the output-contiguous ones
+// (gemm_nn, gemm_tn, col_sums) — across shapes that exercise every
+// register-tile and cache-block edge case, and identical whether calls run
+// sequentially or concurrently on many threads. Dispatch-path equivalence
+// (scalar vs SIMD bitwise identity) is covered separately in
+// kernels_dispatch_test.cpp; this file pins the shape of the arithmetic
+// itself under whichever path is active.
 #include "linalg/kernels.hpp"
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <cstddef>
 #include <random>
@@ -24,7 +31,18 @@ Matrix random_matrix(std::size_t rows, std::size_t cols, std::uint64_t seed) {
   return m;
 }
 
-// The reference semantics: one accumulator per output element, ascending k.
+// The contract's fixed 4-lane accumulator tree: lane l sums the products
+// with reduction index p ≡ l (mod 4) in ascending p, then the lanes
+// combine as (l0 + l1) + (l2 + l3). This is the reference reduction for
+// every kernel whose k axis is contiguous in both operands.
+double lane_tree_dot(const double* x, const double* y, std::size_t k) {
+  double lanes[kLanes] = {0.0, 0.0, 0.0, 0.0};
+  for (std::size_t p = 0; p < k; ++p) lanes[p % kLanes] += x[p] * y[p];
+  return (lanes[0] + lanes[1]) + (lanes[2] + lanes[3]);
+}
+
+// Reference for the output-contiguous kernels: one accumulator per output
+// element, ascending k.
 Matrix naive_nn(const Matrix& a, const Matrix& b) {
   Matrix c(a.rows(), b.cols());
   for (std::size_t i = 0; i < a.rows(); ++i) {
@@ -37,13 +55,14 @@ Matrix naive_nn(const Matrix& a, const Matrix& b) {
   return c;
 }
 
+// Reference for gemm_nt: 4-lane tree over the contiguous rows of A and B.
 Matrix naive_nt(const Matrix& a, const Matrix& b) {
   Matrix c(a.rows(), b.rows());
+  const std::size_t k = a.cols();
   for (std::size_t i = 0; i < a.rows(); ++i) {
+    const double* ai = a.data().data() + i * k;
     for (std::size_t j = 0; j < b.rows(); ++j) {
-      double acc = 0.0;
-      for (std::size_t k = 0; k < a.cols(); ++k) acc += a(i, k) * b(j, k);
-      c(i, j) = acc;
+      c(i, j) = lane_tree_dot(ai, b.data().data() + j * k, k);
     }
   }
   return c;
@@ -96,8 +115,10 @@ TEST(Gemm, MatchesNaiveOracleAcrossShapeGauntlet) {
 }
 
 TEST(Gemm, DeepInnerDimensionCrossesKPanelBoundary) {
-  // k > kBlockDepth forces multi-panel accumulation through memory; the
-  // per-element sum order must still be plain ascending k.
+  // k > kBlockDepth forces multi-panel accumulation through memory for the
+  // output-contiguous kernels (per-element order must stay plain ascending
+  // k), and for gemm_nt verifies the lane partials really span the whole
+  // reduction (no panel round-trip collapses the tree).
   for (const std::size_t k : {255ul, 256ul, 257ul, 600ul}) {
     const Matrix a = random_matrix(5, k, 90 + k);
     const Matrix b = random_matrix(k, 6, 91 + k);
@@ -110,10 +131,10 @@ TEST(Gemm, DeepInnerDimensionCrossesKPanelBoundary) {
 }
 
 TEST(Gemm, AccumulateAddsOntoExistingValues) {
-  // Accumulate seeds each element's accumulator with the EXISTING C value
-  // and then adds products in ascending k — the exact order of the legacy
-  // `grad_w_(o, i) += go * x(r, i)` loops, and a different rounding than
-  // "compute the product, then add it".
+  // Output-contiguous kernels seed each element's accumulator with the
+  // EXISTING C value and then add products in ascending k — the exact order
+  // of the legacy `grad_w_(o, i) += go * x(r, i)` loops. The lane-tree
+  // kernels instead join the existing value AFTER the tree combines.
   const Matrix a = random_matrix(9, 13, 7);
   const Matrix b = random_matrix(13, 11, 8);
   const Matrix at = random_matrix(13, 9, 9);
@@ -142,9 +163,24 @@ TEST(Gemm, AccumulateAddsOntoExistingValues) {
   }
   matmul_tn_into(at, b, ct, /*accumulate=*/true);
   expect_bitwise_equal(ct, want_tn, "matmul_tn_into accumulate");
+
+  const Matrix bt = random_matrix(11, 13, 13);
+  Matrix cnt = random_matrix(9, 11, 14);
+  Matrix want_nt = cnt;
+  for (std::size_t i = 0; i < want_nt.rows(); ++i) {
+    for (std::size_t j = 0; j < want_nt.cols(); ++j) {
+      double v = lane_tree_dot(a.data().data() + i * 13,
+                               bt.data().data() + j * 13, 13);
+      v += want_nt(i, j);  // existing C joins after the tree
+      want_nt(i, j) = v;
+    }
+  }
+  gemm_nt(9, 11, 13, a.data().data(), 13, bt.data().data(), 13,
+          cnt.data().data(), 11, /*accumulate=*/true);
+  expect_bitwise_equal(cnt, want_nt, "gemm_nt accumulate");
 }
 
-TEST(Gemv, MatchesNaiveDotPerRow) {
+TEST(Gemv, MatchesLaneTreeDotPerRow) {
   for (const std::size_t n : kShapes) {
     const Matrix a = random_matrix(17, n, 40 + n);
     std::vector<double> x(n);
@@ -154,15 +190,19 @@ TEST(Gemv, MatchesNaiveDotPerRow) {
 
     std::vector<double> got(17, 0.0);
     gemv(17, n, a.data().data(), n, x.data(), got.data());
+    std::vector<double> acc(17, 0.25);
+    gemv(17, n, a.data().data(), n, x.data(), acc.data(),
+         /*accumulate=*/true);
     for (std::size_t r = 0; r < 17; ++r) {
-      double acc = 0.0;
-      for (std::size_t c = 0; c < n; ++c) acc += a(r, c) * x[c];
-      ASSERT_EQ(got[r], acc) << "gemv row " << r << " n " << n;
+      const double tree = lane_tree_dot(a.data().data() + r * n, x.data(), n);
+      ASSERT_EQ(got[r], tree) << "gemv row " << r << " n " << n;
+      ASSERT_EQ(acc[r], tree + 0.25)
+          << "gemv accumulate row " << r << " n " << n;
     }
   }
 }
 
-TEST(FusedAffine, MatchesDotPlusBiasThenRelu) {
+TEST(FusedAffine, MatchesLaneTreeDotPlusBiasThenRelu) {
   for (const std::size_t batch : {1ul, 3ul, 8ul, 33ul}) {
     for (const std::size_t out_dim : {1ul, 5ul, 64ul, 65ul}) {
       const std::size_t in_dim = 19;
@@ -180,11 +220,9 @@ TEST(FusedAffine, MatchesDotPlusBiasThenRelu) {
                out_dim, relu);
         for (std::size_t r = 0; r < batch; ++r) {
           for (std::size_t o = 0; o < out_dim; ++o) {
-            double acc = 0.0;
-            for (std::size_t k = 0; k < in_dim; ++k) {
-              acc += x(r, k) * w(o, k);
-            }
-            acc += bias[o];
+            double acc = lane_tree_dot(x.data().data() + r * in_dim,
+                                       w.data().data() + o * in_dim, in_dim);
+            acc += bias[o];  // bias joins after the complete tree
             if (relu) acc = acc > 0.0 ? acc : 0.0;
             ASSERT_EQ(got(r, o), acc)
                 << "affine(" << r << ", " << o << ") relu=" << relu;
@@ -212,8 +250,8 @@ TEST(ColSums, AscendingRowOrderWithAndWithoutAccumulate) {
 }
 
 TEST(FusedAffine, ReluEpilogueNormalizesNanAndNegativeZero) {
-  // Legacy semantics were `v = v > 0.0 ? v : 0.0`: NaN and -0.0 both map to
-  // +0.0. The fused epilogue must preserve that exactly.
+  // `v = v > 0.0 ? v : 0.0`: NaN and -0.0 both map to +0.0. The fused
+  // epilogue must preserve that exactly on every dispatch path.
   const double nan = std::nan("");
   Matrix x(1, 1);
   x(0, 0) = nan;
@@ -246,6 +284,10 @@ TEST(Kernels, ZeroInnerDimensionYieldsZeroProduct) {
   gemm_nn(3, 4, 0, a.data().data(), 0, b.data().data(), 4, acc.data().data(),
           4, /*accumulate=*/true);
   expect_bitwise_equal(acc, before, "gemm_nn k=0 accumulate");
+
+  Matrix bt(4, 0);
+  Matrix cnt = matmul_nt(a, bt);
+  for (const double v : cnt.data()) EXPECT_EQ(v, 0.0);
 }
 
 TEST(Kernels, ConcurrentCallsAreBitwiseIdenticalToSequential) {
@@ -274,6 +316,88 @@ TEST(Kernels, ShapeMismatchThrows) {
   EXPECT_THROW(matmul(a, b), std::invalid_argument);
   EXPECT_THROW(matmul_nt(a, b), std::invalid_argument);
   EXPECT_THROW(matmul_tn(a, b), std::invalid_argument);
+}
+
+TEST(SyrkNt, MatchesGemmNtLowerTriangleAndLeavesUpperUntouched) {
+  // The contract: syrk_nt(i, j) for j <= i is bitwise the gemm_nt entry,
+  // and no byte above the diagonal is written. Shapes cover quad edges
+  // (n % 4 in every residue) and lane-tail k values.
+  const struct {
+    std::size_t n, k;
+  } shapes[] = {{1, 1}, {2, 3}, {3, 4}, {4, 4}, {5, 7},
+                {8, 5}, {9, 13}, {17, 36}, {33, 22}, {70, 9}};
+  for (const auto& s : shapes) {
+    const Matrix a = random_matrix(s.n, s.k, 900 + s.n);
+    Matrix full(s.n, s.n);
+    gemm_nt(s.n, s.n, s.k, a.data().data(), s.k, a.data().data(), s.k,
+            full.data().data(), s.n);
+    Matrix tri(s.n, s.n);
+    for (double& v : tri.data()) v = -123.25;  // sentinel
+    syrk_nt(s.n, s.k, a.data().data(), s.k, tri.data().data(), s.n);
+    for (std::size_t i = 0; i < s.n; ++i) {
+      for (std::size_t j = 0; j < s.n; ++j) {
+        if (j <= i) {
+          ASSERT_EQ(tri(i, j), full(i, j))
+              << "n=" << s.n << " k=" << s.k << " (" << i << ", " << j << ")";
+        } else {
+          ASSERT_EQ(tri(i, j), -123.25)
+              << "upper triangle written at (" << i << ", " << j << ")";
+        }
+      }
+    }
+  }
+}
+
+TEST(GramToDist, MatchesScalarMirrorReferenceBitwise) {
+  // Reference is the classic epilogue the kernel replaced:
+  // sqrt(max(n_i + n_j - 2 g(i,j), 0)) mirrored, zero diagonal. Equality
+  // must be exact: (-2)*g is bitwise -(2*g), a + (-b) is a - b, and sqrt
+  // is correctly rounded everywhere.
+  for (const std::size_t n : {1UL, 2UL, 5UL, 8UL, 17UL, 64UL, 71UL}) {
+    const std::size_t k = 11;
+    const Matrix y = random_matrix(n, k, 1700 + n);
+    Matrix gram(n, n);
+    syrk_nt(n, k, y.data().data(), k, gram.data().data(), n);
+    Matrix want(n, n);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < i; ++j) {
+        const double dd = std::sqrt(
+            std::max(gram(i, i) + gram(j, j) - 2.0 * gram(i, j), 0.0));
+        want(i, j) = dd;
+        want(j, i) = dd;
+      }
+      want(i, i) = 0.0;
+    }
+    Matrix got(n, n);
+    std::vector<double> scratch(n);
+    gram_to_dist(n, gram.data().data(), n, got.data().data(), n,
+                 scratch.data());
+    expect_bitwise_equal(got, want, "gram_to_dist");
+  }
+}
+
+TEST(DistBlend, MatchesScalarReferenceBitwise) {
+  for (const std::size_t n : {1UL, 3UL, 4UL, 9UL, 33UL, 66UL}) {
+    // Deliberately NOT symmetric: the kernel computes every element.
+    Matrix d = random_matrix(n, n, 2600 + n);
+    std::vector<double> penalty(n);
+    for (std::size_t t = 0; t < n; ++t) {
+      penalty[t] = 1.0 - std::exp(-0.05 * static_cast<double>(t));
+    }
+    const double alpha = 0.65;
+    const double inv_max = 0.8125;
+    const double beta = 1.0 - alpha;
+    Matrix want = d;
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < n; ++j) {
+        const std::size_t off = i < j ? j - i : i - j;
+        want(i, j) = alpha * (want(i, j) * inv_max) + beta * penalty[off];
+      }
+    }
+    Matrix got = d;
+    dist_blend(n, alpha, inv_max, beta, penalty.data(), got.data().data(), n);
+    expect_bitwise_equal(got, want, "dist_blend");
+  }
 }
 
 }  // namespace

@@ -12,7 +12,12 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <span>
 #include <sstream>
+#include <stdexcept>
 #include <thread>
 #include <vector>
 
@@ -230,6 +235,157 @@ TEST(PlanCacheTest, HitEqualsFreshOptimizeForTrainedFramework) {
     // schedule points and block levels).
     EXPECT_TRUE(*hit == fresh) << name;
   }
+}
+
+// A latch-style gate the blocking-factory tests use to hold the shard
+// leader inside its compute while the test arranges concurrent traffic.
+class Gate {
+ public:
+  void open() {
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      open_ = true;
+    }
+    cv_.notify_all();
+  }
+  void wait() {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [&] { return open_; });
+  }
+  bool is_open() {
+    const std::lock_guard<std::mutex> lock(mu_);
+    return open_;
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool open_ = false;
+};
+
+// The PR-6 regression target: misses used to compute under the shard lock,
+// so a hot key's hits queued behind every cold key's optimize(). Now a hit
+// must complete while a miss compute on the same shard is still running.
+TEST(PlanCacheTest, HitsDoNotBlockBehindAnInFlightMissCompute) {
+  PlanCache cache(/*num_shards=*/1);  // hot and cold keys share the shard
+  const dnn::Graph hot = dnn::make_alexnet(2);
+  const dnn::Graph cold = dnn::make_alexnet(4);
+  cache.get_or_compute(hot, [](const dnn::Graph&) {
+    return core::OptimizationPlan{};
+  });
+
+  Gate entered;
+  Gate release;
+  std::thread miss([&] {
+    cache.get_or_compute(cold, [&](const dnn::Graph&) {
+      entered.open();
+      release.wait();
+      return core::OptimizationPlan{};
+    });
+  });
+  entered.wait();
+  // The cold compute is in flight and parked inside its factory. A hit on
+  // the same shard must be served right now, not after release.
+  EXPECT_NE(cache.get_or_compute(hot, [](const dnn::Graph&) {
+    return core::OptimizationPlan{};
+  }),
+            nullptr);
+  EXPECT_FALSE(release.is_open());
+  release.open();
+  miss.join();
+  EXPECT_EQ(cache.misses(), 2u);
+  EXPECT_EQ(cache.hits(), 1u);
+}
+
+// Misses arriving while the shard leader is computing coalesce into ONE
+// batch factory call, and a duplicate of an in-flight signature joins the
+// existing computation instead of recomputing.
+TEST(PlanCacheTest, ConcurrentMissesCoalesceIntoOneBatchCall) {
+  PlanCache cache(/*num_shards=*/1);
+  const dnn::Graph a = dnn::make_alexnet(2);
+  const dnn::Graph b = dnn::make_alexnet(4);
+  const dnn::Graph c = dnn::make_alexnet(8);
+
+  Gate entered;
+  Gate release;
+  std::atomic<int> factory_calls{0};
+  std::atomic<std::size_t> max_batch{0};
+  const PlanCache::BatchPlanFactory factory =
+      [&](std::span<const dnn::Graph* const> graphs) {
+        if (factory_calls.fetch_add(1) == 0) {
+          entered.open();
+          release.wait();
+        }
+        std::size_t seen = max_batch.load();
+        while (seen < graphs.size() &&
+               !max_batch.compare_exchange_weak(seen, graphs.size())) {
+        }
+        return std::vector<core::OptimizationPlan>(graphs.size());
+      };
+
+  std::thread leader([&] { cache.get_or_compute(a, factory); });
+  entered.wait();  // the leader is parked inside compute([a])
+  std::vector<std::thread> stragglers;
+  stragglers.emplace_back([&] { cache.get_or_compute(b, factory); });
+  stragglers.emplace_back([&] { cache.get_or_compute(c, factory); });
+  stragglers.emplace_back([&] { cache.get_or_compute(a, factory); });
+  // Give the stragglers time to register with the shard; if one loses the
+  // race it simply leads its own batch, which the assertions below allow
+  // for via the counters (they are interleaving-independent).
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  release.open();
+  leader.join();
+  for (std::thread& t : stragglers) t.join();
+
+  EXPECT_EQ(cache.misses(), 3u);  // a, b, c each computed exactly once
+  EXPECT_EQ(cache.hits(), 1u);    // the duplicate `a` joined in flight
+  EXPECT_EQ(cache.size(), 3u);
+  // b and c were pending together while the leader was parked, so the
+  // drain after release computes them in one call: [a], then [b, c].
+  EXPECT_EQ(factory_calls.load(), 2);
+  EXPECT_EQ(max_batch.load(), 2u);
+}
+
+TEST(PlanCacheTest, FactoryExceptionPropagatesAndCachesNothing) {
+  PlanCache cache(/*num_shards=*/1);
+  const dnn::Graph g = dnn::make_alexnet(4);
+  EXPECT_THROW(cache.get_or_compute(g, [](const dnn::Graph&)
+                                           -> core::OptimizationPlan {
+    throw std::runtime_error("no plan for you");
+  }),
+               std::runtime_error);
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.misses(), 0u);  // failed computes count nothing
+  EXPECT_EQ(cache.hits(), 0u);
+
+  // The signature is left uncached, so a healthy factory retries cleanly.
+  EXPECT_NE(cache.get_or_compute(g, [](const dnn::Graph&) {
+    return core::OptimizationPlan{};
+  }),
+            nullptr);
+  EXPECT_EQ(cache.misses(), 1u);
+}
+
+TEST(PlanCacheTest, BatchFactoryWrongPlanCountThrows) {
+  PlanCache cache;
+  const dnn::Graph g = dnn::make_alexnet(4);
+  const PlanCache::BatchPlanFactory broken =
+      [](std::span<const dnn::Graph* const>) {
+        return std::vector<core::OptimizationPlan>{};  // nothing for anyone
+      };
+  EXPECT_THROW(cache.get_or_compute(g, broken), std::logic_error);
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(PlanCacheTest, PlanComputeHistogramSurfacesInPrometheusExport) {
+  PlanCache cache;
+  cache.get_or_compute(dnn::make_alexnet(4), [](const dnn::Graph&) {
+    return core::OptimizationPlan{};
+  });
+  std::ostringstream os;
+  obs::global_metrics().write_prometheus(os);
+  EXPECT_NE(os.str().find("powerlens_serve_plan_compute_ms"),
+            std::string::npos);
 }
 
 TEST(PlanCacheTest, CountersSurfaceInPrometheusExport) {

@@ -1,0 +1,62 @@
+// Regenerates tests/data/serialize_golden.txt in place after a DELIBERATE
+// numerics change in the kernel layer.
+//
+// The golden file pins two independent things: the serialization FORMAT
+// (scaler + model + probe-input bytes) and the forward-pass NUMERICS
+// (golden_scaled / golden_logits). This tool re-baselines only the second:
+// it loads the existing golden models and probe inputs, recomputes the two
+// output blocks with the current kernels, and rewrites the file. The
+// scaler, model, and probe-input bytes are reproduced through the format's
+// load->save fixed point (max_digits10 round-trip), so a format drift still
+// shows up as a diff in the leading sections — this tool cannot paper one
+// over silently.
+//
+// Usage: regen_serialize_golden <path/to/serialize_golden.txt>
+#include "linalg/kernels.hpp"
+#include "linalg/stats.hpp"
+#include "nn/mlp.hpp"
+#include "nn/serialize.hpp"
+
+#include <cstdio>
+#include <exception>
+#include <fstream>
+#include <string>
+
+int main(int argc, char** argv) {
+  using namespace powerlens;
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: %s <serialize_golden.txt>\n", argv[0]);
+    return 2;
+  }
+  const std::string path = argv[1];
+  try {
+    std::ifstream is(path);
+    if (!is) {
+      std::fprintf(stderr, "cannot open %s\n", path.c_str());
+      return 1;
+    }
+    const linalg::StandardScaler scaler = linalg::StandardScaler::load(is);
+    const nn::TwoStageMlp model = nn::TwoStageMlp::load(is);
+    const linalg::Matrix xs = nn::read_matrix(is, "golden_xs");
+    const linalg::Matrix xt = nn::read_matrix(is, "golden_xt");
+    is.close();
+
+    std::ofstream os(path);
+    if (!os) {
+      std::fprintf(stderr, "cannot rewrite %s\n", path.c_str());
+      return 1;
+    }
+    scaler.save(os);
+    model.save(os);
+    nn::write_matrix(os, "golden_xs", xs);
+    nn::write_matrix(os, "golden_xt", xt);
+    nn::write_matrix(os, "golden_scaled", scaler.transform(xs));
+    nn::write_matrix(os, "golden_logits", model.forward_const(xs, xt));
+    std::printf("re-baselined %s on the %s kernel path\n", path.c_str(),
+                linalg::kernels::path_name(linalg::kernels::active_path()));
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "regen failed: %s\n", e.what());
+    return 1;
+  }
+}
