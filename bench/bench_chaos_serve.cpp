@@ -15,10 +15,14 @@
 #include "bench_common.hpp"
 
 #include "fault/fault_spec.hpp"
+#include "obs/journal.hpp"
 #include "obs/json.hpp"
+#include "obs/residuals.hpp"
+#include "obs/setup.hpp"
 #include "serve/server.hpp"
 
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
@@ -62,11 +66,15 @@ serve::ServeReport run_one(const TrainedFramework& t,
                            const std::vector<serve::DeployedModel>& models,
                            serve::ServePolicy policy,
                            const fault::FaultSpec& faults,
-                           std::size_t workers) {
+                           std::size_t workers,
+                           obs::Journal* journal = nullptr,
+                           obs::Residuals* residuals = nullptr) {
   serve::ServerConfig config;
   config.policy = policy;
   config.num_workers = serve::is_plan_policy(policy) ? workers : 1;
   config.faults = faults;
+  config.journal = journal;      // null -> the process default sink
+  config.residuals = residuals;  // null -> the process default sink
   serve::Server server(t.platform, models, config, t.framework.get());
   return server.serve(serve::RequestStream(models.size(), stream_config()));
 }
@@ -105,10 +113,11 @@ bool check(bool ok, const char* what) {
   return ok;
 }
 
-int run(const hw::Platform& platform) {
-  std::printf("Chaos serving sweep on %s (%d tasks x %d images, seed %llu)\n",
+int run(const hw::Platform& platform, std::size_t sweep_workers) {
+  std::printf("Chaos serving sweep on %s (%d tasks x %d images, seed %llu, "
+              "%zu workers)\n",
               platform.name.c_str(), kTasks, kImagesPerTask,
-              static_cast<unsigned long long>(kFaultSeed));
+              static_cast<unsigned long long>(kFaultSeed), sweep_workers);
   TrainedFramework t = train_for(platform);
 
   std::vector<serve::DeployedModel> models;
@@ -124,23 +133,65 @@ int run(const hw::Platform& platform) {
     char label[32];
     std::snprintf(label, sizeof(label), "dvfs=%.2f", rate);
     for (const serve::ServePolicy policy : kPolicies) {
-      print_row(label, policy, run_one(t, models, policy, dvfs_spec(rate), 4));
+      print_row(label, policy,
+                run_one(t, models, policy, dvfs_spec(rate), sweep_workers));
     }
   }
   for (const serve::ServePolicy policy : kPolicies) {
     print_row("full-chaos", policy,
-              run_one(t, models, policy, full_chaos_spec(), 4));
+              run_one(t, models, policy, full_chaos_spec(), sweep_workers));
   }
 
+  // --- per-model predicted-vs-observed residuals (full chaos, PowerLens) ---
+  // A private sink isolates this table from the sweep rows above; the serve
+  // fold records residuals in task order, so the table is deterministic.
+  obs::Residuals residual_sink;
+  run_one(t, models, serve::ServePolicy::kPowerLens, full_chaos_spec(),
+          sweep_workers, nullptr, &residual_sink);
+  std::printf("\nper-model prediction residuals (full chaos, PowerLens; "
+              "signed (obs-pred)/pred):\n");
+  std::printf("%-14s %-7s %-10s %-10s %-10s %-10s %-10s %-10s\n", "model",
+              "count", "lat_mean", "lat_|mean|", "lat_ewma", "en_mean",
+              "en_|mean|", "en_ewma");
+  for (const serve::DeployedModel& m : models) {
+    const obs::Residuals::Stats s =
+        residual_sink.by_model("PowerLens", m.name);
+    std::printf("%-14s %-7llu %-10.4f %-10.4f %-10.4f %-10.4f %-10.4f "
+                "%-10.4f\n",
+                m.name.c_str(),
+                static_cast<unsigned long long>(s.latency.count),
+                s.latency.mean(), s.latency.mean_abs(), s.latency.ewma,
+                s.energy.mean(), s.energy.mean_abs(), s.energy.ewma);
+    obs::JsonWriter json;
+    json.field("bench", "chaos_serve_residuals")
+        .field("model", m.name)
+        .field("count", static_cast<double>(s.latency.count))
+        .field("latency_mean", s.latency.mean())
+        .field("latency_mean_abs", s.latency.mean_abs())
+        .field("latency_ewma", s.latency.ewma)
+        .field("energy_mean", s.energy.mean())
+        .field("energy_mean_abs", s.energy.mean_abs())
+        .field("energy_ewma", s.energy.ewma);
+    std::printf("JSON %s\n", json.str().c_str());
+  }
+  std::printf("drift flags: %zu of %llu scored requests\n",
+              residual_sink.drift_flags(),
+              static_cast<unsigned long long>(residual_sink.scored()));
+
   // --- acceptance checks: 10% DVFS-failure rate, PowerLens with fallback ---
+  // Each worker count gets a private journal + residual sink, so the
+  // byte-equality checks cover the full observability exports, not just the
+  // report aggregates.
   std::printf("\n");
   const fault::FaultSpec accept = dvfs_spec(0.1);
+  obs::Journal j1, j4, j8;
+  obs::Residuals r1, r4, r8;
   const serve::ServeReport w1 =
-      run_one(t, models, serve::ServePolicy::kPowerLens, accept, 1);
+      run_one(t, models, serve::ServePolicy::kPowerLens, accept, 1, &j1, &r1);
   const serve::ServeReport w4 =
-      run_one(t, models, serve::ServePolicy::kPowerLens, accept, 4);
+      run_one(t, models, serve::ServePolicy::kPowerLens, accept, 4, &j4, &r4);
   const serve::ServeReport w8 =
-      run_one(t, models, serve::ServePolicy::kPowerLens, accept, 8);
+      run_one(t, models, serve::ServePolicy::kPowerLens, accept, 8, &j8, &r8);
 
   bool every_request_completed = w1.admitted == static_cast<std::size_t>(
                                                     kTasks);
@@ -169,12 +220,36 @@ int run(const hw::Platform& platform) {
               "dvfs=0.10: report byte-identical at 1 vs 4 workers");
   ok &= check(identical(w1, w8),
               "dvfs=0.10: report byte-identical at 1 vs 8 workers");
+  ok &= check(j1.jsonl() == j4.jsonl(),
+              "dvfs=0.10: journal JSONL byte-identical at 1 vs 4 workers");
+  ok &= check(j1.jsonl() == j8.jsonl(),
+              "dvfs=0.10: journal JSONL byte-identical at 1 vs 8 workers");
+  ok &= check(r1.json() == r4.json(),
+              "dvfs=0.10: residual snapshot byte-identical at 1 vs 4 workers");
+  ok &= check(r1.json() == r8.json(),
+              "dvfs=0.10: residual snapshot byte-identical at 1 vs 8 workers");
   return ok ? 0 : 1;
 }
 
 }  // namespace
 }  // namespace powerlens::bench
 
-int main() {
-  return powerlens::bench::run(powerlens::hw::make_tx2());
+int main(int argc, char** argv) {
+  // Accepts the common observability flags (--journal/--residuals/--trace/
+  // --metrics) plus an optional positional worker count for the sweep rows,
+  // so CI can export the full journal at different worker counts and diff
+  // the files byte for byte.
+  const powerlens::obs::ObsOptions obs_options =
+      powerlens::obs::extract_cli_flags(argc, argv);
+  const powerlens::obs::ObsScope obs_scope(obs_options);
+  std::size_t sweep_workers = 4;
+  if (argc > 1) {
+    const unsigned long parsed = std::strtoul(argv[1], nullptr, 10);
+    if (parsed == 0) {
+      std::fprintf(stderr, "usage: bench_chaos_serve [workers]\n");
+      return 2;
+    }
+    sweep_workers = parsed;
+  }
+  return powerlens::bench::run(powerlens::hw::make_tx2(), sweep_workers);
 }

@@ -32,6 +32,7 @@ struct Row {
   std::string arrivals;
   std::size_t workers = 0;
   bool cache = true;
+  bool instrumented = true;  // journal + residual accounting enabled
   double host_s = 0.0;
   serve::ServeReport report;
 };
@@ -39,11 +40,13 @@ struct Row {
 Row run_one(const TrainedFramework& t,
             const std::vector<serve::DeployedModel>& models,
             const serve::RequestStream& stream, std::size_t workers,
-            bool cache) {
+            bool cache, bool instrumented = true) {
   serve::ServerConfig config;
   config.policy = serve::ServePolicy::kPowerLens;
   config.num_workers = workers;
   config.use_plan_cache = cache;
+  config.journal_enabled = instrumented;
+  config.residuals_enabled = instrumented;
   serve::Server server(t.platform, models, config, t.framework.get());
 
   const auto start = std::chrono::steady_clock::now();
@@ -56,6 +59,7 @@ Row run_one(const TrainedFramework& t,
                      : "closed-loop";
   row.workers = workers;
   row.cache = cache;
+  row.instrumented = instrumented;
   row.host_s = std::chrono::duration<double>(stop - start).count();
   row.report = std::move(report);
   return row;
@@ -63,9 +67,9 @@ Row run_one(const TrainedFramework& t,
 
 void print_row(const Row& row) {
   const serve::ServeReport& r = row.report;
-  std::printf("%-12s %-8zu %-6s %-9.3f %-10.1f %-10.4f %-9.2f %-12.4f\n",
+  std::printf("%-12s %-8zu %-6s %-7s %-9.3f %-10.1f %-10.4f %-9.2f %-12.4f\n",
               row.arrivals.c_str(), row.workers, row.cache ? "on" : "off",
-              row.host_s,
+              row.instrumented ? "on" : "off", row.host_s,
               row.host_s > 0.0 ? static_cast<double>(r.total_tasks) / row.host_s
                                : 0.0,
               r.energy_efficiency(), r.makespan_s, r.latency_p99_s);
@@ -75,6 +79,7 @@ void print_row(const Row& row) {
       .field("arrivals", row.arrivals)
       .field("workers", static_cast<double>(row.workers))
       .field("plan_cache", row.cache)
+      .field("instrumented", row.instrumented)
       .field("host_seconds", row.host_s)
       .field("tasks", static_cast<double>(r.total_tasks))
       .field("energy_j", r.energy_j)
@@ -87,10 +92,10 @@ void print_row(const Row& row) {
   std::printf("JSON %s\n", json.str().c_str());
 }
 
-void run_platform(const hw::Platform& platform) {
+void run_platform(const TrainedFramework& t) {
+  const hw::Platform& platform = t.platform;
   std::printf("\n=== Serving throughput on %s (%d tasks x %d images) ===\n",
               platform.name.c_str(), kTasks, kImagesPerTask);
-  TrainedFramework t = train_for(platform);
 
   std::vector<serve::DeployedModel> models;
   for (const dnn::ModelSpec& spec : dnn::model_zoo()) {
@@ -106,9 +111,9 @@ void run_platform(const hw::Platform& platform) {
   poisson.arrivals = serve::ArrivalProcess::kPoisson;
   poisson.arrival_rate_hz = 2.0;
 
-  std::printf("%-12s %-8s %-6s %-9s %-10s %-10s %-9s %-12s\n", "arrivals",
-              "workers", "cache", "host_s", "req_per_s", "EE_img_J",
-              "makespan", "p99_s");
+  std::printf("%-12s %-8s %-6s %-7s %-9s %-10s %-10s %-9s %-12s\n",
+              "arrivals", "workers", "cache", "journal", "host_s",
+              "req_per_s", "EE_img_J", "makespan", "p99_s");
 
   double ref_ee = 0.0;
   for (const serve::RequestStreamConfig& sc : {closed, poisson}) {
@@ -124,8 +129,54 @@ void run_platform(const hw::Platform& platform) {
     }
     // Cache-off reference: same results, pays a fresh optimize() per task.
     print_row(run_one(t, models, stream, 4, /*cache=*/false));
+    // Instrumentation-off reference: journal + residual accounting disabled.
+    print_row(run_one(t, models, stream, 4, /*cache=*/true,
+                      /*instrumented=*/false));
     ref_ee = 0.0;
   }
+}
+
+// The journal's always-on promise is "cheap enough to never turn off":
+// best-of-N serve wall-clock with instrumentation on must stay within 5% of
+// instrumentation off. Loud CHECK, non-zero exit on failure.
+bool check_journal_overhead(const TrainedFramework& t) {
+  std::vector<serve::DeployedModel> models;
+  for (const dnn::ModelSpec& spec : dnn::model_zoo()) {
+    models.push_back({std::string(spec.name), spec.build(kBatch)});
+  }
+  serve::RequestStreamConfig sc;
+  sc.seed = 7;
+  sc.num_tasks = kTasks;
+  sc.images_per_task = kImagesPerTask;
+  sc.batch = kBatch;
+  const serve::RequestStream stream(models.size(), sc);
+
+  constexpr int kReps = 3;
+  double best_on = 1e300;
+  double best_off = 1e300;
+  for (int rep = 0; rep < kReps; ++rep) {
+    best_off = std::min(
+        best_off,
+        run_one(t, models, stream, 4, true, /*instrumented=*/false).host_s);
+    best_on = std::min(
+        best_on,
+        run_one(t, models, stream, 4, true, /*instrumented=*/true).host_s);
+  }
+  const double overhead =
+      best_off > 0.0 ? (best_on - best_off) / best_off : 0.0;
+  const bool ok = overhead <= 0.05;
+  std::printf("\njournal overhead: %.3fs on vs %.3fs off (best of %d) = "
+              "%+.2f%% -> CHECK %s (budget 5%%)\n",
+              best_on, best_off, kReps, overhead * 100.0,
+              ok ? "PASSED" : "FAILED");
+  obs::JsonWriter json;
+  json.field("bench", "serve_journal_overhead")
+      .field("best_on_s", best_on)
+      .field("best_off_s", best_off)
+      .field("overhead_ratio", overhead)
+      .field("passed", ok);
+  std::printf("JSON %s\n", json.str().c_str());
+  return ok;
 }
 
 }  // namespace
@@ -133,6 +184,8 @@ void run_platform(const hw::Platform& platform) {
 
 int main() {
   std::printf("Serving-layer throughput sweep (plan policy: PowerLens)\n");
-  powerlens::bench::run_platform(powerlens::hw::make_tx2());
-  return 0;
+  const powerlens::bench::TrainedFramework t =
+      powerlens::bench::train_for(powerlens::hw::make_tx2());
+  powerlens::bench::run_platform(t);
+  return powerlens::bench::check_journal_overhead(t) ? 0 : 1;
 }

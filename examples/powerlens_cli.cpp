@@ -19,6 +19,9 @@
 // Every command also accepts the observability flags:
 //   --trace <file>     Chrome/Perfetto trace (load in ui.perfetto.dev)
 //   --metrics <file>   metrics snapshot (JSON; Prometheus text in <file>.prom)
+//   --journal <file>   structured event journal (JSONL, one record per line;
+//                      deterministic — byte-identical at any worker count)
+//   --residuals <file> predicted-vs-observed residual snapshot (JSON)
 //   --log-level <lvl>  off|error|warn|info|debug|trace (or env POWERLENS_LOG)
 //
 // `serve` additionally accepts:
@@ -61,6 +64,7 @@ int usage() {
                "[powerlens|maxn|bim|fpg-g|fpg-cg] [workers] [rate_hz]\n"
                "  powerlens_cli models\n"
                "common flags: --trace <file> --metrics <file> "
+               "--journal <file> --residuals <file> "
                "--log-level <off|error|warn|info|debug|trace>\n"
                "serve flags:  --faults <spec> --plan-cache-capacity <n>\n");
   return 2;
@@ -233,6 +237,13 @@ int cmd_serve(const hw::Platform& platform, const std::string& bundle,
                 report.faults.telemetry_dropped,
                 report.faults.latency_inflated, report.retries,
                 report.fallbacks, report.backoff_s);
+  }
+  if (report.residual_scored > 0) {
+    std::printf("prediction residuals over %zu requests: latency %+.1f%%, "
+                "energy %+.1f%% (observed vs predicted)\n",
+                report.residual_scored,
+                report.latency_residual_mean * 100.0,
+                report.energy_residual_mean * 100.0);
   }
   report.write_json(std::cout);
   return 0;

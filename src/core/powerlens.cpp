@@ -5,8 +5,10 @@
 #include "hw/cost_table.hpp"
 #include "nn/serialize.hpp"
 #include "obs/log.hpp"
+#include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
+#include <chrono>
 #include <fstream>
 #include <stdexcept>
 
@@ -18,6 +20,69 @@ linalg::Matrix row_matrix(const std::vector<double>& v) {
   linalg::Matrix m(1, v.size());
   for (std::size_t c = 0; c < v.size(); ++c) m(0, c) = v[c];
   return m;
+}
+
+// Wall-clock phase timer feeding a powerlens_plan_phase_*_ms histogram on
+// destruction. Callers hoist the histogram reference into a function-local
+// static so the hot path never touches the registry mutex.
+class PhaseTimer {
+ public:
+  explicit PhaseTimer(obs::Histogram& hist)
+      : hist_(hist), start_(std::chrono::steady_clock::now()) {}
+  ~PhaseTimer() {
+    hist_.observe(std::chrono::duration<double, std::milli>(
+                      std::chrono::steady_clock::now() - start_)
+                      .count());
+  }
+  PhaseTimer(const PhaseTimer&) = delete;
+  PhaseTimer& operator=(const PhaseTimer&) = delete;
+
+ private:
+  obs::Histogram& hist_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+obs::Histogram& phase_predict_hist() {
+  static obs::Histogram& h = obs::global_metrics().histogram(
+      "powerlens_plan_phase_predict_ms", obs::default_milliseconds_buckets(),
+      "plan compute: global features + hyperparameter prediction");
+  return h;
+}
+obs::Histogram& phase_cost_table_hist() {
+  static obs::Histogram& h = obs::global_metrics().histogram(
+      "powerlens_plan_phase_cost_table_ms",
+      obs::default_milliseconds_buckets(),
+      "plan compute: analytic cost-table fill");
+  return h;
+}
+obs::Histogram& phase_distance_hist() {
+  static obs::Histogram& h = obs::global_metrics().histogram(
+      "powerlens_plan_phase_distance_ms", obs::default_milliseconds_buckets(),
+      "plan compute: depthwise features + power-distance blend");
+  return h;
+}
+obs::Histogram& phase_cluster_hist() {
+  static obs::Histogram& h = obs::global_metrics().histogram(
+      "powerlens_plan_phase_cluster_ms", obs::default_milliseconds_buckets(),
+      "plan compute: DBSCAN + contiguity and feasibility postprocess");
+  return h;
+}
+obs::Histogram& phase_decide_hist() {
+  static obs::Histogram& h = obs::global_metrics().histogram(
+      "powerlens_plan_phase_decide_ms", obs::default_milliseconds_buckets(),
+      "plan compute: per-block frequency decisions + schedule emission");
+  return h;
+}
+
+// Fills the plan's static per-pass cost prediction from the emitted
+// schedule (MAXN initial levels — the serving engine's boot state).
+void predict_plan_cost(const hw::Platform& platform, const dnn::Graph& graph,
+                       OptimizationPlan& plan) {
+  const hw::BlockCost cost =
+      hw::schedule_cost(platform, graph.layers(), plan.schedule,
+                        platform.max_gpu_level(), platform.max_cpu_level());
+  plan.predicted_pass_time_s = cost.time_s;
+  plan.predicted_pass_energy_j = cost.energy_j;
 }
 
 }  // namespace
@@ -197,6 +262,7 @@ OptimizationPlan PowerLens::plan_for_view(const dnn::Graph& graph,
     plan.block_levels.push_back(level);
     plan.schedule.points.push_back({b.begin, level});
   }
+  predict_plan_cost(*platform_, graph, plan);
   return plan;
 }
 
@@ -211,11 +277,12 @@ OptimizationPlan PowerLens::optimize(const dnn::Graph& graph,
       {obs::TraceArg::num("layers", static_cast<double>(graph.size()))});
 
   // Step 1: predict clustering hyperparameters from global features.
-  const features::GlobalFeatures net_features =
-      features::GlobalFeatureExtractor::extract(graph);
   int cls = 0;
   {
     obs::ScopedSpan span(tw, "predict_hyper", "pipeline");
+    PhaseTimer timer(phase_predict_hist());
+    const features::GlobalFeatures net_features =
+        features::GlobalFeatureExtractor::extract(graph);
     cls = hyper_model_.predict(net_features, ws);
   }
   const clustering::ClusteringHyperparams hp =
@@ -224,21 +291,51 @@ OptimizationPlan PowerLens::optimize(const dnn::Graph& graph,
   // Steps 2-3: power behavior similarity clustering into a power view,
   // post-processed to deployment-feasible block durations. Feasibility only
   // reads the (mid GPU, max CPU) plane, so a one-plane table suffices.
+  // build_power_view is inlined into its public pieces (feature extraction
+  // + distance blend, then DBSCAN) so each phase lands in its own
+  // powerlens_plan_phase_*_ms histogram; the call chain is identical, so
+  // the resulting view is bitwise unchanged.
   clustering::ClusteringConfig cc;
   cc.hyper = hp;
   cc.distance = config_.dataset.distance;
-  const std::size_t cpu_levels[] = {platform_->max_cpu_level()};
-  const hw::CostTable costs(*platform_, graph.layers(), cpu_levels);
   clustering::PowerView view = [&] {
     obs::ScopedSpan span(tw, "cluster_and_postprocess", "pipeline");
+    const std::size_t cpu_levels[] = {platform_->max_cpu_level()};
+    std::optional<hw::CostTable> costs;
+    {
+      PhaseTimer timer(phase_cost_table_hist());
+      costs.emplace(*platform_, graph.layers(), cpu_levels);
+    }
+    const linalg::Matrix table =
+        features::DepthwiseFeatureExtractor::extract(graph);
+    if (ws != nullptr) {
+      linalg::Workspace::Lease dist = ws->lease(0, 0);
+      {
+        PhaseTimer timer(phase_distance_hist());
+        clustering::power_distances_into(table, cc.distance, *ws, *dist);
+      }
+      PhaseTimer timer(phase_cluster_hist());
+      return enforce_min_block_duration(
+          *costs, clustering::build_power_view_from_distances(*dist, cc.hyper),
+          *platform_, feasible_block_duration(*costs, *platform_));
+    }
+    std::optional<linalg::Matrix> dist;
+    {
+      PhaseTimer timer(phase_distance_hist());
+      dist.emplace(clustering::power_distances_for(table, cc.distance));
+    }
+    PhaseTimer timer(phase_cluster_hist());
     return enforce_min_block_duration(
-        costs, clustering::build_power_view(graph, cc, ws), *platform_,
-        feasible_block_duration(costs, *platform_));
+        *costs, clustering::build_power_view_from_distances(*dist, cc.hyper),
+        *platform_, feasible_block_duration(*costs, *platform_));
   }();
 
   // Steps 4-5: per-block frequency decisions and the preset schedule.
   obs::ScopedSpan decide_span(tw, "decide_levels", "pipeline");
-  OptimizationPlan plan = plan_for_view(graph, std::move(view), false, ws);
+  OptimizationPlan plan = [&] {
+    PhaseTimer timer(phase_decide_hist());
+    return plan_for_view(graph, std::move(view), false, ws);
+  }();
   plan.hyper = hp;
   obs::log_debug(
       "powerlens", "optimized graph",
@@ -273,6 +370,7 @@ std::vector<OptimizationPlan> PowerLens::optimize_batch(
   std::vector<linalg::Matrix> tables;
   tables.reserve(graphs.size());
   for (const dnn::Graph* graph : graphs) {
+    PhaseTimer timer(phase_predict_hist());
     const features::GlobalFeatures net_features =
         features::GlobalFeatureExtractor::extract(*graph);
     const int cls = hyper_model_.predict(net_features, ws);
@@ -295,8 +393,18 @@ std::vector<OptimizationPlan> PowerLens::optimize_batch(
   }
   {
     obs::ScopedSpan span(tw, "batched_power_distances", "pipeline");
+    const auto t0 = std::chrono::steady_clock::now();
     clustering::power_distances_batch_into(
         table_ptrs, config_.dataset.distance, batch_ws, dist_ptrs);
+    // Amortised per-plan share of the shared sweep, observed once per
+    // graph — same discipline as powerlens_serve_plan_compute_ms.
+    const double ms = std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count() /
+                      static_cast<double>(graphs.size());
+    for (std::size_t i = 0; i < graphs.size(); ++i) {
+      phase_distance_hist().observe(ms);
+    }
   }
 
   // Phase 3, per graph: clustering, feasibility post-processing, per-block
@@ -304,12 +412,22 @@ std::vector<OptimizationPlan> PowerLens::optimize_batch(
   for (std::size_t i = 0; i < graphs.size(); ++i) {
     const dnn::Graph& graph = *graphs[i];
     const std::size_t cpu_levels[] = {platform_->max_cpu_level()};
-    const hw::CostTable costs(*platform_, graph.layers(), cpu_levels);
-    clustering::PowerView view = enforce_min_block_duration(
-        costs,
-        clustering::build_power_view_from_distances(*dist_ptrs[i], hps[i]),
-        *platform_, feasible_block_duration(costs, *platform_));
-    OptimizationPlan plan = plan_for_view(graph, std::move(view), false, ws);
+    std::optional<hw::CostTable> costs;
+    {
+      PhaseTimer timer(phase_cost_table_hist());
+      costs.emplace(*platform_, graph.layers(), cpu_levels);
+    }
+    clustering::PowerView view = [&] {
+      PhaseTimer timer(phase_cluster_hist());
+      return enforce_min_block_duration(
+          *costs,
+          clustering::build_power_view_from_distances(*dist_ptrs[i], hps[i]),
+          *platform_, feasible_block_duration(*costs, *platform_));
+    }();
+    OptimizationPlan plan = [&] {
+      PhaseTimer timer(phase_decide_hist());
+      return plan_for_view(graph, std::move(view), false, ws);
+    }();
     plan.hyper = hps[i];
     plans.push_back(std::move(plan));
   }
@@ -347,6 +465,7 @@ OptimizationPlan PowerLens::optimize_oracle(const dnn::Graph& graph) const {
     plan.schedule.points.push_back({b.begin, level});
   }
   plan.hyper = hp;
+  predict_plan_cost(*platform_, graph, plan);
   return plan;
 }
 

@@ -90,6 +90,13 @@ struct OptimizationPlan {
   clustering::PowerView view;
   std::vector<std::size_t> block_levels;  // one GPU level per block
   hw::PresetSchedule schedule;
+  // Static per-pass cost prediction for `schedule` (hw::schedule_cost from
+  // MAXN initial levels, the serving boot state): the lag-free time/energy
+  // the plan promises per forward pass. The serving layer scores simulated
+  // actuals against these (obs::Residuals); 0 means "not computed" (plans
+  // assembled by hand).
+  double predicted_pass_time_s = 0.0;
+  double predicted_pass_energy_j = 0.0;
 
   // Field-exact equality — the PlanCache's hit-equals-fresh-plan invariant.
   bool operator==(const OptimizationPlan&) const noexcept = default;

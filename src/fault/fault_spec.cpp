@@ -134,4 +134,18 @@ std::uint64_t reactive_fault_seed(std::uint64_t seed) noexcept {
   return util::splitmix64(seed ^ kReactiveDomain);
 }
 
+std::string fault_tag(const hw::FaultCounters& counters) {
+  std::string tag;
+  const auto add = [&](std::string_view name, std::size_t count) {
+    if (count == 0) return;
+    if (!tag.empty()) tag += ',';
+    tag.append(name).append(":").append(std::to_string(count));
+  };
+  add("dvfs", counters.dvfs_failed);
+  add("thermal", counters.thermal_events);
+  add("telemetry", counters.telemetry_dropped);
+  add("latency", counters.latency_inflated);
+  return tag.empty() ? "none" : tag;
+}
+
 }  // namespace powerlens::fault

@@ -7,6 +7,8 @@
 // deterministic decisions. All-zero rates (the default) mean no injection.
 #pragma once
 
+#include "hw/fault_hooks.hpp"
+
 #include <cstdint>
 #include <string>
 #include <string_view>
@@ -67,5 +69,11 @@ std::uint64_t request_fault_seed(std::uint64_t seed, std::size_t task_id,
 
 // Fault-stream seed for a continuous reactive run (one stream per serve).
 std::uint64_t reactive_fault_seed(std::uint64_t seed) noexcept;
+
+// Compact tag of the faults one execution hit, for span annotations and
+// journal records: "dvfs:2,thermal:1,telemetry:3,latency:5" with zero
+// classes omitted; "none" when nothing fired. Deterministic for equal
+// counters, so journals containing tags stay byte-comparable.
+std::string fault_tag(const hw::FaultCounters& counters);
 
 }  // namespace powerlens::fault

@@ -24,6 +24,34 @@ BlockCost analytic_block_cost(const Platform& platform,
   return cost;
 }
 
+BlockCost schedule_cost(const Platform& platform,
+                        std::span<const dnn::Layer> layers,
+                        const PresetSchedule& schedule,
+                        std::size_t initial_gpu_level,
+                        std::size_t initial_cpu_level, double cpu_load) {
+  const LatencyModel latency(platform);
+  const PowerModel power(platform);
+  std::size_t gpu_level = initial_gpu_level;
+  std::size_t cpu_level = initial_cpu_level;
+
+  BlockCost cost;
+  for (std::size_t i = 0; i < layers.size(); ++i) {
+    // Apply presets before pricing the layer — the engine switches at the
+    // block boundary, before executing the boundary layer.
+    if (const auto level = schedule.level_at(i)) gpu_level = *level;
+    if (const auto level = schedule.cpu_level_at(i)) cpu_level = *level;
+    const dnn::Layer& l = layers[i];
+    if (l.type == dnn::OpType::kInput) continue;
+    const double gpu_f = platform.gpu_freq(gpu_level);
+    const double cpu_f = platform.cpu_freq(cpu_level);
+    const LayerTiming t = latency.time_layer(l, gpu_f, cpu_f);
+    const ActivityState act{t.gpu_activity, t.mem_activity, cpu_load};
+    cost.time_s += t.total_s;
+    cost.energy_j += power.total_w(gpu_f, cpu_f, act) * t.total_s;
+  }
+  return cost;
+}
+
 std::size_t optimal_gpu_level(const Platform& platform,
                               std::span<const dnn::Layer> layers,
                               std::size_t cpu_level, double cpu_load) {

@@ -10,6 +10,7 @@
 #pragma once
 
 #include "dnn/graph.hpp"
+#include "hw/governor.hpp"
 #include "hw/latency_model.hpp"
 #include "hw/power_model.hpp"
 
@@ -38,5 +39,18 @@ BlockCost analytic_block_cost(const Platform& platform,
 std::size_t optimal_gpu_level(const Platform& platform,
                               std::span<const dnn::Layer> layers,
                               std::size_t cpu_level, double cpu_load = 0.2);
+
+// Cost of one forward pass under a preset DVFS schedule: each layer is
+// priced at the level the schedule has switched to by that layer (GPU and,
+// when cpu_points are present, CPU), starting from the given initial
+// levels. This is the *static prediction* for a plan — the lag-free cost
+// the schedule would achieve with instant transitions and no governor,
+// faults, or throttling; the serving layer scores simulated actuals
+// against it (obs::Residuals).
+BlockCost schedule_cost(const Platform& platform,
+                        std::span<const dnn::Layer> layers,
+                        const PresetSchedule& schedule,
+                        std::size_t initial_gpu_level,
+                        std::size_t initial_cpu_level, double cpu_load = 0.2);
 
 }  // namespace powerlens::hw

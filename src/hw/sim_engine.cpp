@@ -451,6 +451,8 @@ ExecutionResult SimEngine::run_workload(std::span<const WorkItem> items,
   r.dvfs_transitions = st.transitions;
   r.dvfs_stall_s = st.stall_time;
   r.telemetry_energy_j = st.telemetry.total_energy_j();
+  r.telemetry_mean_power_w = st.telemetry.mean_power_w();
+  r.telemetry_peak_power_w = st.telemetry.peak_power_w();
   r.thermal_throttled_s = st.throttled_s;
   if (policy.faults != nullptr) {
     const FaultCounters& after = policy.faults->counters();

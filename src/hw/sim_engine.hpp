@@ -97,6 +97,11 @@ struct ExecutionResult {
   // Telemetry's exact power integral, including slivers the sampling
   // windows drop; equals energy_j bit for bit (conservation invariant).
   double telemetry_energy_j = 0.0;
+  // Telemetry-rail view of the run: sample mean and maximum (0 when every
+  // sample was dropped). The serving layer's journal/residual accounting
+  // reads these instead of re-deriving them from power_samples.
+  double telemetry_mean_power_w = 0.0;
+  double telemetry_peak_power_w = 0.0;
   // Faults injected during this run (zero when RunPolicy::faults is null).
   FaultCounters faults;
   // Time spent with the GPU ladder thermally capped below the requested

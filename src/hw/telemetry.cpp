@@ -63,4 +63,12 @@ double Telemetry::mean_power_w() const noexcept {
   return s / static_cast<double>(samples_.size());
 }
 
+double Telemetry::peak_power_w() const noexcept {
+  double peak = 0.0;
+  for (const PowerSample& p : samples_) {
+    if (p.power_w > peak) peak = p.power_w;
+  }
+  return peak;
+}
+
 }  // namespace powerlens::hw

@@ -43,6 +43,10 @@ class Telemetry {
   // Mean of recorded samples (0 if none).
   double mean_power_w() const noexcept;
 
+  // Maximum recorded sample (0 if none) — the rail's observed peak, the
+  // signal thermal-drift accounting compares against sustained draw.
+  double peak_power_w() const noexcept;
+
   // Exact integral of every recorded slice, including the sub-epsilon
   // slivers the round-off guard in record_slice keeps out of the sample
   // windows. This is the energy-conservation invariant: it equals the

@@ -81,6 +81,15 @@ JsonWriter& JsonWriter::field(std::string_view key, std::string_view value) {
   return *this;
 }
 
+JsonWriter& JsonWriter::field_or_null(std::string_view key, double value) {
+  if (!body_.empty()) body_ += ", ";
+  body_ += '"';
+  append_json_escaped(body_, key);
+  body_ += "\": ";
+  append_json_number_or_null(body_, value);
+  return *this;
+}
+
 JsonWriter& JsonWriter::field(std::string_view key, bool value) {
   if (!body_.empty()) body_ += ", ";
   body_ += '"';

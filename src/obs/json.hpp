@@ -41,9 +41,17 @@ class JsonWriter {
     return field(key, std::string_view(value));
   }
   JsonWriter& field(std::string_view key, bool value);
+  // Emits `null` for NaN/infinite values instead of clamping to 0.
+  JsonWriter& field_or_null(std::string_view key, double value);
 
   // The finished object, e.g. {"phase": "generate", "seconds": 0.41}.
   std::string str() const;
+
+  // The comma-joined fields without the surrounding braces — for embedding
+  // into a larger object (the journal's record envelope).
+  const std::string& body() const noexcept { return body_; }
+
+  bool empty() const noexcept { return body_.empty(); }
 
  private:
   std::string body_;

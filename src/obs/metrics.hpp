@@ -76,7 +76,9 @@ class Gauge {
 
 // Fixed-bucket histogram with Prometheus `le` semantics: an observation v
 // lands in the first bucket whose upper bound satisfies v <= bound; values
-// above the last bound land in the implicit +Inf bucket.
+// above the last bound land in the implicit +Inf bucket. NaN and infinite
+// observations are rejected (counted, never recorded) — a single NaN would
+// otherwise poison the sum forever.
 class Histogram {
  public:
   void observe(double v) noexcept;
@@ -86,16 +88,26 @@ class Histogram {
     std::vector<std::uint64_t> counts;  // bounds.size() + 1 (+Inf last)
     double sum = 0.0;
     std::uint64_t count = 0;
+
+    // Linear-interpolated quantile estimate, q in [0, 1] (clamped). NaN
+    // when the snapshot is empty; observations in the +Inf bucket resolve
+    // to the last finite bound.
+    double quantile(double q) const noexcept;
   };
   Snapshot snapshot() const;
 
   const std::vector<double>& bounds() const noexcept { return bounds_; }
+  // Non-finite observations dropped since construction.
+  std::uint64_t rejected() const noexcept {
+    return rejected_.load(std::memory_order_relaxed);
+  }
 
  private:
   friend class MetricsRegistry;
   explicit Histogram(std::vector<double> bounds);
 
   std::vector<double> bounds_;
+  std::atomic<std::uint64_t> rejected_{0};
   struct alignas(64) Shard {
     std::unique_ptr<std::atomic<std::uint64_t>[]> counts;
     std::atomic<double> sum{0.0};
@@ -117,6 +129,9 @@ class MetricsRegistry {
   Gauge& gauge(std::string_view name, std::string_view help = {});
   Histogram& histogram(std::string_view name, std::span<const double> bounds,
                        std::string_view help = {});
+
+  // Registered metric names in export (lexicographic) order.
+  std::vector<std::string> names() const;
 
   void write_json(std::ostream& os) const;
   void write_prometheus(std::ostream& os) const;
@@ -142,5 +157,22 @@ MetricsRegistry& global_metrics();
 
 // Default latency buckets (seconds) for pipeline-phase histograms.
 std::span<const double> default_seconds_buckets() noexcept;
+
+// Default buckets (milliseconds) for sub-millisecond phase timers, where
+// the seconds buckets would collapse everything into the first bin.
+std::span<const double> default_milliseconds_buckets() noexcept;
+
+// The repo's metric naming scheme: powerlens_<subsystem>_<name>_<unit>
+// with subsystem in {offline, train, sim, serve, plan, fault, obs} and a
+// trailing unit token in {total, seconds, ms, joules, images, ratio,
+// count, depth, bytes}; all tokens [a-z0-9]. Names outside the powerlens_
+// prefix (tests, ad-hoc tools) are exempt. Registration of an invalid
+// powerlens_* name throws std::invalid_argument so drift is caught at the
+// first register, not in a dashboard review.
+bool valid_metric_name(std::string_view name) noexcept;
+
+// Escapes a value for use inside a Prometheus label ( \ -> \\, " -> \",
+// newline -> \n ) per the text-exposition spec.
+std::string prometheus_escape_label(std::string_view value);
 
 }  // namespace powerlens::obs

@@ -1,6 +1,8 @@
 #include "obs/setup.hpp"
 
+#include "obs/journal.hpp"
 #include "obs/metrics.hpp"
+#include "obs/residuals.hpp"
 #include "obs/trace.hpp"
 
 #include <fstream>
@@ -51,6 +53,18 @@ ObsOptions extract_cli_flags(int& argc, char** argv) {
       i += used;
       continue;
     }
+    used = match_flag(argc, argv, i, "--journal", value);
+    if (used > 0) {
+      if (!value.empty()) opts.journal_path = value;
+      i += used;
+      continue;
+    }
+    used = match_flag(argc, argv, i, "--residuals", value);
+    if (used > 0) {
+      if (!value.empty()) opts.residuals_path = value;
+      i += used;
+      continue;
+    }
     used = match_flag(argc, argv, i, "--log-level", value);
     if (used > 0) {
       if (!value.empty()) {
@@ -83,6 +97,28 @@ ObsScope::ObsScope(ObsOptions options) : options_(std::move(options)) {
 
 ObsScope::~ObsScope() {
   default_trace().close();
+  if (!options_.journal_path.empty()) {
+    std::ofstream os(options_.journal_path);
+    if (!os) {
+      log_error("obs.setup", "cannot open journal file",
+                {{"path", options_.journal_path}});
+    } else {
+      default_journal().write_jsonl(os);
+      log_info("obs.setup", "event journal written",
+               {{"path", options_.journal_path}});
+    }
+  }
+  if (!options_.residuals_path.empty()) {
+    std::ofstream os(options_.residuals_path);
+    if (!os) {
+      log_error("obs.setup", "cannot open residuals file",
+                {{"path", options_.residuals_path}});
+    } else {
+      default_residuals().write_json(os);
+      log_info("obs.setup", "residual snapshot written",
+               {{"path", options_.residuals_path}});
+    }
+  }
   if (options_.metrics_path.empty()) return;
   {
     std::ofstream os(options_.metrics_path);

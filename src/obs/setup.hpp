@@ -1,10 +1,12 @@
 // Shared observability wiring for binaries (CLI + benches).
 //
-// extract_cli_flags() strips the three common flags from an argv:
+// extract_cli_flags() strips the common flags from an argv:
 //
 //   --trace <file>      write a Chrome/Perfetto trace to <file>
 //   --metrics <file>    write a metrics snapshot: JSON to <file>,
 //                       Prometheus text exposition to <file>.prom
+//   --journal <file>    export the serving event journal as JSONL
+//   --residuals <file>  export predicted-vs-observed residual stats (JSON)
 //   --log-level <lvl>   off|error|warn|info|debug|trace (or POWERLENS_LOG)
 //
 // ('--flag=value' forms are also accepted.) ObsScope is the RAII companion:
@@ -23,6 +25,8 @@ namespace powerlens::obs {
 struct ObsOptions {
   std::string trace_path;
   std::string metrics_path;
+  std::string journal_path;
+  std::string residuals_path;
   std::optional<LogLevel> log_level;
 };
 

@@ -82,7 +82,8 @@ void TraceWriter::write_line_locked(const std::string& body) {
 
 void TraceWriter::emit(char ph, int pid, int tid, double ts_us,
                        std::string_view name, std::string_view cat,
-                       std::initializer_list<TraceArg> args) {
+                       std::initializer_list<TraceArg> args,
+                       const std::uint64_t* async_id) {
   std::string body;
   body.reserve(128);
   body += "{\"name\":\"";
@@ -102,6 +103,15 @@ void TraceWriter::emit(char ph, int pid, int tid, double ts_us,
   body += ",\"tid\":";
   append_json_number(body, tid);
   if (ph == 'i') body += ",\"s\":\"t\"";  // thread-scoped instant
+  if (async_id != nullptr) {
+    // String ids survive 64-bit values the viewer would round as doubles.
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "%llu",
+                  static_cast<unsigned long long>(*async_id));
+    body += ",\"id\":\"";
+    body += buf;
+    body += '"';
+  }
   if (args.size() > 0) append_args(body, args);
   body += '}';
 
@@ -174,6 +184,21 @@ void TraceWriter::counter(int pid, int tid, double ts_us,
                           std::string_view name, double value) {
   if (!enabled()) return;
   emit('C', pid, tid, ts_us, name, {}, {TraceArg::num("value", value)});
+}
+
+void TraceWriter::async_begin_at(int pid, int tid, std::uint64_t id,
+                                 double ts_us, std::string_view name,
+                                 std::string_view cat,
+                                 std::initializer_list<TraceArg> args) {
+  if (!enabled()) return;
+  emit('b', pid, tid, ts_us, name, cat, args, &id);
+}
+
+void TraceWriter::async_end_at(int pid, int tid, std::uint64_t id,
+                               double ts_us, std::string_view name,
+                               std::string_view cat) {
+  if (!enabled()) return;
+  emit('e', pid, tid, ts_us, name, cat, {}, &id);
 }
 
 void TraceWriter::name_process(int pid, std::string_view name) {

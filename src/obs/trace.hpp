@@ -21,6 +21,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <cstdint>
 #include <fstream>
 #include <initializer_list>
 #include <mutex>
@@ -101,6 +102,17 @@ class TraceWriter {
   void counter(int pid, int tid, double ts_us, std::string_view name,
                double value);
 
+  // Async spans (ph 'b'/'e'): unlike B/E they may overlap freely on one
+  // track — the viewer pairs them by (cat, id, name), not by stack order.
+  // Used for per-request queue-wait spans, where many requests wait at
+  // once. `id` must be unique among concurrently open spans of one (cat,
+  // name); the serving layer passes the request's task id.
+  void async_begin_at(int pid, int tid, std::uint64_t id, double ts_us,
+                      std::string_view name, std::string_view cat,
+                      std::initializer_list<TraceArg> args = {});
+  void async_end_at(int pid, int tid, std::uint64_t id, double ts_us,
+                    std::string_view name, std::string_view cat);
+
   // Metadata events naming the tracks in the trace viewer (ts 0).
   void name_process(int pid, std::string_view name);
   void name_thread(int pid, int tid, std::string_view name);
@@ -112,7 +124,8 @@ class TraceWriter {
 
  private:
   void emit(char ph, int pid, int tid, double ts_us, std::string_view name,
-            std::string_view cat, std::initializer_list<TraceArg> args);
+            std::string_view cat, std::initializer_list<TraceArg> args,
+            const std::uint64_t* async_id = nullptr);
   void write_line_locked(const std::string& body);
   int wall_tid();
 

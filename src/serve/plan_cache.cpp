@@ -1,6 +1,7 @@
 #include "serve/plan_cache.hpp"
 
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "serve/signature.hpp"
 
 #include <array>
@@ -84,6 +85,12 @@ void PlanCache::drain_pending(Shard& shard, std::unique_lock<std::mutex>& lock,
     lock.unlock();
     std::vector<core::OptimizationPlan> plans;
     std::exception_ptr error;
+    // Wall-clock span on the leader's own track: plan-cache misses are the
+    // serving path's dominant cold cost, and the batch size shows how much
+    // coalescing amortised it.
+    obs::ScopedSpan span(
+        obs::default_trace(), "plan_cache_miss_batch", "serve",
+        {obs::TraceArg::num("plans", static_cast<double>(graphs.size()))});
     const auto start = std::chrono::steady_clock::now();
     try {
       plans = factory(graphs);
@@ -171,6 +178,7 @@ PlanCache::PlanPtr PlanCache::get_or_compute(const dnn::Graph& graph,
     // as a hit — totals match the PR-5 compute-under-lock discipline.
     hits_.fetch_add(1, std::memory_order_relaxed);
     hit_counter().inc();
+    obs::default_trace().instant("plan_cache_coalesced", "serve");
   }
   return entry->plan;
 }

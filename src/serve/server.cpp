@@ -5,13 +5,17 @@
 #include "fault/fault_injector.hpp"
 #include "hw/sim_engine.hpp"
 #include "obs/json.hpp"
+#include "obs/journal.hpp"
 #include "obs/log.hpp"
 #include "obs/metrics.hpp"
+#include "obs/residuals.hpp"
 #include "obs/trace.hpp"
 #include "serve/queue.hpp"
+#include "serve/signature.hpp"
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 #include <exception>
 #include <functional>
 #include <limits>
@@ -31,6 +35,20 @@ namespace {
 constexpr double kUsPerS = 1e6;
 constexpr int kDeviceTid = 0;  // per-request spans on the device timeline
 constexpr int kQueueTid = 1;   // in-system depth counter + rejections
+constexpr int kWaitTid = 2;    // async queue-wait spans (overlapping)
+
+// Journal seq slots per request: 0 = the run header (task 0 only), 1 = the
+// fold's request record, 2 + attempt = each worker-side execution attempt.
+constexpr std::uint32_t kSeqRequest = 1;
+constexpr std::uint32_t kSeqFirstAttempt = 2;
+
+// The residual key form for a plan signature, shared with obs::Residuals.
+std::string hex_signature(std::uint64_t sig) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "0x%016llx",
+                static_cast<unsigned long long>(sig));
+  return buf;
+}
 
 // Nearest-rank quantile over an ascending-sorted sample.
 double quantile(const std::vector<double>& sorted, double q) {
@@ -82,6 +100,29 @@ Server::Server(const hw::Platform& platform,
       config_.degrade.backoff_cap_s < 0.0) {
     throw std::invalid_argument("Server: backoff times must be >= 0");
   }
+  model_sigs_.reserve(models_.size());
+  maxn_costs_.reserve(models_.size());
+  for (const DeployedModel& m : models_) {
+    model_sigs_.push_back(graph_signature(m.graph));
+    // Per-pass prediction for pinned-MAXN executions (the MAXN policy and
+    // fault fallbacks): the lag-free analytic cost at maximum levels.
+    maxn_costs_.push_back(hw::analytic_block_cost(
+        *platform_, m.graph.layers(), platform_->max_gpu_level(),
+        platform_->max_cpu_level()));
+  }
+}
+
+obs::Journal* Server::active_journal() const {
+  if (!config_.journal_enabled) return nullptr;
+  obs::Journal& journal =
+      config_.journal != nullptr ? *config_.journal : obs::default_journal();
+  return journal.enabled() ? &journal : nullptr;
+}
+
+obs::Residuals* Server::active_residuals() const {
+  if (!config_.residuals_enabled) return nullptr;
+  return config_.residuals != nullptr ? config_.residuals
+                                      : &obs::default_residuals();
 }
 
 PlanCache::PlanPtr Server::plan_for(const dnn::Graph& graph,
@@ -125,6 +166,10 @@ std::vector<Server::ServiceResult> Server::simulate_parallel(
   std::exception_ptr first_error;
 
   const bool inject = config_.faults.active();
+  // Each worker appends attempt records under strictly increasing
+  // (run, task, seq) keys — the dispatch loop hands out ascending task
+  // indices, so the journal's per-shard monotonicity contract holds.
+  obs::Journal* const journal = active_journal();
   const auto worker = [&] {
     // Each worker owns its simulator and CPU governor; runs are independent
     // (the governor resets per run), so results are keyed by task index and
@@ -147,6 +192,10 @@ std::vector<Server::ServiceResult> Server::simulate_parallel(
           plan = plan_for(model.graph, ws);
         }
         ServiceResult out;
+        if (plan != nullptr) {
+          out.predicted_pass_time_s = plan->predicted_pass_time_s;
+          out.predicted_pass_energy_j = plan->predicted_pass_energy_j;
+        }
         for (std::size_t attempt = 0;; ++attempt) {
           hw::RunPolicy policy = engine.default_policy();
           policy.trace_label = policy_name(config_.policy);
@@ -159,7 +208,9 @@ std::vector<Server::ServiceResult> Server::simulate_parallel(
           }
           // Once fallen back, the request runs pinned at the MAXN state:
           // no schedule, no governor, hence no DVFS transitions to fail.
-          if (config_.policy == ServePolicy::kPowerLens && !out.fell_back) {
+          const bool planned =
+              config_.policy == ServePolicy::kPowerLens && !out.fell_back;
+          if (planned) {
             policy.schedule = &plan->schedule;
             policy.governor = &cpu_governor;
           }
@@ -174,22 +225,54 @@ std::vector<Server::ServiceResult> Server::simulate_parallel(
           const bool degraded =
               inject && config_.degrade.fallback_enabled && !out.fell_back &&
               r.faults.dvfs_failed > config_.degrade.dvfs_fault_tolerance;
-          if (!degraded) {
+          AttemptRecord rec;
+          rec.time_s = r.time_s;
+          rec.energy_j = r.energy_j;
+          rec.mean_power_w = r.telemetry_mean_power_w;
+          rec.peak_power_w = r.telemetry_peak_power_w;
+          rec.dvfs_stall_s = r.dvfs_stall_s;
+          rec.throttled_s = r.thermal_throttled_s;
+          rec.dvfs_transitions = r.dvfs_transitions;
+          rec.faults = r.faults;
+          rec.degraded = degraded;
+          rec.pinned = !planned;
+          if (degraded) {
+            if (attempt >= config_.degrade.max_retries) {
+              out.fell_back = true;  // next attempt runs pinned
+            }
+            ++out.retries;
+            const double backoff =
+                std::min(config_.degrade.backoff_base_s *
+                             std::ldexp(1.0, static_cast<int>(attempt)),
+                         config_.degrade.backoff_cap_s);
+            out.backoff_s += backoff;
+            out.service_s += backoff;
+            rec.backoff_s = backoff;
+          } else {
             out.images = r.images;
-            break;
           }
-          if (attempt >= config_.degrade.max_retries) {
-            out.fell_back = true;  // next attempt runs pinned
+          if (journal != nullptr) {
+            obs::JsonWriter w;
+            w.field("attempt", static_cast<double>(attempt));
+            w.field("time_s", rec.time_s);
+            w.field("energy_j", rec.energy_j);
+            w.field("mean_power_w", rec.mean_power_w);
+            w.field("peak_power_w", rec.peak_power_w);
+            w.field("dvfs_transitions",
+                    static_cast<double>(rec.dvfs_transitions));
+            w.field("faults", fault::fault_tag(rec.faults));
+            w.field("degraded", rec.degraded);
+            w.field("pinned", rec.pinned);
+            if (rec.backoff_s > 0.0) w.field("backoff_s", rec.backoff_s);
+            journal->append(run_id_, task.id,
+                            kSeqFirstAttempt + static_cast<std::uint32_t>(
+                                                   attempt),
+                            "attempt", w.body());
           }
-          ++out.retries;
-          const double backoff =
-              std::min(config_.degrade.backoff_base_s *
-                           std::ldexp(1.0, static_cast<int>(attempt)),
-                       config_.degrade.backoff_cap_s);
-          out.backoff_s += backoff;
-          out.service_s += backoff;
+          out.attempts.push_back(rec);
+          if (!degraded) break;
         }
-        results[*idx] = out;
+        results[*idx] = std::move(out);
       } catch (...) {
         const std::lock_guard<std::mutex> lock(error_mu);
         if (!first_error) first_error = std::current_exception();
@@ -297,7 +380,60 @@ ServeReport Server::fold_timeline(std::span<const Task> tasks,
                                  report.policy + ")");
     trace->name_thread(pid, kDeviceTid, "device");
     trace->name_thread(pid, kQueueTid, "queue");
+    trace->name_thread(pid, kWaitTid, "wait");
   }
+
+  // The fold runs single-threaded in task order, so journal records and
+  // residual scoring below are deterministic regardless of how the workers
+  // raced: same stream -> same bytes at any worker count.
+  obs::Journal* const journal = active_journal();
+  obs::Residuals* const residuals = active_residuals();
+  const bool plan_based = config_.policy == ServePolicy::kPowerLens;
+  // The engine idles this long after every pass; the static per-pass
+  // prediction excludes it, so fold it back in when scaling to a request.
+  const double gap_s = hw::RunPolicy{}.inter_pass_gap_s;
+  std::vector<bool> plan_seen(models_.size(), false);
+  std::size_t deadline_tasks = 0;  // admitted requests carrying a deadline
+  double latency_residual_sum = 0.0;
+  double energy_residual_sum = 0.0;
+
+  // One structured record per request (admitted, rejected, or shed), under
+  // the fold's deterministic seq slot.
+  const auto journal_request = [&](const RequestOutcome& o,
+                                   std::string_view outcome) {
+    if (journal == nullptr) return;
+    obs::JsonWriter w;
+    w.field("model", models_[o.model_index].name);
+    w.field("outcome", outcome);
+    w.field("arrival_s", o.arrival_s);
+    if (o.admitted) {
+      w.field("start_s", o.start_s);
+      w.field("finish_s", o.finish_s);
+      w.field("wait_s", o.wait_s);
+      w.field("service_s", o.service_s);
+      w.field("energy_j", o.energy_j);
+      w.field("images", static_cast<double>(o.images));
+      w.field("retries", static_cast<double>(o.retries));
+      w.field("backoff_s", o.backoff_s);
+      w.field("fell_back", o.fell_back);
+      w.field("faults", fault::fault_tag(o.faults));
+      if (o.deadline_s > 0.0) {
+        w.field("deadline_s", o.deadline_s);
+        w.field("deadline_missed", o.deadline_missed);
+      }
+    }
+    if (plan_based) {
+      w.field("plan_signature", hex_signature(o.plan_signature));
+      w.field("plan_cold", o.plan_cold);
+    }
+    w.field_or_null("predicted_time_s", o.predicted_time_s);
+    w.field_or_null("predicted_energy_j", o.predicted_energy_j);
+    w.field_or_null("observed_time_s", o.observed_time_s);
+    w.field_or_null("observed_energy_j", o.observed_energy_j);
+    w.field_or_null("latency_residual", o.latency_residual);
+    w.field_or_null("energy_residual", o.energy_residual);
+    journal->append(run_id_, o.task_id, kSeqRequest, "request", w.body());
+  };
 
   // Finish times of admitted tasks still in the system (waiting or in
   // service) — the simulated queue the admission bound applies to.
@@ -314,6 +450,15 @@ ServeReport Server::fold_timeline(std::span<const Task> tasks,
     out.model_index = task.model_index;
     out.arrival_s = task.arrival_s;
     out.deadline_s = task.deadline_s;
+    if (plan_based) {
+      // Plan provenance. The workers resolved a plan for every task (the
+      // fold's admission decisions come later), so "cold" means "first in
+      // task order to need this model's plan" — the deterministic stand-in
+      // for the scheduling-dependent cache miss counter.
+      out.plan_signature = model_sigs_[task.model_index];
+      out.plan_cold = !plan_seen[task.model_index];
+      plan_seen[task.model_index] = true;
+    }
 
     while (!in_system.empty() && in_system.top() <= task.arrival_s) {
       in_system.pop();
@@ -327,6 +472,7 @@ ServeReport Server::fold_timeline(std::span<const Task> tasks,
                           {obs::TraceArg::num(
                               "task", static_cast<double>(task.id))});
       }
+      journal_request(out, "rejected");
       continue;
     }
 
@@ -345,6 +491,7 @@ ServeReport Server::fold_timeline(std::span<const Task> tasks,
                             {obs::TraceArg::num(
                                 "task", static_cast<double>(task.id))});
         }
+        journal_request(out, "shed");
         continue;
       }
     }
@@ -373,11 +520,58 @@ ServeReport Server::fold_timeline(std::span<const Task> tasks,
     out.backoff_s = svc.backoff_s;
     out.fell_back = svc.fell_back;
     out.faults = svc.faults;
+    out.attempts = svc.attempts;
     out.deadline_missed =
         task.deadline_s > 0.0 && out.latency_s() > task.deadline_s;
 
+    // Predicted-vs-observed scoring. The prediction comes from the plan the
+    // accepted attempt actually ran under: the preset schedule's static
+    // cost for PowerLens, the analytic pinned-MAXN cost for the MAXN policy
+    // and fault fallbacks. Observed values are the accepted (final) attempt
+    // only — retries and backoff are availability costs, not model error.
+    double pass_time_s = 0.0;
+    double pass_energy_j = 0.0;
+    if (config_.policy == ServePolicy::kMaxn || svc.fell_back) {
+      const hw::BlockCost& cost = maxn_costs_[task.model_index];
+      pass_time_s = cost.time_s;
+      pass_energy_j = cost.energy_j;
+    } else if (plan_based) {
+      pass_time_s = svc.predicted_pass_time_s;
+      pass_energy_j = svc.predicted_pass_energy_j;
+    }
+    if (pass_time_s > 0.0 && !svc.attempts.empty()) {
+      const AttemptRecord& accepted = svc.attempts.back();
+      const double passes = static_cast<double>(task.passes);
+      out.predicted_time_s = passes * (pass_time_s + gap_s);
+      out.predicted_energy_j = passes * pass_energy_j;
+      out.observed_time_s = accepted.time_s;
+      out.observed_energy_j = accepted.energy_j;
+      out.latency_residual =
+          (out.observed_time_s - out.predicted_time_s) / out.predicted_time_s;
+      if (out.predicted_energy_j > 0.0) {
+        out.energy_residual = (out.observed_energy_j -
+                               out.predicted_energy_j) /
+                              out.predicted_energy_j;
+      }
+      if (residuals != nullptr) {
+        // A fallen-back request was not served by its plan — keep the
+        // signature series clean and score it model-level only.
+        const std::uint64_t sig =
+            plan_based && !svc.fell_back ? out.plan_signature : 0;
+        residuals->record(report.policy, models_[task.model_index].name, sig,
+                          out.predicted_time_s, out.observed_time_s,
+                          out.predicted_energy_j, out.observed_energy_j);
+      }
+      ++report.residual_scored;
+      latency_residual_sum += out.latency_residual;
+      energy_residual_sum +=
+          std::isfinite(out.energy_residual) ? out.energy_residual : 0.0;
+    }
+
     ++report.admitted;
     if (out.deadline_missed) ++report.deadline_misses;
+    if (task.deadline_s > 0.0) ++deadline_tasks;
+    if (!out.deadline_missed) report.goodput_images += out.images;
     latencies.push_back(out.latency_s());
     report.makespan_s = out.finish_s;
     report.retries += svc.retries;
@@ -390,16 +584,54 @@ ServeReport Server::fold_timeline(std::span<const Task> tasks,
       report.dvfs_transitions += svc.dvfs_transitions;
       report.faults += svc.faults;
     }
+    journal_request(out, "served");
 
     if (trace != nullptr) {
       const DeployedModel& model = models_[task.model_index];
       trace->counter(pid, kQueueTid, task.arrival_s * kUsPerS, "in_system",
                      static_cast<double>(in_system.size()));
+      // Queue-wait spans overlap whenever requests pile up behind the
+      // device, so they ride the async track keyed by task id.
+      trace->async_begin_at(pid, kWaitTid, task.id,
+                            task.arrival_s * kUsPerS, "wait", "serve",
+                            {obs::TraceArg::num(
+                                "task", static_cast<double>(task.id))});
+      trace->async_end_at(pid, kWaitTid, task.id, out.start_s * kUsPerS,
+                          "wait", "serve");
       trace->begin_at(pid, kDeviceTid, out.start_s * kUsPerS, model.name,
                       "serve",
                       {obs::TraceArg::num("task",
                                           static_cast<double>(task.id)),
-                       obs::TraceArg::num("wait_ms", out.wait_s * 1e3)});
+                       obs::TraceArg::num("wait_ms", out.wait_s * 1e3),
+                       obs::TraceArg::num("retries",
+                                          static_cast<double>(out.retries)),
+                       obs::TraceArg::num("fell_back", out.fell_back)});
+      // Attempt/backoff sub-spans nested inside the request span replay the
+      // worker's retry machinery on the device timeline (plan policies;
+      // reactive streams record no attempts).
+      double cursor_s = out.start_s;
+      for (std::size_t a = 0; a < svc.attempts.size(); ++a) {
+        const AttemptRecord& rec = svc.attempts[a];
+        const std::string tag = fault::fault_tag(rec.faults);
+        trace->begin_at(pid, kDeviceTid, cursor_s * kUsPerS, "attempt",
+                        "serve",
+                        {obs::TraceArg::num("attempt",
+                                            static_cast<double>(a)),
+                         obs::TraceArg::str("faults", tag),
+                         obs::TraceArg::num("degraded", rec.degraded),
+                         obs::TraceArg::num("pinned", rec.pinned)});
+        cursor_s += rec.time_s;
+        trace->end_at(pid, kDeviceTid, cursor_s * kUsPerS, "attempt",
+                      "serve");
+        if (rec.backoff_s > 0.0) {
+          trace->begin_at(pid, kDeviceTid, cursor_s * kUsPerS, "backoff",
+                          "serve",
+                          {obs::TraceArg::num("seconds", rec.backoff_s)});
+          cursor_s += rec.backoff_s;
+          trace->end_at(pid, kDeviceTid, cursor_s * kUsPerS, "backoff",
+                        "serve");
+        }
+      }
       trace->end_at(pid, kDeviceTid, out.finish_s * kUsPerS, model.name,
                     "serve");
     }
@@ -437,6 +669,16 @@ ServeReport Server::fold_timeline(std::span<const Task> tasks,
   }
   report.plan_cache_hits = cache_.hits() - cache_hits_before;
   report.plan_cache_misses = cache_.misses() - cache_misses_before;
+  if (deadline_tasks > 0) {
+    report.deadline_burn_rate =
+        static_cast<double>(report.deadline_misses) /
+        static_cast<double>(deadline_tasks);
+  }
+  if (report.residual_scored > 0) {
+    const double n = static_cast<double>(report.residual_scored);
+    report.latency_residual_mean = latency_residual_sum / n;
+    report.energy_residual_mean = energy_residual_sum / n;
+  }
 
   // Aggregate accounting in the global registry, once per serve() call.
   obs::MetricsRegistry& metrics = obs::global_metrics();
@@ -461,13 +703,46 @@ ServeReport Server::fold_timeline(std::span<const Task> tasks,
                "images inferred for admitted requests")
       .inc(static_cast<double>(report.images));
   metrics
-      .gauge("powerlens_serve_queue_depth_peak",
+      .gauge("powerlens_serve_peak_queue_depth",
              "in-system high-water mark of the last serve() call")
       .set(static_cast<double>(report.peak_queue_depth));
   obs::Histogram& latency_hist = metrics.histogram(
       "powerlens_serve_latency_seconds", obs::default_seconds_buckets(),
       "request latency (arrival to finish, simulated)");
   for (const double v : latencies) latency_hist.observe(v);
+  metrics
+      .counter("powerlens_serve_slo_goodput_images_total",
+               "images delivered by admitted requests that met their "
+               "deadline (all admitted images when none is set)")
+      .inc(static_cast<double>(report.goodput_images));
+  if (std::isfinite(report.deadline_burn_rate)) {
+    metrics
+        .gauge("powerlens_serve_slo_deadline_burn_ratio",
+               "deadline misses over deadline-bearing admitted requests, "
+               "last serve() call")
+        .set(report.deadline_burn_rate);
+  }
+  if (report.residual_scored > 0) {
+    obs::Histogram& latency_residual_hist = metrics.histogram(
+        "powerlens_serve_residual_latency_ratio",
+        obs::Residuals::bucket_bounds(),
+        "signed relative latency prediction error per scored request");
+    obs::Histogram& energy_residual_hist = metrics.histogram(
+        "powerlens_serve_residual_energy_ratio",
+        obs::Residuals::bucket_bounds(),
+        "signed relative energy prediction error per scored request");
+    for (const RequestOutcome& o : report.outcomes) {
+      latency_residual_hist.observe(o.latency_residual);  // NaN -> rejected
+      energy_residual_hist.observe(o.energy_residual);
+    }
+    if (residuals != nullptr) {
+      metrics
+          .gauge("powerlens_obs_residual_drift_count",
+                 "model/signature series whose EWMA residual exceeds the "
+                 "drift threshold")
+          .set(static_cast<double>(residuals->drift_flags()));
+    }
+  }
 
   if (config_.faults.active() || config_.degrade.shed_doomed) {
     metrics
@@ -552,6 +827,17 @@ ServeReport Server::serve(std::span<const Task> tasks) {
   const std::uint64_t misses_before = cache_.misses();
   marks_.clear();
   reactive_faults_ = {};
+  if (obs::Journal* const journal = active_journal()) {
+    // Claim this serve call's run id and stamp the run header before any
+    // worker appends — (run, 0, 0) sorts ahead of every record of the run.
+    run_id_ = journal->begin_run();
+    obs::JsonWriter w;
+    w.field("policy", policy_name(config_.policy));
+    w.field("platform", platform_->name);
+    w.field("tasks", static_cast<double>(tasks.size()));
+    w.field("faults", config_.faults.to_string());
+    journal->append(run_id_, 0, 0, "serve_begin", w.body());
+  }
   const std::vector<ServiceResult> services =
       is_plan_policy(config_.policy) ? simulate_parallel(tasks)
                                      : simulate_reactive(tasks);
@@ -596,6 +882,11 @@ void ServeReport::write_json(std::ostream& os) const {
   field("retries", static_cast<double>(retries));
   field("fallbacks", static_cast<double>(fallbacks));
   field("backoff_s", backoff_s);
+  field("goodput_images", static_cast<double>(goodput_images));
+  field("deadline_burn_rate", deadline_burn_rate);
+  field("residual_scored", static_cast<double>(residual_scored));
+  field("latency_residual_mean", latency_residual_mean);
+  field("energy_residual_mean", energy_residual_mean);
   field("fault_dvfs_failed", static_cast<double>(faults.dvfs_failed));
   field("fault_thermal_events", static_cast<double>(faults.thermal_events));
   field("fault_telemetry_dropped",

@@ -47,6 +47,7 @@
 #include "core/powerlens.hpp"
 #include "dnn/graph.hpp"
 #include "fault/fault_spec.hpp"
+#include "hw/analytic.hpp"
 #include "hw/fault_hooks.hpp"
 #include "hw/platform.hpp"
 #include "hw/sim_engine.hpp"
@@ -55,11 +56,14 @@
 
 #include <cstdint>
 #include <iosfwd>
+#include <limits>
 #include <span>
 #include <string>
 #include <vector>
 
 namespace powerlens::obs {
+class Journal;
+class Residuals;
 class TraceWriter;
 }  // namespace powerlens::obs
 
@@ -134,6 +138,33 @@ struct ServerConfig {
   DegradePolicy degrade;
   // Trace sink; null means obs::default_trace().
   obs::TraceWriter* trace = nullptr;
+  // Structured per-request event journal; null means obs::default_journal().
+  // Always on by default — records are bounded, deterministic, and cheap
+  // (one uncontended lock + string per event); journal_enabled = false is
+  // the overhead-measurement escape hatch.
+  obs::Journal* journal = nullptr;
+  bool journal_enabled = true;
+  // Predicted-vs-observed accounting sink; null means
+  // obs::default_residuals(). Scored in the deterministic fold, so the
+  // sink's snapshot is byte-identical at any worker count.
+  obs::Residuals* residuals = nullptr;
+  bool residuals_enabled = true;
+};
+
+// One simulator execution attempt of a request, as recorded host-side —
+// the span-level view of the retry/backoff/fallback machinery.
+struct AttemptRecord {
+  double time_s = 0.0;    // simulated execution time of this attempt
+  double energy_j = 0.0;
+  double mean_power_w = 0.0;  // telemetry-rail sample mean
+  double peak_power_w = 0.0;  // telemetry-rail sample max
+  double dvfs_stall_s = 0.0;
+  double throttled_s = 0.0;
+  std::size_t dvfs_transitions = 0;
+  hw::FaultCounters faults;  // injected during this attempt only
+  bool degraded = false;     // beyond tolerance -> retried or fell back
+  bool pinned = false;       // ran on the pinned fallback configuration
+  double backoff_s = 0.0;    // inserted after this attempt, before the next
 };
 
 // Per-request serving outcome, in task-id order.
@@ -161,6 +192,24 @@ struct RequestOutcome {
   double backoff_s = 0.0;
   bool fell_back = false;
   hw::FaultCounters faults;
+  // Span-level attempt log (plan policies; empty for reactive streams and
+  // requests never started).
+  std::vector<AttemptRecord> attempts;
+  // Plan provenance (plan policies): signature of the served graph and
+  // whether this request was the first in task order to need its plan —
+  // the deterministic stand-in for the scheduling-dependent cache miss.
+  std::uint64_t plan_signature = 0;
+  bool plan_cold = false;
+  // Predicted-vs-observed accounting (NaN = not scored: rejected/shed
+  // requests, reactive policies, untrained plans). Observed values cover
+  // the accepted attempt only — retries and backoff are availability
+  // costs, not model error.
+  double predicted_time_s = std::numeric_limits<double>::quiet_NaN();
+  double predicted_energy_j = std::numeric_limits<double>::quiet_NaN();
+  double observed_time_s = std::numeric_limits<double>::quiet_NaN();
+  double observed_energy_j = std::numeric_limits<double>::quiet_NaN();
+  double latency_residual = std::numeric_limits<double>::quiet_NaN();
+  double energy_residual = std::numeric_limits<double>::quiet_NaN();
 
   double latency_s() const noexcept { return finish_s - arrival_s; }
 };
@@ -190,6 +239,18 @@ struct ServeReport {
   std::size_t fallbacks = 0;  // requests that ended on the pinned fallback
   double backoff_s = 0.0;
   hw::FaultCounters faults;
+  // SLO accounting: images delivered by admitted requests that met their
+  // deadline (every admitted image when a request carries none), and the
+  // deadline-miss burn rate — misses over deadline-bearing admitted
+  // requests (NaN when the stream carries no deadlines).
+  std::int64_t goodput_images = 0;
+  double deadline_burn_rate = std::numeric_limits<double>::quiet_NaN();
+  // Predicted-vs-observed summary over the `residual_scored` requests that
+  // carried a prediction (NaN when none did). Signed relative error,
+  // (observed - predicted) / predicted.
+  std::size_t residual_scored = 0;
+  double latency_residual_mean = std::numeric_limits<double>::quiet_NaN();
+  double energy_residual_mean = std::numeric_limits<double>::quiet_NaN();
   std::vector<RequestOutcome> outcomes;  // task-id order
 
   // The paper's metric (eq. 1) over the admitted workload.
@@ -225,6 +286,12 @@ class Server {
     double backoff_s = 0.0;
     bool fell_back = false;
     hw::FaultCounters faults;
+    // Attempt-level spans + the served plan's per-pass prediction (0 when
+    // no plan prediction applies; the fold substitutes the analytic MAXN
+    // cost for pinned/MAXN executions).
+    std::vector<AttemptRecord> attempts;
+    double predicted_pass_time_s = 0.0;
+    double predicted_pass_energy_j = 0.0;
   };
 
   // `ws` is the calling worker's private workspace: plan-cache misses run
@@ -239,6 +306,10 @@ class Server {
                             std::span<const ServiceResult> services,
                             std::uint64_t cache_hits_before,
                             std::uint64_t cache_misses_before);
+  // The configured journal sink, or null when journaling is off.
+  obs::Journal* active_journal() const;
+  // The configured residual sink, or null when scoring is off.
+  obs::Residuals* active_residuals() const;
 
   const hw::Platform* platform_;  // non-owning
   std::vector<DeployedModel> models_;
@@ -252,6 +323,14 @@ class Server {
   // Fault totals of the last reactive run (marks differencing cannot
   // attribute them per item); zero for plan policies.
   hw::FaultCounters reactive_faults_;
+  // Per-model graph signatures (journal records + residual keys) and the
+  // analytic MAXN per-pass cost each model would incur at pinned maximum
+  // levels (the predicted cost of MAXN and fallback executions).
+  std::vector<std::uint64_t> model_sigs_;
+  std::vector<hw::BlockCost> maxn_costs_;
+  // Journal run id of the serve() in flight (claimed per call, so records
+  // from successive serves never interleave in the sorted export).
+  std::uint64_t run_id_ = 0;
 };
 
 }  // namespace powerlens::serve

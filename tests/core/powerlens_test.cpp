@@ -9,6 +9,7 @@
 #include "core/metrics.hpp"
 #include "dnn/builder.hpp"
 #include "dnn/models.hpp"
+#include "hw/analytic.hpp"
 #include "hw/sim_engine.hpp"
 
 #include <gtest/gtest.h>
@@ -241,6 +242,36 @@ TEST_F(PowerLensTest, OptimizeBatchMatchesSoloOptimizeFieldExactly) {
 
 TEST_F(PowerLensTest, OptimizeBatchEmptyIsEmpty) {
   EXPECT_TRUE(framework_->optimize_batch({}).empty());
+}
+
+// The plan's static cost prediction is what the serving layer scores
+// simulated actuals against (obs::Residuals) — it must be populated,
+// consistent with the analytic schedule cost, and part of plan equality.
+TEST_F(PowerLensTest, PlansCarryPredictedPassCost) {
+  const dnn::Graph g = dnn::make_alexnet(8);
+  for (const bool oracle : {false, true}) {
+    const OptimizationPlan plan =
+        oracle ? framework_->optimize_oracle(g) : framework_->optimize(g);
+    EXPECT_GT(plan.predicted_pass_time_s, 0.0) << "oracle=" << oracle;
+    EXPECT_GT(plan.predicted_pass_energy_j, 0.0) << "oracle=" << oracle;
+    // The prediction is exactly hw::schedule_cost from the MAXN boot state.
+    const hw::BlockCost expected = hw::schedule_cost(
+        *platform_, g.layers(), plan.schedule, platform_->max_gpu_level(),
+        platform_->max_cpu_level());
+    EXPECT_DOUBLE_EQ(plan.predicted_pass_time_s, expected.time_s)
+        << "oracle=" << oracle;
+    EXPECT_DOUBLE_EQ(plan.predicted_pass_energy_j, expected.energy_j)
+        << "oracle=" << oracle;
+  }
+}
+
+TEST_F(PowerLensTest, PlanEqualityIncludesPredictedCost) {
+  const dnn::Graph g = dnn::make_alexnet(8);
+  const OptimizationPlan a = framework_->optimize(g);
+  OptimizationPlan b = framework_->optimize(g);
+  EXPECT_TRUE(a == b);
+  b.predicted_pass_time_s += 1e-9;
+  EXPECT_FALSE(a == b);  // the cache's hit-equals-fresh-plan invariant
 }
 
 TEST(PowerLensUntrained, OptimizeBatchBeforeTrainThrows) {

@@ -102,6 +102,62 @@ TEST_F(AnalyticTest, MemoryBoundLayersPreferLowerFrequencies) {
             optimal_gpu_level(platform_, compute_layers, cpu));
 }
 
+// --- schedule_cost: the serving layer's static plan prediction ---
+
+TEST_F(AnalyticTest, EmptyScheduleCostMatchesBlockCostAtInitialLevels) {
+  const PresetSchedule empty;
+  for (const std::size_t gpu : {std::size_t{0}, platform_.max_gpu_level()}) {
+    const BlockCost block = analytic_block_cost(
+        platform_, graph_.layers(), gpu, platform_.max_cpu_level());
+    const BlockCost sched =
+        schedule_cost(platform_, graph_.layers(), empty, gpu,
+                      platform_.max_cpu_level());
+    EXPECT_DOUBLE_EQ(sched.time_s, block.time_s);
+    EXPECT_DOUBLE_EQ(sched.energy_j, block.energy_j);
+  }
+}
+
+TEST_F(AnalyticTest, ScheduleSwitchAppliesFromThePresetLayerOn) {
+  // One switch point mid-graph: the cost must equal the prefix priced at
+  // the initial level plus the suffix priced at the switched level.
+  const std::size_t cpu = platform_.max_cpu_level();
+  const std::size_t cut = graph_.size() / 2;
+  const std::size_t initial = platform_.max_gpu_level();
+  const std::size_t switched = 2;
+  PresetSchedule schedule;
+  schedule.points.push_back({cut, switched});
+
+  const BlockCost whole =
+      schedule_cost(platform_, graph_.layers(), schedule, initial, cpu);
+  const BlockCost prefix = analytic_block_cost(
+      platform_, graph_.layers().subspan(0, cut), initial, cpu);
+  const BlockCost suffix = analytic_block_cost(
+      platform_, graph_.layers().subspan(cut), switched, cpu);
+  EXPECT_NEAR(whole.time_s, prefix.time_s + suffix.time_s, 1e-9);
+  EXPECT_NEAR(whole.energy_j, prefix.energy_j + suffix.energy_j, 1e-6);
+  // The switch actually mattered: pricing everything at either single
+  // level gives a different answer.
+  const BlockCost all_initial = analytic_block_cost(
+      platform_, graph_.layers(), initial, cpu);
+  EXPECT_NE(whole.time_s, all_initial.time_s);
+}
+
+TEST_F(AnalyticTest, CpuPresetPointsSwitchTheCpuLadderToo) {
+  const std::size_t cut = graph_.size() / 2;
+  PresetSchedule schedule;
+  schedule.cpu_points.push_back({cut, 0});  // drop CPU to its floor
+  const std::size_t gpu = platform_.max_gpu_level();
+  const BlockCost whole = schedule_cost(platform_, graph_.layers(), schedule,
+                                        gpu, platform_.max_cpu_level());
+  const BlockCost prefix = analytic_block_cost(
+      platform_, graph_.layers().subspan(0, cut), gpu,
+      platform_.max_cpu_level());
+  const BlockCost suffix =
+      analytic_block_cost(platform_, graph_.layers().subspan(cut), gpu, 0);
+  EXPECT_NEAR(whole.time_s, prefix.time_s + suffix.time_s, 1e-9);
+  EXPECT_NEAR(whole.energy_j, prefix.energy_j + suffix.energy_j, 1e-6);
+}
+
 TEST(AnalyticCrossPlatform, Tx2SlowerThanAgx) {
   const dnn::Graph g = dnn::make_resnet152(8);
   const Platform tx2 = make_tx2();

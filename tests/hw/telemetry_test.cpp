@@ -138,6 +138,33 @@ TEST(Telemetry, RecordAfterFinishStartsFreshWindow) {
   EXPECT_DOUBLE_EQ(t.samples()[1].power_w, 2.0);
 }
 
+TEST(Telemetry, PeakPowerIsMaxRecordedSample) {
+  Telemetry t(0.1);
+  t.record_slice(0.0, 0.1, 2.0);
+  t.record_slice(0.1, 0.1, 9.0);
+  t.record_slice(0.2, 0.1, 4.0);
+  t.finish(0.3);
+  ASSERT_EQ(t.samples().size(), 3u);
+  EXPECT_DOUBLE_EQ(t.peak_power_w(), 9.0);
+  EXPECT_LT(t.mean_power_w(), t.peak_power_w());
+}
+
+TEST(Telemetry, EmptyPeakIsZero) {
+  Telemetry t(0.1);
+  EXPECT_DOUBLE_EQ(t.peak_power_w(), 0.0);
+}
+
+TEST(Telemetry, PeakReflectsWindowAveragesNotSliceSpikes) {
+  Telemetry t(0.1);
+  // A 100 W spike over a tenth of the window averages into it: the rail
+  // samples window means, so the observed peak is 0.9*2 + 0.1*100 = 11.8 W.
+  t.record_slice(0.0, 0.09, 2.0);
+  t.record_slice(0.09, 0.01, 100.0);
+  t.finish(0.1);
+  ASSERT_EQ(t.samples().size(), 1u);
+  EXPECT_NEAR(t.peak_power_w(), 11.8, 1e-9);
+}
+
 TEST(Telemetry, SampleTimesMonotone) {
   Telemetry t(0.05);
   t.record_slice(0.0, 0.12, 2.0);

@@ -1,0 +1,187 @@
+// obs::Journal: the bounded deterministic event journal.
+//
+// The load-bearing property is the export contract: the JSONL bytes are a
+// pure function of the (run, task, seq, event, fields) records appended —
+// never of which thread appended them, in how many shards they landed, or
+// how the ring wrapped. These tests drive that directly: a multi-threaded
+// append pattern must export byte-identically to its single-threaded
+// reference, with and without capacity overflow.
+#include "obs/journal.hpp"
+
+#include "support/json_parser.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace powerlens::obs {
+namespace {
+
+using test_support::JsonParser;
+using test_support::JsonValue;
+
+std::vector<std::string> lines_of(const std::string& text) {
+  std::vector<std::string> out;
+  std::istringstream is(text);
+  std::string line;
+  while (std::getline(is, line)) out.push_back(line);
+  return out;
+}
+
+TEST(JournalTest, ExportsRecordsInKeyOrderWithMetaTrailer) {
+  Journal journal(/*capacity=*/16);
+  const std::uint64_t run = journal.begin_run();
+  journal.append(run, 2, 1, "request", "\"model\": \"alexnet\"");
+  journal.append(run, 3, 1, "request", "");
+  const std::string text = journal.jsonl();
+  const std::vector<std::string> lines = lines_of(text);
+  ASSERT_EQ(lines.size(), 3u);  // 2 records + journal_meta trailer
+
+  const JsonValue first = JsonParser(lines[0]).parse();
+  EXPECT_EQ(first.object().at("run").number(), static_cast<double>(run));
+  EXPECT_EQ(first.object().at("task").number(), 2.0);
+  EXPECT_EQ(first.object().at("seq").number(), 1.0);
+  EXPECT_EQ(first.object().at("event").string(), "request");
+  EXPECT_EQ(first.object().at("model").string(), "alexnet");
+
+  const JsonValue meta = JsonParser(lines.back()).parse();
+  EXPECT_EQ(meta.object().at("event").string(), "journal_meta");
+  EXPECT_EQ(meta.object().at("records").number(), 2.0);
+  EXPECT_EQ(meta.object().at("appended").number(), 2.0);
+  EXPECT_EQ(meta.object().at("capacity").number(), 16.0);
+}
+
+TEST(JournalTest, EveryExportedLineIsValidJson) {
+  Journal journal;
+  const std::uint64_t run = journal.begin_run();
+  for (std::uint64_t task = 0; task < 20; ++task) {
+    journal.append(run, task, 1, "request",
+                   "\"value\": " + std::to_string(task));
+  }
+  for (const std::string& line : lines_of(journal.jsonl())) {
+    EXPECT_NO_THROW(JsonParser(line).parse()) << line;
+  }
+}
+
+TEST(JournalTest, KeepsTopCapacityRecordsOnOverflow) {
+  constexpr std::size_t kCapacity = 8;
+  Journal journal(kCapacity);
+  const std::uint64_t run = journal.begin_run();
+  for (std::uint64_t task = 0; task < 20; ++task) {
+    journal.append(run, task, 0, "e", "");
+  }
+  EXPECT_EQ(journal.appended(), 20u);
+  const std::vector<std::string> lines = lines_of(journal.jsonl());
+  ASSERT_EQ(lines.size(), kCapacity + 1);  // capacity records + trailer
+  // Survivors are the TOP keys: tasks 12..19.
+  const JsonValue first = JsonParser(lines.front()).parse();
+  EXPECT_EQ(first.object().at("task").number(), 12.0);
+  const JsonValue last_record = JsonParser(lines[kCapacity - 1]).parse();
+  EXPECT_EQ(last_record.object().at("task").number(), 19.0);
+}
+
+// The core determinism claim: per-thread monotone appends export the same
+// bytes as a single thread appending everything in order.
+TEST(JournalTest, MultiThreadedExportMatchesSingleThreadReference) {
+  constexpr std::size_t kThreads = 8;
+  constexpr std::uint64_t kTasks = 64;
+
+  Journal reference;
+  const std::uint64_t ref_run = reference.begin_run();
+  for (std::uint64_t task = 0; task < kTasks; ++task) {
+    reference.append(ref_run, task, 1, "request",
+                     "\"task_sq\": " + std::to_string(task * task));
+  }
+
+  Journal racy;
+  const std::uint64_t run = racy.begin_run();
+  ASSERT_EQ(run, ref_run);
+  std::vector<std::thread> threads;
+  for (std::size_t k = 0; k < kThreads; ++k) {
+    // Thread k appends tasks k, k + kThreads, ... — strictly increasing
+    // keys per thread, interleaved across threads.
+    threads.emplace_back([&racy, run, k] {
+      for (std::uint64_t task = k; task < kTasks; task += kThreads) {
+        racy.append(run, task, 1, "request",
+                    "\"task_sq\": " + std::to_string(task * task));
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+
+  EXPECT_EQ(racy.jsonl(), reference.jsonl());
+}
+
+TEST(JournalTest, MultiThreadedOverflowStillMatchesReference) {
+  constexpr std::size_t kThreads = 4;
+  constexpr std::uint64_t kTasks = 100;
+  constexpr std::size_t kCapacity = 32;  // forces ring wraps everywhere
+
+  Journal reference(kCapacity);
+  const std::uint64_t ref_run = reference.begin_run();
+  for (std::uint64_t task = 0; task < kTasks; ++task) {
+    reference.append(ref_run, task, 0, "e", "");
+  }
+
+  Journal racy(kCapacity);
+  const std::uint64_t run = racy.begin_run();
+  std::vector<std::thread> threads;
+  for (std::size_t k = 0; k < kThreads; ++k) {
+    threads.emplace_back([&racy, run, k] {
+      for (std::uint64_t task = k; task < kTasks; task += kThreads) {
+        racy.append(run, task, 0, "e", "");
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+
+  EXPECT_EQ(racy.jsonl(), reference.jsonl());
+}
+
+TEST(JournalTest, DisabledJournalDropsAppends) {
+  Journal journal;
+  journal.set_enabled(false);
+  journal.append(0, 0, 0, "e", "");
+  EXPECT_EQ(journal.appended(), 0u);
+  journal.set_enabled(true);
+  journal.append(0, 0, 0, "e", "");
+  EXPECT_EQ(journal.appended(), 1u);
+}
+
+TEST(JournalTest, ClearDropsRecordsButRunIdsKeepIncreasing) {
+  Journal journal;
+  const std::uint64_t first = journal.begin_run();
+  journal.append(first, 0, 0, "e", "");
+  journal.clear();
+  EXPECT_EQ(journal.appended(), 0u);
+  EXPECT_EQ(journal.resident(), 0u);
+  const std::uint64_t second = journal.begin_run();
+  EXPECT_GT(second, first);
+  // Post-clear appends still export (the thread-local shard cache survives).
+  journal.append(second, 0, 0, "e", "");
+  const std::vector<std::string> lines = lines_of(journal.jsonl());
+  ASSERT_EQ(lines.size(), 2u);
+}
+
+TEST(JournalTest, WriteJsonlMatchesStringForm) {
+  Journal journal;
+  const std::uint64_t run = journal.begin_run();
+  journal.append(run, 1, 1, "request", "\"x\": 1");
+  std::ostringstream os;
+  journal.write_jsonl(os);
+  EXPECT_EQ(os.str(), journal.jsonl());
+}
+
+TEST(JournalTest, DefaultJournalIsEnabledSingleton) {
+  Journal& a = default_journal();
+  Journal& b = default_journal();
+  EXPECT_EQ(&a, &b);
+  EXPECT_TRUE(a.enabled());
+}
+
+}  // namespace
+}  // namespace powerlens::obs

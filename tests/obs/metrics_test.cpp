@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
 #include <sstream>
 #include <stdexcept>
 #include <thread>
@@ -139,6 +141,133 @@ TEST(MetricsRegistry, PrometheusExportHasExpectedShape) {
 
 TEST(MetricsRegistry, GlobalRegistryIsASingleton) {
   EXPECT_EQ(&global_metrics(), &global_metrics());
+}
+
+// --- histogram edge cases ---
+
+TEST(HistogramEdge, EmptySnapshotQuantileIsNaN) {
+  MetricsRegistry reg;
+  const double bounds[] = {1.0, 2.0};
+  const Histogram::Snapshot snap = reg.histogram("h", bounds).snapshot();
+  EXPECT_EQ(snap.count, 0u);
+  EXPECT_TRUE(std::isnan(snap.quantile(0.0)));
+  EXPECT_TRUE(std::isnan(snap.quantile(0.5)));
+  EXPECT_TRUE(std::isnan(snap.quantile(1.0)));
+}
+
+TEST(HistogramEdge, SingleSampleQuantilesResolveToItsBucket) {
+  MetricsRegistry reg;
+  const double bounds[] = {1.0, 2.0, 4.0};
+  Histogram& h = reg.histogram("h", bounds);
+  h.observe(1.5);  // the (1, 2] bucket
+  const Histogram::Snapshot snap = h.snapshot();
+  for (const double q : {0.0, 0.5, 0.99, 1.0}) {
+    const double v = snap.quantile(q);
+    EXPECT_GE(v, 1.0) << q;
+    EXPECT_LE(v, 2.0) << q;
+  }
+  // Out-of-range q clamps instead of reading out of bounds.
+  EXPECT_EQ(snap.quantile(-1.0), snap.quantile(0.0));
+  EXPECT_EQ(snap.quantile(2.0), snap.quantile(1.0));
+}
+
+TEST(HistogramEdge, OverflowBucketQuantileResolvesToLastFiniteBound) {
+  MetricsRegistry reg;
+  const double bounds[] = {1.0, 2.0};
+  Histogram& h = reg.histogram("h", bounds);
+  h.observe(1000.0);  // +Inf bucket only
+  EXPECT_DOUBLE_EQ(h.snapshot().quantile(0.99), 2.0);
+}
+
+TEST(HistogramEdge, NonFiniteObservationsAreRejectedNotRecorded) {
+  MetricsRegistry reg;
+  const double bounds[] = {1.0};
+  Histogram& h = reg.histogram("h", bounds);
+  h.observe(std::numeric_limits<double>::quiet_NaN());
+  h.observe(std::numeric_limits<double>::infinity());
+  h.observe(-std::numeric_limits<double>::infinity());
+  EXPECT_EQ(h.rejected(), 3u);
+  Histogram::Snapshot snap = h.snapshot();
+  EXPECT_EQ(snap.count, 0u);
+  EXPECT_EQ(snap.sum, 0.0);  // a single NaN would poison this forever
+  h.observe(0.5);
+  snap = h.snapshot();
+  EXPECT_EQ(snap.count, 1u);
+  EXPECT_DOUBLE_EQ(snap.sum, 0.5);
+  EXPECT_EQ(h.rejected(), 3u);
+}
+
+TEST(HistogramEdge, ConcurrentObservesMergeExactly) {
+  MetricsRegistry reg;
+  const double bounds[] = {2.0, 4.0, 6.0};
+  Histogram& h = reg.histogram("h", bounds);
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 1000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h] {
+      for (int i = 0; i < kPerThread; ++i) {
+        h.observe(static_cast<double>(i % 8));  // 0..7, integer-exact sums
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  const Histogram::Snapshot snap = h.snapshot();
+  EXPECT_EQ(snap.count,
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+  // 0..7 repeated: sum per thread = 28 * (kPerThread / 8).
+  EXPECT_DOUBLE_EQ(snap.sum, kThreads * 28.0 * (kPerThread / 8));
+  ASSERT_EQ(snap.counts.size(), 4u);
+  EXPECT_EQ(snap.counts[0], 3u * kThreads * (kPerThread / 8));  // 0,1,2
+  EXPECT_EQ(snap.counts[1], 2u * kThreads * (kPerThread / 8));  // 3,4
+  EXPECT_EQ(snap.counts[2], 2u * kThreads * (kPerThread / 8));  // 5,6
+  EXPECT_EQ(snap.counts[3], 1u * kThreads * (kPerThread / 8));  // 7
+}
+
+// --- the metric naming scheme ---
+
+TEST(MetricNaming, AcceptsSchemeConformingNames) {
+  // powerlens_<subsystem>_<body>_<unit>
+  EXPECT_TRUE(valid_metric_name("powerlens_serve_requests_total"));
+  EXPECT_TRUE(valid_metric_name("powerlens_serve_peak_queue_depth"));
+  EXPECT_TRUE(valid_metric_name("powerlens_serve_slo_goodput_images_total"));
+  EXPECT_TRUE(valid_metric_name("powerlens_serve_slo_deadline_burn_ratio"));
+  EXPECT_TRUE(valid_metric_name("powerlens_serve_residual_latency_ratio"));
+  EXPECT_TRUE(valid_metric_name("powerlens_obs_residual_drift_count"));
+  EXPECT_TRUE(valid_metric_name("powerlens_plan_phase_ms"));
+  EXPECT_TRUE(valid_metric_name("powerlens_sim_energy_joules"));
+}
+
+TEST(MetricNaming, RejectsSchemeViolations) {
+  // The pre-rename gauge: unit token before the body, not trailing.
+  EXPECT_FALSE(valid_metric_name("powerlens_serve_queue_depth_peak"));
+  EXPECT_FALSE(valid_metric_name("powerlens_serve_requests"));  // no unit
+  EXPECT_FALSE(valid_metric_name("powerlens_nosuch_requests_total"));
+  EXPECT_FALSE(valid_metric_name("powerlens_serve_Requests_total"));
+  EXPECT_FALSE(valid_metric_name("powerlens_total"));  // no subsystem/body
+  EXPECT_FALSE(valid_metric_name("powerlens_serve__total"));  // empty token
+}
+
+TEST(MetricNaming, NonPowerlensNamesAreExempt) {
+  EXPECT_TRUE(valid_metric_name("requests_total"));
+  EXPECT_TRUE(valid_metric_name("whatever"));
+}
+
+TEST(MetricNaming, RegistryRejectsInvalidPowerlensNames) {
+  MetricsRegistry reg;
+  EXPECT_THROW(reg.counter("powerlens_serve_queue_depth_peak"),
+               std::invalid_argument);
+  EXPECT_THROW(reg.gauge("powerlens_bogus_thing"), std::invalid_argument);
+  EXPECT_NO_THROW(reg.counter("powerlens_serve_requests_total"));
+  EXPECT_NO_THROW(reg.counter("plain_test_counter"));
+}
+
+TEST(MetricNaming, PrometheusLabelEscaping) {
+  EXPECT_EQ(prometheus_escape_label("plain"), "plain");
+  EXPECT_EQ(prometheus_escape_label("a\"b"), "a\\\"b");
+  EXPECT_EQ(prometheus_escape_label("a\\b"), "a\\\\b");
+  EXPECT_EQ(prometheus_escape_label("a\nb"), "a\\nb");
+  EXPECT_EQ(prometheus_escape_label("\\\"\n"), "\\\\\\\"\\n");
 }
 
 }  // namespace

@@ -1,0 +1,167 @@
+// obs::Residuals: predicted-vs-observed relative-residual accounting.
+//
+// Covers the scoring rules (r = (obs - pred) / pred, per-dimension skip on
+// invalid predictions, signature-0 = model-level only), the EWMA seeding and
+// drift flagging, and the snapshot contract: json() is a pure function of
+// the record() call sequence and parses as strict JSON.
+#include "obs/residuals.hpp"
+
+#include "support/json_parser.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <string>
+
+namespace powerlens::obs {
+namespace {
+
+using test_support::JsonParser;
+using test_support::JsonValue;
+
+TEST(ResidualsTest, RecordsRelativeResidualsPerModel) {
+  Residuals res;
+  // Latency 10% over prediction, energy 20% under.
+  res.record("PowerLens", "alexnet", 0, /*pred_t=*/1.0, /*obs_t=*/1.1,
+             /*pred_e=*/10.0, /*obs_e=*/8.0);
+  const Residuals::Stats s = res.by_model("PowerLens", "alexnet");
+  EXPECT_EQ(s.latency.count, 1u);
+  EXPECT_NEAR(s.latency.mean(), 0.1, 1e-12);
+  EXPECT_NEAR(s.latency.mean_abs(), 0.1, 1e-12);
+  EXPECT_NEAR(s.latency.max_abs, 0.1, 1e-12);
+  EXPECT_EQ(s.energy.count, 1u);
+  EXPECT_NEAR(s.energy.mean(), -0.2, 1e-12);
+  EXPECT_NEAR(s.energy.mean_abs(), 0.2, 1e-12);
+  EXPECT_EQ(res.scored(), 1u);
+
+  // Unknown keys come back zeroed, not thrown.
+  EXPECT_EQ(res.by_model("PowerLens", "nonesuch").latency.count, 0u);
+  EXPECT_EQ(res.by_model("MAXN", "alexnet").latency.count, 0u);
+}
+
+TEST(ResidualsTest, InvalidPredictionsSkipOnlyThatDimension) {
+  Residuals res;
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+
+  // Latency prediction invalid (zero / negative / NaN / Inf) but energy
+  // fine: only the energy series advances.
+  res.record("P", "m", 0, 0.0, 1.0, 10.0, 11.0);
+  res.record("P", "m", 0, -1.0, 1.0, 10.0, 11.0);
+  res.record("P", "m", 0, nan, 1.0, 10.0, 11.0);
+  res.record("P", "m", 0, inf, 1.0, 10.0, 11.0);
+  // Non-finite observation also skips the dimension.
+  res.record("P", "m", 0, 1.0, nan, 10.0, 11.0);
+  const Residuals::Stats s = res.by_model("P", "m");
+  EXPECT_EQ(s.latency.count, 0u);
+  EXPECT_EQ(s.energy.count, 5u);
+  EXPECT_EQ(res.scored(), 5u);
+
+  // Both dimensions invalid: the request is not scored at all.
+  res.record("P", "m", 0, nan, 1.0, 0.0, 1.0);
+  EXPECT_EQ(res.scored(), 5u);
+}
+
+TEST(ResidualsTest, SignatureZeroSkipsSignatureKey) {
+  Residuals res;
+  res.record("PowerLens", "alexnet", 0, 1.0, 1.1, 1.0, 1.1);
+  res.record("PowerLens", "alexnet", 0xabcdef0123456789ull, 1.0, 1.1, 1.0,
+             1.1);
+  const std::string snapshot = res.json();
+  // Model-level key saw both records; the signature key exists only for
+  // the non-zero signature.
+  EXPECT_EQ(res.by_model("PowerLens", "alexnet").latency.count, 2u);
+  EXPECT_NE(snapshot.find("\"PowerLens/alexnet\""), std::string::npos);
+  EXPECT_NE(snapshot.find("\"PowerLens/alexnet/0xabcdef0123456789\""),
+            std::string::npos);
+  EXPECT_EQ(snapshot.find("0x0000000000000000"), std::string::npos);
+}
+
+TEST(ResidualsTest, EwmaSeedsWithFirstResidualThenBlends) {
+  Residuals res(Residuals::Config{/*ewma_alpha=*/0.5,
+                                  /*drift_threshold=*/0.3});
+  res.record("P", "m", 0, 1.0, 1.4, 1.0, 1.0);  // r = +0.4 seeds the EWMA
+  EXPECT_NEAR(res.by_model("P", "m").latency.ewma, 0.4, 1e-12);
+  res.record("P", "m", 0, 1.0, 1.2, 1.0, 1.0);  // r = +0.2
+  // 0.5 * 0.2 + 0.5 * 0.4 = 0.3
+  EXPECT_NEAR(res.by_model("P", "m").latency.ewma, 0.3, 1e-12);
+}
+
+TEST(ResidualsTest, PersistentLargeResidualsRaiseDriftFlags) {
+  Residuals res;  // defaults: alpha 0.2, threshold 0.3
+  EXPECT_EQ(res.drift_flags(), 0u);
+  // Persistently +50% over prediction: EWMA sits at 0.5 > 0.3 from the
+  // first (seeded) record onward. Model key and signature key both flag.
+  for (int i = 0; i < 5; ++i) {
+    res.record("PowerLens", "alexnet", 0x1234ull, 1.0, 1.5, 1.0, 1.5);
+  }
+  EXPECT_EQ(res.drift_flags(), 2u);
+  // A well-predicted model does not add flags.
+  res.record("PowerLens", "googlenet", 0, 1.0, 1.01, 1.0, 1.0);
+  EXPECT_EQ(res.drift_flags(), 2u);
+}
+
+TEST(ResidualsTest, HistogramBucketsResolveSign) {
+  Residuals res;
+  res.record("P", "m", 0, 1.0, 0.4, 1.0, 3.5);  // lat r = -0.6, en r = +2.5
+  const Residuals::Stats s = res.by_model("P", "m");
+  // Bounds are {-0.5, ..., 1.0}; -0.6 lands in the first bucket, +2.5 in
+  // the overflow bucket.
+  EXPECT_EQ(s.latency.hist.front(), 1u);
+  EXPECT_EQ(s.energy.hist.back(), 1u);
+  std::uint64_t lat_total = 0;
+  for (const std::uint64_t n : s.latency.hist) lat_total += n;
+  EXPECT_EQ(lat_total, 1u);
+}
+
+TEST(ResidualsTest, JsonSnapshotIsDeterministicAndParses) {
+  Residuals a;
+  Residuals b;
+  for (Residuals* res : {&a, &b}) {
+    res->record("PowerLens", "mobilenet_v3", 0x42ull, 1.0, 1.1, 2.0, 2.1);
+    res->record("PowerLens", "alexnet", 0x41ull, 1.0, 0.9, 2.0, 1.9);
+    res->record("MAXN", "alexnet", 0, 1.0, 1.5, 2.0, 2.9);
+  }
+  EXPECT_EQ(a.json(), b.json());
+
+  const JsonValue root = JsonParser(a.json()).parse();
+  EXPECT_EQ(root.object().at("scored").number(), 3.0);
+  const JsonValue& models = root.object().at("models");
+  EXPECT_EQ(models.object().size(), 3u);
+  const JsonValue& alexnet = models.object().at("PowerLens/alexnet");
+  EXPECT_EQ(alexnet.object().at("latency").object().at("count").number(),
+            1.0);
+  EXPECT_NEAR(alexnet.object().at("latency").object().at("mean").number(),
+              -0.1, 1e-9);
+  const JsonValue& sigs = root.object().at("signatures");
+  EXPECT_EQ(sigs.object().size(), 2u);
+  EXPECT_EQ(root.object().at("config").object().at("bounds").array().size(),
+            Residuals::kBuckets - 1);
+}
+
+TEST(ResidualsTest, EmptySnapshotStillParses) {
+  Residuals res;
+  const JsonValue root = JsonParser(res.json()).parse();
+  EXPECT_EQ(root.object().at("scored").number(), 0.0);
+  EXPECT_EQ(root.object().at("drift_flags").number(), 0.0);
+  EXPECT_TRUE(root.object().at("models").object().empty());
+}
+
+TEST(ResidualsTest, ClearResetsEverything) {
+  Residuals res;
+  res.record("P", "m", 0x1ull, 1.0, 2.0, 1.0, 2.0);
+  ASSERT_GT(res.scored(), 0u);
+  const std::string empty_snapshot = Residuals().json();
+  res.clear();
+  EXPECT_EQ(res.scored(), 0u);
+  EXPECT_EQ(res.by_model("P", "m").latency.count, 0u);
+  EXPECT_EQ(res.json(), empty_snapshot);
+}
+
+TEST(ResidualsTest, DefaultResidualsIsSingleton) {
+  EXPECT_EQ(&default_residuals(), &default_residuals());
+}
+
+}  // namespace
+}  // namespace powerlens::obs
