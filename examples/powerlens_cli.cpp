@@ -7,6 +7,10 @@
 //   powerlens_cli serve    <tx2|agx> <models.txt|-> [tasks] [policy]
 //                          [workers] [rate_hz]
 //   powerlens_cli models
+//   powerlens_cli export-graph <model> <out.plbin> [batch]
+//   powerlens_cli export-plans <tx2|agx> <models.txt> <out.plbin> [batch]
+//   powerlens_cli export-costs <tx2|agx> <model> <out.plbin> [batch]
+//   powerlens_cli import <file.plbin>
 //
 // `train` runs the offline phase and persists the trained bundle;
 // `optimize` loads it and prints the instrumentation plan; `profile` dumps
@@ -31,6 +35,18 @@
 //                              thermal_cap telemetry latency latency_x seed)
 //   --plan-cache-capacity <n>  bound resident plans with LRU eviction
 //                              (0 = unbounded, the default)
+//   --plan-snapshot <file>     warm-start the plan cache from an
+//                              export-plans snapshot before serving — with
+//                              full coverage, plan_cache_misses stays 0
+//   --model-dir <dir>          deploy the *.plbin graphs in <dir> (sorted
+//                              by filename) instead of the built-in zoo
+//   --report-json <file>       also write the JSON report to <file>
+//
+// The export-* commands write versioned binary records (src/io, .plbin);
+// `import` inspects and summarizes any of them. `export-plans` computes a
+// plan per zoo model and snapshots them keyed by graph signature — the
+// input for `serve --plan-snapshot`. The export batch size must match the
+// serving batch size (10) for the signatures to line up.
 #include "baselines/ondemand.hpp"
 #include "core/metrics.hpp"
 #include "core/powerlens.hpp"
@@ -38,14 +54,19 @@
 #include "dnn/models.hpp"
 #include "fault/fault_spec.hpp"
 #include "hw/sim_engine.hpp"
+#include "io/interchange.hpp"
 #include "obs/setup.hpp"
+#include "serve/model_dir.hpp"
 #include "serve/server.hpp"
+#include "serve/signature.hpp"
 
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <string_view>
+#include <vector>
 
 using namespace powerlens;
 
@@ -63,10 +84,18 @@ int usage() {
                "  powerlens_cli serve    <tx2|agx> <models.txt|-> [tasks] "
                "[powerlens|maxn|bim|fpg-g|fpg-cg] [workers] [rate_hz]\n"
                "  powerlens_cli models\n"
+               "  powerlens_cli export-graph <model> <out.plbin> [batch]\n"
+               "  powerlens_cli export-plans <tx2|agx> <models.txt> "
+               "<out.plbin> [batch]\n"
+               "  powerlens_cli export-costs <tx2|agx> <model> <out.plbin> "
+               "[batch]\n"
+               "  powerlens_cli import <file.plbin>\n"
                "common flags: --trace <file> --metrics <file> "
                "--journal <file> --residuals <file> "
                "--log-level <off|error|warn|info|debug|trace>\n"
-               "serve flags:  --faults <spec> --plan-cache-capacity <n>\n");
+               "serve flags:  --faults <spec> --plan-cache-capacity <n> "
+               "--plan-snapshot <file> --model-dir <dir> "
+               "--report-json <file>\n");
   return 2;
 }
 
@@ -75,6 +104,9 @@ int usage() {
 struct ServeFlags {
   std::string faults;
   std::size_t plan_cache_capacity = 0;
+  std::string plan_snapshot;
+  std::string model_dir;
+  std::string report_json;
 };
 
 ServeFlags extract_serve_flags(int& argc, char** argv) {
@@ -87,6 +119,12 @@ ServeFlags extract_serve_flags(int& argc, char** argv) {
     } else if (arg == "--plan-cache-capacity" && i + 1 < argc) {
       flags.plan_cache_capacity =
           static_cast<std::size_t>(std::atoll(argv[++i]));
+    } else if (arg == "--plan-snapshot" && i + 1 < argc) {
+      flags.plan_snapshot = argv[++i];
+    } else if (arg == "--model-dir" && i + 1 < argc) {
+      flags.model_dir = argv[++i];
+    } else if (arg == "--report-json" && i + 1 < argc) {
+      flags.report_json = argv[++i];
     } else {
       argv[out++] = argv[i];
     }
@@ -177,6 +215,90 @@ int cmd_run(const hw::Platform& platform, const std::string& bundle,
   return 0;
 }
 
+int cmd_export_graph(const std::string& model, const std::string& out,
+                     std::int64_t batch) {
+  const dnn::Graph g = dnn::make_model(model, batch);
+  io::save_graph(out, g);
+  std::printf("wrote %s: graph '%s', %zu layers, signature %016llx\n",
+              out.c_str(), g.name().c_str(), g.size(),
+              static_cast<unsigned long long>(serve::graph_signature(g)));
+  return 0;
+}
+
+int cmd_export_plans(const hw::Platform& platform, const std::string& bundle,
+                     const std::string& out, std::int64_t batch) {
+  core::PowerLens framework(platform, {});
+  framework.load_models(bundle);
+  std::vector<io::PlanRecord> records;
+  for (const dnn::ModelSpec& spec : dnn::model_zoo()) {
+    const dnn::Graph g = spec.build(batch);
+    records.push_back(
+        io::PlanRecord{serve::graph_signature(g), framework.optimize(g)});
+  }
+  io::save_plan_snapshot(out, records);
+  std::printf("wrote %s: %zu plans (zoo at batch %lld on %s)\n", out.c_str(),
+              records.size(), static_cast<long long>(batch),
+              platform.name.c_str());
+  return 0;
+}
+
+int cmd_export_costs(const hw::Platform& platform, const std::string& model,
+                     const std::string& out, std::int64_t batch) {
+  const dnn::Graph g = dnn::make_model(model, batch);
+  const hw::CostTable table(platform, g.layers());
+  io::save_cost_table(out, table);
+  std::printf("wrote %s: cost table for '%s', %zu layers x %zu gpu levels\n",
+              out.c_str(), g.name().c_str(), table.num_layers(),
+              table.gpu_levels());
+  return 0;
+}
+
+int cmd_import(const std::string& path) {
+  const std::vector<std::byte> bytes = io::read_file(path);
+  const io::RecordInfo info = io::inspect_record(bytes);
+  switch (info.type) {
+    case io::RecordType::kGraph: {
+      const dnn::Graph g = io::load_graph(path);
+      std::printf("%s: graph record, %zu payload bytes\n", path.c_str(),
+                  info.payload_bytes);
+      std::printf("  '%s': %zu layers, %.2f GFLOPs, %.1f M params, "
+                  "signature %016llx\n",
+                  g.name().c_str(), g.size(),
+                  static_cast<double>(g.total_flops()) / 1e9,
+                  static_cast<double>(g.total_params()) / 1e6,
+                  static_cast<unsigned long long>(serve::graph_signature(g)));
+      return 0;
+    }
+    case io::RecordType::kPlan: {
+      // A plan file may be a single record or an export-plans snapshot;
+      // the snapshot loader handles both.
+      const std::vector<io::PlanRecord> records =
+          io::load_plan_snapshot(path);
+      std::printf("%s: %zu plan record%s\n", path.c_str(), records.size(),
+                  records.size() == 1 ? "" : "s");
+      for (const io::PlanRecord& r : records) {
+        std::printf("  signature %016llx: %zu blocks, predicted %.4f s, "
+                    "%.2f J per pass\n",
+                    static_cast<unsigned long long>(r.graph_signature),
+                    r.plan.view.block_count(), r.plan.predicted_pass_time_s,
+                    r.plan.predicted_pass_energy_j);
+      }
+      return 0;
+    }
+    case io::RecordType::kCostTable: {
+      const io::LoadedCostTable loaded = io::load_cost_table(path);
+      std::printf("%s: cost-table record, %zu payload bytes (%s)\n",
+                  path.c_str(), info.payload_bytes,
+                  loaded.mmapped ? "zero-copy mmap" : "heap read");
+      std::printf("  %zu layers x %zu gpu levels\n",
+                  loaded.table.num_layers(), loaded.table.gpu_levels());
+      return 0;
+    }
+  }
+  std::fprintf(stderr, "error: %s: unknown record type\n", path.c_str());
+  return 1;
+}
+
 serve::ServePolicy parse_policy(const std::string& name) {
   if (name == "powerlens") return serve::ServePolicy::kPowerLens;
   if (name == "maxn") return serve::ServePolicy::kMaxn;
@@ -202,8 +324,12 @@ int cmd_serve(const hw::Platform& platform, const std::string& bundle,
 
   constexpr std::int64_t kBatch = 10;
   std::vector<serve::DeployedModel> models;
-  for (const dnn::ModelSpec& spec : dnn::model_zoo()) {
-    models.push_back({std::string(spec.name), spec.build(kBatch)});
+  if (!flags.model_dir.empty()) {
+    models = serve::load_model_population(flags.model_dir);
+  } else {
+    for (const dnn::ModelSpec& spec : dnn::model_zoo()) {
+      models.push_back({std::string(spec.name), spec.build(kBatch)});
+    }
   }
 
   serve::RequestStreamConfig stream_config;
@@ -222,6 +348,12 @@ int cmd_serve(const hw::Platform& platform, const std::string& bundle,
     config.faults = fault::FaultSpec::parse(flags.faults);
   }
   serve::Server server(platform, std::move(models), config, &framework);
+  if (!flags.plan_snapshot.empty()) {
+    const std::size_t installed =
+        server.warm_start_from_snapshot(flags.plan_snapshot);
+    std::fprintf(stderr, "warm start: %zu plans preloaded from %s\n",
+                 installed, flags.plan_snapshot.c_str());
+  }
   const serve::ServeReport report = server.serve(stream);
 
   std::printf("%zu tasks on %s under %s: %.1f J, makespan %.2f s, EE %.4f "
@@ -246,6 +378,14 @@ int cmd_serve(const hw::Platform& platform, const std::string& bundle,
                 report.energy_residual_mean * 100.0);
   }
   report.write_json(std::cout);
+  if (!flags.report_json.empty()) {
+    std::ofstream os(flags.report_json);
+    if (!os) {
+      throw std::runtime_error("serve: cannot open '" + flags.report_json +
+                               "' for writing");
+    }
+    report.write_json(os);
+  }
   return 0;
 }
 
@@ -280,6 +420,21 @@ int main(int argc, char** argv) {
       return cmd_run(parse_platform(argv[2]), argv[3], argv[4],
                      argc > 5 ? std::atoi(argv[5]) : 30,
                      argc > 6 ? std::atoll(argv[6]) : 8);
+    }
+    if (cmd == "export-graph" && argc >= 4) {
+      return cmd_export_graph(argv[2], argv[3],
+                              argc > 4 ? std::atoll(argv[4]) : 8);
+    }
+    if (cmd == "export-plans" && argc >= 5) {
+      return cmd_export_plans(parse_platform(argv[2]), argv[3], argv[4],
+                              argc > 5 ? std::atoll(argv[5]) : 10);
+    }
+    if (cmd == "export-costs" && argc >= 5) {
+      return cmd_export_costs(parse_platform(argv[2]), argv[3], argv[4],
+                              argc > 5 ? std::atoll(argv[5]) : 8);
+    }
+    if (cmd == "import" && argc >= 3) {
+      return cmd_import(argv[2]);
     }
     if (cmd == "serve" && argc >= 4) {
       return cmd_serve(

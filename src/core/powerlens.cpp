@@ -10,6 +10,7 @@
 
 #include <chrono>
 #include <fstream>
+#include <locale>
 #include <stdexcept>
 
 namespace powerlens::core {
@@ -478,6 +479,11 @@ void PowerLens::save_models(const std::string& path) const {
     throw std::runtime_error("PowerLens: cannot open '" + path +
                              "' for writing");
   }
+  // The bundle format is locale-independent: a freshly opened stream
+  // inherits the process-global locale, so pin the classic one before any
+  // numeric output (the nn::serialize primitives pin their own streams too,
+  // but the header line is written here).
+  os.imbue(std::locale::classic());
   os << "powerlens-models 1 " << platform_->name << "\n";
   hyper_model_.save(os);
   decision_model_.save(os);
@@ -491,6 +497,7 @@ void PowerLens::load_models(const std::string& path) {
   if (!is) {
     throw std::runtime_error("PowerLens: cannot open '" + path + "'");
   }
+  is.imbue(std::locale::classic());
   std::string magic;
   int version = 0;
   std::string platform_name;

@@ -65,6 +65,12 @@ class Graph {
   // kInput. Throws std::invalid_argument describing the first violation.
   void validate() const;
 
+  // Field-exact equality (name, every layer, every edge); consumers are
+  // derived from producers, so comparing them too costs nothing extra and
+  // keeps this defaultable. The interchange round-trip tests assert
+  // load(save(g)) == g through this.
+  bool operator==(const Graph&) const = default;
+
  private:
   std::string name_;
   std::vector<Layer> layers_;

@@ -27,6 +27,8 @@ struct ConvAttrs {
   constexpr bool depthwise(std::int64_t in_channels) const noexcept {
     return groups == in_channels && groups == filters;
   }
+
+  constexpr bool operator==(const ConvAttrs&) const noexcept = default;
 };
 
 // Deep attributes for transformer attention (section 2.1.2: heads, matrix
@@ -36,6 +38,8 @@ struct AttnAttrs {
   std::int64_t embed_dim = 0;
   std::int64_t head_dim = 0;
   std::int64_t seq_len = 0;
+
+  constexpr bool operator==(const AttnAttrs&) const noexcept = default;
 };
 
 struct Layer {
@@ -61,6 +65,9 @@ struct Layer {
                                static_cast<double>(mem_bytes)
                          : 0.0;
   }
+
+  // Field-exact equality — the binary interchange round-trip contract.
+  bool operator==(const Layer&) const noexcept = default;
 };
 
 }  // namespace powerlens::dnn

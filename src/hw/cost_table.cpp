@@ -1,14 +1,10 @@
 #include "hw/cost_table.hpp"
 
-#include <limits>
+#include <algorithm>
 #include <numeric>
 #include <stdexcept>
 
 namespace powerlens::hw {
-
-namespace {
-constexpr std::size_t kNoSlot = std::numeric_limits<std::size_t>::max();
-}  // namespace
 
 CostTable::CostTable(const Platform& platform,
                      std::span<const dnn::Layer> layers, double cpu_load) {
@@ -21,6 +17,27 @@ CostTable::CostTable(const Platform& platform,
                      std::span<const dnn::Layer> layers,
                      std::span<const std::size_t> cpu_levels, double cpu_load) {
   init(platform, layers, cpu_levels, cpu_load);
+}
+
+CostTable::CostTable(const CostTable& other)
+    : num_layers_(other.num_layers_),
+      gpu_levels_(other.gpu_levels_),
+      cpu_slot_(other.cpu_slot_),
+      cpu_slots_(other.cpu_slots_) {
+  if (other.owns_storage()) {
+    time_prefix_ = other.time_prefix_;
+    energy_prefix_ = other.energy_prefix_;
+    time_view_ = time_prefix_;
+    energy_view_ = energy_prefix_;
+  } else {
+    time_view_ = other.time_view_;
+    energy_view_ = other.energy_view_;
+  }
+}
+
+CostTable& CostTable::operator=(const CostTable& other) {
+  if (this != &other) *this = CostTable(other);
+  return *this;
 }
 
 void CostTable::init(const Platform& platform,
@@ -67,6 +84,94 @@ void CostTable::init(const Platform& platform,
       }
     }
   }
+  time_view_ = time_prefix_;
+  energy_view_ = energy_prefix_;
+}
+
+void CostTable::validate_parts(std::size_t num_layers, std::size_t gpu_levels,
+                               std::span<const std::size_t> cpu_slot,
+                               std::size_t cpu_slots,
+                               std::span<const double> time_prefix,
+                               std::span<const double> energy_prefix) {
+  if (gpu_levels == 0) {
+    throw std::invalid_argument("CostTable: zero gpu levels");
+  }
+  if (cpu_slots == 0 || cpu_slots > cpu_slot.size()) {
+    throw std::invalid_argument("CostTable: bad cpu slot count");
+  }
+  // Slot assignments must be a bijection onto [0, cpu_slots).
+  std::vector<bool> seen(cpu_slots, false);
+  std::size_t assigned = 0;
+  for (const std::size_t s : cpu_slot) {
+    if (s == kNoSlot) continue;
+    if (s >= cpu_slots || seen[s]) {
+      throw std::invalid_argument("CostTable: invalid cpu slot assignment");
+    }
+    seen[s] = true;
+    ++assigned;
+  }
+  if (assigned != cpu_slots) {
+    throw std::invalid_argument("CostTable: unassigned cpu slots");
+  }
+  const std::size_t expect = gpu_levels * cpu_slots * (num_layers + 1);
+  if (time_prefix.size() != expect || energy_prefix.size() != expect) {
+    throw std::invalid_argument("CostTable: prefix array size mismatch");
+  }
+}
+
+CostTable CostTable::from_parts(std::size_t num_layers, std::size_t gpu_levels,
+                                std::vector<std::size_t> cpu_slot,
+                                std::size_t cpu_slots,
+                                std::vector<double> time_prefix,
+                                std::vector<double> energy_prefix) {
+  validate_parts(num_layers, gpu_levels, cpu_slot, cpu_slots, time_prefix,
+                 energy_prefix);
+  CostTable t;
+  t.num_layers_ = num_layers;
+  t.gpu_levels_ = gpu_levels;
+  t.cpu_slot_ = std::move(cpu_slot);
+  t.cpu_slots_ = cpu_slots;
+  t.time_prefix_ = std::move(time_prefix);
+  t.energy_prefix_ = std::move(energy_prefix);
+  t.time_view_ = t.time_prefix_;
+  t.energy_view_ = t.energy_prefix_;
+  return t;
+}
+
+CostTable CostTable::from_view(std::size_t num_layers, std::size_t gpu_levels,
+                               std::vector<std::size_t> cpu_slot,
+                               std::size_t cpu_slots,
+                               std::span<const double> time_prefix,
+                               std::span<const double> energy_prefix) {
+  validate_parts(num_layers, gpu_levels, cpu_slot, cpu_slots, time_prefix,
+                 energy_prefix);
+  CostTable t;
+  t.num_layers_ = num_layers;
+  t.gpu_levels_ = gpu_levels;
+  t.cpu_slot_ = std::move(cpu_slot);
+  t.cpu_slots_ = cpu_slots;
+  t.time_view_ = time_prefix;
+  t.energy_view_ = energy_prefix;
+  return t;
+}
+
+CostTable::Raw CostTable::raw() const noexcept {
+  Raw r;
+  r.num_layers = num_layers_;
+  r.gpu_levels = gpu_levels_;
+  r.cpu_slot = cpu_slot_;
+  r.cpu_slots = cpu_slots_;
+  r.time_prefix = time_view_;
+  r.energy_prefix = energy_view_;
+  return r;
+}
+
+bool CostTable::operator==(const CostTable& other) const noexcept {
+  return num_layers_ == other.num_layers_ &&
+         gpu_levels_ == other.gpu_levels_ && cpu_slot_ == other.cpu_slot_ &&
+         cpu_slots_ == other.cpu_slots_ &&
+         std::ranges::equal(time_view_, other.time_view_) &&
+         std::ranges::equal(energy_view_, other.energy_view_);
 }
 
 bool CostTable::has_cpu_level(std::size_t cpu_level) const noexcept {
@@ -91,8 +196,8 @@ BlockCost CostTable::block_cost(std::size_t begin, std::size_t end,
     throw std::out_of_range("CostTable: bad layer range");
   }
   const std::size_t base = plane(gpu_level, cpu_level) * (num_layers_ + 1);
-  return {time_prefix_[base + end] - time_prefix_[base + begin],
-          energy_prefix_[base + end] - energy_prefix_[base + begin]};
+  return {time_view_[base + end] - time_view_[base + begin],
+          energy_view_[base + end] - energy_view_[base + begin]};
 }
 
 std::size_t CostTable::optimal_gpu_level(std::size_t begin, std::size_t end,

@@ -12,10 +12,19 @@
 // Accumulation order matches analytic_block_cost layer-by-layer, so a query
 // starting at layer 0 is bitwise identical to the direct computation;
 // queries starting mid-graph differ only by one floating-point subtraction.
+//
+// Storage comes in two modes behind the same query interface: tables built
+// by the constructors (or CostTable::from_parts) own their prefix arrays in
+// vectors, while CostTable::from_view reads them from externally owned
+// memory — the zero-copy half of the binary interchange (src/io), where the
+// arrays live page-aligned inside an mmap'd .plbin file. Queries go through
+// spans either way, so the hot path is identical in both modes.
 #pragma once
 
 #include "hw/analytic.hpp"
 
+#include <cstddef>
+#include <limits>
 #include <span>
 #include <vector>
 
@@ -23,6 +32,14 @@ namespace powerlens::hw {
 
 class CostTable {
  public:
+  // cpu_slot entries carry this sentinel for CPU levels that were not
+  // precomputed (see raw()).
+  static constexpr std::size_t kNoSlot = std::numeric_limits<std::size_t>::max();
+
+  // An empty table: nothing precomputed, every query throws. Exists so the
+  // interchange loaders can stage into a member before filling it.
+  CostTable() = default;
+
   // Precomputes all (gpu_level, cpu_level) pairs of `platform`.
   CostTable(const Platform& platform, std::span<const dnn::Layer> layers,
             double cpu_load = 0.2);
@@ -32,6 +49,49 @@ class CostTable {
   // level outside the platform ladder.
   CostTable(const Platform& platform, std::span<const dnn::Layer> layers,
             std::span<const std::size_t> cpu_levels, double cpu_load = 0.2);
+
+  // Copies re-anchor the query spans into the copied vectors when the
+  // source owns its storage; view-mode copies share the external memory.
+  CostTable(const CostTable& other);
+  CostTable& operator=(const CostTable& other);
+  // Moves never relocate the underlying doubles (vector moves transfer the
+  // allocation), so the spans stay valid as-is.
+  CostTable(CostTable&&) noexcept = default;
+  CostTable& operator=(CostTable&&) noexcept = default;
+
+  // --- Serialized-parts interface (the binary interchange, src/io) ---
+
+  struct Raw {
+    std::size_t num_layers = 0;
+    std::size_t gpu_levels = 0;
+    // cpu level -> dense slot index, kNoSlot when not precomputed.
+    std::span<const std::size_t> cpu_slot;
+    std::size_t cpu_slots = 0;
+    std::span<const double> time_prefix;
+    std::span<const double> energy_prefix;
+  };
+  Raw raw() const noexcept;
+
+  // Owning rebuild from serialized parts (the heap-read load path).
+  // Validates every structural invariant the constructors establish and
+  // throws std::invalid_argument on a violation.
+  static CostTable from_parts(std::size_t num_layers, std::size_t gpu_levels,
+                              std::vector<std::size_t> cpu_slot,
+                              std::size_t cpu_slots,
+                              std::vector<double> time_prefix,
+                              std::vector<double> energy_prefix);
+  // Non-owning rebuild over externally owned prefix arrays (the mmap load
+  // path). The caller must keep the backing memory alive and immutable for
+  // the table's lifetime; cpu_slot is tiny and copied. Same validation.
+  static CostTable from_view(std::size_t num_layers, std::size_t gpu_levels,
+                             std::vector<std::size_t> cpu_slot,
+                             std::size_t cpu_slots,
+                             std::span<const double> time_prefix,
+                             std::span<const double> energy_prefix);
+
+  // Value equality over metadata and prefix contents, whatever the storage
+  // mode — the interchange round-trip contract.
+  bool operator==(const CostTable& other) const noexcept;
 
   std::size_t num_layers() const noexcept { return num_layers_; }
   std::size_t gpu_levels() const noexcept { return gpu_levels_; }
@@ -51,17 +111,29 @@ class CostTable {
  private:
   void init(const Platform& platform, std::span<const dnn::Layer> layers,
             std::span<const std::size_t> cpu_levels, double cpu_load);
+  static void validate_parts(std::size_t num_layers, std::size_t gpu_levels,
+                             std::span<const std::size_t> cpu_slot,
+                             std::size_t cpu_slots,
+                             std::span<const double> time_prefix,
+                             std::span<const double> energy_prefix);
   std::size_t plane(std::size_t gpu_level, std::size_t cpu_level) const;
+  bool owns_storage() const noexcept {
+    return time_view_.data() == time_prefix_.data();
+  }
 
   std::size_t num_layers_ = 0;
   std::size_t gpu_levels_ = 0;
-  // cpu level -> dense slot index, or npos when not precomputed.
+  // cpu level -> dense slot index, or kNoSlot when not precomputed.
   std::vector<std::size_t> cpu_slot_;
   std::size_t cpu_slots_ = 0;
   // Prefix sums, one (num_layers_ + 1)-length run per (gpu, cpu-slot) plane:
-  // index [plane * (L + 1) + i] holds the cost of layers [0, i).
+  // index [plane * (L + 1) + i] holds the cost of layers [0, i). Owned by
+  // the vectors in owning mode (views point into them), external in view
+  // mode (vectors stay empty).
   std::vector<double> time_prefix_;
   std::vector<double> energy_prefix_;
+  std::span<const double> time_view_;
+  std::span<const double> energy_view_;
 };
 
 }  // namespace powerlens::hw

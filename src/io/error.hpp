@@ -1,0 +1,73 @@
+// Typed failure taxonomy for the binary interchange readers.
+//
+// Every malformed input — wrong file type, future format version, bit rot,
+// short read, or a payload that passes its checksum but decodes to an
+// impossible object — surfaces as exactly one of these exception types,
+// never as UB, a crash, or a silent partial object. The corruption fuzz
+// suites (tests/io, tools/plfuzz) treat io::Error as the *expected* outcome
+// for mutated bytes; anything else escaping a decoder is a bug.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace powerlens::io {
+
+enum class ErrorKind {
+  kBadMagic,         // leading bytes are not "PLBN"
+  kVersionMismatch,  // format version this reader does not speak
+  kWrongRecordType,  // a valid record, but not the type the caller asked for
+  kTruncated,        // header or payload extends past the available bytes
+  kChecksumMismatch, // payload bytes do not hash to the header checksum
+  kMalformed,        // checksum-valid payload decoding to an invalid object
+};
+
+constexpr const char* error_kind_name(ErrorKind kind) noexcept {
+  switch (kind) {
+    case ErrorKind::kBadMagic: return "bad_magic";
+    case ErrorKind::kVersionMismatch: return "version_mismatch";
+    case ErrorKind::kWrongRecordType: return "wrong_record_type";
+    case ErrorKind::kTruncated: return "truncated";
+    case ErrorKind::kChecksumMismatch: return "checksum_mismatch";
+    case ErrorKind::kMalformed: return "malformed";
+  }
+  return "unknown";
+}
+
+class Error : public std::runtime_error {
+ public:
+  Error(ErrorKind kind, const std::string& what)
+      : std::runtime_error(std::string(error_kind_name(kind)) + ": " + what),
+        kind_(kind) {}
+  ErrorKind kind() const noexcept { return kind_; }
+
+ private:
+  ErrorKind kind_;
+};
+
+struct BadMagicError final : Error {
+  explicit BadMagicError(const std::string& w)
+      : Error(ErrorKind::kBadMagic, w) {}
+};
+struct VersionMismatchError final : Error {
+  explicit VersionMismatchError(const std::string& w)
+      : Error(ErrorKind::kVersionMismatch, w) {}
+};
+struct WrongRecordTypeError final : Error {
+  explicit WrongRecordTypeError(const std::string& w)
+      : Error(ErrorKind::kWrongRecordType, w) {}
+};
+struct TruncatedError final : Error {
+  explicit TruncatedError(const std::string& w)
+      : Error(ErrorKind::kTruncated, w) {}
+};
+struct ChecksumMismatchError final : Error {
+  explicit ChecksumMismatchError(const std::string& w)
+      : Error(ErrorKind::kChecksumMismatch, w) {}
+};
+struct MalformedError final : Error {
+  explicit MalformedError(const std::string& w)
+      : Error(ErrorKind::kMalformed, w) {}
+};
+
+}  // namespace powerlens::io

@@ -1,0 +1,86 @@
+#include "io/mmap_file.hpp"
+
+#include "io/binary.hpp"
+
+#include <utility>
+
+#if defined(__unix__) || defined(__APPLE__)
+#define POWERLENS_HAVE_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#else
+#define POWERLENS_HAVE_MMAP 0
+#endif
+
+namespace powerlens::io {
+
+MappedFile::MappedFile(MappedFile&& other) noexcept { *this = std::move(other); }
+
+MappedFile& MappedFile::operator=(MappedFile&& other) noexcept {
+  if (this == &other) return *this;
+  reset();
+  heap_ = std::move(other.heap_);
+  data_ = other.data_;
+  size_ = other.size_;
+  mapped_ = other.mapped_;
+  other.data_ = nullptr;
+  other.size_ = 0;
+  other.mapped_ = false;
+  return *this;
+}
+
+MappedFile::~MappedFile() { reset(); }
+
+void MappedFile::reset() noexcept {
+#if POWERLENS_HAVE_MMAP
+  if (mapped_ && data_ != nullptr) {
+    ::munmap(const_cast<std::byte*>(data_), size_);
+  }
+#endif
+  data_ = nullptr;
+  size_ = 0;
+  mapped_ = false;
+  heap_.clear();
+}
+
+MappedFile MappedFile::map(const std::string& path, bool allow_mmap) {
+  MappedFile out;
+#if POWERLENS_HAVE_MMAP
+  if (allow_mmap) {
+    const int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0) {
+      throw std::runtime_error("io: cannot open '" + path + "'");
+    }
+    struct stat st{};
+    if (::fstat(fd, &st) != 0) {
+      ::close(fd);
+      throw std::runtime_error("io: cannot stat '" + path + "'");
+    }
+    const std::size_t size = static_cast<std::size_t>(st.st_size);
+    if (size > 0) {
+      void* addr = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+      ::close(fd);
+      if (addr == MAP_FAILED) {
+        throw std::runtime_error("io: mmap of '" + path + "' failed");
+      }
+      out.data_ = static_cast<const std::byte*>(addr);
+      out.size_ = size;
+      out.mapped_ = true;
+      return out;
+    }
+    ::close(fd);
+    return out;  // empty file: nothing to map
+  }
+#else
+  (void)allow_mmap;
+#endif
+  out.heap_ = read_file(path);
+  out.data_ = out.heap_.data();
+  out.size_ = out.heap_.size();
+  out.mapped_ = false;
+  return out;
+}
+
+}  // namespace powerlens::io

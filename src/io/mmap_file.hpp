@@ -1,0 +1,49 @@
+// Read-only memory mapping with a portable heap fallback.
+//
+// The cost-table loader wants zero-copy access to page-aligned prefix-sum
+// arrays; everything else is happy reading the whole file. MappedFile
+// abstracts both: map() mmaps when the platform supports it and otherwise
+// (or on request) falls back to reading the file into an owned buffer, so
+// callers hold one object whose bytes() stay valid for its lifetime either
+// way. Moving a MappedFile never moves the underlying bytes — a mapping
+// keeps its address and a heap buffer transfers its allocation — so spans
+// into bytes() survive moves.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace powerlens::io {
+
+class MappedFile {
+ public:
+  MappedFile() = default;
+  MappedFile(MappedFile&& other) noexcept;
+  MappedFile& operator=(MappedFile&& other) noexcept;
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+  ~MappedFile();
+
+  // Maps (or reads) `path`. `allow_mmap = false` forces the heap path —
+  // the loader's escape hatch and the fallback test's lever. Throws
+  // std::runtime_error when the file cannot be opened or read.
+  static MappedFile map(const std::string& path, bool allow_mmap = true);
+
+  std::span<const std::byte> bytes() const noexcept {
+    return {data_, size_};
+  }
+  // True when bytes() points into an OS mapping rather than a heap buffer.
+  bool mapped() const noexcept { return mapped_; }
+
+ private:
+  void reset() noexcept;
+
+  const std::byte* data_ = nullptr;
+  std::size_t size_ = 0;
+  bool mapped_ = false;
+  std::vector<std::byte> heap_;  // owns the bytes on the fallback path
+};
+
+}  // namespace powerlens::io

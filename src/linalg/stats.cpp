@@ -4,6 +4,7 @@
 #include <iomanip>
 #include <istream>
 #include <limits>
+#include <locale>
 #include <ostream>
 #include <stdexcept>
 #include <string>
@@ -120,6 +121,9 @@ Matrix StandardScaler::fit_transform(const Matrix& samples) {
 }
 
 void StandardScaler::save(std::ostream& os) const {
+  // Pin the classic "C" locale: a process-global locale with digit grouping
+  // or an alternate decimal point must not leak into the model file format.
+  os.imbue(std::locale::classic());
   os << std::setprecision(std::numeric_limits<double>::max_digits10);
   os << "scaler " << means_.size();
   for (double m : means_) os << ' ' << m;
@@ -128,6 +132,7 @@ void StandardScaler::save(std::ostream& os) const {
 }
 
 StandardScaler StandardScaler::load(std::istream& is) {
+  is.imbue(std::locale::classic());
   std::string tag;
   std::size_t n = 0;
   if (!(is >> tag >> n) || tag != "scaler") {

@@ -3,6 +3,7 @@
 #include <iomanip>
 #include <istream>
 #include <limits>
+#include <locale>
 #include <ostream>
 #include <stdexcept>
 #include <string>
@@ -12,6 +13,10 @@ namespace powerlens::nn {
 namespace {
 
 void expect_tag(std::istream& is, std::string_view tag) {
+  // Model files are written in the classic "C" locale; a process-global
+  // locale with grouping separators or an alternate decimal point would
+  // otherwise silently corrupt numeric formatting both ways.
+  is.imbue(std::locale::classic());
   std::string got;
   if (!(is >> got) || got != tag) {
     throw std::runtime_error("serialize: expected tag '" + std::string(tag) +
@@ -20,6 +25,7 @@ void expect_tag(std::istream& is, std::string_view tag) {
 }
 
 void set_full_precision(std::ostream& os) {
+  os.imbue(std::locale::classic());
   os << std::setprecision(std::numeric_limits<double>::max_digits10);
 }
 
@@ -77,6 +83,7 @@ std::vector<double> read_vector(std::istream& is, std::string_view tag) {
 }
 
 void write_scalar(std::ostream& os, std::string_view tag, long long value) {
+  os.imbue(std::locale::classic());
   os << tag << ' ' << value << '\n';
 }
 

@@ -1,0 +1,43 @@
+#include "serve/model_dir.hpp"
+
+#include "io/interchange.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <stdexcept>
+
+namespace powerlens::serve {
+
+std::vector<DeployedModel> load_model_population(const std::string& dir) {
+  namespace fs = std::filesystem;
+  const fs::path root(dir);
+  if (!fs::is_directory(root)) {
+    throw std::invalid_argument("load_model_population: not a directory: " +
+                                dir);
+  }
+  std::vector<fs::path> files;
+  for (const fs::directory_entry& entry : fs::directory_iterator(root)) {
+    if (entry.is_regular_file() && entry.path().extension() == ".plbin") {
+      files.push_back(entry.path());
+    }
+  }
+  if (files.empty()) {
+    throw std::invalid_argument("load_model_population: no .plbin files in " +
+                                dir);
+  }
+  // Sort by filename, not full path: stable across differently spelled
+  // paths to the same directory.
+  std::sort(files.begin(), files.end(),
+            [](const fs::path& a, const fs::path& b) {
+              return a.filename().string() < b.filename().string();
+            });
+  std::vector<DeployedModel> models;
+  models.reserve(files.size());
+  for (const fs::path& file : files) {
+    models.push_back(DeployedModel{file.stem().string(),
+                                   io::load_graph(file.string())});
+  }
+  return models;
+}
+
+}  // namespace powerlens::serve

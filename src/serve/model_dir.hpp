@@ -1,0 +1,26 @@
+// Model population from a directory of serialized graphs.
+//
+// The export half of the binary interchange (src/io) writes one .plbin graph
+// record per model; this loader turns such a directory back into the
+// DeployedModel list a Server is constructed with. Filenames become model
+// names (stem only), and files are loaded in lexicographic filename order so
+// the population — and therefore every downstream signature, report, and
+// journal — is deterministic regardless of directory enumeration order.
+#pragma once
+
+#include "serve/server.hpp"
+
+#include <string>
+#include <vector>
+
+namespace powerlens::serve {
+
+// Loads every `*.plbin` file in `dir` (non-recursive) as a graph record and
+// returns the models sorted by filename. The model name is the filename
+// without the extension. Throws std::invalid_argument when `dir` is not a
+// directory or contains no .plbin files, and io::Error when any file is not
+// a valid graph record — a model population with silently missing members is
+// worse than no population.
+std::vector<DeployedModel> load_model_population(const std::string& dir);
+
+}  // namespace powerlens::serve

@@ -4,6 +4,7 @@
 #include "obs/trace.hpp"
 #include "serve/signature.hpp"
 
+#include <algorithm>
 #include <array>
 #include <chrono>
 #include <stdexcept>
@@ -192,6 +193,34 @@ PlanCache::PlanPtr PlanCache::get_or_compute(const dnn::Graph& graph,
         for (const dnn::Graph* g : graphs) plans.push_back(factory(*g));
         return plans;
       });
+}
+
+bool PlanCache::preload(std::uint64_t signature, PlanPtr plan) {
+  if (plan == nullptr) {
+    throw std::invalid_argument("PlanCache: preload with null plan");
+  }
+  Shard& shard = shard_for(signature);
+  const std::lock_guard<std::mutex> lock(shard.mu);
+  if (shard.plans.contains(signature) || shard.inflight.contains(signature)) {
+    return false;  // first wins: never clobber a resident or in-flight plan
+  }
+  insert_resident(shard, signature, plan);
+  preloaded_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+std::vector<std::pair<std::uint64_t, PlanCache::PlanPtr>> PlanCache::snapshot()
+    const {
+  std::vector<std::pair<std::uint64_t, PlanPtr>> out;
+  for (const Shard& shard : shards_) {
+    const std::lock_guard<std::mutex> lock(shard.mu);
+    for (const auto& [sig, entry] : shard.plans) {
+      out.emplace_back(sig, entry.plan);
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return out;
 }
 
 PlanCache::PlanPtr PlanCache::lookup(const dnn::Graph& graph) const {

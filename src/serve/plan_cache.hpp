@@ -94,6 +94,25 @@ class PlanCache {
   // only probe_hits (never hits/misses) and does not refresh recency.
   PlanPtr lookup(const dnn::Graph& graph) const;
 
+  // Snapshot warm start (src/io plan snapshots): installs a plan under a
+  // precomputed signature without touching the hit/miss counters — a
+  // preloaded plan is neither a serving-path hit nor a cold compute.
+  // First-wins: a signature that is already resident (or in flight) is left
+  // alone. Returns true when the plan was installed; installed plans count
+  // toward capacity and participate in LRU eviction like any other.
+  bool preload(std::uint64_t signature, PlanPtr plan);
+  // Plans installed by preload() since construction (eviction does not
+  // decrement) — the serving report's proof that a warm start covered the
+  // deployed models.
+  std::uint64_t preloaded() const noexcept {
+    return preloaded_.load(std::memory_order_relaxed);
+  }
+
+  // Every resident (signature, plan) pair, sorted by signature — the export
+  // half of the snapshot story. Completed plans only; in-flight
+  // computations are skipped.
+  std::vector<std::pair<std::uint64_t, PlanPtr>> snapshot() const;
+
   // Serving-path counters (get_or_compute).
   std::uint64_t hits() const noexcept {
     return hits_.load(std::memory_order_relaxed);
@@ -151,6 +170,7 @@ class PlanCache {
   std::atomic<std::uint64_t> misses_{0};
   mutable std::atomic<std::uint64_t> probe_hits_{0};
   std::atomic<std::uint64_t> evictions_{0};
+  std::atomic<std::uint64_t> preloaded_{0};
 };
 
 }  // namespace powerlens::serve

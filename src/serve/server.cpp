@@ -4,6 +4,7 @@
 #include "baselines/ondemand.hpp"
 #include "fault/fault_injector.hpp"
 #include "hw/sim_engine.hpp"
+#include "io/interchange.hpp"
 #include "obs/json.hpp"
 #include "obs/journal.hpp"
 #include "obs/log.hpp"
@@ -361,7 +362,8 @@ std::vector<Server::ServiceResult> Server::simulate_reactive(
 ServeReport Server::fold_timeline(std::span<const Task> tasks,
                                   std::span<const ServiceResult> services,
                                   std::uint64_t cache_hits_before,
-                                  std::uint64_t cache_misses_before) {
+                                  std::uint64_t cache_misses_before,
+                                  const std::vector<bool>& plan_resident_before) {
   const bool continuous = !marks_.empty();
 
   ServeReport report;
@@ -392,7 +394,12 @@ ServeReport Server::fold_timeline(std::span<const Task> tasks,
   // The engine idles this long after every pass; the static per-pass
   // prediction excludes it, so fold it back in when scaling to a request.
   const double gap_s = hw::RunPolicy{}.inter_pass_gap_s;
-  std::vector<bool> plan_seen(models_.size(), false);
+  // "Cold" below means "first in task order to need a plan that was not
+  // already resident when serve() began" — a model covered by a snapshot
+  // warm start (or a previous serve call) never reports cold, matching the
+  // zero-miss counter of a warm cache.
+  std::vector<bool> plan_seen = plan_resident_before;
+  plan_seen.resize(models_.size(), false);
   std::size_t deadline_tasks = 0;  // admitted requests carrying a deadline
   double latency_residual_sum = 0.0;
   double energy_residual_sum = 0.0;
@@ -669,6 +676,7 @@ ServeReport Server::fold_timeline(std::span<const Task> tasks,
   }
   report.plan_cache_hits = cache_.hits() - cache_hits_before;
   report.plan_cache_misses = cache_.misses() - cache_misses_before;
+  report.plan_cache_preloaded = cache_.preloaded();
   if (deadline_tasks > 0) {
     report.deadline_burn_rate =
         static_cast<double>(report.deadline_misses) /
@@ -825,6 +833,15 @@ ServeReport Server::serve(std::span<const Task> tasks) {
 
   const std::uint64_t hits_before = cache_.hits();
   const std::uint64_t misses_before = cache_.misses();
+  // Pre-serve plan residency, for the outcomes' plan_cold provenance. The
+  // read-only probe touches neither the serving-path counters nor LRU.
+  std::vector<bool> plan_resident_before;
+  if (config_.policy == ServePolicy::kPowerLens && config_.use_plan_cache) {
+    plan_resident_before.reserve(models_.size());
+    for (const DeployedModel& m : models_) {
+      plan_resident_before.push_back(cache_.lookup(m.graph) != nullptr);
+    }
+  }
   marks_.clear();
   reactive_faults_ = {};
   if (obs::Journal* const journal = active_journal()) {
@@ -841,7 +858,20 @@ ServeReport Server::serve(std::span<const Task> tasks) {
   const std::vector<ServiceResult> services =
       is_plan_policy(config_.policy) ? simulate_parallel(tasks)
                                      : simulate_reactive(tasks);
-  return fold_timeline(tasks, services, hits_before, misses_before);
+  return fold_timeline(tasks, services, hits_before, misses_before,
+                       plan_resident_before);
+}
+
+std::size_t Server::warm_start_from_snapshot(const std::string& path) {
+  std::size_t installed = 0;
+  for (io::PlanRecord& record : io::load_plan_snapshot(path)) {
+    if (cache_.preload(record.graph_signature,
+                       std::make_shared<const core::OptimizationPlan>(
+                           std::move(record.plan)))) {
+      ++installed;
+    }
+  }
+  return installed;
 }
 
 void ServeReport::write_json(std::ostream& os) const {

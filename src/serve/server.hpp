@@ -234,6 +234,13 @@ struct ServeReport {
   std::size_t peak_queue_depth = 0;  // in-system high-water (simulated)
   std::uint64_t plan_cache_hits = 0;    // this serve() call only
   std::uint64_t plan_cache_misses = 0;
+  // Plans installed by snapshot warm start before this serve() (cache
+  // lifetime total). With every deployed model covered, plan_cache_misses
+  // stays 0 — the warm-start proof the snapshot tests assert. Deliberately
+  // NOT part of write_json: the serving outcome of a snapshot-started
+  // server is byte-identical to a warm-cache run, including its JSON
+  // report.
+  std::uint64_t plan_cache_preloaded = 0;
   // Fault-recovery totals over admitted requests (reactive: whole stream).
   std::size_t retries = 0;
   std::size_t fallbacks = 0;  // requests that ended on the pinned fallback
@@ -271,6 +278,14 @@ class Server {
   ServeReport serve(const RequestStream& stream);
   ServeReport serve(std::span<const Task> tasks);
 
+  // Warm-starts the plan cache from a binary plan snapshot (src/io): every
+  // record whose graph signature is not already resident is preloaded, so
+  // requests for covered models never pay a cold plan compute. Returns the
+  // number of plans installed. Plans for signatures outside the deployed
+  // model set are installed too (they are harmless and keep the snapshot a
+  // plain cache image). Throws io::Error on a malformed snapshot.
+  std::size_t warm_start_from_snapshot(const std::string& path);
+
   PlanCache& plan_cache() noexcept { return cache_; }
   const std::vector<DeployedModel>& models() const noexcept { return models_; }
   const hw::Platform& platform() const noexcept { return *platform_; }
@@ -302,10 +317,14 @@ class Server {
   std::vector<ServiceResult> simulate_parallel(std::span<const Task> tasks);
   // One continuous run_workload, split into per-request results by marks.
   std::vector<ServiceResult> simulate_reactive(std::span<const Task> tasks);
+  // `plan_resident_before[m]` = model m's plan was already cached when this
+  // serve() call started (snapshot warm start or an earlier serve); such
+  // models are never reported plan_cold. Empty when not a plan policy.
   ServeReport fold_timeline(std::span<const Task> tasks,
                             std::span<const ServiceResult> services,
                             std::uint64_t cache_hits_before,
-                            std::uint64_t cache_misses_before);
+                            std::uint64_t cache_misses_before,
+                            const std::vector<bool>& plan_resident_before);
   // The configured journal sink, or null when journaling is off.
   obs::Journal* active_journal() const;
   // The configured residual sink, or null when scoring is off.

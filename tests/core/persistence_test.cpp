@@ -7,6 +7,10 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <fstream>
+#include <iterator>
+#include <locale>
+#include <sstream>
 #include <string>
 
 namespace powerlens::core {
@@ -80,6 +84,85 @@ TEST_F(PersistenceTest, LoadRejectsWrongPlatformBundle) {
   const hw::Platform agx = hw::make_agx();
   PowerLens other(agx, {});
   EXPECT_THROW(other.load_models(path()), std::runtime_error);
+}
+
+// A numpunct facet in the spirit of de_DE: ',' decimal point and '.'
+// grouping every three digits. Installed process-globally it would, without
+// the locale pins in the persistence code, format 1234.5 as "1.234,5" on
+// save and fail to parse "-" + digits runs on load.
+class CommaDecimalPunct : public std::numpunct<char> {
+ protected:
+  char do_decimal_point() const override { return ','; }
+  char do_thousands_sep() const override { return '.'; }
+  std::string do_grouping() const override { return "\3"; }
+};
+
+// Swaps in a hostile global locale for one scope. Restores on destruction
+// even when an assertion throws mid-test.
+class GlobalLocaleGuard {
+ public:
+  GlobalLocaleGuard()
+      : previous_(std::locale::global(
+            std::locale(std::locale::classic(), new CommaDecimalPunct))) {}
+  ~GlobalLocaleGuard() { std::locale::global(previous_); }
+  GlobalLocaleGuard(const GlobalLocaleGuard&) = delete;
+  GlobalLocaleGuard& operator=(const GlobalLocaleGuard&) = delete;
+
+ private:
+  std::locale previous_;
+};
+
+TEST_F(PersistenceTest, SaveLoadImmuneToHostileGlobalLocale) {
+  // Save under the classic locale, reload under a comma-decimal one and
+  // vice versa: the bundle format must not depend on the process locale at
+  // either end.
+  const std::string classic_bundle = path() + ".classic";
+  trained_->save_models(classic_bundle);
+
+  std::string hostile_bundle = path() + ".hostile";
+  {
+    GlobalLocaleGuard hostile;
+    // Sanity-check the guard actually changes stream formatting: a freshly
+    // created stream inherits the global locale.
+    std::ostringstream probe;
+    probe << 1234.5;
+    ASSERT_EQ(probe.str(), "1.234,5")
+        << "locale guard is not hostile enough to exercise the pins";
+
+    trained_->save_models(hostile_bundle);
+
+    PowerLensConfig cfg;
+    cfg.dataset.num_networks = 40;
+    PowerLens restored(*platform_, cfg);
+    restored.load_models(classic_bundle);
+    const dnn::Graph g = dnn::make_model("alexnet", 8);
+    const OptimizationPlan a = trained_->optimize(g);
+    const OptimizationPlan b = restored.optimize(g);
+    EXPECT_EQ(a.hyper, b.hyper);
+    EXPECT_EQ(a.block_levels, b.block_levels);
+  }
+
+  // Bytes written under the hostile locale must equal bytes written under
+  // the classic one — the pins make the format locale-independent, not
+  // merely self-consistent.
+  const auto slurp = [](const std::string& p) {
+    std::ifstream is(p, std::ios::binary);
+    return std::string(std::istreambuf_iterator<char>(is),
+                       std::istreambuf_iterator<char>());
+  };
+  const std::string classic_bytes = slurp(classic_bundle);
+  ASSERT_FALSE(classic_bytes.empty());
+  EXPECT_EQ(classic_bytes, slurp(hostile_bundle));
+
+  // And a classic-locale process can reload the hostile-locale save.
+  PowerLensConfig cfg;
+  cfg.dataset.num_networks = 40;
+  PowerLens restored(*platform_, cfg);
+  restored.load_models(hostile_bundle);
+  EXPECT_TRUE(restored.trained());
+
+  std::remove(classic_bundle.c_str());
+  std::remove(hostile_bundle.c_str());
 }
 
 TEST_F(PersistenceTest, LoadRejectsGarbageFile) {

@@ -1,0 +1,220 @@
+// Plan-snapshot warm start: a server preloaded from an export-plans
+// snapshot serves its very first request stream exactly like a warm cache —
+// zero cold plan computes, every outcome plan_cold == false, and a JSON
+// report byte-identical to the warm (second) serve of a cold-started
+// server. The snapshot round-trips through the binary interchange, so this
+// is also the end-to-end proof that serialized plans steer serving
+// identically to freshly computed ones.
+#include "serve/server.hpp"
+
+#include "core/powerlens.hpp"
+#include "dnn/models.hpp"
+#include "io/interchange.hpp"
+#include "serve/plan_cache.hpp"
+#include "serve/signature.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace powerlens::serve {
+namespace {
+
+constexpr std::int64_t kBatch = 10;
+
+class SnapshotWarmStartTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    platform_ = new hw::Platform(hw::make_tx2());
+    core::PowerLensConfig cfg;
+    cfg.dataset.num_networks = 40;
+    cfg.dataset.seed = 5;
+    cfg.train_hyper.epochs = 20;
+    cfg.train_decision.epochs = 20;
+    framework_ = new core::PowerLens(*platform_, cfg);
+    framework_->train();
+
+    models_ = new std::vector<DeployedModel>;
+    for (const char* name : {"alexnet", "mobilenet_v3", "googlenet"}) {
+      models_->push_back({name, dnn::make_model(name, kBatch)});
+    }
+  }
+  static void TearDownTestSuite() {
+    delete models_;
+    delete framework_;
+    delete platform_;
+    models_ = nullptr;
+    framework_ = nullptr;
+    platform_ = nullptr;
+  }
+
+  static std::string snapshot_path() {
+    return ::testing::TempDir() + "warm_start_" +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name() +
+           ".plbin";
+  }
+
+  // Snapshot covering every deployed model, computed directly from the
+  // framework (what `powerlens_cli export-plans` does for the zoo).
+  static void write_full_snapshot(const std::string& path) {
+    std::vector<io::PlanRecord> records;
+    for (const DeployedModel& m : *models_) {
+      records.push_back(io::PlanRecord{graph_signature(m.graph),
+                                       framework_->optimize(m.graph)});
+    }
+    io::save_plan_snapshot(path, records);
+  }
+
+  static RequestStream stream(std::size_t tasks = 12) {
+    RequestStreamConfig cfg;
+    cfg.seed = 7;
+    cfg.num_tasks = tasks;
+    cfg.images_per_task = 20;
+    cfg.batch = kBatch;
+    return RequestStream(models_->size(), cfg);
+  }
+
+  static std::string json_of(const ServeReport& report) {
+    std::ostringstream os;
+    report.write_json(os);
+    return os.str();
+  }
+
+  static hw::Platform* platform_;
+  static core::PowerLens* framework_;
+  static std::vector<DeployedModel>* models_;
+};
+
+hw::Platform* SnapshotWarmStartTest::platform_ = nullptr;
+core::PowerLens* SnapshotWarmStartTest::framework_ = nullptr;
+std::vector<DeployedModel>* SnapshotWarmStartTest::models_ = nullptr;
+
+TEST_F(SnapshotWarmStartTest, FirstServeMatchesWarmRunByteForByte) {
+  const std::string path = snapshot_path();
+  write_full_snapshot(path);
+
+  ServerConfig cfg;
+  cfg.num_workers = 4;
+
+  // Cold-started reference: first serve pays the misses, second is warm.
+  Server cold(*platform_, *models_, cfg, framework_);
+  const ServeReport cold_first = cold.serve(stream());
+  const ServeReport warm = cold.serve(stream());
+  EXPECT_GT(cold_first.plan_cache_misses, 0u);
+  EXPECT_EQ(warm.plan_cache_misses, 0u);
+
+  // Snapshot-started server: the FIRST serve already behaves warm.
+  Server snap(*platform_, *models_, cfg, framework_);
+  const std::size_t installed = snap.warm_start_from_snapshot(path);
+  EXPECT_EQ(installed, models_->size());
+  const ServeReport first = snap.serve(stream());
+
+  EXPECT_EQ(first.plan_cache_misses, 0u);
+  EXPECT_EQ(first.plan_cache_hits, warm.plan_cache_hits);
+  EXPECT_EQ(first.plan_cache_preloaded, models_->size());
+  for (const RequestOutcome& o : first.outcomes) {
+    EXPECT_FALSE(o.plan_cold);
+  }
+  // The acceptance bar: byte-identical JSON to the warm-cache run.
+  EXPECT_EQ(json_of(first), json_of(warm));
+  std::remove(path.c_str());
+}
+
+TEST_F(SnapshotWarmStartTest, ReportJsonInvariantToWorkerCountUnderSnapshot) {
+  const std::string path = snapshot_path();
+  write_full_snapshot(path);
+
+  std::string reference;
+  for (const std::size_t workers : {std::size_t{1}, std::size_t{8}}) {
+    ServerConfig cfg;
+    cfg.num_workers = workers;
+    Server server(*platform_, *models_, cfg, framework_);
+    server.warm_start_from_snapshot(path);
+    const std::string json = json_of(server.serve(stream()));
+    if (reference.empty()) {
+      reference = json;
+    } else {
+      EXPECT_EQ(json, reference) << workers << " workers";
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST_F(SnapshotWarmStartTest, PartialSnapshotCoversOnlyItsModels) {
+  // Snapshot only the first model: its requests are hits, the others still
+  // pay exactly one miss each.
+  const std::string path = snapshot_path();
+  std::vector<io::PlanRecord> records;
+  records.push_back(
+      io::PlanRecord{graph_signature((*models_)[0].graph),
+                     framework_->optimize((*models_)[0].graph)});
+  io::save_plan_snapshot(path, records);
+
+  ServerConfig cfg;
+  cfg.num_workers = 1;
+  Server server(*platform_, *models_, cfg, framework_);
+  ASSERT_EQ(server.warm_start_from_snapshot(path), 1u);
+  const ServeReport report = server.serve(stream());
+  EXPECT_EQ(report.plan_cache_misses, models_->size() - 1);
+  EXPECT_EQ(report.plan_cache_preloaded, 1u);
+  std::remove(path.c_str());
+}
+
+TEST_F(SnapshotWarmStartTest, PreloadIsFirstWinsAndCountsNothing) {
+  PlanCache cache;
+  const auto plan = std::make_shared<const core::OptimizationPlan>(
+      framework_->optimize((*models_)[0].graph));
+  EXPECT_TRUE(cache.preload(42, plan));
+  EXPECT_FALSE(cache.preload(42, plan));  // already resident
+  EXPECT_EQ(cache.preloaded(), 1u);
+  EXPECT_EQ(cache.hits(), 0u);
+  EXPECT_EQ(cache.misses(), 0u);
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_THROW(cache.preload(43, nullptr), std::invalid_argument);
+}
+
+TEST_F(SnapshotWarmStartTest, CacheSnapshotExportRoundTripsThroughServer) {
+  // Serve cold, export the resident plans, warm-start a fresh server from
+  // the export: the loop closes with byte-identical reports.
+  ServerConfig cfg;
+  cfg.num_workers = 2;
+  Server cold(*platform_, *models_, cfg, framework_);
+  const ServeReport cold_first = cold.serve(stream());
+  const ServeReport warm = cold.serve(stream());
+  EXPECT_GT(cold_first.plan_cache_misses, 0u);
+
+  const std::string path = snapshot_path();
+  std::vector<io::PlanRecord> records;
+  for (auto& [sig, plan] : cold.plan_cache().snapshot()) {
+    records.push_back(io::PlanRecord{sig, *plan});
+  }
+  io::save_plan_snapshot(path, records);
+
+  Server snap(*platform_, *models_, cfg, framework_);
+  EXPECT_EQ(snap.warm_start_from_snapshot(path), records.size());
+  const ServeReport first = snap.serve(stream());
+  EXPECT_EQ(first.plan_cache_misses, 0u);
+  EXPECT_EQ(json_of(first), json_of(warm));
+  std::remove(path.c_str());
+}
+
+TEST_F(SnapshotWarmStartTest, MalformedSnapshotThrowsTyped) {
+  const std::string path = snapshot_path();
+  {
+    FILE* f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fputs("definitely not a plbin snapshot", f);
+    std::fclose(f);
+  }
+  ServerConfig cfg;
+  Server server(*platform_, *models_, cfg, framework_);
+  EXPECT_THROW(server.warm_start_from_snapshot(path), io::Error);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace powerlens::serve

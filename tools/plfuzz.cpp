@@ -1,0 +1,153 @@
+// plfuzz: deterministic byte-mutation fuzzer for the binary interchange.
+//
+// Builds an in-process corpus of valid records (a model graph, a random
+// generator graph, a plan, a cost table) plus any corpus files passed on
+// the command line, then runs seeded SplitMix64-driven mutation rounds:
+// each round copies a corpus entry, applies a handful of mutations (bit
+// flips, byte stomps, truncation, extension, chunk swaps), and feeds the
+// result to io::fuzz_try_decode. A typed io::Error is the expected outcome
+// and is swallowed inside fuzz_try_decode; ANY other escape — std::bad_alloc
+// from an unchecked size field, std::logic_error from a constructor the
+// decoder forgot to wrap, a crash under ASan — fails the run with the round
+// and seed needed to replay it.
+//
+// Registered as a ctest with label `fuzz` (tools/CMakeLists.txt); the
+// default budget keeps it deterministic and well under 30 s. For open-ended
+// exploration build with -DPOWERLENS_LIBFUZZER=ON and run plfuzz_libfuzzer.
+//
+// Usage: plfuzz [rounds] [seed] [corpus files...]
+#include "io/binary.hpp"
+#include "io/interchange.hpp"
+#include "support/interchange_fixtures.hpp"
+
+#include "dnn/random_gen.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <exception>
+#include <string>
+#include <vector>
+
+namespace {
+
+// SplitMix64 (Steele et al.): tiny, seedable, and good enough to cover the
+// mutation space; successive seeds give uncorrelated streams.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+  std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+  // Uniform in [0, bound); bound must be positive.
+  std::size_t below(std::size_t bound) {
+    return static_cast<std::size_t>(next() % bound);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+void mutate(std::vector<std::byte>& bytes, SplitMix64& rng) {
+  // An empty buffer can only grow.
+  const std::size_t op = bytes.empty() ? 3 : rng.below(5);
+  switch (op) {
+    case 0: {  // flip one bit
+      const std::size_t i = rng.below(bytes.size());
+      bytes[i] ^= static_cast<std::byte>(1u << rng.below(8));
+      break;
+    }
+    case 1: {  // stomp one byte
+      bytes[rng.below(bytes.size())] =
+          static_cast<std::byte>(rng.next() & 0xff);
+      break;
+    }
+    case 2:  // truncate to a random prefix (possibly empty)
+      bytes.resize(rng.below(bytes.size() + 1));
+      break;
+    case 3: {  // extend with up to 64 random bytes
+      const std::size_t n = 1 + rng.below(64);
+      for (std::size_t i = 0; i < n; ++i) {
+        bytes.push_back(static_cast<std::byte>(rng.next() & 0xff));
+      }
+      break;
+    }
+    default: {  // swap two equal-length chunks
+      const std::size_t len = 1 + rng.below(16);
+      if (bytes.size() < 2 * len) break;
+      const std::size_t a = rng.below(bytes.size() - len + 1);
+      const std::size_t b = rng.below(bytes.size() - len + 1);
+      for (std::size_t i = 0; i < len; ++i) {
+        std::swap(bytes[a + i], bytes[b + i]);
+      }
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace powerlens;
+  std::uint64_t rounds = 60000;
+  std::uint64_t seed = 1;
+  if (argc > 1) rounds = static_cast<std::uint64_t>(std::atoll(argv[1]));
+  if (argc > 2) seed = static_cast<std::uint64_t>(std::atoll(argv[2]));
+
+  std::vector<std::vector<std::byte>> corpus;
+  try {
+    corpus.push_back(io::encode_graph(testing::golden_graph()));
+    dnn::RandomDnnGenerator gen(7);
+    corpus.push_back(io::encode_graph(gen.generate()));
+    corpus.push_back(io::encode_plan(testing::golden_plan(),
+                                     testing::golden_plan_signature()));
+    corpus.push_back(io::encode_cost_table(testing::golden_cost_table()));
+    corpus.push_back({});  // grow-from-nothing seed
+    for (int i = 3; i < argc; ++i) {
+      corpus.push_back(io::read_file(argv[i]));
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "plfuzz: corpus construction failed: %s\n",
+                 e.what());
+    return 1;
+  }
+
+  // Sanity: every valid corpus record must decode as exactly one type
+  // (the empty grow-from-nothing seed is exempt).
+  for (std::size_t i = 0; i < corpus.size(); ++i) {
+    if (corpus[i].empty()) continue;
+    if (io::fuzz_try_decode(corpus[i]) != 1) {
+      std::fprintf(stderr,
+                   "plfuzz: corpus entry %zu does not decode cleanly\n", i);
+      return 1;
+    }
+  }
+
+  SplitMix64 rng(seed);
+  std::uint64_t round = 0;
+  try {
+    for (; round < rounds; ++round) {
+      std::vector<std::byte> bytes = corpus[rng.below(corpus.size())];
+      const std::size_t num_mutations = 1 + rng.below(8);
+      for (std::size_t m = 0; m < num_mutations; ++m) mutate(bytes, rng);
+      io::fuzz_try_decode(bytes);
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr,
+                 "plfuzz: ESCAPE at round %llu (seed %llu): %s\n"
+                 "replay: plfuzz %llu %llu\n",
+                 static_cast<unsigned long long>(round),
+                 static_cast<unsigned long long>(seed),
+                 e.what(),
+                 static_cast<unsigned long long>(round + 1),
+                 static_cast<unsigned long long>(seed));
+    return 1;
+  }
+  std::printf("plfuzz: %llu rounds over %zu corpus entries, seed %llu: ok\n",
+              static_cast<unsigned long long>(rounds), corpus.size(),
+              static_cast<unsigned long long>(seed));
+  return 0;
+}

@@ -1,0 +1,23 @@
+// libFuzzer entry point for the binary interchange decoders — the
+// open-ended, coverage-guided companion to the deterministic plfuzz driver.
+// Build with -DPOWERLENS_LIBFUZZER=ON (requires clang; the target links
+// with -fsanitize=fuzzer) and seed it from the committed goldens:
+//
+//   ./plfuzz_libfuzzer tests/data/interchange_golden/
+//
+// The contract matches plfuzz: io::Error is the expected outcome for
+// malformed input and is swallowed by fuzz_try_decode; anything else
+// (crash, sanitizer report, foreign exception) is a finding.
+#include "io/interchange.hpp"
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  powerlens::io::fuzz_try_decode(
+      std::span<const std::byte>(reinterpret_cast<const std::byte*>(data),
+                                 size));
+  return 0;
+}

@@ -11,21 +11,47 @@
 // shows up as a diff in the leading sections — this tool cannot paper one
 // over silently.
 //
+// With a second argument it also regenerates the binary interchange goldens
+// (tests/data/interchange_golden/*.plbin) from the shared fixture builders
+// after a DELIBERATE format-version bump — the fixtures are integer/literal
+// built, so the bytes only change when the wire format does.
+//
 // Usage: regen_serialize_golden <path/to/serialize_golden.txt>
+//                               [path/to/interchange_golden_dir]
+#include "io/interchange.hpp"
 #include "linalg/kernels.hpp"
 #include "linalg/stats.hpp"
 #include "nn/mlp.hpp"
 #include "nn/serialize.hpp"
+#include "support/interchange_fixtures.hpp"
 
 #include <cstdio>
 #include <exception>
 #include <fstream>
 #include <string>
 
+namespace {
+
+int regen_interchange(const std::string& dir) {
+  using namespace powerlens;
+  io::save_graph(dir + "/graph.plbin", testing::golden_graph());
+  io::save_plan(dir + "/plan.plbin", testing::golden_plan(),
+                testing::golden_plan_signature());
+  io::save_cost_table(dir + "/cost_table.plbin",
+                      testing::golden_cost_table());
+  std::printf("re-baselined %s/{graph,plan,cost_table}.plbin (format v%u)\n",
+              dir.c_str(), static_cast<unsigned>(io::kFormatVersion));
+  return 0;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   using namespace powerlens;
-  if (argc != 2) {
-    std::fprintf(stderr, "usage: %s <serialize_golden.txt>\n", argv[0]);
+  if (argc != 2 && argc != 3) {
+    std::fprintf(stderr,
+                 "usage: %s <serialize_golden.txt> [interchange_golden_dir]\n",
+                 argv[0]);
     return 2;
   }
   const std::string path = argv[1];
@@ -54,6 +80,7 @@ int main(int argc, char** argv) {
     nn::write_matrix(os, "golden_logits", model.forward_const(xs, xt));
     std::printf("re-baselined %s on the %s kernel path\n", path.c_str(),
                 linalg::kernels::path_name(linalg::kernels::active_path()));
+    if (argc == 3) return regen_interchange(argv[2]);
     return 0;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "regen failed: %s\n", e.what());
