@@ -174,8 +174,10 @@ int run(const hw::Platform& platform, std::size_t sweep_workers) {
         .field("energy_ewma", s.energy.ewma);
     std::printf("JSON %s\n", json.str().c_str());
   }
-  std::printf("drift flags: %zu of %llu scored requests\n",
-              residual_sink.drift_flags(),
+  const obs::Residuals::DriftCounts drift = residual_sink.drift_counts();
+  std::printf("drift flags: %zu model + %zu signature of %llu scored "
+              "requests\n",
+              drift.models, drift.signatures,
               static_cast<unsigned long long>(residual_sink.scored()));
 
   // --- acceptance checks: 10% DVFS-failure rate, PowerLens with fallback ---

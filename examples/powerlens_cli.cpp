@@ -57,6 +57,7 @@
 #include "io/interchange.hpp"
 #include "obs/setup.hpp"
 #include "serve/model_dir.hpp"
+#include "serve/adapt.hpp"
 #include "serve/server.hpp"
 #include "serve/signature.hpp"
 
@@ -95,7 +96,8 @@ int usage() {
                "--log-level <off|error|warn|info|debug|trace>\n"
                "serve flags:  --faults <spec> --plan-cache-capacity <n> "
                "--plan-snapshot <file> --model-dir <dir> "
-               "--report-json <file>\n");
+               "--report-json <file> --adapt [--adapt-epoch <n>] "
+               "[--retrain]\n");
   return 2;
 }
 
@@ -107,6 +109,11 @@ struct ServeFlags {
   std::string plan_snapshot;
   std::string model_dir;
   std::string report_json;
+  // Closed-loop adaptation (serve/adapt): drift-triggered re-planning at
+  // epoch boundaries, plus optional background model retraining.
+  bool adapt = false;
+  std::size_t adapt_epoch = 32;
+  bool retrain = false;
 };
 
 ServeFlags extract_serve_flags(int& argc, char** argv) {
@@ -125,6 +132,12 @@ ServeFlags extract_serve_flags(int& argc, char** argv) {
       flags.model_dir = argv[++i];
     } else if (arg == "--report-json" && i + 1 < argc) {
       flags.report_json = argv[++i];
+    } else if (arg == "--adapt") {
+      flags.adapt = true;
+    } else if (arg == "--adapt-epoch" && i + 1 < argc) {
+      flags.adapt_epoch = static_cast<std::size_t>(std::atoll(argv[++i]));
+    } else if (arg == "--retrain") {
+      flags.retrain = true;
     } else {
       argv[out++] = argv[i];
     }
@@ -347,6 +360,15 @@ int cmd_serve(const hw::Platform& platform, const std::string& bundle,
   if (!flags.faults.empty()) {
     config.faults = fault::FaultSpec::parse(flags.faults);
   }
+  if (flags.adapt) {
+    if (policy != serve::ServePolicy::kPowerLens) {
+      throw std::invalid_argument(
+          "serve: --adapt requires the powerlens policy");
+    }
+    config.adapt_enabled = true;
+    config.adapt_epoch_tasks = flags.adapt_epoch;
+    config.adapt_retrain = flags.retrain;
+  }
   serve::Server server(platform, std::move(models), config, &framework);
   if (!flags.plan_snapshot.empty()) {
     const std::size_t installed =
@@ -376,6 +398,14 @@ int cmd_serve(const hw::Platform& platform, const std::string& bundle,
                 report.residual_scored,
                 report.latency_residual_mean * 100.0,
                 report.energy_residual_mean * 100.0);
+  }
+  if (const serve::AdaptController* adapt = server.adapt_controller()) {
+    std::printf("adaptation: %llu epochs, %llu re-plans, %llu retrain "
+                "rounds, %llu model swaps\n",
+                static_cast<unsigned long long>(adapt->epochs()),
+                static_cast<unsigned long long>(adapt->replans()),
+                static_cast<unsigned long long>(adapt->retrain_rounds()),
+                static_cast<unsigned long long>(adapt->model_swaps()));
   }
   report.write_json(std::cout);
   if (!flags.report_json.empty()) {

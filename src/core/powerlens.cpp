@@ -9,6 +9,7 @@
 #include "obs/trace.hpp"
 
 #include <chrono>
+#include <cmath>
 #include <fstream>
 #include <locale>
 #include <stdexcept>
@@ -157,6 +158,19 @@ void PredictionModel::save(std::ostream& os) const {
   scaler_structural_.save(os);
   scaler_statistics_.save(os);
   mlp_->save(os);
+}
+
+nn::TrainReport PredictionModel::refit(const nn::Dataset& rows,
+                                       const nn::TrainConfig& config,
+                                       std::uint64_t seed) {
+  if (!trained()) {
+    throw std::logic_error("PredictionModel: refit before fit");
+  }
+  rows.validate();
+  const nn::Dataset scaled{scaler_structural_.transform(rows.structural),
+                           scaler_statistics_.transform(rows.statistics),
+                           rows.labels};
+  return nn::refit(*mlp_, scaled, config, seed);
 }
 
 PredictionModel PredictionModel::load(std::istream& is) {
@@ -468,6 +482,78 @@ OptimizationPlan PowerLens::optimize_oracle(const dnn::Graph& graph) const {
   plan.hyper = hp;
   predict_plan_cost(*platform_, graph, plan);
   return plan;
+}
+
+std::vector<OptimizationPlan> PowerLens::replan_batch(
+    std::span<const ReplanRequest> requests) const {
+  std::vector<OptimizationPlan> plans;
+  plans.reserve(requests.size());
+  if (requests.empty()) return plans;
+
+  obs::TraceWriter& tw = obs::default_trace();
+  obs::ScopedSpan span(
+      tw, "powerlens_replan_batch", "pipeline",
+      {obs::TraceArg::num("plans", static_cast<double>(requests.size()))});
+
+  for (const ReplanRequest& req : requests) {
+    if (req.graph == nullptr || req.base == nullptr) {
+      throw std::invalid_argument("PowerLens: replan with null graph or plan");
+    }
+    const AdaptSignals& sig = req.signals;
+    if (!std::isfinite(sig.time_scale) || sig.time_scale <= 0.0 ||
+        !std::isfinite(sig.energy_scale) || sig.energy_scale <= 0.0 ||
+        !std::isfinite(sig.inter_pass_gap_s) || sig.inter_pass_gap_s < 0.0) {
+      throw std::invalid_argument("PowerLens: bad adapt signals");
+    }
+    if (req.base->view.num_layers() != req.graph->size()) {
+      throw std::invalid_argument("PowerLens: replan base does not match graph");
+    }
+
+    // Rescaled analytic plane at the labelling CPU level — same operating
+    // point the offline labels were swept at, so an all-ones correction
+    // reproduces the oracle's level choices exactly.
+    const std::size_t cpu_level = config_.dataset.cpu_level_for_labels;
+    const std::size_t cpu_levels[] = {cpu_level};
+    const hw::CostTable costs =
+        hw::CostTable(*platform_, req.graph->layers(), cpu_levels)
+            .scaled(sig.time_scale, sig.energy_scale);
+
+    OptimizationPlan plan;
+    plan.hyper = req.base->hyper;
+    plan.view = req.base->view;  // partition preserved; levels re-picked
+    for (const clustering::PowerBlock& b : plan.view.blocks()) {
+      const std::size_t level = costs.optimal_gpu_level(
+          b.begin, b.end, cpu_level, sig.gpu_level_cap);
+      plan.block_levels.push_back(level);
+      plan.schedule.points.push_back({b.begin, level});
+    }
+
+    // Corrected prediction: the new schedule's raw analytic cost, scaled by
+    // the learned correction. Observed request time is
+    // passes * (actual_pass + gap) with the gap an uncorrectable idle, so
+    // the time correction spills its excess onto the gap:
+    //   passes * (raw*s + gap*(s-1) + gap) = s * passes * (raw + gap),
+    // which is exactly (1 + ewma) x the uncorrected total — the residual
+    // the EWMA measured collapses to ~0 under unchanged fault pressure.
+    predict_plan_cost(*platform_, *req.graph, plan);
+    plan.predicted_pass_time_s =
+        plan.predicted_pass_time_s * sig.time_scale +
+        sig.inter_pass_gap_s * (sig.time_scale - 1.0);
+    plan.predicted_pass_energy_j *= sig.energy_scale;
+    plans.push_back(std::move(plan));
+  }
+  obs::log_debug("powerlens", "replanned batch",
+                 {{"plans", static_cast<double>(plans.size())}});
+  return plans;
+}
+
+nn::TrainReport PowerLens::refit_decision(const nn::Dataset& rows,
+                                          const nn::TrainConfig& config,
+                                          std::uint64_t seed) {
+  if (!trained()) {
+    throw std::logic_error("PowerLens: refit before train");
+  }
+  return decision_model_.refit(rows, config, seed);
 }
 
 void PowerLens::save_models(const std::string& path) const {

@@ -22,7 +22,9 @@
 #include "nn/mlp.hpp"
 #include "nn/trainer.hpp"
 
+#include <cstdint>
 #include <iosfwd>
+#include <limits>
 #include <memory>
 #include <optional>
 #include <span>
@@ -59,6 +61,15 @@ class PredictionModel {
   // throws std::logic_error before fit().
   void save(std::ostream& os) const;
   static PredictionModel load(std::istream& is);
+
+  // Incremental online refit: continues training the MLP from its current
+  // weights on freshly harvested rows, with the input scalers FROZEN (they
+  // summarize the offline distribution; refitting them on a narrow online
+  // slice would silently re-scale every future feature). Deterministic for
+  // a given (model state, rows, config, seed). Throws std::logic_error
+  // before fit().
+  nn::TrainReport refit(const nn::Dataset& rows,
+                        const nn::TrainConfig& config, std::uint64_t seed);
 
  private:
   linalg::StandardScaler scaler_structural_;
@@ -102,6 +113,31 @@ struct OptimizationPlan {
   bool operator==(const OptimizationPlan&) const noexcept = default;
 };
 
+// Live-signal fusion inputs for one online re-plan (serve/adapt): the
+// multiplicative corrections the residual loop learned for a (policy,
+// model) key, plus the thermal frequency headroom observed this epoch.
+struct AdaptSignals {
+  // observed/predicted ratios (1 + residual EWMA); must be finite and
+  // positive. They rescale the analytic cost table before levels re-pick,
+  // and they correct the re-planned prediction itself.
+  double time_scale = 1.0;
+  double energy_scale = 1.0;
+  // Highest GPU level the re-plan may schedule (thermal cap); SIZE_MAX =
+  // unconstrained. Clamped to the platform ladder.
+  std::size_t gpu_level_cap = std::numeric_limits<std::size_t>::max();
+  // The serving engine's inter-pass idle gap: observed request time includes
+  // it, per-pass predictions do not, so the time correction must spill onto
+  // it for the corrected prediction to collapse a total-time residual.
+  double inter_pass_gap_s = 0.0;
+};
+
+// One drifting plan to recompute: the static plan fused with live signals.
+struct ReplanRequest {
+  const dnn::Graph* graph = nullptr;
+  const OptimizationPlan* base = nullptr;  // the plan being corrected
+  AdaptSignals signals;
+};
+
 class PowerLens {
  public:
   explicit PowerLens(const hw::Platform& platform, PowerLensConfig config = {});
@@ -134,6 +170,30 @@ class PowerLens {
   // Analytic upper bound: the same pipeline but with exhaustive-sweep ground
   // truth in place of both models (dataset-generation labelling rules).
   OptimizationPlan optimize_oracle(const dnn::Graph& graph) const;
+
+  // Online re-planning (the serving adaptation loop): for each request,
+  // keeps the base plan's power-view partition (re-clustering online would
+  // discard the offline similarity structure for no observed reason — the
+  // drift signal is about COST, not block shape) and re-picks each block's
+  // GPU level as the energy argmin of the analytic cost table rescaled by
+  // the request's observed/predicted correction factors, capped at
+  // signals.gpu_level_cap. The emitted plan's predicted per-pass cost is
+  // the corrected prediction (new schedule's analytic cost x the scale
+  // factors, gap spill included), so a request served by the re-plan under
+  // unchanged fault pressure scores a near-zero residual. Analytic-table
+  // math only — no MLP inference, no eigendecomposition — so results are
+  // identical on every kernel dispatch path and need no trained models.
+  // Throws std::invalid_argument on null graph/base or bad signals.
+  std::vector<OptimizationPlan> replan_batch(
+      std::span<const ReplanRequest> requests) const;
+
+  // Background-retrain entry point: incremental refit of the per-block
+  // frequency decision model on rows harvested from served traffic (frozen
+  // scalers, weights continue — see PredictionModel::refit). Throws
+  // std::logic_error before train().
+  nn::TrainReport refit_decision(const nn::Dataset& rows,
+                                 const nn::TrainConfig& config,
+                                 std::uint64_t seed);
 
   // Persists / restores the trained model pair, so deployments skip the
   // offline phase. Throws std::logic_error if untrained /

@@ -1,21 +1,23 @@
 #include "fault/fault_spec.hpp"
 
+#include "util/numeric.hpp"
 #include "util/rng.hpp"
 
-#include <cstdlib>
 #include <stdexcept>
 
 namespace powerlens::fault {
 
 namespace {
 
+// The spec grammar is defined in the classic locale; util::parse_double is
+// locale-independent, so a comma-decimal LC_NUMERIC can never reject a
+// valid "dvfs=0.1" (std::strtod would stop at the '.').
 double parse_number(std::string_view key, std::string_view value) {
-  const std::string s(value);
-  char* end = nullptr;
-  const double v = std::strtod(s.c_str(), &end);
-  if (end == s.c_str() || *end != '\0') {
-    throw std::invalid_argument("FaultSpec: malformed value '" + s +
-                                "' for key '" + std::string(key) + "'");
+  double v = 0.0;
+  if (!util::parse_double(value, v)) {
+    throw std::invalid_argument("FaultSpec: malformed value '" +
+                                std::string(value) + "' for key '" +
+                                std::string(key) + "'");
   }
   return v;
 }
@@ -96,13 +98,11 @@ FaultSpec FaultSpec::parse(std::string_view text) {
 }
 
 std::string FaultSpec::to_string() const {
+  // Integer formatting ignores LC_NUMERIC; doubles go through the
+  // locale-independent shortest-round-trip formatter so to_string() output
+  // always re-parses, whatever the process locale.
   std::string out = "seed=" + std::to_string(seed);
-  const auto num = [](double v) {
-    std::string s = std::to_string(v);
-    while (s.size() > 1 && s.back() == '0') s.pop_back();
-    if (!s.empty() && s.back() == '.') s.pop_back();
-    return s;
-  };
+  const auto num = [](double v) { return util::format_double(v); };
   if (dvfs_fail_rate > 0.0) out += ",dvfs=" + num(dvfs_fail_rate);
   if (dvfs_sticky_s > 0.0) out += ",sticky=" + num(dvfs_sticky_s);
   if (thermal_rate_hz > 0.0) {

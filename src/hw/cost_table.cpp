@@ -1,6 +1,7 @@
 #include "hw/cost_table.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <numeric>
 #include <stdexcept>
 
@@ -202,9 +203,16 @@ BlockCost CostTable::block_cost(std::size_t begin, std::size_t end,
 
 std::size_t CostTable::optimal_gpu_level(std::size_t begin, std::size_t end,
                                          std::size_t cpu_level) const {
+  return optimal_gpu_level(begin, end, cpu_level, gpu_levels_ - 1);
+}
+
+std::size_t CostTable::optimal_gpu_level(std::size_t begin, std::size_t end,
+                                         std::size_t cpu_level,
+                                         std::size_t max_gpu_level) const {
+  const std::size_t top = std::min(max_gpu_level, gpu_levels_ - 1);
   std::size_t best = 0;
   double best_energy = -1.0;
-  for (std::size_t level = 0; level < gpu_levels_; ++level) {
+  for (std::size_t level = 0; level <= top; ++level) {
     const double e = block_cost(begin, end, level, cpu_level).energy_j;
     if (best_energy < 0.0 || e < best_energy) {
       best_energy = e;
@@ -212,6 +220,25 @@ std::size_t CostTable::optimal_gpu_level(std::size_t begin, std::size_t end,
     }
   }
   return best;
+}
+
+CostTable CostTable::scaled(double time_factor, double energy_factor) const {
+  if (!std::isfinite(time_factor) || time_factor <= 0.0 ||
+      !std::isfinite(energy_factor) || energy_factor <= 0.0) {
+    throw std::invalid_argument("CostTable: scale factors must be positive");
+  }
+  CostTable t;
+  t.num_layers_ = num_layers_;
+  t.gpu_levels_ = gpu_levels_;
+  t.cpu_slot_ = cpu_slot_;
+  t.cpu_slots_ = cpu_slots_;
+  t.time_prefix_.assign(time_view_.begin(), time_view_.end());
+  t.energy_prefix_.assign(energy_view_.begin(), energy_view_.end());
+  for (double& v : t.time_prefix_) v *= time_factor;
+  for (double& v : t.energy_prefix_) v *= energy_factor;
+  t.time_view_ = t.time_prefix_;
+  t.energy_view_ = t.energy_prefix_;
+  return t;
 }
 
 }  // namespace powerlens::hw

@@ -107,6 +107,21 @@ class CostTable {
   // lower level, matching hw::optimal_gpu_level exactly.
   std::size_t optimal_gpu_level(std::size_t begin, std::size_t end,
                                 std::size_t cpu_level) const;
+  // Capped argmin: considers only levels [0, max_gpu_level]. The online
+  // adaptation layer searches under a thermal cap without rebuilding the
+  // table. `max_gpu_level` clamps to the ladder top, so passing SIZE_MAX
+  // reproduces the unconstrained search bit for bit.
+  std::size_t optimal_gpu_level(std::size_t begin, std::size_t end,
+                                std::size_t cpu_level,
+                                std::size_t max_gpu_level) const;
+
+  // An owning copy with every prefix entry multiplied by the per-dimension
+  // factor — the adaptation layer's observed/predicted correction applied to
+  // the whole plane at once. Scaling a prefix sum scales every block query
+  // by the same factor (subtraction distributes), so the argmin structure
+  // changes only where the energy factor changes it. Throws
+  // std::invalid_argument on non-finite or non-positive factors.
+  CostTable scaled(double time_factor, double energy_factor) const;
 
  private:
   void init(const Platform& platform, std::span<const dnn::Layer> layers,

@@ -213,4 +213,23 @@ TrainReport train(TwoStageMlp& model, const Dataset& train_set,
   return report;
 }
 
+TrainReport refit(TwoStageMlp& model, const Dataset& rows,
+                  const TrainConfig& config, std::uint64_t seed) {
+  rows.validate();
+  if (rows.size() < 10) {
+    throw std::invalid_argument("refit: need at least 10 rows");
+  }
+  // 80/20 train/validation by one deterministic shuffle; split_dataset's
+  // three-way protocol is not reused because online refits carry no test
+  // tranche (the serving residuals are the test set).
+  std::vector<std::size_t> order(rows.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::mt19937_64 rng(seed);
+  std::shuffle(order.begin(), order.end(), rng);
+  const std::size_t n_val = std::max<std::size_t>(1, rows.size() / 5);
+  const Dataset val = rows.subset({order.begin(), order.begin() + n_val});
+  const Dataset train_set = rows.subset({order.begin() + n_val, order.end()});
+  return train(model, train_set, val, config);
+}
+
 }  // namespace powerlens::nn

@@ -79,4 +79,16 @@ double mean_level_error(const TwoStageMlp& model, const Dataset& data);
 TrainReport train(TwoStageMlp& model, const Dataset& train_set,
                   const Dataset& val_set, const TrainConfig& config);
 
+// Incremental refit: continues training `model` FROM ITS CURRENT WEIGHTS on
+// freshly harvested rows (train() already continues rather than
+// reinitializing; this entry point adds the split protocol for raw online
+// data). `rows` is split 80/20 train/validation by the deterministic
+// shuffle of `seed` — no test tranche, since online refits are judged by
+// the serving residuals, not a held-out set. Deterministic for a given
+// (model state, rows, config, seed) and invariant to thread count and
+// kernel dispatch path, like train(). Throws std::invalid_argument on
+// fewer than 10 rows.
+TrainReport refit(TwoStageMlp& model, const Dataset& rows,
+                  const TrainConfig& config, std::uint64_t seed);
+
 }  // namespace powerlens::nn

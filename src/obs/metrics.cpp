@@ -101,7 +101,7 @@ bool valid_metric_name(std::string_view name) noexcept {
   }
   // powerlens_<subsystem>_<name...>_<unit>, all tokens [a-z0-9]+.
   static constexpr std::string_view kSubsystems[] = {
-      "offline", "train", "sim", "serve", "plan", "fault", "obs"};
+      "offline", "train", "sim", "serve", "plan", "fault", "obs", "adapt"};
   static constexpr std::string_view kUnits[] = {
       "total", "seconds", "ms",    "joules", "images",
       "ratio", "count",   "depth", "bytes"};

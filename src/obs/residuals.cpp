@@ -3,6 +3,7 @@
 #include "obs/json.hpp"
 
 #include <algorithm>
+#include <charconv>
 #include <cmath>
 #include <cstdio>
 #include <limits>
@@ -115,6 +116,15 @@ Residuals::Stats Residuals::by_model(std::string_view policy,
   return it != by_model_.end() ? it->second : Stats{};
 }
 
+Residuals::Stats Residuals::by_signature(std::string_view policy,
+                                         std::string_view model,
+                                         std::uint64_t plan_signature) const {
+  const std::string key = signature_key(policy, model, plan_signature);
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = by_signature_.find(key);
+  return it != by_signature_.end() ? it->second : Stats{};
+}
+
 Residuals::Stats Residuals::overall() const {
   std::lock_guard<std::mutex> lock(mu_);
   return overall_;
@@ -125,16 +135,65 @@ std::uint64_t Residuals::scored() const {
   return scored_;
 }
 
-std::size_t Residuals::drift_flags() const {
+Residuals::DriftCounts Residuals::drift_counts() const {
   std::lock_guard<std::mutex> lock(mu_);
-  std::size_t flags = 0;
+  DriftCounts counts;
   for (const auto& [key, stats] : by_model_) {
-    if (drifting(stats)) ++flags;
+    if (drifting(stats)) ++counts.models;
   }
   for (const auto& [key, stats] : by_signature_) {
-    if (drifting(stats)) ++flags;
+    if (drifting(stats)) ++counts.signatures;
   }
-  return flags;
+  return counts;
+}
+
+namespace {
+
+// Splits "policy/model" (first '/') or "policy/model/0x<16 hex>" (the fixed
+// 18-character signature suffix appended by signature_key) back into parts.
+// Model names may themselves contain '/', so the signature suffix is peeled
+// off the end, never searched from the front.
+void split_key(const std::string& key, bool has_signature,
+               Residuals::KeySnapshot& out) {
+  std::string_view rest = key;
+  if (has_signature) {
+    constexpr std::size_t kSuffix = 19;  // "/0x" + 16 hex digits
+    if (rest.size() > kSuffix) {
+      const std::string_view hex = rest.substr(rest.size() - 16);
+      std::uint64_t sig = 0;
+      std::from_chars(hex.data(), hex.data() + hex.size(), sig, 16);
+      out.signature = sig;
+      rest = rest.substr(0, rest.size() - kSuffix);
+    }
+  }
+  const std::size_t slash = rest.find('/');
+  out.policy = std::string(rest.substr(0, slash));
+  out.model = slash == std::string_view::npos
+                  ? std::string()
+                  : std::string(rest.substr(slash + 1));
+}
+
+}  // namespace
+
+std::vector<Residuals::KeySnapshot> Residuals::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<KeySnapshot> out;
+  out.reserve(by_model_.size() + by_signature_.size());
+  for (const auto& [key, stats] : by_model_) {
+    KeySnapshot snap;
+    split_key(key, /*has_signature=*/false, snap);
+    snap.stats = stats;
+    snap.drifting = drifting(stats);
+    out.push_back(std::move(snap));
+  }
+  for (const auto& [key, stats] : by_signature_) {
+    KeySnapshot snap;
+    split_key(key, /*has_signature=*/true, snap);
+    snap.stats = stats;
+    snap.drifting = drifting(stats);
+    out.push_back(std::move(snap));
+  }
+  return out;
 }
 
 namespace {
@@ -205,15 +264,21 @@ void Residuals::write_json(std::ostream& os) const {
   }
   out += "]},\n  \"scored\": ";
   append_json_number(out, static_cast<double>(scored_));
-  out += ",\n  \"drift_flags\": ";
-  std::size_t flags = 0;
+  // Model- and signature-level drift reported separately (a drifting model
+  // and its drifting plan signature are two trigger surfaces, not two
+  // drifts).
+  std::size_t model_flags = 0;
+  std::size_t signature_flags = 0;
   for (const auto& [key, stats] : by_model_) {
-    if (drifting(stats)) ++flags;
+    if (drifting(stats)) ++model_flags;
   }
   for (const auto& [key, stats] : by_signature_) {
-    if (drifting(stats)) ++flags;
+    if (drifting(stats)) ++signature_flags;
   }
-  append_json_number(out, static_cast<double>(flags));
+  out += ",\n  \"model_drift_flags\": ";
+  append_json_number(out, static_cast<double>(model_flags));
+  out += ",\n  \"signature_drift_flags\": ";
+  append_json_number(out, static_cast<double>(signature_flags));
   out += ",\n  \"overall\": ";
   append_stats(out, overall_, config_.drift_threshold);
   out += ",\n";

@@ -26,6 +26,7 @@
 #include <span>
 #include <string>
 #include <string_view>
+#include <vector>
 
 namespace powerlens::obs {
 
@@ -77,13 +78,37 @@ class Residuals {
 
   // Copies of one key's stats (nullopt-like: count == 0 when absent).
   Stats by_model(std::string_view policy, std::string_view model) const;
+  Stats by_signature(std::string_view policy, std::string_view model,
+                     std::uint64_t plan_signature) const;
   Stats overall() const;
 
   std::uint64_t scored() const;
-  // Keys (model- or signature-level) whose latency or energy EWMA currently
-  // exceeds the drift threshold.
-  std::size_t drift_flags() const;
+  // Model- and signature-level drift flags, counted separately: a drifting
+  // model key and its plan-signature keys are different trigger surfaces
+  // for the adaptation layer (the model-level series also absorbs
+  // fallen-back requests), so summing them double-counted one drift.
+  struct DriftCounts {
+    std::size_t models = 0;      // drifting (policy, model) series
+    std::size_t signatures = 0;  // drifting (policy, model, signature) series
+  };
+  DriftCounts drift_counts() const;
   const Config& config() const noexcept { return config_; }
+
+  // One key's committed state, structured so the adaptation layer never
+  // parses key strings. signature == 0 marks a model-level key.
+  struct KeySnapshot {
+    std::string policy;
+    std::string model;
+    std::uint64_t signature = 0;
+    Stats stats;
+    bool drifting = false;  // |EWMA| over threshold on latency or energy
+  };
+  // Every key under the lock in one deterministic pass: model-level keys
+  // first, then signature-level, each in lexicographic key order. This is
+  // the epoch-boundary commit point of the serving adaptation loop — all
+  // re-plan decisions of an epoch derive from one such snapshot, never from
+  // the live (mutating) maps.
+  std::vector<KeySnapshot> snapshot() const;
 
   // Deterministic JSON snapshot: keys in lexicographic order, every number
   // a pure function of the record() call sequence.

@@ -55,13 +55,21 @@ PlanCache::PlanCache(std::size_t num_shards, std::size_t capacity)
     throw std::invalid_argument("PlanCache: num_shards must be positive");
   }
   if (capacity_ > 0) {
-    shard_capacity_ = (capacity_ + num_shards - 1) / num_shards;
+    // Floor-split with the remainder on the lowest shard indices: the
+    // slices sum to exactly capacity_, so the global bound holds whatever
+    // the signature distribution (a ceil split let `--plan-cache-capacity
+    // 9` with 8 shards retain up to 16 plans). Slices can be zero when
+    // capacity < num_shards; those shards cache nothing.
+    shard_caps_.resize(num_shards, capacity_ / num_shards);
+    for (std::size_t i = 0; i < capacity_ % num_shards; ++i) ++shard_caps_[i];
   }
 }
 
-void PlanCache::insert_resident(Shard& shard, std::uint64_t sig,
+bool PlanCache::insert_resident(Shard& shard, std::uint64_t sig,
                                 const PlanPtr& plan) {
-  if (shard_capacity_ > 0 && shard.plans.size() >= shard_capacity_) {
+  const std::size_t cap = shard_cap(shard);
+  if (capacity_ > 0 && cap == 0) return false;  // zero-slice shard
+  if (cap > 0 && shard.plans.size() >= cap) {
     const std::uint64_t victim = shard.lru.back();
     shard.lru.pop_back();
     shard.plans.erase(victim);
@@ -70,6 +78,7 @@ void PlanCache::insert_resident(Shard& shard, std::uint64_t sig,
   }
   shard.lru.push_front(sig);
   shard.plans.emplace(sig, Entry{plan, shard.lru.begin()});
+  return true;
 }
 
 void PlanCache::drain_pending(Shard& shard, std::unique_lock<std::mutex>& lock,
@@ -204,9 +213,40 @@ bool PlanCache::preload(std::uint64_t signature, PlanPtr plan) {
   if (shard.plans.contains(signature) || shard.inflight.contains(signature)) {
     return false;  // first wins: never clobber a resident or in-flight plan
   }
-  insert_resident(shard, signature, plan);
+  if (!insert_resident(shard, signature, plan)) return false;
   preloaded_.fetch_add(1, std::memory_order_relaxed);
   return true;
+}
+
+bool PlanCache::invalidate(std::uint64_t signature) {
+  Shard& shard = shard_for(signature);
+  const std::lock_guard<std::mutex> lock(shard.mu);
+  const auto it = shard.plans.find(signature);
+  if (it == shard.plans.end()) return false;
+  shard.lru.erase(it->second.lru_pos);
+  shard.plans.erase(it);
+  return true;
+}
+
+bool PlanCache::install(std::uint64_t signature, PlanPtr plan) {
+  if (plan == nullptr) {
+    throw std::invalid_argument("PlanCache: install with null plan");
+  }
+  Shard& shard = shard_for(signature);
+  const std::lock_guard<std::mutex> lock(shard.mu);
+  if (shard.inflight.contains(signature)) {
+    // A leader is computing this signature; replacing it mid-flight would
+    // race the waiters' published result. The adaptation layer runs between
+    // epochs (nothing in flight), so refusing is both safe and moot.
+    return false;
+  }
+  const auto it = shard.plans.find(signature);
+  if (it != shard.plans.end()) {
+    it->second.plan = std::move(plan);
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second.lru_pos);
+    return true;
+  }
+  return insert_resident(shard, signature, plan);
 }
 
 std::vector<std::pair<std::uint64_t, PlanCache::PlanPtr>> PlanCache::snapshot()

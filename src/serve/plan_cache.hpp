@@ -37,10 +37,15 @@
 // plans and touches neither the serving-path counters nor LRU recency.
 //
 // A positive `capacity` bounds the number of resident plans with
-// least-recently-used eviction. The budget is split evenly across shards
-// (exact with num_shards = 1); an evicted signature recomputes on next use,
-// so under concurrency the counters become access-order dependent — plans
-// themselves stay byte-identical either way.
+// least-recently-used eviction. The budget is floor-split across shards
+// with the remainder distributed to the lowest shard indices, so the
+// per-shard slices sum to exactly `capacity` and resident() <= capacity
+// always holds (the former ceil-split admitted up to num_shards - 1 extra
+// plans). A shard whose slice is zero caches nothing: its signatures
+// compute through the miss protocol but are never retained. An evicted
+// signature recomputes on next use, so under concurrency the counters
+// become access-order dependent — plans themselves stay byte-identical
+// either way.
 //
 // Observability: every leader batch feeds the
 // powerlens_serve_plan_compute_ms histogram (elapsed wall time divided by
@@ -74,8 +79,9 @@ class PlanCache {
   using BatchPlanFactory = std::function<std::vector<core::OptimizationPlan>(
       std::span<const dnn::Graph* const>)>;
 
-  // `capacity` = maximum resident plans (0 = unbounded), split evenly
-  // across shards and enforced per shard.
+  // `capacity` = maximum resident plans (0 = unbounded), floor-split
+  // across shards (remainder to the lowest indices) and enforced per shard;
+  // the slices sum to exactly `capacity`.
   explicit PlanCache(std::size_t num_shards = 8, std::size_t capacity = 0);
 
   // The plan for `graph`'s signature, computing it (batched with any other
@@ -113,6 +119,20 @@ class PlanCache {
   // computations are skipped.
   std::vector<std::pair<std::uint64_t, PlanPtr>> snapshot() const;
 
+  // --- Adaptation interface (serve/adapt) ---
+
+  // Drops the resident plan for `signature` (the drift-invalidation path).
+  // Returns true when an entry was dropped. In-flight computations are
+  // untouched — the adaptation layer only runs between serving epochs, when
+  // nothing is in flight.
+  bool invalidate(std::uint64_t signature);
+  // Replaces (or installs) the resident plan for `signature` with a re-plan
+  // and refreshes its LRU recency. Counts toward capacity like any other
+  // resident plan; touches neither the hit/miss nor the preload counters.
+  // Returns false — installing nothing — while the signature is in flight
+  // or when the shard's capacity slice is zero.
+  bool install(std::uint64_t signature, PlanPtr plan);
+
   // Serving-path counters (get_or_compute).
   std::uint64_t hits() const noexcept {
     return hits_.load(std::memory_order_relaxed);
@@ -130,6 +150,9 @@ class PlanCache {
   }
   std::size_t capacity() const noexcept { return capacity_; }
   std::size_t size() const;
+  // Resident plan count — size() under its contract name: the capacity
+  // bound's test surface (resident() <= capacity() whenever bounded).
+  std::size_t resident() const { return size(); }
   void clear();
 
  private:
@@ -161,11 +184,20 @@ class PlanCache {
   // shard lock held; returns with it held.
   void drain_pending(Shard& shard, std::unique_lock<std::mutex>& lock,
                      const BatchPlanFactory& factory);
-  void insert_resident(Shard& shard, std::uint64_t sig, const PlanPtr& plan);
+  // Inserts under the shard's capacity slice (evicting LRU if full).
+  // Returns false without inserting when the slice is zero.
+  bool insert_resident(Shard& shard, std::uint64_t sig, const PlanPtr& plan);
+  std::size_t shard_cap(const Shard& shard) const noexcept {
+    return shard_caps_.empty()
+               ? 0
+               : shard_caps_[static_cast<std::size_t>(&shard - shards_.data())];
+  }
 
   mutable std::vector<Shard> shards_;
-  std::size_t capacity_ = 0;        // total bound (0 = unbounded)
-  std::size_t shard_capacity_ = 0;  // per-shard slice of the bound
+  std::size_t capacity_ = 0;  // total bound (0 = unbounded)
+  // Per-shard slices of the bound, summing to exactly capacity_; empty when
+  // unbounded.
+  std::vector<std::size_t> shard_caps_;
   std::atomic<std::uint64_t> hits_{0};
   std::atomic<std::uint64_t> misses_{0};
   mutable std::atomic<std::uint64_t> probe_hits_{0};

@@ -11,6 +11,7 @@
 #include "obs/metrics.hpp"
 #include "obs/residuals.hpp"
 #include "obs/trace.hpp"
+#include "serve/adapt.hpp"
 #include "serve/queue.hpp"
 #include "serve/signature.hpp"
 
@@ -40,6 +41,7 @@ constexpr int kWaitTid = 2;    // async queue-wait spans (overlapping)
 
 // Journal seq slots per request: 0 = the run header (task 0 only), 1 = the
 // fold's request record, 2 + attempt = each worker-side execution attempt.
+// The adaptation layer's epoch records live at 32+ (serve/adapt.cpp).
 constexpr std::uint32_t kSeqRequest = 1;
 constexpr std::uint32_t kSeqFirstAttempt = 2;
 
@@ -111,7 +113,38 @@ Server::Server(const hw::Platform& platform,
         *platform_, m.graph.layers(), platform_->max_gpu_level(),
         platform_->max_cpu_level()));
   }
+  if (config_.adapt_enabled) {
+    // The closed loop re-plans from residual drift and installs into the
+    // plan cache, so it needs all three: the plan policy that predicts, the
+    // residual sink that scores, and the cache the corrections land in.
+    if (config_.policy != ServePolicy::kPowerLens) {
+      throw std::invalid_argument(
+          "Server: adaptation requires the PowerLens policy");
+    }
+    if (framework_ == nullptr) {
+      throw std::invalid_argument(
+          "Server: adaptation requires a framework (it is copied into the "
+          "adaptation controller at construction, so train it first)");
+    }
+    if (!config_.residuals_enabled) {
+      throw std::invalid_argument(
+          "Server: adaptation requires residual scoring");
+    }
+    if (!config_.use_plan_cache) {
+      throw std::invalid_argument(
+          "Server: adaptation requires the plan cache");
+    }
+    AdaptConfig ac;
+    ac.epoch_tasks = config_.adapt_epoch_tasks;
+    ac.retrain = config_.adapt_retrain;
+    ac.retrain_min_rows = config_.adapt_retrain_min_rows;
+    ac.seed = config_.adapt_seed;
+    adapt_ = std::make_unique<AdaptController>(*platform_, models_,
+                                               model_sigs_, *framework_, ac);
+  }
 }
+
+Server::~Server() = default;
 
 obs::Journal* Server::active_journal() const {
   if (!config_.journal_enabled) return nullptr;
@@ -126,9 +159,14 @@ obs::Residuals* Server::active_residuals() const {
                                       : &obs::default_residuals();
 }
 
+const core::PowerLens* Server::active_framework() const {
+  return adapt_ != nullptr ? &adapt_->framework() : framework_;
+}
+
 PlanCache::PlanPtr Server::plan_for(const dnn::Graph& graph,
                                     linalg::Workspace& ws) {
-  if (framework_ == nullptr || !framework_->trained()) {
+  const core::PowerLens* const framework = active_framework();
+  if (framework == nullptr || !framework->trained()) {
     throw std::logic_error(
         "Server: the PowerLens policy needs a trained framework");
   }
@@ -136,8 +174,9 @@ PlanCache::PlanPtr Server::plan_for(const dnn::Graph& graph,
   // one call, and optimize_batch shares the eigendecomposition sweeps
   // across the coalesced graphs. `ws` is this worker's workspace; plans are
   // workspace-invariant, so which worker leads a batch never changes bits.
-  const auto factory = [this, &ws](std::span<const dnn::Graph* const> graphs) {
-    return framework_->optimize_batch(graphs, &ws);
+  const auto factory = [framework,
+                        &ws](std::span<const dnn::Graph* const> graphs) {
+    return framework->optimize_batch(graphs, &ws);
   };
   if (config_.use_plan_cache) {
     return cache_.get_or_compute(graph, factory);
@@ -156,7 +195,8 @@ std::vector<Server::ServiceResult> Server::simulate_parallel(
   // the error path up front so worker threads never throw on a
   // misconfigured server.
   if (config_.policy == ServePolicy::kPowerLens) {
-    if (framework_ == nullptr || !framework_->trained()) {
+    const core::PowerLens* const framework = active_framework();
+    if (framework == nullptr || !framework->trained()) {
       throw std::logic_error(
           "Server: the PowerLens policy needs a trained framework");
     }
@@ -359,58 +399,67 @@ std::vector<Server::ServiceResult> Server::simulate_reactive(
   return results;
 }
 
-ServeReport Server::fold_timeline(std::span<const Task> tasks,
-                                  std::span<const ServiceResult> services,
-                                  std::uint64_t cache_hits_before,
-                                  std::uint64_t cache_misses_before,
-                                  const std::vector<bool>& plan_resident_before) {
-  const bool continuous = !marks_.empty();
+// The incremental deterministic fold (see the declaration in server.hpp):
+// consume() is the former fold_timeline loop body over one epoch chunk,
+// finish() its tail aggregation. State that used to be function-local
+// (admission queue, device clock, latency sample, residual sums) lives in
+// members so it threads across chunks; feeding the whole stream through one
+// consume() reproduces the monolithic fold bit for bit.
+class Server::Fold {
+ public:
+  Fold(Server& s, std::size_t total_tasks, std::uint64_t cache_hits_before,
+       std::uint64_t cache_misses_before,
+       const std::vector<bool>& plan_resident_before)
+      : s_(s),
+        hits_before_(cache_hits_before),
+        misses_before_(cache_misses_before) {
+    report_.platform = s_.platform_->name;
+    report_.policy = policy_name(s_.config_.policy);
+    report_.total_tasks = total_tasks;
+    report_.outcomes.resize(total_tasks);
 
-  ServeReport report;
-  report.platform = platform_->name;
-  report.policy = policy_name(config_.policy);
-  report.total_tasks = tasks.size();
-  report.outcomes.resize(tasks.size());
+    obs::TraceWriter& tw = s_.config_.trace != nullptr ? *s_.config_.trace
+                                                       : obs::default_trace();
+    trace_ = tw.enabled() ? &tw : nullptr;
+    if (trace_ != nullptr) {
+      pid_ = trace_->next_virtual_pid();
+      trace_->name_process(pid_, "serve " + s_.platform_->name + " (" +
+                                     report_.policy + ")");
+      trace_->name_thread(pid_, kDeviceTid, "device");
+      trace_->name_thread(pid_, kQueueTid, "queue");
+      trace_->name_thread(pid_, kWaitTid, "wait");
+    }
 
-  obs::TraceWriter& tw =
-      config_.trace != nullptr ? *config_.trace : obs::default_trace();
-  obs::TraceWriter* trace = tw.enabled() ? &tw : nullptr;
-  int pid = 0;
-  if (trace != nullptr) {
-    pid = trace->next_virtual_pid();
-    trace->name_process(pid, "serve " + platform_->name + " (" +
-                                 report.policy + ")");
-    trace->name_thread(pid, kDeviceTid, "device");
-    trace->name_thread(pid, kQueueTid, "queue");
-    trace->name_thread(pid, kWaitTid, "wait");
+    // The fold runs single-threaded in task order, so journal records and
+    // residual scoring below are deterministic regardless of how the
+    // workers raced: same stream -> same bytes at any worker count.
+    journal_ = s_.active_journal();
+    residuals_ = s_.active_residuals();
+    plan_based_ = s_.config_.policy == ServePolicy::kPowerLens;
+    // "Cold" below means "first in task order to need a plan that was not
+    // already resident when serve() began" — a model covered by a snapshot
+    // warm start (or a previous serve call) never reports cold, matching
+    // the zero-miss counter of a warm cache.
+    plan_seen_ = plan_resident_before;
+    plan_seen_.resize(s_.models_.size(), false);
+    latencies_.reserve(total_tasks);
   }
 
-  // The fold runs single-threaded in task order, so journal records and
-  // residual scoring below are deterministic regardless of how the workers
-  // raced: same stream -> same bytes at any worker count.
-  obs::Journal* const journal = active_journal();
-  obs::Residuals* const residuals = active_residuals();
-  const bool plan_based = config_.policy == ServePolicy::kPowerLens;
-  // The engine idles this long after every pass; the static per-pass
-  // prediction excludes it, so fold it back in when scaling to a request.
-  const double gap_s = hw::RunPolicy{}.inter_pass_gap_s;
-  // "Cold" below means "first in task order to need a plan that was not
-  // already resident when serve() began" — a model covered by a snapshot
-  // warm start (or a previous serve call) never reports cold, matching the
-  // zero-miss counter of a warm cache.
-  std::vector<bool> plan_seen = plan_resident_before;
-  plan_seen.resize(models_.size(), false);
-  std::size_t deadline_tasks = 0;  // admitted requests carrying a deadline
-  double latency_residual_sum = 0.0;
-  double energy_residual_sum = 0.0;
+  // Folds one chunk of tasks; `base` is the chunk's offset in the stream
+  // (outcomes and reactive marks are indexed globally). Chunks must arrive
+  // in stream order.
+  void consume(std::span<const Task> tasks,
+               std::span<const ServiceResult> services, std::size_t base);
+  // Tail aggregation; call exactly once, after the last consume().
+  ServeReport finish();
 
+ private:
   // One structured record per request (admitted, rejected, or shed), under
   // the fold's deterministic seq slot.
-  const auto journal_request = [&](const RequestOutcome& o,
-                                   std::string_view outcome) {
-    if (journal == nullptr) return;
+  void journal_request(const RequestOutcome& o, std::string_view outcome) {
+    if (journal_ == nullptr) return;
     obs::JsonWriter w;
-    w.field("model", models_[o.model_index].name);
+    w.field("model", s_.models_[o.model_index].name);
     w.field("outcome", outcome);
     w.field("arrival_s", o.arrival_s);
     if (o.admitted) {
@@ -429,7 +478,7 @@ ServeReport Server::fold_timeline(std::span<const Task> tasks,
         w.field("deadline_missed", o.deadline_missed);
       }
     }
-    if (plan_based) {
+    if (plan_based_) {
       w.field("plan_signature", hex_signature(o.plan_signature));
       w.field("plan_cold", o.plan_cold);
     }
@@ -439,84 +488,105 @@ ServeReport Server::fold_timeline(std::span<const Task> tasks,
     w.field_or_null("observed_energy_j", o.observed_energy_j);
     w.field_or_null("latency_residual", o.latency_residual);
     w.field_or_null("energy_residual", o.energy_residual);
-    journal->append(run_id_, o.task_id, kSeqRequest, "request", w.body());
-  };
+    journal_->append(s_.run_id_, o.task_id, kSeqRequest, "request", w.body());
+  }
 
+  Server& s_;
+  ServeReport report_;
+  obs::TraceWriter* trace_ = nullptr;
+  int pid_ = 0;
+  obs::Journal* journal_ = nullptr;
+  obs::Residuals* residuals_ = nullptr;
+  bool plan_based_ = false;
+  // The engine idles this long after every pass; the static per-pass
+  // prediction excludes it, so fold it back in when scaling to a request.
+  const double gap_s_ = hw::RunPolicy{}.inter_pass_gap_s;
+  std::vector<bool> plan_seen_;
+  std::size_t deadline_tasks_ = 0;  // admitted requests carrying a deadline
+  double latency_residual_sum_ = 0.0;
+  double energy_residual_sum_ = 0.0;
   // Finish times of admitted tasks still in the system (waiting or in
   // service) — the simulated queue the admission bound applies to.
-  std::priority_queue<double, std::vector<double>, std::greater<>> in_system;
-  double device_free = 0.0;
-  double idle_total = 0.0;  // continuous mode: idle inserted before starts
-  std::vector<double> latencies;
-  latencies.reserve(tasks.size());
+  std::priority_queue<double, std::vector<double>, std::greater<>> in_system_;
+  double device_free_ = 0.0;
+  double idle_total_ = 0.0;  // continuous mode: idle inserted before starts
+  std::vector<double> latencies_;
+  std::uint64_t hits_before_ = 0;
+  std::uint64_t misses_before_ = 0;
+};
+
+void Server::Fold::consume(std::span<const Task> tasks,
+                           std::span<const ServiceResult> services,
+                           std::size_t base) {
+  const bool continuous = !s_.marks_.empty();
 
   for (std::size_t i = 0; i < tasks.size(); ++i) {
     const Task& task = tasks[i];
-    RequestOutcome& out = report.outcomes[i];
+    RequestOutcome& out = report_.outcomes[base + i];
     out.task_id = task.id;
     out.model_index = task.model_index;
     out.arrival_s = task.arrival_s;
     out.deadline_s = task.deadline_s;
-    if (plan_based) {
+    if (plan_based_) {
       // Plan provenance. The workers resolved a plan for every task (the
       // fold's admission decisions come later), so "cold" means "first in
       // task order to need this model's plan" — the deterministic stand-in
       // for the scheduling-dependent cache miss counter.
-      out.plan_signature = model_sigs_[task.model_index];
-      out.plan_cold = !plan_seen[task.model_index];
-      plan_seen[task.model_index] = true;
+      out.plan_signature = s_.model_sigs_[task.model_index];
+      out.plan_cold = !plan_seen_[task.model_index];
+      plan_seen_[task.model_index] = true;
     }
 
-    while (!in_system.empty() && in_system.top() <= task.arrival_s) {
-      in_system.pop();
+    while (!in_system_.empty() && in_system_.top() <= task.arrival_s) {
+      in_system_.pop();
     }
-    if (config_.admission_capacity > 0 &&
-        in_system.size() >= config_.admission_capacity) {
-      ++report.rejected;
-      if (trace != nullptr) {
-        trace->instant_at(pid, kQueueTid, task.arrival_s * kUsPerS,
-                          "rejected", "serve",
-                          {obs::TraceArg::num(
-                              "task", static_cast<double>(task.id))});
+    if (s_.config_.admission_capacity > 0 &&
+        in_system_.size() >= s_.config_.admission_capacity) {
+      ++report_.rejected;
+      if (trace_ != nullptr) {
+        trace_->instant_at(pid_, kQueueTid, task.arrival_s * kUsPerS,
+                           "rejected", "serve",
+                           {obs::TraceArg::num(
+                               "task", static_cast<double>(task.id))});
       }
       journal_request(out, "rejected");
       continue;
     }
 
     const ServiceResult& svc = services[i];
-    if (config_.degrade.shed_doomed && task.deadline_s > 0.0) {
+    if (s_.config_.degrade.shed_doomed && task.deadline_s > 0.0) {
       // The service time is already known (the simulation ran host-side),
       // so a request that cannot meet its deadline even if started now is
       // shed instead of burning device time on a guaranteed miss.
-      const double would_start = std::max(task.arrival_s, device_free);
+      const double would_start = std::max(task.arrival_s, device_free_);
       if (would_start + svc.service_s - task.arrival_s > task.deadline_s) {
         out.shed = true;
-        ++report.shed;
-        if (trace != nullptr) {
-          trace->instant_at(pid, kQueueTid, task.arrival_s * kUsPerS, "shed",
-                            "serve",
-                            {obs::TraceArg::num(
-                                "task", static_cast<double>(task.id))});
+        ++report_.shed;
+        if (trace_ != nullptr) {
+          trace_->instant_at(pid_, kQueueTid, task.arrival_s * kUsPerS,
+                             "shed", "serve",
+                             {obs::TraceArg::num(
+                                 "task", static_cast<double>(task.id))});
         }
         journal_request(out, "shed");
         continue;
       }
     }
     out.admitted = true;
-    out.start_s = std::max(task.arrival_s, device_free);
+    out.start_s = std::max(task.arrival_s, device_free_);
     if (continuous) {
       // Finish times chain off the continuous run's own clock so the
       // closed-loop case reproduces it bit for bit; idle gaps only shift
       // the chain.
-      idle_total += out.start_s - device_free;
-      out.finish_s = idle_total + marks_[i].end_time_s;
+      idle_total_ += out.start_s - device_free_;
+      out.finish_s = idle_total_ + s_.marks_[base + i].end_time_s;
     } else {
       out.finish_s = out.start_s + svc.service_s;
     }
-    device_free = out.finish_s;
-    in_system.push(out.finish_s);
-    report.peak_queue_depth =
-        std::max(report.peak_queue_depth, in_system.size());
+    device_free_ = out.finish_s;
+    in_system_.push(out.finish_s);
+    report_.peak_queue_depth =
+        std::max(report_.peak_queue_depth, in_system_.size());
 
     out.service_s = svc.service_s;
     out.wait_s = out.start_s - task.arrival_s;
@@ -538,18 +608,18 @@ ServeReport Server::fold_timeline(std::span<const Task> tasks,
     // only — retries and backoff are availability costs, not model error.
     double pass_time_s = 0.0;
     double pass_energy_j = 0.0;
-    if (config_.policy == ServePolicy::kMaxn || svc.fell_back) {
-      const hw::BlockCost& cost = maxn_costs_[task.model_index];
+    if (s_.config_.policy == ServePolicy::kMaxn || svc.fell_back) {
+      const hw::BlockCost& cost = s_.maxn_costs_[task.model_index];
       pass_time_s = cost.time_s;
       pass_energy_j = cost.energy_j;
-    } else if (plan_based) {
+    } else if (plan_based_) {
       pass_time_s = svc.predicted_pass_time_s;
       pass_energy_j = svc.predicted_pass_energy_j;
     }
     if (pass_time_s > 0.0 && !svc.attempts.empty()) {
       const AttemptRecord& accepted = svc.attempts.back();
       const double passes = static_cast<double>(task.passes);
-      out.predicted_time_s = passes * (pass_time_s + gap_s);
+      out.predicted_time_s = passes * (pass_time_s + gap_s_);
       out.predicted_energy_j = passes * pass_energy_j;
       out.observed_time_s = accepted.time_s;
       out.observed_energy_j = accepted.energy_j;
@@ -560,59 +630,60 @@ ServeReport Server::fold_timeline(std::span<const Task> tasks,
                                out.predicted_energy_j) /
                               out.predicted_energy_j;
       }
-      if (residuals != nullptr) {
+      if (residuals_ != nullptr) {
         // A fallen-back request was not served by its plan — keep the
         // signature series clean and score it model-level only.
         const std::uint64_t sig =
-            plan_based && !svc.fell_back ? out.plan_signature : 0;
-        residuals->record(report.policy, models_[task.model_index].name, sig,
-                          out.predicted_time_s, out.observed_time_s,
-                          out.predicted_energy_j, out.observed_energy_j);
+            plan_based_ && !svc.fell_back ? out.plan_signature : 0;
+        residuals_->record(report_.policy,
+                           s_.models_[task.model_index].name, sig,
+                           out.predicted_time_s, out.observed_time_s,
+                           out.predicted_energy_j, out.observed_energy_j);
       }
-      ++report.residual_scored;
-      latency_residual_sum += out.latency_residual;
-      energy_residual_sum +=
+      ++report_.residual_scored;
+      latency_residual_sum_ += out.latency_residual;
+      energy_residual_sum_ +=
           std::isfinite(out.energy_residual) ? out.energy_residual : 0.0;
     }
 
-    ++report.admitted;
-    if (out.deadline_missed) ++report.deadline_misses;
-    if (task.deadline_s > 0.0) ++deadline_tasks;
-    if (!out.deadline_missed) report.goodput_images += out.images;
-    latencies.push_back(out.latency_s());
-    report.makespan_s = out.finish_s;
-    report.retries += svc.retries;
-    report.backoff_s += svc.backoff_s;
-    if (svc.fell_back) ++report.fallbacks;
+    ++report_.admitted;
+    if (out.deadline_missed) ++report_.deadline_misses;
+    if (task.deadline_s > 0.0) ++deadline_tasks_;
+    if (!out.deadline_missed) report_.goodput_images += out.images;
+    latencies_.push_back(out.latency_s());
+    report_.makespan_s = out.finish_s;
+    report_.retries += svc.retries;
+    report_.backoff_s += svc.backoff_s;
+    if (svc.fell_back) ++report_.fallbacks;
     if (!continuous) {
-      report.energy_j += svc.energy_j;
-      report.busy_s += svc.service_s;
-      report.images += svc.images;
-      report.dvfs_transitions += svc.dvfs_transitions;
-      report.faults += svc.faults;
+      report_.energy_j += svc.energy_j;
+      report_.busy_s += svc.service_s;
+      report_.images += svc.images;
+      report_.dvfs_transitions += svc.dvfs_transitions;
+      report_.faults += svc.faults;
     }
     journal_request(out, "served");
 
-    if (trace != nullptr) {
-      const DeployedModel& model = models_[task.model_index];
-      trace->counter(pid, kQueueTid, task.arrival_s * kUsPerS, "in_system",
-                     static_cast<double>(in_system.size()));
+    if (trace_ != nullptr) {
+      const DeployedModel& model = s_.models_[task.model_index];
+      trace_->counter(pid_, kQueueTid, task.arrival_s * kUsPerS, "in_system",
+                      static_cast<double>(in_system_.size()));
       // Queue-wait spans overlap whenever requests pile up behind the
       // device, so they ride the async track keyed by task id.
-      trace->async_begin_at(pid, kWaitTid, task.id,
-                            task.arrival_s * kUsPerS, "wait", "serve",
-                            {obs::TraceArg::num(
-                                "task", static_cast<double>(task.id))});
-      trace->async_end_at(pid, kWaitTid, task.id, out.start_s * kUsPerS,
-                          "wait", "serve");
-      trace->begin_at(pid, kDeviceTid, out.start_s * kUsPerS, model.name,
-                      "serve",
-                      {obs::TraceArg::num("task",
-                                          static_cast<double>(task.id)),
-                       obs::TraceArg::num("wait_ms", out.wait_s * 1e3),
-                       obs::TraceArg::num("retries",
-                                          static_cast<double>(out.retries)),
-                       obs::TraceArg::num("fell_back", out.fell_back)});
+      trace_->async_begin_at(pid_, kWaitTid, task.id,
+                             task.arrival_s * kUsPerS, "wait", "serve",
+                             {obs::TraceArg::num(
+                                 "task", static_cast<double>(task.id))});
+      trace_->async_end_at(pid_, kWaitTid, task.id, out.start_s * kUsPerS,
+                           "wait", "serve");
+      trace_->begin_at(pid_, kDeviceTid, out.start_s * kUsPerS, model.name,
+                       "serve",
+                       {obs::TraceArg::num("task",
+                                           static_cast<double>(task.id)),
+                        obs::TraceArg::num("wait_ms", out.wait_s * 1e3),
+                        obs::TraceArg::num("retries",
+                                           static_cast<double>(out.retries)),
+                        obs::TraceArg::num("fell_back", out.fell_back)});
       // Attempt/backoff sub-spans nested inside the request span replay the
       // worker's retry machinery on the device timeline (plan policies;
       // reactive streams record no attempts).
@@ -620,117 +691,120 @@ ServeReport Server::fold_timeline(std::span<const Task> tasks,
       for (std::size_t a = 0; a < svc.attempts.size(); ++a) {
         const AttemptRecord& rec = svc.attempts[a];
         const std::string tag = fault::fault_tag(rec.faults);
-        trace->begin_at(pid, kDeviceTid, cursor_s * kUsPerS, "attempt",
-                        "serve",
-                        {obs::TraceArg::num("attempt",
-                                            static_cast<double>(a)),
-                         obs::TraceArg::str("faults", tag),
-                         obs::TraceArg::num("degraded", rec.degraded),
-                         obs::TraceArg::num("pinned", rec.pinned)});
+        trace_->begin_at(pid_, kDeviceTid, cursor_s * kUsPerS, "attempt",
+                         "serve",
+                         {obs::TraceArg::num("attempt",
+                                             static_cast<double>(a)),
+                          obs::TraceArg::str("faults", tag),
+                          obs::TraceArg::num("degraded", rec.degraded),
+                          obs::TraceArg::num("pinned", rec.pinned)});
         cursor_s += rec.time_s;
-        trace->end_at(pid, kDeviceTid, cursor_s * kUsPerS, "attempt",
-                      "serve");
+        trace_->end_at(pid_, kDeviceTid, cursor_s * kUsPerS, "attempt",
+                       "serve");
         if (rec.backoff_s > 0.0) {
-          trace->begin_at(pid, kDeviceTid, cursor_s * kUsPerS, "backoff",
-                          "serve",
-                          {obs::TraceArg::num("seconds", rec.backoff_s)});
+          trace_->begin_at(pid_, kDeviceTid, cursor_s * kUsPerS, "backoff",
+                           "serve",
+                           {obs::TraceArg::num("seconds", rec.backoff_s)});
           cursor_s += rec.backoff_s;
-          trace->end_at(pid, kDeviceTid, cursor_s * kUsPerS, "backoff",
-                        "serve");
+          trace_->end_at(pid_, kDeviceTid, cursor_s * kUsPerS, "backoff",
+                         "serve");
         }
       }
-      trace->end_at(pid, kDeviceTid, out.finish_s * kUsPerS, model.name,
-                    "serve");
+      trace_->end_at(pid_, kDeviceTid, out.finish_s * kUsPerS, model.name,
+                     "serve");
     }
   }
+}
 
-  if (continuous && !marks_.empty()) {
+ServeReport Server::Fold::finish() {
+  const bool continuous = !s_.marks_.empty();
+  if (continuous) {
     // Aggregates come from the continuous run's own accumulators, not a
     // re-summation of per-item differences (floating-point addition does
     // not cancel exactly), so the report equals the direct run_workload.
-    const hw::WorkItemMark& last = marks_.back();
-    report.energy_j = last.end_energy_j;
-    report.busy_s = last.end_time_s;
-    report.images = last.end_images;
-    report.dvfs_transitions = last.end_transitions;
-    report.faults = reactive_faults_;
+    const hw::WorkItemMark& last = s_.marks_.back();
+    report_.energy_j = last.end_energy_j;
+    report_.busy_s = last.end_time_s;
+    report_.images = last.end_images;
+    report_.dvfs_transitions = last.end_transitions;
+    report_.faults = s_.reactive_faults_;
   }
 
-  std::sort(latencies.begin(), latencies.end());
-  if (latencies.empty()) {
+  std::sort(latencies_.begin(), latencies_.end());
+  if (latencies_.empty()) {
     // No request completed: latency statistics do not exist. NaN (emitted
     // as JSON null) is the honest encoding — the previous 0.0 read as a
     // perfect p99 on a serve() call that served nothing.
     constexpr double nan = std::numeric_limits<double>::quiet_NaN();
-    report.latency_mean_s = nan;
-    report.latency_p50_s = nan;
-    report.latency_p99_s = nan;
-    report.latency_max_s = nan;
+    report_.latency_mean_s = nan;
+    report_.latency_p50_s = nan;
+    report_.latency_p99_s = nan;
+    report_.latency_max_s = nan;
   } else {
     double sum = 0.0;
-    for (const double v : latencies) sum += v;
-    report.latency_mean_s = sum / static_cast<double>(latencies.size());
-    report.latency_p50_s = quantile(latencies, 0.50);
-    report.latency_p99_s = quantile(latencies, 0.99);
-    report.latency_max_s = latencies.back();
+    for (const double v : latencies_) sum += v;
+    report_.latency_mean_s = sum / static_cast<double>(latencies_.size());
+    report_.latency_p50_s = quantile(latencies_, 0.50);
+    report_.latency_p99_s = quantile(latencies_, 0.99);
+    report_.latency_max_s = latencies_.back();
   }
-  report.plan_cache_hits = cache_.hits() - cache_hits_before;
-  report.plan_cache_misses = cache_.misses() - cache_misses_before;
-  report.plan_cache_preloaded = cache_.preloaded();
-  if (deadline_tasks > 0) {
-    report.deadline_burn_rate =
-        static_cast<double>(report.deadline_misses) /
-        static_cast<double>(deadline_tasks);
+  report_.plan_cache_hits = s_.cache_.hits() - hits_before_;
+  report_.plan_cache_misses = s_.cache_.misses() - misses_before_;
+  report_.plan_cache_preloaded = s_.cache_.preloaded();
+  if (deadline_tasks_ > 0) {
+    report_.deadline_burn_rate =
+        static_cast<double>(report_.deadline_misses) /
+        static_cast<double>(deadline_tasks_);
   }
-  if (report.residual_scored > 0) {
-    const double n = static_cast<double>(report.residual_scored);
-    report.latency_residual_mean = latency_residual_sum / n;
-    report.energy_residual_mean = energy_residual_sum / n;
+  if (report_.residual_scored > 0) {
+    const double n = static_cast<double>(report_.residual_scored);
+    report_.latency_residual_mean = latency_residual_sum_ / n;
+    report_.energy_residual_mean = energy_residual_sum_ / n;
   }
 
   // Aggregate accounting in the global registry, once per serve() call.
   obs::MetricsRegistry& metrics = obs::global_metrics();
   metrics.counter("powerlens_serve_requests_total", "requests offered")
-      .inc(static_cast<double>(report.total_tasks));
+      .inc(static_cast<double>(report_.total_tasks));
   metrics.counter("powerlens_serve_admitted_total", "requests admitted")
-      .inc(static_cast<double>(report.admitted));
+      .inc(static_cast<double>(report_.admitted));
   metrics
       .counter("powerlens_serve_rejected_total",
                "requests rejected by admission control")
-      .inc(static_cast<double>(report.rejected));
+      .inc(static_cast<double>(report_.rejected));
   metrics
       .counter("powerlens_serve_deadline_misses_total",
                "admitted requests finishing past their deadline")
-      .inc(static_cast<double>(report.deadline_misses));
+      .inc(static_cast<double>(report_.deadline_misses));
   metrics
       .counter("powerlens_serve_energy_joules_total",
                "simulated energy of admitted requests")
-      .inc(report.energy_j);
+      .inc(report_.energy_j);
   metrics
       .counter("powerlens_serve_images_total",
                "images inferred for admitted requests")
-      .inc(static_cast<double>(report.images));
+      .inc(static_cast<double>(report_.images));
   metrics
       .gauge("powerlens_serve_peak_queue_depth",
              "in-system high-water mark of the last serve() call")
-      .set(static_cast<double>(report.peak_queue_depth));
+      .set(static_cast<double>(report_.peak_queue_depth));
   obs::Histogram& latency_hist = metrics.histogram(
       "powerlens_serve_latency_seconds", obs::default_seconds_buckets(),
       "request latency (arrival to finish, simulated)");
-  for (const double v : latencies) latency_hist.observe(v);
+  for (const double v : latencies_) latency_hist.observe(v);
   metrics
       .counter("powerlens_serve_slo_goodput_images_total",
                "images delivered by admitted requests that met their "
                "deadline (all admitted images when none is set)")
-      .inc(static_cast<double>(report.goodput_images));
-  if (std::isfinite(report.deadline_burn_rate)) {
+      .inc(static_cast<double>(report_.goodput_images));
+  if (std::isfinite(report_.deadline_burn_rate)) {
     metrics
         .gauge("powerlens_serve_slo_deadline_burn_ratio",
                "deadline misses over deadline-bearing admitted requests, "
                "last serve() call")
-        .set(report.deadline_burn_rate);
+        .set(report_.deadline_burn_rate);
   }
-  if (report.residual_scored > 0) {
+  if (report_.residual_scored > 0) {
     obs::Histogram& latency_residual_hist = metrics.histogram(
         "powerlens_serve_residual_latency_ratio",
         obs::Residuals::bucket_bounds(),
@@ -739,59 +813,65 @@ ServeReport Server::fold_timeline(std::span<const Task> tasks,
         "powerlens_serve_residual_energy_ratio",
         obs::Residuals::bucket_bounds(),
         "signed relative energy prediction error per scored request");
-    for (const RequestOutcome& o : report.outcomes) {
+    for (const RequestOutcome& o : report_.outcomes) {
       latency_residual_hist.observe(o.latency_residual);  // NaN -> rejected
       energy_residual_hist.observe(o.energy_residual);
     }
-    if (residuals != nullptr) {
+    if (residuals_ != nullptr) {
+      const obs::Residuals::DriftCounts drift = residuals_->drift_counts();
       metrics
-          .gauge("powerlens_obs_residual_drift_count",
-                 "model/signature series whose EWMA residual exceeds the "
+          .gauge("powerlens_obs_residual_model_drift_count",
+                 "(policy, model) series whose EWMA residual exceeds the "
                  "drift threshold")
-          .set(static_cast<double>(residuals->drift_flags()));
+          .set(static_cast<double>(drift.models));
+      metrics
+          .gauge("powerlens_obs_residual_signature_drift_count",
+                 "(policy, model, plan signature) series whose EWMA "
+                 "residual exceeds the drift threshold")
+          .set(static_cast<double>(drift.signatures));
     }
   }
 
-  if (config_.faults.active() || config_.degrade.shed_doomed) {
+  if (s_.config_.faults.active() || s_.config_.degrade.shed_doomed) {
     metrics
         .counter("powerlens_serve_degraded_retries_total",
                  "request re-executions after fault-degraded runs")
-        .inc(static_cast<double>(report.retries));
+        .inc(static_cast<double>(report_.retries));
     metrics
         .counter("powerlens_serve_degraded_fallbacks_total",
                  "requests served on the pinned fallback configuration")
-        .inc(static_cast<double>(report.fallbacks));
+        .inc(static_cast<double>(report_.fallbacks));
     metrics
         .counter("powerlens_serve_degraded_backoff_seconds_total",
                  "simulated backoff inserted before retries")
-        .inc(report.backoff_s);
+        .inc(report_.backoff_s);
     metrics
         .counter("powerlens_serve_degraded_shed_total",
                  "deadline-doomed requests shed before service")
-        .inc(static_cast<double>(report.shed));
+        .inc(static_cast<double>(report_.shed));
     metrics
         .counter("powerlens_fault_injected_dvfs_failed_total",
                  "injected DVFS actuation failures seen by the server")
-        .inc(static_cast<double>(report.faults.dvfs_failed));
+        .inc(static_cast<double>(report_.faults.dvfs_failed));
     metrics
         .counter("powerlens_fault_injected_thermal_events_total",
                  "injected thermal windows seen by the server")
-        .inc(static_cast<double>(report.faults.thermal_events));
+        .inc(static_cast<double>(report_.faults.thermal_events));
   }
 
   obs::log_info("serve", "stream served",
-                {{"policy", report.policy},
-                 {"tasks", static_cast<double>(report.total_tasks)},
-                 {"admitted", static_cast<double>(report.admitted)},
-                 {"rejected", static_cast<double>(report.rejected)},
-                 {"shed", static_cast<double>(report.shed)},
-                 {"retries", static_cast<double>(report.retries)},
-                 {"fallbacks", static_cast<double>(report.fallbacks)},
+                {{"policy", report_.policy},
+                 {"tasks", static_cast<double>(report_.total_tasks)},
+                 {"admitted", static_cast<double>(report_.admitted)},
+                 {"rejected", static_cast<double>(report_.rejected)},
+                 {"shed", static_cast<double>(report_.shed)},
+                 {"retries", static_cast<double>(report_.retries)},
+                 {"fallbacks", static_cast<double>(report_.fallbacks)},
                  {"deadline_misses",
-                  static_cast<double>(report.deadline_misses)},
-                 {"energy_j", report.energy_j},
-                 {"makespan_s", report.makespan_s}});
-  return report;
+                  static_cast<double>(report_.deadline_misses)},
+                 {"energy_j", report_.energy_j},
+                 {"makespan_s", report_.makespan_s}});
+  return std::move(report_);
 }
 
 ServeReport Server::serve(const RequestStream& stream) {
@@ -855,11 +935,57 @@ ServeReport Server::serve(std::span<const Task> tasks) {
     w.field("faults", config_.faults.to_string());
     journal->append(run_id_, 0, 0, "serve_begin", w.body());
   }
-  const std::vector<ServiceResult> services =
-      is_plan_policy(config_.policy) ? simulate_parallel(tasks)
-                                     : simulate_reactive(tasks);
-  return fold_timeline(tasks, services, hits_before, misses_before,
-                       plan_resident_before);
+
+  Fold fold(*this, tasks.size(), hits_before, misses_before,
+            plan_resident_before);
+  if (!is_plan_policy(config_.policy)) {
+    const std::vector<ServiceResult> services = simulate_reactive(tasks);
+    fold.consume(tasks, services, 0);
+    return fold.finish();
+  }
+
+  // Plan policies run in epoch chunks: simulate a chunk, fold it (which
+  // commits its residuals in task order), then let the adaptation layer act
+  // on the committed snapshot before the next chunk's workers spawn — the
+  // closed loop. Without adaptation the whole stream is one chunk, which
+  // reproduces the former simulate-then-fold path bit for bit (the fold is
+  // associative over chunks by construction).
+  const std::size_t chunk =
+      adapt_ != nullptr ? config_.adapt_epoch_tasks
+                        : std::max<std::size_t>(tasks.size(), 1);
+  for (std::size_t base = 0; base < tasks.size(); base += chunk) {
+    const std::size_t n = std::min(chunk, tasks.size() - base);
+    const std::span<const Task> sub = tasks.subspan(base, n);
+    const std::vector<ServiceResult> services = simulate_parallel(sub);
+    fold.consume(sub, services, base);
+    if (adapt_ != nullptr) {
+      // Per-model thermal/served aggregates of this epoch, harvested in
+      // task order from the chunk's results (worker-count invariant).
+      std::vector<AdaptController::EpochObservation> observations(
+          models_.size());
+      for (std::size_t i = 0; i < sub.size(); ++i) {
+        AdaptController::EpochObservation& ob =
+            observations[sub[i].model_index];
+        ++ob.served;
+        for (const AttemptRecord& a : services[i].attempts) {
+          ob.thermal_events += a.faults.thermal_events;
+          ob.throttled_s += a.throttled_s;
+        }
+      }
+      AdaptController::EpochContext ctx;
+      ctx.policy = policy_name(config_.policy);
+      ctx.residuals = active_residuals();
+      ctx.cache = &cache_;
+      ctx.journal = active_journal();
+      ctx.run_id = run_id_;
+      ctx.last_task_id = sub.back().id;
+      ctx.inter_pass_gap_s = hw::RunPolicy{}.inter_pass_gap_s;
+      ctx.observations = observations;
+      ctx.faults = &config_.faults;
+      adapt_->on_epoch_boundary(ctx);
+    }
+  }
+  return fold.finish();
 }
 
 std::size_t Server::warm_start_from_snapshot(const std::string& path) {

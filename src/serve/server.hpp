@@ -57,6 +57,7 @@
 #include <cstdint>
 #include <iosfwd>
 #include <limits>
+#include <memory>
 #include <span>
 #include <string>
 #include <vector>
@@ -68,6 +69,8 @@ class TraceWriter;
 }  // namespace powerlens::obs
 
 namespace powerlens::serve {
+
+class AdaptController;
 
 enum class ServePolicy {
   kPowerLens,  // per-request preset plan + ondemand CPU governor
@@ -149,6 +152,24 @@ struct ServerConfig {
   // sink's snapshot is byte-identical at any worker count.
   obs::Residuals* residuals = nullptr;
   bool residuals_enabled = true;
+  // Closed-loop plan adaptation (serve/adapt.hpp): chunk the stream into
+  // epochs of `adapt_epoch_tasks` requests and, at every boundary, re-plan
+  // drifting models from the committed residual snapshot — cost-table
+  // rescaling by the observed/predicted EWMA ratio, thermal frequency caps,
+  // plan-cache invalidate + install. Requires the kPowerLens policy, a
+  // non-null framework, and residuals_enabled (the drift signal source);
+  // the Server constructor throws std::invalid_argument otherwise. Results
+  // stay invariant to the worker count and kernel dispatch path: boundary
+  // decisions derive only from the deterministic fold's residual commits
+  // and per-request aggregates.
+  bool adapt_enabled = false;
+  std::size_t adapt_epoch_tasks = 32;
+  // Background decision-model retraining on rows harvested from re-plans;
+  // refitted bundles swap in atomically at epoch boundaries.
+  bool adapt_retrain = false;
+  std::size_t adapt_retrain_min_rows = 24;
+  // Seeds the retrain shuffle/split protocol.
+  std::uint64_t adapt_seed = 1;
 };
 
 // One simulator execution attempt of a request, as recorded host-side —
@@ -274,6 +295,10 @@ class Server {
   // std::logic_error at serve() time without a trained framework.
   Server(const hw::Platform& platform, std::vector<DeployedModel> models,
          ServerConfig config = {}, const core::PowerLens* framework = nullptr);
+  // Out of line: AdaptController is incomplete here.
+  ~Server();
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
 
   ServeReport serve(const RequestStream& stream);
   ServeReport serve(std::span<const Task> tasks);
@@ -287,6 +312,11 @@ class Server {
   std::size_t warm_start_from_snapshot(const std::string& path);
 
   PlanCache& plan_cache() noexcept { return cache_; }
+  // The adaptation controller, or null when adapt_enabled is false — the
+  // bench/test surface for re-plan and retrain counters.
+  const AdaptController* adapt_controller() const noexcept {
+    return adapt_.get();
+  }
   const std::vector<DeployedModel>& models() const noexcept { return models_; }
   const hw::Platform& platform() const noexcept { return *platform_; }
   const ServerConfig& config() const noexcept { return config_; }
@@ -317,14 +347,17 @@ class Server {
   std::vector<ServiceResult> simulate_parallel(std::span<const Task> tasks);
   // One continuous run_workload, split into per-request results by marks.
   std::vector<ServiceResult> simulate_reactive(std::span<const Task> tasks);
-  // `plan_resident_before[m]` = model m's plan was already cached when this
-  // serve() call started (snapshot warm start or an earlier serve); such
-  // models are never reported plan_cold. Empty when not a plan policy.
-  ServeReport fold_timeline(std::span<const Task> tasks,
-                            std::span<const ServiceResult> services,
-                            std::uint64_t cache_hits_before,
-                            std::uint64_t cache_misses_before,
-                            const std::vector<bool>& plan_resident_before);
+  // Incremental deterministic fold over the serving timeline: constructed
+  // once per serve() call, fed epoch chunks of (tasks, services) in task
+  // order by consume(), and closed by finish(), which returns the report.
+  // One full-stream consume() reproduces the former all-at-once fold bit
+  // for bit; the chunked form exists so the adaptation layer can act
+  // between epochs on residuals the fold has already committed.
+  class Fold;
+  // The framework plan computations run against: the adaptation
+  // controller's active bundle when adaptation is on, the injected
+  // framework otherwise.
+  const core::PowerLens* active_framework() const;
   // The configured journal sink, or null when journaling is off.
   obs::Journal* active_journal() const;
   // The configured residual sink, or null when scoring is off.
@@ -350,6 +383,8 @@ class Server {
   // Journal run id of the serve() in flight (claimed per call, so records
   // from successive serves never interleave in the sorted export).
   std::uint64_t run_id_ = 0;
+  // Closed-loop adaptation state (null when adapt_enabled is false).
+  std::unique_ptr<AdaptController> adapt_;
 };
 
 }  // namespace powerlens::serve

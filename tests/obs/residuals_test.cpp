@@ -13,6 +13,7 @@
 #include <cmath>
 #include <limits>
 #include <string>
+#include <vector>
 
 namespace powerlens::obs {
 namespace {
@@ -90,16 +91,41 @@ TEST(ResidualsTest, EwmaSeedsWithFirstResidualThenBlends) {
 
 TEST(ResidualsTest, PersistentLargeResidualsRaiseDriftFlags) {
   Residuals res;  // defaults: alpha 0.2, threshold 0.3
-  EXPECT_EQ(res.drift_flags(), 0u);
+  EXPECT_EQ(res.drift_counts().models, 0u);
+  EXPECT_EQ(res.drift_counts().signatures, 0u);
   // Persistently +50% over prediction: EWMA sits at 0.5 > 0.3 from the
-  // first (seeded) record onward. Model key and signature key both flag.
+  // first (seeded) record onward. The model key and its signature key each
+  // flag on their own level — one drift, two trigger surfaces, never
+  // summed into one double-counting gauge.
   for (int i = 0; i < 5; ++i) {
     res.record("PowerLens", "alexnet", 0x1234ull, 1.0, 1.5, 1.0, 1.5);
   }
-  EXPECT_EQ(res.drift_flags(), 2u);
+  EXPECT_EQ(res.drift_counts().models, 1u);
+  EXPECT_EQ(res.drift_counts().signatures, 1u);
   // A well-predicted model does not add flags.
   res.record("PowerLens", "googlenet", 0, 1.0, 1.01, 1.0, 1.0);
-  EXPECT_EQ(res.drift_flags(), 2u);
+  EXPECT_EQ(res.drift_counts().models, 1u);
+  EXPECT_EQ(res.drift_counts().signatures, 1u);
+}
+
+TEST(ResidualsTest, SnapshotSplitsKeysStructurally) {
+  Residuals res;
+  res.record("PowerLens", "alexnet", 0xabcdef0123456789ull, 1.0, 1.5, 1.0,
+             1.5);
+  res.record("PowerLens", "googlenet", 0, 1.0, 1.01, 1.0, 1.0);
+  const std::vector<Residuals::KeySnapshot> snap = res.snapshot();
+  // Model-level keys first (lexicographic), then signature-level.
+  ASSERT_EQ(snap.size(), 3u);
+  EXPECT_EQ(snap[0].model, "alexnet");
+  EXPECT_EQ(snap[0].signature, 0u);
+  EXPECT_TRUE(snap[0].drifting);
+  EXPECT_EQ(snap[1].model, "googlenet");
+  EXPECT_FALSE(snap[1].drifting);
+  EXPECT_EQ(snap[2].policy, "PowerLens");
+  EXPECT_EQ(snap[2].model, "alexnet");
+  EXPECT_EQ(snap[2].signature, 0xabcdef0123456789ull);
+  EXPECT_TRUE(snap[2].drifting);
+  EXPECT_EQ(snap[2].stats.latency.count, 1u);
 }
 
 TEST(ResidualsTest, HistogramBucketsResolveSign) {
@@ -144,7 +170,8 @@ TEST(ResidualsTest, EmptySnapshotStillParses) {
   Residuals res;
   const JsonValue root = JsonParser(res.json()).parse();
   EXPECT_EQ(root.object().at("scored").number(), 0.0);
-  EXPECT_EQ(root.object().at("drift_flags").number(), 0.0);
+  EXPECT_EQ(root.object().at("model_drift_flags").number(), 0.0);
+  EXPECT_EQ(root.object().at("signature_drift_flags").number(), 0.0);
   EXPECT_TRUE(root.object().at("models").object().empty());
 }
 

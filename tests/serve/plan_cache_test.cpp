@@ -14,6 +14,7 @@
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
+#include <memory>
 #include <mutex>
 #include <span>
 #include <sstream>
@@ -169,6 +170,130 @@ TEST(PlanCacheTest, ZeroCapacityMeansUnbounded) {
   }
   EXPECT_EQ(cache.size(), 6u);
   EXPECT_EQ(cache.evictions(), 0u);
+}
+
+// Regression: the capacity budget was ceil-split across shards, so
+// `PlanCache(8, 9)` gave every shard a slice of 2 and a spread signature
+// distribution could retain 16 plans against a configured bound of 9. The
+// floor split (remainder to the lowest shard indices) must hold
+// resident() <= capacity() for EVERY signature distribution.
+TEST(PlanCacheTest, CapacityBoundHoldsAcrossAdversarialDistributions) {
+  struct Case {
+    std::size_t shards;
+    std::size_t capacity;
+    std::uint64_t stride;  // signature spacing controls shard targeting
+    const char* what;
+  };
+  const Case cases[] = {
+      // One signature per shard round-robin — the ceil-split worst case.
+      {8, 9, 1, "spread across all shards"},
+      // Every signature lands on shard 0 (sig % 8 == 0).
+      {8, 9, 8, "concentrated on one shard"},
+      // Two hot shards (even strides hit shards 0 and 2 alternately... use
+      // stride 4 so sigs hit shards {0, 4}).
+      {8, 9, 4, "concentrated on two shards"},
+      {8, 3, 1, "capacity below shard count, spread"},
+      {8, 3, 8, "capacity below shard count, one shard"},
+      {3, 7, 1, "remainder split, spread"},
+      {1, 5, 1, "single shard"},
+  };
+  for (const Case& c : cases) {
+    PlanCache cache(c.shards, c.capacity);
+    const auto plan = std::make_shared<const core::OptimizationPlan>();
+    for (std::uint64_t k = 1; k <= 64; ++k) {
+      cache.preload(k * c.stride, plan);
+      ASSERT_LE(cache.resident(), cache.capacity())
+          << c.what << " after " << k << " inserts";
+    }
+    EXPECT_LE(cache.resident(), c.capacity) << c.what;
+  }
+}
+
+TEST(PlanCacheTest, SpreadDistributionFillsTheWholeBudget) {
+  // The bound must be exact, not just safe: with signatures touching every
+  // shard, a capacity-9 cache should actually hold 9 plans (floor slices
+  // 2,1,1,1,1,1,1,1 across 8 shards — two on shard 0 via the remainder).
+  PlanCache cache(/*num_shards=*/8, /*capacity=*/9);
+  const auto plan = std::make_shared<const core::OptimizationPlan>();
+  // sigs 1..8 land one per shard (sig % 8); sig 16 takes shard 0's second
+  // remainder slot.
+  for (std::uint64_t sig = 1; sig <= 8; ++sig) cache.preload(sig, plan);
+  cache.preload(16, plan);
+  EXPECT_EQ(cache.resident(), 9u);
+  EXPECT_EQ(cache.capacity(), 9u);
+}
+
+TEST(PlanCacheTest, ZeroSliceShardsCacheNothingButStillServe) {
+  // capacity < num_shards leaves some shards with a zero slice; their
+  // signatures must compute through the miss path without being retained,
+  // and preload must report the non-install.
+  PlanCache cache(/*num_shards=*/8, /*capacity=*/2);
+  const auto plan = std::make_shared<const core::OptimizationPlan>();
+  EXPECT_TRUE(cache.preload(0, plan));    // shard 0: slice 1
+  EXPECT_TRUE(cache.preload(1, plan));    // shard 1: slice 1
+  EXPECT_FALSE(cache.preload(7, plan));   // shard 7: zero slice
+  EXPECT_EQ(cache.resident(), 2u);
+
+  std::atomic<int> calls{0};
+  const PlanCache::PlanFactory factory = [&](const dnn::Graph&) {
+    ++calls;
+    return core::OptimizationPlan{};
+  };
+  const dnn::Graph g = dnn::make_alexnet(4);
+  EXPECT_NE(cache.get_or_compute(g, factory), nullptr);
+  EXPECT_NE(cache.get_or_compute(g, factory), nullptr);
+  EXPECT_LE(cache.resident(), 2u);
+  // Whether g's shard retains it depends on its signature; either way the
+  // global bound held and both calls produced a plan.
+  EXPECT_GE(calls.load(), 1);
+}
+
+TEST(PlanCacheTest, InvalidateDropsOnlyTheTargetSignature) {
+  PlanCache cache(/*num_shards=*/1);
+  const dnn::Graph a = dnn::make_alexnet(2);
+  const dnn::Graph b = dnn::make_alexnet(4);
+  const PlanCache::PlanFactory factory = [](const dnn::Graph&) {
+    return core::OptimizationPlan{};
+  };
+  cache.get_or_compute(a, factory);
+  cache.get_or_compute(b, factory);
+
+  EXPECT_TRUE(cache.invalidate(graph_signature(a)));
+  EXPECT_EQ(cache.lookup(a), nullptr);
+  EXPECT_NE(cache.lookup(b), nullptr);  // untouched neighbour
+  EXPECT_FALSE(cache.invalidate(graph_signature(a)));  // already gone
+  EXPECT_EQ(cache.resident(), 1u);
+
+  // The invalidated signature recomputes on next use.
+  std::atomic<int> calls{0};
+  cache.get_or_compute(a, [&](const dnn::Graph&) {
+    ++calls;
+    return core::OptimizationPlan{};
+  });
+  EXPECT_EQ(calls.load(), 1);
+}
+
+TEST(PlanCacheTest, InstallReplacesResidentPlanInPlace) {
+  PlanCache cache(/*num_shards=*/1, /*capacity=*/2);
+  const dnn::Graph g = dnn::make_alexnet(4);
+  cache.get_or_compute(g, [](const dnn::Graph&) {
+    core::OptimizationPlan plan;
+    plan.block_levels = {3};
+    return plan;
+  });
+
+  auto replan = std::make_shared<const core::OptimizationPlan>();
+  EXPECT_TRUE(cache.install(graph_signature(g), replan));
+  EXPECT_EQ(cache.lookup(g).get(), replan.get());  // swapped, not duplicated
+  EXPECT_EQ(cache.resident(), 1u);
+
+  // Install on a vacant signature inserts under the capacity bound.
+  auto fresh = std::make_shared<const core::OptimizationPlan>();
+  EXPECT_TRUE(cache.install(12345u, fresh));
+  EXPECT_EQ(cache.resident(), 2u);
+  EXPECT_TRUE(cache.install(67890u, fresh));  // evicts the LRU entry
+  EXPECT_LE(cache.resident(), cache.capacity());
+  EXPECT_THROW(cache.install(1u, nullptr), std::invalid_argument);
 }
 
 TEST(PlanCacheTest, EachSignatureComputedExactlyOnceUnderConcurrency) {

@@ -8,9 +8,10 @@
 // std::runtime_error with a byte offset on malformed input.
 #pragma once
 
+#include "util/numeric.hpp"
+
 #include <cctype>
 #include <cstddef>
-#include <cstdlib>
 #include <map>
 #include <stdexcept>
 #include <string>
@@ -195,13 +196,13 @@ class JsonParser {
       ++pos_;
     }
     if (pos_ == start) fail("expected number");
-    // strtod instead of stod: junk fails through our error path (stod would
-    // throw invalid_argument), and range extremes saturate to +/-inf or 0
-    // rather than throwing out_of_range on e.g. denormals.
+    // util::parse_double (std::from_chars) instead of stod/strtod: junk
+    // fails through our error path without throwing, range extremes
+    // saturate, and — unlike strtod — a comma-decimal LC_NUMERIC cannot
+    // make it reject valid JSON numbers.
     const std::string token = text_.substr(start, pos_ - start);
-    char* end = nullptr;
-    const double d = std::strtod(token.c_str(), &end);
-    if (end != token.c_str() + token.size()) fail("bad number");
+    double d = 0.0;
+    if (!util::parse_double(token, d)) fail("bad number");
     return JsonValue{d};
   }
 
