@@ -26,9 +26,11 @@
 #include "serve/adapt.hpp"
 #include "serve/server.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -61,7 +63,20 @@ struct RunResult {
   std::uint64_t replans = 0;
   std::uint64_t retrain_rounds = 0;
   std::uint64_t model_swaps = 0;
+  // Wall-clock of each epoch's replan_batch call, in arrival order.
+  std::vector<double> replan_latencies_ms;
 };
+
+// Linear-interpolated quantile over a copy; 0.0 when no re-plans ran.
+double percentile_ms(std::vector<double> v, double q) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  const double pos = q * static_cast<double>(v.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, v.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return v[lo] + frac * (v[hi] - v[lo]);
+}
 
 RunResult run_one(const TrainedFramework& t,
                   const std::vector<serve::DeployedModel>& models,
@@ -83,12 +98,14 @@ RunResult run_one(const TrainedFramework& t,
   serve::Server server(t.platform, models, config, t.framework.get());
   RunResult r{server.serve(serve::RequestStream(models.size(),
                                                 stream_config())),
-              0, 0, 0, 0};
+              0, 0, 0, 0, {}};
   if (const serve::AdaptController* a = server.adapt_controller()) {
     r.epochs = a->epochs();
     r.replans = a->replans();
     r.retrain_rounds = a->retrain_rounds();
     r.model_swaps = a->model_swaps();
+    const std::span<const double> lat = a->replan_latencies_ms();
+    r.replan_latencies_ms.assign(lat.begin(), lat.end());
   }
   return r;
 }
@@ -178,12 +195,21 @@ int run(const hw::Platform& platform, std::size_t workers) {
               static_cast<unsigned long long>(adaptive.model_swaps));
   std::printf("mean |latency residual|: first epoch %.4f -> last two epochs "
               "%.4f\n", head, tail);
+  const double replan_p50 = percentile_ms(adaptive.replan_latencies_ms, 0.50);
+  const double replan_p95 = percentile_ms(adaptive.replan_latencies_ms, 0.95);
+  std::printf("re-plan latency per epoch: p50 %.3f ms  p95 %.3f ms "
+              "(%zu replan_batch calls)\n",
+              replan_p50, replan_p95, adaptive.replan_latencies_ms.size());
   obs::JsonWriter json;
   json.field("bench", "adapt_loop_summary")
       .field("epochs", static_cast<double>(adaptive.epochs))
       .field("replans", static_cast<double>(adaptive.replans))
       .field("retrain_rounds", static_cast<double>(adaptive.retrain_rounds))
       .field("model_swaps", static_cast<double>(adaptive.model_swaps))
+      .field("replan_latency_p50_ms", replan_p50)
+      .field("replan_latency_p95_ms", replan_p95)
+      .field("replan_latency_samples",
+             static_cast<double>(adaptive.replan_latencies_ms.size()))
       .field("head_mean_abs_residual", head)
       .field("tail_mean_abs_residual", tail)
       .field("worst_static_ewma", worst_static)

@@ -19,11 +19,13 @@
 #include "linalg/workspace.hpp"
 #include "nn/trainer.hpp"
 #include "obs/json.hpp"
+#include "obs/metrics.hpp"
 
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
 #include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <fstream>
 #include <limits>
@@ -370,20 +372,11 @@ std::string trainer_record() {
       .str();
 }
 
-std::string plan_compute_record() {
+std::string plan_compute_record(core::PowerLens& framework,
+                                const std::vector<dnn::Graph>& graphs) {
   // Plan-cache-miss latency: PowerLens::optimize with heap-allocated
   // temporaries (ws == nullptr) vs a warmed per-worker Workspace — the
   // serving layer's configuration after this change.
-  hw::Platform platform = hw::make_tx2();
-  core::PowerLensConfig cfg;
-  cfg.dataset.num_networks = 40;
-  cfg.train_hyper.epochs = 15;
-  cfg.train_decision.epochs = 15;
-  core::PowerLens framework(platform, cfg);
-  framework.train();
-
-  const std::vector<dnn::Graph> graphs = {
-      dnn::make_resnet152(8), dnn::make_resnet34(8), dnn::make_vit_base_32(8)};
   linalg::Workspace ws;
   for (const dnn::Graph& g : graphs) {
     if (!(framework.optimize(g) == framework.optimize(g, &ws))) {
@@ -446,6 +439,64 @@ std::string plan_compute_record() {
       .str();
 }
 
+std::string plan_phases_record(core::PowerLens& framework,
+                               const std::vector<dnn::Graph>& graphs) {
+  // Per-stage decomposition of a cold plan. The optimize path already feeds
+  // one powerlens_plan_phase_*_ms histogram per stage, so mean ms/plan per
+  // stage falls out of snapshot deltas around a fixed loop — no extra
+  // instrumentation, and the stages sum to (roughly) the workspace column of
+  // the plan_compute record.
+  struct Phase {
+    const char* key;
+    const char* metric;
+    const char* label;
+  };
+  static constexpr Phase kPhases[] = {
+      {"predict_ms", "powerlens_plan_phase_predict_ms", "predict"},
+      {"cost_table_ms", "powerlens_plan_phase_cost_table_ms", "table fill"},
+      {"distance_ms", "powerlens_plan_phase_distance_ms", "dist+blend"},
+      {"cluster_ms", "powerlens_plan_phase_cluster_ms", "dbscan+post"},
+      {"decide_ms", "powerlens_plan_phase_decide_ms", "decide"},
+  };
+  constexpr std::size_t kNumPhases = sizeof(kPhases) / sizeof(kPhases[0]);
+  const auto snapshot_all = [] {
+    std::vector<obs::Histogram::Snapshot> snaps;
+    for (const Phase& p : kPhases) {
+      snaps.push_back(obs::global_metrics()
+                          .histogram(p.metric,
+                                     obs::default_milliseconds_buckets())
+                          .snapshot());
+    }
+    return snaps;
+  };
+  linalg::Workspace ws;
+  const std::vector<obs::Histogram::Snapshot> before = snapshot_all();
+  constexpr int kReps = 20;
+  for (int r = 0; r < kReps; ++r) {
+    for (const dnn::Graph& g : graphs) {
+      benchmark::DoNotOptimize(framework.optimize(g, &ws));
+    }
+  }
+  const std::vector<obs::Histogram::Snapshot> after = snapshot_all();
+
+  obs::JsonWriter record;
+  const double plans = static_cast<double>(kReps * graphs.size());
+  record.field("plans", plans);
+  double total_ms = 0.0;
+  std::printf("plan phase ");
+  for (std::size_t i = 0; i < kNumPhases; ++i) {
+    const std::uint64_t n = after[i].count - before[i].count;
+    const double mean_ms =
+        n > 0 ? (after[i].sum - before[i].sum) / static_cast<double>(n) : 0.0;
+    record.field(kPhases[i].key, mean_ms);
+    total_ms += mean_ms;
+    std::printf("%s %.4f ms  ", kPhases[i].label, mean_ms);
+  }
+  record.field("total_ms", total_ms);
+  std::printf("total %.4f ms/plan\n", total_ms);
+  return record.str();
+}
+
 void append_record_array(std::string& out, std::string_view key,
                          const std::vector<std::string>& records) {
   out += "  \"";
@@ -465,7 +516,20 @@ int run_kernels_harness(const std::string& path) {
     out += ",\n";
     append_record_array(out, "mahalanobis", mahalanobis_records());
     out += ",\n  \"trainer\": " + trainer_record();
-    out += ",\n  \"plan_compute\": " + plan_compute_record();
+    // plan_compute and plan_phases share one trained framework; training it
+    // dominates harness wall-clock, the timed loops do not.
+    hw::Platform platform = hw::make_tx2();
+    core::PowerLensConfig cfg;
+    cfg.dataset.num_networks = 40;
+    cfg.train_hyper.epochs = 15;
+    cfg.train_decision.epochs = 15;
+    core::PowerLens framework(platform, cfg);
+    framework.train();
+    const std::vector<dnn::Graph> graphs = {dnn::make_resnet152(8),
+                                            dnn::make_resnet34(8),
+                                            dnn::make_vit_base_32(8)};
+    out += ",\n  \"plan_compute\": " + plan_compute_record(framework, graphs);
+    out += ",\n  \"plan_phases\": " + plan_phases_record(framework, graphs);
     out += "\n}\n";
     std::ofstream file(path);
     if (!file) throw std::runtime_error("cannot open " + path);

@@ -70,9 +70,59 @@ void power_distances_batch_into(
   power_distance_matrix_batch_into(scaled_ptrs, params, ws, dists);
 }
 
+void power_distances_adj_into(const linalg::Matrix& depthwise_features,
+                              const DistanceParams& params, double eps,
+                              linalg::Workspace& ws, linalg::Matrix& dist,
+                              EpsAdjacency& adj) {
+  linalg::StandardScaler scaler;
+  scaler.fit(depthwise_features);
+  linalg::Workspace::Lease scaled =
+      ws.lease(depthwise_features.rows(), depthwise_features.cols());
+  scaler.transform_into(depthwise_features, *scaled);
+  power_distance_matrix_adj_into(*scaled, params, eps, ws, dist, adj);
+}
+
+void power_distances_adj_batch_into(
+    std::span<const linalg::Matrix* const> depthwise_tables,
+    const DistanceParams& params, std::span<const double> eps,
+    linalg::Workspace& ws, std::span<linalg::Matrix* const> dists,
+    std::span<EpsAdjacency* const> adjs) {
+  if (depthwise_tables.size() != dists.size() ||
+      depthwise_tables.size() != eps.size() ||
+      depthwise_tables.size() != adjs.size()) {
+    throw std::invalid_argument(
+        "power_distances_adj_batch: span size mismatch");
+  }
+  std::vector<linalg::Workspace::Lease> scaled;
+  scaled.reserve(depthwise_tables.size());
+  std::vector<const linalg::Matrix*> scaled_ptrs;
+  scaled_ptrs.reserve(depthwise_tables.size());
+  for (const linalg::Matrix* table : depthwise_tables) {
+    linalg::StandardScaler scaler;
+    scaler.fit(*table);
+    scaled.push_back(ws.lease(table->rows(), table->cols()));
+    scaler.transform_into(*table, *scaled.back());
+    scaled_ptrs.push_back(&*scaled.back());
+  }
+  power_distance_matrix_adj_batch_into(scaled_ptrs, params, eps, ws, dists,
+                                       adjs);
+}
+
 PowerView build_power_view_from_distances(
     const linalg::Matrix& distances, const ClusteringHyperparams& hyper) {
   const std::vector<int> labels = dbscan(distances, {hyper.eps, hyper.min_pts});
+  return process_clusters(labels, distances,
+                          {.min_block_layers = hyper.min_pts});
+}
+
+PowerView build_power_view_from_adjacency(const linalg::Matrix& distances,
+                                          const EpsAdjacency& adj,
+                                          const ClusteringHyperparams& hyper) {
+  if (adj.n != distances.rows()) {
+    throw std::invalid_argument(
+        "build_power_view_from_adjacency: adjacency/matrix size mismatch");
+  }
+  const std::vector<int> labels = dbscan(adj, {hyper.eps, hyper.min_pts});
   return process_clusters(labels, distances,
                           {.min_block_layers = hyper.min_pts});
 }

@@ -67,8 +67,39 @@ void power_distances_batch_into(
     const DistanceParams& params, linalg::Workspace& ws,
     std::span<linalg::Matrix* const> dists);
 
+// Eps-aware variant of power_distances_into for when the clustering
+// hyperparameters are already predicted (the cold-plan serving path): the
+// power-distance matrix lands in `dist` and its ε-threshold CSR adjacency
+// in `adj`, emitted inside the distance kernels' own sweeps — DBSCAN then
+// runs on neighbor lists without ever rescanning the matrix. On the
+// Mahalanobis path `dist` follows power_distance_matrix_adj_into's
+// TRIANGULAR contract: lower half + zero diagonal bitwise identical to
+// power_distances_into, upper half unspecified — consumers must index
+// (max(i, j), min(i, j)). `adj` always matches the full symmetric matrix.
+void power_distances_adj_into(const linalg::Matrix& depthwise_features,
+                              const DistanceParams& params, double eps,
+                              linalg::Workspace& ws, linalg::Matrix& dist,
+                              EpsAdjacency& adj);
+
+// Batched eps-aware variant (per-graph eps from per-graph hyperparameter
+// predictions); dists[i]/adjs[i] match power_distances_adj_into on
+// tables[i]. All spans must be the same length.
+void power_distances_adj_batch_into(
+    std::span<const linalg::Matrix* const> depthwise_tables,
+    const DistanceParams& params, std::span<const double> eps,
+    linalg::Workspace& ws, std::span<linalg::Matrix* const> dists,
+    std::span<EpsAdjacency* const> adjs);
+
 // DBSCAN + post-processing on a precomputed power-distance matrix.
 PowerView build_power_view_from_distances(const linalg::Matrix& distances,
+                                          const ClusteringHyperparams& hyper);
+
+// Same, with the ε-neighborhoods taken from a prebuilt CSR adjacency (the
+// fused distance-pipeline output). `adj` must have been built from
+// `distances` at hyper.eps; labels — and therefore the PowerView — are
+// identical to build_power_view_from_distances.
+PowerView build_power_view_from_adjacency(const linalg::Matrix& distances,
+                                          const EpsAdjacency& adj,
                                           const ClusteringHyperparams& hyper);
 
 }  // namespace powerlens::clustering

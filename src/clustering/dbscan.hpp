@@ -1,9 +1,19 @@
 // DBSCAN over a precomputed distance matrix (Algorithm 1, line 13).
+//
+// Since PR 10 the production path runs over an ε-threshold CSR adjacency
+// built in ONE pass over the distance matrix (or fused into the distance
+// blend sweep — see clustering/distance.hpp), replacing the per-point O(n)
+// neighbor rescans of the dense implementation. Expansion order is
+// unchanged — seeds ascend, the frontier is FIFO over first insertions, and
+// CSR rows list neighbors in ascending index — so labels are identical to
+// the dense-matrix implementation, which is kept as dbscan_reference() and
+// property-tested against the CSR path.
 #pragma once
 
 #include "linalg/matrix.hpp"
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 namespace powerlens::clustering {
@@ -15,11 +25,54 @@ struct DbscanParams {
   std::size_t min_pts = 3;   // least number of operators per cluster
 };
 
+// ε-threshold adjacency in CSR form: row i lists every j (self included,
+// ascending) with dist(i, j) <= eps. Built once per clustering; DBSCAN's
+// neighbor queries become O(degree) row lookups instead of O(n) matrix
+// rescans.
+struct EpsAdjacency {
+  std::size_t n = 0;
+  std::vector<std::uint32_t> offsets;    // n + 1 row starts
+  std::vector<std::uint32_t> neighbors;  // ascending within each row
+
+  std::size_t degree(std::size_t i) const noexcept {
+    return offsets[i + 1] - offsets[i];
+  }
+  const std::uint32_t* row(std::size_t i) const noexcept {
+    return neighbors.data() + offsets[i];
+  }
+
+  // One full scan of a symmetric distance matrix — the path for
+  // hyperparameter sweeps where eps is not known when the matrix is built.
+  // Throws std::invalid_argument on a non-square/empty matrix or eps <= 0.
+  static EpsAdjacency from_distances(const linalg::Matrix& distances,
+                                     double eps);
+  // Assembly from the packed per-row bitmaps the fused blend kernel emits
+  // (kernels::dist_blend_adj): bits[i*words + w] bit b set means j =
+  // 64*w + b is a neighbor of i. Scanning words ascending yields ascending
+  // neighbor order for free.
+  static EpsAdjacency from_bitmap(std::size_t n, const std::uint64_t* bits,
+                                  std::size_t words,
+                                  const std::size_t* degree);
+};
+
 // Returns one label per row of `distances`: 0..k-1 for cluster membership,
 // kNoise for noise points. The distance matrix must be square and symmetric.
 // Throws std::invalid_argument on a malformed matrix or eps <= 0 /
-// min_pts == 0.
+// min_pts == 0. Implemented as from_distances + the CSR overload below.
 std::vector<int> dbscan(const linalg::Matrix& distances,
                         const DbscanParams& params);
+
+// CSR fast path: the adjacency already encodes eps, so only min_pts is
+// read from `params`. Labels are identical to dbscan_reference on the
+// matrix the adjacency was built from (property-tested).
+std::vector<int> dbscan(const EpsAdjacency& adjacency,
+                        const DbscanParams& params);
+
+// The pre-PR-10 dense-matrix implementation, kept verbatim as the label
+// oracle for equivalence tests. O(n) neighbor rescans per expansion and a
+// frontier that re-enqueues already-labeled points — do not use on hot
+// paths.
+std::vector<int> dbscan_reference(const linalg::Matrix& distances,
+                                  const DbscanParams& params);
 
 }  // namespace powerlens::clustering

@@ -25,6 +25,7 @@
 // mahalanobis_distances_naive() purely as the test/bench oracle.
 #pragma once
 
+#include "clustering/dbscan.hpp"
 #include "linalg/matrix.hpp"
 #include "linalg/workspace.hpp"
 
@@ -63,6 +64,17 @@ void mahalanobis_from_whitening_into(const linalg::Matrix& x,
                                      linalg::Workspace& ws,
                                      linalg::Matrix& dist);
 
+// Same, additionally reporting max(dist) — folded into the kernel's
+// triangular sweep (kernels::gram_to_dist_max) so the normalize-and-blend
+// tail never rescans the matrix. The matrix is symmetric with a zero
+// diagonal, so the lower-triangle max equals the full-matrix max the dense
+// path scans for: `max_out` is bitwise the same value.
+void mahalanobis_from_whitening_max_into(const linalg::Matrix& x,
+                                         const linalg::Matrix& w,
+                                         linalg::Workspace& ws,
+                                         linalg::Matrix& dist,
+                                         double& max_out);
+
 // Reference O(n²·d²) implementation (per-pair diffᵀ·pinv(cov)·diff). Kept
 // as the equivalence oracle for tests and the before/after benchmark; the
 // production path above must agree with it to within factorization rounding.
@@ -94,6 +106,37 @@ void power_distance_matrix_into(const linalg::Matrix& scaled_features,
 void power_distance_blend_into(const DistanceParams& params,
                                linalg::Workspace& ws, linalg::Matrix& out);
 
+// Fused blend + ε-adjacency emission: same normalize-and-blend sweep as
+// power_distance_blend_into (bitwise — `out` is identical), but the kernel
+// additionally stamps each blended entry <= eps into a per-row neighbor
+// bitmap in the SAME pass, which lands in `adj` as a CSR adjacency — the
+// dense matrix is never rescanned to find ε-neighborhoods. `max_d` is the
+// max of `out` on entry (from mahalanobis_from_whitening_max_into or an
+// explicit scan); the caller supplies it because the fused distance kernels
+// already computed it. Requires eps > 0.
+void power_distance_blend_adj_into(const DistanceParams& params, double max_d,
+                                   double eps, linalg::Workspace& ws,
+                                   linalg::Matrix& out, EpsAdjacency& adj);
+
+// power_distance_matrix_into + the fused adjacency epilogue: `out` gets the
+// final power-distance matrix and `adj` its ε-threshold CSR adjacency. On
+// the Mahalanobis path the whole tail is TRIANGULAR: a prepass folds the
+// distance max straight out of the Gram matrix (kernels::gram_dist_max, no
+// intermediate matrix), then one fused sweep (kernels::gram_blend_adj)
+// writes the blended LOWER triangle + zero diagonal and emits the full
+// symmetric ε-bitmap — the mirror half of the matrix is never computed or
+// written, which removes the strided transpose traffic that dominated the
+// full-matrix pipeline. Contract: out(i, j) for j <= i is bitwise identical
+// to the non-adj variant's; the UPPER triangle is unspecified (consumers
+// index (max(i,j), min(i,j)) — blended values are symmetric). adj matches
+// EpsAdjacency::from_distances on the full symmetric matrix. The Euclidean
+// path still materializes the full matrix. The eps-aware cold-plan path:
+// DBSCAN's neighborhoods come out of the distance pipeline for free.
+void power_distance_matrix_adj_into(const linalg::Matrix& scaled_features,
+                                    const DistanceParams& params, double eps,
+                                    linalg::Workspace& ws, linalg::Matrix& out,
+                                    EpsAdjacency& adj);
+
 // Batched power distances for many scaled feature tables: with the
 // Mahalanobis metric, every table's covariance goes through ONE
 // linalg::batched_whitening call (shared Jacobi sweep rounds) before each
@@ -105,5 +148,19 @@ void power_distance_matrix_batch_into(
     std::span<const linalg::Matrix* const> tables,
     const DistanceParams& params, linalg::Workspace& ws,
     std::span<linalg::Matrix* const> dists);
+
+// Batched adjacency-emitting variant: the same shared-eigendecomposition
+// batching, finishing each table through the fused triangular max + blend
+// + adjacency path with its own eps[i] (per-graph hyperparameter
+// predictions differ). dists[i] follows power_distance_matrix_adj_into's
+// lower-triangle contract (lower half + diagonal bitwise identical to the
+// full-matrix pipeline, upper half unspecified on the Mahalanobis path);
+// adjs[i] matches EpsAdjacency::from_distances on the full symmetric
+// matrix. All spans must be the same length.
+void power_distance_matrix_adj_batch_into(
+    std::span<const linalg::Matrix* const> tables,
+    const DistanceParams& params, std::span<const double> eps,
+    linalg::Workspace& ws, std::span<linalg::Matrix* const> dists,
+    std::span<EpsAdjacency* const> adjs);
 
 }  // namespace powerlens::clustering

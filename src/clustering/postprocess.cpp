@@ -15,14 +15,16 @@ struct Run {
   std::size_t size() const noexcept { return end - begin; }
 };
 
-// Mean pairwise distance between the layers of two runs.
+// Mean pairwise distance between the layers of two runs. The power-distance
+// matrix is symmetric but the fused adjacency pipeline only materializes its
+// lower triangle (upper half unspecified), so always read (max, min).
 double run_distance(const Run& a, const Run& b,
                     const linalg::Matrix& distances) {
   double sum = 0.0;
   std::size_t count = 0;
   for (std::size_t i = a.begin; i < a.end; ++i) {
     for (std::size_t j = b.begin; j < b.end; ++j) {
-      sum += distances(i, j);
+      sum += i < j ? distances(j, i) : distances(i, j);
       ++count;
     }
   }

@@ -308,11 +308,16 @@ OptimizationPlan PowerLens::optimize(const dnn::Graph& graph,
   // reads the (mid GPU, max CPU) plane, so a one-plane table suffices.
   // build_power_view is inlined into its public pieces (feature extraction
   // + distance blend, then DBSCAN) so each phase lands in its own
-  // powerlens_plan_phase_*_ms histogram; the call chain is identical, so
-  // the resulting view is bitwise unchanged.
+  // powerlens_plan_phase_*_ms histogram. eps is already predicted here, so
+  // the distance pipeline emits the ε-adjacency inside its own sweeps and
+  // DBSCAN runs on CSR neighbor lists — same labels, same view, no matrix
+  // rescans. A local workspace stands in when the caller passed none
+  // (buffer provenance never changes values).
   clustering::ClusteringConfig cc;
   cc.hyper = hp;
   cc.distance = config_.dataset.distance;
+  linalg::Workspace local_ws;
+  linalg::Workspace& plan_ws = ws != nullptr ? *ws : local_ws;
   clustering::PowerView view = [&] {
     obs::ScopedSpan span(tw, "cluster_and_postprocess", "pipeline");
     const std::size_t cpu_levels[] = {platform_->max_cpu_level()};
@@ -323,25 +328,17 @@ OptimizationPlan PowerLens::optimize(const dnn::Graph& graph,
     }
     const linalg::Matrix table =
         features::DepthwiseFeatureExtractor::extract(graph);
-    if (ws != nullptr) {
-      linalg::Workspace::Lease dist = ws->lease(0, 0);
-      {
-        PhaseTimer timer(phase_distance_hist());
-        clustering::power_distances_into(table, cc.distance, *ws, *dist);
-      }
-      PhaseTimer timer(phase_cluster_hist());
-      return enforce_min_block_duration(
-          *costs, clustering::build_power_view_from_distances(*dist, cc.hyper),
-          *platform_, feasible_block_duration(*costs, *platform_));
-    }
-    std::optional<linalg::Matrix> dist;
+    linalg::Workspace::Lease dist = plan_ws.lease(0, 0);
+    clustering::EpsAdjacency adj;
     {
       PhaseTimer timer(phase_distance_hist());
-      dist.emplace(clustering::power_distances_for(table, cc.distance));
+      clustering::power_distances_adj_into(table, cc.distance, hp.eps,
+                                           plan_ws, *dist, adj);
     }
     PhaseTimer timer(phase_cluster_hist());
     return enforce_min_block_duration(
-        *costs, clustering::build_power_view_from_distances(*dist, cc.hyper),
+        *costs,
+        clustering::build_power_view_from_adjacency(*dist, adj, cc.hyper),
         *platform_, feasible_block_duration(*costs, *platform_));
   }();
 
@@ -394,7 +391,8 @@ std::vector<OptimizationPlan> PowerLens::optimize_batch(
   }
 
   // Phase 2: every graph's power-distance matrix through one shared
-  // eigendecomposition batch.
+  // eigendecomposition batch, each emitting its ε-adjacency (per-graph eps
+  // from phase 1's predictions) inside the distance sweeps.
   std::vector<const linalg::Matrix*> table_ptrs;
   table_ptrs.reserve(tables.size());
   for (const linalg::Matrix& t : tables) table_ptrs.push_back(&t);
@@ -402,15 +400,23 @@ std::vector<OptimizationPlan> PowerLens::optimize_batch(
   dist_leases.reserve(graphs.size());
   std::vector<linalg::Matrix*> dist_ptrs;
   dist_ptrs.reserve(graphs.size());
+  std::vector<double> eps;
+  eps.reserve(graphs.size());
+  std::vector<clustering::EpsAdjacency> adjs(graphs.size());
+  std::vector<clustering::EpsAdjacency*> adj_ptrs;
+  adj_ptrs.reserve(graphs.size());
   for (std::size_t i = 0; i < graphs.size(); ++i) {
     dist_leases.push_back(batch_ws.lease(0, 0));
     dist_ptrs.push_back(&*dist_leases.back());
+    eps.push_back(hps[i].eps);
+    adj_ptrs.push_back(&adjs[i]);
   }
   {
     obs::ScopedSpan span(tw, "batched_power_distances", "pipeline");
     const auto t0 = std::chrono::steady_clock::now();
-    clustering::power_distances_batch_into(
-        table_ptrs, config_.dataset.distance, batch_ws, dist_ptrs);
+    clustering::power_distances_adj_batch_into(
+        table_ptrs, config_.dataset.distance, eps, batch_ws, dist_ptrs,
+        adj_ptrs);
     // Amortised per-plan share of the shared sweep, observed once per
     // graph — same discipline as powerlens_serve_plan_compute_ms.
     const double ms = std::chrono::duration<double, std::milli>(
@@ -436,7 +442,8 @@ std::vector<OptimizationPlan> PowerLens::optimize_batch(
       PhaseTimer timer(phase_cluster_hist());
       return enforce_min_block_duration(
           *costs,
-          clustering::build_power_view_from_distances(*dist_ptrs[i], hps[i]),
+          clustering::build_power_view_from_adjacency(*dist_ptrs[i], adjs[i],
+                                                      hps[i]),
           *platform_, feasible_block_duration(*costs, *platform_));
     }();
     OptimizationPlan plan = [&] {
@@ -514,8 +521,13 @@ std::vector<OptimizationPlan> PowerLens::replan_batch(
     // reproduces the oracle's level choices exactly.
     const std::size_t cpu_level = config_.dataset.cpu_level_for_labels;
     const std::size_t cpu_levels[] = {cpu_level};
+    // Epoch-over-epoch refills share the caller's cached per-layer features
+    // when provided; the layer-span constructor is extract-then-fill with
+    // the same features, so both branches produce identical tables.
     const hw::CostTable costs =
-        hw::CostTable(*platform_, req.graph->layers(), cpu_levels)
+        (req.cost_features != nullptr
+             ? hw::CostTable(*platform_, *req.cost_features, cpu_levels)
+             : hw::CostTable(*platform_, req.graph->layers(), cpu_levels))
             .scaled(sig.time_scale, sig.energy_scale);
 
     OptimizationPlan plan;

@@ -16,6 +16,7 @@
 #include "clustering/cluster.hpp"
 #include "core/dataset_gen.hpp"
 #include "features/global.hpp"
+#include "hw/analytic.hpp"
 #include "hw/governor.hpp"
 #include "hw/platform.hpp"
 #include "linalg/stats.hpp"
@@ -136,6 +137,13 @@ struct ReplanRequest {
   const dnn::Graph* graph = nullptr;
   const OptimizationPlan* base = nullptr;  // the plan being corrected
   AdaptSignals signals;
+  // Optional pre-extracted per-layer cost features for `graph` on the
+  // engine's platform (hw::CostFeatures::extract). The adaptation loop
+  // re-plans the same models every epoch; passing the cached features skips
+  // the per-layer model re-derivation in the rescaled cost-table refill.
+  // Null means extract on the fly — results are bitwise identical either
+  // way.
+  const hw::CostFeatures* cost_features = nullptr;
 };
 
 class PowerLens {

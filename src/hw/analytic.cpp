@@ -52,6 +52,30 @@ BlockCost schedule_cost(const Platform& platform,
   return cost;
 }
 
+CostFeatures CostFeatures::extract(const Platform& platform,
+                                   std::span<const dnn::Layer> layers) {
+  const LatencyModel latency(platform);
+  CostFeatures f;
+  f.num_layers = layers.size();
+  f.flops.resize(layers.size());
+  f.eff.resize(layers.size());
+  f.memory_s.resize(layers.size());
+  f.active.resize(layers.size());
+  for (std::size_t l = 0; l < layers.size(); ++l) {
+    const dnn::Layer& layer = layers[l];
+    if (layer.type == dnn::OpType::kInput) continue;  // row stays zeroed
+    f.active[l] = 1;
+    f.flops[l] =
+        layer.flops > 0 ? static_cast<double>(layer.flops) : 0.0;
+    f.eff[l] = LatencyModel::compute_efficiency(layer);
+    f.memory_s[l] = layer.mem_bytes > 0
+                        ? static_cast<double>(layer.mem_bytes) /
+                              latency.effective_bandwidth()
+                        : 0.0;
+  }
+  return f;
+}
+
 std::size_t optimal_gpu_level(const Platform& platform,
                               std::span<const dnn::Layer> layers,
                               std::size_t cpu_level, double cpu_load) {

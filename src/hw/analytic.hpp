@@ -14,7 +14,9 @@
 #include "hw/latency_model.hpp"
 #include "hw/power_model.hpp"
 
+#include <cstddef>
 #include <span>
+#include <vector>
 
 namespace powerlens::hw {
 
@@ -33,6 +35,28 @@ BlockCost analytic_block_cost(const Platform& platform,
                               std::span<const dnn::Layer> layers,
                               std::size_t gpu_level, std::size_t cpu_level,
                               double cpu_load = 0.2);
+
+// Per-layer, frequency-level-invariant terms of the analytic cost model,
+// extracted once per graph. The (gpu_level × cpu_slot × layer) CostTable
+// fill re-reads these vectors instead of re-deriving the operator-class
+// efficiency (one pow per evaluation) and memory time per cell, and the
+// adaptation layer's rescaled re-plans reuse one extraction across every
+// epoch's refill. Values are stored exactly as LatencyModel::time_layer
+// computes them — compute_s at level g is flops[l] / (eff[l] · peak_g)
+// with the identical grouping — so a fill from features is bitwise equal
+// to the per-cell evaluation (test-asserted against analytic_block_cost).
+struct CostFeatures {
+  std::size_t num_layers = 0;
+  std::vector<double> flops;          // layer FLOPs as double (0 if none)
+  std::vector<double> eff;            // LatencyModel::compute_efficiency
+  std::vector<double> memory_s;       // bytes / effective_bandwidth, or 0
+  std::vector<unsigned char> active;  // 0 for kInput layers
+
+  // Extracts features for `layers` on `platform` (the effective bandwidth
+  // is a platform property; features are per (platform, graph)).
+  static CostFeatures extract(const Platform& platform,
+                              std::span<const dnn::Layer> layers);
+};
 
 // The GPU level minimizing energy for the given layers (energy-optimal ==
 // EE-optimal at fixed work). Ties resolve to the lower level.

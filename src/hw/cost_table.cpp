@@ -1,5 +1,7 @@
 #include "hw/cost_table.hpp"
 
+#include "linalg/kernels.hpp"
+
 #include <algorithm>
 #include <cmath>
 #include <numeric>
@@ -11,41 +13,57 @@ CostTable::CostTable(const Platform& platform,
                      std::span<const dnn::Layer> layers, double cpu_load) {
   std::vector<std::size_t> all(platform.cpu_levels());
   std::iota(all.begin(), all.end(), std::size_t{0});
-  init(platform, layers, all, cpu_load);
+  init(platform, CostFeatures::extract(platform, layers), all, cpu_load);
 }
 
 CostTable::CostTable(const Platform& platform,
                      std::span<const dnn::Layer> layers,
                      std::span<const std::size_t> cpu_levels, double cpu_load) {
-  init(platform, layers, cpu_levels, cpu_load);
+  init(platform, CostFeatures::extract(platform, layers), cpu_levels,
+       cpu_load);
 }
 
-CostTable::CostTable(const CostTable& other)
-    : num_layers_(other.num_layers_),
-      gpu_levels_(other.gpu_levels_),
-      cpu_slot_(other.cpu_slot_),
-      cpu_slots_(other.cpu_slots_) {
+CostTable::CostTable(const Platform& platform, const CostFeatures& features,
+                     std::span<const std::size_t> cpu_levels,
+                     double cpu_load) {
+  init(platform, features, cpu_levels, cpu_load);
+}
+
+CostTable::CostTable(const CostTable& other) { *this = other; }
+
+CostTable& CostTable::operator=(const CostTable& other) {
+  if (this == &other) return *this;
+  num_layers_ = other.num_layers_;
+  gpu_levels_ = other.gpu_levels_;
+  cpu_slot_ = other.cpu_slot_;
+  cpu_slots_ = other.cpu_slots_;
+  view_mode_ = other.view_mode_;
   if (other.owns_storage()) {
+    // Owning source: copy the arrays and REBIND the query spans to this
+    // object's vectors — sharing the source's spans would dangle once the
+    // source dies, and a previously view-backed destination must drop its
+    // external aliases.
     time_prefix_ = other.time_prefix_;
     energy_prefix_ = other.energy_prefix_;
     time_view_ = time_prefix_;
     energy_view_ = energy_prefix_;
   } else {
+    // View-backed source: share the external (mmap'd) memory and release
+    // any storage the destination used to own.
+    time_prefix_.clear();
+    time_prefix_.shrink_to_fit();
+    energy_prefix_.clear();
+    energy_prefix_.shrink_to_fit();
     time_view_ = other.time_view_;
     energy_view_ = other.energy_view_;
   }
-}
-
-CostTable& CostTable::operator=(const CostTable& other) {
-  if (this != &other) *this = CostTable(other);
   return *this;
 }
 
-void CostTable::init(const Platform& platform,
-                     std::span<const dnn::Layer> layers,
+void CostTable::init(const Platform& platform, const CostFeatures& features,
                      std::span<const std::size_t> cpu_levels,
                      double cpu_load) {
-  num_layers_ = layers.size();
+  num_layers_ = features.num_layers;
   gpu_levels_ = platform.gpu_levels();
   cpu_slot_.assign(platform.cpu_levels(), kNoSlot);
   for (const std::size_t c : cpu_levels) {
@@ -58,27 +76,58 @@ void CostTable::init(const Platform& platform,
     throw std::invalid_argument("CostTable: no cpu levels requested");
   }
 
-  const LatencyModel latency(platform);
-  const PowerModel power(platform);
   const std::size_t run = num_layers_ + 1;
   time_prefix_.assign(gpu_levels_ * cpu_slots_ * run, 0.0);
   energy_prefix_.assign(gpu_levels_ * cpu_slots_ * run, 0.0);
 
+  // Layer-major fill: all level-dependent scalars are hoisted out of the
+  // per-layer loop — the gpu voltage pow pair per gpu level, the cpu
+  // voltage pow per cpu level, the occupancy pow per layer (inside
+  // features.eff, extracted once per graph). The per-plane pass then runs
+  // pure per-layer arithmetic through the kernel dispatch seam
+  // (cost_plane_fill), and the serial prefix accumulation below adds the
+  // SAME per-layer values in the SAME order as the per-cell evaluation, so
+  // every prefix entry is bitwise identical to analytic_block_cost from
+  // layer 0 (test-asserted).
+  const PowerModel power(platform);
+  const GpuSpec& gpu = platform.gpu;
+  const CpuSpec& cpu = platform.cpu;
+  std::vector<double> layer_time(num_layers_);
+  std::vector<double> layer_energy(num_layers_);
+
   for (std::size_t g = 0; g < gpu_levels_; ++g) {
     const double gpu_f = platform.gpu_freq(g);
+    const double v = power.gpu_voltage(gpu_f);
+    linalg::kernels::CostPlaneTerms terms;
+    // Same association as LatencyModel::peak_flops and
+    // PowerModel::gpu_dynamic_w/gpu_static_w: the hoisted products are the
+    // left-associative prefixes of the per-cell expressions.
+    terms.peak = static_cast<double>(gpu.cuda_cores) *
+                 gpu.flops_per_core_per_cycle * gpu_f;
+    terms.dyn_coeff = gpu.c_eff * v * v * gpu_f;
+    terms.static_w = gpu.static_w_per_volt * v;
+    terms.stall = gpu.stall_activity;
+    terms.mem_w = platform.mem.active_power_w;
+    terms.base_w = platform.base_power_w;
     for (std::size_t c = 0; c < cpu_slot_.size(); ++c) {
       if (cpu_slot_[c] == kNoSlot) continue;
       const double cpu_f = platform.cpu_freq(c);
+      terms.launch_s =
+          cpu.launch_overhead_s * (cpu.freqs_hz.back() / cpu_f);
+      terms.cpu_w = power.cpu_power_w(cpu_f, cpu_load);
+      linalg::kernels::cost_plane_fill(
+          num_layers_, features.flops.data(), features.eff.data(),
+          features.memory_s.data(), features.active.data(), terms,
+          layer_time.data(), layer_energy.data());
+
       const std::size_t base = (g * cpu_slots_ + cpu_slot_[c]) * run;
       double t = 0.0;
       double e = 0.0;
       for (std::size_t i = 0; i < num_layers_; ++i) {
         // Same accumulation as analytic_block_cost: kInput contributes 0.
-        if (layers[i].type != dnn::OpType::kInput) {
-          const LayerTiming lt = latency.time_layer(layers[i], gpu_f, cpu_f);
-          const ActivityState act{lt.gpu_activity, lt.mem_activity, cpu_load};
-          t += lt.total_s;
-          e += power.total_w(gpu_f, cpu_f, act) * lt.total_s;
+        if (features.active[i]) {
+          t += layer_time[i];
+          e += layer_energy[i];
         }
         time_prefix_[base + i + 1] = t;
         energy_prefix_[base + i + 1] = e;
@@ -151,6 +200,7 @@ CostTable CostTable::from_view(std::size_t num_layers, std::size_t gpu_levels,
   t.gpu_levels_ = gpu_levels;
   t.cpu_slot_ = std::move(cpu_slot);
   t.cpu_slots_ = cpu_slots;
+  t.view_mode_ = true;
   t.time_view_ = time_prefix;
   t.energy_view_ = energy_prefix;
   return t;

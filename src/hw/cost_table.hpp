@@ -49,6 +49,13 @@ class CostTable {
   // level outside the platform ladder.
   CostTable(const Platform& platform, std::span<const dnn::Layer> layers,
             std::span<const std::size_t> cpu_levels, double cpu_load = 0.2);
+  // Same, from pre-extracted per-layer features (CostFeatures::extract on
+  // the same platform/layers): the layer-major fill skips the per-cell
+  // model re-derivation entirely. The layer-span constructors are exactly
+  // extract-then-this, so all paths produce identical bits. The adaptation
+  // layer extracts once per model and refills per epoch through this.
+  CostTable(const Platform& platform, const CostFeatures& features,
+            std::span<const std::size_t> cpu_levels, double cpu_load = 0.2);
 
   // Copies re-anchor the query spans into the copied vectors when the
   // source owns its storage; view-mode copies share the external memory.
@@ -124,7 +131,7 @@ class CostTable {
   CostTable scaled(double time_factor, double energy_factor) const;
 
  private:
-  void init(const Platform& platform, std::span<const dnn::Layer> layers,
+  void init(const Platform& platform, const CostFeatures& features,
             std::span<const std::size_t> cpu_levels, double cpu_load);
   static void validate_parts(std::size_t num_layers, std::size_t gpu_levels,
                              std::span<const std::size_t> cpu_slot,
@@ -132,15 +139,20 @@ class CostTable {
                              std::span<const double> time_prefix,
                              std::span<const double> energy_prefix);
   std::size_t plane(std::size_t gpu_level, std::size_t cpu_level) const;
-  bool owns_storage() const noexcept {
-    return time_view_.data() == time_prefix_.data();
-  }
+  // Explicit storage-mode flag (not a pointer comparison): copy assignment
+  // must rebind the query spans for owning tables and share them for
+  // view-backed ones, and a pointer test cannot tell a moved-from owner
+  // from a view over external memory.
+  bool owns_storage() const noexcept { return !view_mode_; }
 
   std::size_t num_layers_ = 0;
   std::size_t gpu_levels_ = 0;
   // cpu level -> dense slot index, or kNoSlot when not precomputed.
   std::vector<std::size_t> cpu_slot_;
   std::size_t cpu_slots_ = 0;
+  // True only for from_view tables: the prefix spans alias external
+  // (mmap'd) memory and the vectors stay empty.
+  bool view_mode_ = false;
   // Prefix sums, one (num_layers_ + 1)-length run per (gpu, cpu-slot) plane:
   // index [plane * (L + 1) + i] holds the cost of layers [0, i). Owned by
   // the vectors in owning mode (views point into them), external in view

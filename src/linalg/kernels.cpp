@@ -56,7 +56,10 @@ bool cpu_supports(DispatchPath path) noexcept {
       return true;
     case DispatchPath::kAvx2:
 #if defined(POWERLENS_HAVE_AVX2)
-      return __builtin_cpu_supports("avx2") != 0;
+      // The backend TU is compiled with -mavx2 -mfma (syrk_nt uses fused
+      // multiply-adds), so both features must be present to dispatch there.
+      return __builtin_cpu_supports("avx2") != 0 &&
+             __builtin_cpu_supports("fma") != 0;
 #else
       return false;
 #endif
@@ -175,18 +178,55 @@ void col_sums(std::size_t m, std::size_t n, const double* g, std::size_t ldg,
 }
 
 void syrk_nt(std::size_t n, std::size_t k, const double* a, std::size_t lda,
-             double* c, std::size_t ldc) {
-  table().syrk_nt(n, k, a, lda, c, ldc);
+             double* at, double* c, std::size_t ldc) {
+  table().syrk_nt(n, k, a, lda, at, c, ldc);
 }
 
 void gram_to_dist(std::size_t n, const double* g, std::size_t ldg,
                   double* dist, std::size_t ldd, double* scratch) {
-  table().gram_to_dist(n, g, ldg, dist, ldd, scratch);
+  table().gram_to_dist(n, g, ldg, dist, ldd, scratch, nullptr);
+}
+
+void gram_to_dist_max(std::size_t n, const double* g, std::size_t ldg,
+                      double* dist, std::size_t ldd, double* scratch,
+                      double* max_out) {
+  table().gram_to_dist(n, g, ldg, dist, ldd, scratch, max_out);
 }
 
 void dist_blend(std::size_t n, double alpha, double inv_max, double beta,
                 const double* penalty, double* out, std::size_t ldo) {
-  table().dist_blend(n, alpha, inv_max, beta, penalty, out, ldo);
+  table().dist_blend(n, alpha, inv_max, beta, penalty, out, ldo, 0.0,
+                     nullptr, 0, nullptr);
+}
+
+void dist_blend_adj(std::size_t n, double alpha, double inv_max, double beta,
+                    const double* penalty, double* out, std::size_t ldo,
+                    double eps, std::uint64_t* bits, std::size_t words,
+                    std::size_t* degree) {
+  table().dist_blend(n, alpha, inv_max, beta, penalty, out, ldo, eps, bits,
+                     words, degree);
+}
+
+void gram_dist_max(std::size_t n, const double* g, std::size_t ldg,
+                   double* scratch, double* max_out) {
+  table().gram_dist_max(n, g, ldg, scratch, max_out);
+}
+
+void gram_blend_adj(std::size_t n, const double* g, std::size_t ldg,
+                    const double* scratch, double alpha, double inv_max,
+                    double beta, const double* penalty, double* out,
+                    std::size_t ldo, double eps, std::uint64_t* bits,
+                    std::size_t words, std::size_t* degree) {
+  table().gram_blend_adj(n, g, ldg, scratch, alpha, inv_max, beta, penalty,
+                         out, ldo, eps, bits, words, degree);
+}
+
+void cost_plane_fill(std::size_t layers, const double* flops,
+                     const double* eff, const double* memory_s,
+                     const unsigned char* active, const CostPlaneTerms& terms,
+                     double* time_out, double* energy_out) {
+  table().cost_plane_fill(layers, flops, eff, memory_s, active, terms,
+                          time_out, energy_out);
 }
 
 namespace {

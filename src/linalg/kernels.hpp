@@ -62,6 +62,7 @@
 #include "linalg/matrix.hpp"
 
 #include <cstddef>
+#include <cstdint>
 #include <optional>
 #include <span>
 
@@ -140,12 +141,21 @@ void col_sums(std::size_t m, std::size_t n, const double* g, std::size_t ldg,
               double* out, bool accumulate = false);
 
 // C lower triangle (j <= i, diagonal included) = A (n x k, lda) · Aᵀ. Each
-// entry is bitwise identical to the corresponding gemm_nt entry (same fixed
-// 4-lane tree); the upper triangle of C is left untouched. This is the
-// Gram-matrix builder for the pairwise-distance path, which only ever reads
-// one triangle — skipping the mirror halves the dominant GEMM cost there.
+// entry is ONE fused multiply-add chain over ascending p — acc =
+// fma(a(i,p), a(j,p), acc) from 0 — with every fused rounding pinned by
+// IEEE-754, so vfmadd/vfmaq/std::fma agree bitwise on every dispatch path
+// regardless of which vector lane (or scalar edge) computes the entry.
+// `at` is k x n caller scratch, clobbered: the kernel transposes A into it
+// and runs the multiply as rank-1 updates (broadcast of A against
+// contiguous rows of Aᵀ), which needs no horizontal reductions — the
+// bottleneck of the lane-tree shape at this codebase's small k. syrk_nt's
+// only consumer is the distance pipeline's Gram matrix, which no committed
+// checkpoint pins, so it can take the fused throughput and the chain
+// reduction shape the training kernels must forgo. The upper triangle of C
+// is left untouched; the symmetric consumers only ever read one triangle,
+// so skipping the mirror also halves the flops.
 void syrk_nt(std::size_t n, std::size_t k, const double* a, std::size_t lda,
-             double* c, std::size_t ldc);
+             double* at, double* c, std::size_t ldc);
 
 // Pairwise-distance epilogue over a lower-triangle Gram matrix g (n x n,
 // ldg): writes the FULL symmetric dist (ldd) with
@@ -157,6 +167,15 @@ void syrk_nt(std::size_t n, std::size_t k, const double* a, std::size_t lda,
 void gram_to_dist(std::size_t n, const double* g, std::size_t ldg,
                   double* dist, std::size_t ldd, double* scratch);
 
+// Same epilogue, additionally folding the matrix maximum into *max_out in
+// the same sweep (the normalize scan the blend needs, saved from a second
+// full-matrix pass). max of non-NaN doubles is order-independent — the
+// result is an element of the set, whatever the reduction order — so the
+// fused fold is bitwise identical to a separate scan on every path.
+void gram_to_dist_max(std::size_t n, const double* g, std::size_t ldg,
+                      double* dist, std::size_t ldd, double* scratch,
+                      double* max_out);
+
 // Fused normalize-and-blend over an n x n matrix, in place:
 //   out(i, j) = alpha · (out(i, j) · inv_max) + beta · penalty[|i - j|]
 // with `penalty` holding n doubles indexed by |i - j|. Every element is
@@ -165,6 +184,85 @@ void gram_to_dist(std::size_t n, const double* g, std::size_t ldg,
 // the scalar expression alpha * (v * inv_max) + beta * p on every path.
 void dist_blend(std::size_t n, double alpha, double inv_max, double beta,
                 const double* penalty, double* out, std::size_t ldo);
+
+// Fused blend + ε-threshold adjacency emission: the identical in-place
+// blend, and in the same row sweep each blended value is tested against
+// `eps` (<=, matching the classic neighbor predicate) while the row is
+// still cache-hot. Row i's neighbor set lands in the packed bitmap words
+// [i * words, (i + 1) * words) — bit j set iff out(i, j) <= eps, self
+// included because the blended diagonal is exactly 0 — and degree[i]
+// receives the row's neighbor count. The blended values are computed by
+// the same expression as dist_blend, so the matrix bits are unchanged and
+// the adjacency is a pure function of them (path-invariant by extension).
+// `words` must be at least ceil(n / 64).
+void dist_blend_adj(std::size_t n, double alpha, double inv_max, double beta,
+                    const double* penalty, double* out, std::size_t ldo,
+                    double eps, std::uint64_t* bits, std::size_t words,
+                    std::size_t* degree);
+
+// Triangular distance-pipeline prepass over a lower-triangle Gram matrix
+// (as syrk_nt leaves it): fills `scratch` (n doubles) with the Gram
+// diagonal and stores into *max_out the maximum of the distance matrix
+// gram_to_dist would produce — without materializing it. The fold runs
+// over the raw squared distances and applies max0 + sqrt once to the fold
+// result; both maps are monotone non-decreasing and sqrt is correctly
+// rounded, so the result is bitwise identical to scanning the full sqrt'd
+// matrix (gram_to_dist_max's fused fold). max over non-NaN doubles is
+// reduction-order independent up to the sign of zero, which max0
+// normalizes — every dispatch path agrees.
+void gram_dist_max(std::size_t n, const double* g, std::size_t ldg,
+                   double* scratch, double* max_out);
+
+// Fused triangular distance + blend + symmetric ε-adjacency: one sweep
+// over the lower Gram triangle writes the blended power distance
+//   out(i, j) = alpha · (sqrt(max0(nᵢ + nⱼ - 2·g(i,j))) · inv_max)
+//               + beta · penalty[i - j]
+// for j < i plus a zero diagonal — bitwise identical, element for
+// element, to gram_to_dist followed by dist_blend (the intermediate
+// distance round-trips through a register instead of memory, which
+// preserves bits) — and emits the full symmetric ε-bitmap + degrees in
+// the same pass: bit (i, j) from the freshly blended row half, bit (j, i)
+// mirrored because blended values are symmetric. The upper triangle of
+// `out` is never written; consumers index (max(i,j), min(i,j)).
+// `scratch` must hold the Gram diagonal (gram_dist_max fills it), `bits`
+// n·words words (zeroed by this kernel), `degree` n counters.
+void gram_blend_adj(std::size_t n, const double* g, std::size_t ldg,
+                    const double* scratch, double alpha, double inv_max,
+                    double beta, const double* penalty, double* out,
+                    std::size_t ldo, double eps, std::uint64_t* bits,
+                    std::size_t words, std::size_t* degree);
+
+// Per-plane analytic cost fill (hw::CostTable's layer axis): per-level
+// constants hoisted by the caller, per-layer level-invariant features
+// hoisted once per graph.
+struct CostPlaneTerms {
+  double peak = 0.0;      // (cores · flops_per_core) · gpu_f for this plane
+  double dyn_coeff = 0.0; // ((c_eff · v) · v) · gpu_f — gpu dynamic prefix
+  double static_w = 0.0;  // static_w_per_volt · v
+  double stall = 0.0;     // gpu stall activity floor
+  double launch_s = 0.0;  // launch_overhead · (cpu_f_max / cpu_f)
+  double cpu_w = 0.0;     // full cpu_power_w(cpu_f, load) — load is fixed
+  double mem_w = 0.0;     // mem active power at 100% bandwidth
+  double base_w = 0.0;    // board base power
+};
+
+// For layer l (active[l] != 0; inactive layers write 0/0):
+//   compute_s = flops[l] > 0 ? flops[l] / (eff[l] · peak) : 0
+//   kernel_s  = max(compute_s, memory_s[l]);  time = kernel_s + launch_s
+//   busy = kernel_s / time;  duty = max(compute_s / kernel_s, stall)
+//   act_gpu = duty · busy;  act_mem = min(1, memory_s[l] / kernel_s) · busy
+//   power = (((dyn_coeff · clamp01(act_gpu) + static_w) + cpu_w)
+//            + mem_w · clamp01(act_mem)) + base_w
+//   time_out[l] = time;  energy_out[l] = power · time
+// Every expression matches hw::LatencyModel::time_layer +
+// hw::PowerModel::total_w association-for-association, so the outputs are
+// bitwise identical to the per-cell evaluation; each output element is
+// independent scalar arithmetic (no reductions), so every dispatch path
+// produces the same bits by construction.
+void cost_plane_fill(std::size_t layers, const double* flops,
+                     const double* eff, const double* memory_s,
+                     const unsigned char* active, const CostPlaneTerms& terms,
+                     double* time_out, double* energy_out);
 
 // ---- Matrix conveniences (shape-checked; throw std::invalid_argument) ----
 

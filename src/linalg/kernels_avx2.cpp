@@ -1,11 +1,15 @@
 // AVX2 backend: the fixed 4-lane contract mapped onto one 4-wide __m256d.
-// This translation unit alone is compiled with -mavx2 (see
+// This translation unit alone is compiled with -mavx2 -mfma (see
 // src/linalg/CMakeLists.txt); kernels.cpp only dispatches here after
-// __builtin_cpu_supports("avx2") confirms the running CPU.
+// __builtin_cpu_supports confirms the running CPU has both avx2 and fma.
 //
 // mul_add is deliberately _mm256_add_pd(acc, _mm256_mul_pd(x, y)) and NOT
 // an FMA intrinsic: the scalar and NEON paths round the product before the
 // add, so a fused operation here would break bitwise identity across paths.
+// fma is the opposite: an explicitly FUSED _mm256_fmadd_pd, matched by
+// std::fma / vfmaq_f64 on the other paths — IEEE-754 pins the single
+// rounding, so the fused op is bitwise portable where the contracted pair
+// is not.
 #include "linalg/kernels_common.hpp"
 
 #if defined(POWERLENS_HAVE_AVX2)
@@ -33,6 +37,15 @@ struct Avx2Ops {
   }
   static Vec sqrt(Vec v) { return _mm256_sqrt_pd(v); }
   static Vec reverse(Vec v) { return _mm256_permute4x64_pd(v, 0x1B); }
+  static Vec max(Vec a, Vec b) { return _mm256_max_pd(a, b); }
+  static Vec fma(Vec acc, Vec x, Vec y) {
+    return _mm256_fmadd_pd(x, y, acc);
+  }
+  // Ordered <= (NaN lanes compare false) packed into bits 0..3.
+  static unsigned le_mask(Vec v, Vec t) {
+    return static_cast<unsigned>(
+        _mm256_movemask_pd(_mm256_cmp_pd(v, t, _CMP_LE_OQ)));
+  }
 };
 
 }  // namespace

@@ -31,11 +31,30 @@
 //          so the result is bitwise identical on every path by spec.
 //   Vec  reverse(Vec)          — lane order 3,2,1,0 (a pure permutation;
 //          used to walk a lookup table downward with contiguous loads)
+//   Vec  max(Vec, Vec)         — per-lane maximum. Consumers only use it
+//          for order-independent max folds whose result feeds max0, so for
+//          non-NaN lanes any tie/zero-sign convention is acceptable (maxpd
+//          and `a > b ? a : b` agree up to the sign of zero, which max0
+//          normalizes away).
+//   Vec  fma(Vec acc, Vec x, Vec y)
+//        — per lane: acc + x * y as a FUSED multiply-add (one rounding).
+//          IEEE-754 pins the fused result exactly, so vfmadd / vfmaq_f64 /
+//          std::fma are bitwise identical on every path — unlike mul_add,
+//          whose two roundings only agree because each backend is barred
+//          from contracting. Reserved for kernels whose reduction shape is
+//          DOCUMENTED as fused (today: syrk_nt, the Gram matrix of the
+//          distance pipeline, where fusing doubles multiply-add
+//          throughput); the training-math kernels stay on mul_add because
+//          their outputs are pinned by committed model checkpoints.
+//   unsigned le_mask(Vec v, Vec t) — bit l (0..3) set iff lane l of v is
+//          <= lane l of t, ORDERED: a NaN lane compares false on every
+//          path (_CMP_LE_OQ, vcleq_f64, and scalar `<=` all agree).
 #pragma once
 
 #include "linalg/kernels.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 #include <cstddef>
 
@@ -60,12 +79,36 @@ struct KernelTable {
                const double* x, double* y, bool accumulate);
   void (*col_sums)(std::size_t m, std::size_t n, const double* g,
                    std::size_t ldg, double* out, bool accumulate);
+  // `at` is k x n caller scratch (clobbered): the kernel transposes A into
+  // it so the rank-1 update loop streams contiguous rows.
   void (*syrk_nt)(std::size_t n, std::size_t k, const double* a,
-                  std::size_t lda, double* c, std::size_t ldc);
+                  std::size_t lda, double* at, double* c, std::size_t ldc);
+  // `max_out` may be null; when set it receives the matrix maximum folded
+  // in the same sweep.
   void (*gram_to_dist)(std::size_t n, const double* g, std::size_t ldg,
-                       double* dist, std::size_t ldd, double* scratch);
+                       double* dist, std::size_t ldd, double* scratch,
+                       double* max_out);
+  // `bits`/`degree` may be null (plain blend); when set, row i's
+  // ε-neighbor bitmap lands in bits[i*words ..] and degree[i] its count.
   void (*dist_blend)(std::size_t n, double alpha, double inv_max, double beta,
-                     const double* penalty, double* out, std::size_t ldo);
+                     const double* penalty, double* out, std::size_t ldo,
+                     double eps, std::uint64_t* bits, std::size_t words,
+                     std::size_t* degree);
+  void (*cost_plane_fill)(std::size_t layers, const double* flops,
+                          const double* eff, const double* memory_s,
+                          const unsigned char* active,
+                          const CostPlaneTerms& terms, double* time_out,
+                          double* energy_out);
+  // Triangular distance-pipeline prepass: Gram diagonal into scratch plus
+  // the distance-matrix maximum, without materializing any matrix.
+  void (*gram_dist_max)(std::size_t n, const double* g, std::size_t ldg,
+                        double* scratch, double* max_out);
+  // Fused triangular distance + blend + symmetric ε-adjacency emission.
+  void (*gram_blend_adj)(std::size_t n, const double* g, std::size_t ldg,
+                         const double* scratch, double alpha, double inv_max,
+                         double beta, const double* penalty, double* out,
+                         std::size_t ldo, double eps, std::uint64_t* bits,
+                         std::size_t words, std::size_t* degree);
 };
 
 // Backend accessors. Only the tables that were compiled in are declared
@@ -102,6 +145,7 @@ inline double lane_dot(const double* x, const double* y, std::size_t k) {
   }
   return lane_finish<Ops>(acc, x, y, k4, k);
 }
+
 
 // C = A · Bᵀ (+ fused epilogue). Fixed 4-lane tree per element; lane
 // partials stay in registers across the whole reduction, so there is no
@@ -385,59 +429,104 @@ void col_sums_body(std::size_t m, std::size_t n, const double* g,
 }
 
 // C lower triangle (j <= i, diagonal included) = A · Aᵀ for A (n x k, lda).
-// Every element is the SAME fixed 4-lane tree gemm_nt produces for that
-// (i, j) — this kernel only SKIPS the upper triangle, which the symmetric
-// consumers (Gram matrices feeding pairwise distances) never read, halving
-// the dominant cost of the distance path. The upper triangle of C is left
-// untouched. No column blocking: A is n x k with k at most a few dozen in
-// this codebase, so the whole panel stays cache-resident while row quads
-// stream past (revisit if a caller ever passes a large k).
+// Reduction contract: every entry is ONE fused multiply-add chain over
+// ascending p,
+//   acc = fma(a(i,p) · a(j,p) + acc),  p = 0..k-1, acc starts at 0
+// — IEEE-754 pins each fused rounding, so vfmadd / vfmaq_f64 / std::fma
+// agree bit for bit on every dispatch path, lane position irrelevant.
+// syrk_nt feeds only the distance pipeline's Gram matrix (no committed
+// checkpoint pins it), so unlike the training kernels it is free to take
+// both the fused throughput and this rank-1-update dataflow: `at` (k x n
+// caller scratch, clobbered) receives Aᵀ, whose rows then stream
+// CONTIGUOUSLY through 4-row x 8-column register tiles — broadcasts of A
+// against vector loads of Aᵀ, no horizontal reductions at all. For this
+// codebase's small k (a few dozen) the per-element lane-tree spill was the
+// old kernel's real bottleneck, not the multiplies. Tiles near the
+// diagonal compute a few above-diagonal lanes and DISCARD them at store
+// time; the upper triangle of C is left untouched (the symmetric
+// consumers never read it).
 template <class Ops>
 void syrk_nt_body(std::size_t n, std::size_t k, const double* a,
-                  std::size_t lda, double* c, std::size_t ldc) {
+                  std::size_t lda, double* at, double* c, std::size_t ldc) {
   using Vec = typename Ops::Vec;
-  const std::size_t k4 = k & ~std::size_t{3};
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t p = 0; p < k; ++p) at[p * n + i] = a[i * lda + p];
+  }
+  // One (i, j) as a scalar chain — the same ascending fused chain a vector
+  // lane runs, so edge elements agree with tiled ones bit for bit.
+  const auto chain = [&](std::size_t i, std::size_t j) {
+    const double* ai = a + i * lda;
+    const double* aj = a + j * lda;
+    double acc = 0.0;
+    for (std::size_t p = 0; p < k; ++p) acc = std::fma(ai[p], aj[p], acc);
+    return acc;
+  };
   std::size_t i = 0;
   for (; i + kRegRows <= n; i += kRegRows) {
-    const double* ar[kRegRows] = {a + (i + 0) * lda, a + (i + 1) * lda,
-                                  a + (i + 2) * lda, a + (i + 3) * lda};
     std::size_t j = 0;
-    // Full 4x2 tiles: both columns j, j+1 are <= every row of the quad.
-    for (; j + 2 <= i + 1; j += 2) {
-      const double* b0 = a + (j + 0) * lda;
-      const double* b1 = a + (j + 1) * lda;
+    // 4x8 tiles, running PAST the diagonal into the quad's boundary: the
+    // last tile of a row quad may cover columns above some rows' diagonal;
+    // those lanes are computed and discarded at store time. Stops early
+    // only when the strip would read past n (handled by scalar chains).
+    for (; j <= i + kRegRows - 1 && j + 2 * kLanes <= n; j += 2 * kLanes) {
       Vec acc[kRegRows][2];
       for (std::size_t r = 0; r < kRegRows; ++r) {
         acc[r][0] = Ops::zero();
         acc[r][1] = Ops::zero();
       }
-      for (std::size_t p = 0; p < k4; p += 4) {
-        const Vec bv0 = Ops::load(b0 + p);
-        const Vec bv1 = Ops::load(b1 + p);
+      for (std::size_t p = 0; p < k; ++p) {
+        const double* atp = at + p * n + j;
+        const Vec b0 = Ops::load(atp);
+        const Vec b1 = Ops::load(atp + kLanes);
         for (std::size_t r = 0; r < kRegRows; ++r) {
-          const Vec av = Ops::load(ar[r] + p);
-          acc[r][0] = Ops::mul_add(acc[r][0], av, bv0);
-          acc[r][1] = Ops::mul_add(acc[r][1], av, bv1);
+          const Vec av = Ops::broadcast(a[(i + r) * lda + p]);
+          acc[r][0] = Ops::fma(acc[r][0], av, b0);
+          acc[r][1] = Ops::fma(acc[r][1], av, b1);
         }
       }
       for (std::size_t r = 0; r < kRegRows; ++r) {
-        c[(i + r) * ldc + j + 0] = lane_finish<Ops>(acc[r][0], ar[r], b0, k4, k);
-        c[(i + r) * ldc + j + 1] = lane_finish<Ops>(acc[r][1], ar[r], b1, k4, k);
+        const std::size_t row = i + r;
+        double* cr = c + row * ldc;
+        if (j + 2 * kLanes <= row + 1) {
+          Ops::store(cr + j, acc[r][0]);
+          Ops::store(cr + j + kLanes, acc[r][1]);
+        } else if (j <= row) {
+          double lanes[2 * kLanes];
+          Ops::store(lanes, acc[r][0]);
+          Ops::store(lanes + kLanes, acc[r][1]);
+          for (std::size_t l = 0; j + l <= row && l < 2 * kLanes; ++l) {
+            cr[j + l] = lanes[l];
+          }
+        }
       }
     }
-    // Diagonal boundary of the quad: per element, rows >= column only.
-    for (; j < i + kRegRows; ++j) {
-      const double* bj = a + j * lda;
-      for (std::size_t r = (j > i ? j - i : 0); r < kRegRows; ++r) {
-        c[(i + r) * ldc + j] = lane_dot<Ops>(ar[r], bj, k);
+    // Right edge (strip would read past n): at most a handful of columns
+    // on the final quads.
+    for (std::size_t r = 0; r < kRegRows; ++r) {
+      for (std::size_t jj = j; jj <= i + r; ++jj) {
+        c[(i + r) * ldc + jj] = chain(i + r, jj);
       }
     }
   }
+  // Last n % 4 rows: single-row 8-wide strips, scalar chains past the last
+  // full strip.
   for (; i < n; ++i) {
     const double* ai = a + i * lda;
-    for (std::size_t j = 0; j <= i; ++j) {
-      c[i * ldc + j] = lane_dot<Ops>(ai, a + j * lda, k);
+    double* ci = c + i * ldc;
+    std::size_t j = 0;
+    for (; j + 2 * kLanes <= i + 1; j += 2 * kLanes) {
+      Vec acc0 = Ops::zero();
+      Vec acc1 = Ops::zero();
+      for (std::size_t p = 0; p < k; ++p) {
+        const double* atp = at + p * n + j;
+        const Vec av = Ops::broadcast(ai[p]);
+        acc0 = Ops::fma(acc0, av, Ops::load(atp));
+        acc1 = Ops::fma(acc1, av, Ops::load(atp + kLanes));
+      }
+      Ops::store(ci + j, acc0);
+      Ops::store(ci + j + kLanes, acc1);
     }
+    for (; j <= i; ++j) ci[j] = chain(i, j);
   }
 }
 
@@ -450,12 +539,20 @@ void syrk_nt_body(std::size_t n, std::size_t k, const double* a,
 // contract. `scratch` (capacity n) receives the Gram diagonal so the
 // per-row pass loads the column norms contiguously. The scalar tail (j in
 // [i & ~3, i)) runs the same mul-then-add order as the vector lanes.
+//
+// When `max_out` is non-null it receives the maximum over every written
+// entry, folded from a cheap scalar scan of each freshly written (L1-hot)
+// row half. max over non-NaN doubles is reduction-order independent — the
+// result is an element of the written set — so the fused fold matches a
+// separate full-matrix scan bit for bit on every dispatch path.
 template <class Ops>
 void gram_to_dist_body(std::size_t n, const double* g, std::size_t ldg,
-                       double* dist, std::size_t ldd, double* scratch) {
+                       double* dist, std::size_t ldd, double* scratch,
+                       double* max_out) {
   using Vec = typename Ops::Vec;
   for (std::size_t i = 0; i < n; ++i) scratch[i] = g[i * ldg + i];
   const Vec neg2 = Ops::broadcast(-2.0);
+  double max_d = 0.0;
   for (std::size_t i = 0; i < n; ++i) {
     const Vec ni = Ops::broadcast(scratch[i]);
     const double* gi = g + i * ldg;
@@ -480,7 +577,13 @@ void gram_to_dist_body(std::size_t n, const double* g, std::size_t ldg,
       dist[j * ldd + i] = v;
     }
     di[i] = 0.0;
+    if (max_out != nullptr) {
+      for (std::size_t p = 0; p < i; ++p) {
+        max_d = std::max(max_d, di[p]);
+      }
+    }
   }
+  if (max_out != nullptr) *max_out = max_d;
 }
 
 // Fused normalize-and-blend:
@@ -492,9 +595,17 @@ void gram_to_dist_body(std::size_t n, const double* g, std::size_t ldg,
 // a pure permutation, no arithmetic reordered. The operation order (inner
 // product first, then the alpha scale, then one mul-then-add against the
 // penalty term) is identical scalar and vector, element by element.
+// When `bits` is non-null the same row sweep also emits the ε-threshold
+// adjacency: after row i's blend (the row is L1-hot), each blended value
+// is tested `v <= eps` and bit j of row i's bitmap words is set, with
+// degree[i] counting the hits. The blend arithmetic is untouched — the
+// adjacency is a pure function of the blended bits, which every dispatch
+// path produces identically, so the bitmap is path-invariant too.
 template <class Ops>
 void dist_blend_body(std::size_t n, double alpha, double inv_max, double beta,
-                     const double* penalty, double* out, std::size_t ldo) {
+                     const double* penalty, double* out, std::size_t ldo,
+                     double eps, std::uint64_t* bits, std::size_t words,
+                     std::size_t* degree) {
   using Vec = typename Ops::Vec;
   const Vec va = Ops::broadcast(alpha);
   const Vec vim = Ops::broadcast(inv_max);
@@ -522,6 +633,217 @@ void dist_blend_body(std::size_t n, double alpha, double inv_max, double beta,
       Ops::store(oi + j, Ops::mul_add(scaled, vb, pen));
     }
     for (; j < n; ++j) scalar_at(oi + j, j - i);
+    if (bits != nullptr) {
+      std::uint64_t* row = bits + i * words;
+      std::size_t deg = 0;
+      std::uint64_t word = 0;
+      std::size_t w = 0;
+      for (std::size_t p = 0; p < n; ++p) {
+        if (oi[p] <= eps) {
+          word |= std::uint64_t{1} << (p & 63);
+          ++deg;
+        }
+        if ((p & 63) == 63) {
+          row[w++] = word;
+          word = 0;
+        }
+      }
+      if ((n & 63) != 0) row[w++] = word;
+      for (; w < words; ++w) row[w] = 0;
+      degree[i] = deg;
+    }
+  }
+}
+
+// Triangular distance-pipeline prepass over a lower-triangle Gram matrix:
+// fills `scratch` with the Gram diagonal and computes the maximum of the
+// pairwise-distance matrix gram_to_dist would produce — without writing a
+// single matrix element. The fold runs over the RAW squared distances
+//   t(i, j) = (g(i,i) + g(j,j)) + (-2)·g(i, j)          (j < i)
+// and applies the max0 + sqrt epilogue once, to the fold result. Both
+// max0 and the correctly-rounded sqrt are monotone non-decreasing maps,
+// so sqrt(max0(max t)) is bitwise identical to max over sqrt(max0(t)) —
+// the per-element sweep the mirror-writing kernel fused. The fold itself
+// is order-independent for non-NaN inputs up to the sign of zero, which
+// max0 normalizes, so scalar tail, vector lanes, and every dispatch path
+// agree bit for bit. Seeding the fold with 0.0 matches the old scan's
+// 0.0-seeded max over non-negative roots.
+template <class Ops>
+void gram_dist_max_body(std::size_t n, const double* g, std::size_t ldg,
+                        double* scratch, double* max_out) {
+  using Vec = typename Ops::Vec;
+  for (std::size_t i = 0; i < n; ++i) scratch[i] = g[i * ldg + i];
+  const Vec neg2 = Ops::broadcast(-2.0);
+  Vec vmax = Ops::zero();
+  double smax = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const Vec ni = Ops::broadcast(scratch[i]);
+    const double* gi = g + i * ldg;
+    const std::size_t j4 = i & ~std::size_t{3};
+    std::size_t j = 0;
+    for (; j < j4; j += 4) {
+      const Vec s = Ops::add(ni, Ops::load(scratch + j));
+      vmax = Ops::max(vmax, Ops::mul_add(s, neg2, Ops::load(gi + j)));
+    }
+    for (; j < i; ++j) {
+      const double s = scratch[i] + scratch[j];
+      const double t = s + -2.0 * gi[j];
+      if (t > smax) smax = t;
+    }
+  }
+  double lanes[kLanes];
+  Ops::store(lanes, vmax);
+  for (std::size_t l = 0; l < kLanes; ++l) {
+    if (lanes[l] > smax) smax = lanes[l];
+  }
+  *max_out = std::sqrt(smax > 0.0 ? smax : 0.0);
+}
+
+// Fused triangular distance + blend + symmetric ε-adjacency: one sweep
+// over the lower Gram triangle computes
+//   out(i, j) = alpha · (sqrt(max0(t(i, j))) · inv_max) + beta · pen[i - j]
+// for j < i plus a zero diagonal, and emits the full symmetric ε-bitmap.
+// Operation for operation this is gram_to_dist's distance expression fed
+// straight into dist_blend's normalize-and-blend — a store/reload of the
+// intermediate distance is bit-preserving, so every written element is
+// bitwise identical to the two-kernel full-matrix pipeline's. The upper
+// triangle of `out` is never touched: blended values are symmetric (same
+// mirror-copied distance, same |i - j| penalty offset), so consumers read
+// out(max(i,j), min(i,j)).
+//
+// Adjacency: `scratch` must hold the Gram diagonal (gram_dist_max fills
+// it), `bits` n·words zero-initialized-by-this-kernel words. The ε test
+// `v <= eps` runs IN REGISTER, on the very vector just stored
+// (Ops::le_mask) — comparing the register value equals comparing the
+// stored value, and le_mask is pinned ordered-≤ on every path, so the bit
+// pattern matches the full-matrix kernel's stored-value sweep exactly.
+// The 4-bit lane mask lands at `j & 63` of row i's current word (j is a
+// multiple of 4, so a nibble never straddles a word), and each set lane
+// mirrors bit (j+l, i) with a single scattered OR into row j+l's bitmap —
+// the bitmap is n·words·8 bytes total, cache-resident at this codebase's
+// sizes, so the mirror costs no strided matrix traffic. Blended symmetry
+// makes the mirrored bit exactly the bit row j's own full-row sweep would
+// have set. The diagonal (blended value +0.0, eps > 0) always sets the
+// self bit. Degrees are popcounts of the finished rows — pure integer
+// arithmetic, identical on every path.
+template <class Ops>
+void gram_blend_adj_body(std::size_t n, const double* g, std::size_t ldg,
+                         const double* scratch, double alpha, double inv_max,
+                         double beta, const double* penalty, double* out,
+                         std::size_t ldo, double eps, std::uint64_t* bits,
+                         std::size_t words, std::size_t* degree) {
+  using Vec = typename Ops::Vec;
+  for (std::size_t w = 0; w < n * words; ++w) bits[w] = 0;
+  const Vec neg2 = Ops::broadcast(-2.0);
+  const Vec va = Ops::broadcast(alpha);
+  const Vec vim = Ops::broadcast(inv_max);
+  const Vec vb = Ops::broadcast(beta);
+  const Vec veps = Ops::broadcast(eps);
+  for (std::size_t i = 0; i < n; ++i) {
+    const Vec ni = Ops::broadcast(scratch[i]);
+    const double* gi = g + i * ldg;
+    double* oi = out + i * ldo;
+    std::uint64_t* ri = bits + i * words;
+    const std::size_t iw = i >> 6;
+    const std::uint64_t ibit = std::uint64_t{1} << (i & 63);
+    std::uint64_t word = 0;
+    const std::size_t j4 = i & ~std::size_t{3};
+    std::size_t j = 0;
+    for (; j < j4; j += 4) {
+      const Vec s = Ops::add(ni, Ops::load(scratch + j));
+      const Vec t = Ops::mul_add(s, neg2, Ops::load(gi + j));
+      const Vec v = Ops::sqrt(Ops::max0(t));
+      const Vec scaled = Ops::mul(va, Ops::mul(v, vim));
+      const Vec pen = Ops::reverse(Ops::load(penalty + (i - j - 3)));
+      const Vec res = Ops::mul_add(scaled, vb, pen);
+      Ops::store(oi + j, res);
+      unsigned m = Ops::le_mask(res, veps);
+      if (m != 0) {
+        word |= static_cast<std::uint64_t>(m) << (j & 63);
+        do {
+          const unsigned l = static_cast<unsigned>(std::countr_zero(m));
+          bits[(j + l) * words + iw] |= ibit;
+          m &= m - 1;
+        } while (m != 0);
+      }
+      if (((j + 4) & 63) == 0) {
+        ri[j >> 6] |= word;
+        word = 0;
+      }
+    }
+    for (; j < i; ++j) {
+      const double s = scratch[i] + scratch[j];
+      const double t = s + -2.0 * gi[j];
+      const double v = std::sqrt(t > 0.0 ? t : 0.0);
+      const double res = alpha * (v * inv_max) + beta * penalty[i - j];
+      oi[j] = res;
+      if (res <= eps) {
+        word |= std::uint64_t{1} << (j & 63);
+        bits[j * words + iw] |= ibit;
+      }
+      if (((j + 1) & 63) == 0) {
+        ri[j >> 6] |= word;
+        word = 0;
+      }
+    }
+    oi[i] = 0.0;
+    // Self bit; `word` now holds only bits of block iw (all complete
+    // earlier blocks were flushed at their 64-boundaries).
+    ri[iw] |= word | ibit;
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    std::size_t deg = 0;
+    for (std::size_t w = 0; w < words; ++w) {
+      deg += static_cast<std::size_t>(std::popcount(bits[i * words + w]));
+    }
+    degree[i] = deg;
+  }
+}
+
+// Per-plane analytic cost fill. Elementwise scalar arithmetic only — each
+// layer's outputs are independent expressions with no reductions, and
+// divide/multiply/compare are identical IEEE operations on every backend,
+// so one shared body serves all dispatch paths and is path-invariant by
+// construction. It still routes through the KernelTable so dispatch
+// overrides exercise it like any other kernel. The expressions mirror
+// hw::LatencyModel::time_layer and hw::PowerModel::total_w term for term
+// (see kernels.hpp); any edit here must stay bitwise in lockstep with
+// those models.
+template <class Ops>
+void cost_plane_fill_body(std::size_t layers, const double* flops,
+                          const double* eff, const double* memory_s,
+                          const unsigned char* active,
+                          const CostPlaneTerms& terms, double* time_out,
+                          double* energy_out) {
+  for (std::size_t l = 0; l < layers; ++l) {
+    if (!active[l]) {
+      time_out[l] = 0.0;
+      energy_out[l] = 0.0;
+      continue;
+    }
+    const double compute_s =
+        flops[l] > 0.0 ? flops[l] / (eff[l] * terms.peak) : 0.0;
+    const double mem_s = memory_s[l];
+    const double kernel_s = std::max(compute_s, mem_s);
+    const double total_s = kernel_s + terms.launch_s;
+    double act_gpu = 0.0;
+    double act_mem = 0.0;
+    if (kernel_s > 0.0) {
+      const double busy = kernel_s / total_s;
+      const double duty = std::max(compute_s / kernel_s, terms.stall);
+      act_gpu = duty * busy;
+      act_mem = std::min(1.0, mem_s / kernel_s) * busy;
+    }
+    // Same association as PowerModel::total_w: (((dyn + static) + cpu)
+    // + mem) + base, with the dynamic term's prefix product hoisted into
+    // dyn_coeff (multiplication is left-associative, so the split is
+    // exact).
+    const double power_w =
+        terms.dyn_coeff * std::clamp(act_gpu, 0.0, 1.0) + terms.static_w +
+        terms.cpu_w + terms.mem_w * std::clamp(act_mem, 0.0, 1.0) +
+        terms.base_w;
+    time_out[l] = total_s;
+    energy_out[l] = power_w * total_s;
   }
 }
 
@@ -537,7 +859,10 @@ constexpr KernelTable make_table(DispatchPath path, const char* name) {
                      &col_sums_body<Ops>,
                      &syrk_nt_body<Ops>,
                      &gram_to_dist_body<Ops>,
-                     &dist_blend_body<Ops>};
+                     &dist_blend_body<Ops>,
+                     &cost_plane_fill_body<Ops>,
+                     &gram_dist_max_body<Ops>,
+                     &gram_blend_adj_body<Ops>};
 }
 
 }  // namespace powerlens::linalg::kernels::detail

@@ -58,6 +58,26 @@ struct NeonOps {
   static Vec reverse(Vec v) {
     return Vec{vextq_f64(v.hi, v.hi, 1), vextq_f64(v.lo, v.lo, 1)};
   }
+  // Per-lane max for the order-independent max folds; vmaxq's NaN/zero-sign
+  // conventions are irrelevant there (see the Ops contract above).
+  static Vec max(Vec a, Vec b) {
+    return Vec{vmaxq_f64(a.lo, b.lo), vmaxq_f64(a.hi, b.hi)};
+  }
+  // vfmaq_f64 is the IEEE fused multiply-add — single rounding, bitwise
+  // identical to _mm256_fmadd_pd / std::fma (see the Ops contract).
+  static Vec fma(Vec acc, Vec x, Vec y) {
+    return Vec{vfmaq_f64(acc.lo, x.lo, y.lo), vfmaq_f64(acc.hi, x.hi, y.hi)};
+  }
+  // vcleq_f64 is ordered (NaN lanes yield all-zero), matching _CMP_LE_OQ
+  // and scalar <=; each lane's all-ones mask collapses to one bit.
+  static unsigned le_mask(Vec v, Vec t) {
+    const uint64x2_t lo = vcleq_f64(v.lo, t.lo);
+    const uint64x2_t hi = vcleq_f64(v.hi, t.hi);
+    return static_cast<unsigned>(vgetq_lane_u64(lo, 0) & 1u) |
+           static_cast<unsigned>(vgetq_lane_u64(lo, 1) & 1u) << 1 |
+           static_cast<unsigned>(vgetq_lane_u64(hi, 0) & 1u) << 2 |
+           static_cast<unsigned>(vgetq_lane_u64(hi, 1) & 1u) << 3;
+  }
 };
 
 }  // namespace

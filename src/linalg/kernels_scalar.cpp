@@ -52,6 +52,32 @@ struct ScalarOps {
   static Vec reverse(Vec v) {
     return Vec{{v.lane[3], v.lane[2], v.lane[1], v.lane[0]}};
   }
+  static Vec max(Vec a, Vec b) {
+    Vec r;
+    for (std::size_t l = 0; l < kLanes; ++l) {
+      r.lane[l] = a.lane[l] > b.lane[l] ? a.lane[l] : b.lane[l];
+    }
+    return r;
+  }
+  // std::fma is the correctly-rounded fused op by spec — bitwise identical
+  // to the SIMD paths' fmadd instructions regardless of whether libm backs
+  // it with hardware.
+  static Vec fma(Vec acc, Vec x, Vec y) {
+    Vec r;
+    for (std::size_t l = 0; l < kLanes; ++l) {
+      r.lane[l] = std::fma(x.lane[l], y.lane[l], acc.lane[l]);
+    }
+    return r;
+  }
+  // Scalar <= is already ordered — a NaN lane yields 0, matching the SIMD
+  // paths' _CMP_LE_OQ / vcleq_f64 bit for bit.
+  static unsigned le_mask(Vec v, Vec t) {
+    unsigned m = 0;
+    for (std::size_t l = 0; l < kLanes; ++l) {
+      if (v.lane[l] <= t.lane[l]) m |= 1u << l;
+    }
+    return m;
+  }
 };
 
 }  // namespace

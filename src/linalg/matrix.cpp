@@ -46,6 +46,12 @@ void Matrix::reshape(std::size_t rows, std::size_t cols, double fill) {
   data_.assign(rows * cols, fill);
 }
 
+void Matrix::reshape_no_fill(std::size_t rows, std::size_t cols) {
+  rows_ = rows;
+  cols_ = cols;
+  if (data_.size() != rows * cols) data_.resize(rows * cols);
+}
+
 void Matrix::fill(double value) noexcept {
   for (double& v : data_) v = value;
 }

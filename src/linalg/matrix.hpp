@@ -41,6 +41,11 @@ class Matrix {
   // the Workspace scratch-pool contract relies on this staying
   // allocation-free after warmup.
   void reshape(std::size_t rows, std::size_t cols, double fill = 0.0);
+  // Re-dimensions WITHOUT refreshing contents: existing elements keep
+  // whatever values the buffer held (in flat row-major order) and any
+  // growth is zero-filled. For outputs whose consumed region is fully
+  // overwritten next — skips the O(rows·cols) refill reshape() pays.
+  void reshape_no_fill(std::size_t rows, std::size_t cols);
   // Sets every element to `value` without changing the shape.
   void fill(double value) noexcept;
 

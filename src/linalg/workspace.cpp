@@ -3,6 +3,16 @@
 namespace powerlens::linalg {
 
 Workspace::Lease Workspace::lease(std::size_t rows, std::size_t cols) {
+  return lease_impl(rows, cols, /*zero_fill=*/true);
+}
+
+Workspace::Lease Workspace::lease_uninit(std::size_t rows,
+                                         std::size_t cols) {
+  return lease_impl(rows, cols, /*zero_fill=*/false);
+}
+
+Workspace::Lease Workspace::lease_impl(std::size_t rows, std::size_t cols,
+                                       bool zero_fill) {
   const std::size_t need = rows * cols;
   // Best fit: the smallest pooled buffer that already holds `need` doubles;
   // otherwise the largest pooled buffer (it grows once and then fits).
@@ -24,7 +34,11 @@ Workspace::Lease Workspace::lease(std::size_t rows, std::size_t cols) {
   if (pick != pool_.size()) {
     m = std::move(pool_[pick]);
     pool_.erase(pool_.begin() + static_cast<std::ptrdiff_t>(pick));
-    m->reshape(rows, cols);
+    if (zero_fill) {
+      m->reshape(rows, cols);
+    } else {
+      m->reshape_no_fill(rows, cols);
+    }
   } else {
     m = std::make_unique<Matrix>(rows, cols);
     ++created_;

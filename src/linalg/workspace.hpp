@@ -63,6 +63,12 @@ class Workspace {
   // (which stops happening once the pool has warmed up).
   Lease lease(std::size_t rows, std::size_t cols);
 
+  // Like lease(), but the buffer's contents are UNSPECIFIED (stale pool
+  // data or zeros) instead of zero-filled — for scratch whose consumed
+  // region the caller fully overwrites, e.g. the triangular distance
+  // pipeline's Gram and blend buffers. Skips an O(rows·cols) refill.
+  Lease lease_uninit(std::size_t rows, std::size_t cols);
+
   // Buffers currently sitting in the pool (not leased out).
   std::size_t pooled() const noexcept { return pool_.size(); }
   // Doubles of capacity across pooled buffers — stable once warmed up.
@@ -71,6 +77,7 @@ class Workspace {
   std::size_t created() const noexcept { return created_; }
 
  private:
+  Lease lease_impl(std::size_t rows, std::size_t cols, bool zero_fill);
   void release(std::unique_ptr<Matrix> m);
 
   std::vector<std::unique_ptr<Matrix>> pool_;

@@ -1,12 +1,14 @@
 #include "serve/adapt.hpp"
 
 #include "features/global.hpp"
+#include "hw/analytic.hpp"
 #include "obs/json.hpp"
 #include "obs/journal.hpp"
 #include "obs/metrics.hpp"
 #include "obs/residuals.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <limits>
@@ -67,6 +69,7 @@ AdaptController::AdaptController(const hw::Platform& platform,
   time_scale_.assign(models_.size(), 1.0);
   energy_scale_.assign(models_.size(), 1.0);
   base_plans_.resize(models_.size());
+  cost_features_.resize(models_.size());
   scored_at_replan_.assign(models_.size(), 0);
 }
 
@@ -237,9 +240,17 @@ void AdaptController::on_epoch_boundary(const EpochContext& ctx) {
         }
       }
 
+      // Per-layer cost features are a pure function of (platform, graph):
+      // extract once at the model's first re-plan, share every epoch after.
+      if (!cost_features_[m].has_value()) {
+        cost_features_[m] =
+            hw::CostFeatures::extract(*platform_, models_[m].graph.layers());
+      }
+
       core::ReplanRequest req;
       req.graph = &models_[m].graph;
       req.base = &*base_plans_[m];
+      req.cost_features = &*cost_features_[m];
       req.signals.time_scale = time_scale_[m];
       req.signals.energy_scale = energy_scale_[m];
       req.signals.gpu_level_cap = cap;
@@ -251,7 +262,17 @@ void AdaptController::on_epoch_boundary(const EpochContext& ctx) {
 
   std::vector<core::OptimizationPlan> plans;
   if (!requests.empty()) {
+    const auto t0 = std::chrono::steady_clock::now();
     plans = active_->replan_batch(requests);
+    const double replan_ms = std::chrono::duration<double, std::milli>(
+                                 std::chrono::steady_clock::now() - t0)
+                                 .count();
+    replan_latencies_ms_.push_back(replan_ms);
+    metrics
+        .histogram("powerlens_adapt_replan_ms",
+                   obs::default_milliseconds_buckets(),
+                   "wall-clock of one epoch's replan_batch call")
+        .observe(replan_ms);
     for (std::size_t i = 0; i < plans.size(); ++i) {
       const std::size_t m = pending[i].model;
       ctx.cache->invalidate(model_sigs_[m]);

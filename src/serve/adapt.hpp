@@ -108,6 +108,14 @@ class AdaptController {
   std::uint64_t retrain_rounds() const noexcept { return retrain_rounds_; }
   std::uint64_t model_swaps() const noexcept { return model_swaps_; }
 
+  // Wall-clock of each replan_batch call (one entry per epoch that actually
+  // re-planned), also observed into the powerlens_adapt_replan_ms histogram.
+  // Timing only — plan bytes are invariant to it. bench_adapt_loop reads
+  // this for its p50/p95 re-plan latency report.
+  std::span<const double> replan_latencies_ms() const noexcept {
+    return replan_latencies_ms_;
+  }
+
  private:
   void maybe_swap_retrained();
   void maybe_launch_retrain();
@@ -126,6 +134,11 @@ class AdaptController {
   std::vector<double> energy_scale_;
   // The static plan each model drifted from, captured at first re-plan.
   std::vector<std::optional<core::OptimizationPlan>> base_plans_;
+  // Per-model analytic cost features, extracted once at the model's first
+  // re-plan and shared across every later epoch's rescaled table refill
+  // (core::ReplanRequest::cost_features).
+  std::vector<std::optional<hw::CostFeatures>> cost_features_;
+  std::vector<double> replan_latencies_ms_;
   // Scored-sample count of the model's preferred residual series at its
   // last re-plan: a still-raised drift flag with no new samples is stale
   // evidence and must not compound the correction again.

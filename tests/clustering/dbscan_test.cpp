@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <random>
 #include <set>
 
 namespace powerlens::clustering {
@@ -15,6 +17,37 @@ Matrix line_distances(const std::vector<double>& pts) {
   for (std::size_t i = 0; i < pts.size(); ++i) {
     for (std::size_t j = 0; j < pts.size(); ++j) {
       d(i, j) = std::abs(pts[i] - pts[j]);
+    }
+  }
+  return d;
+}
+
+// Euclidean distance matrix of n random 2-D points, seeded for
+// reproducibility. Mixes a few tight blobs with uniform scatter so
+// clusters, borders, and noise all occur.
+Matrix random_distances(std::size_t n, std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> uni(0.0, 4.0);
+  std::normal_distribution<double> blob(0.0, 0.15);
+  std::vector<double> xs(n);
+  std::vector<double> ys(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i % 3 != 0) {  // 2/3 of points in blobs at integer centers
+      const double cx = static_cast<double>(1 + i % 4);
+      xs[i] = cx + blob(rng);
+      ys[i] = cx + blob(rng);
+    } else {
+      xs[i] = uni(rng);
+      ys[i] = uni(rng);
+    }
+  }
+  Matrix d(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const double dd =
+          std::hypot(xs[i] - xs[j], ys[i] - ys[j]);
+      d(i, j) = dd;
+      d(j, i) = dd;
     }
   }
   return d;
@@ -96,6 +129,123 @@ TEST(Dbscan, DeterministicLabels) {
   const std::vector<int> a = dbscan(d, {0.5, 2});
   const std::vector<int> b = dbscan(d, {0.5, 2});
   EXPECT_EQ(a, b);
+}
+
+// --- CSR fast path vs the dense reference implementation ---
+//
+// The production dbscan() now expands over an ε-threshold CSR adjacency
+// with a frontier that never re-enqueues labeled points. These tests pin
+// its labels to dbscan_reference(), the pre-CSR implementation kept
+// verbatim as the oracle — field-exact equality, not just same clustering.
+
+TEST(DbscanCsr, MatchesReferenceOnSeededRandomDatasets) {
+  for (const std::uint64_t seed : {1u, 7u, 23u, 101u, 555u}) {
+    const Matrix d = random_distances(60, seed);
+    for (const double eps : {0.1, 0.35, 0.8, 2.0}) {
+      for (const std::size_t min_pts : {std::size_t{1}, std::size_t{2},
+                                        std::size_t{4}, std::size_t{8}}) {
+        const DbscanParams p{eps, min_pts};
+        EXPECT_EQ(dbscan(d, p), dbscan_reference(d, p))
+            << "seed=" << seed << " eps=" << eps << " min_pts=" << min_pts;
+      }
+    }
+  }
+}
+
+TEST(DbscanCsr, MatchesReferenceAllNoise) {
+  const Matrix d = line_distances({0.0, 10.0, 20.0, 30.0, 40.0});
+  const DbscanParams p{0.5, 2};
+  const std::vector<int> labels = dbscan(d, p);
+  EXPECT_EQ(labels, dbscan_reference(d, p));
+  for (int l : labels) EXPECT_EQ(l, kNoise);
+}
+
+TEST(DbscanCsr, MatchesReferenceSingleCluster) {
+  std::vector<double> pts;
+  for (int i = 0; i < 20; ++i) pts.push_back(0.1 * i);
+  const Matrix d = line_distances(pts);
+  const DbscanParams p{0.5, 3};
+  const std::vector<int> labels = dbscan(d, p);
+  EXPECT_EQ(labels, dbscan_reference(d, p));
+  for (int l : labels) EXPECT_EQ(l, 0);
+}
+
+TEST(DbscanCsr, MatchesReferenceDuplicatePoints) {
+  // Coincident points (zero distance) stress the self-neighbor and
+  // duplicate-enqueue handling.
+  const Matrix d =
+      line_distances({0.0, 0.0, 0.0, 0.0, 5.0, 5.0, 5.0, 9.0, 9.0});
+  for (const double eps : {0.1, 1.0}) {
+    for (const std::size_t min_pts :
+         {std::size_t{2}, std::size_t{3}, std::size_t{5}}) {
+      const DbscanParams p{eps, min_pts};
+      EXPECT_EQ(dbscan(d, p), dbscan_reference(d, p))
+          << "eps=" << eps << " min_pts=" << min_pts;
+    }
+  }
+}
+
+TEST(DbscanCsr, MatchesReferenceBorderAttribution) {
+  // A point within eps of two clusters' cores is claimed by whichever
+  // cluster reaches it first — order-sensitive, so it pins expansion order.
+  const Matrix d = line_distances({0.0, 0.4, 0.8, 1.2, 1.6, 2.0, 2.4});
+  const DbscanParams p{0.45, 3};
+  EXPECT_EQ(dbscan(d, p), dbscan_reference(d, p));
+}
+
+TEST(DbscanCsr, AdjacencyOverloadMatchesMatrixOverload) {
+  const Matrix d = random_distances(40, 77);
+  const DbscanParams p{0.5, 3};
+  const EpsAdjacency adj = EpsAdjacency::from_distances(d, p.eps);
+  EXPECT_EQ(dbscan(adj, p), dbscan(d, p));
+}
+
+TEST(EpsAdjacency, RowsAreAscendingAndIncludeSelf) {
+  const Matrix d = random_distances(33, 3);
+  const EpsAdjacency adj = EpsAdjacency::from_distances(d, 0.5);
+  ASSERT_EQ(adj.n, 33u);
+  for (std::size_t i = 0; i < adj.n; ++i) {
+    const std::uint32_t* row = adj.row(i);
+    bool self = false;
+    for (std::size_t p = 0; p < adj.degree(i); ++p) {
+      if (p > 0) {
+        EXPECT_LT(row[p - 1], row[p]);
+      }
+      if (row[p] == i) self = true;
+      EXPECT_LE(d(i, row[p]), 0.5);
+    }
+    EXPECT_TRUE(self) << "row " << i;
+  }
+}
+
+TEST(EpsAdjacency, FromBitmapMatchesFromDistances) {
+  const Matrix d = random_distances(70, 19);  // n > 64: multi-word rows
+  const double eps = 0.6;
+  const std::size_t n = d.rows();
+  const std::size_t words = (n + 63) / 64;
+  std::vector<std::uint64_t> bits(n * words, 0);
+  std::vector<std::size_t> degree(n, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      if (d(i, j) <= eps) {
+        bits[i * words + j / 64] |= std::uint64_t{1} << (j % 64);
+        ++degree[i];
+      }
+    }
+  }
+  const EpsAdjacency from_bits =
+      EpsAdjacency::from_bitmap(n, bits.data(), words, degree.data());
+  const EpsAdjacency from_dist = EpsAdjacency::from_distances(d, eps);
+  EXPECT_EQ(from_bits.offsets, from_dist.offsets);
+  EXPECT_EQ(from_bits.neighbors, from_dist.neighbors);
+}
+
+TEST(EpsAdjacency, RejectsBadArguments) {
+  const Matrix d = line_distances({0.0, 1.0});
+  EXPECT_THROW(EpsAdjacency::from_distances(d, 0.0), std::invalid_argument);
+  EXPECT_THROW(EpsAdjacency::from_distances(Matrix(2, 3), 0.5),
+               std::invalid_argument);
+  EXPECT_THROW(dbscan(EpsAdjacency{}, {0.5, 2}), std::invalid_argument);
 }
 
 }  // namespace

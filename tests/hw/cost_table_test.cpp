@@ -6,6 +6,7 @@
 
 #include <cmath>
 #include <stdexcept>
+#include <vector>
 
 namespace powerlens::hw {
 namespace {
@@ -94,6 +95,106 @@ TEST_F(CostTableTest, SubsetConstructorCoversOnlyRequestedLevels) {
   EXPECT_DOUBLE_EQ(memo.energy_j, direct.energy_j);
   EXPECT_THROW(table.block_cost(0, table.num_layers(), 2, 0),
                std::out_of_range);
+}
+
+TEST_F(CostTableTest, FeaturesConstructorMatchesLayerConstructor) {
+  // The layer-span constructors are exactly extract-then-fill, so building
+  // from pre-extracted features gives a field-identical table — the replan
+  // loop's feature-sharing depends on this.
+  const std::size_t levels[] = {0, platform_.max_cpu_level()};
+  const CostTable from_layers(platform_, graph_.layers(), levels);
+  const CostFeatures features =
+      CostFeatures::extract(platform_, graph_.layers());
+  const CostTable from_features(platform_, features, levels);
+  EXPECT_EQ(from_features, from_layers);
+}
+
+TEST_F(CostTableTest, CopyOfOwningTableReboundsSpans) {
+  const CostTable original(platform_, graph_.layers());
+  const CostTable copy(original);
+  EXPECT_EQ(copy, original);
+  // The copy owns its own storage: its query spans must point into the
+  // copied vectors, not the source's.
+  EXPECT_NE(copy.raw().time_prefix.data(), original.raw().time_prefix.data());
+  EXPECT_NE(copy.raw().energy_prefix.data(),
+            original.raw().energy_prefix.data());
+}
+
+TEST_F(CostTableTest, CopyOutlivesOwningSource) {
+  const std::size_t g = platform_.max_gpu_level();
+  const std::size_t c = platform_.max_cpu_level();
+  CostTable copy;
+  BlockCost expected{};
+  {
+    const CostTable original(platform_, graph_.layers());
+    expected = original.block_cost(0, original.num_layers(), g, c);
+    copy = original;
+  }  // original destroyed; a span-sharing copy would now dangle
+  const BlockCost got = copy.block_cost(0, copy.num_layers(), g, c);
+  EXPECT_EQ(got.time_s, expected.time_s);
+  EXPECT_EQ(got.energy_j, expected.energy_j);
+}
+
+TEST_F(CostTableTest, CopyOfViewTableSharesExternalMemory) {
+  const CostTable owning(platform_, graph_.layers());
+  const CostTable::Raw parts = owning.raw();
+  // External backing (stands in for the mmap'd interchange pages).
+  const std::vector<double> time_ext(parts.time_prefix.begin(),
+                                     parts.time_prefix.end());
+  const std::vector<double> energy_ext(parts.energy_prefix.begin(),
+                                       parts.energy_prefix.end());
+  const CostTable view = CostTable::from_view(
+      parts.num_layers, parts.gpu_levels,
+      std::vector<std::size_t>(parts.cpu_slot.begin(), parts.cpu_slot.end()),
+      parts.cpu_slots, time_ext, energy_ext);
+  ASSERT_EQ(view, owning);
+
+  const CostTable copy(view);
+  EXPECT_EQ(copy, owning);
+  // A view-backed copy stays a view over the same external memory.
+  EXPECT_EQ(copy.raw().time_prefix.data(), time_ext.data());
+  EXPECT_EQ(copy.raw().energy_prefix.data(), energy_ext.data());
+}
+
+TEST_F(CostTableTest, AssignmentCrossesStorageModes) {
+  const CostTable owning(platform_, graph_.layers());
+  const CostTable::Raw parts = owning.raw();
+  const std::vector<double> time_ext(parts.time_prefix.begin(),
+                                     parts.time_prefix.end());
+  const std::vector<double> energy_ext(parts.energy_prefix.begin(),
+                                       parts.energy_prefix.end());
+  const CostTable view = CostTable::from_view(
+      parts.num_layers, parts.gpu_levels,
+      std::vector<std::size_t>(parts.cpu_slot.begin(), parts.cpu_slot.end()),
+      parts.cpu_slots, time_ext, energy_ext);
+
+  // owning -> view-backed destination: must drop the external aliases and
+  // rebind to freshly copied vectors.
+  CostTable t = view;
+  t = owning;
+  EXPECT_EQ(t, owning);
+  EXPECT_NE(t.raw().time_prefix.data(), owning.raw().time_prefix.data());
+  EXPECT_NE(t.raw().time_prefix.data(), time_ext.data());
+
+  // view -> owning destination: must release owned storage and share the
+  // external memory.
+  CostTable u = owning;
+  u = view;
+  EXPECT_EQ(u, owning);
+  EXPECT_EQ(u.raw().time_prefix.data(), time_ext.data());
+  EXPECT_EQ(u.raw().energy_prefix.data(), energy_ext.data());
+}
+
+TEST_F(CostTableTest, SelfAssignmentIsANoOp) {
+  CostTable table(platform_, graph_.layers());
+  const CostTable reference = table;
+  CostTable& alias = table;
+  table = alias;
+  EXPECT_EQ(table, reference);
+  const std::size_t g = platform_.max_gpu_level();
+  const std::size_t c = platform_.max_cpu_level();
+  EXPECT_EQ(table.block_cost(0, table.num_layers(), g, c).energy_j,
+            reference.block_cost(0, reference.num_layers(), g, c).energy_j);
 }
 
 TEST_F(CostTableTest, RejectsBadQueriesAndLevels) {

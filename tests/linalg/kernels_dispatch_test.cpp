@@ -116,7 +116,8 @@ std::vector<double> run_all_kernels(std::size_t m, std::size_t n,
   {
     Matrix gram(m, m);
     for (double& v : gram.data()) v = -7.0;
-    syrk_nt(m, k, a.data().data(), k, gram.data().data(), m);
+    std::vector<double> at(k * m);
+    syrk_nt(m, k, a.data().data(), k, at.data(), gram.data().data(), m);
     append(gram);
     Matrix dist(m, m);
     std::vector<double> scratch(m);
@@ -129,6 +130,33 @@ std::vector<double> run_all_kernels(std::size_t m, std::size_t n,
     }
     dist_blend(m, 0.75, 0.5, 0.25, penalty.data(), dist.data().data(), m);
     append(dist);
+
+    // The triangular fused pipeline over the same Gram: max prepass, then
+    // one blended-lower + ε-bitmap sweep. Sentinel fill again pins the
+    // untouched upper triangle; bitmap words are appended as exact 32-bit
+    // halves so a single flipped adjacency bit fails the gauntlet.
+    std::vector<double> diag(m);
+    double max_d = 0.0;
+    gram_dist_max(m, gram.data().data(), m, diag.data(), &max_d);
+    out.insert(out.end(), diag.begin(), diag.end());
+    out.push_back(max_d);
+    const double inv_max = max_d > 0.0 ? 1.0 / max_d : 1.0;
+    Matrix blended(m, m);
+    for (double& v : blended.data()) v = -5.5;
+    const std::size_t words = (m + 63) / 64;
+    std::vector<std::uint64_t> bits(m * words);
+    std::vector<std::size_t> degree(m);
+    gram_blend_adj(m, gram.data().data(), m, diag.data(), 0.75, inv_max,
+                   0.25, penalty.data(), blended.data().data(), m, 0.45,
+                   bits.data(), words, degree.data());
+    append(blended);
+    for (const std::uint64_t w : bits) {
+      out.push_back(static_cast<double>(w & 0xffffffffULL));
+      out.push_back(static_cast<double>(w >> 32));
+    }
+    for (const std::size_t deg : degree) {
+      out.push_back(static_cast<double>(deg));
+    }
   }
 
   return out;

@@ -318,26 +318,40 @@ TEST(Kernels, ShapeMismatchThrows) {
   EXPECT_THROW(matmul_tn(a, b), std::invalid_argument);
 }
 
-TEST(SyrkNt, MatchesGemmNtLowerTriangleAndLeavesUpperUntouched) {
-  // The contract: syrk_nt(i, j) for j <= i is bitwise the gemm_nt entry,
-  // and no byte above the diagonal is written. Shapes cover quad edges
-  // (n % 4 in every residue) and lane-tail k values.
+// The contract's reduction for syrk_nt: ONE fused multiply-add chain over
+// ascending p, acc = fma(a[p], b[p], acc) from 0. std::fma is the
+// correctly-rounded fused op, so this scalar reference is bitwise the
+// kernel's on every dispatch path — whether the entry came from a
+// broadcast tile lane or a scalar edge.
+double fma_chain_dot(const double* x, const double* y, std::size_t k) {
+  double acc = 0.0;
+  for (std::size_t p = 0; p < k; ++p) acc = std::fma(x[p], y[p], acc);
+  return acc;
+}
+
+TEST(SyrkNt, MatchesFmaChainLowerTriangleAndLeavesUpperUntouched) {
+  // The contract: syrk_nt(i, j) for j <= i is bitwise the ascending fused
+  // chain of rows i and j, and no byte above the diagonal is written (the
+  // diagonal-crossing tiles must discard their above-diagonal lanes).
+  // Shapes cover quad edges (n % 4 in every residue), strip edges around
+  // the 8-wide tiles, and small-n all-scalar paths.
   const struct {
     std::size_t n, k;
-  } shapes[] = {{1, 1}, {2, 3}, {3, 4}, {4, 4}, {5, 7},
-                {8, 5}, {9, 13}, {17, 36}, {33, 22}, {70, 9}};
+  } shapes[] = {{1, 1}, {2, 3},  {3, 4},   {4, 4},   {5, 7},  {8, 5},
+                {9, 13}, {12, 8}, {17, 36}, {33, 22}, {70, 9}};
   for (const auto& s : shapes) {
     const Matrix a = random_matrix(s.n, s.k, 900 + s.n);
-    Matrix full(s.n, s.n);
-    gemm_nt(s.n, s.n, s.k, a.data().data(), s.k, a.data().data(), s.k,
-            full.data().data(), s.n);
     Matrix tri(s.n, s.n);
     for (double& v : tri.data()) v = -123.25;  // sentinel
-    syrk_nt(s.n, s.k, a.data().data(), s.k, tri.data().data(), s.n);
+    std::vector<double> at(s.k * s.n);
+    syrk_nt(s.n, s.k, a.data().data(), s.k, at.data(), tri.data().data(),
+            s.n);
     for (std::size_t i = 0; i < s.n; ++i) {
       for (std::size_t j = 0; j < s.n; ++j) {
         if (j <= i) {
-          ASSERT_EQ(tri(i, j), full(i, j))
+          ASSERT_EQ(tri(i, j),
+                    fma_chain_dot(a.data().data() + i * s.k,
+                                  a.data().data() + j * s.k, s.k))
               << "n=" << s.n << " k=" << s.k << " (" << i << ", " << j << ")";
         } else {
           ASSERT_EQ(tri(i, j), -123.25)
@@ -357,7 +371,8 @@ TEST(GramToDist, MatchesScalarMirrorReferenceBitwise) {
     const std::size_t k = 11;
     const Matrix y = random_matrix(n, k, 1700 + n);
     Matrix gram(n, n);
-    syrk_nt(n, k, y.data().data(), k, gram.data().data(), n);
+    std::vector<double> at(k * n);
+    syrk_nt(n, k, y.data().data(), k, at.data(), gram.data().data(), n);
     Matrix want(n, n);
     for (std::size_t i = 0; i < n; ++i) {
       for (std::size_t j = 0; j < i; ++j) {
@@ -397,6 +412,94 @@ TEST(DistBlend, MatchesScalarReferenceBitwise) {
     Matrix got = d;
     dist_blend(n, alpha, inv_max, beta, penalty.data(), got.data().data(), n);
     expect_bitwise_equal(got, want, "dist_blend");
+  }
+}
+
+TEST(GramDistMax, MatchesFullMatrixMaxBitwise) {
+  // The prepass must agree bitwise with materializing the whole distance
+  // matrix and taking its max (gram_to_dist_max): sqrt and max0 are
+  // monotone, so folding the max over RAW squared distances before the
+  // sqrt(max0(·)) epilogue lands on the identical double.
+  for (const std::size_t n : {1UL, 2UL, 4UL, 7UL, 16UL, 33UL, 70UL}) {
+    const std::size_t k = 9;
+    const Matrix y = random_matrix(n, k, 3100 + n);
+    Matrix gram(n, n);
+    std::vector<double> at(k * n);
+    syrk_nt(n, k, y.data().data(), k, at.data(), gram.data().data(), n);
+
+    Matrix dist(n, n);
+    std::vector<double> want_diag(n);
+    double want_max = 0.0;
+    gram_to_dist_max(n, gram.data().data(), n, dist.data().data(), n,
+                     want_diag.data(), &want_max);
+
+    std::vector<double> diag(n, -1.0);
+    double got_max = -1.0;
+    gram_dist_max(n, gram.data().data(), n, diag.data(), &got_max);
+    EXPECT_EQ(got_max, want_max) << "n=" << n;
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(diag[i], gram(i, i)) << "n=" << n << " i=" << i;
+    }
+  }
+}
+
+TEST(GramBlendAdj, MatchesTwoKernelPipelineOnLowerTriangle) {
+  // One fused sweep vs the full-matrix pipeline it replaced
+  // (gram_to_dist_max then dist_blend_adj): lower triangle + diagonal
+  // bitwise equal, upper triangle untouched, and the symmetric ε-bitmap +
+  // degrees identical.
+  for (const std::size_t n : {1UL, 3UL, 4UL, 8UL, 17UL, 63UL, 64UL, 65UL}) {
+    const std::size_t k = 6;
+    const Matrix y = random_matrix(n, k, 4400 + n);
+    Matrix gram(n, n);
+    std::vector<double> at(k * n);
+    syrk_nt(n, k, y.data().data(), k, at.data(), gram.data().data(), n);
+    std::vector<double> penalty(n);
+    for (std::size_t t = 0; t < n; ++t) {
+      penalty[t] = 1.0 - std::exp(-0.15 * static_cast<double>(t));
+    }
+    const double alpha = 0.7;
+    const double beta = 1.0 - alpha;
+    const std::size_t words = (n + 63) / 64;
+
+    Matrix want(n, n);
+    std::vector<double> scratch(n);
+    double max_d = 0.0;
+    gram_to_dist_max(n, gram.data().data(), n, want.data().data(), n,
+                     scratch.data(), &max_d);
+    const double inv_max = max_d > 0.0 ? 1.0 / max_d : 1.0;
+    const double eps = 0.6 * max_d > 0.0 ? 0.6 * max_d : 0.5;
+    std::vector<std::uint64_t> want_bits(n * words);
+    std::vector<std::size_t> want_deg(n);
+    dist_blend_adj(n, alpha, inv_max, beta, penalty.data(),
+                   want.data().data(), n, eps, want_bits.data(), words,
+                   want_deg.data());
+
+    std::vector<double> diag(n);
+    double prepass_max = 0.0;
+    gram_dist_max(n, gram.data().data(), n, diag.data(), &prepass_max);
+    ASSERT_EQ(prepass_max, max_d) << "n=" << n;
+    Matrix got(n, n);
+    for (double& v : got.data()) v = -321.5;  // sentinel
+    std::vector<std::uint64_t> got_bits(n * words, ~std::uint64_t{0});
+    std::vector<std::size_t> got_deg(n, 999);
+    gram_blend_adj(n, gram.data().data(), n, diag.data(), alpha, inv_max,
+                   beta, penalty.data(), got.data().data(), n, eps,
+                   got_bits.data(), words, got_deg.data());
+
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < n; ++j) {
+        if (j <= i) {
+          ASSERT_EQ(got(i, j), want(i, j))
+              << "n=" << n << " (" << i << ", " << j << ")";
+        } else {
+          ASSERT_EQ(got(i, j), -321.5)
+              << "upper triangle written at (" << i << ", " << j << ")";
+        }
+      }
+    }
+    EXPECT_EQ(got_bits, want_bits) << "n=" << n;
+    EXPECT_EQ(got_deg, want_deg) << "n=" << n;
   }
 }
 
